@@ -1,0 +1,97 @@
+// Ablation B — the stability region. Sweeps the renderer service rate from
+// "nothing sustainable above the minimum depth" to "everything sustainable"
+// and reports, per load point: the analytic max sustainable depth, the
+// depth the proposed controller actually settles at, and the resulting
+// backlog regime.
+//
+// Regenerates: the implicit stability-region analysis behind Fig. 2's
+// service-rate choice; DESIGN.md Ablation B.
+#include <benchmark/benchmark.h>
+
+#include "analysis/latency.hpp"
+#include "bench_common.hpp"
+#include "delay/device_profile.hpp"
+#include "delay/service_process.hpp"
+#include "lyapunov/depth_controller.hpp"
+#include "queueing/stability.hpp"
+
+namespace {
+
+using namespace arvis;
+
+void print_load_sweep() {
+  const auto& cache = bench::fig2_cache();
+  SimConfig config = bench::fig2_config();
+  config.steps = 2'000;
+  const auto& mean_points = cache.mean_points_at_depth();
+
+  CsvTable out({"service_rate", "analytic_max_depth", "controller_mean_depth",
+                "avg_backlog", "avg_quality_norm", "stability"});
+  // Sweep service from 0.5x a(5) (overload even at min depth) to 2x a(10).
+  for (double factor : {0.5, 1.2, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const double service = mean_points[5] * factor;
+    const int analytic =
+        max_sustainable_depth(mean_points, service, 5, 10);
+    LyapunovDepthController controller(bench::fig2_v());
+    ConstantService svc(service);
+    const Trace trace = run_simulation(config, cache, controller, svc);
+    const TraceSummary s = trace.summarize();
+    out.add_row({service, static_cast<std::int64_t>(analytic), s.mean_depth,
+                 s.time_average_backlog,
+                 s.time_average_quality / mean_points[10],
+                 std::string(to_string(s.stability.verdict))});
+  }
+  bench::print_table("Ablation B — load sweep (stability region)", out);
+  std::printf(
+      "Expected shape: controller_mean_depth tracks analytic_max_depth "
+      "(within ~1 level);\noverloaded points (analytic < 5) diverge for any "
+      "policy; ample service saturates at depth 10.\n");
+
+  // Device-profile view: the same sweep expressed as real devices at 30 fps,
+  // with the backlog converted to wall-clock queueing latency.
+  const double slot_ms = 1000.0 / 30.0;
+  CsvTable devices({"device", "service_points_per_slot", "analytic_max_depth",
+                    "controller_mean_depth", "p95_latency_ms"});
+  SimConfig dev_config = bench::fig2_config();
+  dev_config.steps = 1'000;
+  for (const DeviceProfile& profile : builtin_device_profiles()) {
+    const double service = profile.service_points_per_slot(slot_ms);
+    // V scaled per device: backlog pivot at ~5 slots of that device's own
+    // service rate (the fleet-wide fig2_v would leave slow devices in their
+    // quality-probing transient for the whole horizon).
+    LyapunovDepthController controller(
+        calibrate_v_for_pivot(cache, dev_config, 5.0 * service));
+    ConstantService svc(service);
+    const Trace trace = run_simulation(dev_config, cache, controller, svc);
+    const LatencySummary latency = summarize_latency(trace, profile, slot_ms);
+    devices.add_row({profile.name, service,
+                     static_cast<std::int64_t>(
+                         max_sustainable_depth(mean_points, service, 5, 10)),
+                     trace.summarize().mean_depth, latency.p95_ms});
+  }
+  bench::print_table("Ablation B' — built-in device profiles at 30 fps",
+                     devices);
+}
+
+void BM_LoadSweepRun(benchmark::State& state) {
+  const auto& cache = bench::fig2_cache();
+  SimConfig config = bench::fig2_config();
+  const double service =
+      cache.mean_points_at_depth()[5] * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    LyapunovDepthController controller(bench::fig2_v());
+    ConstantService svc(service);
+    benchmark::DoNotOptimize(
+        run_simulation(config, cache, controller, svc).size());
+  }
+}
+BENCHMARK(BM_LoadSweepRun)->Arg(2)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_load_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

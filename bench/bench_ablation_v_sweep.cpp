@@ -1,0 +1,78 @@
+// Ablation A — the V tradeoff (paper eq. (3) discussion: "if we prioritize
+// queue stability with a smaller V ... the algorithm operates to minimize
+// visualization delays").
+//
+// Sweeps V over decades and reports the empirical (time-average quality,
+// time-average backlog) Pareto curve against the analytic [O(1/V), O(V)]
+// bounds of drift-plus-penalty.
+//
+// Regenerates: eq. (3) tradeoff analysis; DESIGN.md Ablation A.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "delay/service_process.hpp"
+#include "lyapunov/bounds.hpp"
+#include "lyapunov/depth_controller.hpp"
+
+namespace {
+
+using namespace arvis;
+
+void print_v_sweep() {
+  const auto& cache = bench::fig2_cache();
+  SimConfig config = bench::fig2_config();
+  config.steps = 4'000;  // longer horizon so time averages settle
+  const double service = bench::fig2_service_rate();
+
+  const auto& mean_points = cache.mean_points_at_depth();
+  DppSystemConstants constants;
+  constants.max_arrival = mean_points[10];
+  constants.max_service = service;
+  constants.min_utility = mean_points[5];
+  constants.max_utility = mean_points[10];
+  constants.epsilon = service - mean_points[5];
+
+  CsvTable out({"V", "avg_quality", "avg_backlog", "mean_depth",
+                "quality_gap_bound", "backlog_bound", "stability"});
+  const double v_star = bench::fig2_v();
+  for (double scale : {1e-3, 1e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 100.0}) {
+    const double v = v_star * scale;
+    LyapunovDepthController controller(v);
+    ConstantService svc(service);
+    const Trace trace = run_simulation(config, cache, controller, svc);
+    const TraceSummary s = trace.summarize();
+    const DppBounds bounds = compute_dpp_bounds(constants, v);
+    out.add_row({v, s.time_average_quality, s.time_average_backlog,
+                 s.mean_depth, bounds.utility_gap_bound, bounds.backlog_bound,
+                 std::string(to_string(s.stability.verdict))});
+  }
+  bench::print_table("Ablation A — V sweep (quality-delay Pareto)", out);
+  std::printf(
+      "Expected shape: avg_quality rises (O(1/V) gap shrinks) and "
+      "avg_backlog rises (O(V)) as V grows;\nsmall V minimizes delay as the "
+      "paper states.\n");
+}
+
+void BM_VSweepRun(benchmark::State& state) {
+  const auto& cache = bench::fig2_cache();
+  SimConfig config = bench::fig2_config();
+  for (auto _ : state) {
+    LyapunovDepthController controller(bench::fig2_v() *
+                                       static_cast<double>(state.range(0)));
+    ConstantService service(bench::fig2_service_rate());
+    benchmark::DoNotOptimize(
+        run_simulation(config, cache, controller, service).size());
+  }
+}
+BENCHMARK(BM_VSweepRun)->Arg(1)->Arg(10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_v_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

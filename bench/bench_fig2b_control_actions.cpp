@@ -1,0 +1,84 @@
+// Reproduces Fig. 2(b): the control action (chosen octree depth) over time
+// for Proposed / only max-Depth / only min-Depth.
+//
+// Expected shape (paper): max-Depth flat at 10, min-Depth flat at 5, the
+// Proposed scheme holds high depth until the "recognized optimized point"
+// (~mid-run) and then drops to maintain the delay constraint.
+//
+// Regenerates: Fig. 2(b) (control action updates).
+#include <benchmark/benchmark.h>
+
+#include "analysis/report.hpp"
+#include "analysis/time_series.hpp"
+#include "bench_common.hpp"
+#include "delay/service_process.hpp"
+#include "lyapunov/depth_controller.hpp"
+
+namespace {
+
+using namespace arvis;
+
+void print_fig2b() {
+  const auto& cache = bench::fig2_cache();
+  const SimConfig config = bench::fig2_config();
+  const double service = bench::fig2_service_rate();
+
+  LyapunovDepthController proposed_ctrl(bench::fig2_v());
+  auto max_ctrl = FixedDepthController::max_depth();
+  auto min_ctrl = FixedDepthController::min_depth();
+
+  ConstantService s1(service), s2(service), s3(service);
+  const Trace proposed = run_simulation(config, cache, proposed_ctrl, s1);
+  const Trace max_depth = run_simulation(config, cache, max_ctrl, s2);
+  const Trace min_depth = run_simulation(config, cache, min_ctrl, s3);
+
+  const std::vector<LabeledTrace> labeled{
+      {"Proposed", &proposed},
+      {"only max-Depth", &max_depth},
+      {"only min-Depth", &min_depth},
+  };
+  bench::print_table("Fig. 2(b) — control action (depth) vs time",
+                     depth_series_table(labeled, 40));
+
+  const auto drop = find_control_drop(proposed.depth_series());
+  if (drop) {
+    std::printf(
+        "Recognized optimized point (control drop): t = %zu of %zu slots "
+        "(paper: ~400 of 800).\n",
+        *drop, config.steps);
+  } else {
+    std::printf("No control drop detected (unexpected for this config).\n");
+  }
+  std::printf(
+      "Mean depth   : Proposed %.2f, max %.2f, min %.2f (candidates %d..%d)\n",
+      proposed.summarize().mean_depth, max_depth.summarize().mean_depth,
+      min_depth.summarize().mean_depth, config.candidates.front(),
+      config.candidates.back());
+}
+
+void BM_ControllerDecision(benchmark::State& state) {
+  // Per-slot decision cost in the exact Fig. 2 configuration.
+  const auto& cache = bench::fig2_cache();
+  const SimConfig config = bench::fig2_config();
+  const FrameWorkload& frame = cache.workload(0);
+  const PointWorkload workload(frame.points_at_depth);
+  const PointCountQuality quality(frame.points_at_depth);
+  LyapunovDepthController controller(bench::fig2_v());
+  DepthContext ctx;
+  ctx.queue_backlog = 1'000.0;
+  ctx.quality = &quality;
+  ctx.workload = &workload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.decide(config.candidates, ctx));
+  }
+}
+BENCHMARK(BM_ControllerDecision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

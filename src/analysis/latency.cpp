@@ -1,0 +1,47 @@
+#include "analysis/latency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace arvis {
+
+double backlog_to_latency_ms(double backlog, const DeviceProfile& device,
+                             double slot_ms) {
+  if (slot_ms <= 0.0) {
+    throw std::invalid_argument("backlog_to_latency_ms: slot_ms must be > 0");
+  }
+  const double service_per_slot = device.service_points_per_slot(slot_ms);
+  if (service_per_slot <= 0.0) {
+    throw std::invalid_argument(
+        "backlog_to_latency_ms: device cannot make progress in this slot");
+  }
+  const double slots_waiting = std::max(0.0, backlog) / service_per_slot;
+  return slots_waiting * slot_ms;
+}
+
+LatencySummary summarize_latency(const Trace& trace,
+                                 const DeviceProfile& device, double slot_ms) {
+  if (trace.empty()) {
+    throw std::invalid_argument("summarize_latency: empty trace");
+  }
+  std::vector<double> latencies;
+  latencies.reserve(trace.size());
+  RunningStats stats;
+  for (const StepRecord& record : trace.steps()) {
+    const double ms =
+        backlog_to_latency_ms(record.backlog_begin, device, slot_ms);
+    latencies.push_back(ms);
+    stats.add(ms);
+  }
+  LatencySummary summary;
+  summary.mean_ms = stats.mean();
+  summary.max_ms = stats.max();
+  summary.p50_ms = exact_quantile(latencies, 0.50);
+  summary.p95_ms = exact_quantile(latencies, 0.95);
+  summary.p99_ms = exact_quantile(latencies, 0.99);
+  return summary;
+}
+
+}  // namespace arvis

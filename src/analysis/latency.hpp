@@ -1,0 +1,38 @@
+// Backlog → latency conversion.
+//
+// The paper reports its delay constraint through the queue backlog Q(t) (in
+// work units). Operators think in milliseconds. For a work-conserving
+// renderer draining b work units per slot, a FIFO arrival that joins a
+// backlog of Q waits Q / b slots before service (Little's-law style
+// conversion), which these helpers express in wall-clock terms.
+#pragma once
+
+#include <vector>
+
+#include "delay/device_profile.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// Queueing latency (ms) experienced by work arriving when the backlog is
+/// `backlog` points, on `device` with `slot_ms`-millisecond slots.
+/// Preconditions: slot_ms > 0 and the device can make progress in a slot
+/// (service_points_per_slot > 0); throws std::invalid_argument otherwise.
+double backlog_to_latency_ms(double backlog, const DeviceProfile& device,
+                             double slot_ms);
+
+/// Latency summary of a run, converted from its backlog series.
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Converts a trace's per-slot backlog into queueing-latency percentiles.
+/// Preconditions: as backlog_to_latency_ms; trace non-empty.
+LatencySummary summarize_latency(const Trace& trace,
+                                 const DeviceProfile& device, double slot_ms);
+
+}  // namespace arvis

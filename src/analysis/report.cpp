@@ -1,0 +1,75 @@
+#include "analysis/report.hpp"
+
+#include <stdexcept>
+
+#include "analysis/time_series.hpp"
+
+namespace arvis {
+namespace {
+
+void check_runs(const std::vector<LabeledTrace>& runs, const char* where) {
+  if (runs.empty()) {
+    throw std::invalid_argument(std::string(where) + ": no runs");
+  }
+  const std::size_t n = runs.front().trace ? runs.front().trace->size() : 0;
+  for (const LabeledTrace& run : runs) {
+    if (run.trace == nullptr || run.trace->empty()) {
+      throw std::invalid_argument(std::string(where) + ": null/empty trace");
+    }
+    if (run.trace->size() != n) {
+      throw std::invalid_argument(std::string(where) +
+                                  ": traces must have equal length");
+    }
+  }
+}
+
+}  // namespace
+
+CsvTable backlog_series_table(const std::vector<LabeledTrace>& runs,
+                              std::size_t rows) {
+  check_runs(runs, "backlog_series_table");
+  std::vector<std::string> header{"t"};
+  for (const LabeledTrace& run : runs) header.push_back(run.label);
+  CsvTable table(header);
+  for (std::size_t i : downsample_indices(runs.front().trace->size(), rows)) {
+    std::vector<CsvCell> row;
+    row.emplace_back(static_cast<std::int64_t>(runs.front().trace->at(i).t));
+    for (const LabeledTrace& run : runs) {
+      row.emplace_back(run.trace->at(i).backlog_begin);
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+CsvTable depth_series_table(const std::vector<LabeledTrace>& runs,
+                            std::size_t rows) {
+  check_runs(runs, "depth_series_table");
+  std::vector<std::string> header{"t"};
+  for (const LabeledTrace& run : runs) header.push_back(run.label);
+  CsvTable table(header);
+  for (std::size_t i : downsample_indices(runs.front().trace->size(), rows)) {
+    std::vector<CsvCell> row;
+    row.emplace_back(static_cast<std::int64_t>(runs.front().trace->at(i).t));
+    for (const LabeledTrace& run : runs) {
+      row.emplace_back(static_cast<std::int64_t>(run.trace->at(i).depth));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+CsvTable summary_table(const std::vector<LabeledTrace>& runs) {
+  check_runs(runs, "summary_table");
+  CsvTable table({"run", "avg_quality", "avg_backlog", "peak_backlog",
+                  "final_backlog", "mean_depth", "stability"});
+  for (const LabeledTrace& run : runs) {
+    const TraceSummary s = run.trace->summarize();
+    table.add_row({run.label, s.time_average_quality, s.time_average_backlog,
+                   s.peak_backlog, s.final_backlog, s.mean_depth,
+                   std::string(to_string(s.stability.verdict))});
+  }
+  return table;
+}
+
+}  // namespace arvis

@@ -1,0 +1,31 @@
+// Report builders turning traces into the tables the benches print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// One labeled run for comparison tables.
+struct LabeledTrace {
+  std::string label;
+  const Trace* trace = nullptr;
+};
+
+/// Side-by-side series table: column "t" plus one backlog column per run,
+/// downsampled to ~`rows` rows. Reproduces Fig. 2(a)'s three curves.
+CsvTable backlog_series_table(const std::vector<LabeledTrace>& runs,
+                              std::size_t rows = 40);
+
+/// Same, for the control action (depth) series — Fig. 2(b).
+CsvTable depth_series_table(const std::vector<LabeledTrace>& runs,
+                            std::size_t rows = 40);
+
+/// Summary comparison: one row per run with time-average quality, backlog,
+/// depth, stability verdict.
+CsvTable summary_table(const std::vector<LabeledTrace>& runs);
+
+}  // namespace arvis

@@ -1,0 +1,82 @@
+#include "analysis/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arvis {
+
+std::vector<double> running_mean(const std::vector<double>& series) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    sum += series[i];
+    out.push_back(sum / static_cast<double>(i + 1));
+  }
+  return out;
+}
+
+std::vector<double> moving_average(const std::vector<double>& series,
+                                   std::size_t window) {
+  if (window < 1) {
+    throw std::invalid_argument("moving_average: window must be >= 1");
+  }
+  std::vector<double> out(series.size());
+  const std::size_t half = window / 2;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(series.size(), i + half + 1);
+    double sum = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) sum += series[j];
+    out[i] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+std::optional<std::size_t> find_control_drop(const std::vector<int>& depths,
+                                             std::size_t warmup,
+                                             std::size_t persistence) {
+  if (depths.size() < warmup + persistence) return std::nullopt;
+  int plateau = depths.front();
+  for (std::size_t i = 0; i < warmup; ++i) plateau = std::max(plateau, depths[i]);
+
+  // Smooth so post-pivot time-sharing (brief returns to the plateau depth)
+  // does not mask the drop.
+  std::vector<double> series(depths.begin(), depths.end());
+  const std::vector<double> smoothed =
+      moving_average(series, std::max<std::size_t>(1, persistence));
+  const double threshold = static_cast<double>(plateau) - 0.5;
+
+  for (std::size_t t = warmup; t + persistence <= smoothed.size(); ++t) {
+    if (smoothed[t] >= threshold) continue;
+    bool stays_below = true;
+    for (std::size_t j = t; j < t + persistence; ++j) {
+      if (smoothed[j] >= threshold) {
+        stays_below = false;
+        break;
+      }
+    }
+    if (stays_below) return t;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> downsample_indices(std::size_t size,
+                                            std::size_t target_points) {
+  std::vector<std::size_t> out;
+  if (size == 0) return out;
+  if (target_points < 2 || size <= target_points) {
+    out.resize(size);
+    for (std::size_t i = 0; i < size; ++i) out[i] = i;
+    return out;
+  }
+  const double stride = static_cast<double>(size - 1) /
+                        static_cast<double>(target_points - 1);
+  for (std::size_t i = 0; i < target_points; ++i) {
+    out.push_back(static_cast<std::size_t>(static_cast<double>(i) * stride));
+  }
+  out.back() = size - 1;
+  return out;
+}
+
+}  // namespace arvis

@@ -1,0 +1,39 @@
+// Time-series utilities for interpreting simulation traces: running means,
+// knee detection (the paper's "recognized optimized point" at t ≈ 400),
+// and series downsampling for compact bench output.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace arvis {
+
+/// Prefix running mean: out[t] = (1/(t+1))·Σ_{τ<=t} x[τ].
+std::vector<double> running_mean(const std::vector<double>& series);
+
+/// Centered moving average with the given full window (clamped at edges).
+/// Precondition: window >= 1.
+std::vector<double> moving_average(const std::vector<double>& series,
+                                   std::size_t window);
+
+/// Finds the paper's "recognized optimized point": the first time the
+/// control action *durably* leaves its initial plateau. Because the
+/// drift-plus-penalty controller time-shares depths after the pivot (e.g.
+/// one max-depth slot per few min-depth slots), the raw series keeps
+/// touching the plateau; the detector therefore smooths the series with a
+/// centered moving average of width `persistence` and reports the first
+/// index that stays at least half a depth level below the plateau for
+/// `persistence` consecutive slots. Returns nullopt when the series never
+/// drops (fixed controllers). The plateau is the max over the first
+/// `warmup` raw slots.
+std::optional<std::size_t> find_control_drop(const std::vector<int>& depths,
+                                             std::size_t warmup = 16,
+                                             std::size_t persistence = 32);
+
+/// Downsamples to ~`target_points` by striding (keeps the first and last
+/// sample). Used by benches to print an 800-slot series as ~40 rows.
+std::vector<std::size_t> downsample_indices(std::size_t size,
+                                            std::size_t target_points);
+
+}  // namespace arvis

@@ -1,0 +1,83 @@
+// Axis-aligned bounding box used by the octree and point-cloud modules.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "common/vec3.hpp"
+
+namespace arvis {
+
+/// Axis-aligned bounding box. An empty box has min > max (the default state);
+/// expanding an empty box with a point yields the degenerate box at the point.
+struct Aabb {
+  Vec3f min_corner{std::numeric_limits<float>::max(),
+                   std::numeric_limits<float>::max(),
+                   std::numeric_limits<float>::max()};
+  Vec3f max_corner{std::numeric_limits<float>::lowest(),
+                   std::numeric_limits<float>::lowest(),
+                   std::numeric_limits<float>::lowest()};
+
+  /// True when no point has been added yet.
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return min_corner.x > max_corner.x;
+  }
+
+  /// Grows the box to contain p.
+  constexpr void expand(const Vec3f& p) noexcept {
+    min_corner = min(min_corner, p);
+    max_corner = max(max_corner, p);
+  }
+
+  /// Grows the box to contain another box.
+  constexpr void expand(const Aabb& b) noexcept {
+    if (b.empty()) return;
+    expand(b.min_corner);
+    expand(b.max_corner);
+  }
+
+  /// Size along each axis; zero vector for an empty box.
+  [[nodiscard]] constexpr Vec3f extent() const noexcept {
+    return empty() ? Vec3f{} : max_corner - min_corner;
+  }
+
+  /// Center point. Precondition: !empty().
+  [[nodiscard]] constexpr Vec3f center() const noexcept {
+    return (min_corner + max_corner) * 0.5F;
+  }
+
+  /// Longest axis length; 0 for an empty box.
+  [[nodiscard]] constexpr float max_extent() const noexcept {
+    const Vec3f e = extent();
+    return std::max({e.x, e.y, e.z});
+  }
+
+  /// True when p lies inside or on the boundary.
+  [[nodiscard]] constexpr bool contains(const Vec3f& p) const noexcept {
+    return p.x >= min_corner.x && p.x <= max_corner.x && p.y >= min_corner.y &&
+           p.y <= max_corner.y && p.z >= min_corner.z && p.z <= max_corner.z;
+  }
+
+  /// The smallest cube that contains this box, sharing its min corner.
+  /// Octrees use cubic root cells so each subdivision halves all axes.
+  [[nodiscard]] constexpr Aabb bounding_cube() const noexcept {
+    if (empty()) return *this;
+    const float side = max_extent();
+    return Aabb{min_corner,
+                {min_corner.x + side, min_corner.y + side, min_corner.z + side}};
+  }
+
+  /// Computes the bounding box of a set of points.
+  static Aabb of(std::span<const Vec3f> points) noexcept {
+    Aabb box;
+    for (const Vec3f& p : points) box.expand(p);
+    return box;
+  }
+};
+
+constexpr bool operator==(const Aabb& a, const Aabb& b) noexcept {
+  return a.min_corner == b.min_corner && a.max_corner == b.max_corner;
+}
+
+}  // namespace arvis

@@ -1,0 +1,247 @@
+#include "common/csv.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace arvis {
+namespace {
+
+std::string format_double(double v) {
+  // std::to_chars gives shortest round-trip representation.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buf, ptr);
+}
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string to_csv_field(const CsvCell& cell) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return {}; }
+    std::string operator()(const std::string& s) const {
+      return needs_quoting(s) ? quote(s) : s;
+    }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const { return format_double(v); }
+  };
+  return std::visit(Visitor{}, cell);
+}
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("CsvTable: header must be non-empty");
+  }
+}
+
+void CsvTable::add_row(std::vector<CsvCell> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument(
+        "CsvTable::add_row: expected " + std::to_string(header_.size()) +
+        " cells, got " + std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << (needs_quoting(header_[i]) ? quote(header_[i]) : header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << to_csv_field(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status CsvTable::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << to_string();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+namespace {
+
+/// Splits one logical CSV record (handles quoted fields, including embedded
+/// newlines — the caller feeds the whole text and we track position).
+/// Returns false on unterminated quote.
+bool split_record(const std::string& text, std::size_t& pos,
+                  std::vector<std::string>& fields, bool& saw_any) {
+  fields.clear();
+  saw_any = false;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      ++pos;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      saw_any = true;
+      ++pos;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+      saw_any = true;
+      ++pos;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // Consume the line ending (handle \r\n).
+      ++pos;
+      if (c == '\r' && pos < text.size() && text[pos] == '\n') ++pos;
+      fields.push_back(std::move(field));
+      return true;
+    }
+    field.push_back(c);
+    saw_any = true;
+    ++pos;
+  }
+  if (in_quotes) return false;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+/// Classifies a textual field into the tightest CsvCell type.
+CsvCell classify_field(const std::string& field) {
+  if (field.empty()) return std::monostate{};
+  // Integer?
+  {
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec == std::errc{} && ptr == field.data() + field.size()) return value;
+  }
+  // Double?
+  {
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec == std::errc{} && ptr == field.data() + field.size()) return value;
+  }
+  return field;
+}
+
+}  // namespace
+
+Result<CsvTable> parse_csv(const std::string& text) {
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  bool saw_any = false;
+  if (!split_record(text, pos, fields, saw_any)) {
+    return Status::ParseError("CSV: unterminated quote in header");
+  }
+  if (fields.empty() || (fields.size() == 1 && fields[0].empty())) {
+    return Status::ParseError("CSV: empty header");
+  }
+  CsvTable table(fields);
+  std::size_t line = 1;
+  while (pos < text.size()) {
+    ++line;
+    if (!split_record(text, pos, fields, saw_any)) {
+      return Status::ParseError("CSV: unterminated quote at record " +
+                                std::to_string(line));
+    }
+    // A trailing newline yields one empty phantom record; skip it.
+    if (fields.size() == 1 && fields[0].empty() && !saw_any) continue;
+    if (fields.size() != table.column_count()) {
+      return Status::ParseError(
+          "CSV: record " + std::to_string(line) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(table.column_count()));
+    }
+    std::vector<CsvCell> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) row.push_back(classify_field(f));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Result<CsvTable> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+std::string CsvTable::to_pretty_string() const {
+  // Compute column widths over header + all rendered cells.
+  std::vector<std::size_t> width(header_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(to_csv_field(row[i]));
+      width[i] = std::max(width[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << cells[i] << std::string(width[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << std::string(width[i] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& r : rendered) emit_row(r);
+  return os.str();
+}
+
+}  // namespace arvis

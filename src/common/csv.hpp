@@ -1,0 +1,73 @@
+// CSV table construction and serialization.
+//
+// Benchmarks and the simulation trace recorder emit results as CSV so the
+// paper's figures can be re-plotted with any tool. The writer is intentionally
+// simple: numeric and string cells, RFC-4180 quoting for strings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace arvis {
+
+/// One CSV cell: empty, string, integer, or floating point.
+using CsvCell = std::variant<std::monostate, std::string, std::int64_t, double>;
+
+/// Renders a cell; strings are quoted per RFC 4180 when needed, doubles use
+/// shortest round-trip formatting.
+std::string to_csv_field(const CsvCell& cell);
+
+/// An in-memory table with a fixed header, built row by row and serialized to
+/// CSV. Class (not struct) because it maintains the invariant that every
+/// completed row has exactly header.size() cells.
+class CsvTable {
+ public:
+  /// Creates a table with the given column names. Precondition: non-empty.
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Number of data rows (excluding header).
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return header_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+
+  /// Appends a row. Throws std::invalid_argument if the cell count does not
+  /// match the header width (programming error).
+  void add_row(std::vector<CsvCell> cells);
+
+  /// Cell accessor. Precondition: row < row_count(), col < column_count().
+  [[nodiscard]] const CsvCell& at(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+
+  /// Serializes the whole table, header first, '\n' line endings.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes the table to a file. Returns IoError on failure.
+  [[nodiscard]] Status write_file(const std::string& path) const;
+
+  /// Renders an aligned, human-readable text table (for bench stdout).
+  [[nodiscard]] std::string to_pretty_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<CsvCell>> rows_;
+};
+
+/// Parses CSV text (RFC-4180 quoting; first line = header) back into a
+/// table. Numeric-looking fields become int64/double cells, empty fields
+/// become monostate, everything else a string. Returns ParseError on
+/// ragged rows or unterminated quotes. Round-trips CsvTable::to_string().
+Result<CsvTable> parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file. IoError when unreadable.
+Result<CsvTable> read_csv_file(const std::string& path);
+
+}  // namespace arvis

@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace arvis {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::function<void(LogLevel, const std::string&)>& sink_ref() {
+  static std::function<void(LogLevel, const std::string&)> sink;
+  return sink;
+}
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[arvis %s] %s\n", to_string(level), message.c_str());
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  const std::scoped_lock lock(sink_mutex());
+  sink_ref() = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  const std::scoped_lock lock(sink_mutex());
+  if (auto& sink = sink_ref()) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace arvis

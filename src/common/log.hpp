@@ -1,0 +1,68 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library is a research artifact: logging defaults to kWarn so benches
+// and tests stay quiet; examples turn on kInfo. No global mutable singletons
+// beyond the level + sink (guarded by a mutex), no macros in public headers.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace arvis {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+constexpr const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+/// Sets the global minimum level (default kWarn). Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Replaces the sink (default: stderr). Pass nullptr to restore the default.
+/// Thread-safe; the sink is invoked with the fully formatted line.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Emits one log record if `level` >= the global level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Builds the message from stream-style parts, then emits it.
+template <typename... Parts>
+void log_parts(LogLevel level, const Parts&... parts) {
+  if (level < log_level()) return;  // cheap early-out before formatting
+  std::ostringstream os;
+  (os << ... << parts);
+  log_message(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  detail::log_parts(LogLevel::kDebug, parts...);
+}
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  detail::log_parts(LogLevel::kInfo, parts...);
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  detail::log_parts(LogLevel::kWarn, parts...);
+}
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  detail::log_parts(LogLevel::kError, parts...);
+}
+
+}  // namespace arvis

@@ -1,0 +1,84 @@
+// Morton (Z-order) codes for voxelized point coordinates.
+//
+// 8iVFB-style datasets are voxelized to a 2^n grid (n = 10 bits for the real
+// dataset). Interleaving the three n-bit integer coordinates yields a 3n-bit
+// Morton code whose top 3d bits identify the octree cell containing the voxel
+// at depth d — this is what makes depth-limited octree statistics O(N log N)
+// via a single sort.
+#pragma once
+
+#include <cstdint>
+
+namespace arvis {
+
+/// Maximum coordinate bits per axis representable in a 64-bit Morton code.
+inline constexpr int kMaxMortonBitsPerAxis = 21;
+
+namespace detail {
+
+/// Spreads the low 21 bits of x so that bit i moves to bit 3*i.
+constexpr std::uint64_t spread_bits_3(std::uint64_t x) noexcept {
+  x &= 0x1FFFFFULL;  // 21 bits
+  x = (x | (x << 32)) & 0x1F00000000FFFFULL;
+  x = (x | (x << 16)) & 0x1F0000FF0000FFULL;
+  x = (x | (x << 8)) & 0x100F00F00F00F00FULL;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+/// Inverse of spread_bits_3.
+constexpr std::uint64_t compact_bits_3(std::uint64_t x) noexcept {
+  x &= 0x1249249249249249ULL;
+  x = (x ^ (x >> 2)) & 0x10C30C30C30C30C3ULL;
+  x = (x ^ (x >> 4)) & 0x100F00F00F00F00FULL;
+  x = (x ^ (x >> 8)) & 0x1F0000FF0000FFULL;
+  x = (x ^ (x >> 16)) & 0x1F00000000FFFFULL;
+  x = (x ^ (x >> 32)) & 0x1FFFFFULL;
+  return x;
+}
+
+}  // namespace detail
+
+/// Integer voxel coordinate triple. Valid range per axis: [0, 2^21).
+struct VoxelCoord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+
+  constexpr bool operator==(const VoxelCoord&) const noexcept = default;
+};
+
+/// Interleaves (x, y, z) into a Morton code; bit layout ...z1y1x1 z0y0x0.
+constexpr std::uint64_t morton_encode(const VoxelCoord& c) noexcept {
+  return detail::spread_bits_3(c.x) | (detail::spread_bits_3(c.y) << 1) |
+         (detail::spread_bits_3(c.z) << 2);
+}
+
+/// Inverse of morton_encode.
+constexpr VoxelCoord morton_decode(std::uint64_t code) noexcept {
+  return VoxelCoord{
+      static_cast<std::uint32_t>(detail::compact_bits_3(code)),
+      static_cast<std::uint32_t>(detail::compact_bits_3(code >> 1)),
+      static_cast<std::uint32_t>(detail::compact_bits_3(code >> 2)),
+  };
+}
+
+/// Truncates a Morton code built from `total_bits`-per-axis coordinates to
+/// the octree cell key at `depth` (depth levels of subdivision from the
+/// root). Keys at equal depth compare equal iff the voxels share a cell.
+/// Preconditions: 0 <= depth <= total_bits <= 21.
+constexpr std::uint64_t morton_ancestor_key(std::uint64_t code, int total_bits,
+                                            int depth) noexcept {
+  const int drop = 3 * (total_bits - depth);
+  return drop >= 64 ? 0 : (code >> drop);
+}
+
+/// The child slot (0..7) taken when descending from depth-1 to `depth`.
+/// Precondition: 1 <= depth <= total_bits.
+constexpr int morton_child_index(std::uint64_t code, int total_bits,
+                                 int depth) noexcept {
+  return static_cast<int>(morton_ancestor_key(code, total_bits, depth) & 0x7U);
+}
+
+}  // namespace arvis

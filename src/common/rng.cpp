@@ -1,0 +1,43 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace arvis {
+
+double Rng::normal() noexcept {
+  // Marsaglia polar method. Rejection loop terminates with probability 1;
+  // expected iterations ~1.27.
+  for (;;) {
+    const double u = 2.0 * next_double() - 1.0;
+    const double v = 2.0 * next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse transform; 1 - U avoids log(0).
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below exp(-mean).
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    std::uint64_t count = 0;
+    for (;;) {
+      product *= next_double();
+      if (product <= limit) return count;
+      ++count;
+    }
+  }
+  // Normal approximation with continuity correction for large means.
+  const double x = std::round(normal(mean, std::sqrt(mean)));
+  return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+}  // namespace arvis

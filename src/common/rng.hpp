@@ -1,0 +1,127 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library (dataset synthesis, arrival
+// processes, channel models) takes an explicit Rng so that experiments are
+// reproducible from a single seed. No global RNG state exists anywhere in the
+// library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace arvis {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state. Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Fast, high-quality, 256-bit state.
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>
+/// distributions, but the member helpers below avoid libstdc++'s
+/// implementation-defined distributions for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x5EEDC0FFEEULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next_u64(); }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 random mantissa bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  constexpr float next_float() noexcept {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24F;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0. Uses Lemire's
+  /// multiply-shift rejection-free bound reduction (bias < 2^-64, negligible).
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // 128-bit multiply-high.
+    const std::uint64_t x = next_u64();
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  constexpr bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Marsaglia polar method (deterministic across
+  /// platforms, unlike std::normal_distribution).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (mean 1/rate). Precondition: rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Poisson-distributed count with the given mean. Uses Knuth's method for
+  /// small means and normal approximation (rounded, clamped at 0) for large
+  /// means; adequate for workload synthesis.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Derives an independent child generator; use to give each subsystem its
+  /// own stream from one experiment seed.
+  constexpr Rng split() noexcept { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace arvis

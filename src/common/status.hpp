@@ -1,0 +1,149 @@
+// Lightweight Status / Result<T> error-handling vocabulary.
+//
+// Policy (per the repo conventions in DESIGN.md §6): exceptions signal
+// programming errors and unrecoverable construction failures; expected,
+// recoverable failures (file parsing, malformed input) travel through
+// Result<T> so callers must consciously handle them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace arvis {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kIoError,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+constexpr const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+/// A status: either OK or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status. Precondition: code != kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "Ok" or "<Code>: <message>".
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "Ok";
+    return std::string(arvis::to_string(code_)) + ": " + message_;
+  }
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status OutOfRange(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status ParseError(std::string msg) {
+    return {StatusCode::kParseError, std::move(msg)};
+  }
+  static Status IoError(std::string msg) {
+    return {StatusCode::kIoError, std::move(msg)};
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Thrown by Result<T>::value() when the result holds an error.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::logic_error("Result accessed while holding error: " +
+                         status.to_string()) {}
+};
+
+/// Either a value of type T or an error Status. A pre-C++23 stand-in for
+/// std::expected<T, Status> with the subset of the interface we need.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the common, successful path).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-*)
+
+  /// Implicit from an error status. Precondition: !status.ok().
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The error status; Status::Ok() when a value is held.
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  /// Access the value. Throws BadResultAccess if an error is held.
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess(std::get<Status>(data_));
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw BadResultAccess(std::get<Status>(data_));
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw BadResultAccess(std::get<Status>(data_));
+    return std::get<T>(std::move(data_));
+  }
+
+  /// The value, or `fallback` if an error is held.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace arvis

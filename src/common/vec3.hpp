@@ -1,0 +1,109 @@
+// Minimal 3-component vector math used across the point-cloud and octree
+// substrates. Kept header-only and constexpr-friendly; no external deps.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace arvis {
+
+/// A 3-component vector of float. Plain aggregate: no invariant beyond its
+/// members, so it is a struct per C.2 and supports aggregate initialization.
+struct Vec3f {
+  float x = 0.0F;
+  float y = 0.0F;
+  float z = 0.0F;
+
+  constexpr Vec3f& operator+=(const Vec3f& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3f& operator-=(const Vec3f& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3f& operator*=(float s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3f& operator/=(float s) noexcept {
+    x /= s;
+    y /= s;
+    z /= s;
+    return *this;
+  }
+
+  /// Component access by index (0=x, 1=y, 2=z). Precondition: i < 3.
+  constexpr float operator[](std::size_t i) const noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+};
+
+constexpr Vec3f operator+(Vec3f a, const Vec3f& b) noexcept { return a += b; }
+constexpr Vec3f operator-(Vec3f a, const Vec3f& b) noexcept { return a -= b; }
+constexpr Vec3f operator*(Vec3f a, float s) noexcept { return a *= s; }
+constexpr Vec3f operator*(float s, Vec3f a) noexcept { return a *= s; }
+constexpr Vec3f operator/(Vec3f a, float s) noexcept { return a /= s; }
+constexpr Vec3f operator-(const Vec3f& a) noexcept { return {-a.x, -a.y, -a.z}; }
+
+constexpr bool operator==(const Vec3f& a, const Vec3f& b) noexcept {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+constexpr bool operator!=(const Vec3f& a, const Vec3f& b) noexcept {
+  return !(a == b);
+}
+
+constexpr float dot(const Vec3f& a, const Vec3f& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3f cross(const Vec3f& a, const Vec3f& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+constexpr float length_squared(const Vec3f& v) noexcept { return dot(v, v); }
+
+inline float length(const Vec3f& v) noexcept { return std::sqrt(dot(v, v)); }
+
+/// Euclidean distance between two points.
+inline float distance(const Vec3f& a, const Vec3f& b) noexcept {
+  return length(a - b);
+}
+
+constexpr float distance_squared(const Vec3f& a, const Vec3f& b) noexcept {
+  return length_squared(a - b);
+}
+
+/// Returns v scaled to unit length; returns v unchanged if it is (near) zero.
+inline Vec3f normalized(const Vec3f& v) noexcept {
+  const float len = length(v);
+  return len > 1e-20F ? v / len : v;
+}
+
+/// Component-wise minimum.
+constexpr Vec3f min(const Vec3f& a, const Vec3f& b) noexcept {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+
+/// Component-wise maximum.
+constexpr Vec3f max(const Vec3f& a, const Vec3f& b) noexcept {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+/// Linear interpolation: a at t=0, b at t=1.
+constexpr Vec3f lerp(const Vec3f& a, const Vec3f& b, float t) noexcept {
+  return a + (b - a) * t;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3f& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace arvis

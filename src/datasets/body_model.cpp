@@ -1,0 +1,200 @@
+#include "datasets/body_model.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace arvis {
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+/// Builds an orthonormal frame whose third axis is `w` (normalized input).
+void orthonormal_frame(const Vec3f& w, Vec3f& u, Vec3f& v) noexcept {
+  // Duff et al. branchless ONB construction.
+  const float sign = std::copysign(1.0F, w.z);
+  const float a = -1.0F / (sign + w.z);
+  const float b = w.x * w.y * a;
+  u = {1.0F + sign * w.x * w.x * a, sign * b, -sign * w.x};
+  v = {b, sign + w.y * w.y * a, -w.y};
+}
+
+/// Uniform point on the unit sphere.
+Vec3f sample_unit_sphere(Rng& rng) noexcept {
+  const float z = 2.0F * rng.next_float() - 1.0F;
+  const float phi = 2.0F * kPi * rng.next_float();
+  const float r = std::sqrt(std::max(0.0F, 1.0F - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+}  // namespace
+
+float BodyPrimitive::surface_area() const noexcept {
+  const float len = distance(a, b);
+  const float r1 = radius;
+  const float r2 = radius_b > 0.0F ? radius_b : radius;
+  if (is_ellipsoid) {
+    // Thomsen's approximation for ellipsoid surface area with semi-axes
+    // (len/2 + r1)... but our ellipsoid has semi-axes (len/2, r1, r1):
+    const float c = len * 0.5F + r1;  // long semi-axis includes rounded ends
+    const float aa = r1, bb = r1, cc = c;
+    constexpr float p = 1.6075F;
+    const float term = (std::pow(aa * bb, p) + std::pow(aa * cc, p) +
+                        std::pow(bb * cc, p)) / 3.0F;
+    return 4.0F * kPi * std::pow(term, 1.0F / p);
+  }
+  // Tapered capsule ≈ cone frustum lateral area + two hemisphere caps.
+  const float slant = std::sqrt(len * len + (r1 - r2) * (r1 - r2));
+  const float lateral = kPi * (r1 + r2) * slant;
+  const float caps = 2.0F * kPi * r1 * r1 + 2.0F * kPi * r2 * r2;
+  return lateral + caps;
+}
+
+Vec3f BodyPrimitive::sample_surface(Rng& rng) const noexcept {
+  const Vec3f axis = b - a;
+  const float len = length(axis);
+  const Vec3f w = len > 1e-8F ? axis / len : Vec3f{0, 1, 0};
+  Vec3f u, v;
+  orthonormal_frame(w, u, v);
+  const float r1 = radius;
+  const float r2 = radius_b > 0.0F ? radius_b : radius;
+
+  if (is_ellipsoid) {
+    // Sample the sphere and stretch; NOT exactly area-uniform but the
+    // distortion is small for body-scale aspect ratios and irrelevant to
+    // octree occupancy statistics.
+    const Vec3f s = sample_unit_sphere(rng);
+    const Vec3f center = (a + b) * 0.5F;
+    const float semi_long = len * 0.5F + r1;
+    return center + u * (s.x * r1) + v * (s.y * r1) + w * (s.z * semi_long);
+  }
+
+  // Choose lateral surface vs caps by area.
+  const float slant = std::sqrt(len * len + (r1 - r2) * (r1 - r2));
+  const float lateral = kPi * (r1 + r2) * slant;
+  const float cap_a = 2.0F * kPi * r1 * r1;
+  const float cap_b = 2.0F * kPi * r2 * r2;
+  const float total = lateral + cap_a + cap_b;
+  const float pick = rng.next_float() * total;
+
+  if (pick < lateral) {
+    // Along the axis, radius interpolates linearly (tapered cylinder).
+    const float t = rng.next_float();
+    const float r = r1 + (r2 - r1) * t;
+    const float phi = 2.0F * kPi * rng.next_float();
+    return a + w * (t * len) + (u * std::cos(phi) + v * std::sin(phi)) * r;
+  }
+  if (pick < lateral + cap_a) {
+    // Hemisphere at `a`, pointing away from b.
+    Vec3f s = sample_unit_sphere(rng);
+    if (dot(s, w) > 0.0F) s = -s;
+    return a + s * r1;
+  }
+  Vec3f s = sample_unit_sphere(rng);
+  if (dot(s, w) < 0.0F) s = -s;
+  return b + s * r2;
+}
+
+Pose walk_pose(float phase) noexcept {
+  const float theta = 2.0F * kPi * phase;
+  Pose pose;
+  const float swing = 0.55F * std::sin(theta);
+  pose.left_hip_swing = swing;
+  pose.right_hip_swing = -swing;
+  // Arms counter-swing relative to legs, slightly damped.
+  pose.left_shoulder_swing = -0.7F * swing;
+  pose.right_shoulder_swing = 0.7F * swing;
+  // Knee of the trailing leg flexes most mid-swing.
+  pose.left_knee_bend = 0.15F + 0.45F * std::max(0.0F, std::sin(theta + kPi));
+  pose.right_knee_bend = 0.15F + 0.45F * std::max(0.0F, std::sin(theta));
+  pose.left_elbow_bend = 0.35F + 0.15F * std::sin(theta + kPi);
+  pose.right_elbow_bend = 0.35F + 0.15F * std::sin(theta);
+  pose.bob = 0.02F * std::sin(2.0F * theta);
+  return pose;
+}
+
+std::vector<BodyPrimitive> build_body(const BodyShape& shape, const Pose& pose) {
+  std::vector<BodyPrimitive> prims;
+  prims.reserve(13);
+
+  // Proportions anchored to height (rough anthropometric ratios).
+  const float h = shape.height;
+  const float leg_len = 0.48F * h;
+  const float thigh_len = 0.55F * leg_len;
+  const float shin_len = 0.45F * leg_len;
+  const float torso_len = 0.31F * h;
+  const float arm_len = 0.36F * h;
+  const float upper_arm_len = 0.52F * arm_len;
+  const float forearm_len = 0.48F * arm_len;
+  const float neck_len = 0.03F * h;
+
+  const float hip_y = leg_len + pose.bob;
+  const float shoulder_y = hip_y + torso_len;
+  const float half_shoulder = shape.shoulder_width * 0.5F;
+  const float half_hip = shape.hip_width * 0.5F;
+
+  const float cy = std::cos(pose.torso_yaw);
+  const float sy = std::sin(pose.torso_yaw);
+  // Yaw rotation about the vertical (y) axis applied to all lateral offsets.
+  const auto yaw = [&](const Vec3f& p) -> Vec3f {
+    return {cy * p.x + sy * p.z, p.y, -sy * p.x + cy * p.z};
+  };
+
+  // Pelvis (ellipsoid).
+  prims.push_back({yaw({0, hip_y, 0}), yaw({0, hip_y + 0.06F * h, 0}),
+                   half_hip, 0, true, shape.bottom});
+  // Torso (ellipsoid, slightly wider at shoulders).
+  prims.push_back({yaw({0, hip_y + 0.05F * h, 0}), yaw({0, shoulder_y, 0}),
+                   (half_shoulder + half_hip) * 0.55F, 0, true, shape.top});
+  // Head (sphere = ellipsoid with equal axes).
+  const float head_center = shoulder_y + neck_len + shape.head_radius;
+  prims.push_back({yaw({0, head_center - shape.head_radius * 0.1F, 0}),
+                   yaw({0, head_center + shape.head_radius * 0.1F, 0}),
+                   shape.head_radius, 0, true, shape.skin});
+  // Neck.
+  prims.push_back({yaw({0, shoulder_y, 0}), yaw({0, shoulder_y + neck_len, 0}),
+                   0.045F * h * 0.5F, 0, false, shape.skin});
+
+  // A limb: origin joint, sagittal swing angle, then a bend for the distal
+  // segment. Swing rotates about the lateral (x) axis: y-down leg swings to
+  // +z for positive angle.
+  const auto swing_dir = [](float angle) -> Vec3f {
+    return {0, -std::cos(angle), std::sin(angle)};
+  };
+
+  // Legs.
+  for (int side = 0; side < 2; ++side) {
+    const float sx = side == 0 ? -1.0F : 1.0F;
+    const float hip_swing = side == 0 ? pose.left_hip_swing : pose.right_hip_swing;
+    const float knee_bend = side == 0 ? pose.left_knee_bend : pose.right_knee_bend;
+    const Vec3f hip = yaw({sx * half_hip * 0.8F, hip_y, 0});
+    const Vec3f knee = hip + swing_dir(hip_swing) * thigh_len;
+    const Vec3f ankle = knee + swing_dir(hip_swing - knee_bend) * shin_len;
+    prims.push_back({hip, knee, shape.leg_radius, shape.leg_radius * 0.75F,
+                     false, shape.bottom});
+    prims.push_back({knee, ankle, shape.leg_radius * 0.75F,
+                     shape.leg_radius * 0.55F, false, shape.bottom});
+    // Foot: short capsule forward (+z).
+    prims.push_back({ankle, ankle + yaw(Vec3f{0, -0.02F * h, 0.12F * h}),
+                     shape.leg_radius * 0.55F, shape.leg_radius * 0.5F, false,
+                     Color8{40, 36, 36}});
+  }
+
+  // Arms.
+  for (int side = 0; side < 2; ++side) {
+    const float sx = side == 0 ? -1.0F : 1.0F;
+    const float shoulder_swing =
+        side == 0 ? pose.left_shoulder_swing : pose.right_shoulder_swing;
+    const float elbow_bend = side == 0 ? pose.left_elbow_bend : pose.right_elbow_bend;
+    const Vec3f shoulder = yaw({sx * half_shoulder, shoulder_y, 0});
+    const Vec3f elbow = shoulder + swing_dir(shoulder_swing) * upper_arm_len;
+    const Vec3f wrist = elbow + swing_dir(shoulder_swing + elbow_bend) * forearm_len;
+    prims.push_back({shoulder, elbow, shape.arm_radius,
+                     shape.arm_radius * 0.85F, false, shape.top});
+    prims.push_back({elbow, wrist, shape.arm_radius * 0.85F,
+                     shape.arm_radius * 0.7F, false, shape.skin});
+  }
+
+  return prims;
+}
+
+}  // namespace arvis

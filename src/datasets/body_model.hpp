@@ -1,0 +1,76 @@
+// Parametric articulated human-body surface model.
+//
+// Substitute for the 8i Voxelized Full Bodies dataset (DESIGN.md §2): a body
+// assembled from ellipsoid and capsule primitives (head, torso, pelvis, upper
+// and lower arms and legs, feet) whose surfaces are sampled uniformly by
+// area. A Pose articulates the limbs so sequences contain realistic
+// frame-to-frame motion (walk cycle). The generated clouds match 8iVFB in
+// the properties the controller cares about: a solid 2-manifold-ish surface
+// whose octree occupancy grows ~4x per depth level until voxel size reaches
+// sampling density, then saturates at the point count.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// A capsule (cylinder with hemispherical caps) between two joints, or an
+/// ellipsoid when `is_ellipsoid` — the two surface primitives bodies are
+/// assembled from.
+struct BodyPrimitive {
+  Vec3f a;                  // segment start (world, meters)
+  Vec3f b;                  // segment end
+  float radius = 0.1F;      // capsule radius / ellipsoid minor radii
+  float radius_b = 0.0F;    // optional distinct end radius (tapered limb); 0 = same
+  bool is_ellipsoid = false;  // if true, ellipsoid centered at (a+b)/2 with
+                              // semi-axis (|b-a|/2 along a->b, radius across)
+  Color8 base_color{200, 180, 160};
+
+  /// Approximate surface area (used for area-weighted sampling).
+  [[nodiscard]] float surface_area() const noexcept;
+
+  /// Samples one point uniformly (approximately) on the surface.
+  [[nodiscard]] Vec3f sample_surface(Rng& rng) const noexcept;
+};
+
+/// Static shape parameters of a subject (meters).
+struct BodyShape {
+  float height = 1.75F;
+  float shoulder_width = 0.44F;
+  float hip_width = 0.36F;
+  float torso_depth = 0.22F;
+  float head_radius = 0.105F;
+  float arm_radius = 0.047F;
+  float leg_radius = 0.07F;
+  Color8 skin{224, 188, 160};
+  Color8 top{120, 40, 48};     // clothing color, torso + arms
+  Color8 bottom{40, 44, 88};   // clothing color, legs
+};
+
+/// Joint angles (radians) describing one frame of articulation.
+struct Pose {
+  float left_shoulder_swing = 0.0F;   // sagittal-plane arm swing
+  float right_shoulder_swing = 0.0F;
+  float left_elbow_bend = 0.25F;
+  float right_elbow_bend = 0.25F;
+  float left_hip_swing = 0.0F;        // sagittal-plane leg swing
+  float right_hip_swing = 0.0F;
+  float left_knee_bend = 0.1F;
+  float right_knee_bend = 0.1F;
+  float torso_yaw = 0.0F;             // rotation of whole body about up axis
+  float bob = 0.0F;                   // vertical bounce (meters)
+};
+
+/// Walk-cycle pose at phase in [0, 1). Arms and legs counter-swing; knees
+/// and elbows flex in phase with their limb.
+Pose walk_pose(float phase) noexcept;
+
+/// Assembles the primitive list for a shape in a pose. Primitives are placed
+/// in a Y-up coordinate system with the feet near y=0.
+std::vector<BodyPrimitive> build_body(const BodyShape& shape, const Pose& pose);
+
+}  // namespace arvis

@@ -1,0 +1,96 @@
+#include "datasets/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arvis {
+namespace {
+
+struct SubjectSpec {
+  SubjectInfo info;
+  BodyShape shape;
+};
+
+std::vector<SubjectSpec> subject_specs() {
+  std::vector<SubjectSpec> specs;
+
+  // "longdress"-like: tall subject, red/plum dress -> widest torso band.
+  {
+    SubjectSpec s;
+    s.info = {"longdress", "tall subject in a long red dress", 300, 850'000};
+    s.shape.height = 1.72F;
+    s.shape.shoulder_width = 0.42F;
+    s.shape.hip_width = 0.46F;  // dress widens the hip band
+    s.shape.top = {150, 40, 60};
+    s.shape.bottom = {140, 36, 56};
+    specs.push_back(s);
+  }
+  // "loot"-like: slim subject, dark jacket.
+  {
+    SubjectSpec s;
+    s.info = {"loot", "slim subject in a dark jacket", 300, 780'000};
+    s.shape.height = 1.78F;
+    s.shape.shoulder_width = 0.44F;
+    s.shape.hip_width = 0.34F;
+    s.shape.top = {60, 58, 66};
+    s.shape.bottom = {70, 64, 58};
+    specs.push_back(s);
+  }
+  // "redandblack"-like: red top, black bottom.
+  {
+    SubjectSpec s;
+    s.info = {"redandblack", "subject in red top and black trousers", 300,
+              700'000};
+    s.shape.height = 1.65F;
+    s.shape.shoulder_width = 0.40F;
+    s.shape.hip_width = 0.37F;
+    s.shape.top = {168, 34, 40};
+    s.shape.bottom = {28, 26, 30};
+    specs.push_back(s);
+  }
+  // "soldier"-like: broad subject, olive uniform.
+  {
+    SubjectSpec s;
+    s.info = {"soldier", "broad subject in an olive uniform", 300, 1'000'000};
+    s.shape.height = 1.82F;
+    s.shape.shoulder_width = 0.48F;
+    s.shape.hip_width = 0.38F;
+    s.shape.top = {88, 96, 64};
+    s.shape.bottom = {76, 82, 56};
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+}  // namespace
+
+std::vector<SubjectInfo> catalog_subjects() {
+  std::vector<SubjectInfo> out;
+  for (const auto& spec : subject_specs()) out.push_back(spec.info);
+  return out;
+}
+
+Result<std::shared_ptr<FrameSource>> open_subject(const std::string& name,
+                                                  std::uint64_t seed,
+                                                  double scale) {
+  for (const auto& spec : subject_specs()) {
+    if (spec.info.name != name) continue;
+    SyntheticBodyParams params;
+    params.shape = spec.shape;
+    params.sample_count = static_cast<std::size_t>(std::max(
+        1.0, std::round(static_cast<double>(spec.info.sample_count) * scale)));
+    // 30 fps walk cycle ~1 s: 30 frames per cycle.
+    return std::shared_ptr<FrameSource>(std::make_shared<SyntheticSequence>(
+        spec.info.name, params, spec.info.frames, 30, seed));
+  }
+  return Status::NotFound("unknown subject: " + name);
+}
+
+std::shared_ptr<FrameSource> open_test_subject(std::uint64_t seed) {
+  SyntheticBodyParams params;
+  params.sample_count = 20'000;
+  params.voxel_bits = 8;
+  return std::make_shared<SyntheticSequence>("test", params, 64, 16, seed);
+}
+
+}  // namespace arvis

@@ -1,0 +1,36 @@
+// Catalog of built-in synthetic subjects mirroring the four 8i Voxelized
+// Full Bodies sequences (longdress, loot, redandblack, soldier): same subject
+// count, same 300-frame sequence length, point-count scale in the same
+// 7e5–1e6 band at 10-bit voxelization, distinct clothing colors and builds.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/frame_source.hpp"
+
+namespace arvis {
+
+/// Descriptor of one catalog subject.
+struct SubjectInfo {
+  std::string name;
+  std::string description;
+  std::size_t frames = 300;   // 8iVFB sequences are 300 frames at 30 fps
+  std::size_t sample_count = 0;  // pre-voxelization surface samples
+};
+
+/// The four built-in subjects.
+std::vector<SubjectInfo> catalog_subjects();
+
+/// Opens a built-in subject as a frame source.
+/// `scale` multiplies the per-frame sample count (use < 1 for fast tests).
+/// Returns NotFound for an unknown name.
+Result<std::shared_ptr<FrameSource>> open_subject(const std::string& name,
+                                                  std::uint64_t seed = 8,
+                                                  double scale = 1.0);
+
+/// A small, fast subject for unit tests (~20k samples, 64 frames).
+std::shared_ptr<FrameSource> open_test_subject(std::uint64_t seed = 8);
+
+}  // namespace arvis

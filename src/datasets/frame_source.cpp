@@ -1,0 +1,83 @@
+#include "datasets/frame_source.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "pointcloud/ply_io.hpp"
+
+namespace arvis {
+
+SyntheticSequence::SyntheticSequence(std::string subject_name,
+                                     SyntheticBodyParams params,
+                                     std::size_t frame_count,
+                                     std::size_t frames_per_cycle,
+                                     std::uint64_t seed)
+    : subject_name_(std::move(subject_name)), params_(params),
+      frame_count_(frame_count), frames_per_cycle_(frames_per_cycle),
+      seed_(seed) {
+  if (frame_count_ == 0 || frames_per_cycle_ == 0) {
+    throw std::invalid_argument(
+        "SyntheticSequence: frame_count and frames_per_cycle must be > 0");
+  }
+}
+
+PointCloud SyntheticSequence::frame(std::size_t index) const {
+  const std::size_t i = index % frame_count_;
+  const float phase = static_cast<float>(i % frames_per_cycle_) /
+                      static_cast<float>(frames_per_cycle_);
+  // Per-frame deterministic stream: seed ⊕ frame index through SplitMix.
+  Rng rng(SplitMix64(seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1))).next());
+  return synthesize_body(params_, walk_pose(phase), rng);
+}
+
+Result<PlySequence> PlySequence::open(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::NotFound("not a directory: " + directory);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ply") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (paths.empty()) {
+    return Status::NotFound("no .ply files in: " + directory);
+  }
+  std::sort(paths.begin(), paths.end());
+  return PlySequence(directory, std::move(paths));
+}
+
+PointCloud PlySequence::frame(std::size_t index) const {
+  const std::size_t i = index % paths_.size();
+  if (cache_ && cache_->first == i) return cache_->second;
+  auto cloud = read_ply_file(paths_[i]);
+  if (!cloud) {
+    throw std::runtime_error("PlySequence: failed to read " + paths_[i] + ": " +
+                             cloud.status().to_string());
+  }
+  cache_ = {i, *cloud};
+  return cache_->second;
+}
+
+MemorySequence::MemorySequence(std::string name, std::vector<PointCloud> frames)
+    : name_(std::move(name)), frames_(std::move(frames)) {
+  if (frames_.empty()) {
+    throw std::invalid_argument("MemorySequence: frames must be non-empty");
+  }
+}
+
+PointCloud MemorySequence::frame(std::size_t index) const {
+  return frames_[index % frames_.size()];
+}
+
+MemorySequence materialize(const FrameSource& source, std::size_t count) {
+  std::vector<PointCloud> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) frames.push_back(source.frame(i));
+  return MemorySequence(source.name() + ":materialized", std::move(frames));
+}
+
+}  // namespace arvis

@@ -1,0 +1,106 @@
+// Frame sources: the abstraction the simulation pulls point-cloud frames
+// from. Either a synthetic animated subject (default, no data dependency) or
+// a directory of PLY files (drop-in for the real 8iVFB download).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "datasets/synthetic_body.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// Produces a (finite or cyclic) sequence of point-cloud frames.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  /// Total frames in one pass of the sequence; 0 means unbounded.
+  [[nodiscard]] virtual std::size_t frame_count() const noexcept = 0;
+
+  /// Returns frame `index` (sources with frame_count() > 0 take
+  /// index % frame_count(), i.e. sequences loop — 8iVFB sequences are
+  /// commonly looped in streaming evaluations).
+  [[nodiscard]] virtual PointCloud frame(std::size_t index) const = 0;
+
+  /// Human-readable identifier ("synthetic:longdress", "ply:/data/loot").
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Synthetic subject walking in place; frame i uses walk phase
+/// i/frames_per_cycle. Deterministic: frame(i) depends only on (params, seed,
+/// i), so random access is reproducible.
+class SyntheticSequence final : public FrameSource {
+ public:
+  SyntheticSequence(std::string subject_name, SyntheticBodyParams params,
+                    std::size_t frame_count, std::size_t frames_per_cycle,
+                    std::uint64_t seed);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept override {
+    return frame_count_;
+  }
+  [[nodiscard]] PointCloud frame(std::size_t index) const override;
+  [[nodiscard]] std::string name() const override {
+    return "synthetic:" + subject_name_;
+  }
+
+  [[nodiscard]] const SyntheticBodyParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  std::string subject_name_;
+  SyntheticBodyParams params_;
+  std::size_t frame_count_;
+  std::size_t frames_per_cycle_;
+  std::uint64_t seed_;
+};
+
+/// Frames loaded from PLY files (sorted paths). All frames are read lazily;
+/// a small LRU-of-one cache keeps sequential access cheap.
+class PlySequence final : public FrameSource {
+ public:
+  /// Loads the file list (not the data). Returns NotFound if no .ply files.
+  static Result<PlySequence> open(const std::string& directory);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept override {
+    return paths_.size();
+  }
+  [[nodiscard]] PointCloud frame(std::size_t index) const override;
+  [[nodiscard]] std::string name() const override { return "ply:" + directory_; }
+
+ private:
+  PlySequence(std::string directory, std::vector<std::string> paths)
+      : directory_(std::move(directory)), paths_(std::move(paths)) {}
+
+  std::string directory_;
+  std::vector<std::string> paths_;
+  mutable std::optional<std::pair<std::size_t, PointCloud>> cache_;
+};
+
+/// A pre-materialized sequence (frames held in memory). Used by tests and by
+/// benchmarks that cannot afford per-frame synthesis inside the timed region.
+class MemorySequence final : public FrameSource {
+ public:
+  MemorySequence(std::string name, std::vector<PointCloud> frames);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept override {
+    return frames_.size();
+  }
+  [[nodiscard]] PointCloud frame(std::size_t index) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<PointCloud> frames_;
+};
+
+/// Materializes `count` frames of `source` into a MemorySequence.
+MemorySequence materialize(const FrameSource& source, std::size_t count);
+
+}  // namespace arvis

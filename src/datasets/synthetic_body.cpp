@@ -1,0 +1,79 @@
+#include "datasets/synthetic_body.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pointcloud/voxel_grid.hpp"
+
+namespace arvis {
+namespace {
+
+/// Cheap 3D value-noise hash for procedural cloth texture (deterministic,
+/// continuous enough at millimeter scale for our purpose).
+float texture_noise(const Vec3f& p) noexcept {
+  const float s = std::sin(dot(p, Vec3f{127.1F, 311.7F, 74.7F})) * 43758.5453F;
+  return s - std::floor(s);  // [0,1)
+}
+
+std::uint8_t clamp_channel(float v) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0F, 255.0F));
+}
+
+}  // namespace
+
+PointCloud synthesize_body(const SyntheticBodyParams& params, const Pose& pose,
+                           Rng& rng) {
+  const std::vector<BodyPrimitive> prims = build_body(params.shape, pose);
+
+  // Area-weighted primitive selection via cumulative areas.
+  std::vector<float> cumulative;
+  cumulative.reserve(prims.size());
+  float total_area = 0.0F;
+  for (const BodyPrimitive& prim : prims) {
+    total_area += prim.surface_area();
+    cumulative.push_back(total_area);
+  }
+
+  PointCloud cloud;
+  cloud.reserve(params.sample_count);
+  for (std::size_t i = 0; i < params.sample_count; ++i) {
+    const float pick = rng.next_float() * total_area;
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), pick);
+    const std::size_t prim_index =
+        std::min(static_cast<std::size_t>(it - cumulative.begin()),
+                 prims.size() - 1);
+    const BodyPrimitive& prim = prims[prim_index];
+
+    Vec3f p = prim.sample_surface(rng);
+    if (params.noise_stddev > 0.0F) {
+      p += Vec3f{static_cast<float>(rng.normal(0.0, params.noise_stddev)),
+                 static_cast<float>(rng.normal(0.0, params.noise_stddev)),
+                 static_cast<float>(rng.normal(0.0, params.noise_stddev))};
+    }
+
+    // Base color + procedural texture + slight capture noise.
+    const float tex =
+        (texture_noise(p * 37.0F) - 0.5F) * params.color_texture_amplitude;
+    const auto jitter = [&rng]() {
+      return static_cast<float>(rng.normal(0.0, 2.0));
+    };
+    const Color8 c{clamp_channel(static_cast<float>(prim.base_color.r) + tex + jitter()),
+                   clamp_channel(static_cast<float>(prim.base_color.g) + tex + jitter()),
+                   clamp_channel(static_cast<float>(prim.base_color.b) + tex + jitter())};
+    cloud.add_point(p, c);
+  }
+
+  if (params.voxel_bits > 0) {
+    // Fixed cube over the subject's working volume so all frames of a
+    // sequence share one grid (as the real dataset does).
+    const float side = 1.2F * params.shape.height;
+    Aabb cube;
+    cube.expand(Vec3f{-side * 0.5F, 0.0F, -side * 0.5F});
+    cube.expand(Vec3f{side * 0.5F, side, side * 0.5F});
+    const VoxelGrid grid(cube, params.voxel_bits);
+    return voxelize(cloud, grid).to_point_cloud();
+  }
+  return cloud;
+}
+
+}  // namespace arvis

@@ -1,0 +1,36 @@
+// Point-cloud synthesis from the parametric body model: area-weighted
+// surface sampling, color/texture detail, sensor-style noise, and 8iVFB-style
+// voxelized output.
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/body_model.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// Parameters for one synthesized frame.
+struct SyntheticBodyParams {
+  BodyShape shape;
+  /// Surface points to sample before voxelization. The real 8iVFB frames
+  /// carry ~7e5–1e6 voxels; sampling ~1.5x the target voxel count at 10-bit
+  /// resolution reproduces that density.
+  std::size_t sample_count = 900'000;
+  /// Gaussian surface noise (meters), mimicking capture noise. ~1-2mm real.
+  float noise_stddev = 0.0015F;
+  /// Color detail: amplitude of procedural per-point color variation (adds
+  /// cloth texture so LODs average visibly different colors).
+  float color_texture_amplitude = 18.0F;
+  /// When > 0, quantize the cloud onto a 2^voxel_bits grid over a fixed
+  /// 1.2·height cube (one point per occupied voxel), matching the dataset's
+  /// "voxelized" distribution form. 0 = raw samples.
+  int voxel_bits = 10;
+};
+
+/// Synthesizes one frame in the given pose. Deterministic in (params, pose,
+/// rng state). The returned cloud always has colors.
+PointCloud synthesize_body(const SyntheticBodyParams& params, const Pose& pose,
+                           Rng& rng);
+
+}  // namespace arvis

@@ -1,0 +1,26 @@
+#include "delay/device_profile.hpp"
+
+#include <stdexcept>
+
+namespace arvis {
+
+std::vector<DeviceProfile> builtin_device_profiles() {
+  return {
+      // points/ms throughputs chosen so a ~7e5-point 8iVFB frame takes
+      // ~300 ms on a low phone, ~40 ms on a flagship, ~8 ms on an edge GPU —
+      // the regime where depth adaptation matters at 30 fps slots.
+      {"phone-low", 2'500.0, 4.0},
+      {"phone-high", 20'000.0, 2.0},
+      {"tablet", 35'000.0, 2.0},
+      {"edge-gpu", 100'000.0, 1.0},
+  };
+}
+
+DeviceProfile device_profile(const std::string& name) {
+  for (const DeviceProfile& p : builtin_device_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown device profile: " + name);
+}
+
+}  // namespace arvis

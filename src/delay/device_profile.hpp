@@ -1,0 +1,48 @@
+// Rendering-delay models and device profiles.
+//
+// Substitute for the authors' testbed (DESIGN.md §2): a device profile maps
+// a point count to the milliseconds a renderer of that class needs to draw
+// it. Profiles are calibrated against the software rasterizer in
+// src/render/ (see bench_fig1_depth_resolution and render_test), preserving
+// the affine shape — fixed per-frame setup plus per-point throughput — that
+// drives the delay side of the tradeoff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace arvis {
+
+/// Rendering throughput class of a device.
+struct DeviceProfile {
+  std::string name;
+  /// Points the renderer processes per millisecond (steady-state).
+  double points_per_ms = 1000.0;
+  /// Fixed per-frame overhead (culling, upload, swap) in milliseconds.
+  double setup_ms = 2.0;
+
+  /// Estimated time to render one frame of `points` points.
+  [[nodiscard]] double render_ms(double points) const noexcept {
+    return setup_ms + points / points_per_ms;
+  }
+
+  /// Points renderable per `slot_ms`-millisecond time slot (service rate for
+  /// the queueing model), net of setup overhead. Never negative.
+  [[nodiscard]] double service_points_per_slot(double slot_ms) const noexcept {
+    const double budget = slot_ms - setup_ms;
+    return budget > 0.0 ? budget * points_per_ms : 0.0;
+  }
+};
+
+/// Built-in profiles spanning the device range of edge AR:
+///   "phone-low"   — low-end phone CPU renderer
+///   "phone-high"  — flagship phone GPU renderer
+///   "tablet"      — tablet-class GPU
+///   "edge-gpu"    — edge-server discrete GPU
+std::vector<DeviceProfile> builtin_device_profiles();
+
+/// Looks up a built-in profile by name; throws std::invalid_argument when
+/// unknown (programming error: names are compile-time constants in benches).
+DeviceProfile device_profile(const std::string& name);
+
+}  // namespace arvis

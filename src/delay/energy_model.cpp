@@ -1,0 +1,27 @@
+#include "delay/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace arvis {
+
+std::vector<EnergyModel> builtin_energy_models() {
+  return {
+      // idle J/slot (33 ms), J/point — the *rendering-attributable* draw,
+      // not whole-platform power, so the workload term dominates and the
+      // energy budget is a real lever. Phones have the smallest idle floor
+      // but are far less efficient per point than an edge GPU.
+      {"phone-low", 0.002, 8.0e-7},
+      {"phone-high", 0.002, 2.5e-7},
+      {"tablet", 0.003, 2.0e-7},
+      {"edge-gpu", 0.010, 6.0e-8},
+  };
+}
+
+EnergyModel energy_model(const std::string& name) {
+  for (const EnergyModel& m : builtin_energy_models()) {
+    if (m.name == name) return m;
+  }
+  throw std::invalid_argument("unknown energy model: " + name);
+}
+
+}  // namespace arvis

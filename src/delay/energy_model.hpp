@@ -1,0 +1,40 @@
+// Per-slot rendering energy model for mobile devices.
+//
+// Extension substrate (DESIGN.md Ablation/extension features): the paper's
+// framework generalizes to additional time-average constraints via virtual
+// queues (its ref. [5] is exactly the energy-delay tradeoff). This model
+// maps a depth decision to the Joules the renderer draws in that slot, so a
+// battery budget can be enforced alongside the delay constraint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace arvis {
+
+/// Affine energy model: e(points) = idle + per_point * points.
+/// Representative of mobile GPU power: a fixed platform floor plus work
+/// proportional to fragments processed.
+struct EnergyModel {
+  std::string name = "default";
+  /// Baseline platform energy per slot (J), drawn regardless of workload.
+  double idle_j_per_slot = 0.02;
+  /// Incremental energy per rendered point (J).
+  double j_per_point = 2.0e-7;
+
+  /// Energy drawn in a slot that renders `points` points.
+  [[nodiscard]] double slot_energy_j(double points) const noexcept {
+    return idle_j_per_slot + j_per_point * points;
+  }
+};
+
+/// Energy models matched to the built-in device profiles (phone-low,
+/// phone-high, tablet, edge-gpu). Faster devices draw more per slot but
+/// less per point.
+std::vector<EnergyModel> builtin_energy_models();
+
+/// Looks up a built-in model by name; throws std::invalid_argument when
+/// unknown.
+EnergyModel energy_model(const std::string& name);
+
+}  // namespace arvis

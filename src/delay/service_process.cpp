@@ -1,0 +1,82 @@
+#include "delay/service_process.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace arvis {
+
+ConstantService::ConstantService(double rate) : rate_(rate) {
+  if (rate < 0.0) {
+    throw std::invalid_argument("ConstantService: rate must be >= 0");
+  }
+}
+
+JitteredService::JitteredService(double rate, double cv, Rng rng)
+    : rate_(rate), cv_(cv), rng_(rng) {
+  if (rate < 0.0 || cv < 0.0 || cv > 1.0) {
+    throw std::invalid_argument(
+        "JitteredService: need rate >= 0 and cv in [0, 1]");
+  }
+}
+
+double JitteredService::next_service() {
+  return std::max(0.0, rng_.normal(rate_, cv_ * rate_));
+}
+
+MarkovModulatedService::MarkovModulatedService(double fast_rate,
+                                               double slow_rate,
+                                               double p_fast_to_slow,
+                                               double p_slow_to_fast, Rng rng)
+    : fast_rate_(fast_rate), slow_rate_(slow_rate), p_fs_(p_fast_to_slow),
+      p_sf_(p_slow_to_fast), rng_(rng) {
+  if (fast_rate < slow_rate || slow_rate < 0.0) {
+    throw std::invalid_argument(
+        "MarkovModulatedService: need fast_rate >= slow_rate >= 0");
+  }
+  if (p_fs_ < 0.0 || p_fs_ > 1.0 || p_sf_ < 0.0 || p_sf_ > 1.0) {
+    throw std::invalid_argument(
+        "MarkovModulatedService: probabilities must be in [0, 1]");
+  }
+}
+
+double MarkovModulatedService::next_service() {
+  const double service = fast_state_ ? fast_rate_ : slow_rate_;
+  // Transition after serving (state applies to the current slot).
+  if (fast_state_) {
+    if (rng_.bernoulli(p_fs_)) fast_state_ = false;
+  } else {
+    if (rng_.bernoulli(p_sf_)) fast_state_ = true;
+  }
+  return service;
+}
+
+double MarkovModulatedService::mean_rate() const {
+  // Stationary distribution of the two-state chain.
+  const double denom = p_fs_ + p_sf_;
+  if (denom <= 0.0) return fast_rate_;  // absorbing start state
+  const double pi_fast = p_sf_ / denom;
+  return pi_fast * fast_rate_ + (1.0 - pi_fast) * slow_rate_;
+}
+
+TraceService::TraceService(std::vector<double> trace)
+    : trace_(std::move(trace)) {
+  if (trace_.empty()) {
+    throw std::invalid_argument("TraceService: trace must be non-empty");
+  }
+  for (double v : trace_) {
+    if (v < 0.0) {
+      throw std::invalid_argument("TraceService: rates must be >= 0");
+    }
+  }
+  mean_ = std::accumulate(trace_.begin(), trace_.end(), 0.0) /
+          static_cast<double>(trace_.size());
+}
+
+double TraceService::next_service() {
+  const double v = trace_[cursor_];
+  cursor_ = (cursor_ + 1) % trace_.size();
+  return v;
+}
+
+}  // namespace arvis

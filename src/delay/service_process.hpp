@@ -1,0 +1,96 @@
+// Service processes b(t): how much queued work a renderer retires per slot.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace arvis {
+
+/// Interface: per-slot service capacity (work units). Stateful processes
+/// advance on each call; calls are one per simulation slot.
+class ServiceProcess {
+ public:
+  virtual ~ServiceProcess() = default;
+
+  /// Service available in slot t. Must be >= 0.
+  [[nodiscard]] virtual double next_service() = 0;
+
+  /// Long-run mean service rate (for stability-region analysis).
+  [[nodiscard]] virtual double mean_rate() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Constant service: b(t) = rate.
+class ConstantService final : public ServiceProcess {
+ public:
+  explicit ConstantService(double rate);
+
+  [[nodiscard]] double next_service() override { return rate_; }
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+
+ private:
+  double rate_;
+};
+
+/// Truncated-normal jitter around a mean rate (renderer contention noise):
+/// b(t) = max(0, N(rate, cv*rate)).
+class JitteredService final : public ServiceProcess {
+ public:
+  /// cv = coefficient of variation (stddev / mean), in [0, 1].
+  JitteredService(double rate, double cv, Rng rng);
+
+  [[nodiscard]] double next_service() override;
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override { return "jittered"; }
+
+ private:
+  double rate_;
+  double cv_;
+  Rng rng_;
+};
+
+/// Two-state Markov-modulated service (e.g. thermal throttling: a fast state
+/// and a slow state with geometric dwell times).
+class MarkovModulatedService final : public ServiceProcess {
+ public:
+  /// `p_fast_to_slow` / `p_slow_to_fast` are per-slot transition
+  /// probabilities. Starts in the fast state.
+  MarkovModulatedService(double fast_rate, double slow_rate,
+                         double p_fast_to_slow, double p_slow_to_fast, Rng rng);
+
+  [[nodiscard]] double next_service() override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] std::string name() const override { return "markov"; }
+
+  [[nodiscard]] bool in_fast_state() const noexcept { return fast_state_; }
+
+ private:
+  double fast_rate_;
+  double slow_rate_;
+  double p_fs_;
+  double p_sf_;
+  bool fast_state_ = true;
+  Rng rng_;
+};
+
+/// Replays a fixed trace, cycling when exhausted.
+class TraceService final : public ServiceProcess {
+ public:
+  explicit TraceService(std::vector<double> trace);
+
+  [[nodiscard]] double next_service() override;
+  [[nodiscard]] double mean_rate() const override { return mean_; }
+  [[nodiscard]] std::string name() const override { return "trace"; }
+
+ private:
+  std::vector<double> trace_;
+  std::size_t cursor_ = 0;
+  double mean_ = 0.0;
+};
+
+}  // namespace arvis

@@ -1,0 +1,91 @@
+#include "delay/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "octree/occupancy_codec.hpp"
+
+namespace arvis {
+namespace {
+
+double clamped_at(const std::vector<double>& table, int depth) {
+  if (table.empty()) return 0.0;
+  const int last = static_cast<int>(table.size()) - 1;
+  return table[static_cast<std::size_t>(std::clamp(depth, 0, last))];
+}
+
+void require_non_decreasing(const std::vector<double>& table, const char* what) {
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    if (table[i] < table[i - 1]) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": workload must be non-decreasing in depth");
+    }
+  }
+}
+
+}  // namespace
+
+PointWorkload::PointWorkload(std::vector<double> points_at_depth)
+    : points_at_depth_(std::move(points_at_depth)) {
+  if (points_at_depth_.empty()) {
+    throw std::invalid_argument("PointWorkload: table must be non-empty");
+  }
+  require_non_decreasing(points_at_depth_, "PointWorkload");
+}
+
+double PointWorkload::arrivals(int depth) const {
+  return clamped_at(points_at_depth_, depth);
+}
+
+ByteWorkload::ByteWorkload(std::vector<double> bytes_at_depth)
+    : bytes_at_depth_(std::move(bytes_at_depth)) {
+  if (bytes_at_depth_.empty()) {
+    throw std::invalid_argument("ByteWorkload: table must be non-empty");
+  }
+  require_non_decreasing(bytes_at_depth_, "ByteWorkload");
+}
+
+double ByteWorkload::arrivals(int depth) const {
+  return clamped_at(bytes_at_depth_, depth);
+}
+
+GeometricWorkload::GeometricWorkload(int d_min, double base, double growth)
+    : d_min_(d_min), base_(base), growth_(growth) {
+  if (base <= 0.0 || growth < 1.0) {
+    throw std::invalid_argument(
+        "GeometricWorkload: base must be > 0 and growth >= 1");
+  }
+}
+
+double GeometricWorkload::arrivals(int depth) const {
+  return base_ * std::pow(growth_, std::max(0, depth - d_min_));
+}
+
+double FrameWorkload::points(int depth) const {
+  return clamped_at(points_at_depth, depth);
+}
+
+double FrameWorkload::bytes(int depth) const {
+  return clamped_at(bytes_at_depth, depth);
+}
+
+FrameWorkload compute_frame_workload(const Octree& tree) {
+  FrameWorkload w;
+  w.max_depth = tree.max_depth();
+  const std::vector<std::size_t> profile = tree.occupancy_profile();
+  w.points_at_depth.reserve(profile.size());
+  for (std::size_t cells : profile) {
+    w.points_at_depth.push_back(static_cast<double>(cells));
+  }
+  // Occupancy bytes to depth d = cumulative nodes of levels 0..d-1.
+  w.bytes_at_depth.resize(profile.size(), 0.0);
+  double cumulative = 0.0;
+  for (std::size_t d = 1; d < profile.size(); ++d) {
+    cumulative += static_cast<double>(profile[d - 1]);
+    w.bytes_at_depth[d] = cumulative;
+  }
+  return w;
+}
+
+}  // namespace arvis

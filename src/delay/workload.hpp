@@ -1,0 +1,86 @@
+// Workload maps a(d): the queue arrivals induced by choosing octree depth d.
+//
+// In the paper, choosing a deeper octree makes each frame carry more points,
+// which the (mobile) renderer must work through — so the natural workload
+// unit is "points enqueued for rendering". The WorkloadMap abstraction also
+// admits bytes (for the streaming experiments) or estimated milliseconds.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "octree/depth_stats.hpp"
+
+namespace arvis {
+
+/// Interface: arrivals a(d) added to the queue when depth d is chosen.
+class WorkloadMap {
+ public:
+  virtual ~WorkloadMap() = default;
+
+  /// Arrival amount for depth d (work units/slot). Must be non-decreasing in
+  /// d over the candidate range (more depth never costs less work).
+  [[nodiscard]] virtual double arrivals(int depth) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Arrivals = rendered point count at depth d, from a per-frame depth table.
+class PointWorkload final : public WorkloadMap {
+ public:
+  /// `points_at_depth[d]` = occupied voxels at depth d (slot 0 = root).
+  explicit PointWorkload(std::vector<double> points_at_depth);
+
+  [[nodiscard]] double arrivals(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "points"; }
+
+ private:
+  std::vector<double> points_at_depth_;
+};
+
+/// Arrivals = occupancy-coded bytes to depth d (network workload).
+class ByteWorkload final : public WorkloadMap {
+ public:
+  explicit ByteWorkload(std::vector<double> bytes_at_depth);
+
+  [[nodiscard]] double arrivals(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "bytes"; }
+
+ private:
+  std::vector<double> bytes_at_depth_;
+};
+
+/// Closed-form workload a(d) = base * growth^(d - d_min), the idealized
+/// octree growth law (occupancy multiplies by ~4 per level on a 2-manifold
+/// surface). Used by analytical tests and fast simulations.
+class GeometricWorkload final : public WorkloadMap {
+ public:
+  GeometricWorkload(int d_min, double base, double growth);
+
+  [[nodiscard]] double arrivals(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "geometric"; }
+
+ private:
+  int d_min_;
+  double base_;
+  double growth_;
+};
+
+/// Per-frame workload + quality tables extracted once from an octree, the
+/// bundle the simulator passes to the controller each slot.
+struct FrameWorkload {
+  /// points_at_depth[d] for d in [0, max_depth]; slot 0 = 1 (root).
+  std::vector<double> points_at_depth;
+  /// occupancy bytes to depth d; slot 0 = 0.
+  std::vector<double> bytes_at_depth;
+  int max_depth = 0;
+
+  [[nodiscard]] double points(int depth) const;
+  [[nodiscard]] double bytes(int depth) const;
+};
+
+/// Extracts a FrameWorkload from an octree (O(D·N)).
+FrameWorkload compute_frame_workload(const Octree& tree);
+
+}  // namespace arvis

@@ -1,0 +1,67 @@
+#include "lyapunov/adaptive_v.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "lyapunov/drift_plus_penalty.hpp"
+
+namespace arvis {
+
+AdaptiveVDepthController::AdaptiveVDepthController(const Options& options)
+    : options_(options), v_(options.initial_v) {
+  if (options.initial_v < 0.0 || options.target_backlog <= 0.0) {
+    throw std::invalid_argument(
+        "AdaptiveVDepthController: need initial_v >= 0 and target > 0");
+  }
+  if (options.gain <= 0.0 || options.gain > 1.0) {
+    throw std::invalid_argument(
+        "AdaptiveVDepthController: gain must be in (0, 1]");
+  }
+  if (options.backlog_smoothing <= 0.0 || options.backlog_smoothing > 1.0) {
+    throw std::invalid_argument(
+        "AdaptiveVDepthController: backlog_smoothing must be in (0, 1]");
+  }
+  if (options.v_min <= 0.0 || options.v_min > options.v_max) {
+    throw std::invalid_argument(
+        "AdaptiveVDepthController: need 0 < v_min <= v_max");
+  }
+  v_ = std::clamp(v_, options_.v_min, options_.v_max);
+}
+
+int AdaptiveVDepthController::decide(const std::vector<int>& candidates,
+                                     const DepthContext& context) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("AdaptiveVDepthController: empty candidates");
+  }
+  if (context.quality == nullptr || context.workload == nullptr) {
+    throw std::invalid_argument(
+        "AdaptiveVDepthController: context requires quality and workload");
+  }
+
+  // Inner loop: plain eq. (3) with the current V.
+  utility_.resize(candidates.size());
+  arrivals_.resize(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    utility_[i] = context.quality->quality(candidates[i]);
+    arrivals_[i] = context.workload->arrivals(candidates[i]);
+  }
+  const DppDecision decision = drift_plus_penalty_argmax(
+      utility_, arrivals_, v_, context.queue_backlog);
+
+  // Outer loop: steer V so the smoothed backlog meets the target.
+  if (!seeded_) {
+    smoothed_backlog_ = context.queue_backlog;
+    seeded_ = true;
+  } else {
+    smoothed_backlog_ += options_.backlog_smoothing *
+                         (context.queue_backlog - smoothed_backlog_);
+  }
+  const double ratio = smoothed_backlog_ / options_.target_backlog;
+  v_ = std::clamp(v_ * std::exp(options_.gain * (1.0 - ratio)),
+                  options_.v_min, options_.v_max);
+
+  return candidates[decision.index];
+}
+
+}  // namespace arvis

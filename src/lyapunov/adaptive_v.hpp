@@ -1,0 +1,59 @@
+// Adaptive-V controller: an extension the paper leaves open.
+//
+// Eq. (3)'s V is a free parameter; the paper picks it offline. In
+// deployment the right V depends on the (unknown, drifting) workload and
+// service rates. This controller wraps the drift-plus-penalty rule with a
+// multiplicative-update outer loop steering V so the *running time-average
+// backlog* tracks a caller-chosen delay target — turning the abstract knob
+// into an operational SLO ("keep average queueing near X work units").
+//
+// Update (per slot, after observing Q(t)):
+//   Q̃(t) ← EWMA of Q (smoothing alpha)      [not the all-time mean: a
+//            cumulative average winds up after transients and pins V]
+//   V(t+1) = clamp(V(t) · exp(gain · (1 − Q̃(t)/target)), v_min, v_max)
+//
+// Multiplicative in log-space so V can travel decades quickly yet settle
+// smoothly; gain trades convergence speed for oscillation.
+#pragma once
+
+#include "lyapunov/depth_controller.hpp"
+
+namespace arvis {
+
+class AdaptiveVDepthController final : public DepthController {
+ public:
+  struct Options {
+    double initial_v = 1.0;
+    /// Desired time-average backlog (work units). Must be > 0.
+    double target_backlog = 1'000.0;
+    /// Log-space step size per slot, in (0, 1].
+    double gain = 0.02;
+    /// EWMA smoothing factor for the observed backlog, in (0, 1].
+    /// 1/alpha ≈ the averaging window in slots.
+    double backlog_smoothing = 0.01;
+    double v_min = 1e-6;
+    double v_max = 1e18;
+  };
+
+  explicit AdaptiveVDepthController(const Options& options);
+
+  [[nodiscard]] int decide(const std::vector<int>& candidates,
+                           const DepthContext& context) override;
+  [[nodiscard]] std::string name() const override { return "adaptive-v"; }
+
+  [[nodiscard]] double v() const noexcept { return v_; }
+  /// Smoothed (EWMA) backlog the outer loop is tracking.
+  [[nodiscard]] double smoothed_backlog() const noexcept {
+    return smoothed_backlog_;
+  }
+
+ private:
+  Options options_;
+  double v_;
+  double smoothed_backlog_ = 0.0;
+  bool seeded_ = false;
+  std::vector<double> utility_;
+  std::vector<double> arrivals_;
+};
+
+}  // namespace arvis

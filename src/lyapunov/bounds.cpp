@@ -1,0 +1,34 @@
+#include "lyapunov/bounds.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace arvis {
+
+DppBounds compute_dpp_bounds(const DppSystemConstants& constants, double v) {
+  if (constants.max_arrival < 0.0 || constants.max_service < 0.0) {
+    throw std::invalid_argument("compute_dpp_bounds: rates must be >= 0");
+  }
+  if (constants.max_utility < constants.min_utility) {
+    throw std::invalid_argument(
+        "compute_dpp_bounds: max_utility < min_utility");
+  }
+  if (v < 0.0) {
+    throw std::invalid_argument("compute_dpp_bounds: V must be >= 0");
+  }
+
+  DppBounds bounds;
+  bounds.drift_constant = 0.5 * (constants.max_arrival * constants.max_arrival +
+                                 constants.max_service * constants.max_service);
+  bounds.utility_gap_bound =
+      v > 0.0 ? bounds.drift_constant / v
+              : std::numeric_limits<double>::infinity();
+  const double delta_p = constants.max_utility - constants.min_utility;
+  bounds.backlog_bound =
+      constants.epsilon > 0.0
+          ? (bounds.drift_constant + v * delta_p) / constants.epsilon
+          : std::numeric_limits<double>::infinity();
+  return bounds;
+}
+
+}  // namespace arvis

@@ -1,0 +1,40 @@
+// Analytical performance bounds of drift-plus-penalty (Neely's theorem,
+// specialized to the depth-control system). These give the [O(1/V), O(V)]
+// tradeoff the V-sweep ablation verifies empirically:
+//
+//   time-average quality  >=  p* − B / V
+//   time-average backlog  <=  (B + V·(p_max − p_min)) / ε
+//
+// where B = (1/2)·(a_max² + b_max²) bounds the per-slot Lyapunov drift and
+// ε = b̄ − a(d_min) > 0 is the slack of the cheapest action.
+#pragma once
+
+namespace arvis {
+
+/// System constants the bounds are computed from.
+struct DppSystemConstants {
+  double max_arrival = 0.0;   // a_max: arrivals of the deepest candidate
+  double max_service = 0.0;   // b_max: per-slot service capacity bound
+  double min_utility = 0.0;   // p_a(d_min)
+  double max_utility = 0.0;   // p_a(d_max)
+  /// Stability slack of the cheapest action: mean service − a(d_min).
+  double epsilon = 0.0;
+};
+
+/// The analytic guarantees for a given V.
+struct DppBounds {
+  /// Lyapunov drift constant B.
+  double drift_constant = 0.0;
+  /// Upper bound on the optimality gap of time-average quality: B / V
+  /// (infinite when V == 0).
+  double utility_gap_bound = 0.0;
+  /// Upper bound on time-average backlog: (B + V·Δp) / ε (infinite when
+  /// ε <= 0, i.e. even the cheapest action is unsustainable).
+  double backlog_bound = 0.0;
+};
+
+/// Computes the bounds. Throws std::invalid_argument when constants are
+/// inconsistent (negative rates, max_utility < min_utility, V < 0).
+DppBounds compute_dpp_bounds(const DppSystemConstants& constants, double v);
+
+}  // namespace arvis

@@ -1,0 +1,133 @@
+#include "lyapunov/depth_controller.hpp"
+
+#include <stdexcept>
+
+#include "lyapunov/drift_plus_penalty.hpp"
+
+namespace arvis {
+namespace {
+
+void check_candidates(const std::vector<int>& candidates, const char* where) {
+  if (candidates.empty()) {
+    throw std::invalid_argument(std::string(where) + ": empty candidate set");
+  }
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i] <= candidates[i - 1]) {
+      throw std::invalid_argument(std::string(where) +
+                                  ": candidates must be strictly ascending");
+    }
+  }
+}
+
+void check_models(const DepthContext& context, const char* where) {
+  if (context.quality == nullptr || context.workload == nullptr) {
+    throw std::invalid_argument(std::string(where) +
+                                ": context requires quality and workload models");
+  }
+}
+
+void fill_tables(const std::vector<int>& candidates, const DepthContext& context,
+                 std::vector<double>& utility, std::vector<double>& arrivals) {
+  utility.resize(candidates.size());
+  arrivals.resize(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    utility[i] = context.quality->quality(candidates[i]);
+    arrivals[i] = context.workload->arrivals(candidates[i]);
+  }
+}
+
+}  // namespace
+
+LyapunovDepthController::LyapunovDepthController(double v) : v_(v) {
+  if (v < 0.0) {
+    throw std::invalid_argument("LyapunovDepthController: V must be >= 0");
+  }
+}
+
+void LyapunovDepthController::set_v(double v) {
+  if (v < 0.0) {
+    throw std::invalid_argument("LyapunovDepthController: V must be >= 0");
+  }
+  v_ = v;
+}
+
+int LyapunovDepthController::decide(const std::vector<int>& candidates,
+                                    const DepthContext& context) {
+  check_candidates(candidates, "LyapunovDepthController");
+  check_models(context, "LyapunovDepthController");
+  fill_tables(candidates, context, utility_, arrivals_);
+  const DppDecision decision = drift_plus_penalty_argmax(
+      utility_, arrivals_, v_, context.queue_backlog);
+  return candidates[decision.index];
+}
+
+int FixedDepthController::decide(const std::vector<int>& candidates,
+                                 const DepthContext& /*context*/) {
+  check_candidates(candidates, "FixedDepthController");
+  switch (mode_) {
+    case Mode::kMin: return candidates.front();
+    case Mode::kMax: return candidates.back();
+    case Mode::kSpecific: {
+      for (int c : candidates) {
+        if (c == depth_) return c;
+      }
+      throw std::invalid_argument("FixedDepthController: depth " +
+                                  std::to_string(depth_) +
+                                  " not in candidate set");
+    }
+  }
+  return candidates.front();
+}
+
+std::string FixedDepthController::name() const {
+  switch (mode_) {
+    case Mode::kMin: return "only-min-depth";
+    case Mode::kMax: return "only-max-depth";
+    case Mode::kSpecific: return "fixed-depth-" + std::to_string(depth_);
+  }
+  return "fixed";
+}
+
+int RandomDepthController::decide(const std::vector<int>& candidates,
+                                  const DepthContext& /*context*/) {
+  check_candidates(candidates, "RandomDepthController");
+  return candidates[rng_.below(candidates.size())];
+}
+
+ThresholdDepthController::ThresholdDepthController(double low_watermark,
+                                                   double high_watermark)
+    : low_(low_watermark), high_(high_watermark) {
+  if (low_ < 0.0 || high_ < low_) {
+    throw std::invalid_argument(
+        "ThresholdDepthController: need 0 <= low <= high");
+  }
+}
+
+int ThresholdDepthController::decide(const std::vector<int>& candidates,
+                                     const DepthContext& context) {
+  check_candidates(candidates, "ThresholdDepthController");
+  if (context.queue_backlog > high_) {
+    degraded_ = true;
+  } else if (context.queue_backlog < low_) {
+    degraded_ = false;
+  }
+  return degraded_ ? candidates.front() : candidates.back();
+}
+
+LiteralAlgorithm1Controller::LiteralAlgorithm1Controller(double v) : v_(v) {
+  if (v < 0.0) {
+    throw std::invalid_argument("LiteralAlgorithm1Controller: V must be >= 0");
+  }
+}
+
+int LiteralAlgorithm1Controller::decide(const std::vector<int>& candidates,
+                                        const DepthContext& context) {
+  check_candidates(candidates, "LiteralAlgorithm1Controller");
+  check_models(context, "LiteralAlgorithm1Controller");
+  fill_tables(candidates, context, utility_, arrivals_);
+  const DppDecision decision =
+      algorithm1_literal(utility_, arrivals_, v_, context.queue_backlog);
+  return candidates[decision.index];
+}
+
+}  // namespace arvis

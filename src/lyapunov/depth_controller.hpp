@@ -1,0 +1,134 @@
+// Depth controllers: the proposed Lyapunov controller and the comparison
+// policies (the paper's max-depth / min-depth controls plus extra baselines
+// for the ablation benches).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "delay/workload.hpp"
+#include "quality/quality_model.hpp"
+
+namespace arvis {
+
+/// Everything a controller may observe in one slot. Fully local information
+/// (own queue, own frame statistics) — this is what makes the scheme
+/// "fully distributed" (§II of the paper).
+struct DepthContext {
+  /// Current backlog Q(t) of this device's rendering queue.
+  double queue_backlog = 0.0;
+  /// Quality model p_a(·) for the current frame.
+  const QualityModel* quality = nullptr;
+  /// Workload map a(·) for the current frame.
+  const WorkloadMap* workload = nullptr;
+};
+
+/// Interface: per-slot octree depth decision.
+class DepthController {
+ public:
+  virtual ~DepthController() = default;
+
+  /// Chooses a depth from `candidates` (non-empty, sorted ascending).
+  /// `context.quality` and `context.workload` must be non-null for
+  /// controllers that use them (the Lyapunov, greedy and literal ones).
+  [[nodiscard]] virtual int decide(const std::vector<int>& candidates,
+                                   const DepthContext& context) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The proposed controller: eq. (3), d* = argmax V·p_a(d) − Q·a(d).
+class LyapunovDepthController final : public DepthController {
+ public:
+  /// V >= 0 (throws std::invalid_argument otherwise).
+  explicit LyapunovDepthController(double v);
+
+  [[nodiscard]] int decide(const std::vector<int>& candidates,
+                           const DepthContext& context) override;
+  [[nodiscard]] std::string name() const override { return "lyapunov"; }
+
+  [[nodiscard]] double v() const noexcept { return v_; }
+  /// Adjusts the tradeoff knob at runtime (exposed for the V-sweep bench).
+  void set_v(double v);
+
+ private:
+  double v_;
+  // Scratch buffers reused across slots to keep decide() allocation-free
+  // after warm-up (the O(N) claim is about time, but allocs would dominate).
+  std::vector<double> utility_;
+  std::vector<double> arrivals_;
+};
+
+/// Paper control "only max-Depth" / "only min-Depth", and any fixed depth.
+class FixedDepthController final : public DepthController {
+ public:
+  enum class Mode { kMin, kMax, kSpecific };
+
+  static FixedDepthController min_depth() { return FixedDepthController(Mode::kMin, 0); }
+  static FixedDepthController max_depth() { return FixedDepthController(Mode::kMax, 0); }
+  static FixedDepthController at(int depth) {
+    return FixedDepthController(Mode::kSpecific, depth);
+  }
+
+  [[nodiscard]] int decide(const std::vector<int>& candidates,
+                           const DepthContext& context) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  FixedDepthController(Mode mode, int depth) : mode_(mode), depth_(depth) {}
+
+  Mode mode_;
+  int depth_;
+};
+
+/// Uniform random choice each slot (sanity baseline).
+class RandomDepthController final : public DepthController {
+ public:
+  explicit RandomDepthController(Rng rng) : rng_(rng) {}
+
+  [[nodiscard]] int decide(const std::vector<int>& candidates,
+                           const DepthContext& context) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Reactive hysteresis baseline: max depth while Q < low, min depth once
+/// Q > high, hold the previous decision in between. The "obvious
+/// engineering fix" the Lyapunov scheme should beat on quality at equal
+/// stability (no theoretical guarantee, needs hand-tuned thresholds).
+class ThresholdDepthController final : public DepthController {
+ public:
+  /// Requires 0 <= low <= high.
+  ThresholdDepthController(double low_watermark, double high_watermark);
+
+  [[nodiscard]] int decide(const std::vector<int>& candidates,
+                           const DepthContext& context) override;
+  [[nodiscard]] std::string name() const override { return "threshold"; }
+
+ private:
+  double low_;
+  double high_;
+  bool degraded_ = false;
+};
+
+/// The paper's Algorithm 1 exactly as printed (with its min-vs-max erratum);
+/// see drift_plus_penalty.hpp. For the regression test only.
+class LiteralAlgorithm1Controller final : public DepthController {
+ public:
+  explicit LiteralAlgorithm1Controller(double v);
+
+  [[nodiscard]] int decide(const std::vector<int>& candidates,
+                           const DepthContext& context) override;
+  [[nodiscard]] std::string name() const override { return "algorithm1-literal"; }
+
+ private:
+  double v_;
+  std::vector<double> utility_;
+  std::vector<double> arrivals_;
+};
+
+}  // namespace arvis

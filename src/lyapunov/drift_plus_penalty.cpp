@@ -1,0 +1,57 @@
+#include "lyapunov/drift_plus_penalty.hpp"
+
+#include <stdexcept>
+
+namespace arvis {
+namespace {
+
+void check_inputs(std::span<const double> utility,
+                  std::span<const double> arrivals, double v,
+                  double queue_backlog, const char* where) {
+  if (utility.empty() || utility.size() != arrivals.size()) {
+    throw std::invalid_argument(std::string(where) +
+                                ": utility/arrivals must be equal-size, non-empty");
+  }
+  if (v < 0.0) {
+    throw std::invalid_argument(std::string(where) + ": V must be >= 0");
+  }
+  if (queue_backlog < 0.0) {
+    throw std::invalid_argument(std::string(where) + ": Q must be >= 0");
+  }
+}
+
+}  // namespace
+
+DppDecision drift_plus_penalty_argmax(std::span<const double> utility,
+                                      std::span<const double> arrivals,
+                                      double v, double queue_backlog) {
+  check_inputs(utility, arrivals, v, queue_backlog,
+               "drift_plus_penalty_argmax");
+  DppDecision best{0, v * utility[0] - queue_backlog * arrivals[0]};
+  for (std::size_t i = 1; i < utility.size(); ++i) {
+    const double objective = v * utility[i] - queue_backlog * arrivals[i];
+    if (objective > best.objective) {  // strict: ties keep the lower index
+      best = {i, objective};
+    }
+  }
+  return best;
+}
+
+DppDecision algorithm1_literal(std::span<const double> utility,
+                               std::span<const double> arrivals, double v,
+                               double queue_backlog) {
+  check_inputs(utility, arrivals, v, queue_backlog, "algorithm1_literal");
+  // Lines 5-11 of Algorithm 1, verbatim: I* starts at +inf and every action
+  // with I <= I* replaces the incumbent — a running MINIMUM, and with `<=`
+  // ties move to the LATER candidate.
+  DppDecision best{0, v * utility[0] - queue_backlog * arrivals[0]};
+  for (std::size_t i = 1; i < utility.size(); ++i) {
+    const double objective = v * utility[i] - queue_backlog * arrivals[i];
+    if (objective <= best.objective) {
+      best = {i, objective};
+    }
+  }
+  return best;
+}
+
+}  // namespace arvis

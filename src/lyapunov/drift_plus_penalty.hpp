@@ -1,0 +1,43 @@
+// The drift-plus-penalty decision rule — the paper's eq. (3) in its generic
+// form. Given a finite action set with per-action utility p(i) and queue
+// arrivals a(i), and the current backlog Q, pick
+//
+//     i* = argmax_i [ V · p(i) − Q · a(i) ]
+//
+// This one O(N) scan is the whole per-slot algorithm; everything else in the
+// library is substrate feeding it p, a and Q.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace arvis {
+
+/// Outcome of one drift-plus-penalty evaluation.
+struct DppDecision {
+  /// Index of the chosen action in the candidate arrays.
+  std::size_t index = 0;
+  /// Objective value V·p − Q·a of the chosen action.
+  double objective = 0.0;
+};
+
+/// Evaluates eq. (3) by exhaustive scan. Ties break toward the LOWER index;
+/// callers pass candidates sorted ascending by arrivals (i.e. by depth) so a
+/// tie resolves to the cheaper action, the stability-friendly choice.
+///
+/// Preconditions (throw std::invalid_argument): equal non-zero sizes,
+/// V >= 0, Q >= 0.
+DppDecision drift_plus_penalty_argmax(std::span<const double> utility,
+                                      std::span<const double> arrivals,
+                                      double v, double queue_backlog);
+
+/// The paper's Algorithm 1 **as literally printed** — including its erratum:
+/// it computes I = V·p(d) − Q·a(d) but then keeps the MINIMUM (`if I <= I*`),
+/// which inverts the intended argmax. Kept for documentation and for the
+/// regression test showing the literal pseudo-code contradicts Fig. 2
+/// (see DESIGN.md §1 "Paper erratum"). Never use in production paths.
+DppDecision algorithm1_literal(std::span<const double> utility,
+                               std::span<const double> arrivals, double v,
+                               double queue_backlog);
+
+}  // namespace arvis

@@ -1,0 +1,44 @@
+#include "lyapunov/multi_constraint.hpp"
+
+#include <stdexcept>
+
+namespace arvis {
+
+DppDecision multi_constraint_argmax(std::span<const double> utility,
+                                    std::span<const double> arrivals,
+                                    double v, double queue_backlog,
+                                    std::span<const ConstraintTerm> constraints) {
+  if (utility.empty() || utility.size() != arrivals.size()) {
+    throw std::invalid_argument(
+        "multi_constraint_argmax: utility/arrivals must be equal-size, "
+        "non-empty");
+  }
+  if (v < 0.0 || queue_backlog < 0.0) {
+    throw std::invalid_argument(
+        "multi_constraint_argmax: V and Q must be >= 0");
+  }
+  for (const ConstraintTerm& term : constraints) {
+    if (term.backlog < 0.0) {
+      throw std::invalid_argument(
+          "multi_constraint_argmax: constraint backlog must be >= 0");
+    }
+    if (term.usage.size() != utility.size()) {
+      throw std::invalid_argument(
+          "multi_constraint_argmax: constraint usage table size mismatch");
+    }
+  }
+
+  DppDecision best{0, 0.0};
+  for (std::size_t i = 0; i < utility.size(); ++i) {
+    double objective = v * utility[i] - queue_backlog * arrivals[i];
+    for (const ConstraintTerm& term : constraints) {
+      objective -= term.backlog * term.usage[i];
+    }
+    if (i == 0 || objective > best.objective) {
+      best = {i, objective};
+    }
+  }
+  return best;
+}
+
+}  // namespace arvis

@@ -1,0 +1,37 @@
+// Multi-constraint drift-plus-penalty: the general form of eq. (3) with one
+// actual queue (delay) plus any number of virtual queues enforcing
+// time-average budgets (energy, bandwidth, thermal...):
+//
+//   d*(t) = argmax_d [ V·p(d) − Q(t)·a(d) − Σ_k Z_k(t)·x_k(d) ]
+//
+// where Z_k is the k-th virtual queue (queueing/queue.hpp: VirtualQueue) and
+// x_k(d) the per-slot usage action d incurs on budget k. This is Neely's
+// standard generalization; the paper cites its instantiations (energy-delay
+// [5], quality-delay [6], accuracy-delay [7]) as the motivating family.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lyapunov/drift_plus_penalty.hpp"
+
+namespace arvis {
+
+/// One auxiliary constraint term: a virtual-queue backlog and the per-action
+/// usage table it prices.
+struct ConstraintTerm {
+  /// Current virtual-queue backlog Z_k(t). Must be >= 0.
+  double backlog = 0.0;
+  /// usage[i] = x_k(action i). Size must match the action count.
+  std::span<const double> usage;
+};
+
+/// Evaluates the generalized rule. Tie-breaks toward the lower index, like
+/// drift_plus_penalty_argmax. Preconditions (throw std::invalid_argument):
+/// non-empty equal-sized tables, V >= 0, all backlogs >= 0.
+DppDecision multi_constraint_argmax(std::span<const double> utility,
+                                    std::span<const double> arrivals,
+                                    double v, double queue_backlog,
+                                    std::span<const ConstraintTerm> constraints);
+
+}  // namespace arvis

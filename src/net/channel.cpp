@@ -1,0 +1,67 @@
+#include "net/channel.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace arvis {
+
+ConstantChannel::ConstantChannel(double bytes_per_slot) : bytes_(bytes_per_slot) {
+  if (bytes_per_slot < 0.0) {
+    throw std::invalid_argument("ConstantChannel: capacity must be >= 0");
+  }
+}
+
+GilbertElliottChannel::GilbertElliottChannel(double good_bytes_per_slot,
+                                             double bad_fraction,
+                                             double p_good_to_bad,
+                                             double p_bad_to_good, Rng rng)
+    : good_bytes_(good_bytes_per_slot), bad_fraction_(bad_fraction),
+      p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), rng_(rng) {
+  if (good_bytes_per_slot < 0.0 || bad_fraction < 0.0 || bad_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: need capacity >= 0 and bad_fraction in [0,1]");
+  }
+  if (p_gb_ < 0.0 || p_gb_ > 1.0 || p_bg_ < 0.0 || p_bg_ > 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: probabilities must be in [0,1]");
+  }
+}
+
+double GilbertElliottChannel::next_capacity_bytes() {
+  const double capacity = good_ ? good_bytes_ : good_bytes_ * bad_fraction_;
+  if (good_) {
+    if (rng_.bernoulli(p_gb_)) good_ = false;
+  } else {
+    if (rng_.bernoulli(p_bg_)) good_ = true;
+  }
+  return capacity;
+}
+
+double GilbertElliottChannel::mean_capacity_bytes() const {
+  const double denom = p_gb_ + p_bg_;
+  if (denom <= 0.0) return good_bytes_;
+  const double pi_good = p_bg_ / denom;
+  return good_bytes_ * (pi_good + (1.0 - pi_good) * bad_fraction_);
+}
+
+TraceChannel::TraceChannel(std::vector<double> bytes_per_slot)
+    : trace_(std::move(bytes_per_slot)) {
+  if (trace_.empty()) {
+    throw std::invalid_argument("TraceChannel: trace must be non-empty");
+  }
+  for (double v : trace_) {
+    if (v < 0.0) {
+      throw std::invalid_argument("TraceChannel: capacities must be >= 0");
+    }
+  }
+  mean_ = std::accumulate(trace_.begin(), trace_.end(), 0.0) /
+          static_cast<double>(trace_.size());
+}
+
+double TraceChannel::next_capacity_bytes() {
+  const double v = trace_[cursor_];
+  cursor_ = (cursor_ + 1) % trace_.size();
+  return v;
+}
+
+}  // namespace arvis

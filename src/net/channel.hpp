@@ -1,0 +1,73 @@
+// Wireless channel models for the edge-AR streaming experiments: per-slot
+// downlink capacity in bytes. Mirrors ServiceProcess but models a shared,
+// time-varying link rather than a local renderer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace arvis {
+
+/// Interface: bytes deliverable in one slot.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  [[nodiscard]] virtual double next_capacity_bytes() = 0;
+  [[nodiscard]] virtual double mean_capacity_bytes() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fixed-capacity link.
+class ConstantChannel final : public ChannelModel {
+ public:
+  explicit ConstantChannel(double bytes_per_slot);
+
+  [[nodiscard]] double next_capacity_bytes() override { return bytes_; }
+  [[nodiscard]] double mean_capacity_bytes() const override { return bytes_; }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+
+ private:
+  double bytes_;
+};
+
+/// Gilbert-Elliott style two-state link: good state at full rate, bad state
+/// at `bad_fraction` of it; geometric dwell times.
+class GilbertElliottChannel final : public ChannelModel {
+ public:
+  GilbertElliottChannel(double good_bytes_per_slot, double bad_fraction,
+                        double p_good_to_bad, double p_bad_to_good, Rng rng);
+
+  [[nodiscard]] double next_capacity_bytes() override;
+  [[nodiscard]] double mean_capacity_bytes() const override;
+  [[nodiscard]] std::string name() const override { return "gilbert-elliott"; }
+
+  [[nodiscard]] bool in_good_state() const noexcept { return good_; }
+
+ private:
+  double good_bytes_;
+  double bad_fraction_;
+  double p_gb_;
+  double p_bg_;
+  bool good_ = true;
+  Rng rng_;
+};
+
+/// Replays a capacity trace, cycling.
+class TraceChannel final : public ChannelModel {
+ public:
+  explicit TraceChannel(std::vector<double> bytes_per_slot);
+
+  [[nodiscard]] double next_capacity_bytes() override;
+  [[nodiscard]] double mean_capacity_bytes() const override { return mean_; }
+  [[nodiscard]] std::string name() const override { return "trace"; }
+
+ private:
+  std::vector<double> trace_;
+  std::size_t cursor_ = 0;
+  double mean_ = 0.0;
+};
+
+}  // namespace arvis

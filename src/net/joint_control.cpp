@@ -1,0 +1,138 @@
+#include "net/joint_control.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "octree/color_codec.hpp"
+#include "octree/occupancy_codec.hpp"
+#include "octree/octree.hpp"
+#include "queueing/queue.hpp"
+
+namespace arvis {
+namespace {
+
+void check_grid(const std::vector<int>& depths,
+                const std::vector<int>& color_bits) {
+  if (depths.empty() || color_bits.empty()) {
+    throw std::invalid_argument("joint control: empty action grid");
+  }
+  for (std::size_t i = 1; i < depths.size(); ++i) {
+    if (depths[i] <= depths[i - 1]) {
+      throw std::invalid_argument("joint control: depths must be ascending");
+    }
+  }
+  for (std::size_t i = 0; i < color_bits.size(); ++i) {
+    if (color_bits[i] < 1 || color_bits[i] > 8 ||
+        (i > 0 && color_bits[i] <= color_bits[i - 1])) {
+      throw std::invalid_argument(
+          "joint control: color bits must be ascending within [1, 8]");
+    }
+  }
+}
+
+}  // namespace
+
+JointFrameTable compute_joint_table(const PointCloud& frame,
+                                    const std::vector<int>& depths,
+                                    const std::vector<int>& color_bits,
+                                    const JointUtilityWeights& weights) {
+  check_grid(depths, color_bits);
+  if (frame.empty() || !frame.has_colors()) {
+    throw std::invalid_argument(
+        "compute_joint_table: frame must be non-empty and colored");
+  }
+  const Octree tree(frame, depths.back());
+
+  JointFrameTable table;
+  const std::size_t n = depths.size() * color_bits.size();
+  table.actions.reserve(n);
+  table.utility.reserve(n);
+  table.bytes.reserve(n);
+
+  for (int depth : depths) {
+    const PointCloud lod = tree.extract_lod(depth);
+    const double geometry_bytes =
+        static_cast<double>(encode_occupancy(tree, depth).byte_size());
+    const double geometry_utility =
+        lod.size() >= 1 ? std::log10(static_cast<double>(lod.size())) : 0.0;
+    for (int bits : color_bits) {
+      const ColorStream colors = encode_colors(lod.colors(), bits);
+      // Color fidelity: quantization PSNR, saturated at 60 dB ≈ lossless.
+      const double psnr = color_quantization_psnr_db(lod.colors(), bits);
+      const double color_utility = std::min(psnr, 60.0) / 60.0;
+      table.actions.push_back({depth, bits});
+      table.utility.push_back(weights.geometry * geometry_utility +
+                              weights.color * color_utility);
+      table.bytes.push_back(geometry_bytes +
+                            static_cast<double>(colors.byte_size()));
+    }
+  }
+  return table;
+}
+
+JointTableCache::JointTableCache(const FrameSource& source,
+                                 const std::vector<int>& depths,
+                                 const std::vector<int>& color_bits,
+                                 const JointUtilityWeights& weights,
+                                 std::size_t frame_limit) {
+  std::size_t count = source.frame_count();
+  if (count == 0) {
+    throw std::invalid_argument(
+        "JointTableCache: source must have a finite frame count");
+  }
+  if (frame_limit > 0 && frame_limit < count) count = frame_limit;
+  tables_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tables_.push_back(
+        compute_joint_table(source.frame(i), depths, color_bits, weights));
+  }
+}
+
+Trace JointStreamResult::to_trace() const {
+  Trace trace;
+  trace.reserve(steps.size());
+  for (const JointStepRecord& s : steps) trace.add(s.base);
+  return trace;
+}
+
+double JointStreamResult::mean_color_bits() const noexcept {
+  if (steps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const JointStepRecord& s : steps) sum += s.color_bits;
+  return sum / static_cast<double>(steps.size());
+}
+
+JointStreamResult run_joint_streaming(std::size_t steps, double v,
+                                      const JointTableCache& cache,
+                                      ChannelModel& channel) {
+  if (steps == 0) {
+    throw std::invalid_argument("run_joint_streaming: steps must be > 0");
+  }
+  if (v < 0.0) {
+    throw std::invalid_argument("run_joint_streaming: V must be >= 0");
+  }
+  DiscreteQueue queue;
+  JointStreamResult result;
+  result.steps.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const JointFrameTable& table = cache.table(t);
+    const DppDecision decision = drift_plus_penalty_argmax(
+        table.utility, table.bytes, v, queue.backlog());
+    const JointAction action = table.actions[decision.index];
+
+    JointStepRecord record;
+    record.base.t = t;
+    record.base.backlog_begin = queue.backlog();
+    record.base.depth = action.depth;
+    record.color_bits = action.color_bits;
+    record.base.arrivals = table.bytes[decision.index];
+    record.base.quality = table.utility[decision.index];
+    record.base.service = channel.next_capacity_bytes();
+    record.base.backlog_end =
+        queue.step(record.base.arrivals, record.base.service);
+    result.steps.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace arvis

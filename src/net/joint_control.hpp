@@ -1,0 +1,103 @@
+// Joint geometry/attribute rate control.
+//
+// The paper controls one knob (octree depth). A real volumetric stream has
+// at least two: geometry LOD (depth) and attribute fidelity (color
+// quantization bits). Because eq. (3) is an argmax over an arbitrary finite
+// action set, it extends verbatim to the product space
+//
+//     (d, b)*(t) = argmax_{(d,b)} [ V · p(d, b) − Q(t) · bytes(d, b) ]
+//
+// with p a weighted sum of geometry utility (log-points) and color fidelity
+// (quantization PSNR) and bytes the occupancy + color stream size. The cost
+// of the scan stays O(|R_d|·|R_b|) — still "low-complexity, no side
+// information" in the paper's sense.
+#pragma once
+
+#include <vector>
+
+#include "datasets/frame_source.hpp"
+#include "lyapunov/drift_plus_penalty.hpp"
+#include "net/channel.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// One point of the product action space.
+struct JointAction {
+  int depth = 0;
+  int color_bits = 8;
+
+  constexpr bool operator==(const JointAction&) const noexcept = default;
+};
+
+/// Per-frame decision tables over the product action grid.
+struct JointFrameTable {
+  std::vector<JointAction> actions;  // row-major: depth-major, bits-minor
+  std::vector<double> utility;       // p(d, b)
+  std::vector<double> bytes;         // tx bytes for (d, b)
+};
+
+/// Weights for the combined utility.
+struct JointUtilityWeights {
+  /// Weight of geometry utility log10(points(d)).
+  double geometry = 1.0;
+  /// Weight of color fidelity, applied to quantization PSNR scaled by 1/60
+  /// (so 60 dB ≈ visually lossless maps to 1.0).
+  double color = 1.0;
+};
+
+/// Builds the joint table for one frame. The frame's octree is built at
+/// max(depths); color streams are encoded per (depth, bits) from the LOD's
+/// Morton-ordered colors. Preconditions: frame non-empty *with colors*,
+/// depths/bits non-empty and strictly ascending, bits within [1, 8]
+/// (throws std::invalid_argument).
+JointFrameTable compute_joint_table(const PointCloud& frame,
+                                    const std::vector<int>& depths,
+                                    const std::vector<int>& color_bits,
+                                    const JointUtilityWeights& weights);
+
+/// Precomputed joint tables for a frame sequence.
+class JointTableCache {
+ public:
+  /// Builds tables for min(frame_limit, source.frame_count()) frames
+  /// (frame_limit = 0 means all).
+  JointTableCache(const FrameSource& source, const std::vector<int>& depths,
+                  const std::vector<int>& color_bits,
+                  const JointUtilityWeights& weights,
+                  std::size_t frame_limit = 0);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return tables_.size();
+  }
+  [[nodiscard]] const JointFrameTable& table(std::size_t t) const {
+    return tables_[t % tables_.size()];
+  }
+
+ private:
+  std::vector<JointFrameTable> tables_;
+};
+
+/// Per-slot record of a joint-control run.
+struct JointStepRecord {
+  StepRecord base;       // base.depth = chosen geometry depth
+  int color_bits = 8;    // chosen attribute fidelity
+};
+
+/// Result of a joint streaming session.
+struct JointStreamResult {
+  std::vector<JointStepRecord> steps;
+
+  /// Projects the base records into a Trace (for the standard analyses).
+  [[nodiscard]] Trace to_trace() const;
+
+  /// Mean chosen color bits.
+  [[nodiscard]] double mean_color_bits() const noexcept;
+};
+
+/// Runs the two-knob controller over a transmit queue drained by `channel`.
+/// Preconditions: steps > 0, v >= 0 (throws std::invalid_argument).
+JointStreamResult run_joint_streaming(std::size_t steps, double v,
+                                      const JointTableCache& cache,
+                                      ChannelModel& channel);
+
+}  // namespace arvis

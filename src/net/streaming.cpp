@@ -1,0 +1,81 @@
+#include "net/streaming.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "queueing/queue.hpp"
+
+namespace arvis {
+
+Trace run_streaming_session(const StreamingConfig& config,
+                            const FrameStatsCache& cache,
+                            DepthController& controller, ChannelModel& channel) {
+  if (config.steps == 0) {
+    throw std::invalid_argument("run_streaming_session: steps must be > 0");
+  }
+  if (config.candidates.empty()) {
+    throw std::invalid_argument("run_streaming_session: empty candidates");
+  }
+  for (int d : config.candidates) {
+    if (d < 1 || d > cache.octree_depth()) {
+      throw std::invalid_argument(
+          "run_streaming_session: candidate outside cache range");
+    }
+  }
+
+  DiscreteQueue queue(config.initial_backlog_bytes);
+  Trace trace;
+  trace.reserve(config.steps);
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    const FrameWorkload& frame = cache.workload(t);
+    const ByteWorkload workload(frame.bytes_at_depth);
+    const LogPointQuality quality(frame.points_at_depth);
+
+    DepthContext context;
+    context.queue_backlog = queue.backlog();
+    context.quality = &quality;
+    context.workload = &workload;
+
+    StepRecord record;
+    record.t = t;
+    record.backlog_begin = queue.backlog();
+    record.depth = controller.decide(config.candidates, context);
+    record.arrivals = workload.arrivals(record.depth);
+    record.quality = quality.quality(record.depth);
+    record.service = channel.next_capacity_bytes();
+    record.backlog_end = queue.step(record.arrivals, record.service);
+    trace.add(record);
+  }
+  return trace;
+}
+
+double calibrate_streaming_v(const FrameStatsCache& cache,
+                             const std::vector<int>& candidates,
+                             double pivot_backlog_bytes) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("calibrate_streaming_v: empty candidates");
+  }
+  if (pivot_backlog_bytes < 0.0) {
+    throw std::invalid_argument("calibrate_streaming_v: pivot must be >= 0");
+  }
+  // Average byte/point tables over the cached frames.
+  double bytes_min = 0.0, bytes_max = 0.0, points_min = 0.0, points_max = 0.0;
+  for (std::size_t i = 0; i < cache.frame_count(); ++i) {
+    const FrameWorkload& w = cache.workload(i);
+    bytes_min += w.bytes(candidates.front());
+    bytes_max += w.bytes(candidates.back());
+    points_min += w.points(candidates.front());
+    points_max += w.points(candidates.back());
+  }
+  const auto n = static_cast<double>(cache.frame_count());
+  const double delta_a = (bytes_max - bytes_min) / n;
+  const double delta_p = std::log10(std::max(1.0, points_max / n)) -
+                         std::log10(std::max(1.0, points_min / n));
+  if (delta_a <= 0.0 || delta_p <= 0.0) {
+    throw std::invalid_argument(
+        "calibrate_streaming_v: candidates must span distinct workloads");
+  }
+  return pivot_backlog_bytes * delta_a / delta_p;
+}
+
+}  // namespace arvis

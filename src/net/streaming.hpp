@@ -1,0 +1,41 @@
+// Streaming session: the same quality/delay tradeoff applied to the network
+// side. Instead of a rendering queue of points, the device drains a
+// transmission queue of occupancy-coded bytes over a time-varying channel;
+// the controller still runs eq. (3) with a(d) = encoded bytes at depth d.
+// This exercises the paper's claim that the framework transfers across
+// tradeoffs (cf. its refs [5]-[7]).
+#pragma once
+
+#include "lyapunov/depth_controller.hpp"
+#include "net/channel.hpp"
+#include "sim/frame_stats_cache.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// Parameters for a streaming run.
+struct StreamingConfig {
+  std::size_t steps = 800;
+  std::vector<int> candidates{5, 6, 7, 8, 9, 10};
+  double initial_backlog_bytes = 0.0;
+};
+
+/// Runs one streaming session: each slot one frame is encoded at the chosen
+/// depth, its bytes join the transmit queue, and the channel drains it.
+/// Quality is log-points at the chosen depth (transmission-side proxy).
+Trace run_streaming_session(const StreamingConfig& config,
+                            const FrameStatsCache& cache,
+                            DepthController& controller, ChannelModel& channel);
+
+/// V for the byte-domain controller such that it is indifferent between the
+/// cheapest and costliest candidate exactly at `pivot_backlog_bytes`:
+///   V = pivot · (bytes(d_max) − bytes(d_min)) / (log10 p(d_max) − log10 p(d_min)).
+/// Byte workloads are ~10^4-10^6 while log-point utilities are ~O(5), so an
+/// uncalibrated V is either inert or explosive — always use this helper.
+/// Throws std::invalid_argument on an empty/degenerate candidate set or a
+/// negative pivot.
+double calibrate_streaming_v(const FrameStatsCache& cache,
+                             const std::vector<int>& candidates,
+                             double pivot_backlog_bytes);
+
+}  // namespace arvis

@@ -1,0 +1,201 @@
+#include "octree/color_codec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace arvis {
+namespace {
+
+void check_bits(int bits, const char* where) {
+  if (bits < 1 || bits > 8) {
+    throw std::invalid_argument(std::string(where) +
+                                ": bits must be in [1, 8], got " +
+                                std::to_string(bits));
+  }
+}
+
+/// Quantizes an 8-bit channel to `bits` levels (mid-rise index).
+int quantize_channel(std::uint8_t v, int bits) noexcept {
+  return v >> (8 - bits);
+}
+
+/// Re-expands a quantized index to the 8-bit range (bit replication, the
+/// standard inverse that maps the full index range back onto [0, 255]).
+std::uint8_t dequantize_channel(int q, int bits) noexcept {
+  int value = q << (8 - bits);
+  int filled = bits;
+  while (filled < 8) {
+    value |= value >> filled;
+    filled *= 2;
+  }
+  return static_cast<std::uint8_t>(value & 0xFF);
+}
+
+/// Zig-zag: maps signed deltas to unsigned (0, -1, 1, -2, 2, ... -> 0..).
+std::uint32_t zigzag(int v) noexcept {
+  return static_cast<std::uint32_t>((v << 1) ^ (v >> 31));
+}
+
+int unzigzag(std::uint32_t u) noexcept {
+  return static_cast<int>(u >> 1) ^ -static_cast<int>(u & 1);
+}
+
+/// Nibble-granularity varint writer: each 4-bit nibble carries 3 payload
+/// bits plus a continuation bit, so the common near-zero deltas of
+/// Morton-coherent colors cost half a byte instead of a full varint byte.
+class NibbleWriter {
+ public:
+  explicit NibbleWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put(std::uint32_t v) {
+    do {
+      std::uint8_t nibble = v & 0x7;
+      v >>= 3;
+      if (v != 0) nibble |= 0x8;  // continuation
+      push_nibble(nibble);
+    } while (v != 0);
+  }
+
+  /// Pads the final half-filled byte (with a zero nibble).
+  void flush() {
+    if (half_) {
+      half_ = false;  // low nibble already written; high nibble stays 0
+    }
+  }
+
+ private:
+  void push_nibble(std::uint8_t nibble) {
+    if (!half_) {
+      out_.push_back(nibble);
+      half_ = true;
+    } else {
+      out_.back() |= static_cast<std::uint8_t>(nibble << 4);
+      half_ = false;
+    }
+  }
+
+  std::vector<std::uint8_t>& out_;
+  bool half_ = false;
+};
+
+/// Matching reader.
+class NibbleReader {
+ public:
+  explicit NibbleReader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  bool get(std::uint32_t& out) {
+    out = 0;
+    int shift = 0;
+    for (;;) {
+      std::uint8_t nibble = 0;
+      if (!next_nibble(nibble)) return false;
+      out |= static_cast<std::uint32_t>(nibble & 0x7) << shift;
+      if (!(nibble & 0x8)) return true;
+      shift += 3;
+      if (shift > 30) return false;  // malformed: over-long varint
+    }
+  }
+
+  /// True when all payload was consumed. Exactly one zero padding nibble at
+  /// the end of the final byte is permitted (the writer's flush artifact);
+  /// any other remainder counts as trailing garbage.
+  [[nodiscard]] bool at_end() const noexcept {
+    if (cursor_ >= in_.size()) return true;
+    return cursor_ + 1 == in_.size() && half_ && (in_[cursor_] >> 4) == 0;
+  }
+
+ private:
+  bool next_nibble(std::uint8_t& nibble) {
+    if (cursor_ >= in_.size()) return false;
+    if (!half_) {
+      nibble = in_[cursor_] & 0xF;
+      half_ = true;
+    } else {
+      nibble = in_[cursor_] >> 4;
+      half_ = false;
+      ++cursor_;
+    }
+    return true;
+  }
+
+  const std::vector<std::uint8_t>& in_;
+  std::size_t cursor_ = 0;
+  bool half_ = false;
+};
+
+}  // namespace
+
+ColorStream encode_colors(std::span<const Color8> colors, int bits) {
+  check_bits(bits, "encode_colors");
+  ColorStream stream;
+  stream.bits = bits;
+  stream.count = static_cast<std::uint32_t>(colors.size());
+  stream.bytes.reserve(colors.size());  // ~1 byte/channel-triplet typical
+
+  NibbleWriter writer(stream.bytes);
+  int prev[3] = {0, 0, 0};
+  for (const Color8& c : colors) {
+    const int q[3] = {quantize_channel(c.r, bits), quantize_channel(c.g, bits),
+                      quantize_channel(c.b, bits)};
+    for (int ch = 0; ch < 3; ++ch) {
+      writer.put(zigzag(q[ch] - prev[ch]));
+      prev[ch] = q[ch];
+    }
+  }
+  writer.flush();
+  return stream;
+}
+
+Result<std::vector<Color8>> decode_colors(const ColorStream& stream) {
+  if (stream.bits < 1 || stream.bits > 8) {
+    return Status::ParseError("color stream: bad bits field");
+  }
+  std::vector<Color8> out;
+  out.reserve(stream.count);
+  NibbleReader reader(stream.bytes);
+  int prev[3] = {0, 0, 0};
+  const int max_index = (1 << stream.bits) - 1;
+  for (std::uint32_t i = 0; i < stream.count; ++i) {
+    int q[3];
+    for (int ch = 0; ch < 3; ++ch) {
+      std::uint32_t u = 0;
+      if (!reader.get(u)) {
+        return Status::ParseError("color stream truncated at color " +
+                                  std::to_string(i));
+      }
+      q[ch] = prev[ch] + unzigzag(u);
+      if (q[ch] < 0 || q[ch] > max_index) {
+        return Status::ParseError("color stream: delta out of range");
+      }
+      prev[ch] = q[ch];
+    }
+    out.push_back({dequantize_channel(q[0], stream.bits),
+                   dequantize_channel(q[1], stream.bits),
+                   dequantize_channel(q[2], stream.bits)});
+  }
+  if (!reader.at_end()) {
+    return Status::ParseError("color stream: trailing bytes");
+  }
+  return out;
+}
+
+double color_quantization_psnr_db(std::span<const Color8> colors, int bits) {
+  check_bits(bits, "color_quantization_psnr_db");
+  if (colors.empty()) return std::numeric_limits<double>::infinity();
+  double sum_sq = 0.0;
+  for (const Color8& c : colors) {
+    const std::uint8_t channels[3] = {c.r, c.g, c.b};
+    for (std::uint8_t v : channels) {
+      const double d =
+          static_cast<double>(v) -
+          dequantize_channel(quantize_channel(v, bits), bits);
+      sum_sq += d * d;
+    }
+  }
+  const double mse = sum_sq / (3.0 * static_cast<double>(colors.size()));
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace arvis

@@ -1,0 +1,33 @@
+#include "octree/depth_stats.hpp"
+
+#include <cmath>
+
+#include "octree/occupancy_codec.hpp"
+#include "pointcloud/metrics.hpp"
+
+namespace arvis {
+
+std::vector<DepthLevelStats> compute_depth_table(const Octree& tree,
+                                                 bool with_psnr) {
+  std::vector<DepthLevelStats> table;
+  table.reserve(static_cast<std::size_t>(tree.max_depth()));
+  const PointCloud reference =
+      with_psnr ? tree.extract_lod(tree.max_depth()) : PointCloud{};
+  for (int d = 1; d <= tree.max_depth(); ++d) {
+    DepthLevelStats row;
+    row.depth = d;
+    row.points = tree.occupied_count(d);
+    row.cell_size = tree.cell_size(d);
+    row.encoded_bytes = encode_occupancy(tree, d).byte_size();
+    if (with_psnr) {
+      const PointCloud lod = tree.extract_lod(d);
+      row.psnr_db = compare_geometry(reference, lod).psnr_db;
+    } else {
+      row.psnr_db = std::nan("");
+    }
+    table.push_back(row);
+  }
+  return table;
+}
+
+}  // namespace arvis

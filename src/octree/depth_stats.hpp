@@ -1,0 +1,34 @@
+// Per-depth statistics of an octree: the depth → (points, cell size, bytes,
+// PSNR) tables behind Fig. 1 and behind the controller's a(d) and p_a(d).
+#pragma once
+
+#include <vector>
+
+#include "octree/octree.hpp"
+
+namespace arvis {
+
+/// Everything the paper's Fig. 1 reports (and what the controller consumes)
+/// about rendering one frame at one octree depth.
+struct DepthLevelStats {
+  int depth = 0;
+  /// Occupied cells = points rendered at this depth. This is the a(d)
+  /// workload proxy of the paper.
+  std::size_t points = 0;
+  /// World-space voxel edge length at this depth (resolution).
+  float cell_size = 0.0F;
+  /// Occupancy-coded geometry bytes to this depth (network cost).
+  std::size_t encoded_bytes = 0;
+  /// D1 geometry PSNR of the depth-d LOD vs the full-depth cloud, in dB.
+  /// Populated only when compute_depth_table is called with with_psnr=true
+  /// (it costs a k-d tree pass per depth); otherwise NaN.
+  double psnr_db = 0.0;
+};
+
+/// Computes the per-depth table for depths 1..tree.max_depth().
+/// When `with_psnr` is true, also computes geometry PSNR of every LOD against
+/// the full-resolution LOD (O(N log N) per depth).
+std::vector<DepthLevelStats> compute_depth_table(const Octree& tree,
+                                                 bool with_psnr);
+
+}  // namespace arvis

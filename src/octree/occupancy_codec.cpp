@@ -1,0 +1,74 @@
+#include "octree/occupancy_codec.hpp"
+
+#include <bit>
+
+namespace arvis {
+
+OccupancyStream encode_occupancy(const Octree& tree, int depth) {
+  if (depth < 1 || depth > tree.max_depth()) {
+    throw std::out_of_range("encode_occupancy: depth outside [1, max_depth]");
+  }
+  OccupancyStream stream;
+  stream.depth = depth;
+  stream.grid_bits = tree.max_depth();
+  // Levels 0 .. depth-1 each contribute one occupancy byte per occupied node.
+  for (int level = 0; level < depth; ++level) {
+    for (const OctreeNode& node : tree.level_nodes(level)) {
+      stream.bytes.push_back(node.child_mask);
+    }
+  }
+  return stream;
+}
+
+Result<std::vector<std::uint64_t>> decode_occupancy(const OccupancyStream& stream) {
+  if (stream.depth < 1) {
+    return Status::ParseError("occupancy stream: depth must be >= 1");
+  }
+  std::vector<std::uint64_t> frontier{0};  // root key
+  std::size_t cursor = 0;
+  for (int level = 0; level < stream.depth; ++level) {
+    std::vector<std::uint64_t> next;
+    next.reserve(frontier.size() * 2);
+    for (std::uint64_t key : frontier) {
+      if (cursor >= stream.bytes.size()) {
+        return Status::ParseError("occupancy stream truncated at level " +
+                                  std::to_string(level));
+      }
+      const std::uint8_t mask = stream.bytes[cursor++];
+      if (mask == 0) {
+        return Status::ParseError("occupancy stream: zero occupancy byte");
+      }
+      for (int child = 0; child < 8; ++child) {
+        if (mask & (1U << child)) {
+          next.push_back((key << 3) | static_cast<std::uint64_t>(child));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (cursor != stream.bytes.size()) {
+    return Status::ParseError("occupancy stream: trailing bytes");
+  }
+  return frontier;
+}
+
+CompressionStats measure_compression(const Octree& tree, int depth) {
+  const OccupancyStream stream = encode_occupancy(tree, depth);
+  CompressionStats stats;
+  stats.input_points = tree.leaf_count();
+  stats.output_cells = tree.occupied_count(depth);
+  stats.encoded_bytes = stream.byte_size();
+  stats.raw_bytes = stats.output_cells * 3 * sizeof(float);
+  if (stats.output_cells > 0) {
+    stats.bits_per_output_cell =
+        8.0 * static_cast<double>(stats.encoded_bytes) /
+        static_cast<double>(stats.output_cells);
+  }
+  if (stats.encoded_bytes > 0) {
+    stats.compression_ratio = static_cast<double>(stats.raw_bytes) /
+                              static_cast<double>(stats.encoded_bytes);
+  }
+  return stats;
+}
+
+}  // namespace arvis

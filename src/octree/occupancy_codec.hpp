@@ -1,0 +1,54 @@
+// Breadth-first occupancy-byte serialization of an octree, in the style of
+// MPEG G-PCC geometry coding: one byte per internal node, emitted level by
+// level, each byte the child-occupancy bitmask. Decoding reconstructs the set
+// of occupied cells at the encoded depth exactly.
+//
+// This substrate serves the networking module: transmitting a frame at octree
+// depth d costs (roughly) one byte per occupied node above d, which is how
+// depth also controls bandwidth in the edge-AR streaming experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "octree/octree.hpp"
+
+namespace arvis {
+
+/// An encoded octree occupancy stream.
+struct OccupancyStream {
+  /// Depth the stream encodes down to (cells at exactly this depth result).
+  int depth = 0;
+  /// Total coordinate bits per axis of the source grid (for geometry scale).
+  int grid_bits = 0;
+  /// Occupancy bytes, breadth-first from the root.
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bytes.size(); }
+};
+
+/// Encodes the occupancy of `tree` down to `depth` (1 <= depth <= max_depth).
+OccupancyStream encode_occupancy(const Octree& tree, int depth);
+
+/// Decodes an occupancy stream back to the sorted Morton keys of the occupied
+/// cells at stream.depth. Returns ParseError when the stream is truncated,
+/// has trailing bytes, or contains a zero occupancy byte (invalid: every
+/// serialized node must have at least one child).
+Result<std::vector<std::uint64_t>> decode_occupancy(const OccupancyStream& stream);
+
+/// Compression accounting for one frame at one depth.
+struct CompressionStats {
+  std::size_t input_points = 0;      // leaves in the source octree
+  std::size_t output_cells = 0;      // occupied cells at the encoded depth
+  std::size_t encoded_bytes = 0;     // occupancy stream size
+  double bits_per_output_cell = 0.0;
+  /// Bytes of a raw float32 x,y,z encoding of the output cells.
+  std::size_t raw_bytes = 0;
+  double compression_ratio = 0.0;    // raw_bytes / encoded_bytes
+};
+
+/// Encodes and summarizes (without keeping the stream).
+CompressionStats measure_compression(const Octree& tree, int depth);
+
+}  // namespace arvis

@@ -1,0 +1,166 @@
+#include "octree/octree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arvis {
+namespace {
+
+void check_depth(int depth, int lo, int hi, const char* where) {
+  if (depth < lo || depth > hi) {
+    throw std::out_of_range(std::string(where) + ": depth " +
+                            std::to_string(depth) + " outside [" +
+                            std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+}
+
+}  // namespace
+
+Octree::Octree(const PointCloud& cloud, int max_depth)
+    : voxels_(voxelize(cloud, max_depth)) {}
+
+Octree::Octree(VoxelizedCloud voxels) : voxels_(std::move(voxels)) {
+  if (voxels_.codes.empty()) {
+    throw std::invalid_argument("Octree: voxelization must be non-empty");
+  }
+}
+
+std::size_t Octree::occupied_count(int depth) const {
+  check_depth(depth, 0, max_depth(), "Octree::occupied_count");
+  if (depth == 0) return 1;
+  if (depth == max_depth()) return voxels_.codes.size();
+  std::size_t count = 0;
+  std::uint64_t prev_key = ~0ULL;
+  for (std::uint64_t code : voxels_.codes) {
+    const std::uint64_t key = morton_ancestor_key(code, max_depth(), depth);
+    count += (key != prev_key);
+    prev_key = key;
+  }
+  return count;
+}
+
+std::vector<std::size_t> Octree::occupancy_profile() const {
+  std::vector<std::size_t> profile(static_cast<std::size_t>(max_depth()) + 1, 0);
+  profile[0] = 1;
+  // One pass per depth is O(D*N); D <= 21 keeps this cheap and cache-friendly.
+  for (int d = 1; d <= max_depth(); ++d) {
+    profile[static_cast<std::size_t>(d)] = occupied_count(d);
+  }
+  return profile;
+}
+
+PointCloud Octree::extract_lod(int depth) const {
+  return extract_lod_range(depth, 0, voxels_.codes.size());
+}
+
+PointCloud Octree::extract_lod_range(int depth, std::size_t first_leaf,
+                                     std::size_t last_leaf) const {
+  check_depth(depth, 1, max_depth(), "Octree::extract_lod_range");
+  if (first_leaf > last_leaf || last_leaf > voxels_.codes.size()) {
+    throw std::out_of_range("Octree::extract_lod_range: invalid leaf range");
+  }
+  const bool with_colors = !voxels_.colors.empty();
+  const int shift_bits = max_depth() - depth;
+
+  PointCloud out;
+  const std::size_t n = last_leaf;
+  std::size_t i = first_leaf;
+  while (i < n) {
+    const std::uint64_t key =
+        morton_ancestor_key(voxels_.codes[i], max_depth(), depth);
+    std::size_t j = i;
+    std::uint64_t r = 0, g = 0, b = 0, weight = 0;
+    while (j < n &&
+           morton_ancestor_key(voxels_.codes[j], max_depth(), depth) == key) {
+      if (with_colors) {
+        // Weight each leaf color by its source point count so the LOD color
+        // matches what averaging the original points would produce.
+        const std::uint64_t w = voxels_.point_counts[j];
+        r += static_cast<std::uint64_t>(voxels_.colors[j].r) * w;
+        g += static_cast<std::uint64_t>(voxels_.colors[j].g) * w;
+        b += static_cast<std::uint64_t>(voxels_.colors[j].b) * w;
+        weight += w;
+      }
+      ++j;
+    }
+    // Cell center at the coarser depth: scale the key's coordinates back up.
+    const VoxelCoord coarse = morton_decode(key);
+    const VoxelCoord leaf_scale{coarse.x << shift_bits, coarse.y << shift_bits,
+                                coarse.z << shift_bits};
+    const float cell = cell_size(depth);
+    const Vec3f base = voxels_.grid.cube().min_corner;
+    const Vec3f center{
+        base.x + (static_cast<float>(leaf_scale.x >> shift_bits) + 0.5F) * cell,
+        base.y + (static_cast<float>(leaf_scale.y >> shift_bits) + 0.5F) * cell,
+        base.z + (static_cast<float>(leaf_scale.z >> shift_bits) + 0.5F) * cell};
+    if (with_colors && weight > 0) {
+      out.add_point(center, {static_cast<std::uint8_t>(r / weight),
+                             static_cast<std::uint8_t>(g / weight),
+                             static_cast<std::uint8_t>(b / weight)});
+    } else {
+      out.add_point(center);
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> Octree::subtree_leaf_range(
+    std::uint64_t key, int depth) const {
+  check_depth(depth, 0, max_depth(), "Octree::subtree_leaf_range");
+  // Leaves under `key` are exactly those whose full code lies in
+  // [key << 3k, (key + 1) << 3k) where k = max_depth - depth.
+  const int shift = 3 * (max_depth() - depth);
+  const std::uint64_t lo = key << shift;
+  const std::uint64_t hi = (key + 1) << shift;
+  const auto first = std::lower_bound(voxels_.codes.begin(),
+                                      voxels_.codes.end(), lo);
+  const auto last =
+      std::lower_bound(first, voxels_.codes.end(), hi);
+  return {static_cast<std::size_t>(first - voxels_.codes.begin()),
+          static_cast<std::size_t>(last - voxels_.codes.begin())};
+}
+
+Aabb Octree::cell_bounds(std::uint64_t key, int depth) const {
+  check_depth(depth, 0, max_depth(), "Octree::cell_bounds");
+  const float size = cell_size(depth);
+  const VoxelCoord coarse = morton_decode(key);
+  const Vec3f base = voxels_.grid.cube().min_corner;
+  Aabb box;
+  const Vec3f lo{base.x + static_cast<float>(coarse.x) * size,
+                 base.y + static_cast<float>(coarse.y) * size,
+                 base.z + static_cast<float>(coarse.z) * size};
+  box.expand(lo);
+  box.expand(lo + Vec3f{size, size, size});
+  return box;
+}
+
+std::vector<OctreeNode> Octree::level_nodes(int depth) const {
+  check_depth(depth, 0, max_depth() - 1, "Octree::level_nodes");
+  std::vector<OctreeNode> nodes;
+  const std::size_t n = voxels_.codes.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t key =
+        morton_ancestor_key(voxels_.codes[i], max_depth(), depth);
+    OctreeNode node{key, 0, 0};
+    std::size_t j = i;
+    while (j < n &&
+           morton_ancestor_key(voxels_.codes[j], max_depth(), depth) == key) {
+      const int child = morton_child_index(voxels_.codes[j], max_depth(), depth + 1);
+      node.child_mask |= static_cast<std::uint8_t>(1U << child);
+      ++j;
+    }
+    node.leaf_count = static_cast<std::uint32_t>(j - i);
+    nodes.push_back(node);
+    i = j;
+  }
+  return nodes;
+}
+
+float Octree::cell_size(int depth) const {
+  check_depth(depth, 0, max_depth(), "Octree::cell_size");
+  return voxels_.grid.cube().max_extent() / static_cast<float>(1U << depth);
+}
+
+}  // namespace arvis

@@ -1,0 +1,106 @@
+// Depth-limited octree over a voxelized point cloud.
+//
+// This is the quality-control mechanism of the paper (Fig. 1): rendering a
+// cloud at octree depth d replaces all points in each occupied depth-d cell
+// with one representative, so depth directly trades point count (and hence
+// rendering delay) against visual fidelity.
+//
+// Implementation: the octree is stored implicitly as the sorted list of
+// occupied leaf Morton codes at maximum depth. Every coarser level is a
+// prefix-truncation of those codes, making per-depth statistics and LOD
+// extraction simple linear sweeps instead of pointer-chasing. An explicit
+// node view (OctreeNode) is materialized on demand for traversal APIs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/morton.hpp"
+#include "pointcloud/point_cloud.hpp"
+#include "pointcloud/voxel_grid.hpp"
+
+namespace arvis {
+
+/// One octree node in the materialized level view.
+struct OctreeNode {
+  /// Prefix Morton key at this node's depth (3*depth significant bits).
+  std::uint64_t key = 0;
+  /// Bitmask of occupied children (bit i = child with Morton slot i).
+  std::uint8_t child_mask = 0;
+  /// Number of leaf voxels under this node.
+  std::uint32_t leaf_count = 0;
+};
+
+/// Immutable octree built from a point cloud at a fixed maximum depth.
+class Octree {
+ public:
+  /// Builds an octree of depth `max_depth` (grid resolution 2^max_depth per
+  /// axis) over the cloud's bounding cube. Precondition enforced: cloud
+  /// non-empty, 1 <= max_depth <= 21 (throws std::invalid_argument).
+  Octree(const PointCloud& cloud, int max_depth);
+
+  /// Builds directly from an existing voxelization (shares its grid).
+  explicit Octree(VoxelizedCloud voxels);
+
+  [[nodiscard]] int max_depth() const noexcept { return voxels_.grid.bits(); }
+  [[nodiscard]] const VoxelGrid& grid() const noexcept { return voxels_.grid; }
+
+  /// Occupied leaf voxels (= points in the full-resolution LOD).
+  [[nodiscard]] std::size_t leaf_count() const noexcept {
+    return voxels_.codes.size();
+  }
+
+  /// Number of occupied cells at `depth` (0 = root, so depth 0 returns 1).
+  /// Precondition: 0 <= depth <= max_depth().
+  [[nodiscard]] std::size_t occupied_count(int depth) const;
+
+  /// Occupied-cell counts for every depth 0..max_depth() in one sweep.
+  [[nodiscard]] std::vector<std::size_t> occupancy_profile() const;
+
+  /// Extracts the level-of-detail cloud at `depth`: one point per occupied
+  /// depth-`depth` cell, positioned at the cell center, with the
+  /// leaf-count-weighted average color when the source had colors.
+  /// Precondition: 1 <= depth <= max_depth().
+  [[nodiscard]] PointCloud extract_lod(int depth) const;
+
+  /// Same, restricted to the leaves in [first_leaf, last_leaf). Because
+  /// leaves are Morton-sorted, any octree node's subtree is one contiguous
+  /// leaf range, so this is the building block for culled traversal
+  /// (render/octree_renderer). Preconditions: valid depth and
+  /// first_leaf <= last_leaf <= leaf_count().
+  [[nodiscard]] PointCloud extract_lod_range(int depth, std::size_t first_leaf,
+                                             std::size_t last_leaf) const;
+
+  /// Leaf index range [first, last) of the subtree under the node with
+  /// Morton prefix `key` at `depth` (empty range if unoccupied).
+  /// Precondition: 0 <= depth <= max_depth().
+  [[nodiscard]] std::pair<std::size_t, std::size_t> subtree_leaf_range(
+      std::uint64_t key, int depth) const;
+
+  /// World-space bounding box of the cell with Morton prefix `key` at
+  /// `depth`. Precondition: 0 <= depth <= max_depth().
+  [[nodiscard]] Aabb cell_bounds(std::uint64_t key, int depth) const;
+
+  /// Materializes all nodes of one level, ordered by key.
+  /// Precondition: 0 <= depth < max_depth() (leaves have no child mask).
+  [[nodiscard]] std::vector<OctreeNode> level_nodes(int depth) const;
+
+  /// The sorted leaf Morton codes (full-depth occupancy).
+  [[nodiscard]] const std::vector<std::uint64_t>& leaf_codes() const noexcept {
+    return voxels_.codes;
+  }
+
+  /// Per-leaf averaged colors (empty when the source had none).
+  [[nodiscard]] const std::vector<Color8>& leaf_colors() const noexcept {
+    return voxels_.colors;
+  }
+
+  /// World-space edge length of a cell at `depth`.
+  [[nodiscard]] float cell_size(int depth) const;
+
+ private:
+  VoxelizedCloud voxels_;  // codes sorted ascending (voxelize guarantees it)
+};
+
+}  // namespace arvis

@@ -1,0 +1,130 @@
+#include "pointcloud/kdtree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace arvis {
+namespace {
+
+float axis_value(const Vec3f& v, std::uint8_t axis) noexcept {
+  return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
+}
+
+}  // namespace
+
+KdTree::KdTree(std::span<const Vec3f> points)
+    : points_(points.begin(), points.end()) {
+  if (points_.empty()) return;
+  nodes_.reserve(points_.size());
+  std::vector<std::uint32_t> indices(points_.size());
+  std::iota(indices.begin(), indices.end(), 0U);
+  root_ = build(indices, 0);
+}
+
+std::uint32_t KdTree::build(std::span<std::uint32_t> indices, int depth) {
+  if (indices.empty()) return Node::kNull;
+  const auto axis = static_cast<std::uint8_t>(depth % 3);
+  const std::size_t mid = indices.size() / 2;
+  std::nth_element(indices.begin(),
+                   indices.begin() + static_cast<std::ptrdiff_t>(mid),
+                   indices.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return axis_value(points_[a], axis) <
+                            axis_value(points_[b], axis);
+                   });
+  const auto node_index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{indices[mid], Node::kNull, Node::kNull, axis});
+  // Recurse after push_back; record children afterwards (vector may grow).
+  const std::uint32_t left = build(indices.subspan(0, mid), depth + 1);
+  const std::uint32_t right = build(indices.subspan(mid + 1), depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+KdTree::Neighbor KdTree::nearest(const Vec3f& query) const noexcept {
+  Neighbor best;
+  best.distance_squared = std::numeric_limits<float>::max();
+  if (root_ != Node::kNull) nearest_impl(root_, query, best);
+  return best;
+}
+
+void KdTree::nearest_impl(std::uint32_t node, const Vec3f& query,
+                          Neighbor& best) const noexcept {
+  const Node& n = nodes_[node];
+  const Vec3f& p = points_[n.point];
+  const float d2 = distance_squared(p, query);
+  if (d2 < best.distance_squared) {
+    best.distance_squared = d2;
+    best.index = n.point;
+  }
+  const float delta = axis_value(query, n.axis) - axis_value(p, n.axis);
+  const std::uint32_t near_child = delta < 0.0F ? n.left : n.right;
+  const std::uint32_t far_child = delta < 0.0F ? n.right : n.left;
+  if (near_child != Node::kNull) nearest_impl(near_child, query, best);
+  if (far_child != Node::kNull && delta * delta < best.distance_squared) {
+    nearest_impl(far_child, query, best);
+  }
+}
+
+std::vector<std::uint32_t> KdTree::radius_search(const Vec3f& query,
+                                                 float radius) const {
+  std::vector<std::uint32_t> out;
+  if (root_ != Node::kNull && radius > 0.0F) {
+    radius_impl(root_, query, radius * radius, out);
+  }
+  return out;
+}
+
+void KdTree::radius_impl(std::uint32_t node, const Vec3f& query,
+                         float radius_sq, std::vector<std::uint32_t>& out) const {
+  const Node& n = nodes_[node];
+  const Vec3f& p = points_[n.point];
+  if (distance_squared(p, query) <= radius_sq) out.push_back(n.point);
+  const float delta = axis_value(query, n.axis) - axis_value(p, n.axis);
+  const std::uint32_t near_child = delta < 0.0F ? n.left : n.right;
+  const std::uint32_t far_child = delta < 0.0F ? n.right : n.left;
+  if (near_child != Node::kNull) radius_impl(near_child, query, radius_sq, out);
+  if (far_child != Node::kNull && delta * delta <= radius_sq) {
+    radius_impl(far_child, query, radius_sq, out);
+  }
+}
+
+std::vector<KdTree::Neighbor> KdTree::k_nearest(const Vec3f& query,
+                                                std::size_t k) const {
+  std::vector<Neighbor> heap;  // max-heap on distance_squared
+  if (root_ != Node::kNull && k > 0) knn_impl(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end(),
+                 [](const Neighbor& a, const Neighbor& b) {
+                   return a.distance_squared < b.distance_squared;
+                 });
+  return heap;
+}
+
+void KdTree::knn_impl(std::uint32_t node, const Vec3f& query, std::size_t k,
+                      std::vector<Neighbor>& heap) const {
+  const auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance_squared < b.distance_squared;
+  };
+  const Node& n = nodes_[node];
+  const Vec3f& p = points_[n.point];
+  const float d2 = distance_squared(p, query);
+  if (heap.size() < k) {
+    heap.push_back({n.point, d2});
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  } else if (d2 < heap.front().distance_squared) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    heap.back() = {n.point, d2};
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  }
+  const float delta = axis_value(query, n.axis) - axis_value(p, n.axis);
+  const std::uint32_t near_child = delta < 0.0F ? n.left : n.right;
+  const std::uint32_t far_child = delta < 0.0F ? n.right : n.left;
+  if (near_child != Node::kNull) knn_impl(near_child, query, k, heap);
+  const bool frontier_may_hold_better =
+      heap.size() < k || delta * delta < heap.front().distance_squared;
+  if (far_child != Node::kNull && frontier_may_hold_better) {
+    knn_impl(far_child, query, k, heap);
+  }
+}
+
+}  // namespace arvis

@@ -1,0 +1,68 @@
+// A compact k-d tree over point positions for nearest-neighbor queries, used
+// by the geometry quality metrics (point-to-point / point-to-plane PSNR).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace arvis {
+
+/// Immutable 3-dimensional k-d tree built once over a snapshot of points.
+/// Median-split construction, O(N log N); nearest-neighbor expected O(log N).
+class KdTree {
+ public:
+  /// Builds over a copy of `points`. Empty input yields an empty tree.
+  explicit KdTree(std::span<const Vec3f> points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  /// Result of a nearest-neighbor query.
+  struct Neighbor {
+    /// Index into the original input span; kInvalid when the tree is empty.
+    std::uint32_t index = kInvalid;
+    /// Squared Euclidean distance to the query.
+    float distance_squared = 0.0F;
+
+    static constexpr std::uint32_t kInvalid = 0xFFFFFFFFU;
+  };
+
+  /// Closest stored point to `query` (ties broken arbitrarily).
+  [[nodiscard]] Neighbor nearest(const Vec3f& query) const noexcept;
+
+  /// Indices of all stored points within `radius` of `query` (unordered).
+  [[nodiscard]] std::vector<std::uint32_t> radius_search(const Vec3f& query,
+                                                         float radius) const;
+
+  /// The k nearest stored points, closest first. Returns fewer when the tree
+  /// holds fewer than k points.
+  [[nodiscard]] std::vector<Neighbor> k_nearest(const Vec3f& query,
+                                                std::size_t k) const;
+
+ private:
+  struct Node {
+    std::uint32_t point = 0;        // index into points_ / original input
+    std::uint32_t left = kNull;     // child node indices
+    std::uint32_t right = kNull;
+    std::uint8_t axis = 0;          // split dimension 0..2
+
+    static constexpr std::uint32_t kNull = 0xFFFFFFFFU;
+  };
+
+  std::uint32_t build(std::span<std::uint32_t> indices, int depth);
+  void nearest_impl(std::uint32_t node, const Vec3f& query,
+                    Neighbor& best) const noexcept;
+  void radius_impl(std::uint32_t node, const Vec3f& query, float radius_sq,
+                   std::vector<std::uint32_t>& out) const;
+  void knn_impl(std::uint32_t node, const Vec3f& query, std::size_t k,
+                std::vector<Neighbor>& heap) const;
+
+  std::vector<Vec3f> points_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = Node::kNull;
+};
+
+}  // namespace arvis

@@ -1,0 +1,124 @@
+#include "pointcloud/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pointcloud/kdtree.hpp"
+#include "pointcloud/normals.hpp"
+
+namespace arvis {
+namespace {
+
+void require_non_empty(const PointCloud& a, const PointCloud& b,
+                       const char* where) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument(std::string(where) +
+                                ": both clouds must be non-empty");
+  }
+}
+
+/// Directional stats using a prebuilt tree over `target`.
+DistanceStats directional_stats(const PointCloud& source, const KdTree& target) {
+  DistanceStats stats;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const Vec3f& p : source.positions()) {
+    const auto nn = target.nearest(p);
+    const double d = std::sqrt(static_cast<double>(nn.distance_squared));
+    sum += d;
+    sum_sq += d * d;
+    stats.max = std::max(stats.max, d);
+  }
+  const auto n = static_cast<double>(source.size());
+  stats.mean = sum / n;
+  stats.rms = std::sqrt(sum_sq / n);
+  return stats;
+}
+
+double luma709(const Color8& c) noexcept {
+  return 0.2126 * c.r + 0.7152 * c.g + 0.0722 * c.b;
+}
+
+}  // namespace
+
+DistanceStats point_to_point_distance(const PointCloud& source,
+                                      const PointCloud& target) {
+  require_non_empty(source, target, "point_to_point_distance");
+  const KdTree tree(target.positions());
+  return directional_stats(source, tree);
+}
+
+GeometryMetrics compare_geometry(const PointCloud& reference,
+                                 const PointCloud& reconstruction) {
+  require_non_empty(reference, reconstruction, "compare_geometry");
+  const KdTree ref_tree(reference.positions());
+  const KdTree rec_tree(reconstruction.positions());
+
+  GeometryMetrics m;
+  m.forward = directional_stats(reference, rec_tree);
+  m.backward = directional_stats(reconstruction, ref_tree);
+  m.symmetric_rms = std::max(m.forward.rms, m.backward.rms);
+  m.hausdorff = std::max(m.forward.max, m.backward.max);
+
+  const Vec3f diag = reference.bounds().extent();
+  const double peak = length(diag);
+  const double mse = m.symmetric_rms * m.symmetric_rms;
+  if (mse <= 0.0) {
+    m.psnr_db = std::numeric_limits<double>::infinity();
+  } else {
+    m.psnr_db = 10.0 * std::log10(peak * peak / mse);
+  }
+  return m;
+}
+
+double point_to_plane_mse(const PointCloud& source, const PointCloud& target,
+                          std::size_t k) {
+  require_non_empty(source, target, "point_to_plane_mse");
+  if (k < 3) throw std::invalid_argument("point_to_plane_mse: k must be >= 3");
+  const KdTree tree(target.positions());
+
+  double sum_sq = 0.0;
+  std::vector<Vec3f> neighborhood;
+  for (const Vec3f& p : source.positions()) {
+    const auto neighbors = tree.k_nearest(p, k);
+    const Vec3f& nearest = target.position(neighbors.front().index);
+    const Vec3f offset = p - nearest;
+    if (neighbors.size() < 3) {
+      sum_sq += length_squared(offset);  // fall back to point-to-point
+      continue;
+    }
+    neighborhood.clear();
+    for (const auto& nb : neighbors) {
+      neighborhood.push_back(target.position(nb.index));
+    }
+    const Vec3f normal = pca_normal(neighborhood);
+    if (length_squared(normal) < 0.5F) {  // degenerate neighborhood
+      sum_sq += length_squared(offset);
+      continue;
+    }
+    const float projected = dot(offset, normal);
+    sum_sq += static_cast<double>(projected) * projected;
+  }
+  return sum_sq / static_cast<double>(source.size());
+}
+
+double color_psnr_db(const PointCloud& reference,
+                     const PointCloud& reconstruction) {
+  if (!reference.has_colors() || !reconstruction.has_colors()) {
+    return std::nan("");
+  }
+  require_non_empty(reference, reconstruction, "color_psnr_db");
+  const KdTree tree(reconstruction.positions());
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const auto nn = tree.nearest(reference.position(i));
+    const double dy =
+        luma709(reference.color(i)) - luma709(reconstruction.color(nn.index));
+    sum_sq += dy * dy;
+  }
+  const double mse = sum_sq / static_cast<double>(reference.size());
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace arvis

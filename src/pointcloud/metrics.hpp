@@ -1,0 +1,58 @@
+// Objective geometry quality metrics between a reference point cloud and a
+// degraded (e.g. depth-limited octree) reconstruction.
+//
+// These implement the MPEG PCC evaluation methodology ("D1" point-to-point
+// and "D2" point-to-plane) that the point-cloud literature — including the
+// 8iVFB dataset paper [8] — uses to quantify visualization quality, giving
+// the controller's p_a(d) a physically meaningful calibration target.
+#pragma once
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// Summary of one-directional point-to-point distances from `source` to its
+/// nearest neighbors in `target`.
+struct DistanceStats {
+  double mean = 0.0;
+  double rms = 0.0;
+  double max = 0.0;  // Hausdorff component
+};
+
+/// For every point of `source`, distance to the nearest point of `target`.
+/// Preconditions: both clouds non-empty.
+DistanceStats point_to_point_distance(const PointCloud& source,
+                                      const PointCloud& target);
+
+/// Symmetric metrics between a reference and a reconstruction.
+struct GeometryMetrics {
+  DistanceStats forward;    // reference -> reconstruction
+  DistanceStats backward;   // reconstruction -> reference
+  /// max of the two directional RMS values (MPEG symmetric convention).
+  double symmetric_rms = 0.0;
+  /// max of the two directional maxima (symmetric Hausdorff distance).
+  double hausdorff = 0.0;
+  /// D1 geometry PSNR: 10·log10(peak² / symmetric mean-squared error), where
+  /// peak is the reference bounding-box diagonal (MPEG convention).
+  double psnr_db = 0.0;
+};
+
+/// Computes the symmetric D1 geometry metrics.
+/// Preconditions: both clouds non-empty.
+GeometryMetrics compare_geometry(const PointCloud& reference,
+                                 const PointCloud& reconstruction);
+
+/// Mean point-to-plane ("D2") squared error from `source` to `target`, using
+/// normals estimated from each target point's k nearest neighbors (PCA).
+/// Falls back to point-to-point where a neighborhood is degenerate.
+/// Preconditions: both clouds non-empty; k >= 3.
+double point_to_plane_mse(const PointCloud& source, const PointCloud& target,
+                          std::size_t k = 8);
+
+/// Color PSNR over the luma channel (ITU-R BT.709), comparing each reference
+/// point's color with its nearest reconstruction point's color. Returns NaN
+/// if either cloud lacks colors.
+double color_psnr_db(const PointCloud& reference,
+                     const PointCloud& reconstruction);
+
+}  // namespace arvis

@@ -1,0 +1,148 @@
+#include "pointcloud/normals.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "pointcloud/kdtree.hpp"
+
+namespace arvis {
+
+Vec3f pca_normal(std::span<const Vec3f> neighborhood) noexcept {
+  if (neighborhood.size() < 3) return {};
+  Vec3f mean;
+  for (const Vec3f& p : neighborhood) mean += p;
+  mean /= static_cast<float>(neighborhood.size());
+
+  double cxx = 0, cxy = 0, cxz = 0, cyy = 0, cyz = 0, czz = 0;
+  for (const Vec3f& p : neighborhood) {
+    const Vec3f d = p - mean;
+    cxx += d.x * d.x;
+    cxy += d.x * d.y;
+    cxz += d.x * d.z;
+    cyy += d.y * d.y;
+    cyz += d.y * d.z;
+    czz += d.z * d.z;
+  }
+  // Rank check: all mass in one direction means no plane is defined.
+  const double trace = cxx + cyy + czz;
+  if (trace <= 0.0) return {};
+
+  double a[3][3] = {{cxx, cxy, cxz}, {cxy, cyy, cyz}, {cxz, cyz, czz}};
+  double v[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  // Cyclic Jacobi; 8 sweeps is ample for a 3x3.
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    for (int p = 0; p < 2; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        if (std::abs(a[p][q]) < 1e-18) continue;
+        const double theta = 0.5 * std::atan2(2.0 * a[p][q], a[q][q] - a[p][p]);
+        const double c = std::cos(theta);
+        const double s = std::sin(theta);
+        for (int k = 0; k < 3; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+          const double vkp = v[k][p];
+          const double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  int smallest = 0;
+  if (a[1][1] < a[smallest][smallest]) smallest = 1;
+  if (a[2][2] < a[smallest][smallest]) smallest = 2;
+  // Rank-1 degenerate (a line): the two smallest eigenvalues are ~0 and the
+  // plane normal is undefined.
+  double eigs[3] = {a[0][0], a[1][1], a[2][2]};
+  int order[3] = {0, 1, 2};
+  std::sort(order, order + 3, [&](int x, int y) { return eigs[x] < eigs[y]; });
+  if (eigs[order[1]] < 1e-12 * trace) return {};
+
+  const Vec3f normal{static_cast<float>(v[0][smallest]),
+                     static_cast<float>(v[1][smallest]),
+                     static_cast<float>(v[2][smallest])};
+  return normalized(normal);
+}
+
+std::vector<Vec3f> estimate_normals(const PointCloud& cloud, std::size_t k) {
+  if (k < 3) {
+    throw std::invalid_argument("estimate_normals: k must be >= 3");
+  }
+  std::vector<Vec3f> normals(cloud.size());
+  if (cloud.empty()) return normals;
+  const KdTree tree(cloud.positions());
+  std::vector<Vec3f> neighborhood;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto neighbors = tree.k_nearest(cloud.position(i), k);
+    neighborhood.clear();
+    for (const auto& nb : neighbors) {
+      neighborhood.push_back(cloud.position(nb.index));
+    }
+    normals[i] = pca_normal(neighborhood);
+  }
+  return normals;
+}
+
+void orient_normals_toward(std::vector<Vec3f>& normals, const PointCloud& cloud,
+                           const Vec3f& viewpoint) {
+  if (normals.size() != cloud.size()) {
+    throw std::invalid_argument(
+        "orient_normals_toward: normals/cloud size mismatch");
+  }
+  for (std::size_t i = 0; i < normals.size(); ++i) {
+    const Vec3f to_view = viewpoint - cloud.position(i);
+    if (dot(normals[i], to_view) < 0.0F) normals[i] = -normals[i];
+  }
+}
+
+PointCloud random_downsample(const PointCloud& cloud, std::size_t count,
+                             Rng& rng) {
+  if (count >= cloud.size()) return cloud;
+  std::vector<std::uint32_t> indices(cloud.size());
+  std::iota(indices.begin(), indices.end(), 0U);
+  // Partial Fisher-Yates: the first `count` slots become the sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(
+                                  rng.below(indices.size() - i));
+    std::swap(indices[i], indices[j]);
+  }
+  PointCloud out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cloud.has_colors()) {
+      out.add_point(cloud.position(indices[i]), cloud.color(indices[i]));
+    } else {
+      out.add_point(cloud.position(indices[i]));
+    }
+  }
+  return out;
+}
+
+PointCloud stride_downsample(const PointCloud& cloud, std::size_t k,
+                             std::size_t offset) {
+  if (k < 1 || offset >= k) {
+    throw std::invalid_argument(
+        "stride_downsample: need k >= 1 and offset < k");
+  }
+  PointCloud out;
+  out.reserve(cloud.size() / k + 1);
+  for (std::size_t i = offset; i < cloud.size(); i += k) {
+    if (cloud.has_colors()) {
+      out.add_point(cloud.position(i), cloud.color(i));
+    } else {
+      out.add_point(cloud.position(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace arvis

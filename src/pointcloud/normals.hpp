@@ -1,0 +1,46 @@
+// Surface-normal estimation and point sampling utilities.
+//
+// PCA normals (smallest covariance eigenvector of a k-neighborhood) are the
+// standard estimator for unorganized point clouds; the D2 point-to-plane
+// metric uses them internally, and they are exposed here for renderers and
+// downstream geometry processing.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// Normal of the best-fit plane through `neighborhood` (unit length), i.e.
+/// the eigenvector of the smallest eigenvalue of the covariance matrix,
+/// computed with a cyclic Jacobi sweep on the 3x3 symmetric matrix.
+/// Returns the zero vector when the neighborhood is degenerate (fewer than
+/// 3 points, or rank < 2). Orientation is arbitrary (unoriented normal).
+Vec3f pca_normal(std::span<const Vec3f> neighborhood) noexcept;
+
+/// Estimates one unoriented unit normal per point from its k nearest
+/// neighbors (including itself). Degenerate neighborhoods yield the zero
+/// vector. Preconditions: k >= 3 (throws std::invalid_argument).
+/// O(N log N) build + O(N k log N) queries.
+std::vector<Vec3f> estimate_normals(const PointCloud& cloud, std::size_t k = 16);
+
+/// Orients `normals` so each points toward `viewpoint` (flips those with
+/// negative dot product to the viewpoint direction) — sufficient for
+/// camera-facing splat shading. Sizes must match (throws otherwise).
+void orient_normals_toward(std::vector<Vec3f>& normals, const PointCloud& cloud,
+                           const Vec3f& viewpoint);
+
+/// Uniformly samples `count` points without replacement (Fisher-Yates over
+/// an index vector). If count >= cloud.size(), returns the cloud unchanged.
+/// Deterministic in (cloud, count, rng state). Colors are preserved.
+PointCloud random_downsample(const PointCloud& cloud, std::size_t count,
+                             Rng& rng);
+
+/// Keeps every k-th point starting at `offset` (cheap deterministic
+/// decimation). Preconditions: k >= 1, offset < k.
+PointCloud stride_downsample(const PointCloud& cloud, std::size_t k,
+                             std::size_t offset = 0);
+
+}  // namespace arvis

@@ -1,0 +1,316 @@
+#include "pointcloud/ply_io.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace arvis {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "binary PLY IO assumes a little-endian host");
+
+/// Scalar types PLY headers may declare.
+enum class PlyType { kChar, kUChar, kShort, kUShort, kInt, kUInt, kFloat, kDouble };
+
+std::size_t ply_type_size(PlyType t) {
+  switch (t) {
+    case PlyType::kChar:
+    case PlyType::kUChar: return 1;
+    case PlyType::kShort:
+    case PlyType::kUShort: return 2;
+    case PlyType::kInt:
+    case PlyType::kUInt:
+    case PlyType::kFloat: return 4;
+    case PlyType::kDouble: return 8;
+  }
+  return 0;
+}
+
+Result<PlyType> parse_ply_type(const std::string& token) {
+  if (token == "char" || token == "int8") return PlyType::kChar;
+  if (token == "uchar" || token == "uint8") return PlyType::kUChar;
+  if (token == "short" || token == "int16") return PlyType::kShort;
+  if (token == "ushort" || token == "uint16") return PlyType::kUShort;
+  if (token == "int" || token == "int32") return PlyType::kInt;
+  if (token == "uint" || token == "uint32") return PlyType::kUInt;
+  if (token == "float" || token == "float32") return PlyType::kFloat;
+  if (token == "double" || token == "float64") return PlyType::kDouble;
+  return Status::ParseError("unknown PLY scalar type: " + token);
+}
+
+struct PlyProperty {
+  std::string name;
+  PlyType type = PlyType::kFloat;
+};
+
+struct PlyHeader {
+  PlyFormat format = PlyFormat::kAscii;
+  std::size_t vertex_count = 0;
+  std::vector<PlyProperty> vertex_properties;
+  // Index into vertex_properties, or -1 if absent.
+  int ix = -1, iy = -1, iz = -1, ir = -1, ig = -1, ib = -1;
+};
+
+Result<PlyHeader> parse_header(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return Status::ParseError("empty stream");
+  // Tolerate trailing CR from files written on Windows.
+  auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  strip_cr(line);
+  if (line != "ply") return Status::ParseError("missing 'ply' magic");
+
+  PlyHeader header;
+  bool in_vertex_element = false;
+  bool saw_format = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword.empty() || keyword == "comment" || keyword == "obj_info") {
+      continue;
+    }
+    if (keyword == "format") {
+      std::string fmt, version;
+      ls >> fmt >> version;
+      if (fmt == "ascii") {
+        header.format = PlyFormat::kAscii;
+      } else if (fmt == "binary_little_endian") {
+        header.format = PlyFormat::kBinaryLittleEndian;
+      } else {
+        return Status::ParseError("unsupported PLY format: " + fmt);
+      }
+      saw_format = true;
+    } else if (keyword == "element") {
+      std::string name;
+      std::size_t count = 0;
+      ls >> name >> count;
+      if (name == "vertex") {
+        header.vertex_count = count;
+        in_vertex_element = true;
+      } else {
+        if (in_vertex_element) {
+          // Elements after vertex (faces etc.) are ignored; for ASCII we can
+          // simply stop reading after vertex rows. For binary we require
+          // vertex to be the only element we must traverse, which holds when
+          // vertex comes first (true for all point-cloud PLYs).
+        }
+        in_vertex_element = false;
+      }
+    } else if (keyword == "property") {
+      if (!in_vertex_element) continue;  // properties of other elements
+      std::string type_token;
+      ls >> type_token;
+      if (type_token == "list") {
+        return Status::ParseError("list property on vertex element unsupported");
+      }
+      auto type = parse_ply_type(type_token);
+      if (!type) return type.status();
+      std::string name;
+      ls >> name;
+      const int idx = static_cast<int>(header.vertex_properties.size());
+      if (name == "x") header.ix = idx;
+      if (name == "y") header.iy = idx;
+      if (name == "z") header.iz = idx;
+      if (name == "red" || name == "r") header.ir = idx;
+      if (name == "green" || name == "g") header.ig = idx;
+      if (name == "blue" || name == "b") header.ib = idx;
+      header.vertex_properties.push_back({name, *type});
+    } else if (keyword == "end_header") {
+      saw_end = true;
+      break;
+    } else {
+      return Status::ParseError("unknown header keyword: " + keyword);
+    }
+  }
+  if (!saw_end) return Status::ParseError("missing end_header");
+  if (!saw_format) return Status::ParseError("missing format line");
+  if (header.ix < 0 || header.iy < 0 || header.iz < 0) {
+    return Status::ParseError("vertex element lacks x/y/z properties");
+  }
+  return header;
+}
+
+double decode_scalar(const unsigned char* p, PlyType t) {
+  switch (t) {
+    case PlyType::kChar: {
+      signed char v;
+      std::memcpy(&v, p, 1);
+      return v;
+    }
+    case PlyType::kUChar: return *p;
+    case PlyType::kShort: {
+      std::int16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case PlyType::kUShort: {
+      std::uint16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case PlyType::kInt: {
+      std::int32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case PlyType::kUInt: {
+      std::uint32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case PlyType::kFloat: {
+      float v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case PlyType::kDouble: {
+      double v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+Result<PointCloud> read_ascii_body(std::istream& in, const PlyHeader& header) {
+  const bool with_colors = header.ir >= 0 && header.ig >= 0 && header.ib >= 0;
+  std::vector<Vec3f> positions;
+  std::vector<Color8> colors;
+  positions.reserve(header.vertex_count);
+  if (with_colors) colors.reserve(header.vertex_count);
+
+  const std::size_t nprops = header.vertex_properties.size();
+  std::vector<double> row(nprops);
+  for (std::size_t v = 0; v < header.vertex_count; ++v) {
+    for (std::size_t p = 0; p < nprops; ++p) {
+      if (!(in >> row[p])) {
+        return Status::ParseError("ASCII PLY truncated at vertex " +
+                                  std::to_string(v));
+      }
+    }
+    positions.push_back({static_cast<float>(row[static_cast<std::size_t>(header.ix)]),
+                         static_cast<float>(row[static_cast<std::size_t>(header.iy)]),
+                         static_cast<float>(row[static_cast<std::size_t>(header.iz)])});
+    if (with_colors) {
+      colors.push_back({static_cast<std::uint8_t>(row[static_cast<std::size_t>(header.ir)]),
+                        static_cast<std::uint8_t>(row[static_cast<std::size_t>(header.ig)]),
+                        static_cast<std::uint8_t>(row[static_cast<std::size_t>(header.ib)])});
+    }
+  }
+  return PointCloud(std::move(positions), std::move(colors));
+}
+
+Result<PointCloud> read_binary_body(std::istream& in, const PlyHeader& header) {
+  const bool with_colors = header.ir >= 0 && header.ig >= 0 && header.ib >= 0;
+  std::size_t stride = 0;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(header.vertex_properties.size());
+  for (const auto& prop : header.vertex_properties) {
+    offsets.push_back(stride);
+    stride += ply_type_size(prop.type);
+  }
+
+  std::vector<Vec3f> positions;
+  std::vector<Color8> colors;
+  positions.reserve(header.vertex_count);
+  if (with_colors) colors.reserve(header.vertex_count);
+
+  std::vector<unsigned char> buffer(stride);
+  auto prop_at = [&](int idx) -> const PlyProperty& {
+    return header.vertex_properties[static_cast<std::size_t>(idx)];
+  };
+  for (std::size_t v = 0; v < header.vertex_count; ++v) {
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(stride));
+    if (in.gcount() != static_cast<std::streamsize>(stride)) {
+      return Status::ParseError("binary PLY truncated at vertex " +
+                                std::to_string(v));
+    }
+    auto scalar = [&](int idx) {
+      return decode_scalar(buffer.data() + offsets[static_cast<std::size_t>(idx)],
+                           prop_at(idx).type);
+    };
+    positions.push_back({static_cast<float>(scalar(header.ix)),
+                         static_cast<float>(scalar(header.iy)),
+                         static_cast<float>(scalar(header.iz))});
+    if (with_colors) {
+      colors.push_back({static_cast<std::uint8_t>(scalar(header.ir)),
+                        static_cast<std::uint8_t>(scalar(header.ig)),
+                        static_cast<std::uint8_t>(scalar(header.ib))});
+    }
+  }
+  return PointCloud(std::move(positions), std::move(colors));
+}
+
+}  // namespace
+
+Result<PointCloud> read_ply(std::istream& in) {
+  auto header = parse_header(in);
+  if (!header) return header.status();
+  return header->format == PlyFormat::kAscii ? read_ascii_body(in, *header)
+                                             : read_binary_body(in, *header);
+}
+
+Result<PointCloud> read_ply_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  return read_ply(in);
+}
+
+Status write_ply(std::ostream& out, const PointCloud& cloud, PlyFormat format) {
+  out << "ply\n";
+  out << (format == PlyFormat::kAscii ? "format ascii 1.0\n"
+                                      : "format binary_little_endian 1.0\n");
+  out << "comment generated by arvis\n";
+  out << "element vertex " << cloud.size() << "\n";
+  out << "property float x\nproperty float y\nproperty float z\n";
+  if (cloud.has_colors()) {
+    out << "property uchar red\nproperty uchar green\nproperty uchar blue\n";
+  }
+  out << "end_header\n";
+
+  if (format == PlyFormat::kAscii) {
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+      const Vec3f& p = cloud.position(i);
+      out << p.x << ' ' << p.y << ' ' << p.z;
+      if (cloud.has_colors()) {
+        const Color8& c = cloud.color(i);
+        out << ' ' << static_cast<int>(c.r) << ' ' << static_cast<int>(c.g)
+            << ' ' << static_cast<int>(c.b);
+      }
+      out << '\n';
+    }
+  } else {
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+      const Vec3f& p = cloud.position(i);
+      std::array<float, 3> xyz{p.x, p.y, p.z};
+      out.write(reinterpret_cast<const char*>(xyz.data()), sizeof xyz);
+      if (cloud.has_colors()) {
+        const Color8& c = cloud.color(i);
+        const std::array<unsigned char, 3> rgb{c.r, c.g, c.b};
+        out.write(reinterpret_cast<const char*>(rgb.data()), sizeof rgb);
+      }
+    }
+  }
+  if (!out) return Status::IoError("PLY write failed");
+  return Status::Ok();
+}
+
+Status write_ply_file(const std::string& path, const PointCloud& cloud,
+                      PlyFormat format) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  return write_ply(out, cloud, format);
+}
+
+}  // namespace arvis

@@ -1,0 +1,36 @@
+// PLY reader/writer for point clouds.
+//
+// Replaces the Open3D IO functionality the paper relied on. Supports the
+// subset used by 8i Voxelized Full Bodies and most point-cloud datasets:
+// `element vertex` with float/double x,y,z and optional uchar red,green,blue,
+// in `ascii` or `binary_little_endian` format. Unknown vertex properties are
+// skipped; unknown elements after vertex are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// On-disk PLY encoding.
+enum class PlyFormat { kAscii, kBinaryLittleEndian };
+
+/// Parses a PLY point cloud from a stream. Returns ParseError with a
+/// line/offset description on malformed input.
+Result<PointCloud> read_ply(std::istream& in);
+
+/// Reads a PLY file from disk.
+Result<PointCloud> read_ply_file(const std::string& path);
+
+/// Writes `cloud` as PLY. Positions are written as float x,y,z; colors (if
+/// present) as uchar red,green,blue.
+Status write_ply(std::ostream& out, const PointCloud& cloud, PlyFormat format);
+
+/// Writes a PLY file to disk.
+Status write_ply_file(const std::string& path, const PointCloud& cloud,
+                      PlyFormat format = PlyFormat::kBinaryLittleEndian);
+
+}  // namespace arvis

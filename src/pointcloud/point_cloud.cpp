@@ -1,0 +1,79 @@
+#include "pointcloud/point_cloud.hpp"
+
+#include <stdexcept>
+
+namespace arvis {
+
+PointCloud::PointCloud(std::vector<Vec3f> positions, std::vector<Color8> colors)
+    : positions_(std::move(positions)), colors_(std::move(colors)) {
+  if (!colors_.empty() && colors_.size() != positions_.size()) {
+    throw std::invalid_argument(
+        "PointCloud: colors must be empty or match positions (" +
+        std::to_string(colors_.size()) + " colors vs " +
+        std::to_string(positions_.size()) + " positions)");
+  }
+}
+
+void PointCloud::add_point(const Vec3f& p) {
+  if (has_colors()) {
+    throw std::logic_error("PointCloud: cannot add uncolored point to colored cloud");
+  }
+  positions_.push_back(p);
+}
+
+void PointCloud::add_point(const Vec3f& p, const Color8& c) {
+  if (!empty() && !has_colors()) {
+    throw std::logic_error("PointCloud: cannot add colored point to uncolored cloud");
+  }
+  positions_.push_back(p);
+  colors_.push_back(c);
+}
+
+void PointCloud::append(const PointCloud& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  if (has_colors() != other.has_colors()) {
+    throw std::logic_error("PointCloud::append: color presence mismatch");
+  }
+  positions_.insert(positions_.end(), other.positions_.begin(),
+                    other.positions_.end());
+  colors_.insert(colors_.end(), other.colors_.begin(), other.colors_.end());
+}
+
+void PointCloud::clear() noexcept {
+  positions_.clear();
+  colors_.clear();
+}
+
+void PointCloud::reserve(std::size_t n) {
+  positions_.reserve(n);
+  if (has_colors()) colors_.reserve(n);
+}
+
+Aabb PointCloud::bounds() const noexcept { return Aabb::of(positions_); }
+
+Vec3f PointCloud::centroid() const noexcept {
+  if (empty()) return {};
+  Vec3f sum;
+  for (const Vec3f& p : positions_) sum += p;
+  return sum / static_cast<float>(size());
+}
+
+PointCloud PointCloud::slice(std::size_t first, std::size_t last) const {
+  if (first > last || last > size()) {
+    throw std::out_of_range("PointCloud::slice: invalid range");
+  }
+  PointCloud out;
+  out.positions_.assign(positions_.begin() + static_cast<std::ptrdiff_t>(first),
+                        positions_.begin() + static_cast<std::ptrdiff_t>(last));
+  if (has_colors()) {
+    out.colors_.assign(colors_.begin() + static_cast<std::ptrdiff_t>(first),
+                       colors_.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+  return out;
+}
+
+}  // namespace arvis

@@ -1,0 +1,94 @@
+// PointCloud: the central geometry container of the library.
+//
+// Structure-of-arrays layout (positions[], colors[]) matching what the
+// octree, renderer and PLY IO need; colors are optional. Class invariant:
+// colors are either empty or exactly one per point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aabb.hpp"
+#include "common/vec3.hpp"
+
+namespace arvis {
+
+/// 8-bit RGB color, as stored in 8iVFB PLY files.
+struct Color8 {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  constexpr bool operator==(const Color8&) const noexcept = default;
+};
+
+/// An unordered set of 3D points with optional per-point RGB colors.
+class PointCloud {
+ public:
+  PointCloud() = default;
+
+  /// Constructs from positions only (no colors).
+  explicit PointCloud(std::vector<Vec3f> positions)
+      : positions_(std::move(positions)) {}
+
+  /// Constructs from positions and matching colors.
+  /// Throws std::invalid_argument if sizes differ and colors is non-empty.
+  PointCloud(std::vector<Vec3f> positions, std::vector<Color8> colors);
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return positions_.empty(); }
+  [[nodiscard]] bool has_colors() const noexcept { return !colors_.empty(); }
+
+  [[nodiscard]] std::span<const Vec3f> positions() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] std::span<const Color8> colors() const noexcept {
+    return colors_;
+  }
+  [[nodiscard]] std::span<Vec3f> mutable_positions() noexcept {
+    return positions_;
+  }
+  [[nodiscard]] std::span<Color8> mutable_colors() noexcept { return colors_; }
+
+  [[nodiscard]] const Vec3f& position(std::size_t i) const {
+    return positions_.at(i);
+  }
+  [[nodiscard]] const Color8& color(std::size_t i) const {
+    return colors_.at(i);
+  }
+
+  /// Appends one uncolored point. Throws std::logic_error if the cloud has
+  /// colors (would break the invariant).
+  void add_point(const Vec3f& p);
+
+  /// Appends one colored point. Throws std::logic_error if the cloud already
+  /// has uncolored points.
+  void add_point(const Vec3f& p, const Color8& c);
+
+  /// Appends all points of another cloud. Color presence must match unless
+  /// either cloud is empty; otherwise throws std::logic_error.
+  void append(const PointCloud& other);
+
+  /// Removes all points (and colors).
+  void clear() noexcept;
+
+  /// Pre-allocates capacity.
+  void reserve(std::size_t n);
+
+  /// Axis-aligned bounding box of all points (empty box if no points).
+  [[nodiscard]] Aabb bounds() const noexcept;
+
+  /// Arithmetic mean of all positions; zero vector when empty.
+  [[nodiscard]] Vec3f centroid() const noexcept;
+
+  /// Returns the subset of points whose index is in [first, last).
+  /// Preconditions: first <= last <= size().
+  [[nodiscard]] PointCloud slice(std::size_t first, std::size_t last) const;
+
+ private:
+  std::vector<Vec3f> positions_;
+  std::vector<Color8> colors_;  // empty, or one per position
+};
+
+}  // namespace arvis

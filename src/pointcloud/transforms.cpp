@@ -1,0 +1,94 @@
+#include "pointcloud/transforms.hpp"
+
+#include <cmath>
+
+namespace arvis {
+
+Mat3 operator*(const Mat3& a, const Mat3& b) noexcept {
+  Mat3 out;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      out.m[i][j] = a.m[i][0] * b.m[0][j] + a.m[i][1] * b.m[1][j] +
+                    a.m[i][2] * b.m[2][j];
+    }
+  }
+  return out;
+}
+
+Mat3 rotation_about_axis(const Vec3f& axis, float radians) noexcept {
+  // Rodrigues' rotation formula.
+  const Vec3f u = normalized(axis);
+  const float c = std::cos(radians);
+  const float s = std::sin(radians);
+  const float t = 1.0F - c;
+  Mat3 r;
+  r.m[0][0] = c + u.x * u.x * t;
+  r.m[0][1] = u.x * u.y * t - u.z * s;
+  r.m[0][2] = u.x * u.z * t + u.y * s;
+  r.m[1][0] = u.y * u.x * t + u.z * s;
+  r.m[1][1] = c + u.y * u.y * t;
+  r.m[1][2] = u.y * u.z * t - u.x * s;
+  r.m[2][0] = u.z * u.x * t - u.y * s;
+  r.m[2][1] = u.z * u.y * t + u.x * s;
+  r.m[2][2] = c + u.z * u.z * t;
+  return r;
+}
+
+Mat3 rotation_x(float radians) noexcept {
+  return rotation_about_axis({1, 0, 0}, radians);
+}
+Mat3 rotation_y(float radians) noexcept {
+  return rotation_about_axis({0, 1, 0}, radians);
+}
+Mat3 rotation_z(float radians) noexcept {
+  return rotation_about_axis({0, 0, 1}, radians);
+}
+
+void translate(PointCloud& cloud, const Vec3f& offset) noexcept {
+  for (Vec3f& p : cloud.mutable_positions()) p += offset;
+}
+
+void scale(PointCloud& cloud, float factor, const Vec3f& pivot) noexcept {
+  for (Vec3f& p : cloud.mutable_positions()) p = pivot + (p - pivot) * factor;
+}
+
+void rotate(PointCloud& cloud, const Mat3& rotation, const Vec3f& pivot) noexcept {
+  for (Vec3f& p : cloud.mutable_positions()) {
+    p = pivot + rotation.apply(p - pivot);
+  }
+}
+
+PointCloud crop(const PointCloud& cloud, const Aabb& box) {
+  PointCloud out;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    if (!box.contains(cloud.position(i))) continue;
+    if (cloud.has_colors()) {
+      out.add_point(cloud.position(i), cloud.color(i));
+    } else {
+      out.add_point(cloud.position(i));
+    }
+  }
+  return out;
+}
+
+void fit_to_box(PointCloud& cloud, const Aabb& target) noexcept {
+  if (cloud.empty() || target.empty()) return;
+  const Aabb src = cloud.bounds();
+  const float src_extent = src.max_extent();
+  if (src_extent <= 0.0F) return;
+  // Uniform scale so the longest axis fits; then center in the target.
+  float factor = std::numeric_limits<float>::max();
+  const Vec3f te = target.extent();
+  const Vec3f se = src.extent();
+  for (int axis = 0; axis < 3; ++axis) {
+    const float s = se[static_cast<std::size_t>(axis)];
+    if (s > 0.0F) {
+      factor = std::min(factor, te[static_cast<std::size_t>(axis)] / s);
+    }
+  }
+  if (factor == std::numeric_limits<float>::max()) factor = 1.0F;
+  scale(cloud, factor, src.center());
+  translate(cloud, target.center() - src.center());
+}
+
+}  // namespace arvis

@@ -1,0 +1,51 @@
+// Rigid / affine transforms and simple editing operations on point clouds.
+// Replaces the Open3D "data format conversion" utilities used by the paper.
+#pragma once
+
+#include "common/aabb.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// A 3x3 rotation matrix (row-major). Built via the factory functions below;
+/// struct because any orthonormal matrix is a valid value.
+struct Mat3 {
+  // Identity by default.
+  float m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  [[nodiscard]] Vec3f apply(const Vec3f& v) const noexcept {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+};
+
+/// Matrix product a*b (apply b first, then a).
+Mat3 operator*(const Mat3& a, const Mat3& b) noexcept;
+
+/// Rotation about an arbitrary (normalized internally) axis by `radians`.
+Mat3 rotation_about_axis(const Vec3f& axis, float radians) noexcept;
+
+/// Rotations about the coordinate axes.
+Mat3 rotation_x(float radians) noexcept;
+Mat3 rotation_y(float radians) noexcept;
+Mat3 rotation_z(float radians) noexcept;
+
+/// Translates every point by `offset` in place.
+void translate(PointCloud& cloud, const Vec3f& offset) noexcept;
+
+/// Uniformly scales every point about `pivot` in place.
+void scale(PointCloud& cloud, float factor, const Vec3f& pivot = {}) noexcept;
+
+/// Rotates every point about `pivot` in place.
+void rotate(PointCloud& cloud, const Mat3& rotation,
+            const Vec3f& pivot = {}) noexcept;
+
+/// Returns the points inside `box` (colors preserved).
+[[nodiscard]] PointCloud crop(const PointCloud& cloud, const Aabb& box);
+
+/// Rescales and recenters the cloud so its bounding box fits exactly inside
+/// `target` (uniform scale, centered). No-op on an empty cloud.
+void fit_to_box(PointCloud& cloud, const Aabb& target) noexcept;
+
+}  // namespace arvis

@@ -1,0 +1,151 @@
+#include "pointcloud/voxel_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace arvis {
+
+VoxelGrid::VoxelGrid(const Aabb& bounds, int bits)
+    : cube_(bounds.bounding_cube()), bits_(bits) {
+  if (bits < 1 || bits > kMaxMortonBitsPerAxis) {
+    throw std::invalid_argument("VoxelGrid: bits must be in [1, 21], got " +
+                                std::to_string(bits));
+  }
+  if (cube_.empty() || cube_.max_extent() <= 0.0F) {
+    throw std::invalid_argument("VoxelGrid: bounds must be non-degenerate");
+  }
+  voxel_size_ = cube_.max_extent() / static_cast<float>(resolution());
+  inv_voxel_size_ = 1.0F / voxel_size_;
+}
+
+VoxelCoord VoxelGrid::quantize(const Vec3f& p) const noexcept {
+  const Vec3f rel = (p - cube_.min_corner) * inv_voxel_size_;
+  const auto clamp_axis = [this](float v) {
+    const float hi = static_cast<float>(resolution() - 1);
+    return static_cast<std::uint32_t>(std::clamp(std::floor(v), 0.0F, hi));
+  };
+  return {clamp_axis(rel.x), clamp_axis(rel.y), clamp_axis(rel.z)};
+}
+
+Vec3f VoxelGrid::voxel_center(const VoxelCoord& c) const noexcept {
+  return cube_.min_corner +
+         Vec3f{(static_cast<float>(c.x) + 0.5F) * voxel_size_,
+               (static_cast<float>(c.y) + 0.5F) * voxel_size_,
+               (static_cast<float>(c.z) + 0.5F) * voxel_size_};
+}
+
+PointCloud VoxelizedCloud::to_point_cloud() const {
+  std::vector<Vec3f> positions;
+  positions.reserve(codes.size());
+  for (std::uint64_t code : codes) {
+    positions.push_back(grid.voxel_center(morton_decode(code)));
+  }
+  return PointCloud(std::move(positions), colors);
+}
+
+VoxelizedCloud voxelize(const PointCloud& cloud, int bits) {
+  if (cloud.empty()) {
+    throw std::invalid_argument("voxelize: cloud must be non-empty");
+  }
+  return voxelize(cloud, VoxelGrid(cloud.bounds(), bits));
+}
+
+VoxelizedCloud voxelize(const PointCloud& cloud, const VoxelGrid& grid) {
+  // Sort point indices by Morton code, then sweep runs of equal codes.
+  const auto n = cloud.size();
+  std::vector<std::uint64_t> point_codes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    point_codes[i] = grid.morton_of(cloud.position(i));
+  }
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return point_codes[a] < point_codes[b];
+  });
+
+  VoxelizedCloud out{grid, {}, {}, {}};
+  const bool with_colors = cloud.has_colors();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t code = point_codes[order[i]];
+    std::size_t j = i;
+    std::uint32_t r = 0, g = 0, b = 0;
+    while (j < n && point_codes[order[j]] == code) {
+      if (with_colors) {
+        const Color8& c = cloud.color(order[j]);
+        r += c.r;
+        g += c.g;
+        b += c.b;
+      }
+      ++j;
+    }
+    const auto count = static_cast<std::uint32_t>(j - i);
+    out.codes.push_back(code);
+    out.point_counts.push_back(count);
+    if (with_colors) {
+      out.colors.push_back({static_cast<std::uint8_t>(r / count),
+                            static_cast<std::uint8_t>(g / count),
+                            static_cast<std::uint8_t>(b / count)});
+    }
+    i = j;
+  }
+  return out;
+}
+
+PointCloud voxel_downsample(const PointCloud& cloud, float voxel_size) {
+  if (voxel_size <= 0.0F) {
+    throw std::invalid_argument("voxel_downsample: voxel_size must be > 0");
+  }
+  if (cloud.empty()) return {};
+
+  struct Accumulator {
+    Vec3f position_sum;
+    std::uint32_t r = 0, g = 0, b = 0;
+    std::uint32_t count = 0;
+  };
+  const Aabb bounds = cloud.bounds();
+  const float inv = 1.0F / voxel_size;
+  std::unordered_map<std::uint64_t, Accumulator> cells;
+  cells.reserve(cloud.size() / 4 + 1);
+  const bool with_colors = cloud.has_colors();
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec3f rel = (cloud.position(i) - bounds.min_corner) * inv;
+    const VoxelCoord coord{static_cast<std::uint32_t>(rel.x),
+                           static_cast<std::uint32_t>(rel.y),
+                           static_cast<std::uint32_t>(rel.z)};
+    Accumulator& acc = cells[morton_encode(coord)];
+    acc.position_sum += cloud.position(i);
+    if (with_colors) {
+      const Color8& c = cloud.color(i);
+      acc.r += c.r;
+      acc.g += c.g;
+      acc.b += c.b;
+    }
+    ++acc.count;
+  }
+
+  // Deterministic output order: sort by Morton code.
+  std::vector<std::pair<std::uint64_t, Accumulator>> sorted(cells.begin(),
+                                                            cells.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  PointCloud out;
+  out.reserve(sorted.size());
+  for (const auto& [code, acc] : sorted) {
+    const Vec3f centroid = acc.position_sum / static_cast<float>(acc.count);
+    if (with_colors) {
+      out.add_point(centroid, {static_cast<std::uint8_t>(acc.r / acc.count),
+                               static_cast<std::uint8_t>(acc.g / acc.count),
+                               static_cast<std::uint8_t>(acc.b / acc.count)});
+    } else {
+      out.add_point(centroid);
+    }
+  }
+  return out;
+}
+
+}  // namespace arvis

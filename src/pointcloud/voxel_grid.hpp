@@ -1,0 +1,81 @@
+// Voxelization: quantizing a point cloud onto a 2^bits integer grid, as the
+// 8iVFB dataset is distributed (10-bit voxelized bodies), plus voxel-grid
+// downsampling (centroid per occupied voxel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aabb.hpp"
+#include "common/morton.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// Mapping between world space and an integer voxel grid over a cubic region.
+/// Class invariant: bits in [1, kMaxMortonBitsPerAxis], cube non-degenerate.
+class VoxelGrid {
+ public:
+  /// Covers `bounds`' bounding cube with a 2^bits × 2^bits × 2^bits grid.
+  /// Throws std::invalid_argument on bad bits or an empty/degenerate box.
+  VoxelGrid(const Aabb& bounds, int bits);
+
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+  [[nodiscard]] std::uint32_t resolution() const noexcept {
+    return 1U << bits_;
+  }
+  [[nodiscard]] const Aabb& cube() const noexcept { return cube_; }
+  /// World-space edge length of one voxel.
+  [[nodiscard]] float voxel_size() const noexcept { return voxel_size_; }
+
+  /// Quantizes a world-space point to its voxel coordinate (clamped to grid).
+  [[nodiscard]] VoxelCoord quantize(const Vec3f& p) const noexcept;
+
+  /// Center of a voxel in world space.
+  [[nodiscard]] Vec3f voxel_center(const VoxelCoord& c) const noexcept;
+
+  /// Morton code of the voxel containing p.
+  [[nodiscard]] std::uint64_t morton_of(const Vec3f& p) const noexcept {
+    return morton_encode(quantize(p));
+  }
+
+ private:
+  Aabb cube_;
+  int bits_;
+  float voxel_size_;
+  float inv_voxel_size_;
+};
+
+/// Result of voxelizing a cloud: sorted unique occupied voxels with averaged
+/// colors and the number of source points per voxel.
+struct VoxelizedCloud {
+  VoxelGrid grid;
+  /// Morton codes of occupied voxels, strictly increasing.
+  std::vector<std::uint64_t> codes;
+  /// Averaged color per occupied voxel; empty if the input had no colors.
+  std::vector<Color8> colors;
+  /// Source points that fell into each voxel (same order as codes).
+  std::vector<std::uint32_t> point_counts;
+
+  [[nodiscard]] std::size_t occupied_count() const noexcept {
+    return codes.size();
+  }
+
+  /// Reconstructs a point cloud with one point per occupied voxel (voxel
+  /// centers; averaged colors when present).
+  [[nodiscard]] PointCloud to_point_cloud() const;
+};
+
+/// Voxelizes `cloud` onto a 2^bits grid over its own bounding cube.
+/// O(N log N) (sort by Morton code). Precondition: cloud non-empty.
+VoxelizedCloud voxelize(const PointCloud& cloud, int bits);
+
+/// Voxelizes onto a caller-provided grid (use to keep a fixed grid across the
+/// frames of a sequence).
+VoxelizedCloud voxelize(const PointCloud& cloud, const VoxelGrid& grid);
+
+/// Classic voxel-grid downsample: one centroid point (not the voxel center)
+/// per occupied voxel of a grid with the given world-space voxel edge length.
+PointCloud voxel_downsample(const PointCloud& cloud, float voxel_size);
+
+}  // namespace arvis

@@ -1,0 +1,119 @@
+#include "quality/quality_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arvis {
+namespace {
+
+double clamped_lookup(const std::vector<double>& values, int first_depth,
+                      int depth) {
+  if (values.empty()) return 0.0;
+  const int last_depth = first_depth + static_cast<int>(values.size()) - 1;
+  const int d = std::clamp(depth, first_depth, last_depth);
+  return values[static_cast<std::size_t>(d - first_depth)];
+}
+
+}  // namespace
+
+PointCountQuality::PointCountQuality(std::vector<double> points_at_depth,
+                                     double scale)
+    : points_at_depth_(std::move(points_at_depth)), scale_(scale) {
+  if (points_at_depth_.empty()) {
+    throw std::invalid_argument("PointCountQuality: table must be non-empty");
+  }
+  if (scale_ <= 0.0) {
+    throw std::invalid_argument("PointCountQuality: scale must be > 0");
+  }
+}
+
+double PointCountQuality::quality(int depth) const {
+  return clamped_lookup(points_at_depth_, 0, depth) / scale_;
+}
+
+LogPointQuality::LogPointQuality(std::vector<double> points_at_depth)
+    : points_at_depth_(std::move(points_at_depth)) {
+  if (points_at_depth_.empty()) {
+    throw std::invalid_argument("LogPointQuality: table must be non-empty");
+  }
+}
+
+double LogPointQuality::quality(int depth) const {
+  const double points = clamped_lookup(points_at_depth_, 0, depth);
+  return points >= 1.0 ? std::log10(points) : 0.0;
+}
+
+SaturatingQuality::SaturatingQuality(int d_min, double rate)
+    : d_min_(d_min), rate_(rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("SaturatingQuality: rate must be > 0");
+  }
+}
+
+double SaturatingQuality::quality(int depth) const {
+  const double steps = static_cast<double>(depth - d_min_ + 1);
+  return steps <= 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * steps);
+}
+
+TableQuality::TableQuality(int first_depth, std::vector<double> values,
+                           std::string name)
+    : first_depth_(first_depth), values_(std::move(values)),
+      name_(std::move(name)) {
+  if (values_.empty()) {
+    throw std::invalid_argument("TableQuality: values must be non-empty");
+  }
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    if (values_[i] < values_[i - 1]) {
+      throw std::invalid_argument(
+          "TableQuality: values must be non-decreasing in depth");
+    }
+  }
+}
+
+double TableQuality::quality(int depth) const {
+  return clamped_lookup(values_, first_depth_, depth);
+}
+
+std::unique_ptr<QualityModel> make_point_count_quality(
+    const std::vector<DepthLevelStats>& table) {
+  if (table.empty()) {
+    throw std::invalid_argument("make_point_count_quality: empty table");
+  }
+  // Index by depth: table rows start at depth 1; slot 0 = root (1 cell).
+  std::vector<double> points(table.size() + 1, 1.0);
+  for (const auto& row : table) {
+    points[static_cast<std::size_t>(row.depth)] =
+        static_cast<double>(row.points);
+  }
+  return std::make_unique<PointCountQuality>(std::move(points));
+}
+
+std::unique_ptr<QualityModel> make_psnr_quality(
+    const std::vector<DepthLevelStats>& table) {
+  if (table.empty()) {
+    throw std::invalid_argument("make_psnr_quality: empty table");
+  }
+  double max_finite = 0.0;
+  for (const auto& row : table) {
+    if (std::isfinite(row.psnr_db)) max_finite = std::max(max_finite, row.psnr_db);
+  }
+  std::vector<double> values;
+  values.reserve(table.size());
+  for (const auto& row : table) {
+    if (std::isnan(row.psnr_db)) {
+      throw std::invalid_argument(
+          "make_psnr_quality: table computed without PSNR");
+    }
+    values.push_back(std::isfinite(row.psnr_db) ? row.psnr_db
+                                                : max_finite + 6.0);
+  }
+  // Guard tiny non-monotonicity from sampling noise by a running max.
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    values[i] = std::max(values[i], values[i - 1]);
+  }
+  return std::make_unique<TableQuality>(table.front().depth, std::move(values),
+                                        "psnr-db");
+}
+
+}  // namespace arvis

@@ -1,0 +1,105 @@
+// Quality models p_a(d): the utility the controller maximizes.
+//
+// The paper states only that quality increases with octree depth ("larger the
+// number of point clouds ... introduces higher AR visualization performance")
+// and measures it through the point count the depth induces. We provide that
+// model plus diminishing-returns variants and a table model calibrated from
+// measured PSNR, all behind one interface so benches can ablate the choice.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "octree/depth_stats.hpp"
+
+namespace arvis {
+
+/// Interface: maps an octree depth decision to a scalar utility.
+/// Implementations must be monotone non-decreasing in depth over their
+/// declared domain (verified by property tests).
+class QualityModel {
+ public:
+  virtual ~QualityModel() = default;
+
+  /// Utility of rendering at `depth`. Domain: depth >= 1.
+  [[nodiscard]] virtual double quality(int depth) const = 0;
+
+  /// Short identifier for tables ("points", "log-points", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// p_a(d) = expected rendered point count at depth d, normalized by
+/// `scale` (default: raw points). This is the paper's own quality proxy
+/// ("the bigger the number of PCs introduces better visualization quality").
+class PointCountQuality final : public QualityModel {
+ public:
+  /// `points_at_depth[d]` = occupied voxels at depth d (index 0 unused or
+  /// root=1). `scale` divides the count (for unit normalization).
+  explicit PointCountQuality(std::vector<double> points_at_depth,
+                             double scale = 1.0);
+
+  [[nodiscard]] double quality(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "points"; }
+
+ private:
+  std::vector<double> points_at_depth_;
+  double scale_;
+};
+
+/// p_a(d) = log10(points at depth d): diminishing returns, matching the
+/// perceptual saturation of density increases (and keeping V dimensionless
+/// across dataset scales).
+class LogPointQuality final : public QualityModel {
+ public:
+  explicit LogPointQuality(std::vector<double> points_at_depth);
+
+  [[nodiscard]] double quality(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "log-points"; }
+
+ private:
+  std::vector<double> points_at_depth_;
+};
+
+/// p_a(d) = 1 - exp(-rate * (d - d_min + 1)): closed-form saturating utility
+/// independent of frame content (useful for analytical tests).
+class SaturatingQuality final : public QualityModel {
+ public:
+  SaturatingQuality(int d_min, double rate);
+
+  [[nodiscard]] double quality(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "saturating"; }
+
+ private:
+  int d_min_;
+  double rate_;
+};
+
+/// Quality from a measured table (e.g. geometry PSNR per depth), linear in
+/// the tabulated values with clamped extrapolation at both ends.
+class TableQuality final : public QualityModel {
+ public:
+  /// `values[i]` is the quality at depth `first_depth + i`. Values must be
+  /// non-decreasing (throws std::invalid_argument otherwise).
+  TableQuality(int first_depth, std::vector<double> values, std::string name);
+
+  [[nodiscard]] double quality(int depth) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  int first_depth_;
+  std::vector<double> values_;
+  std::string name_;
+};
+
+/// Builds a PointCountQuality from an octree depth table.
+std::unique_ptr<QualityModel> make_point_count_quality(
+    const std::vector<DepthLevelStats>& table);
+
+/// Builds a TableQuality over measured PSNR from a depth table computed with
+/// with_psnr=true. Non-finite PSNR entries (lossless depth → ∞ dB) are
+/// clamped to the largest finite value + 6 dB.
+std::unique_ptr<QualityModel> make_psnr_quality(
+    const std::vector<DepthLevelStats>& table);
+
+}  // namespace arvis

@@ -1,0 +1,54 @@
+#include "queueing/arrival_process.hpp"
+
+#include <stdexcept>
+
+namespace arvis {
+
+ConstantArrivals::ConstantArrivals(double rate) : rate_(rate) {
+  if (rate < 0.0) {
+    throw std::invalid_argument("ConstantArrivals: rate must be >= 0");
+  }
+}
+
+PoissonArrivals::PoissonArrivals(double mean, Rng rng)
+    : mean_(mean), rng_(rng) {
+  if (mean < 0.0) {
+    throw std::invalid_argument("PoissonArrivals: mean must be >= 0");
+  }
+}
+
+double PoissonArrivals::next_arrivals() {
+  return static_cast<double>(rng_.poisson(mean_));
+}
+
+BurstyArrivals::BurstyArrivals(double on_mean, double p_on_to_off,
+                               double p_off_to_on, Rng rng)
+    : on_mean_(on_mean), p_on_off_(p_on_to_off), p_off_on_(p_off_to_on),
+      rng_(rng) {
+  if (on_mean < 0.0) {
+    throw std::invalid_argument("BurstyArrivals: on_mean must be >= 0");
+  }
+  if (p_on_off_ < 0.0 || p_on_off_ > 1.0 || p_off_on_ < 0.0 || p_off_on_ > 1.0) {
+    throw std::invalid_argument("BurstyArrivals: probabilities must be in [0,1]");
+  }
+}
+
+double BurstyArrivals::next_arrivals() {
+  const double arrivals =
+      on_ ? static_cast<double>(rng_.poisson(on_mean_)) : 0.0;
+  if (on_) {
+    if (rng_.bernoulli(p_on_off_)) on_ = false;
+  } else {
+    if (rng_.bernoulli(p_off_on_)) on_ = true;
+  }
+  return arrivals;
+}
+
+double BurstyArrivals::mean_rate() const {
+  const double denom = p_on_off_ + p_off_on_;
+  if (denom <= 0.0) return on_mean_;
+  const double pi_on = p_off_on_ / denom;
+  return pi_on * on_mean_;
+}
+
+}  // namespace arvis

@@ -1,0 +1,68 @@
+// Exogenous arrival processes for generic queueing experiments (frame
+// arrivals, request arrivals in the multi-device scenario).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace arvis {
+
+/// Interface: amount of exogenous work arriving in one slot.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  [[nodiscard]] virtual double next_arrivals() = 0;
+  [[nodiscard]] virtual double mean_rate() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Deterministic arrivals: a(t) = rate every slot (a fixed-fps frame source).
+class ConstantArrivals final : public ArrivalProcess {
+ public:
+  explicit ConstantArrivals(double rate);
+
+  [[nodiscard]] double next_arrivals() override { return rate_; }
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+
+ private:
+  double rate_;
+};
+
+/// Poisson-distributed arrival counts with the given per-slot mean.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double mean, Rng rng);
+
+  [[nodiscard]] double next_arrivals() override;
+  [[nodiscard]] double mean_rate() const override { return mean_; }
+  [[nodiscard]] std::string name() const override { return "poisson"; }
+
+ private:
+  double mean_;
+  Rng rng_;
+};
+
+/// Markov-modulated (bursty) arrivals: ON state emits Poisson(on_mean),
+/// OFF state emits nothing; geometric dwell times.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double on_mean, double p_on_to_off, double p_off_to_on,
+                 Rng rng);
+
+  [[nodiscard]] double next_arrivals() override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] std::string name() const override { return "bursty"; }
+
+ private:
+  double on_mean_;
+  double p_on_off_;
+  double p_off_on_;
+  bool on_ = true;
+  Rng rng_;
+};
+
+}  // namespace arvis

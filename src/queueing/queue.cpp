@@ -1,0 +1,72 @@
+#include "queueing/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arvis {
+
+DiscreteQueue::DiscreteQueue(double initial_backlog)
+    : backlog_(std::max(0.0, initial_backlog)) {}
+
+double DiscreteQueue::step(double arrivals, double service) noexcept {
+  arrivals = std::max(0.0, arrivals);
+  service = std::max(0.0, service);
+
+  // Observe Q(t) before the slot acts (paper samples Q(τ) at slot start).
+  backlog_integral_ += backlog_;
+  stats_.add(backlog_);
+
+  const double served = std::min(backlog_, service);
+  total_served_ += served;
+  total_wasted_ += service - served;
+  total_arrivals_ += arrivals;
+  backlog_ = backlog_ - served + arrivals;
+  ++time_;
+  return backlog_;
+}
+
+double DiscreteQueue::time_average_backlog() const noexcept {
+  return time_ == 0 ? 0.0 : backlog_integral_ / static_cast<double>(time_);
+}
+
+void DiscreteQueue::reset(double initial_backlog) noexcept {
+  *this = DiscreteQueue(initial_backlog);
+}
+
+QueueBank::QueueBank(std::size_t count) : queues_(count) {
+  if (count == 0) {
+    throw std::invalid_argument("QueueBank: count must be > 0");
+  }
+}
+
+double QueueBank::total_backlog() const noexcept {
+  double sum = 0.0;
+  for (const auto& q : queues_) sum += q.backlog();
+  return sum;
+}
+
+double QueueBank::max_backlog() const noexcept {
+  double best = 0.0;
+  for (const auto& q : queues_) best = std::max(best, q.backlog());
+  return best;
+}
+
+VirtualQueue::VirtualQueue(double budget_per_slot) : budget_(budget_per_slot) {
+  if (budget_per_slot < 0.0) {
+    throw std::invalid_argument("VirtualQueue: budget must be >= 0");
+  }
+}
+
+double VirtualQueue::step(double usage) noexcept {
+  usage = std::max(0.0, usage);
+  usage_sum_ += usage;
+  ++time_;
+  backlog_ = std::max(backlog_ + usage - budget_, 0.0);
+  return backlog_;
+}
+
+double VirtualQueue::average_usage() const noexcept {
+  return time_ == 0 ? 0.0 : usage_sum_ / static_cast<double>(time_);
+}
+
+}  // namespace arvis

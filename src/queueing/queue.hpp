@@ -1,0 +1,110 @@
+// Discrete-time queues: the Q(t) of the paper's delay constraint (eq. (2)).
+//
+// Dynamics are the standard Lindley recursion over slots:
+//     Q(t+1) = max(Q(t) - b(t), 0) + a(t)
+// with a(t) the arrivals admitted in slot t (workload of the frame rendered
+// at the chosen octree depth) and b(t) the service (renderer throughput).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace arvis {
+
+/// One scalar discrete-time queue. Class invariant: backlog() >= 0.
+class DiscreteQueue {
+ public:
+  explicit DiscreteQueue(double initial_backlog = 0.0);
+
+  /// Current backlog Q(t).
+  [[nodiscard]] double backlog() const noexcept { return backlog_; }
+
+  /// Applies one slot of dynamics and advances t. Negative inputs are
+  /// clamped to 0 (defensive; callers should not produce them).
+  /// Returns the new backlog Q(t+1).
+  double step(double arrivals, double service) noexcept;
+
+  /// Slots elapsed.
+  [[nodiscard]] std::size_t time() const noexcept { return time_; }
+
+  /// Running time-average backlog (1/t)·Σ Q(τ), τ < t — the quantity the
+  /// paper's constraint (2) bounds. Uses the backlog *observed at the start*
+  /// of each slot, matching the paper's sampling. 0 before any step.
+  [[nodiscard]] double time_average_backlog() const noexcept;
+
+  [[nodiscard]] double total_arrivals() const noexcept { return total_arrivals_; }
+  [[nodiscard]] double total_service_used() const noexcept {
+    return total_served_;
+  }
+  /// Service capacity that found an empty queue (wasted).
+  [[nodiscard]] double total_service_wasted() const noexcept {
+    return total_wasted_;
+  }
+
+  /// Full running stats over the observed per-slot backlog samples.
+  [[nodiscard]] const RunningStats& backlog_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Resets to an empty queue at t=0.
+  void reset(double initial_backlog = 0.0) noexcept;
+
+ private:
+  double backlog_;
+  std::size_t time_ = 0;
+  double backlog_integral_ = 0.0;  // Σ over slots of Q at slot start
+  double total_arrivals_ = 0.0;
+  double total_served_ = 0.0;
+  double total_wasted_ = 0.0;
+  RunningStats stats_;
+};
+
+/// A bank of queues sharing a slot clock (one per device/flow in the
+/// distributed experiments). Step all queues each slot.
+class QueueBank {
+ public:
+  explicit QueueBank(std::size_t count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return queues_.size(); }
+  [[nodiscard]] const DiscreteQueue& queue(std::size_t i) const {
+    return queues_.at(i);
+  }
+  [[nodiscard]] DiscreteQueue& queue(std::size_t i) { return queues_.at(i); }
+
+  /// Sum of current backlogs.
+  [[nodiscard]] double total_backlog() const noexcept;
+
+  /// Largest current backlog.
+  [[nodiscard]] double max_backlog() const noexcept;
+
+ private:
+  std::vector<DiscreteQueue> queues_;
+};
+
+/// Virtual queue for a time-average constraint  lim (1/t) Σ x(τ) <= budget:
+///     Z(t+1) = max(Z(t) + x(t) - budget, 0).
+/// Standard Lyapunov device for turning average constraints into queue
+/// stability (Neely); used by the energy-budget extension experiments.
+class VirtualQueue {
+ public:
+  explicit VirtualQueue(double budget_per_slot);
+
+  [[nodiscard]] double backlog() const noexcept { return backlog_; }
+  [[nodiscard]] double budget_per_slot() const noexcept { return budget_; }
+
+  /// Accumulates one slot's usage. Returns the new backlog.
+  double step(double usage) noexcept;
+
+  /// Running average usage (1/t)·Σ x(τ).
+  [[nodiscard]] double average_usage() const noexcept;
+
+ private:
+  double budget_;
+  double backlog_ = 0.0;
+  double usage_sum_ = 0.0;
+  std::size_t time_ = 0;
+};
+
+}  // namespace arvis

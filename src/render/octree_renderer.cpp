@@ -1,0 +1,89 @@
+#include "render/octree_renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arvis {
+
+Frustum::Frustum(const Camera& camera, float aspect) {
+  const Vec3f forward = normalized(camera.target - camera.eye);
+  const Vec3f right = normalized(cross(forward, camera.up));
+  const Vec3f up = cross(right, forward);
+
+  const float half_v = camera.fov_y_radians * 0.5F;
+  const float tan_v = std::tan(half_v);
+  const float tan_h = tan_v * aspect;
+
+  // Near plane: points must be at least near_plane in front of the eye.
+  planes_[0] = {forward, -dot(forward, camera.eye) - camera.near_plane};
+  // Side planes through the eye. Normal of the left plane points right-ward
+  // into the frustum, etc. For a ray bundle x = eye + t(forward ± tan*side),
+  // the inward normal of the +side boundary is (forward*tan - side)/norm.
+  const auto side_plane = [&](const Vec3f& side, float tan_half) {
+    const Vec3f normal = normalized(forward * tan_half - side);
+    return Plane{normal, -dot(normal, camera.eye)};
+  };
+  planes_[1] = side_plane(right, tan_h);    // right boundary
+  planes_[2] = side_plane(-right, tan_h);   // left boundary
+  planes_[3] = side_plane(up, tan_v);       // top boundary
+  planes_[4] = side_plane(-up, tan_v);      // bottom boundary
+}
+
+bool Frustum::contains(const Vec3f& p) const noexcept {
+  for (const Plane& plane : planes_) {
+    if (dot(plane.normal, p) + plane.offset < 0.0F) return false;
+  }
+  return true;
+}
+
+bool Frustum::intersects(const Aabb& box) const noexcept {
+  if (box.empty()) return false;
+  for (const Plane& plane : planes_) {
+    // p-vertex: the box corner farthest along the plane normal. If even it
+    // is outside, the whole box is outside this plane.
+    const Vec3f p{plane.normal.x >= 0 ? box.max_corner.x : box.min_corner.x,
+                  plane.normal.y >= 0 ? box.max_corner.y : box.min_corner.y,
+                  plane.normal.z >= 0 ? box.max_corner.z : box.min_corner.z};
+    if (dot(plane.normal, p) + plane.offset < 0.0F) return false;
+  }
+  return true;
+}
+
+CulledRenderStats render_octree_culled(Framebuffer& fb, const Camera& camera,
+                                       const Octree& tree, int depth,
+                                       int splat_px, int cull_level) {
+  if (depth < 1 || depth > tree.max_depth()) {
+    throw std::out_of_range("render_octree_culled: bad depth");
+  }
+  if (cull_level < 0 || cull_level > depth) {
+    throw std::out_of_range("render_octree_culled: bad cull_level");
+  }
+  const float aspect =
+      static_cast<float>(fb.width()) / static_cast<float>(fb.height());
+  const Frustum frustum(camera, aspect);
+
+  CulledRenderStats stats;
+  // cull_level == 0 tests only the root; level_nodes requires level <
+  // max_depth, which holds since cull_level <= depth <= max_depth — but
+  // level_nodes(max_depth) is invalid, so clamp to max_depth - 1.
+  const int level = std::min(cull_level, tree.max_depth() - 1);
+  for (const OctreeNode& node : tree.level_nodes(level)) {
+    ++stats.nodes_tested;
+    if (!frustum.intersects(tree.cell_bounds(node.key, level))) {
+      ++stats.nodes_culled;
+      continue;
+    }
+    const auto [first, last] = tree.subtree_leaf_range(node.key, level);
+    const PointCloud lod = tree.extract_lod_range(depth, first, last);
+    stats.points_rendered += lod.size();
+    const RenderStats pass = render_points(fb, camera, lod, splat_px);
+    stats.raster.points_in += pass.points_in;
+    stats.raster.points_culled += pass.points_culled;
+    stats.raster.fragments += pass.fragments;
+    stats.raster.fragments_written += pass.fragments_written;
+  }
+  return stats;
+}
+
+}  // namespace arvis

@@ -1,0 +1,59 @@
+// Hierarchical (frustum-culled) octree rendering.
+//
+// The flat path (render_points over extract_lod) projects every point even
+// when most of the subject is off-screen — the common case on a phone where
+// the AR object is partially in view. This renderer walks a coarse octree
+// level, culls each node's cell AABB against the view frustum, and extracts
+// + splats only the surviving subtrees. Because the octree stores leaves in
+// Morton order, each subtree is one contiguous leaf range, so culling costs
+// two binary searches per node.
+#pragma once
+
+#include "octree/octree.hpp"
+#include "render/rasterizer.hpp"
+
+namespace arvis {
+
+/// A view frustum as inward-facing planes (point inside ⇔ all dot(n, p) + d
+/// >= 0). Built from a Camera + aspect ratio; the far plane is omitted
+/// (point clouds are near-field in AR).
+class Frustum {
+ public:
+  /// Derives the frustum of `camera` rendering at the given aspect ratio
+  /// (width / height).
+  Frustum(const Camera& camera, float aspect);
+
+  /// True when the AABB intersects (possibly conservatively) the frustum.
+  /// Standard p-vertex test: conservative — never culls a visible box.
+  [[nodiscard]] bool intersects(const Aabb& box) const noexcept;
+
+  /// True when the point is inside.
+  [[nodiscard]] bool contains(const Vec3f& p) const noexcept;
+
+ private:
+  struct Plane {
+    Vec3f normal;  // unit, pointing inside
+    float offset = 0.0F;
+  };
+  Plane planes_[5];  // near, left, right, top, bottom
+};
+
+/// Culled-render statistics.
+struct CulledRenderStats {
+  std::size_t nodes_tested = 0;
+  std::size_t nodes_culled = 0;
+  /// Points actually extracted and submitted to the rasterizer.
+  std::size_t points_rendered = 0;
+  RenderStats raster;
+};
+
+/// Renders the octree's depth-`depth` LOD with frustum culling at octree
+/// level `cull_level` (coarser = fewer, bigger cells to test; finer = tighter
+/// culling). Produces pixel-identical output to rendering the full LOD
+/// (culling is conservative). Preconditions: 1 <= depth <= max_depth(),
+/// 0 <= cull_level <= depth.
+CulledRenderStats render_octree_culled(Framebuffer& fb, const Camera& camera,
+                                       const Octree& tree, int depth,
+                                       int splat_px = 1, int cull_level = 3);
+
+}  // namespace arvis

@@ -1,0 +1,118 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace arvis {
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width), height_(height),
+      color_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height)),
+      depth_(color_.size(), std::numeric_limits<float>::max()) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Framebuffer: dimensions must be positive");
+  }
+}
+
+void Framebuffer::clear(const Color8& background) {
+  std::fill(color_.begin(), color_.end(), background);
+  std::fill(depth_.begin(), depth_.end(), std::numeric_limits<float>::max());
+}
+
+bool Framebuffer::try_write(int x, int y, float depth, const Color8& c) noexcept {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return false;
+  const std::size_t i = index(x, y);
+  if (depth >= depth_[i]) return false;
+  depth_[i] = depth;
+  color_[i] = c;
+  return true;
+}
+
+Status Framebuffer::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  static_assert(sizeof(Color8) == 3, "Color8 must be tightly packed for PPM");
+  out.write(reinterpret_cast<const char*>(color_.data()),
+            static_cast<std::streamsize>(color_.size() * sizeof(Color8)));
+  if (!out) return Status::IoError("PPM write failed: " + path);
+  return Status::Ok();
+}
+
+RenderStats render_points(Framebuffer& fb, const Camera& camera,
+                          const PointCloud& cloud, int splat_px) {
+  if (splat_px < 1) splat_px = 1;
+  RenderStats stats;
+  stats.points_in = cloud.size();
+
+  // Camera basis (right-handed; forward = target - eye).
+  const Vec3f forward = normalized(camera.target - camera.eye);
+  const Vec3f right = normalized(cross(forward, camera.up));
+  const Vec3f up = cross(right, forward);
+
+  const float aspect =
+      static_cast<float>(fb.width()) / static_cast<float>(fb.height());
+  const float focal = 1.0F / std::tan(camera.fov_y_radians * 0.5F);
+  const float half_w = static_cast<float>(fb.width()) * 0.5F;
+  const float half_h = static_cast<float>(fb.height()) * 0.5F;
+  const int lo = -(splat_px / 2);
+  const int hi = (splat_px - 1) / 2;
+
+  const bool with_colors = cloud.has_colors();
+  const Color8 fallback{210, 210, 210};
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec3f rel = cloud.position(i) - camera.eye;
+    const float depth = dot(rel, forward);
+    if (depth < camera.near_plane) {
+      ++stats.points_culled;
+      continue;
+    }
+    // Perspective projection onto the image plane.
+    const float inv_depth = 1.0F / depth;
+    const float ndc_x = dot(rel, right) * inv_depth * focal / aspect;
+    const float ndc_y = dot(rel, up) * inv_depth * focal;
+    const int px = static_cast<int>(half_w + ndc_x * half_w);
+    const int py = static_cast<int>(half_h - ndc_y * half_h);
+    if (px + hi < 0 || px + lo >= fb.width() || py + hi < 0 ||
+        py + lo >= fb.height()) {
+      ++stats.points_culled;
+      continue;
+    }
+    const Color8& c = with_colors ? cloud.color(i) : fallback;
+    for (int dy = lo; dy <= hi; ++dy) {
+      for (int dx = lo; dx <= hi; ++dx) {
+        ++stats.fragments;
+        stats.fragments_written +=
+            fb.try_write(px + dx, py + dy, depth, c) ? 1U : 0U;
+      }
+    }
+  }
+  return stats;
+}
+
+double image_mse(const Framebuffer& a, const Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("image_mse: framebuffer size mismatch");
+  }
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double dr = static_cast<double>(pa[i].r) - pb[i].r;
+    const double dg = static_cast<double>(pa[i].g) - pb[i].g;
+    const double db = static_cast<double>(pa[i].b) - pb[i].b;
+    sum += dr * dr + dg * dg + db * db;
+  }
+  return sum / (3.0 * static_cast<double>(pa.size()));
+}
+
+double image_psnr_db(const Framebuffer& a, const Framebuffer& b) {
+  const double mse = image_mse(a, b);
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace arvis

@@ -1,0 +1,86 @@
+// Software point-splat rasterizer.
+//
+// Serves two purposes in the reproduction:
+//   1. Calibration: rendering LODs of different octree depths through a real
+//      (if simple) rasterization kernel grounds the affine delay-vs-points
+//      model the DeviceProfile abstraction assumes.
+//   2. Image-space quality: PSNR between a depth-d render and the max-depth
+//      render provides a perceptual quality signal, complementing the
+//      geometry-domain metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace arvis {
+
+/// A simple pinhole camera: positioned at `eye`, looking at `target`,
+/// vertical field of view `fov_y_radians`.
+struct Camera {
+  Vec3f eye{0.0F, 1.0F, 3.0F};
+  Vec3f target{0.0F, 0.9F, 0.0F};
+  Vec3f up{0.0F, 1.0F, 0.0F};
+  float fov_y_radians = 0.9F;
+  float near_plane = 0.05F;
+};
+
+/// An 8-bit RGB framebuffer with a float depth buffer.
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  void clear(const Color8& background = {12, 12, 16});
+
+  [[nodiscard]] const Color8& pixel(int x, int y) const {
+    return color_.at(index(x, y));
+  }
+  [[nodiscard]] std::span<const Color8> pixels() const noexcept {
+    return color_;
+  }
+
+  /// Depth test + write. Returns true if the fragment won.
+  bool try_write(int x, int y, float depth, const Color8& c) noexcept;
+
+  /// Writes a binary PPM (P6) image. IoError on failure.
+  [[nodiscard]] Status write_ppm(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::size_t index(int x, int y) const noexcept {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_;
+  int height_;
+  std::vector<Color8> color_;
+  std::vector<float> depth_;
+};
+
+/// Statistics of one rasterization pass.
+struct RenderStats {
+  std::size_t points_in = 0;       // points submitted
+  std::size_t points_culled = 0;   // behind the near plane / off-screen
+  std::size_t fragments = 0;       // depth tests performed
+  std::size_t fragments_written = 0;
+};
+
+/// Splats every point of `cloud` into `fb` as a square of `splat_px` pixels
+/// (small splats close the holes between voxels at coarse depths; callers
+/// pass a splat size proportional to voxel size / distance).
+RenderStats render_points(Framebuffer& fb, const Camera& camera,
+                          const PointCloud& cloud, int splat_px = 1);
+
+/// Mean squared error between two equally sized framebuffers (RGB).
+/// Throws std::invalid_argument on a size mismatch.
+double image_mse(const Framebuffer& a, const Framebuffer& b);
+
+/// PSNR (dB) between two framebuffers; infinity for identical images.
+double image_psnr_db(const Framebuffer& a, const Framebuffer& b);
+
+}  // namespace arvis

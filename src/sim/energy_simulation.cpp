@@ -1,0 +1,88 @@
+#include "sim/energy_simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lyapunov/multi_constraint.hpp"
+#include "queueing/queue.hpp"
+
+namespace arvis {
+
+EnergySimResult run_energy_simulation(const EnergySimConfig& config,
+                                      const FrameStatsCache& cache,
+                                      double v, ServiceProcess& service) {
+  const SimConfig& base = config.base;
+  if (base.steps == 0 || base.candidates.empty()) {
+    throw std::invalid_argument(
+        "run_energy_simulation: steps and candidates must be non-empty");
+  }
+  for (std::size_t i = 0; i < base.candidates.size(); ++i) {
+    if (i > 0 && base.candidates[i] <= base.candidates[i - 1]) {
+      throw std::invalid_argument(
+          "run_energy_simulation: candidates must be strictly ascending");
+    }
+    if (base.candidates[i] < 1 ||
+        base.candidates[i] > cache.octree_depth()) {
+      throw std::invalid_argument(
+          "run_energy_simulation: candidate outside cache range");
+    }
+  }
+  if (v < 0.0) {
+    throw std::invalid_argument("run_energy_simulation: V must be >= 0");
+  }
+  if (config.energy_budget_j_per_slot <= 0.0) {
+    throw std::invalid_argument(
+        "run_energy_simulation: energy budget must be > 0");
+  }
+  if (config.constraint_weight <= 0.0) {
+    throw std::invalid_argument(
+        "run_energy_simulation: constraint weight must be > 0");
+  }
+
+  const double w = config.constraint_weight;
+  DiscreteQueue queue(base.initial_backlog);
+  // The virtual queue operates in weighted units (default µJ); the weight
+  // cancels in the enforced time-average budget.
+  VirtualQueue energy_queue(w * config.energy_budget_j_per_slot);
+
+  EnergySimResult result;
+  result.trace.reserve(base.steps);
+  result.energy_series.reserve(base.steps);
+
+  const std::size_t n = base.candidates.size();
+  std::vector<double> utility(n), arrivals(n), energy(n);
+  for (std::size_t t = 0; t < base.steps; ++t) {
+    const FrameWorkload& frame = cache.workload(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int d = base.candidates[i];
+      const double points = frame.points(d);
+      arrivals[i] = points;
+      utility[i] = base.quality == QualityKind::kPoints
+                       ? points
+                       : (points >= 1.0 ? std::log10(points) : 0.0);
+      energy[i] = w * config.energy.slot_energy_j(points);
+    }
+    const ConstraintTerm term{energy_queue.backlog(), energy};
+    const DppDecision decision = multi_constraint_argmax(
+        utility, arrivals, v, queue.backlog(), {&term, 1});
+
+    StepRecord record;
+    record.t = t;
+    record.backlog_begin = queue.backlog();
+    record.depth = base.candidates[decision.index];
+    record.arrivals = arrivals[decision.index];
+    record.quality = utility[decision.index];
+    record.service = service.next_service();
+    record.backlog_end = queue.step(record.arrivals, record.service);
+    result.trace.add(record);
+
+    const double slot_energy = energy[decision.index];  // weighted units
+    result.energy_series.push_back(slot_energy / w);    // reported in J
+    energy_queue.step(slot_energy);
+  }
+  result.average_energy_j = energy_queue.average_usage() / w;
+  result.final_virtual_backlog = energy_queue.backlog() / w;
+  return result;
+}
+
+}  // namespace arvis

@@ -1,0 +1,48 @@
+// Caches per-frame octree statistics (workload + quality tables) so the
+// simulator's hot loop never rebuilds octrees. Building the full-resolution
+// octree of a ~1e6-point frame costs tens of milliseconds; the controller
+// decision costs nanoseconds — the cache keeps the two separated so
+// comparative runs (proposed vs baselines) see identical inputs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "datasets/frame_source.hpp"
+#include "delay/workload.hpp"
+
+namespace arvis {
+
+/// Precomputes and caches FrameWorkload for every frame of a source.
+class FrameStatsCache {
+ public:
+  /// Computes tables for all frames up to `frame_limit` (or the source's
+  /// frame count, whichever is smaller; frame_limit = 0 means all).
+  /// `octree_depth` is the maximum depth statistics are computed to.
+  FrameStatsCache(const FrameSource& source, int octree_depth,
+                  std::size_t frame_limit = 0);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return workloads_.size();
+  }
+  [[nodiscard]] int octree_depth() const noexcept { return octree_depth_; }
+
+  /// Workload tables for slot t (frames cycle).
+  [[nodiscard]] const FrameWorkload& workload(std::size_t t) const {
+    return workloads_[t % workloads_.size()];
+  }
+
+  /// Mean points-at-depth across all cached frames (for stability-region
+  /// analysis and service-rate calibration). Index = depth.
+  [[nodiscard]] const std::vector<double>& mean_points_at_depth()
+      const noexcept {
+    return mean_points_;
+  }
+
+ private:
+  int octree_depth_;
+  std::vector<FrameWorkload> workloads_;
+  std::vector<double> mean_points_;
+};
+
+}  // namespace arvis

@@ -1,0 +1,53 @@
+#include "sim/replication.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arvis {
+
+MetricEstimate estimate_metric(const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("estimate_metric: need >= 2 samples");
+  }
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  MetricEstimate est;
+  est.mean = stats.mean();
+  // 95% normal CI half-width: 1.96 * s / sqrt(n).
+  est.ci_half_width =
+      1.96 * stats.stddev() / std::sqrt(static_cast<double>(samples.size()));
+  est.min = stats.min();
+  est.max = stats.max();
+  return est;
+}
+
+ReplicationSummary replicate(
+    std::size_t replicates,
+    const std::function<Trace(std::uint64_t seed)>& factory) {
+  if (replicates < 2) {
+    throw std::invalid_argument("replicate: need >= 2 replicates");
+  }
+  std::vector<double> quality, backlog, depth;
+  quality.reserve(replicates);
+  backlog.reserve(replicates);
+  depth.reserve(replicates);
+
+  ReplicationSummary summary;
+  summary.replicates = replicates;
+  for (std::uint64_t seed = 0; seed < replicates; ++seed) {
+    const Trace trace = factory(seed);
+    const TraceSummary s = trace.summarize();
+    quality.push_back(s.time_average_quality);
+    backlog.push_back(s.time_average_backlog);
+    depth.push_back(s.mean_depth);
+    if (s.stability.verdict == StabilityVerdict::kDivergent) {
+      ++summary.divergent_count;
+    }
+  }
+  summary.quality = estimate_metric(quality);
+  summary.backlog = estimate_metric(backlog);
+  summary.mean_depth = estimate_metric(depth);
+  return summary;
+}
+
+}  // namespace arvis

@@ -1,0 +1,44 @@
+// Replicated experiments: running a stochastic configuration across
+// independent seeds and summarizing the outcome with confidence intervals.
+// Research-hygiene substrate for the benches — single-seed curves can
+// mislead under jittered service or Markov channels.
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// Mean and half-width of a (approximately) 95% confidence interval, using
+/// the normal quantile (adequate for the >= 10 replicate counts used here).
+struct MetricEstimate {
+  double mean = 0.0;
+  double ci_half_width = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregated replicate outcome.
+struct ReplicationSummary {
+  std::size_t replicates = 0;
+  MetricEstimate quality;
+  MetricEstimate backlog;
+  MetricEstimate mean_depth;
+  /// Replicates whose stability verdict was divergent.
+  std::size_t divergent_count = 0;
+};
+
+/// Runs `factory(seed)` for seeds 0..replicates-1; the factory builds and
+/// runs one experiment and returns its trace. Preconditions: replicates >= 2
+/// (throws std::invalid_argument).
+ReplicationSummary replicate(
+    std::size_t replicates,
+    const std::function<Trace(std::uint64_t seed)>& factory);
+
+/// Computes an estimate from raw samples (exposed for tests and custom
+/// metrics). Precondition: samples.size() >= 2.
+MetricEstimate estimate_metric(const std::vector<double>& samples);
+
+}  // namespace arvis

@@ -1,0 +1,154 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+#include "queueing/queue.hpp"
+
+namespace arvis {
+namespace {
+
+void check_config(const SimConfig& config, const FrameStatsCache& cache) {
+  if (config.steps == 0) {
+    throw std::invalid_argument("run_simulation: steps must be > 0");
+  }
+  if (config.candidates.empty()) {
+    throw std::invalid_argument("run_simulation: empty candidate set");
+  }
+  for (std::size_t i = 0; i < config.candidates.size(); ++i) {
+    if (i > 0 && config.candidates[i] <= config.candidates[i - 1]) {
+      throw std::invalid_argument(
+          "run_simulation: candidates must be strictly ascending");
+    }
+    if (config.candidates[i] < 1 ||
+        config.candidates[i] > cache.octree_depth()) {
+      throw std::invalid_argument(
+          "run_simulation: candidate depth " +
+          std::to_string(config.candidates[i]) + " outside cache range [1, " +
+          std::to_string(cache.octree_depth()) + "]");
+    }
+  }
+}
+
+/// Builds the per-frame quality model for the configured kind.
+std::unique_ptr<QualityModel> make_quality(QualityKind kind,
+                                           const FrameWorkload& workload) {
+  switch (kind) {
+    case QualityKind::kPoints:
+      return std::make_unique<PointCountQuality>(workload.points_at_depth);
+    case QualityKind::kLogPoints:
+      return std::make_unique<LogPointQuality>(workload.points_at_depth);
+  }
+  throw std::logic_error("make_quality: unknown kind");
+}
+
+}  // namespace
+
+Trace run_simulation(const SimConfig& config, const FrameStatsCache& cache,
+                     DepthController& controller, ServiceProcess& service) {
+  check_config(config, cache);
+
+  DiscreteQueue queue(config.initial_backlog);
+  Trace trace;
+  trace.reserve(config.steps);
+
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    const FrameWorkload& frame = cache.workload(t);
+    const PointWorkload workload(frame.points_at_depth);
+    const std::unique_ptr<QualityModel> quality =
+        make_quality(config.quality, frame);
+
+    DepthContext context;
+    context.queue_backlog = queue.backlog();
+    context.quality = quality.get();
+    context.workload = &workload;
+
+    StepRecord record;
+    record.t = t;
+    record.backlog_begin = queue.backlog();
+    record.depth = controller.decide(config.candidates, context);
+    record.arrivals = workload.arrivals(record.depth);
+    record.quality = quality->quality(record.depth);
+    record.service = service.next_service();
+    record.backlog_end = queue.step(record.arrivals, record.service);
+    trace.add(record);
+  }
+  return trace;
+}
+
+HindsightResult best_fixed_depth_in_hindsight(const SimConfig& config,
+                                              const FrameStatsCache& cache,
+                                              double service_rate) {
+  check_config(config, cache);
+  HindsightResult best;
+  bool found = false;
+  for (int depth : config.candidates) {
+    auto controller = FixedDepthController::at(depth);
+    ConstantService service(service_rate);
+    const Trace trace = run_simulation(config, cache, controller, service);
+    const TraceSummary summary = trace.summarize();
+    if (summary.stability.verdict == StabilityVerdict::kDivergent) continue;
+    if (!found || summary.time_average_quality > best.summary.time_average_quality) {
+      best.best_depth = depth;
+      best.summary = summary;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Nothing is stable: report the least-bad (cheapest) policy.
+    auto controller = FixedDepthController::min_depth();
+    ConstantService service(service_rate);
+    best.best_depth = config.candidates.front();
+    best.summary =
+        run_simulation(config, cache, controller, service).summarize();
+  }
+  return best;
+}
+
+double calibrate_service_rate(const FrameStatsCache& cache,
+                              int sustainable_depth, double headroom) {
+  const auto& mean_points = cache.mean_points_at_depth();
+  if (sustainable_depth < 0 ||
+      static_cast<std::size_t>(sustainable_depth) >= mean_points.size()) {
+    throw std::invalid_argument(
+        "calibrate_service_rate: depth outside cached range");
+  }
+  if (headroom <= 0.0) {
+    throw std::invalid_argument("calibrate_service_rate: headroom must be > 0");
+  }
+  return mean_points[static_cast<std::size_t>(sustainable_depth)] * headroom;
+}
+
+double calibrate_v_for_pivot(const FrameStatsCache& cache,
+                             const SimConfig& config, double pivot_backlog) {
+  if (config.candidates.empty()) {
+    throw std::invalid_argument("calibrate_v_for_pivot: empty candidates");
+  }
+  if (pivot_backlog < 0.0) {
+    throw std::invalid_argument("calibrate_v_for_pivot: pivot must be >= 0");
+  }
+  const auto& mean_points = cache.mean_points_at_depth();
+  const auto at = [&](int d) {
+    return mean_points.at(static_cast<std::size_t>(d));
+  };
+  const double a_min = at(config.candidates.front());
+  const double a_max = at(config.candidates.back());
+  double p_min = 0.0, p_max = 0.0;
+  switch (config.quality) {
+    case QualityKind::kPoints:
+      p_min = a_min;
+      p_max = a_max;
+      break;
+    case QualityKind::kLogPoints:
+      p_min = std::log10(std::max(1.0, a_min));
+      p_max = std::log10(std::max(1.0, a_max));
+      break;
+  }
+  const double delta_p = p_max - p_min;
+  if (delta_p <= 0.0) {
+    throw std::invalid_argument(
+        "calibrate_v_for_pivot: quality must increase over candidates");
+  }
+  return pivot_backlog * (a_max - a_min) / delta_p;
+}
+
+}  // namespace arvis

@@ -1,0 +1,70 @@
+// The time-stepped simulation engine reproducing the paper's evaluation
+// loop: each slot, a frame arrives, the controller observes Q(t) and picks
+// an octree depth, the induced workload a(d(t)) joins the rendering queue,
+// and the renderer retires b(t) units of work.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "delay/service_process.hpp"
+#include "lyapunov/depth_controller.hpp"
+#include "sim/frame_stats_cache.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// Which per-frame quality model p_a(d) the run uses.
+enum class QualityKind {
+  kPoints,     // p_a(d) = points rendered at depth d (the paper's proxy)
+  kLogPoints,  // p_a(d) = log10(points at d) (diminishing returns)
+};
+
+/// Run parameters.
+struct SimConfig {
+  /// Slots to simulate (the paper's Fig. 2 runs 800).
+  std::size_t steps = 800;
+  /// Candidate depth set R, strictly ascending (Fig. 2(b) uses 5..10).
+  std::vector<int> candidates{5, 6, 7, 8, 9, 10};
+  QualityKind quality = QualityKind::kPoints;
+  double initial_backlog = 0.0;
+};
+
+/// Runs one simulation. `cache` supplies per-slot frame statistics,
+/// `controller` makes the per-slot decision, `service` the per-slot capacity.
+/// All three are borrowed; the controller and service advance their state.
+/// Throws std::invalid_argument when a candidate depth exceeds the cache's
+/// octree depth or the config is malformed.
+Trace run_simulation(const SimConfig& config, const FrameStatsCache& cache,
+                     DepthController& controller, ServiceProcess& service);
+
+/// Convenience: calibrates a constant service rate from the cache such that
+/// depth `sustainable_depth` is just sustainable with slack `headroom`
+/// (service = mean arrivals at that depth × headroom). The Fig. 2 setup
+/// picks a rate between a(min) and a(max) this way.
+double calibrate_service_rate(const FrameStatsCache& cache,
+                              int sustainable_depth, double headroom = 1.05);
+
+/// Hindsight oracle: runs every fixed-depth policy under a constant service
+/// rate and returns the depth with the highest time-average quality among
+/// the non-divergent ones (the best *static* policy an offline tuner could
+/// have picked). Returns candidates.front() when no fixed depth is stable.
+/// Baselines compare the adaptive controller against this bound; the
+/// controller can beat it by time-sharing depths.
+struct HindsightResult {
+  int best_depth = 0;
+  TraceSummary summary;
+};
+HindsightResult best_fixed_depth_in_hindsight(const SimConfig& config,
+                                              const FrameStatsCache& cache,
+                                              double service_rate);
+
+/// Convenience: V such that the controller is indifferent between the
+/// cheapest and the costliest candidate exactly when Q == `pivot_backlog`
+/// (with point-count quality, V = pivot · Δa / Δp = pivot since Δa = Δp).
+/// For a general quality model: V = pivot · (a_max − a_min) / (p_max − p_min).
+/// This is how the Fig. 2 knee at t ≈ 400 is placed (see DESIGN.md §4).
+double calibrate_v_for_pivot(const FrameStatsCache& cache,
+                             const SimConfig& config, double pivot_backlog);
+
+}  // namespace arvis

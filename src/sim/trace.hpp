@@ -1,0 +1,69 @@
+// Per-slot simulation records and their summaries — the raw material of
+// every figure in the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "queueing/stability.hpp"
+
+namespace arvis {
+
+/// What happened in one simulation slot.
+struct StepRecord {
+  std::size_t t = 0;
+  int depth = 0;               // control action d(t)
+  double arrivals = 0.0;       // a(d(t)) enqueued this slot
+  double service = 0.0;        // b(t) available this slot
+  double backlog_begin = 0.0;  // Q(t) observed by the controller
+  double backlog_end = 0.0;    // Q(t+1)
+  double quality = 0.0;        // p_a(d(t))
+};
+
+/// Scalar summary of a finished run.
+struct TraceSummary {
+  double time_average_quality = 0.0;
+  double time_average_backlog = 0.0;
+  double final_backlog = 0.0;
+  double peak_backlog = 0.0;
+  double mean_depth = 0.0;
+  double mean_arrivals = 0.0;
+  double mean_service = 0.0;
+  StabilityReport stability;
+};
+
+/// An append-only run record.
+class Trace {
+ public:
+  void add(const StepRecord& record) { steps_.push_back(record); }
+  void reserve(std::size_t n) { steps_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return steps_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return steps_.empty(); }
+  [[nodiscard]] const StepRecord& at(std::size_t i) const {
+    return steps_.at(i);
+  }
+  [[nodiscard]] const std::vector<StepRecord>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// Q(t) series (backlog at slot start), one entry per slot.
+  [[nodiscard]] std::vector<double> backlog_series() const;
+  /// d(t) series.
+  [[nodiscard]] std::vector<int> depth_series() const;
+  /// p_a(d(t)) series.
+  [[nodiscard]] std::vector<double> quality_series() const;
+
+  /// Computes all summary scalars (throws std::logic_error on an empty
+  /// trace; stability analysis needs >= 8 slots).
+  [[nodiscard]] TraceSummary summarize() const;
+
+  /// Full per-slot CSV (t, depth, arrivals, service, backlog, quality).
+  [[nodiscard]] CsvTable to_csv_table() const;
+
+ private:
+  std::vector<StepRecord> steps_;
+};
+
+}  // namespace arvis

@@ -1,0 +1,133 @@
+// Tests for time-series analysis and report building.
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "analysis/time_series.hpp"
+
+namespace arvis {
+namespace {
+
+TEST(RunningMeanTest, PrefixAverages) {
+  const auto out = running_mean({2.0, 4.0, 6.0});
+  ASSERT_EQ(out.size(), 3U);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);
+  EXPECT_TRUE(running_mean({}).empty());
+}
+
+TEST(MovingAverageTest, SmoothsAndClampsEdges) {
+  const std::vector<double> series{0, 0, 10, 0, 0};
+  const auto out = moving_average(series, 3);
+  ASSERT_EQ(out.size(), 5U);
+  EXPECT_NEAR(out[2], 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out[1], 10.0 / 3.0, 1e-12);
+  // Window 1 is the identity.
+  EXPECT_EQ(moving_average(series, 1), series);
+  EXPECT_THROW(moving_average(series, 0), std::invalid_argument);
+}
+
+TEST(FindControlDropTest, DetectsPersistentDrop) {
+  std::vector<int> depths(800, 10);
+  for (std::size_t t = 400; t < 800; ++t) depths[t] = 6;
+  const auto drop = find_control_drop(depths);
+  ASSERT_TRUE(drop.has_value());
+  // Smoothing (centered window 32) may pull the detection up to half a
+  // window ahead of the raw edge.
+  EXPECT_NEAR(static_cast<double>(*drop), 400.0, 17.0);
+}
+
+TEST(FindControlDropTest, IgnoresTransientDips) {
+  std::vector<int> depths(800, 10);
+  depths[100] = 6;  // single-slot dip: not persistent
+  for (std::size_t t = 500; t < 800; ++t) depths[t] = 7;
+  const auto drop = find_control_drop(depths, 16, 32);
+  ASSERT_TRUE(drop.has_value());
+  EXPECT_NEAR(static_cast<double>(*drop), 500.0, 17.0);
+}
+
+TEST(FindControlDropTest, DetectsDropUnderTimeSharing) {
+  // Post-pivot drift-plus-penalty behaviour: after t=400 the controller
+  // time-shares one max-depth slot per three min-depth slots, so the raw
+  // series keeps touching the plateau — the smoothed detector must still
+  // report the knee near 400.
+  std::vector<int> depths(800, 10);
+  for (std::size_t t = 400; t < 800; ++t) depths[t] = (t % 4 == 0) ? 10 : 5;
+  const auto drop = find_control_drop(depths);
+  ASSERT_TRUE(drop.has_value());
+  EXPECT_NEAR(static_cast<double>(*drop), 400.0, 20.0);
+}
+
+TEST(FindControlDropTest, NoDropOnConstantSeries) {
+  EXPECT_FALSE(find_control_drop(std::vector<int>(800, 5)).has_value());
+  EXPECT_FALSE(find_control_drop(std::vector<int>(10, 5)).has_value());
+}
+
+TEST(DownsampleIndicesTest, KeepsEndpointsAndTargetSize) {
+  const auto idx = downsample_indices(800, 40);
+  ASSERT_EQ(idx.size(), 40U);
+  EXPECT_EQ(idx.front(), 0U);
+  EXPECT_EQ(idx.back(), 799U);
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_GT(idx[i], idx[i - 1]);
+}
+
+TEST(DownsampleIndicesTest, SmallInputsPassThrough) {
+  EXPECT_EQ(downsample_indices(5, 40).size(), 5U);
+  EXPECT_TRUE(downsample_indices(0, 40).empty());
+}
+
+Trace make_trace(std::size_t n, int depth, double backlog_slope) {
+  Trace trace;
+  for (std::size_t t = 0; t < n; ++t) {
+    StepRecord r;
+    r.t = t;
+    r.depth = depth;
+    r.backlog_begin = backlog_slope * static_cast<double>(t);
+    r.backlog_end = backlog_slope * static_cast<double>(t + 1);
+    r.quality = static_cast<double>(depth);
+    r.arrivals = 1.0;
+    r.service = 1.0;
+    trace.add(r);
+  }
+  return trace;
+}
+
+TEST(ReportTest, BacklogSeriesTableColumnsPerRun) {
+  const Trace a = make_trace(100, 5, 0.0);
+  const Trace b = make_trace(100, 10, 2.0);
+  const CsvTable table =
+      backlog_series_table({{"min", &a}, {"max", &b}}, 10);
+  EXPECT_EQ(table.column_count(), 3U);
+  EXPECT_EQ(table.row_count(), 10U);
+  EXPECT_EQ(table.header()[1], "min");
+  // Last row t=99, max backlog 198.
+  EXPECT_DOUBLE_EQ(std::get<double>(table.at(9, 2)), 198.0);
+}
+
+TEST(ReportTest, DepthSeriesTableHoldsIntegers) {
+  const Trace a = make_trace(50, 7, 0.0);
+  const CsvTable table = depth_series_table({{"run", &a}}, 5);
+  EXPECT_EQ(std::get<std::int64_t>(table.at(0, 1)), 7);
+}
+
+TEST(ReportTest, SummaryTableVerdicts) {
+  const Trace stable = make_trace(200, 5, 0.0);
+  const Trace divergent = make_trace(200, 10, 100.0);
+  const CsvTable table =
+      summary_table({{"stable", &stable}, {"divergent", &divergent}});
+  EXPECT_EQ(table.row_count(), 2U);
+  EXPECT_EQ(std::get<std::string>(table.at(0, 6)), "convergent-to-zero");
+  EXPECT_EQ(std::get<std::string>(table.at(1, 6)), "divergent");
+}
+
+TEST(ReportTest, ValidatesRuns) {
+  const Trace a = make_trace(100, 5, 0.0);
+  const Trace shorter = make_trace(50, 5, 0.0);
+  EXPECT_THROW(backlog_series_table({}), std::invalid_argument);
+  EXPECT_THROW(backlog_series_table({{"x", nullptr}}), std::invalid_argument);
+  EXPECT_THROW(backlog_series_table({{"a", &a}, {"b", &shorter}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arvis

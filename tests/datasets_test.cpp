@@ -1,0 +1,286 @@
+// Tests for the synthetic 8iVFB-substitute dataset: body model geometry,
+// frame synthesis, sequence determinism, and the subject catalog.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "datasets/body_model.hpp"
+#include "datasets/catalog.hpp"
+#include "datasets/frame_source.hpp"
+#include "datasets/synthetic_body.hpp"
+#include "octree/octree.hpp"
+#include "pointcloud/ply_io.hpp"
+
+namespace arvis {
+namespace {
+
+// ------------------------------------------------------------ BodyModel ----
+
+TEST(BodyPrimitiveTest, SurfaceAreaPositive) {
+  BodyPrimitive capsule{{0, 0, 0}, {0, 1, 0}, 0.1F, 0, false, {}};
+  EXPECT_GT(capsule.surface_area(), 0.0F);
+  BodyPrimitive ellipsoid{{0, 0, 0}, {0, 0.3F, 0}, 0.1F, 0, true, {}};
+  EXPECT_GT(ellipsoid.surface_area(), 0.0F);
+}
+
+TEST(BodyPrimitiveTest, CapsuleSamplesNearSurface) {
+  const BodyPrimitive capsule{{0, 0, 0}, {0, 2, 0}, 0.25F, 0, false, {}};
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3f p = capsule.sample_surface(rng);
+    // Distance from the segment must be ~radius (or on the caps).
+    const float t = std::clamp(p.y, 0.0F, 2.0F);
+    const float d = distance(p, {0, t, 0});
+    EXPECT_NEAR(d, 0.25F, 1e-4F);
+  }
+}
+
+TEST(BodyPrimitiveTest, SphereAreaMatchesAnalytic) {
+  // Degenerate ellipsoid with len ~ 0 is a sphere of radius r.
+  const BodyPrimitive sphere{{0, 0, 0}, {0, 1e-6F, 0}, 0.5F, 0, true, {}};
+  const float analytic = 4.0F * 3.14159265F * 0.25F;
+  EXPECT_NEAR(sphere.surface_area(), analytic, analytic * 0.02F);
+}
+
+TEST(BodyModelTest, BuildBodyProducesAllParts) {
+  const auto prims = build_body(BodyShape{}, Pose{});
+  // pelvis + torso + head + neck + 2*(thigh+shin+foot) + 2*(upper+forearm).
+  EXPECT_EQ(prims.size(), 14U);
+}
+
+TEST(BodyModelTest, BodySpansExpectedHeight) {
+  BodyShape shape;
+  shape.height = 1.8F;
+  const auto prims = build_body(shape, Pose{});
+  float max_y = 0.0F;
+  float min_y = 10.0F;
+  for (const auto& prim : prims) {
+    max_y = std::max({max_y, prim.a.y + prim.radius, prim.b.y + prim.radius});
+    min_y = std::min({min_y, prim.a.y - prim.radius, prim.b.y - prim.radius});
+  }
+  EXPECT_NEAR(max_y, 1.8F, 0.25F);  // head top ≈ height
+  EXPECT_LT(min_y, 0.1F);           // feet near the ground
+}
+
+TEST(BodyModelTest, WalkPoseLegsCounterSwing) {
+  const Pose pose = walk_pose(0.25F);  // peak of the cycle
+  EXPECT_GT(std::abs(pose.left_hip_swing), 0.1F);
+  EXPECT_NEAR(pose.left_hip_swing, -pose.right_hip_swing, 1e-6F);
+  // Arms oppose their legs.
+  EXPECT_LT(pose.left_shoulder_swing * pose.left_hip_swing, 0.0F);
+}
+
+TEST(BodyModelTest, WalkPoseCyclic) {
+  const Pose a = walk_pose(0.0F);
+  const Pose b = walk_pose(1.0F);  // phase wraps
+  EXPECT_NEAR(a.left_hip_swing, b.left_hip_swing, 1e-5F);
+  EXPECT_NEAR(a.bob, b.bob, 1e-5F);
+}
+
+// -------------------------------------------------------- SyntheticBody ----
+
+TEST(SyntheticBodyTest, ProducesRequestedScale) {
+  SyntheticBodyParams params;
+  params.sample_count = 30'000;
+  params.voxel_bits = 0;  // raw samples
+  Rng rng(2);
+  const PointCloud cloud = synthesize_body(params, Pose{}, rng);
+  EXPECT_EQ(cloud.size(), 30'000U);
+  EXPECT_TRUE(cloud.has_colors());
+}
+
+TEST(SyntheticBodyTest, VoxelizationDeduplicates) {
+  SyntheticBodyParams params;
+  params.sample_count = 50'000;
+  params.voxel_bits = 7;
+  Rng rng(3);
+  const PointCloud cloud = synthesize_body(params, Pose{}, rng);
+  EXPECT_LT(cloud.size(), 50'000U);  // many samples share 7-bit voxels
+  EXPECT_GT(cloud.size(), 1'000U);
+}
+
+TEST(SyntheticBodyTest, DeterministicGivenSeed) {
+  SyntheticBodyParams params;
+  params.sample_count = 5'000;
+  Rng rng_a(7), rng_b(7);
+  const PointCloud a = synthesize_body(params, walk_pose(0.3F), rng_a);
+  const PointCloud b = synthesize_body(params, walk_pose(0.3F), rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.position(i), b.position(i));
+    EXPECT_EQ(a.color(i), b.color(i));
+  }
+}
+
+TEST(SyntheticBodyTest, BodyShapedExtent) {
+  SyntheticBodyParams params;
+  params.sample_count = 20'000;
+  params.voxel_bits = 0;
+  params.noise_stddev = 0.0F;
+  Rng rng(4);
+  const PointCloud cloud = synthesize_body(params, Pose{}, rng);
+  const Aabb bounds = cloud.bounds();
+  // Standing body: tall in y, narrower in x/z.
+  EXPECT_GT(bounds.extent().y, 1.4F);
+  EXPECT_LT(bounds.extent().y, 2.1F);
+  EXPECT_LT(bounds.extent().x, bounds.extent().y);
+  EXPECT_LT(bounds.extent().z, bounds.extent().y);
+}
+
+TEST(SyntheticBodyTest, OctreeOccupancyGrowthMatches8ivfbShape) {
+  // The property the controller depends on: occupancy grows ~4x/level in the
+  // mid depths, then saturates — same shape as the real dataset.
+  SyntheticBodyParams params;
+  params.sample_count = 150'000;
+  params.voxel_bits = 0;
+  Rng rng(5);
+  const PointCloud cloud = synthesize_body(params, Pose{}, rng);
+  const Octree tree(cloud, 9);
+  const auto profile = tree.occupancy_profile();
+  for (int d = 3; d <= 5; ++d) {
+    const double growth =
+        static_cast<double>(profile[static_cast<std::size_t>(d + 1)]) /
+        static_cast<double>(profile[static_cast<std::size_t>(d)]);
+    EXPECT_GT(growth, 2.0) << "depth " << d;
+    EXPECT_LT(growth, 5.5) << "depth " << d;  // surface-like, well under 8x
+  }
+  // Saturation: the last level grows much slower than mid levels.
+  const double tail_growth = static_cast<double>(profile[9]) /
+                             static_cast<double>(profile[8]);
+  EXPECT_LT(tail_growth, 2.5);
+}
+
+// ---------------------------------------------------------- FrameSource ----
+
+TEST(SyntheticSequenceTest, RandomAccessDeterminism) {
+  const auto source = open_test_subject(11);
+  const PointCloud f3_first = source->frame(3);
+  const PointCloud f0 = source->frame(0);
+  const PointCloud f3_again = source->frame(3);
+  ASSERT_EQ(f3_first.size(), f3_again.size());
+  for (std::size_t i = 0; i < f3_first.size(); ++i) {
+    EXPECT_EQ(f3_first.position(i), f3_again.position(i));
+  }
+  // Different frames differ (animation moves the limbs).
+  EXPECT_NE(f0.size(), 0U);
+  bool same = f0.size() == f3_first.size();
+  if (same) {
+    same = false;
+    for (std::size_t i = 0; i < f0.size(); ++i) {
+      if (!(f0.position(i) == f3_first.position(i))) break;
+      if (i + 1 == f0.size()) same = true;
+    }
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(SyntheticSequenceTest, FramesLoop) {
+  const auto source = open_test_subject(12);
+  const std::size_t n = source->frame_count();
+  const PointCloud first = source->frame(0);
+  const PointCloud wrapped = source->frame(n);
+  ASSERT_EQ(first.size(), wrapped.size());
+  EXPECT_EQ(first.position(0), wrapped.position(0));
+}
+
+TEST(SyntheticSequenceTest, ConstructionValidation) {
+  SyntheticBodyParams params;
+  EXPECT_THROW(SyntheticSequence("x", params, 0, 30, 1), std::invalid_argument);
+  EXPECT_THROW(SyntheticSequence("x", params, 10, 0, 1), std::invalid_argument);
+}
+
+TEST(MemorySequenceTest, WrapsAndValidates) {
+  EXPECT_THROW(MemorySequence("m", {}), std::invalid_argument);
+  std::vector<PointCloud> frames;
+  PointCloud f;
+  f.add_point({1, 2, 3});
+  frames.push_back(f);
+  const MemorySequence seq("m", frames);
+  EXPECT_EQ(seq.frame_count(), 1U);
+  EXPECT_EQ(seq.frame(5).position(0), (Vec3f{1, 2, 3}));
+}
+
+TEST(MaterializeTest, CapturesFrames) {
+  const auto source = open_test_subject(13);
+  const MemorySequence seq = materialize(*source, 4);
+  EXPECT_EQ(seq.frame_count(), 4U);
+  EXPECT_EQ(seq.frame(2).size(), source->frame(2).size());
+}
+
+TEST(PlySequenceTest, LoadsDirectoryOfFrames) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "arvis_ply_seq";
+  fs::create_directories(dir);
+  const auto source = open_test_subject(14);
+  // Write three frames; include a non-ply file that must be ignored.
+  for (int i = 0; i < 3; ++i) {
+    const auto path = dir / ("frame_000" + std::to_string(i) + ".ply");
+    ASSERT_TRUE(write_ply_file(path.string(), source->frame(static_cast<std::size_t>(i)))
+                    .ok());
+  }
+  std::ofstream(dir / "README.txt") << "not a ply";
+
+  auto seq = PlySequence::open(dir.string());
+  ASSERT_TRUE(seq.ok()) << seq.status().to_string();
+  EXPECT_EQ(seq->frame_count(), 3U);
+  EXPECT_EQ(seq->frame(1).size(), source->frame(1).size());
+  // Repeated access (cache path) returns identical data.
+  EXPECT_EQ(seq->frame(1).position(0), seq->frame(1).position(0));
+  fs::remove_all(dir);
+}
+
+TEST(PlySequenceTest, MissingDirectoryRejected) {
+  EXPECT_FALSE(PlySequence::open("/no/such/dir").ok());
+}
+
+TEST(PlySequenceTest, EmptyDirectoryRejected) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "arvis_ply_empty";
+  fs::create_directories(dir);
+  EXPECT_FALSE(PlySequence::open(dir.string()).ok());
+  fs::remove_all(dir);
+}
+
+// -------------------------------------------------------------- Catalog ----
+
+TEST(CatalogTest, FourSubjectsMirror8ivfb) {
+  const auto subjects = catalog_subjects();
+  ASSERT_EQ(subjects.size(), 4U);
+  std::vector<std::string> names;
+  for (const auto& s : subjects) {
+    names.push_back(s.name);
+    EXPECT_EQ(s.frames, 300U);  // 8iVFB sequence length
+    EXPECT_GE(s.sample_count, 700'000U);
+    EXPECT_LE(s.sample_count, 1'000'000U);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"longdress", "loot",
+                                             "redandblack", "soldier"}));
+}
+
+TEST(CatalogTest, OpenSubjectScalesSampleCount) {
+  auto source = open_subject("loot", 1, 0.01);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->frame_count(), 300U);
+  // At 1% scale the frame is small but non-trivial.
+  const PointCloud frame = (*source)->frame(0);
+  EXPECT_GT(frame.size(), 500U);
+  EXPECT_LT(frame.size(), 20'000U);
+}
+
+TEST(CatalogTest, UnknownSubjectRejected) {
+  EXPECT_FALSE(open_subject("basketball").ok());
+}
+
+TEST(CatalogTest, SubjectsDifferInScale) {
+  auto loot = open_subject("loot", 1, 0.02);
+  auto soldier = open_subject("soldier", 1, 0.02);
+  ASSERT_TRUE(loot.ok());
+  ASSERT_TRUE(soldier.ok());
+  // soldier samples 1e6 vs loot 7.8e5: frames should differ in size.
+  EXPECT_NE((*loot)->frame(0).size(), (*soldier)->frame(0).size());
+}
+
+}  // namespace
+}  // namespace arvis

@@ -1,0 +1,132 @@
+// Tests for workload maps, device profiles and service processes.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "datasets/catalog.hpp"
+#include "delay/device_profile.hpp"
+#include "delay/service_process.hpp"
+#include "delay/workload.hpp"
+#include "octree/occupancy_codec.hpp"
+#include "octree/octree.hpp"
+
+namespace arvis {
+namespace {
+
+// ------------------------------------------------------------- Workload ----
+
+TEST(PointWorkloadTest, LookupAndValidation) {
+  const PointWorkload w({1, 8, 64, 500});
+  EXPECT_DOUBLE_EQ(w.arrivals(2), 64.0);
+  EXPECT_DOUBLE_EQ(w.arrivals(9), 500.0);  // clamps
+  EXPECT_THROW(PointWorkload({}), std::invalid_argument);
+  EXPECT_THROW(PointWorkload({5, 3}), std::invalid_argument);  // decreasing
+}
+
+TEST(ByteWorkloadTest, LookupAndValidation) {
+  const ByteWorkload w({0, 1, 9, 73});
+  EXPECT_DOUBLE_EQ(w.arrivals(3), 73.0);
+  EXPECT_THROW(ByteWorkload({1, 0}), std::invalid_argument);
+}
+
+TEST(GeometricWorkloadTest, GrowthLaw) {
+  const GeometricWorkload w(5, 1000.0, 4.0);
+  EXPECT_DOUBLE_EQ(w.arrivals(5), 1000.0);
+  EXPECT_DOUBLE_EQ(w.arrivals(7), 16'000.0);
+  EXPECT_DOUBLE_EQ(w.arrivals(4), 1000.0);  // below d_min clamps to base
+  EXPECT_THROW(GeometricWorkload(5, 0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(GeometricWorkload(5, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(FrameWorkloadTest, MatchesOctreeStatistics) {
+  const auto source = open_test_subject(41);
+  const Octree tree(source->frame(0), 7);
+  const FrameWorkload w = compute_frame_workload(tree);
+  EXPECT_EQ(w.max_depth, 7);
+  for (int d = 0; d <= 7; ++d) {
+    EXPECT_DOUBLE_EQ(w.points(d), static_cast<double>(tree.occupied_count(d)));
+  }
+  for (int d = 1; d <= 7; ++d) {
+    EXPECT_DOUBLE_EQ(w.bytes(d),
+                     static_cast<double>(encode_occupancy(tree, d).byte_size()));
+  }
+  EXPECT_DOUBLE_EQ(w.bytes(0), 0.0);
+}
+
+// -------------------------------------------------------- DeviceProfile ----
+
+TEST(DeviceProfileTest, RenderTimeAffine) {
+  const DeviceProfile p{"test", 1000.0, 5.0};
+  EXPECT_DOUBLE_EQ(p.render_ms(0), 5.0);
+  EXPECT_DOUBLE_EQ(p.render_ms(10'000), 15.0);
+}
+
+TEST(DeviceProfileTest, ServicePerSlotNetOfSetup) {
+  const DeviceProfile p{"test", 1000.0, 5.0};
+  EXPECT_DOUBLE_EQ(p.service_points_per_slot(33.3), (33.3 - 5.0) * 1000.0);
+  EXPECT_DOUBLE_EQ(p.service_points_per_slot(4.0), 0.0);  // setup exceeds slot
+}
+
+TEST(DeviceProfileTest, BuiltinsOrderedByThroughput) {
+  const auto profiles = builtin_device_profiles();
+  ASSERT_EQ(profiles.size(), 4U);
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GT(profiles[i].points_per_ms, profiles[i - 1].points_per_ms);
+  }
+  EXPECT_EQ(device_profile("phone-low").name, "phone-low");
+  EXPECT_THROW(device_profile("smartwatch"), std::invalid_argument);
+}
+
+// ------------------------------------------------------ ServiceProcess ----
+
+TEST(ConstantServiceTest, FixedRate) {
+  ConstantService service(250.0);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(service.next_service(), 250.0);
+  EXPECT_DOUBLE_EQ(service.mean_rate(), 250.0);
+  EXPECT_THROW(ConstantService(-1.0), std::invalid_argument);
+}
+
+TEST(JitteredServiceTest, MeanPreservedAndNonNegative) {
+  JitteredService service(1000.0, 0.2, Rng(42));
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    const double s = service.next_service();
+    EXPECT_GE(s, 0.0);
+    stats.add(s);
+  }
+  EXPECT_NEAR(stats.mean(), 1000.0, 10.0);
+  EXPECT_NEAR(stats.stddev(), 200.0, 10.0);
+  EXPECT_THROW(JitteredService(100.0, 1.5, Rng(1)), std::invalid_argument);
+}
+
+TEST(MarkovServiceTest, MeanMatchesStationaryDistribution) {
+  // p_fs = 0.1, p_sf = 0.3 -> pi_fast = 0.75.
+  MarkovModulatedService service(1000.0, 200.0, 0.1, 0.3, Rng(43));
+  EXPECT_NEAR(service.mean_rate(), 0.75 * 1000.0 + 0.25 * 200.0, 1e-9);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(service.next_service());
+  EXPECT_NEAR(stats.mean(), service.mean_rate(), 10.0);
+}
+
+TEST(MarkovServiceTest, OnlyTwoRatesEmitted) {
+  MarkovModulatedService service(800.0, 100.0, 0.5, 0.5, Rng(44));
+  for (int i = 0; i < 100; ++i) {
+    const double s = service.next_service();
+    EXPECT_TRUE(s == 800.0 || s == 100.0);
+  }
+  EXPECT_THROW(MarkovModulatedService(100.0, 200.0, 0.1, 0.1, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(TraceServiceTest, CyclesThroughTrace) {
+  TraceService service({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(service.next_service(), 10.0);
+  EXPECT_DOUBLE_EQ(service.next_service(), 20.0);
+  EXPECT_DOUBLE_EQ(service.next_service(), 30.0);
+  EXPECT_DOUBLE_EQ(service.next_service(), 10.0);  // wraps
+  EXPECT_DOUBLE_EQ(service.mean_rate(), 20.0);
+  EXPECT_THROW(TraceService({}), std::invalid_argument);
+  EXPECT_THROW(TraceService({1.0, -2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arvis

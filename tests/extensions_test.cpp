@@ -1,0 +1,785 @@
+// Tests for the extension features: normal estimation and sampling, the
+// color codec, the multi-constraint (energy-aware) controller, the
+// energy-budget simulation, and the replication harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/latency.hpp"
+#include "common/csv.hpp"
+#include "datasets/catalog.hpp"
+#include "delay/energy_model.hpp"
+#include "delay/service_process.hpp"
+#include "lyapunov/adaptive_v.hpp"
+#include "lyapunov/multi_constraint.hpp"
+#include "net/joint_control.hpp"
+#include "octree/color_codec.hpp"
+#include "pointcloud/normals.hpp"
+#include "render/octree_renderer.hpp"
+#include "sim/energy_simulation.hpp"
+#include "sim/replication.hpp"
+
+namespace arvis {
+namespace {
+
+// ---------------------------------------------------------- Normals ----
+
+TEST(PcaNormalTest, PlaneNormalRecovered) {
+  Rng rng(1);
+  std::vector<Vec3f> plane;
+  for (int i = 0; i < 100; ++i) {
+    plane.push_back({rng.next_float() * 4 - 2, rng.next_float() * 4 - 2, 0.5F});
+  }
+  const Vec3f n = pca_normal(plane);
+  EXPECT_NEAR(std::abs(n.z), 1.0F, 1e-4F);
+  EXPECT_NEAR(n.x, 0.0F, 1e-3F);
+}
+
+TEST(PcaNormalTest, DegenerateInputsGiveZero) {
+  EXPECT_EQ(pca_normal(std::vector<Vec3f>{}), (Vec3f{}));
+  EXPECT_EQ(pca_normal(std::vector<Vec3f>{{1, 1, 1}, {2, 2, 2}}), (Vec3f{}));
+  // Collinear points: no plane defined.
+  std::vector<Vec3f> line;
+  for (int i = 0; i < 20; ++i) line.push_back({static_cast<float>(i), 0, 0});
+  EXPECT_EQ(pca_normal(line), (Vec3f{}));
+}
+
+TEST(EstimateNormalsTest, SphereNormalsAreRadial) {
+  // On a sphere, the local surface normal is the radial direction.
+  Rng rng(2);
+  PointCloud sphere;
+  for (int i = 0; i < 3000; ++i) {
+    const float z = 2.0F * rng.next_float() - 1.0F;
+    const float phi = 6.2831853F * rng.next_float();
+    const float r = std::sqrt(std::max(0.0F, 1.0F - z * z));
+    sphere.add_point({r * std::cos(phi), r * std::sin(phi), z});
+  }
+  const auto normals = estimate_normals(sphere, 12);
+  ASSERT_EQ(normals.size(), sphere.size());
+  RunningStats alignment;
+  for (std::size_t i = 0; i < sphere.size(); ++i) {
+    const Vec3f radial = normalized(sphere.position(i));
+    alignment.add(std::abs(dot(normals[i], radial)));
+  }
+  EXPECT_GT(alignment.mean(), 0.97);
+  EXPECT_THROW(estimate_normals(sphere, 2), std::invalid_argument);
+}
+
+TEST(OrientNormalsTest, AllFaceViewpoint) {
+  PointCloud cloud;
+  cloud.add_point({0, 0, 1});
+  cloud.add_point({0, 0, -1});
+  std::vector<Vec3f> normals{{0, 0, -1}, {0, 0, -1}};
+  orient_normals_toward(normals, cloud, {0, 0, 10});
+  EXPECT_GT(dot(normals[0], Vec3f{0, 0, 1}), 0.0F);  // flipped
+  EXPECT_GT(dot(normals[1], Vec3f{0, 0, 1}), 0.0F);  // kept
+  std::vector<Vec3f> wrong_size{{0, 0, 1}};
+  EXPECT_THROW(orient_normals_toward(wrong_size, cloud, {0, 0, 1}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- Sampling ----
+
+TEST(RandomDownsampleTest, SizeAndUniqueness) {
+  Rng rng(3);
+  PointCloud cloud;
+  for (int i = 0; i < 100; ++i) {
+    cloud.add_point({static_cast<float>(i), 0, 0},
+                    {static_cast<std::uint8_t>(i), 0, 0});
+  }
+  const PointCloud sample = random_downsample(cloud, 30, rng);
+  ASSERT_EQ(sample.size(), 30U);
+  EXPECT_TRUE(sample.has_colors());
+  std::set<float> xs;
+  for (const Vec3f& p : sample.positions()) xs.insert(p.x);
+  EXPECT_EQ(xs.size(), 30U);  // no duplicates (without replacement)
+  // Requesting more than available returns everything.
+  Rng rng2(4);
+  EXPECT_EQ(random_downsample(cloud, 500, rng2).size(), 100U);
+}
+
+TEST(StrideDownsampleTest, EveryKth) {
+  PointCloud cloud;
+  for (int i = 0; i < 10; ++i) cloud.add_point({static_cast<float>(i), 0, 0});
+  const PointCloud every3 = stride_downsample(cloud, 3, 1);
+  ASSERT_EQ(every3.size(), 3U);
+  EXPECT_FLOAT_EQ(every3.position(0).x, 1.0F);
+  EXPECT_FLOAT_EQ(every3.position(2).x, 7.0F);
+  EXPECT_THROW(stride_downsample(cloud, 0), std::invalid_argument);
+  EXPECT_THROW(stride_downsample(cloud, 3, 3), std::invalid_argument);
+}
+
+// ------------------------------------------------------- Color codec ----
+
+std::vector<Color8> sample_colors(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Color8> colors;
+  Color8 current{128, 128, 128};
+  for (std::size_t i = 0; i < n; ++i) {
+    // Correlated walk, like real Morton-ordered surface colors.
+    auto step = [&](std::uint8_t v) {
+      const int next = static_cast<int>(v) +
+                       static_cast<int>(rng.uniform_int(-6, 6));
+      return static_cast<std::uint8_t>(std::clamp(next, 0, 255));
+    };
+    current = {step(current.r), step(current.g), step(current.b)};
+    colors.push_back(current);
+  }
+  return colors;
+}
+
+TEST(ColorCodecTest, LosslessAt8Bits) {
+  const auto colors = sample_colors(2'000, 7);
+  const ColorStream stream = encode_colors(colors, 8);
+  const auto decoded = decode_colors(stream);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded->size(), colors.size());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], colors[i]) << "index " << i;
+  }
+}
+
+TEST(ColorCodecTest, QuantizedRoundTripIsIdempotent) {
+  const auto colors = sample_colors(500, 8);
+  for (int bits : {2, 4, 6}) {
+    const auto once = decode_colors(encode_colors(colors, bits));
+    ASSERT_TRUE(once.ok());
+    const auto twice = decode_colors(encode_colors(*once, bits));
+    ASSERT_TRUE(twice.ok());
+    for (std::size_t i = 0; i < once->size(); ++i) {
+      EXPECT_EQ((*once)[i], (*twice)[i]);
+    }
+  }
+}
+
+TEST(ColorCodecTest, CompressionBeatsRawOnCoherentColors) {
+  const auto colors = sample_colors(10'000, 9);
+  const ColorStream stream = encode_colors(colors, 8);
+  // Raw is 3 bytes/color; correlated deltas should be well under that.
+  EXPECT_LT(stream.byte_size(), colors.size() * 3);
+  // Coarser quantization shrinks the stream further.
+  EXPECT_LT(encode_colors(colors, 4).byte_size(), stream.byte_size());
+}
+
+TEST(ColorCodecTest, QuantizationPsnrMonotoneInBits) {
+  const auto colors = sample_colors(2'000, 10);
+  double previous = 0.0;
+  for (int bits : {2, 4, 6, 8}) {
+    const double psnr = color_quantization_psnr_db(colors, bits);
+    EXPECT_GT(psnr, previous) << "bits " << bits;
+    previous = psnr;
+  }
+  EXPECT_TRUE(std::isinf(color_quantization_psnr_db(colors, 8)));
+}
+
+TEST(ColorCodecTest, RejectsMalformedStreams) {
+  const auto colors = sample_colors(100, 11);
+  ColorStream truncated = encode_colors(colors, 6);
+  truncated.bytes.resize(truncated.bytes.size() / 2);
+  EXPECT_FALSE(decode_colors(truncated).ok());
+
+  ColorStream trailing = encode_colors(colors, 6);
+  trailing.bytes.push_back(0x00);
+  EXPECT_FALSE(decode_colors(trailing).ok());
+
+  ColorStream bad_bits = encode_colors(colors, 6);
+  bad_bits.bits = 0;
+  EXPECT_FALSE(decode_colors(bad_bits).ok());
+
+  EXPECT_THROW(encode_colors(colors, 0), std::invalid_argument);
+  EXPECT_THROW(encode_colors(colors, 9), std::invalid_argument);
+}
+
+TEST(ColorCodecTest, RealLodColorsCompress) {
+  const auto source = open_test_subject(12);
+  const Octree tree(source->frame(0), 8);
+  const PointCloud lod = tree.extract_lod(7);
+  ASSERT_TRUE(lod.has_colors());
+  const ColorStream stream = encode_colors(lod.colors(), 8);
+  const auto decoded = decode_colors(stream);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), lod.size());
+  EXPECT_LT(stream.byte_size(), lod.size() * 3);  // beats raw 24 bpp
+}
+
+// ----------------------------------------- Multi-constraint argmax ----
+
+TEST(MultiConstraintTest, ReducesToPlainDppWithoutConstraints) {
+  const std::vector<double> p{1, 2, 3};
+  const std::vector<double> a{10, 20, 30};
+  const DppDecision plain = drift_plus_penalty_argmax(p, a, 5.0, 2.0);
+  const DppDecision multi = multi_constraint_argmax(p, a, 5.0, 2.0, {});
+  EXPECT_EQ(plain.index, multi.index);
+  EXPECT_DOUBLE_EQ(plain.objective, multi.objective);
+}
+
+TEST(MultiConstraintTest, ActiveConstraintShiftsDecision) {
+  const std::vector<double> p{1, 2, 3};
+  const std::vector<double> a{1, 1, 1};       // delay-neutral
+  const std::vector<double> energy{0, 10, 100};  // costly top action
+  // No energy pressure: pick the max-utility action.
+  {
+    const ConstraintTerm term{0.0, energy};
+    EXPECT_EQ(multi_constraint_argmax(p, a, 10.0, 0.0, {&term, 1}).index, 2U);
+  }
+  // Moderate virtual backlog: the top action is priced out (Z·Δe exceeds
+  // V·Δp between actions 1 and 2 once Z > 10/90).
+  {
+    const ConstraintTerm term{0.5, energy};
+    EXPECT_EQ(multi_constraint_argmax(p, a, 10.0, 0.0, {&term, 1}).index, 1U);
+  }
+  // Heavy backlog: even action 1's 10 J/slot is priced out (Z > 10/10).
+  {
+    const ConstraintTerm term{5.0, energy};
+    EXPECT_EQ(multi_constraint_argmax(p, a, 10.0, 0.0, {&term, 1}).index, 0U);
+  }
+}
+
+TEST(MultiConstraintTest, Validation) {
+  const std::vector<double> p{1, 2};
+  const std::vector<double> a{1, 2};
+  const std::vector<double> wrong{1, 2, 3};
+  const ConstraintTerm bad_size{1.0, wrong};
+  EXPECT_THROW(multi_constraint_argmax(p, a, 1.0, 0.0, {&bad_size, 1}),
+               std::invalid_argument);
+  const ConstraintTerm bad_backlog{-1.0, a};
+  EXPECT_THROW(multi_constraint_argmax(p, a, 1.0, 0.0, {&bad_backlog, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(multi_constraint_argmax({}, {}, 1.0, 0.0, {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- Energy simulation ----
+
+TEST(EnergyModelTest, BuiltinsAndLookup) {
+  const auto models = builtin_energy_models();
+  ASSERT_EQ(models.size(), 4U);
+  EXPECT_GT(energy_model("phone-low").j_per_point,
+            energy_model("edge-gpu").j_per_point);
+  EXPECT_THROW(energy_model("toaster"), std::invalid_argument);
+  const EnergyModel m{"m", 0.01, 1e-6};
+  EXPECT_DOUBLE_EQ(m.slot_energy_j(0.0), 0.01);
+  EXPECT_DOUBLE_EQ(m.slot_energy_j(1e6), 1.01);
+}
+
+struct EnergyFixture : testing::Test {
+  static const FrameStatsCache& cache() {
+    static const FrameStatsCache instance(*open_test_subject(91), 8, 8);
+    return instance;
+  }
+
+  static EnergySimConfig config(double budget) {
+    EnergySimConfig c;
+    c.base.steps = 4'000;
+    c.base.candidates = {3, 4, 5, 6, 7, 8};
+    c.energy = EnergyModel{"test", 0.001, 1e-6};
+    c.energy_budget_j_per_slot = budget;
+    return c;
+  }
+};
+
+TEST_F(EnergyFixture, BudgetRespectedInTimeAverage) {
+  // Budget that a fixed max depth would violate: e(max) ≈ 0.001 + 1e-6·a(8).
+  const double max_energy =
+      0.001 + 1e-6 * cache().mean_points_at_depth()[8];
+  const double budget = 0.4 * max_energy;
+  ConstantService service(1e9);  // delay never binds; isolate the energy term
+  const EnergySimResult result =
+      run_energy_simulation(config(budget), cache(), 1e5, service);
+  // Time-average energy within budget (+ vanishing Z/t correction).
+  EXPECT_LE(result.average_energy_j,
+            budget + result.final_virtual_backlog /
+                         static_cast<double>(result.trace.size()) + 1e-9);
+  // And the controller is not trivially stuck at min depth.
+  EXPECT_GT(result.trace.summarize().mean_depth, 3.2);
+}
+
+TEST_F(EnergyFixture, GenerousBudgetRecoversUnconstrainedBehaviour) {
+  ConstantService service(1e9);
+  const EnergySimResult result =
+      run_energy_simulation(config(1e3), cache(), 1e5, service);
+  // Energy never binds: max depth every slot.
+  EXPECT_DOUBLE_EQ(result.trace.summarize().mean_depth, 8.0);
+  EXPECT_DOUBLE_EQ(result.final_virtual_backlog, 0.0);
+}
+
+TEST_F(EnergyFixture, TighterBudgetLowersDepth) {
+  ConstantService s1(1e9), s2(1e9);
+  const double max_energy =
+      0.001 + 1e-6 * cache().mean_points_at_depth()[8];
+  const double loose = run_energy_simulation(config(0.8 * max_energy), cache(),
+                                             1e5, s1)
+                           .trace.summarize()
+                           .mean_depth;
+  const double tight = run_energy_simulation(config(0.2 * max_energy), cache(),
+                                             1e5, s2)
+                           .trace.summarize()
+                           .mean_depth;
+  EXPECT_GT(loose, tight);
+}
+
+TEST_F(EnergyFixture, Validation) {
+  ConstantService service(100.0);
+  EXPECT_THROW(
+      run_energy_simulation(config(0.0), cache(), 1e5, service),
+      std::invalid_argument);
+  auto bad = config(1.0);
+  bad.base.candidates = {8, 3};
+  EXPECT_THROW(run_energy_simulation(bad, cache(), 1e5, service),
+               std::invalid_argument);
+  EXPECT_THROW(run_energy_simulation(config(1.0), cache(), -1.0, service),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- Culled rendering ----
+
+TEST(FrustumTest, ContainsAndCulls) {
+  Camera camera;
+  camera.eye = {0, 0, 5};
+  camera.target = {0, 0, 0};
+  camera.fov_y_radians = 0.9F;
+  const Frustum frustum(camera, 1.0F);
+  EXPECT_TRUE(frustum.contains({0, 0, 0}));
+  EXPECT_FALSE(frustum.contains({0, 0, 10}));   // behind the eye
+  EXPECT_FALSE(frustum.contains({100, 0, 0}));  // far off to the side
+
+  Aabb visible;
+  visible.expand(Vec3f{-0.5F, -0.5F, -0.5F});
+  visible.expand(Vec3f{0.5F, 0.5F, 0.5F});
+  EXPECT_TRUE(frustum.intersects(visible));
+
+  Aabb behind;
+  behind.expand(Vec3f{-1, -1, 7});
+  behind.expand(Vec3f{1, 1, 9});
+  EXPECT_FALSE(frustum.intersects(behind));
+
+  Aabb straddling;  // partially visible: must NOT be culled
+  straddling.expand(Vec3f{-100, -0.1F, -0.1F});
+  straddling.expand(Vec3f{0.1F, 0.1F, 0.1F});
+  EXPECT_TRUE(frustum.intersects(straddling));
+  EXPECT_FALSE(frustum.intersects(Aabb{}));
+}
+
+TEST(CulledRenderTest, PixelIdenticalToFlatRender) {
+  const auto source = open_test_subject(21);
+  const Octree tree(source->frame(0), 8);
+  Camera camera;
+  camera.eye = {0.0F, 0.9F, 2.2F};
+  camera.target = {0.0F, 0.9F, 0.0F};
+
+  Framebuffer flat(96, 96), culled(96, 96);
+  flat.clear();
+  culled.clear();
+  render_points(flat, camera, tree.extract_lod(6), 1);
+  const CulledRenderStats stats =
+      render_octree_culled(culled, camera, tree, 6, 1, 3);
+
+  EXPECT_DOUBLE_EQ(image_mse(flat, culled), 0.0);
+  EXPECT_GT(stats.nodes_tested, 0U);
+  EXPECT_EQ(stats.points_rendered, stats.raster.points_in);
+}
+
+TEST(CulledRenderTest, ZoomedCameraCullsNodes) {
+  const auto source = open_test_subject(22);
+  const Octree tree(source->frame(0), 8);
+  // Camera zoomed tight on the head: most of the body is off-frustum.
+  Camera camera;
+  camera.eye = {0.0F, 1.55F, 0.5F};
+  camera.target = {0.0F, 1.55F, 0.0F};
+  camera.fov_y_radians = 0.35F;
+
+  Framebuffer fb(96, 96);
+  fb.clear();
+  const CulledRenderStats stats =
+      render_octree_culled(fb, camera, tree, 8, 1, 4);
+  EXPECT_GT(stats.nodes_culled, 0U);
+  EXPECT_LT(stats.points_rendered, tree.occupied_count(8));
+  // Still pixel-identical to the flat render (culling is conservative).
+  Framebuffer flat(96, 96);
+  flat.clear();
+  render_points(flat, camera, tree.extract_lod(8), 1);
+  EXPECT_DOUBLE_EQ(image_mse(flat, fb), 0.0);
+}
+
+TEST(CulledRenderTest, Validation) {
+  const auto source = open_test_subject(23);
+  const Octree tree(source->frame(0), 6);
+  Framebuffer fb(16, 16);
+  Camera camera;
+  EXPECT_THROW(render_octree_culled(fb, camera, tree, 0), std::out_of_range);
+  EXPECT_THROW(render_octree_culled(fb, camera, tree, 7), std::out_of_range);
+  EXPECT_THROW(render_octree_culled(fb, camera, tree, 4, 1, 5),
+               std::out_of_range);
+  EXPECT_THROW(render_octree_culled(fb, camera, tree, 4, 1, -1),
+               std::out_of_range);
+}
+
+TEST(OctreeRangeTest, SubtreeLeafRangesPartitionLeaves) {
+  const auto source = open_test_subject(24);
+  const Octree tree(source->frame(0), 7);
+  for (int level : {0, 2, 4}) {
+    std::size_t covered = 0;
+    std::size_t previous_end = 0;
+    for (const OctreeNode& node : tree.level_nodes(level)) {
+      const auto [first, last] = tree.subtree_leaf_range(node.key, level);
+      EXPECT_EQ(first, previous_end);  // contiguous partition
+      EXPECT_EQ(last - first, node.leaf_count);
+      covered += last - first;
+      previous_end = last;
+    }
+    EXPECT_EQ(covered, tree.leaf_count());
+  }
+  // Unoccupied key yields an empty range.
+  const auto nodes = tree.level_nodes(2);
+  std::uint64_t unused_key = 0;
+  std::set<std::uint64_t> used;
+  for (const OctreeNode& n : nodes) used.insert(n.key);
+  while (used.count(unused_key)) ++unused_key;
+  const auto [f, l] = tree.subtree_leaf_range(unused_key, 2);
+  EXPECT_EQ(f, l);
+}
+
+TEST(OctreeRangeTest, RangeLodConcatenatesToFullLod) {
+  const auto source = open_test_subject(25);
+  const Octree tree(source->frame(0), 7);
+  const int depth = 5;
+  const PointCloud full = tree.extract_lod(depth);
+  PointCloud assembled;
+  for (const OctreeNode& node : tree.level_nodes(2)) {
+    const auto [first, last] = tree.subtree_leaf_range(node.key, 2);
+    assembled.append(tree.extract_lod_range(depth, first, last));
+  }
+  ASSERT_EQ(assembled.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(assembled.position(i), full.position(i));
+  }
+  EXPECT_THROW(tree.extract_lod_range(5, 10, 5), std::out_of_range);
+  EXPECT_THROW(tree.extract_lod_range(5, 0, tree.leaf_count() + 1),
+               std::out_of_range);
+}
+
+// ---------------------------------------------------------- CSV parse ----
+
+TEST(CsvParseTest, RoundTripsWriterOutput) {
+  CsvTable table({"name", "count", "ratio"});
+  table.add_row({std::string("alpha"), std::int64_t{3}, 0.5});
+  table.add_row({std::string("with,comma"), std::int64_t{-7}, 1.25});
+  table.add_row({CsvCell{}, std::int64_t{0}, 0.0});
+  const auto parsed = parse_csv(table.to_string());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->row_count(), 3U);
+  EXPECT_EQ(std::get<std::string>(parsed->at(1, 0)), "with,comma");
+  EXPECT_EQ(std::get<std::int64_t>(parsed->at(1, 1)), -7);
+  EXPECT_DOUBLE_EQ(std::get<double>(parsed->at(1, 2)), 1.25);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(parsed->at(2, 0)));
+}
+
+TEST(CsvParseTest, QuotedNewlinesAndEscapedQuotes) {
+  const std::string text =
+      "a,b\n\"line1\nline2\",\"say \"\"hi\"\"\"\n";
+  const auto parsed = parse_csv(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->row_count(), 1U);
+  EXPECT_EQ(std::get<std::string>(parsed->at(0, 0)), "line1\nline2");
+  EXPECT_EQ(std::get<std::string>(parsed->at(0, 1)), "say \"hi\"");
+}
+
+TEST(CsvParseTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_csv("").ok());
+  EXPECT_FALSE(parse_csv("a,b\n1\n").ok());           // ragged row
+  EXPECT_FALSE(parse_csv("a\n\"unterminated\n").ok());  // open quote
+}
+
+TEST(CsvParseTest, FileRoundTrip) {
+  CsvTable table({"x"});
+  table.add_row({1.5});
+  const std::string path = testing::TempDir() + "/arvis_csv_rt.csv";
+  ASSERT_TRUE(table.write_file(path).ok());
+  const auto parsed = read_csv_file(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(parsed->at(0, 0)), 1.5);
+  EXPECT_FALSE(read_csv_file("/no/such/file.csv").ok());
+}
+
+// ------------------------------------------------------------ Latency ----
+
+TEST(LatencyTest, ConversionMatchesHandComputation) {
+  const DeviceProfile device{"d", 1'000.0, 3.0};  // 1000 pts/ms, 3ms setup
+  const double slot_ms = 33.0;                    // service 30'000 pts/slot
+  EXPECT_DOUBLE_EQ(backlog_to_latency_ms(0.0, device, slot_ms), 0.0);
+  EXPECT_DOUBLE_EQ(backlog_to_latency_ms(30'000.0, device, slot_ms), 33.0);
+  EXPECT_DOUBLE_EQ(backlog_to_latency_ms(15'000.0, device, slot_ms), 16.5);
+  EXPECT_THROW(backlog_to_latency_ms(1.0, device, 0.0), std::invalid_argument);
+  // Slot shorter than setup: no progress possible.
+  EXPECT_THROW(backlog_to_latency_ms(1.0, device, 2.0), std::invalid_argument);
+}
+
+TEST(LatencyTest, SummaryPercentilesOrdered) {
+  Trace trace;
+  for (std::size_t t = 0; t < 100; ++t) {
+    StepRecord r;
+    r.t = t;
+    r.backlog_begin = static_cast<double>(t) * 500.0;
+    trace.add(r);
+  }
+  const DeviceProfile device{"d", 1'000.0, 3.0};
+  const LatencySummary s = summarize_latency(trace, device, 33.0);
+  EXPECT_LT(s.p50_ms, s.p95_ms);
+  EXPECT_LT(s.p95_ms, s.p99_ms);
+  EXPECT_LE(s.p99_ms, s.max_ms);
+  EXPECT_GT(s.mean_ms, 0.0);
+  EXPECT_THROW(summarize_latency(Trace{}, device, 33.0),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------- Adaptive V ----
+
+struct AdaptiveVFixture : testing::Test {
+  static const FrameStatsCache& cache() {
+    return EnergyFixture::cache();
+  }
+
+  static SimConfig sim_config() {
+    SimConfig c;
+    c.steps = 6'000;
+    c.candidates = {3, 4, 5, 6, 7, 8};
+    return c;
+  }
+};
+
+TEST_F(AdaptiveVFixture, TracksBacklogTarget) {
+  const SimConfig config = sim_config();
+  const double service = calibrate_service_rate(cache(), 5, 1.3);
+  for (double target : {5.0 * service, 50.0 * service}) {
+    AdaptiveVDepthController::Options options;
+    options.target_backlog = target;
+    options.initial_v = 1.0;  // far from any sensible value on purpose
+    AdaptiveVDepthController controller(options);
+    ConstantService svc(service);
+    const Trace trace = run_simulation(config, cache(), controller, svc);
+    const double achieved = trace.summarize().time_average_backlog;
+    // Within a factor of 2 of the target after convergence from a V that
+    // started ~6 orders of magnitude off.
+    EXPECT_GT(achieved, 0.5 * target) << "target " << target;
+    EXPECT_LT(achieved, 2.0 * target) << "target " << target;
+    EXPECT_NE(trace.summarize().stability.verdict,
+              StabilityVerdict::kDivergent);
+  }
+}
+
+TEST_F(AdaptiveVFixture, HigherTargetBuysQuality) {
+  const SimConfig config = sim_config();
+  const double service = calibrate_service_rate(cache(), 5, 1.3);
+  auto run_with_target = [&](double target) {
+    AdaptiveVDepthController::Options options;
+    options.target_backlog = target;
+    AdaptiveVDepthController controller(options);
+    ConstantService svc(service);
+    return run_simulation(config, cache(), controller, svc)
+        .summarize()
+        .time_average_quality;
+  };
+  EXPECT_GT(run_with_target(100.0 * service), run_with_target(3.0 * service));
+}
+
+TEST_F(AdaptiveVFixture, OptionValidation) {
+  AdaptiveVDepthController::Options options;
+  options.target_backlog = 0.0;
+  EXPECT_THROW(AdaptiveVDepthController{options}, std::invalid_argument);
+  options.target_backlog = 10.0;
+  options.gain = 0.0;
+  EXPECT_THROW(AdaptiveVDepthController{options}, std::invalid_argument);
+  options.gain = 0.05;
+  options.v_min = 10.0;
+  options.v_max = 1.0;
+  EXPECT_THROW(AdaptiveVDepthController{options}, std::invalid_argument);
+}
+
+TEST_F(AdaptiveVFixture, RequiresModels) {
+  AdaptiveVDepthController controller{AdaptiveVDepthController::Options{}};
+  DepthContext empty;
+  EXPECT_THROW(controller.decide({1, 2}, empty), std::invalid_argument);
+  EXPECT_THROW(controller.decide({}, empty), std::invalid_argument);
+}
+
+// -------------------------------------------------- Hindsight oracle ----
+
+TEST_F(AdaptiveVFixture, HindsightOracleFindsStabilityBoundary) {
+  SimConfig config = sim_config();
+  config.steps = 1'000;
+  // Service sustains depth 5 with margin but not depth 6.
+  const double service = calibrate_service_rate(cache(), 5, 1.3);
+  const HindsightResult oracle =
+      best_fixed_depth_in_hindsight(config, cache(), service);
+  EXPECT_EQ(oracle.best_depth, 5);
+  EXPECT_NE(oracle.summary.stability.verdict, StabilityVerdict::kDivergent);
+}
+
+TEST_F(AdaptiveVFixture, LyapunovMatchesOrBeatsHindsightFixedDepth) {
+  // The DPP controller may time-share adjacent depths, so its time-average
+  // quality must be at least ~the best fixed depth's (allowing 5% noise).
+  SimConfig config = sim_config();
+  config.steps = 3'000;
+  const double service = calibrate_service_rate(cache(), 5, 1.3);
+  const HindsightResult oracle =
+      best_fixed_depth_in_hindsight(config, cache(), service);
+
+  LyapunovDepthController controller(
+      calibrate_v_for_pivot(cache(), config, 30.0 * service));
+  ConstantService svc(service);
+  const Trace trace = run_simulation(config, cache(), controller, svc);
+  const TraceSummary s = trace.summarize();
+  EXPECT_NE(s.stability.verdict, StabilityVerdict::kDivergent);
+  EXPECT_GE(s.time_average_quality,
+            0.95 * oracle.summary.time_average_quality);
+}
+
+TEST_F(AdaptiveVFixture, HindsightOracleOverloadFallsBack) {
+  SimConfig config = sim_config();
+  config.steps = 1'000;
+  // Service below even the min-depth arrival rate: nothing is stable.
+  const HindsightResult oracle =
+      best_fixed_depth_in_hindsight(config, cache(), 1.0);
+  EXPECT_EQ(oracle.best_depth, config.candidates.front());
+  EXPECT_EQ(oracle.summary.stability.verdict, StabilityVerdict::kDivergent);
+}
+
+// ----------------------------------------------------- Joint control ----
+
+struct JointFixture : testing::Test {
+  static const std::vector<int>& depths() {
+    static const std::vector<int> d{4, 5, 6, 7};
+    return d;
+  }
+  static const std::vector<int>& bits() {
+    static const std::vector<int> b{2, 4, 8};
+    return b;
+  }
+  static const JointTableCache& cache() {
+    static const JointTableCache instance(*open_test_subject(95), depths(),
+                                          bits(), JointUtilityWeights{}, 6);
+    return instance;
+  }
+};
+
+TEST_F(JointFixture, TableShapeAndMonotonicity) {
+  const auto source = open_test_subject(96);
+  const JointFrameTable table =
+      compute_joint_table(source->frame(0), depths(), bits(), {});
+  ASSERT_EQ(table.actions.size(), depths().size() * bits().size());
+  ASSERT_EQ(table.utility.size(), table.actions.size());
+  ASSERT_EQ(table.bytes.size(), table.actions.size());
+  const std::size_t nb = bits().size();
+  for (std::size_t di = 0; di < depths().size(); ++di) {
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const std::size_t i = di * nb + bi;
+      EXPECT_EQ(table.actions[i].depth, depths()[di]);
+      EXPECT_EQ(table.actions[i].color_bits, bits()[bi]);
+      // Utility and bytes rise with color bits at fixed depth.
+      if (bi > 0) {
+        EXPECT_GE(table.utility[i], table.utility[i - 1]);
+        EXPECT_GT(table.bytes[i], table.bytes[i - 1]);
+      }
+      // And with depth at fixed bits.
+      if (di > 0) {
+        EXPECT_GT(table.utility[i], table.utility[i - nb]);
+        EXPECT_GT(table.bytes[i], table.bytes[i - nb]);
+      }
+    }
+  }
+}
+
+TEST_F(JointFixture, TableValidation) {
+  const auto source = open_test_subject(97);
+  const PointCloud frame = source->frame(0);
+  EXPECT_THROW(compute_joint_table(frame, {}, bits(), {}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_joint_table(frame, {5, 5}, bits(), {}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_joint_table(frame, depths(), {0, 4}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_joint_table(PointCloud{}, depths(), bits(), {}),
+               std::invalid_argument);
+  // Uncolored frames are rejected (attribute knob needs colors).
+  PointCloud plain;
+  plain.add_point({0, 0, 0});
+  EXPECT_THROW(compute_joint_table(plain, depths(), bits(), {}),
+               std::invalid_argument);
+}
+
+TEST_F(JointFixture, AmpleLinkPicksTopAction) {
+  // Even with an over-provisioned link, the observed backlog equals the
+  // previous slot's arrivals (serve-then-admit order), so V must outweigh
+  // Q·Δbytes ≈ bytes² at the byte scale to keep the top action attractive.
+  ConstantChannel channel(1e12);
+  const JointStreamResult result =
+      run_joint_streaming(32, 1e12, cache(), channel);
+  for (const JointStepRecord& s : result.steps) {
+    EXPECT_EQ(s.base.depth, depths().back());
+    EXPECT_EQ(s.color_bits, bits().back());
+  }
+}
+
+TEST_F(JointFixture, CongestionDegradesBothKnobs) {
+  // Link fits roughly the mid action; the controller must settle both knobs
+  // below their maxima while staying stable.
+  const JointFrameTable& t0 = cache().table(0);
+  // Bytes of (depth 5, bits 4): index (1 * 3) + 1.
+  const double capacity = t0.bytes[4] * 1.15;
+  ConstantChannel channel(capacity);
+  const JointStreamResult result =
+      run_joint_streaming(2'000, 200.0 * capacity, cache(), channel);
+  const Trace trace = result.to_trace();
+  const TraceSummary s = trace.summarize();
+  EXPECT_NE(s.stability.verdict, StabilityVerdict::kDivergent);
+  EXPECT_LT(s.mean_depth, static_cast<double>(depths().back()));
+  EXPECT_LT(result.mean_color_bits(), static_cast<double>(bits().back()));
+  EXPECT_GT(s.mean_depth, static_cast<double>(depths().front()));
+}
+
+TEST_F(JointFixture, RunValidation) {
+  ConstantChannel channel(100.0);
+  EXPECT_THROW(run_joint_streaming(0, 1.0, cache(), channel),
+               std::invalid_argument);
+  EXPECT_THROW(run_joint_streaming(10, -1.0, cache(), channel),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ Replication ----
+
+TEST(ReplicationTest, EstimateMetricKnownValues) {
+  const MetricEstimate est = estimate_metric({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(est.mean, 2.5);
+  EXPECT_DOUBLE_EQ(est.min, 1.0);
+  EXPECT_DOUBLE_EQ(est.max, 4.0);
+  // s = sqrt(5/3); hw = 1.96*s/2.
+  EXPECT_NEAR(est.ci_half_width, 1.96 * std::sqrt(5.0 / 3.0) / 2.0, 1e-9);
+  EXPECT_THROW(estimate_metric({1.0}), std::invalid_argument);
+}
+
+TEST(ReplicationTest, SeedsProduceDistinctRunsAndTightCi) {
+  const auto& cache = EnergyFixture::cache();
+  SimConfig config;
+  config.steps = 400;
+  config.candidates = {3, 4, 5, 6};
+  const double rate = calibrate_service_rate(cache, 5, 1.2);
+  const double v = calibrate_v_for_pivot(cache, config, 10.0 * rate);
+
+  const ReplicationSummary summary =
+      replicate(10, [&](std::uint64_t seed) {
+        LyapunovDepthController controller(v);
+        JitteredService service(rate, 0.2, Rng(seed));
+        return run_simulation(config, cache, controller, service);
+      });
+  EXPECT_EQ(summary.replicates, 10U);
+  EXPECT_EQ(summary.divergent_count, 0U);
+  // Jitter varies outcomes, but the CI should be small vs the mean.
+  EXPECT_GT(summary.backlog.max, summary.backlog.min);
+  EXPECT_LT(summary.quality.ci_half_width, 0.2 * summary.quality.mean);
+  EXPECT_THROW(replicate(1, [](std::uint64_t) { return Trace{}; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arvis

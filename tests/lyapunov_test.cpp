@@ -1,0 +1,392 @@
+// Tests for the core contribution: the drift-plus-penalty rule (eq. (3)),
+// the depth controllers, the paper's Algorithm 1 erratum, and the analytic
+// O(1/V)/O(V) bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "delay/workload.hpp"
+#include "lyapunov/bounds.hpp"
+#include "lyapunov/depth_controller.hpp"
+#include "lyapunov/drift_plus_penalty.hpp"
+#include "quality/quality_model.hpp"
+#include "queueing/queue.hpp"
+
+namespace arvis {
+namespace {
+
+// Depth-indexed tables for a typical frame (index = depth 0..6).
+const std::vector<double> kPoints{1, 8, 60, 450, 3'200, 20'000, 90'000};
+const std::vector<int> kCandidates{2, 3, 4, 5, 6};
+
+DepthContext make_context(double backlog, const QualityModel& q,
+                          const WorkloadMap& w) {
+  DepthContext ctx;
+  ctx.queue_backlog = backlog;
+  ctx.quality = &q;
+  ctx.workload = &w;
+  return ctx;
+}
+
+// ------------------------------------------------- drift_plus_penalty ----
+
+TEST(DriftPlusPenaltyTest, EmptyQueuePicksMaxUtility) {
+  // Q = 0: objective = V·p, maximized by the highest-utility action.
+  const std::vector<double> p{1, 2, 3};
+  const std::vector<double> a{10, 20, 30};
+  const DppDecision d = drift_plus_penalty_argmax(p, a, 5.0, 0.0);
+  EXPECT_EQ(d.index, 2U);
+  EXPECT_DOUBLE_EQ(d.objective, 15.0);
+}
+
+TEST(DriftPlusPenaltyTest, ZeroVPicksMinArrivals) {
+  // V = 0: objective = −Q·a, maximized by the cheapest action.
+  const std::vector<double> p{1, 2, 3};
+  const std::vector<double> a{10, 20, 30};
+  const DppDecision d = drift_plus_penalty_argmax(p, a, 0.0, 7.0);
+  EXPECT_EQ(d.index, 0U);
+}
+
+TEST(DriftPlusPenaltyTest, TieBreaksTowardLowerIndex) {
+  // Identical actions: the first must win (stability-friendly).
+  const std::vector<double> p{1, 1, 1};
+  const std::vector<double> a{5, 5, 5};
+  EXPECT_EQ(drift_plus_penalty_argmax(p, a, 3.0, 2.0).index, 0U);
+}
+
+TEST(DriftPlusPenaltyTest, SwitchoverAtAnalyticBacklog) {
+  // Two actions with p == a (point-count quality): objective (V−Q)·a.
+  // Q < V -> pick big; Q > V -> pick small; Q == V -> tie -> small.
+  const std::vector<double> pa{100, 1'000};
+  for (double v : {50.0, 500.0, 5'000.0}) {
+    EXPECT_EQ(drift_plus_penalty_argmax(pa, pa, v, v * 0.99).index, 1U);
+    EXPECT_EQ(drift_plus_penalty_argmax(pa, pa, v, v * 1.01).index, 0U);
+    EXPECT_EQ(drift_plus_penalty_argmax(pa, pa, v, v).index, 0U);
+  }
+}
+
+TEST(DriftPlusPenaltyTest, InputValidation) {
+  const std::vector<double> p{1, 2};
+  const std::vector<double> a{1, 2, 3};
+  EXPECT_THROW(drift_plus_penalty_argmax(p, a, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(drift_plus_penalty_argmax({}, {}, 1.0, 0.0),
+               std::invalid_argument);
+  const std::vector<double> a2{1.0, 2.0};
+  EXPECT_THROW(drift_plus_penalty_argmax(p, a2, -1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(drift_plus_penalty_argmax(p, a2, 1.0, -0.1),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ Algorithm 1 erratum ----
+
+TEST(Algorithm1ErratumTest, LiteralPseudoCodeInvertsTheDecision) {
+  // DESIGN.md §1: Algorithm 1 as printed keeps the MINIMUM of
+  // I = V·p − Q·a, which is the exact opposite of eq. (3)'s argmax.
+  const std::vector<double> p{1, 2, 3};
+  const std::vector<double> a{10, 20, 30};
+  const DppDecision correct = drift_plus_penalty_argmax(p, a, 1.0, 5.0);
+  const DppDecision literal = algorithm1_literal(p, a, 1.0, 5.0);
+  EXPECT_EQ(correct.index, 0U);  // backlog dominates: cheapest
+  EXPECT_EQ(literal.index, 2U);  // literal picks the most expensive
+}
+
+TEST(Algorithm1ErratumTest, LiteralControllerDestabilizesUnderBacklog) {
+  // Under any positive backlog the literal rule chooses the deepest octree —
+  // exactly the "only max-Depth" divergence of Fig. 2(a), contradicting the
+  // paper's own proposed-curve. This documents why we implement the argmax.
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  LiteralAlgorithm1Controller literal(1.0);
+  LyapunovDepthController proposed(1.0);
+  const DepthContext ctx = make_context(10'000.0, quality, workload);
+  EXPECT_EQ(literal.decide(kCandidates, ctx), kCandidates.back());
+  EXPECT_EQ(proposed.decide(kCandidates, ctx), kCandidates.front());
+}
+
+// --------------------------------------------- LyapunovDepthController ----
+
+TEST(LyapunovControllerTest, DepthNonIncreasingInBacklog) {
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  LyapunovDepthController controller(500.0);
+  int previous = kCandidates.back() + 1;
+  for (double q : {0.0, 10.0, 100.0, 400.0, 499.0, 501.0, 5'000.0, 1e8}) {
+    const int depth =
+        controller.decide(kCandidates, make_context(q, quality, workload));
+    EXPECT_LE(depth, previous) << "backlog " << q;
+    previous = depth;
+  }
+}
+
+TEST(LyapunovControllerTest, DepthNonDecreasingInV) {
+  const LogPointQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  const double backlog = 50.0;
+  int previous = 0;
+  for (double v : {0.0, 1e2, 1e4, 1e6, 1e8}) {
+    LyapunovDepthController controller(v);
+    const int depth = controller.decide(
+        kCandidates, make_context(backlog, quality, workload));
+    EXPECT_GE(depth, previous) << "V " << v;
+    previous = depth;
+  }
+  EXPECT_EQ(previous, kCandidates.back());  // huge V => max depth
+}
+
+TEST(LyapunovControllerTest, ZeroVAlwaysMinimizesDelay) {
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  LyapunovDepthController controller(0.0);
+  for (double q : {0.0, 5.0, 1e6}) {
+    EXPECT_EQ(controller.decide(kCandidates,
+                                make_context(q, quality, workload)),
+              kCandidates.front());
+  }
+}
+
+TEST(LyapunovControllerTest, SetVValidation) {
+  LyapunovDepthController controller(1.0);
+  controller.set_v(2.0);
+  EXPECT_DOUBLE_EQ(controller.v(), 2.0);
+  EXPECT_THROW(controller.set_v(-1.0), std::invalid_argument);
+  EXPECT_THROW(LyapunovDepthController(-0.5), std::invalid_argument);
+}
+
+TEST(LyapunovControllerTest, RequiresModelsAndValidCandidates) {
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  LyapunovDepthController controller(1.0);
+  DepthContext no_models;
+  no_models.queue_backlog = 0.0;
+  EXPECT_THROW(controller.decide(kCandidates, no_models),
+               std::invalid_argument);
+  const DepthContext ok = make_context(0.0, quality, workload);
+  EXPECT_THROW(controller.decide({}, ok), std::invalid_argument);
+  EXPECT_THROW(controller.decide({5, 5}, ok), std::invalid_argument);
+  EXPECT_THROW(controller.decide({6, 5}, ok), std::invalid_argument);
+}
+
+// -------------------------------------------------- Baseline controllers ----
+
+TEST(FixedDepthControllerTest, MinMaxSpecific) {
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  const DepthContext ctx = make_context(123.0, quality, workload);
+  auto min_ctrl = FixedDepthController::min_depth();
+  auto max_ctrl = FixedDepthController::max_depth();
+  auto at4 = FixedDepthController::at(4);
+  EXPECT_EQ(min_ctrl.decide(kCandidates, ctx), 2);
+  EXPECT_EQ(max_ctrl.decide(kCandidates, ctx), 6);
+  EXPECT_EQ(at4.decide(kCandidates, ctx), 4);
+  EXPECT_EQ(min_ctrl.name(), "only-min-depth");
+  EXPECT_EQ(max_ctrl.name(), "only-max-depth");
+  EXPECT_EQ(at4.name(), "fixed-depth-4");
+  auto at9 = FixedDepthController::at(9);
+  EXPECT_THROW(at9.decide(kCandidates, ctx), std::invalid_argument);
+}
+
+TEST(RandomDepthControllerTest, StaysInSetAndCoversIt) {
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  const DepthContext ctx = make_context(0.0, quality, workload);
+  RandomDepthController controller{Rng(3)};
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int d = controller.decide(kCandidates, ctx);
+    EXPECT_TRUE(std::binary_search(kCandidates.begin(), kCandidates.end(), d));
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), kCandidates.size());
+}
+
+TEST(ThresholdControllerTest, HysteresisBand) {
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  ThresholdDepthController controller(100.0, 1'000.0);
+  // Below low: full depth.
+  EXPECT_EQ(controller.decide(kCandidates,
+                              make_context(50.0, quality, workload)),
+            kCandidates.back());
+  // In the band: holds previous (still full depth).
+  EXPECT_EQ(controller.decide(kCandidates,
+                              make_context(500.0, quality, workload)),
+            kCandidates.back());
+  // Above high: degrade.
+  EXPECT_EQ(controller.decide(kCandidates,
+                              make_context(2'000.0, quality, workload)),
+            kCandidates.front());
+  // Back in the band: stays degraded (hysteresis).
+  EXPECT_EQ(controller.decide(kCandidates,
+                              make_context(500.0, quality, workload)),
+            kCandidates.front());
+  // Below low: recovers.
+  EXPECT_EQ(controller.decide(kCandidates,
+                              make_context(50.0, quality, workload)),
+            kCandidates.back());
+  EXPECT_THROW(ThresholdDepthController(10.0, 5.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------- Closed-loop laws ----
+
+TEST(ClosedLoopTest, LyapunovStabilizesWhereMaxDepthDiverges) {
+  // Service sits between a(d_min) and a(d_max): the fixed max-depth policy
+  // diverges, the Lyapunov policy must remain rate-stable.
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  const double service = 5'000.0;  // between a(4)=3200 and a(5)=20000
+
+  LyapunovDepthController proposed(2'000.0);
+  DiscreteQueue q_proposed;
+  auto max_ctrl = FixedDepthController::max_depth();
+  DiscreteQueue q_max;
+  for (int t = 0; t < 4'000; ++t) {
+    const int d1 = proposed.decide(
+        kCandidates, make_context(q_proposed.backlog(), quality, workload));
+    q_proposed.step(workload.arrivals(d1), service);
+    const int d2 = max_ctrl.decide(
+        kCandidates, make_context(q_max.backlog(), quality, workload));
+    q_max.step(workload.arrivals(d2), service);
+  }
+  // Max-depth drift: 90000-5000 = 85000/slot -> enormous backlog.
+  EXPECT_GT(q_max.backlog(), 1e8);
+  // Proposed: bounded (oscillates around the V-dependent operating point).
+  EXPECT_LT(q_proposed.backlog(), 1e6);
+}
+
+TEST(ClosedLoopTest, BacklogBoundHolds) {
+  // Time-average backlog must respect (B + V·Δp)/ε for the *realized*
+  // system constants (conservative bound; checked as an upper envelope).
+  const std::vector<double> pa{100.0, 1'000.0};  // p == a, two actions
+  const PointCountQuality quality(pa);
+  const PointWorkload workload(pa);
+  const std::vector<int> candidates{0, 1};
+  const double service = 600.0;
+  const double v = 5'000.0;
+
+  LyapunovDepthController controller(v);
+  DiscreteQueue queue;
+  for (int t = 0; t < 50'000; ++t) {
+    const int d = controller.decide(
+        candidates, make_context(queue.backlog(), quality, workload));
+    queue.step(workload.arrivals(d), service);
+  }
+  DppSystemConstants constants;
+  constants.max_arrival = 1'000.0;
+  constants.max_service = service;
+  constants.min_utility = 100.0;
+  constants.max_utility = 1'000.0;
+  constants.epsilon = service - 100.0;
+  const DppBounds bounds = compute_dpp_bounds(constants, v);
+  EXPECT_LE(queue.time_average_backlog(), bounds.backlog_bound);
+}
+
+TEST(ClosedLoopTest, QualityGapShrinksAsVGrows) {
+  // O(1/V) utility convergence: larger V must not lose time-average quality
+  // relative to smaller V in a stationary system.
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  const double service = 25'000.0;  // depth 5 sustainable (a=20000), 6 not
+
+  double previous_quality = -1.0;
+  for (double v : {10.0, 100.0, 1'000.0, 10'000.0}) {
+    LyapunovDepthController controller(v);
+    DiscreteQueue queue;
+    double q_sum = 0.0;
+    const int steps = 20'000;
+    for (int t = 0; t < steps; ++t) {
+      const int d = controller.decide(
+          kCandidates, make_context(queue.backlog(), quality, workload));
+      q_sum += quality.quality(d);
+      queue.step(workload.arrivals(d), service);
+    }
+    const double avg_quality = q_sum / steps;
+    EXPECT_GE(avg_quality, previous_quality - 1e-9) << "V " << v;
+    previous_quality = avg_quality;
+  }
+}
+
+TEST(ClosedLoopTest, TimeAverageBacklogGrowsWithV) {
+  // The other side of the tradeoff: more V -> more backlog (O(V)).
+  const PointCountQuality quality(kPoints);
+  const PointWorkload workload(kPoints);
+  const double service = 25'000.0;
+
+  double previous_backlog = -1.0;
+  for (double v : {100.0, 10'000.0, 1'000'000.0}) {
+    LyapunovDepthController controller(v);
+    DiscreteQueue queue;
+    for (int t = 0; t < 20'000; ++t) {
+      const int d = controller.decide(
+          kCandidates, make_context(queue.backlog(), quality, workload));
+      queue.step(workload.arrivals(d), service);
+    }
+    EXPECT_GE(queue.time_average_backlog(), previous_backlog) << "V " << v;
+    previous_backlog = queue.time_average_backlog();
+  }
+}
+
+// ----------------------------------------------------------------- Bounds ----
+
+TEST(BoundsTest, FormulaValues) {
+  DppSystemConstants c;
+  c.max_arrival = 10.0;
+  c.max_service = 20.0;
+  c.min_utility = 1.0;
+  c.max_utility = 5.0;
+  c.epsilon = 4.0;
+  const DppBounds b = compute_dpp_bounds(c, 8.0);
+  EXPECT_DOUBLE_EQ(b.drift_constant, 0.5 * (100.0 + 400.0));
+  EXPECT_DOUBLE_EQ(b.utility_gap_bound, 250.0 / 8.0);
+  EXPECT_DOUBLE_EQ(b.backlog_bound, (250.0 + 8.0 * 4.0) / 4.0);
+}
+
+TEST(BoundsTest, InfiniteCases) {
+  DppSystemConstants c;
+  c.max_arrival = 1.0;
+  c.max_service = 1.0;
+  c.max_utility = 2.0;
+  c.epsilon = 0.0;  // nothing sustainable
+  const DppBounds b = compute_dpp_bounds(c, 0.0);
+  EXPECT_TRUE(std::isinf(b.utility_gap_bound));  // V = 0
+  EXPECT_TRUE(std::isinf(b.backlog_bound));      // epsilon = 0
+}
+
+TEST(BoundsTest, Validation) {
+  DppSystemConstants c;
+  c.max_arrival = -1.0;
+  EXPECT_THROW(compute_dpp_bounds(c, 1.0), std::invalid_argument);
+  c.max_arrival = 1.0;
+  c.min_utility = 5.0;
+  c.max_utility = 1.0;
+  EXPECT_THROW(compute_dpp_bounds(c, 1.0), std::invalid_argument);
+  c.max_utility = 6.0;
+  EXPECT_THROW(compute_dpp_bounds(c, -1.0), std::invalid_argument);
+}
+
+// Parameterized sweep: the switchover property of the two-action system
+// holds across magnitudes (the controller is scale-equivariant in (V, Q)).
+class SwitchoverSweep : public testing::TestWithParam<double> {};
+
+TEST_P(SwitchoverSweep, PivotAtV) {
+  const double v = GetParam();
+  const std::vector<double> pa{10.0, 100.0};
+  const PointCountQuality quality(pa);
+  const PointWorkload workload(pa);
+  const std::vector<int> candidates{0, 1};
+  LyapunovDepthController controller(v);
+  EXPECT_EQ(controller.decide(candidates,
+                              make_context(v * 0.9, quality, workload)),
+            1);
+  EXPECT_EQ(controller.decide(candidates,
+                              make_context(v * 1.1, quality, workload)),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, SwitchoverSweep,
+                         testing::Values(1.0, 1e2, 1e4, 1e6, 1e8));
+
+}  // namespace
+}  // namespace arvis

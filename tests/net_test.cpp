@@ -1,0 +1,216 @@
+// Tests for the networking substrate: channel models, the byte-domain
+// streaming session, and the multi-device edge scenario.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "datasets/catalog.hpp"
+#include "net/channel.hpp"
+#include "net/edge.hpp"
+#include "net/streaming.hpp"
+
+namespace arvis {
+namespace {
+
+const FrameStatsCache& shared_cache() {
+  static const FrameStatsCache cache(*open_test_subject(71), 8, 8);
+  return cache;
+}
+
+// -------------------------------------------------------------- Channel ----
+
+TEST(ConstantChannelTest, FixedCapacity) {
+  ConstantChannel ch(1'500.0);
+  EXPECT_DOUBLE_EQ(ch.next_capacity_bytes(), 1'500.0);
+  EXPECT_DOUBLE_EQ(ch.mean_capacity_bytes(), 1'500.0);
+  EXPECT_THROW(ConstantChannel(-1.0), std::invalid_argument);
+}
+
+TEST(GilbertElliottChannelTest, MeanMatchesStationary) {
+  // pi_good = 0.8 with p_gb = 0.05, p_bg = 0.2.
+  GilbertElliottChannel ch(1'000.0, 0.25, 0.05, 0.2, Rng(1));
+  EXPECT_NEAR(ch.mean_capacity_bytes(), 0.8 * 1000.0 + 0.2 * 250.0, 1e-9);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(ch.next_capacity_bytes());
+  EXPECT_NEAR(stats.mean(), ch.mean_capacity_bytes(), 10.0);
+}
+
+TEST(GilbertElliottChannelTest, EmitsOnlyTwoRates) {
+  GilbertElliottChannel ch(800.0, 0.5, 0.3, 0.3, Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    const double c = ch.next_capacity_bytes();
+    EXPECT_TRUE(c == 800.0 || c == 400.0);
+  }
+  EXPECT_THROW(GilbertElliottChannel(100.0, 1.5, 0.1, 0.1, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(TraceChannelTest, CyclesAndValidates) {
+  TraceChannel ch({100.0, 300.0});
+  EXPECT_DOUBLE_EQ(ch.next_capacity_bytes(), 100.0);
+  EXPECT_DOUBLE_EQ(ch.next_capacity_bytes(), 300.0);
+  EXPECT_DOUBLE_EQ(ch.next_capacity_bytes(), 100.0);
+  EXPECT_DOUBLE_EQ(ch.mean_capacity_bytes(), 200.0);
+  EXPECT_THROW(TraceChannel({}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Streaming ----
+
+TEST(StreamingTest, ArrivalsAreOccupancyBytes) {
+  const auto& cache = shared_cache();
+  StreamingConfig config;
+  config.steps = 32;
+  config.candidates = {3, 4, 5, 6};
+  LyapunovDepthController controller(1e9);  // always max depth
+  ConstantChannel channel(1e9);
+  const Trace trace = run_streaming_session(config, cache, controller, channel);
+  ASSERT_EQ(trace.size(), 32U);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(trace.at(t).depth, 6);
+    EXPECT_DOUBLE_EQ(trace.at(t).arrivals, cache.workload(t).bytes(6));
+  }
+}
+
+TEST(StreamingTest, LyapunovStabilizesConstrainedLink) {
+  const auto& cache = shared_cache();
+  StreamingConfig config;
+  config.steps = 2'000;
+  config.candidates = {3, 4, 5, 6, 7, 8};
+  // Link fits depth ~5 on average.
+  const double capacity = cache.workload(0).bytes(5) * 1.2;
+
+  LyapunovDepthController proposed(
+      calibrate_streaming_v(cache, config.candidates, 5.0 * capacity));
+  ConstantChannel ch1(capacity);
+  const Trace stable = run_streaming_session(config, cache, proposed, ch1);
+  auto max_ctrl = FixedDepthController::max_depth();
+  ConstantChannel ch2(capacity);
+  const Trace divergent = run_streaming_session(config, cache, max_ctrl, ch2);
+
+  EXPECT_NE(stable.summarize().stability.verdict, StabilityVerdict::kDivergent);
+  EXPECT_EQ(divergent.summarize().stability.verdict,
+            StabilityVerdict::kDivergent);
+  // The calibrated controller is not hiding at the minimum depth: it uses
+  // the link (mean depth strictly above the floor).
+  EXPECT_GT(stable.summarize().mean_depth,
+            static_cast<double>(config.candidates.front()) + 0.2);
+}
+
+TEST(StreamingTest, CalibrateStreamingV) {
+  const auto& cache = shared_cache();
+  const std::vector<int> candidates{3, 4, 5, 6};
+  const double v = calibrate_streaming_v(cache, candidates, 1'000.0);
+  EXPECT_GT(v, 0.0);
+  // Linear in the pivot.
+  EXPECT_NEAR(calibrate_streaming_v(cache, candidates, 2'000.0), 2.0 * v,
+              1e-6 * v);
+  EXPECT_THROW(calibrate_streaming_v(cache, {}, 1.0), std::invalid_argument);
+  EXPECT_THROW(calibrate_streaming_v(cache, candidates, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(calibrate_streaming_v(cache, {5}, 1.0), std::invalid_argument);
+}
+
+TEST(StreamingTest, ConfigValidation) {
+  const auto& cache = shared_cache();
+  LyapunovDepthController controller(1.0);
+  ConstantChannel channel(100.0);
+  StreamingConfig config;
+  config.steps = 0;
+  EXPECT_THROW(run_streaming_session(config, cache, controller, channel),
+               std::invalid_argument);
+  config.steps = 10;
+  config.candidates = {};
+  EXPECT_THROW(run_streaming_session(config, cache, controller, channel),
+               std::invalid_argument);
+  config.candidates = {42};
+  EXPECT_THROW(run_streaming_session(config, cache, controller, channel),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Edge ----
+
+TEST(JainFairnessTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(jain_fairness_index({1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0, 0}), 0.0);
+}
+
+TEST(EdgeScenarioTest, IdenticalDevicesAreFair) {
+  const auto& cache = shared_cache();
+  EdgeConfig config;
+  config.steps = 400;
+  config.candidates = {3, 4, 5, 6};
+  config.v = calibrate_streaming_v(cache, config.candidates,
+                                   4.0 * cache.workload(0).bytes(5));
+  const std::vector<const FrameStatsCache*> caches{&cache, &cache, &cache};
+  // Link fits 3 devices at depth ~5.
+  ConstantChannel channel(3.0 * cache.workload(0).bytes(5) * 1.2);
+  const EdgeResult result = run_edge_scenario(config, caches, channel);
+  ASSERT_EQ(result.device_traces.size(), 3U);
+  EXPECT_GT(result.quality_fairness, 0.99);
+  for (const Trace& trace : result.device_traces) {
+    EXPECT_NE(trace.summarize().stability.verdict,
+              StabilityVerdict::kDivergent);
+  }
+}
+
+TEST(EdgeScenarioTest, LocalControlKeepsEnsembleStable) {
+  // More devices than the link comfortably fits at max depth: every local
+  // controller must back off to a sustainable depth without coordination.
+  const auto& cache = shared_cache();
+  EdgeConfig config;
+  config.steps = 1'500;
+  config.candidates = {3, 4, 5, 6, 7, 8};
+  config.v = calibrate_streaming_v(cache, config.candidates,
+                                   4.0 * cache.workload(0).bytes(5));
+  const std::vector<const FrameStatsCache*> caches{&cache, &cache, &cache,
+                                                   &cache};
+  // Capacity fits 4 devices only around depth 4-5.
+  ConstantChannel channel(4.0 * cache.workload(0).bytes(4) * 1.5);
+  const EdgeResult result = run_edge_scenario(config, caches, channel);
+  for (const Trace& trace : result.device_traces) {
+    const TraceSummary s = trace.summarize();
+    EXPECT_NE(s.stability.verdict, StabilityVerdict::kDivergent);
+    EXPECT_LT(s.mean_depth, 8.0);  // backed off from max
+  }
+}
+
+TEST(EdgeScenarioTest, WorkConservingBeatsEqualSplit) {
+  const auto& cache = shared_cache();
+  EdgeConfig equal_config;
+  equal_config.steps = 800;
+  equal_config.candidates = {3, 4, 5, 6};
+  equal_config.v = calibrate_streaming_v(cache, equal_config.candidates,
+                                         4.0 * cache.workload(0).bytes(5));
+  equal_config.share = SharePolicy::kEqual;
+  EdgeConfig wc_config = equal_config;
+  wc_config.share = SharePolicy::kWorkConserving;
+
+  const std::vector<const FrameStatsCache*> caches{&cache, &cache};
+  const double capacity = 2.0 * cache.workload(0).bytes(5) * 1.1;
+  ConstantChannel ch1(capacity), ch2(capacity);
+  const EdgeResult equal = run_edge_scenario(equal_config, caches, ch1);
+  const EdgeResult wc = run_edge_scenario(wc_config, caches, ch2);
+  // Work conservation can only reduce total backlog.
+  EXPECT_LE(wc.total_time_average_backlog,
+            equal.total_time_average_backlog * 1.05);
+}
+
+TEST(EdgeScenarioTest, Validation) {
+  const auto& cache = shared_cache();
+  ConstantChannel channel(100.0);
+  EdgeConfig config;
+  EXPECT_THROW(run_edge_scenario(config, {}, channel), std::invalid_argument);
+  EXPECT_THROW(run_edge_scenario(config, {nullptr}, channel),
+               std::invalid_argument);
+  config.steps = 0;
+  EXPECT_THROW(run_edge_scenario(config, {&cache}, channel),
+               std::invalid_argument);
+  config.steps = 10;
+  config.candidates = {99};
+  EXPECT_THROW(run_edge_scenario(config, {&cache}, channel),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arvis

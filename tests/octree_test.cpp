@@ -1,0 +1,262 @@
+// Tests for the octree substrate: construction invariants, per-depth
+// statistics, LOD extraction, occupancy codec and compression accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "octree/depth_stats.hpp"
+#include "octree/occupancy_codec.hpp"
+#include "octree/octree.hpp"
+#include "pointcloud/metrics.hpp"
+
+namespace arvis {
+namespace {
+
+PointCloud sphere_cloud(std::size_t n, std::uint64_t seed, float radius = 1.0F,
+                        bool with_colors = true) {
+  Rng rng(seed);
+  PointCloud cloud;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Uniform on the sphere surface (2-manifold → ~4x occupancy growth).
+    const float z = 2.0F * rng.next_float() - 1.0F;
+    const float phi = 6.2831853F * rng.next_float();
+    const float r = std::sqrt(std::max(0.0F, 1.0F - z * z));
+    const Vec3f p{radius * r * std::cos(phi), radius * r * std::sin(phi),
+                  radius * z};
+    if (with_colors) {
+      cloud.add_point(p, {static_cast<std::uint8_t>(128 + 100 * z), 80, 90});
+    } else {
+      cloud.add_point(p);
+    }
+  }
+  return cloud;
+}
+
+TEST(OctreeTest, ConstructionValidation) {
+  EXPECT_THROW(Octree(PointCloud{}, 8), std::invalid_argument);
+  const PointCloud cloud = sphere_cloud(100, 1);
+  EXPECT_THROW(Octree(cloud, 0), std::invalid_argument);
+  EXPECT_THROW(Octree(cloud, 25), std::invalid_argument);
+  const Octree tree(cloud, 8);
+  EXPECT_EQ(tree.max_depth(), 8);
+}
+
+TEST(OctreeTest, OccupiedCountMonotoneInDepth) {
+  const Octree tree(sphere_cloud(20'000, 2), 9);
+  std::size_t previous = 0;
+  for (int d = 0; d <= 9; ++d) {
+    const std::size_t count = tree.occupied_count(d);
+    EXPECT_GE(count, previous) << "depth " << d;
+    previous = count;
+  }
+  EXPECT_EQ(tree.occupied_count(0), 1U);
+  EXPECT_EQ(tree.occupied_count(9), tree.leaf_count());
+}
+
+TEST(OctreeTest, OccupancyProfileMatchesPerDepthQueries) {
+  const Octree tree(sphere_cloud(5'000, 3), 7);
+  const std::vector<std::size_t> profile = tree.occupancy_profile();
+  ASSERT_EQ(profile.size(), 8U);
+  for (int d = 0; d <= 7; ++d) {
+    EXPECT_EQ(profile[static_cast<std::size_t>(d)], tree.occupied_count(d));
+  }
+}
+
+TEST(OctreeTest, SurfaceOccupancyGrowsRoughlyFourfold) {
+  // On a 2-manifold, each subdivision multiplies occupied cells by ~4 (well
+  // below the volumetric 8x) until voxels out-resolve the sampling. At very
+  // coarse depths boundary cells push the factor slightly above 4, so the
+  // acceptance band is [2.5, 5.5].
+  const Octree tree(sphere_cloud(200'000, 4), 8);
+  const auto profile = tree.occupancy_profile();
+  for (int d = 2; d <= 4; ++d) {
+    const double growth =
+        static_cast<double>(profile[static_cast<std::size_t>(d + 1)]) /
+        static_cast<double>(profile[static_cast<std::size_t>(d)]);
+    EXPECT_GT(growth, 2.5) << "depth " << d;
+    EXPECT_LT(growth, 5.5) << "depth " << d;
+  }
+}
+
+TEST(OctreeTest, DepthRangeChecks) {
+  const Octree tree(sphere_cloud(100, 5), 6);
+  EXPECT_THROW(tree.occupied_count(-1), std::out_of_range);
+  EXPECT_THROW(tree.occupied_count(7), std::out_of_range);
+  EXPECT_THROW(tree.extract_lod(0), std::out_of_range);
+  EXPECT_THROW(tree.extract_lod(7), std::out_of_range);
+  EXPECT_THROW(tree.level_nodes(6), std::out_of_range);
+  EXPECT_THROW(tree.cell_size(-1), std::out_of_range);
+}
+
+TEST(OctreeTest, CellSizeHalvesPerDepth) {
+  const Octree tree(sphere_cloud(100, 6), 6);
+  for (int d = 1; d <= 6; ++d) {
+    EXPECT_FLOAT_EQ(tree.cell_size(d), tree.cell_size(d - 1) * 0.5F);
+  }
+}
+
+TEST(OctreeTest, ExtractLodCountsMatchOccupancy) {
+  const Octree tree(sphere_cloud(30'000, 7), 8);
+  for (int d : {1, 3, 5, 8}) {
+    const PointCloud lod = tree.extract_lod(d);
+    EXPECT_EQ(lod.size(), tree.occupied_count(d)) << "depth " << d;
+    EXPECT_TRUE(lod.has_colors());
+  }
+}
+
+TEST(OctreeTest, LodPointsLieInsideCells) {
+  const Octree tree(sphere_cloud(5'000, 8), 6);
+  const int depth = 3;
+  const float cell = tree.cell_size(depth);
+  const PointCloud lod = tree.extract_lod(depth);
+  const PointCloud full = tree.extract_lod(6);
+  // Every coarse LOD point must be within half a cell diagonal of some full
+  // resolution point (it is the center of an occupied cell).
+  const double max_dist = std::sqrt(3.0) * cell;
+  const DistanceStats stats = point_to_point_distance(lod, full);
+  EXPECT_LE(stats.max, max_dist);
+}
+
+TEST(OctreeTest, LodQualityImprovesWithDepth) {
+  const Octree tree(sphere_cloud(50'000, 9), 8);
+  const PointCloud reference = tree.extract_lod(8);
+  double previous_psnr = 0.0;
+  for (int d = 2; d <= 6; ++d) {
+    const double psnr =
+        compare_geometry(reference, tree.extract_lod(d)).psnr_db;
+    EXPECT_GT(psnr, previous_psnr) << "depth " << d;
+    previous_psnr = psnr;
+  }
+}
+
+TEST(OctreeTest, LevelNodesChildMasksConsistent) {
+  const Octree tree(sphere_cloud(3'000, 10), 5);
+  for (int level = 0; level < 5; ++level) {
+    std::size_t children = 0;
+    for (const OctreeNode& node : tree.level_nodes(level)) {
+      EXPECT_NE(node.child_mask, 0);  // every internal node has children
+      children += static_cast<std::size_t>(std::popcount(node.child_mask));
+    }
+    EXPECT_EQ(children, tree.occupied_count(level + 1)) << "level " << level;
+  }
+}
+
+TEST(OctreeTest, LevelNodeLeafCountsSumToTotal) {
+  const Octree tree(sphere_cloud(2'000, 11), 6);
+  for (int level : {0, 2, 4}) {
+    std::size_t total = 0;
+    for (const OctreeNode& node : tree.level_nodes(level)) {
+      total += node.leaf_count;
+    }
+    EXPECT_EQ(total, tree.leaf_count());
+  }
+}
+
+TEST(OctreeTest, BuildFromVoxelizedCloudSharesGrid) {
+  const PointCloud cloud = sphere_cloud(1'000, 12);
+  VoxelizedCloud voxels = voxelize(cloud, 7);
+  const float voxel_size = voxels.grid.voxel_size();
+  const Octree tree(std::move(voxels));
+  EXPECT_EQ(tree.max_depth(), 7);
+  EXPECT_FLOAT_EQ(tree.cell_size(7), voxel_size);
+}
+
+// ------------------------------------------------------- Occupancy codec ----
+
+TEST(OccupancyCodecTest, RoundTripAllDepths) {
+  const Octree tree(sphere_cloud(10'000, 13), 7);
+  for (int depth = 1; depth <= 7; ++depth) {
+    const OccupancyStream stream = encode_occupancy(tree, depth);
+    const auto decoded = decode_occupancy(stream);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    // Decoded keys must equal the ancestor keys of the leaves at this depth.
+    std::vector<std::uint64_t> expected;
+    std::uint64_t prev = ~0ULL;
+    for (std::uint64_t code : tree.leaf_codes()) {
+      const std::uint64_t key = morton_ancestor_key(code, 7, depth);
+      if (key != prev) expected.push_back(key);
+      prev = key;
+    }
+    EXPECT_EQ(*decoded, expected) << "depth " << depth;
+  }
+}
+
+TEST(OccupancyCodecTest, StreamSizeEqualsInternalNodeCount) {
+  const Octree tree(sphere_cloud(5'000, 14), 6);
+  for (int depth : {1, 3, 6}) {
+    std::size_t expected = 0;
+    for (int level = 0; level < depth; ++level) {
+      expected += tree.occupied_count(level);
+    }
+    EXPECT_EQ(encode_occupancy(tree, depth).byte_size(), expected);
+  }
+}
+
+TEST(OccupancyCodecTest, DepthValidation) {
+  const Octree tree(sphere_cloud(100, 15), 4);
+  EXPECT_THROW(encode_occupancy(tree, 0), std::out_of_range);
+  EXPECT_THROW(encode_occupancy(tree, 5), std::out_of_range);
+}
+
+TEST(OccupancyCodecTest, DecodeRejectsTruncation) {
+  const Octree tree(sphere_cloud(1'000, 16), 5);
+  OccupancyStream stream = encode_occupancy(tree, 4);
+  stream.bytes.pop_back();
+  EXPECT_FALSE(decode_occupancy(stream).ok());
+}
+
+TEST(OccupancyCodecTest, DecodeRejectsTrailingBytes) {
+  const Octree tree(sphere_cloud(1'000, 17), 5);
+  OccupancyStream stream = encode_occupancy(tree, 4);
+  stream.bytes.push_back(0xFF);
+  EXPECT_FALSE(decode_occupancy(stream).ok());
+}
+
+TEST(OccupancyCodecTest, DecodeRejectsZeroOccupancyByte) {
+  const Octree tree(sphere_cloud(1'000, 18), 5);
+  OccupancyStream stream = encode_occupancy(tree, 3);
+  stream.bytes[0] = 0;
+  const auto decoded = decode_occupancy(stream);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(OccupancyCodecTest, CompressionBeatsRawAtModerateDepth) {
+  const Octree tree(sphere_cloud(100'000, 19), 8);
+  const CompressionStats stats = measure_compression(tree, 6);
+  EXPECT_GT(stats.compression_ratio, 1.0);  // occupancy < 12 B/point raw
+  EXPECT_EQ(stats.output_cells, tree.occupied_count(6));
+  EXPECT_LT(stats.bits_per_output_cell, 8.0 * 12.0);
+}
+
+// ----------------------------------------------------------- Depth stats ----
+
+TEST(DepthStatsTest, TableShapeAndMonotonicity) {
+  const Octree tree(sphere_cloud(20'000, 20), 7);
+  const auto table = compute_depth_table(tree, /*with_psnr=*/false);
+  ASSERT_EQ(table.size(), 7U);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table[i].depth, static_cast<int>(i) + 1);
+    if (i > 0) {
+      EXPECT_GE(table[i].points, table[i - 1].points);
+      EXPECT_GE(table[i].encoded_bytes, table[i - 1].encoded_bytes);
+      EXPECT_LT(table[i].cell_size, table[i - 1].cell_size);
+    }
+    EXPECT_TRUE(std::isnan(table[i].psnr_db));
+  }
+}
+
+TEST(DepthStatsTest, PsnrPopulatedAndIncreasing) {
+  const Octree tree(sphere_cloud(20'000, 21), 6);
+  const auto table = compute_depth_table(tree, /*with_psnr=*/true);
+  for (std::size_t i = 1; i + 1 < table.size(); ++i) {
+    EXPECT_FALSE(std::isnan(table[i].psnr_db));
+    EXPECT_GE(table[i].psnr_db, table[i - 1].psnr_db);
+  }
+  // Final row compares the reference with itself.
+  EXPECT_TRUE(std::isinf(table.back().psnr_db));
+}
+
+}  // namespace
+}  // namespace arvis

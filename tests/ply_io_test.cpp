@@ -1,0 +1,240 @@
+// Tests for the PLY reader/writer: round trips, format tolerance, and
+// malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "pointcloud/ply_io.hpp"
+
+namespace arvis {
+namespace {
+
+PointCloud sample_cloud(bool with_colors) {
+  Rng rng(77);
+  PointCloud cloud;
+  for (int i = 0; i < 257; ++i) {  // odd count to catch stride bugs
+    const Vec3f p{rng.next_float() * 10 - 5, rng.next_float() * 10 - 5,
+                  rng.next_float() * 10 - 5};
+    if (with_colors) {
+      cloud.add_point(p, {static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256))});
+    } else {
+      cloud.add_point(p);
+    }
+  }
+  return cloud;
+}
+
+void expect_equal_clouds(const PointCloud& a, const PointCloud& b,
+                         float tolerance) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.has_colors(), b.has_colors());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.position(i).x, b.position(i).x, tolerance);
+    EXPECT_NEAR(a.position(i).y, b.position(i).y, tolerance);
+    EXPECT_NEAR(a.position(i).z, b.position(i).z, tolerance);
+    if (a.has_colors()) EXPECT_EQ(a.color(i), b.color(i));
+  }
+}
+
+TEST(PlyIoTest, BinaryRoundTripWithColors) {
+  const PointCloud original = sample_cloud(true);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_ply(buffer, original, PlyFormat::kBinaryLittleEndian).ok());
+  const auto loaded = read_ply(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  expect_equal_clouds(original, *loaded, 0.0F);  // float32 exact round trip
+}
+
+TEST(PlyIoTest, BinaryRoundTripWithoutColors) {
+  const PointCloud original = sample_cloud(false);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_ply(buffer, original, PlyFormat::kBinaryLittleEndian).ok());
+  const auto loaded = read_ply(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->has_colors());
+  expect_equal_clouds(original, *loaded, 0.0F);
+}
+
+TEST(PlyIoTest, AsciiRoundTrip) {
+  const PointCloud original = sample_cloud(true);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_ply(buffer, original, PlyFormat::kAscii).ok());
+  const auto loaded = read_ply(buffer);
+  ASSERT_TRUE(loaded.ok());
+  expect_equal_clouds(original, *loaded, 1e-4F);  // text round trip
+}
+
+TEST(PlyIoTest, EmptyCloudRoundTrip) {
+  std::stringstream buffer;
+  ASSERT_TRUE(write_ply(buffer, PointCloud{}, PlyFormat::kAscii).ok());
+  const auto loaded = read_ply(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(PlyIoTest, ReadsDoublePrecisionAndSkipsUnknownProperties) {
+  // Open3D and others write double coordinates and extra properties.
+  const std::string text =
+      "ply\n"
+      "format ascii 1.0\n"
+      "comment test file\n"
+      "element vertex 2\n"
+      "property double x\n"
+      "property double y\n"
+      "property double z\n"
+      "property float confidence\n"
+      "property uchar red\n"
+      "property uchar green\n"
+      "property uchar blue\n"
+      "end_header\n"
+      "1.5 2.5 3.5 0.9 10 20 30\n"
+      "-1 -2 -3 0.1 40 50 60\n";
+  std::istringstream in(text);
+  const auto loaded = read_ply(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  ASSERT_EQ(loaded->size(), 2U);
+  EXPECT_FLOAT_EQ(loaded->position(0).x, 1.5F);
+  EXPECT_FLOAT_EQ(loaded->position(1).z, -3.0F);
+  ASSERT_TRUE(loaded->has_colors());
+  EXPECT_EQ(loaded->color(1), (Color8{40, 50, 60}));
+}
+
+TEST(PlyIoTest, ToleratesCrlfHeaders) {
+  const std::string text =
+      "ply\r\n"
+      "format ascii 1.0\r\n"
+      "element vertex 1\r\n"
+      "property float x\r\n"
+      "property float y\r\n"
+      "property float z\r\n"
+      "end_header\r\n"
+      "1 2 3\n";
+  std::istringstream in(text);
+  const auto loaded = read_ply(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->size(), 1U);
+}
+
+TEST(PlyIoTest, RejectsMissingMagic) {
+  std::istringstream in("plyx\nformat ascii 1.0\nend_header\n");
+  const auto loaded = read_ply(in);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(PlyIoTest, RejectsUnsupportedFormat) {
+  std::istringstream in(
+      "ply\nformat binary_big_endian 1.0\n"
+      "element vertex 0\nproperty float x\nproperty float y\n"
+      "property float z\nend_header\n");
+  EXPECT_FALSE(read_ply(in).ok());
+}
+
+TEST(PlyIoTest, RejectsMissingCoordinates) {
+  std::istringstream in(
+      "ply\nformat ascii 1.0\nelement vertex 1\n"
+      "property float x\nproperty float y\nend_header\n1 2\n");
+  const auto loaded = read_ply(in);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(PlyIoTest, RejectsTruncatedAsciiBody) {
+  std::istringstream in(
+      "ply\nformat ascii 1.0\nelement vertex 2\n"
+      "property float x\nproperty float y\nproperty float z\n"
+      "end_header\n1 2 3\n");
+  const auto loaded = read_ply(in);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(PlyIoTest, RejectsTruncatedBinaryBody) {
+  std::stringstream buffer;
+  const PointCloud original = sample_cloud(false);
+  ASSERT_TRUE(write_ply(buffer, original, PlyFormat::kBinaryLittleEndian).ok());
+  std::string data = buffer.str();
+  data.resize(data.size() - 5);  // chop mid-vertex
+  std::istringstream in(data);
+  const auto loaded = read_ply(in);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(PlyIoTest, RejectsMissingEndHeader) {
+  std::istringstream in(
+      "ply\nformat ascii 1.0\nelement vertex 0\n"
+      "property float x\nproperty float y\nproperty float z\n");
+  EXPECT_FALSE(read_ply(in).ok());
+}
+
+TEST(PlyIoTest, RejectsListPropertyOnVertex) {
+  std::istringstream in(
+      "ply\nformat ascii 1.0\nelement vertex 1\n"
+      "property list uchar int vertex_indices\nend_header\n");
+  EXPECT_FALSE(read_ply(in).ok());
+}
+
+TEST(PlyIoTest, FileRoundTrip) {
+  const PointCloud original = sample_cloud(true);
+  const std::string path = testing::TempDir() + "/arvis_ply_test.ply";
+  ASSERT_TRUE(write_ply_file(path, original).ok());
+  const auto loaded = read_ply_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  expect_equal_clouds(original, *loaded, 0.0F);
+}
+
+TEST(PlyIoTest, MissingFileGivesIoError) {
+  const auto loaded = read_ply_file("/nonexistent/path/file.ply");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(PlyIoTest, ReadsShortAndUShortScalars) {
+  // Some exporters write 16-bit coordinates/attributes.
+  const std::string text =
+      "ply\nformat ascii 1.0\nelement vertex 1\n"
+      "property short x\nproperty short y\nproperty ushort z\n"
+      "end_header\n"
+      "-5 7 40000\n";
+  std::istringstream in(text);
+  const auto loaded = read_ply(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_FLOAT_EQ(loaded->position(0).x, -5.0F);
+  EXPECT_FLOAT_EQ(loaded->position(0).z, 40000.0F);
+}
+
+TEST(PlyIoTest, AcceptsTypeAliases) {
+  // float32/uint8 spellings (used by some tools) parse like float/uchar.
+  const std::string text =
+      "ply\nformat ascii 1.0\nelement vertex 1\n"
+      "property float32 x\nproperty float32 y\nproperty float32 z\n"
+      "property uint8 red\nproperty uint8 green\nproperty uint8 blue\n"
+      "end_header\n"
+      "1 2 3 9 8 7\n";
+  std::istringstream in(text);
+  const auto loaded = read_ply(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->color(0), (Color8{9, 8, 7}));
+}
+
+TEST(PlyIoTest, IgnoresTrailingNonVertexElements) {
+  const std::string text =
+      "ply\nformat ascii 1.0\n"
+      "element vertex 1\n"
+      "property float x\nproperty float y\nproperty float z\n"
+      "element face 1\n"
+      "property list uchar int vertex_indices\n"
+      "end_header\n"
+      "1 2 3\n"
+      "3 0 0 0\n";
+  std::istringstream in(text);
+  const auto loaded = read_ply(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->size(), 1U);
+}
+
+}  // namespace
+}  // namespace arvis

@@ -1,0 +1,460 @@
+// Unit tests for src/pointcloud: PointCloud container, transforms, voxel
+// grids, k-d tree and geometry metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "pointcloud/kdtree.hpp"
+#include "pointcloud/metrics.hpp"
+#include "pointcloud/point_cloud.hpp"
+#include "pointcloud/transforms.hpp"
+#include "pointcloud/voxel_grid.hpp"
+
+namespace arvis {
+namespace {
+
+PointCloud random_cloud(std::size_t n, std::uint64_t seed,
+                        bool with_colors = false) {
+  Rng rng(seed);
+  PointCloud cloud;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3f p{rng.next_float() * 2 - 1, rng.next_float() * 2 - 1,
+                  rng.next_float() * 2 - 1};
+    if (with_colors) {
+      cloud.add_point(p, {static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256))});
+    } else {
+      cloud.add_point(p);
+    }
+  }
+  return cloud;
+}
+
+// ----------------------------------------------------------- PointCloud ----
+
+TEST(PointCloudTest, EmptyByDefault) {
+  const PointCloud cloud;
+  EXPECT_TRUE(cloud.empty());
+  EXPECT_EQ(cloud.size(), 0U);
+  EXPECT_FALSE(cloud.has_colors());
+  EXPECT_TRUE(cloud.bounds().empty());
+  EXPECT_EQ(cloud.centroid(), (Vec3f{0, 0, 0}));
+}
+
+TEST(PointCloudTest, ColorInvariantEnforcedAtConstruction) {
+  std::vector<Vec3f> pts{{0, 0, 0}, {1, 1, 1}};
+  std::vector<Color8> colors{{1, 2, 3}};
+  EXPECT_THROW(PointCloud(pts, colors), std::invalid_argument);
+  colors.push_back({4, 5, 6});
+  EXPECT_NO_THROW(PointCloud(pts, colors));
+}
+
+TEST(PointCloudTest, MixedAddPointRejected) {
+  PointCloud colored;
+  colored.add_point({0, 0, 0}, {1, 1, 1});
+  EXPECT_THROW(colored.add_point({1, 1, 1}), std::logic_error);
+
+  PointCloud plain;
+  plain.add_point({0, 0, 0});
+  EXPECT_THROW(plain.add_point({1, 1, 1}, {1, 1, 1}), std::logic_error);
+}
+
+TEST(PointCloudTest, AppendMatchingAndMismatched) {
+  PointCloud a = random_cloud(10, 1, true);
+  const PointCloud b = random_cloud(5, 2, true);
+  a.append(b);
+  EXPECT_EQ(a.size(), 15U);
+
+  PointCloud plain = random_cloud(3, 3, false);
+  EXPECT_THROW(plain.append(b), std::logic_error);
+  // Appending to an empty cloud adopts the other's color mode.
+  PointCloud empty;
+  empty.append(b);
+  EXPECT_EQ(empty.size(), 5U);
+  EXPECT_TRUE(empty.has_colors());
+  // Appending an empty cloud is a no-op.
+  PointCloud c = a;
+  c.append(PointCloud{});
+  EXPECT_EQ(c.size(), a.size());
+}
+
+TEST(PointCloudTest, CentroidAndBounds) {
+  PointCloud cloud;
+  cloud.add_point({0, 0, 0});
+  cloud.add_point({2, 4, 6});
+  EXPECT_EQ(cloud.centroid(), (Vec3f{1, 2, 3}));
+  EXPECT_EQ(cloud.bounds().min_corner, (Vec3f{0, 0, 0}));
+  EXPECT_EQ(cloud.bounds().max_corner, (Vec3f{2, 4, 6}));
+}
+
+TEST(PointCloudTest, SliceRangeChecksAndColors) {
+  const PointCloud cloud = random_cloud(10, 4, true);
+  const PointCloud mid = cloud.slice(3, 7);
+  EXPECT_EQ(mid.size(), 4U);
+  EXPECT_TRUE(mid.has_colors());
+  EXPECT_EQ(mid.position(0), cloud.position(3));
+  EXPECT_EQ(mid.color(3), cloud.color(6));
+  EXPECT_THROW(cloud.slice(7, 3), std::out_of_range);
+  EXPECT_THROW(cloud.slice(0, 11), std::out_of_range);
+}
+
+// ------------------------------------------------------------ Transforms ----
+
+TEST(TransformsTest, TranslateMovesEveryPoint) {
+  PointCloud cloud = random_cloud(20, 5);
+  const Vec3f before = cloud.position(7);
+  translate(cloud, {1, -2, 3});
+  EXPECT_EQ(cloud.position(7), before + (Vec3f{1, -2, 3}));
+}
+
+TEST(TransformsTest, ScaleAboutPivot) {
+  PointCloud cloud;
+  cloud.add_point({2, 0, 0});
+  scale(cloud, 3.0F, {1, 0, 0});
+  EXPECT_EQ(cloud.position(0), (Vec3f{4, 0, 0}));
+}
+
+TEST(TransformsTest, RotationZQuarterTurn) {
+  PointCloud cloud;
+  cloud.add_point({1, 0, 0});
+  rotate(cloud, rotation_z(std::numbers::pi_v<float> / 2));
+  EXPECT_NEAR(cloud.position(0).x, 0.0F, 1e-6F);
+  EXPECT_NEAR(cloud.position(0).y, 1.0F, 1e-6F);
+}
+
+TEST(TransformsTest, RotationPreservesLengths) {
+  const Mat3 r = rotation_about_axis({1, 2, 3}, 0.7F);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3f v{rng.next_float(), rng.next_float(), rng.next_float()};
+    EXPECT_NEAR(length(r.apply(v)), length(v), 1e-5F);
+  }
+}
+
+TEST(TransformsTest, MatrixProductComposesRotations) {
+  const Mat3 a = rotation_z(0.3F);
+  const Mat3 b = rotation_x(0.5F);
+  const Vec3f v{0.2F, -0.4F, 0.9F};
+  const Vec3f via_product = (a * b).apply(v);
+  const Vec3f via_sequence = a.apply(b.apply(v));
+  EXPECT_NEAR(via_product.x, via_sequence.x, 1e-6F);
+  EXPECT_NEAR(via_product.y, via_sequence.y, 1e-6F);
+  EXPECT_NEAR(via_product.z, via_sequence.z, 1e-6F);
+}
+
+TEST(TransformsTest, CropKeepsInsidePointsWithColors) {
+  PointCloud cloud;
+  cloud.add_point({0.5F, 0.5F, 0.5F}, {1, 1, 1});
+  cloud.add_point({2, 2, 2}, {2, 2, 2});
+  Aabb box;
+  box.expand(Vec3f{0, 0, 0});
+  box.expand(Vec3f{1, 1, 1});
+  const PointCloud cropped = crop(cloud, box);
+  ASSERT_EQ(cropped.size(), 1U);
+  EXPECT_EQ(cropped.color(0), (Color8{1, 1, 1}));
+}
+
+TEST(TransformsTest, FitToBoxCentersAndScales) {
+  PointCloud cloud = random_cloud(100, 7);
+  Aabb target;
+  target.expand(Vec3f{10, 10, 10});
+  target.expand(Vec3f{12, 12, 12});
+  fit_to_box(cloud, target);
+  const Aabb result = cloud.bounds();
+  EXPECT_LE(result.max_extent(), target.max_extent() * 1.001F);
+  const Vec3f center = result.center();
+  EXPECT_NEAR(center.x, 11.0F, 0.1F);
+  EXPECT_NEAR(center.y, 11.0F, 0.1F);
+  EXPECT_NEAR(center.z, 11.0F, 0.1F);
+}
+
+// ------------------------------------------------------------- VoxelGrid ----
+
+TEST(VoxelGridTest, ConstructionValidation) {
+  Aabb box;
+  box.expand(Vec3f{0, 0, 0});
+  box.expand(Vec3f{1, 1, 1});
+  EXPECT_THROW(VoxelGrid(box, 0), std::invalid_argument);
+  EXPECT_THROW(VoxelGrid(box, 22), std::invalid_argument);
+  EXPECT_THROW(VoxelGrid(Aabb{}, 8), std::invalid_argument);
+  const VoxelGrid grid(box, 4);
+  EXPECT_EQ(grid.resolution(), 16U);
+  EXPECT_FLOAT_EQ(grid.voxel_size(), 1.0F / 16.0F);
+}
+
+TEST(VoxelGridTest, QuantizeRoundTripsThroughCenter) {
+  Aabb box;
+  box.expand(Vec3f{0, 0, 0});
+  box.expand(Vec3f{8, 8, 8});
+  const VoxelGrid grid(box, 3);  // 8 voxels of size 1
+  const VoxelCoord c = grid.quantize({3.5F, 0.5F, 7.5F});
+  EXPECT_EQ(c, (VoxelCoord{3, 0, 7}));
+  const Vec3f center = grid.voxel_center(c);
+  EXPECT_EQ(grid.quantize(center), c);
+}
+
+TEST(VoxelGridTest, QuantizeClampsOutOfRange) {
+  Aabb box;
+  box.expand(Vec3f{0, 0, 0});
+  box.expand(Vec3f{1, 1, 1});
+  const VoxelGrid grid(box, 2);
+  EXPECT_EQ(grid.quantize({-5, -5, -5}), (VoxelCoord{0, 0, 0}));
+  EXPECT_EQ(grid.quantize({5, 5, 5}), (VoxelCoord{3, 3, 3}));
+}
+
+TEST(VoxelizeTest, CodesSortedUniqueAndCountsMatch) {
+  const PointCloud cloud = random_cloud(5000, 8, true);
+  const VoxelizedCloud voxels = voxelize(cloud, 6);
+  ASSERT_FALSE(voxels.codes.empty());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < voxels.codes.size(); ++i) {
+    if (i > 0) EXPECT_LT(voxels.codes[i - 1], voxels.codes[i]);
+    total += voxels.point_counts[i];
+  }
+  EXPECT_EQ(total, cloud.size());
+  EXPECT_EQ(voxels.colors.size(), voxels.codes.size());
+}
+
+TEST(VoxelizeTest, SinglePointPerVoxelAtHighResolution) {
+  // Two far-apart points never share a voxel.
+  PointCloud cloud;
+  cloud.add_point({0, 0, 0});
+  cloud.add_point({1, 1, 1});
+  const VoxelizedCloud voxels = voxelize(cloud, 8);
+  EXPECT_EQ(voxels.occupied_count(), 2U);
+}
+
+TEST(VoxelizeTest, AveragesColors) {
+  PointCloud cloud;
+  cloud.add_point({0.1F, 0.1F, 0.1F}, {100, 0, 0});
+  cloud.add_point({0.11F, 0.11F, 0.11F}, {200, 0, 0});
+  cloud.add_point({10, 10, 10}, {50, 50, 50});  // separate voxel
+  const VoxelizedCloud voxels = voxelize(cloud, 4);
+  ASSERT_EQ(voxels.occupied_count(), 2U);
+  // The co-located pair averages to 150.
+  bool found = false;
+  for (std::size_t i = 0; i < voxels.codes.size(); ++i) {
+    if (voxels.point_counts[i] == 2) {
+      EXPECT_EQ(voxels.colors[i].r, 150);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VoxelizeTest, EmptyCloudRejected) {
+  EXPECT_THROW(voxelize(PointCloud{}, 4), std::invalid_argument);
+}
+
+TEST(VoxelDownsampleTest, ReducesAndPreservesCentroids) {
+  PointCloud cloud;
+  // Four points in one voxel, one far away.
+  cloud.add_point({0.1F, 0.1F, 0.1F});
+  cloud.add_point({0.2F, 0.1F, 0.1F});
+  cloud.add_point({0.1F, 0.2F, 0.1F});
+  cloud.add_point({0.2F, 0.2F, 0.1F});
+  cloud.add_point({5, 5, 5});
+  const PointCloud down = voxel_downsample(cloud, 1.0F);
+  ASSERT_EQ(down.size(), 2U);
+  // One output point is the centroid of the cluster.
+  bool found = false;
+  for (const Vec3f& p : down.positions()) {
+    if (distance(p, {0.15F, 0.15F, 0.1F}) < 1e-5F) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VoxelDownsampleTest, InvalidVoxelSizeRejected) {
+  EXPECT_THROW(voxel_downsample(random_cloud(5, 9), 0.0F),
+               std::invalid_argument);
+}
+
+TEST(VoxelDownsampleTest, DeterministicOrder) {
+  const PointCloud cloud = random_cloud(2000, 10, true);
+  const PointCloud a = voxel_downsample(cloud, 0.25F);
+  const PointCloud b = voxel_downsample(cloud, 0.25F);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.position(i), b.position(i));
+  }
+}
+
+// ----------------------------------------------------------------- KdTree ----
+
+TEST(KdTreeTest, EmptyTree) {
+  const KdTree tree(std::span<const Vec3f>{});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.nearest({0, 0, 0}).index, KdTree::Neighbor::kInvalid);
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  const PointCloud cloud = random_cloud(500, 11);
+  const KdTree tree(cloud.positions());
+  Rng rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3f q{rng.next_float() * 2 - 1, rng.next_float() * 2 - 1,
+                  rng.next_float() * 2 - 1};
+    const auto nn = tree.nearest(q);
+    float best = std::numeric_limits<float>::max();
+    for (const Vec3f& p : cloud.positions()) {
+      best = std::min(best, distance_squared(p, q));
+    }
+    EXPECT_FLOAT_EQ(nn.distance_squared, best);
+  }
+}
+
+TEST(KdTreeTest, RadiusSearchMatchesBruteForce) {
+  const PointCloud cloud = random_cloud(300, 13);
+  const KdTree tree(cloud.positions());
+  const Vec3f q{0.1F, -0.2F, 0.3F};
+  const float radius = 0.4F;
+  auto found = tree.radius_search(q, radius);
+  std::size_t expected = 0;
+  for (const Vec3f& p : cloud.positions()) {
+    if (distance(p, q) <= radius) ++expected;
+  }
+  EXPECT_EQ(found.size(), expected);
+  for (std::uint32_t idx : found) {
+    EXPECT_LE(distance(cloud.position(idx), q), radius * 1.0001F);
+  }
+}
+
+TEST(KdTreeTest, KNearestSortedAndCorrect) {
+  const PointCloud cloud = random_cloud(400, 14);
+  const KdTree tree(cloud.positions());
+  const Vec3f q{0, 0, 0};
+  const auto knn = tree.k_nearest(q, 10);
+  ASSERT_EQ(knn.size(), 10U);
+  for (std::size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(knn[i - 1].distance_squared, knn[i].distance_squared);
+  }
+  // Brute-force 10th distance matches.
+  std::vector<float> dists;
+  for (const Vec3f& p : cloud.positions()) {
+    dists.push_back(distance_squared(p, q));
+  }
+  std::sort(dists.begin(), dists.end());
+  EXPECT_FLOAT_EQ(knn.back().distance_squared, dists[9]);
+}
+
+TEST(KdTreeTest, KNearestClampsToSize) {
+  const PointCloud cloud = random_cloud(5, 15);
+  const KdTree tree(cloud.positions());
+  EXPECT_EQ(tree.k_nearest({0, 0, 0}, 10).size(), 5U);
+  EXPECT_TRUE(tree.k_nearest({0, 0, 0}, 0).empty());
+}
+
+// ---------------------------------------------------------------- Metrics ----
+
+TEST(MetricsTest, IdenticalCloudsHaveZeroDistance) {
+  const PointCloud cloud = random_cloud(200, 16);
+  const DistanceStats stats = point_to_point_distance(cloud, cloud);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.rms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+  const GeometryMetrics m = compare_geometry(cloud, cloud);
+  EXPECT_TRUE(std::isinf(m.psnr_db));
+}
+
+TEST(MetricsTest, KnownOffsetDistance) {
+  PointCloud a, b;
+  a.add_point({0, 0, 0});
+  a.add_point({1, 0, 0});
+  b.add_point({0, 0.5F, 0});
+  b.add_point({1, 0.5F, 0});
+  const DistanceStats stats = point_to_point_distance(a, b);
+  EXPECT_NEAR(stats.mean, 0.5, 1e-6);
+  EXPECT_NEAR(stats.rms, 0.5, 1e-6);
+  EXPECT_NEAR(stats.max, 0.5, 1e-6);
+}
+
+TEST(MetricsTest, EmptyCloudRejected) {
+  const PointCloud cloud = random_cloud(10, 17);
+  EXPECT_THROW(point_to_point_distance(cloud, PointCloud{}),
+               std::invalid_argument);
+  EXPECT_THROW(compare_geometry(PointCloud{}, cloud), std::invalid_argument);
+}
+
+TEST(MetricsTest, PsnrDecreasesWithNoise) {
+  const PointCloud reference = random_cloud(2000, 18);
+  Rng rng(19);
+  auto noisy = [&](float sigma) {
+    PointCloud out;
+    for (const Vec3f& p : reference.positions()) {
+      out.add_point(p + Vec3f{static_cast<float>(rng.normal(0, sigma)),
+                              static_cast<float>(rng.normal(0, sigma)),
+                              static_cast<float>(rng.normal(0, sigma))});
+    }
+    return out;
+  };
+  const double psnr_small = compare_geometry(reference, noisy(0.001F)).psnr_db;
+  const double psnr_large = compare_geometry(reference, noisy(0.05F)).psnr_db;
+  EXPECT_GT(psnr_small, psnr_large);
+  EXPECT_GT(psnr_large, 0.0);
+}
+
+TEST(MetricsTest, HausdorffIsSymmetricMax) {
+  PointCloud a, b;
+  a.add_point({0, 0, 0});
+  b.add_point({0, 0, 0});
+  b.add_point({3, 0, 0});  // far outlier only in b
+  const GeometryMetrics m = compare_geometry(a, b);
+  EXPECT_NEAR(m.hausdorff, 3.0, 1e-6);
+  EXPECT_NEAR(m.forward.max, 0.0, 1e-6);
+  EXPECT_NEAR(m.backward.max, 3.0, 1e-6);
+}
+
+TEST(MetricsTest, PointToPlaneBelowPointToPointOnPlanarData) {
+  // Reconstruction offset tangentially along a plane: point-to-plane error
+  // should be ~0 while point-to-point is not.
+  PointCloud plane, shifted;
+  Rng rng(20);
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.next_float() * 4 - 2;
+    const float y = rng.next_float() * 4 - 2;
+    plane.add_point({x, y, 0});
+    shifted.add_point({x + 0.05F, y, 0});  // tangential shift
+  }
+  const double p2pl = point_to_plane_mse(shifted, plane);
+  const DistanceStats p2p = point_to_point_distance(shifted, plane);
+  EXPECT_LT(p2pl, p2p.rms * p2p.rms * 0.5);
+}
+
+TEST(MetricsTest, PointToPlaneValidatesArguments) {
+  const PointCloud cloud = random_cloud(50, 21);
+  EXPECT_THROW(point_to_plane_mse(cloud, cloud, 2), std::invalid_argument);
+}
+
+TEST(MetricsTest, ColorPsnrNanWithoutColors) {
+  const PointCloud plain = random_cloud(10, 22, false);
+  const PointCloud colored = random_cloud(10, 23, true);
+  EXPECT_TRUE(std::isnan(color_psnr_db(plain, colored)));
+}
+
+TEST(MetricsTest, ColorPsnrInfiniteForIdenticalColors) {
+  const PointCloud colored = random_cloud(100, 24, true);
+  EXPECT_TRUE(std::isinf(color_psnr_db(colored, colored)));
+}
+
+TEST(MetricsTest, ColorPsnrDropsWithColorNoise) {
+  const PointCloud reference = random_cloud(500, 25, true);
+  PointCloud degraded;
+  Rng rng(26);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    Color8 c = reference.color(i);
+    c.g = static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>(c.g) +
+                       static_cast<int>(rng.uniform_int(-60, 60)),
+                   0, 255));
+    degraded.add_point(reference.position(i), c);
+  }
+  const double psnr = color_psnr_db(reference, degraded);
+  EXPECT_GT(psnr, 5.0);
+  EXPECT_LT(psnr, 40.0);
+}
+
+}  // namespace
+}  // namespace arvis

@@ -1,0 +1,193 @@
+// Property-based tests: invariants that must hold across randomized inputs
+// and parameter sweeps (TEST_P over seeds/configurations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datasets/catalog.hpp"
+#include "delay/workload.hpp"
+#include "lyapunov/drift_plus_penalty.hpp"
+#include "octree/occupancy_codec.hpp"
+#include "octree/octree.hpp"
+#include "pointcloud/voxel_grid.hpp"
+#include "queueing/queue.hpp"
+
+namespace arvis {
+namespace {
+
+PointCloud random_cloud(Rng& rng, std::size_t n) {
+  PointCloud cloud;
+  for (std::size_t i = 0; i < n; ++i) {
+    cloud.add_point({rng.next_float() * 4 - 2, rng.next_float() * 4 - 2,
+                     rng.next_float() * 4 - 2},
+                    {static_cast<std::uint8_t>(rng.below(256)),
+                     static_cast<std::uint8_t>(rng.below(256)),
+                     static_cast<std::uint8_t>(rng.below(256))});
+  }
+  return cloud;
+}
+
+// ------------------------------------------------ Octree invariants ----
+
+class OctreeInvariants : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OctreeInvariants, OccupancyMonotoneAndBounded) {
+  Rng rng(GetParam());
+  const std::size_t n = 200 + rng.below(3'000);
+  const PointCloud cloud = random_cloud(rng, n);
+  const int max_depth = 4 + static_cast<int>(rng.below(5));
+  const Octree tree(cloud, max_depth);
+
+  std::size_t previous = 1;
+  for (int d = 1; d <= max_depth; ++d) {
+    const std::size_t count = tree.occupied_count(d);
+    EXPECT_GE(count, previous);            // monotone
+    EXPECT_LE(count, previous * 8);        // octree branching bound
+    EXPECT_LE(count, cloud.size());        // can't exceed points
+    previous = count;
+  }
+}
+
+TEST_P(OctreeInvariants, LodSizesEqualOccupancy) {
+  Rng rng(GetParam() ^ 0xABCD);
+  const PointCloud cloud = random_cloud(rng, 500 + rng.below(2'000));
+  const Octree tree(cloud, 6);
+  for (int d = 1; d <= 6; ++d) {
+    EXPECT_EQ(tree.extract_lod(d).size(), tree.occupied_count(d));
+  }
+}
+
+TEST_P(OctreeInvariants, OccupancyCodecRoundTrips) {
+  Rng rng(GetParam() ^ 0x1234);
+  const PointCloud cloud = random_cloud(rng, 300 + rng.below(1'500));
+  const int max_depth = 3 + static_cast<int>(rng.below(5));
+  const Octree tree(cloud, max_depth);
+  const int depth = 1 + static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(max_depth)));
+  const auto decoded = decode_occupancy(encode_occupancy(tree, depth));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), tree.occupied_count(depth));
+}
+
+TEST_P(OctreeInvariants, VoxelizationConservesPoints) {
+  Rng rng(GetParam() ^ 0x9999);
+  const PointCloud cloud = random_cloud(rng, 100 + rng.below(4'000));
+  const VoxelizedCloud voxels = voxelize(cloud, 5);
+  std::uint64_t total = 0;
+  for (std::uint32_t c : voxels.point_counts) total += c;
+  EXPECT_EQ(total, cloud.size());
+  // Every voxel center quantizes back to its own code.
+  for (std::size_t i = 0; i < voxels.codes.size(); ++i) {
+    const Vec3f center = voxels.grid.voxel_center(morton_decode(voxels.codes[i]));
+    EXPECT_EQ(voxels.grid.morton_of(center), voxels.codes[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OctreeInvariants,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// --------------------------------------- Drift-plus-penalty invariants ----
+
+class DppInvariants : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DppInvariants, ChosenActionMaximizesObjective) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.below(32);
+    std::vector<double> p(n), a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = rng.uniform(0.0, 1e6);
+      a[i] = rng.uniform(0.0, 1e6);
+    }
+    const double v = rng.uniform(0.0, 1e5);
+    const double q = rng.uniform(0.0, 1e7);
+    const DppDecision d = drift_plus_penalty_argmax(p, a, v, q);
+    ASSERT_LT(d.index, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(v * p[i] - q * a[i], d.objective + 1e-6);
+    }
+    EXPECT_NEAR(d.objective, v * p[d.index] - q * a[d.index], 1e-9);
+  }
+}
+
+TEST_P(DppInvariants, ScaleInvarianceOfDecision) {
+  // Scaling (V, Q) by the same factor leaves the argmax unchanged.
+  Rng rng(GetParam() ^ 0x5555);
+  const std::size_t n = 2 + rng.below(16);
+  std::vector<double> p(n), a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = rng.uniform(0.0, 1e3);
+    a[i] = rng.uniform(0.0, 1e3);
+  }
+  const double v = rng.uniform(0.1, 1e3);
+  const double q = rng.uniform(0.1, 1e3);
+  const auto base = drift_plus_penalty_argmax(p, a, v, q);
+  for (double k : {2.0, 10.0, 1000.0}) {
+    EXPECT_EQ(drift_plus_penalty_argmax(p, a, v * k, q * k).index, base.index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DppInvariants,
+                         testing::Values(7, 11, 17, 23, 31));
+
+// ------------------------------------------------- Queueing invariants ----
+
+class QueueInvariants : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueInvariants, LindleyConservationUnderRandomTraffic) {
+  Rng rng(GetParam());
+  DiscreteQueue queue;
+  double arrivals_sum = 0.0;
+  for (int t = 0; t < 5'000; ++t) {
+    const double a = rng.uniform(0.0, 100.0);
+    const double b = rng.uniform(0.0, 100.0);
+    const double before = queue.backlog();
+    const double after = queue.step(a, b);
+    arrivals_sum += a;
+    EXPECT_GE(after, 0.0);
+    // One-slot Lipschitz property of the recursion.
+    EXPECT_LE(after, before + a);
+    EXPECT_GE(after, before - b);
+  }
+  EXPECT_NEAR(queue.total_arrivals(), arrivals_sum, 1e-6);
+  EXPECT_NEAR(queue.total_service_used() + queue.backlog(), arrivals_sum, 1e-6);
+}
+
+TEST_P(QueueInvariants, VirtualQueueBoundsAverageUsage) {
+  // Whenever Z(t) stays bounded, average usage approaches <= budget + Z/t.
+  Rng rng(GetParam() ^ 0x7777);
+  const double budget = 10.0;
+  VirtualQueue z(budget);
+  const int steps = 20'000;
+  for (int t = 0; t < steps; ++t) z.step(rng.uniform(0.0, 2.0 * budget));
+  EXPECT_LE(z.average_usage(), budget + z.backlog() / steps + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueInvariants,
+                         testing::Values(3, 9, 27, 81));
+
+// ----------------------------------------- Workload/frame invariants ----
+
+class FrameInvariants : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameInvariants, WorkloadTablesMonotone) {
+  const auto source = open_test_subject(GetParam());
+  const Octree tree(source->frame(GetParam() % 7), 8);
+  const FrameWorkload w = compute_frame_workload(tree);
+  for (int d = 1; d <= 8; ++d) {
+    EXPECT_GE(w.points(d), w.points(d - 1));
+    EXPECT_GE(w.bytes(d), w.bytes(d - 1));
+  }
+  // Bytes to depth d equal the cumulative internal-node counts.
+  double expected = 0.0;
+  for (int level = 0; level < 8; ++level) {
+    expected += w.points(level);
+    EXPECT_DOUBLE_EQ(w.bytes(level + 1), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameInvariants, testing::Values(1, 4, 9, 16));
+
+}  // namespace
+}  // namespace arvis

@@ -1,0 +1,143 @@
+// Tests for quality models p_a(d).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/catalog.hpp"
+#include "octree/octree.hpp"
+#include "quality/quality_model.hpp"
+
+namespace arvis {
+namespace {
+
+std::vector<double> example_points() {
+  // Typical occupancy profile (root .. depth 6).
+  return {1, 8, 60, 450, 3'200, 20'000, 90'000};
+}
+
+TEST(PointCountQualityTest, LookupAndClamp) {
+  const PointCountQuality q(example_points());
+  EXPECT_DOUBLE_EQ(q.quality(3), 450.0);
+  EXPECT_DOUBLE_EQ(q.quality(6), 90'000.0);
+  // Depths beyond the table clamp to the edges.
+  EXPECT_DOUBLE_EQ(q.quality(10), 90'000.0);
+  EXPECT_DOUBLE_EQ(q.quality(0), 1.0);
+  EXPECT_EQ(q.name(), "points");
+}
+
+TEST(PointCountQualityTest, ScaleNormalizes) {
+  const PointCountQuality q(example_points(), 90'000.0);
+  EXPECT_DOUBLE_EQ(q.quality(6), 1.0);
+  EXPECT_NEAR(q.quality(5), 20'000.0 / 90'000.0, 1e-12);
+}
+
+TEST(PointCountQualityTest, Validation) {
+  EXPECT_THROW(PointCountQuality({}), std::invalid_argument);
+  EXPECT_THROW(PointCountQuality(example_points(), 0.0), std::invalid_argument);
+  EXPECT_THROW(PointCountQuality(example_points(), -1.0), std::invalid_argument);
+}
+
+TEST(LogPointQualityTest, LogOfPoints) {
+  const LogPointQuality q(example_points());
+  EXPECT_NEAR(q.quality(6), std::log10(90'000.0), 1e-12);
+  EXPECT_NEAR(q.quality(1), std::log10(8.0), 1e-12);
+  // Below 1 point the utility floors at 0.
+  const LogPointQuality tiny(std::vector<double>{0.5});
+  EXPECT_DOUBLE_EQ(tiny.quality(0), 0.0);
+}
+
+TEST(LogPointQualityTest, DiminishingReturns) {
+  const LogPointQuality q(example_points());
+  // Increments shrink with depth (concavity in the rendered count).
+  const double d45 = q.quality(5) - q.quality(4);
+  const double d56 = q.quality(6) - q.quality(5);
+  EXPECT_GT(d45, d56);
+}
+
+TEST(SaturatingQualityTest, ApproachesOne) {
+  const SaturatingQuality q(5, 0.5);
+  EXPECT_LT(q.quality(5), q.quality(6));
+  EXPECT_LT(q.quality(9), 1.0);
+  EXPECT_GT(q.quality(20), 0.99);
+  EXPECT_DOUBLE_EQ(q.quality(4), 0.0);  // below domain
+  EXPECT_THROW(SaturatingQuality(5, 0.0), std::invalid_argument);
+}
+
+TEST(TableQualityTest, InterpolatesAndClamps) {
+  const TableQuality q(5, {30.0, 35.0, 42.0}, "psnr");
+  EXPECT_DOUBLE_EQ(q.quality(5), 30.0);
+  EXPECT_DOUBLE_EQ(q.quality(7), 42.0);
+  EXPECT_DOUBLE_EQ(q.quality(4), 30.0);
+  EXPECT_DOUBLE_EQ(q.quality(9), 42.0);
+  EXPECT_EQ(q.name(), "psnr");
+}
+
+TEST(TableQualityTest, RejectsDecreasingValues) {
+  EXPECT_THROW(TableQuality(1, {2.0, 1.0}, "bad"), std::invalid_argument);
+  EXPECT_THROW(TableQuality(1, {}, "bad"), std::invalid_argument);
+}
+
+TEST(QualityFactoryTest, PointCountFromDepthTable) {
+  const auto source = open_test_subject(31);
+  const Octree tree(source->frame(0), 7);
+  const auto table = compute_depth_table(tree, /*with_psnr=*/false);
+  const auto quality = make_point_count_quality(table);
+  for (int d = 1; d <= 7; ++d) {
+    EXPECT_DOUBLE_EQ(quality->quality(d),
+                     static_cast<double>(tree.occupied_count(d)));
+  }
+}
+
+TEST(QualityFactoryTest, PsnrFromDepthTable) {
+  const auto source = open_test_subject(32);
+  const Octree tree(source->frame(0), 6);
+  const auto table = compute_depth_table(tree, /*with_psnr=*/true);
+  const auto quality = make_psnr_quality(table);
+  // Monotone non-decreasing over the candidate range, finite everywhere
+  // (the lossless final depth's +inf is clamped).
+  double previous = -1.0;
+  for (int d = 1; d <= 6; ++d) {
+    const double v = quality->quality(d);
+    EXPECT_TRUE(std::isfinite(v)) << "depth " << d;
+    EXPECT_GE(v, previous);
+    previous = v;
+  }
+}
+
+TEST(QualityFactoryTest, PsnrFactoryRequiresPsnrTable) {
+  const auto source = open_test_subject(33);
+  const Octree tree(source->frame(0), 5);
+  const auto table = compute_depth_table(tree, /*with_psnr=*/false);
+  EXPECT_THROW(make_psnr_quality(table), std::invalid_argument);
+  EXPECT_THROW(make_psnr_quality({}), std::invalid_argument);
+  EXPECT_THROW(make_point_count_quality({}), std::invalid_argument);
+}
+
+// Property: every provided model is monotone non-decreasing on depths 1..12.
+class QualityMonotonicityTest
+    : public testing::TestWithParam<std::shared_ptr<QualityModel>> {};
+
+TEST_P(QualityMonotonicityTest, NonDecreasingInDepth) {
+  const auto& model = *GetParam();
+  double previous = model.quality(1);
+  for (int d = 2; d <= 12; ++d) {
+    const double v = model.quality(d);
+    EXPECT_GE(v, previous) << model.name() << " at depth " << d;
+    previous = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, QualityMonotonicityTest,
+    testing::Values(
+        std::make_shared<PointCountQuality>(example_points()),
+        std::make_shared<LogPointQuality>(example_points()),
+        std::make_shared<SaturatingQuality>(5, 0.7),
+        std::make_shared<TableQuality>(4, std::vector<double>{1, 2, 3, 4},
+                                       "table")),
+    [](const auto& info) { return info.param->name() == "log-points"
+                                      ? std::string("log_points")
+                                      : info.param->name(); });
+
+}  // namespace
+}  // namespace arvis

@@ -1,0 +1,196 @@
+// Tests for discrete-time queues, arrival processes and stability analysis.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "queueing/arrival_process.hpp"
+#include "queueing/queue.hpp"
+#include "queueing/stability.hpp"
+
+namespace arvis {
+namespace {
+
+// -------------------------------------------------------- DiscreteQueue ----
+
+TEST(DiscreteQueueTest, LindleyRecursion) {
+  DiscreteQueue q;
+  EXPECT_DOUBLE_EQ(q.backlog(), 0.0);
+  EXPECT_DOUBLE_EQ(q.step(10.0, 3.0), 10.0);   // empty queue: nothing served
+  EXPECT_DOUBLE_EQ(q.step(5.0, 3.0), 12.0);    // 10 - 3 + 5
+  EXPECT_DOUBLE_EQ(q.step(0.0, 20.0), 0.0);    // over-service floors at zero
+  EXPECT_EQ(q.time(), 3U);
+}
+
+TEST(DiscreteQueueTest, NegativeInputsClamped) {
+  DiscreteQueue q;
+  q.step(-5.0, -3.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 0.0);
+  EXPECT_DOUBLE_EQ(q.total_arrivals(), 0.0);
+}
+
+TEST(DiscreteQueueTest, InitialBacklogRespected) {
+  DiscreteQueue q(100.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 100.0);
+  q.step(0.0, 40.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 60.0);
+}
+
+TEST(DiscreteQueueTest, TimeAverageUsesSlotStartSamples) {
+  DiscreteQueue q;
+  q.step(10.0, 0.0);  // observed Q=0
+  q.step(10.0, 0.0);  // observed Q=10
+  q.step(10.0, 0.0);  // observed Q=20
+  EXPECT_DOUBLE_EQ(q.time_average_backlog(), 10.0);
+  EXPECT_DOUBLE_EQ(q.backlog_stats().mean(), 10.0);
+  EXPECT_DOUBLE_EQ(q.backlog_stats().max(), 20.0);
+}
+
+TEST(DiscreteQueueTest, ConservationAccounting) {
+  DiscreteQueue q;
+  q.step(10.0, 4.0);
+  q.step(2.0, 4.0);
+  q.step(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(q.total_arrivals(), 12.0);
+  EXPECT_DOUBLE_EQ(q.total_service_used() + q.backlog(), 12.0);
+  EXPECT_GT(q.total_service_wasted(), 0.0);
+}
+
+TEST(DiscreteQueueTest, ResetClearsEverything) {
+  DiscreteQueue q;
+  q.step(10.0, 0.0);
+  q.reset(5.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 5.0);
+  EXPECT_EQ(q.time(), 0U);
+  EXPECT_DOUBLE_EQ(q.time_average_backlog(), 0.0);
+}
+
+TEST(DiscreteQueueTest, StableWhenServiceExceedsArrivals) {
+  DiscreteQueue q;
+  for (int t = 0; t < 10'000; ++t) q.step(5.0, 6.0);
+  EXPECT_LE(q.backlog(), 5.0);  // bounded by one slot's arrivals
+}
+
+TEST(DiscreteQueueTest, DivergesWhenArrivalsExceedService) {
+  DiscreteQueue q;
+  for (int t = 0; t < 1'000; ++t) q.step(6.0, 5.0);
+  EXPECT_NEAR(q.backlog(), 1'000.0, 10.0);  // drift = 1/slot
+}
+
+// ------------------------------------------------------------ QueueBank ----
+
+TEST(QueueBankTest, AggregatesAcrossQueues) {
+  QueueBank bank(3);
+  bank.queue(0).step(10.0, 0.0);
+  bank.queue(1).step(4.0, 0.0);
+  bank.queue(2).step(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(bank.total_backlog(), 14.0);
+  EXPECT_DOUBLE_EQ(bank.max_backlog(), 10.0);
+  EXPECT_THROW(QueueBank(0), std::invalid_argument);
+  EXPECT_THROW(bank.queue(3), std::out_of_range);
+}
+
+// --------------------------------------------------------- VirtualQueue ----
+
+TEST(VirtualQueueTest, GrowsOnlyAboveBudget) {
+  VirtualQueue z(5.0);
+  z.step(3.0);  // under budget
+  EXPECT_DOUBLE_EQ(z.backlog(), 0.0);
+  z.step(9.0);  // 4 over
+  EXPECT_DOUBLE_EQ(z.backlog(), 4.0);
+  z.step(5.0);  // at budget: no change
+  EXPECT_DOUBLE_EQ(z.backlog(), 4.0);
+  EXPECT_NEAR(z.average_usage(), 17.0 / 3.0, 1e-12);
+  EXPECT_THROW(VirtualQueue(-1.0), std::invalid_argument);
+}
+
+TEST(VirtualQueueTest, StableWhenAverageMeetsBudget) {
+  VirtualQueue z(5.0);
+  // Alternate 8 and 2: average 5 == budget, so Z stays bounded.
+  for (int t = 0; t < 10'000; ++t) z.step(t % 2 == 0 ? 8.0 : 2.0);
+  EXPECT_LE(z.backlog(), 8.0);
+}
+
+// ------------------------------------------------------ ArrivalProcess ----
+
+TEST(ArrivalProcessTest, ConstantAndValidation) {
+  ConstantArrivals a(7.0);
+  EXPECT_DOUBLE_EQ(a.next_arrivals(), 7.0);
+  EXPECT_DOUBLE_EQ(a.mean_rate(), 7.0);
+  EXPECT_THROW(ConstantArrivals(-1.0), std::invalid_argument);
+}
+
+TEST(ArrivalProcessTest, PoissonMeanMatches) {
+  PoissonArrivals a(12.0, Rng(7));
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(a.next_arrivals());
+  EXPECT_NEAR(stats.mean(), 12.0, 0.1);
+}
+
+TEST(ArrivalProcessTest, BurstyLongRunRate) {
+  // pi_on = p_off_on / (p_on_off + p_off_on) = 0.25 -> mean = 0.25 * 20.
+  BurstyArrivals a(20.0, 0.3, 0.1, Rng(8));
+  EXPECT_NEAR(a.mean_rate(), 5.0, 1e-9);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(a.next_arrivals());
+  EXPECT_NEAR(stats.mean(), 5.0, 0.25);
+}
+
+// ------------------------------------------------------------ Stability ----
+
+std::vector<double> make_series(std::size_t n, double (*f)(std::size_t)) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = f(i);
+  return out;
+}
+
+TEST(StabilityTest, DetectsDivergence) {
+  const auto series =
+      make_series(800, [](std::size_t t) { return 500.0 * static_cast<double>(t); });
+  const StabilityReport report = analyze_stability(series);
+  EXPECT_EQ(report.verdict, StabilityVerdict::kDivergent);
+  EXPECT_NEAR(report.tail_slope, 500.0, 1.0);
+}
+
+TEST(StabilityTest, DetectsConvergenceToZero) {
+  const auto series = make_series(800, [](std::size_t t) {
+    return t < 50 ? 100.0 - 2.0 * static_cast<double>(t) : 0.0;
+  });
+  const StabilityReport report = analyze_stability(series);
+  EXPECT_EQ(report.verdict, StabilityVerdict::kConvergentToZero);
+}
+
+TEST(StabilityTest, DetectsBoundedPositive) {
+  const auto series = make_series(800, [](std::size_t t) {
+    return 5'000.0 + 500.0 * ((t % 16) < 8 ? 1.0 : -1.0);
+  });
+  const StabilityReport report = analyze_stability(series);
+  EXPECT_EQ(report.verdict, StabilityVerdict::kBoundedPositive);
+  EXPECT_NEAR(report.tail_mean, 5'000.0, 600.0);
+}
+
+TEST(StabilityTest, ValidatesInput) {
+  EXPECT_THROW(analyze_stability({1, 2, 3}), std::invalid_argument);
+  const auto series = make_series(100, [](std::size_t) { return 1.0; });
+  EXPECT_THROW(analyze_stability(series, 0.0), std::invalid_argument);
+  EXPECT_THROW(analyze_stability(series, 1.5), std::invalid_argument);
+}
+
+TEST(StabilityTest, VerdictToString) {
+  EXPECT_STREQ(to_string(StabilityVerdict::kDivergent), "divergent");
+  EXPECT_STREQ(to_string(StabilityVerdict::kConvergentToZero),
+               "convergent-to-zero");
+  EXPECT_STREQ(to_string(StabilityVerdict::kBoundedPositive),
+               "bounded-positive");
+}
+
+TEST(MaxSustainableDepthTest, FindsBoundary) {
+  // arrivals by depth: index = depth.
+  const std::vector<double> arrivals{1, 8, 64, 512, 4096, 32'768};
+  EXPECT_EQ(max_sustainable_depth(arrivals, 600.0, 1, 5), 3);
+  EXPECT_EQ(max_sustainable_depth(arrivals, 1e9, 1, 5), 5);
+  EXPECT_EQ(max_sustainable_depth(arrivals, 0.5, 1, 5), 0);  // none: d_min-1
+  EXPECT_THROW(max_sustainable_depth(arrivals, 10.0, 5, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arvis

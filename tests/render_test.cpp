@@ -1,0 +1,180 @@
+// Tests for the software rasterizer: framebuffer semantics, projection,
+// depth testing, and the delay/quality calibration properties it grounds.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+
+#include "common/stats.hpp"
+#include "datasets/catalog.hpp"
+#include "octree/octree.hpp"
+#include "render/rasterizer.hpp"
+
+namespace arvis {
+namespace {
+
+TEST(FramebufferTest, ConstructionAndClear) {
+  EXPECT_THROW(Framebuffer(0, 10), std::invalid_argument);
+  Framebuffer fb(8, 4);
+  EXPECT_EQ(fb.width(), 8);
+  EXPECT_EQ(fb.height(), 4);
+  fb.clear({7, 8, 9});
+  EXPECT_EQ(fb.pixel(3, 2), (Color8{7, 8, 9}));
+}
+
+TEST(FramebufferTest, DepthTestKeepsNearest) {
+  Framebuffer fb(4, 4);
+  fb.clear();
+  EXPECT_TRUE(fb.try_write(1, 1, 5.0F, {10, 0, 0}));
+  EXPECT_FALSE(fb.try_write(1, 1, 9.0F, {0, 10, 0}));  // farther loses
+  EXPECT_TRUE(fb.try_write(1, 1, 2.0F, {0, 0, 10}));   // nearer wins
+  EXPECT_EQ(fb.pixel(1, 1), (Color8{0, 0, 10}));
+}
+
+TEST(FramebufferTest, OutOfBoundsWriteRejected) {
+  Framebuffer fb(4, 4);
+  fb.clear();
+  EXPECT_FALSE(fb.try_write(-1, 0, 1.0F, {}));
+  EXPECT_FALSE(fb.try_write(4, 0, 1.0F, {}));
+  EXPECT_FALSE(fb.try_write(0, 4, 1.0F, {}));
+}
+
+TEST(FramebufferTest, PpmWriteRoundTripHeader) {
+  Framebuffer fb(3, 2);
+  fb.clear({1, 2, 3});
+  const std::string path = testing::TempDir() + "/arvis_render_test.ppm";
+  ASSERT_TRUE(fb.write_ppm(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+}
+
+TEST(RenderTest, CenteredPointProjectsToImageCenter) {
+  Framebuffer fb(64, 64);
+  fb.clear();
+  Camera camera;
+  camera.eye = {0, 0, 2};
+  camera.target = {0, 0, 0};
+  PointCloud cloud;
+  cloud.add_point({0, 0, 0}, {255, 255, 255});
+  const RenderStats stats = render_points(fb, camera, cloud, 1);
+  EXPECT_EQ(stats.fragments_written, 1U);
+  EXPECT_EQ(fb.pixel(32, 32), (Color8{255, 255, 255}));
+}
+
+TEST(RenderTest, PointBehindCameraCulled) {
+  Framebuffer fb(32, 32);
+  fb.clear();
+  Camera camera;
+  camera.eye = {0, 0, 2};
+  camera.target = {0, 0, 0};
+  PointCloud cloud;
+  cloud.add_point({0, 0, 5}, {255, 0, 0});  // behind the eye
+  const RenderStats stats = render_points(fb, camera, cloud);
+  EXPECT_EQ(stats.points_culled, 1U);
+  EXPECT_EQ(stats.fragments_written, 0U);
+}
+
+TEST(RenderTest, NearerPointOccludesFarther) {
+  Framebuffer fb(64, 64);
+  fb.clear();
+  Camera camera;
+  camera.eye = {0, 0, 4};
+  camera.target = {0, 0, 0};
+  PointCloud cloud;
+  cloud.add_point({0, 0, 0}, {255, 0, 0});  // far
+  cloud.add_point({0, 0, 2}, {0, 255, 0});  // near, same ray
+  render_points(fb, camera, cloud);
+  EXPECT_EQ(fb.pixel(32, 32), (Color8{0, 255, 0}));
+}
+
+TEST(RenderTest, SplatSizeCoversSquare) {
+  Framebuffer fb(64, 64);
+  fb.clear();
+  Camera camera;
+  camera.eye = {0, 0, 2};
+  camera.target = {0, 0, 0};
+  PointCloud cloud;
+  cloud.add_point({0, 0, 0}, {9, 9, 9});
+  const RenderStats stats = render_points(fb, camera, cloud, 3);
+  EXPECT_EQ(stats.fragments, 9U);
+  EXPECT_EQ(stats.fragments_written, 9U);
+  EXPECT_EQ(fb.pixel(31, 31), (Color8{9, 9, 9}));
+  EXPECT_EQ(fb.pixel(33, 33), (Color8{9, 9, 9}));
+}
+
+TEST(ImageMetricsTest, MseAndPsnr) {
+  Framebuffer a(8, 8), b(8, 8);
+  a.clear({0, 0, 0});
+  b.clear({0, 0, 0});
+  EXPECT_DOUBLE_EQ(image_mse(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(image_psnr_db(a, b)));
+  b.clear({10, 10, 10});
+  EXPECT_DOUBLE_EQ(image_mse(a, b), 100.0);
+  EXPECT_NEAR(image_psnr_db(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0),
+              1e-9);
+  Framebuffer c(4, 4);
+  EXPECT_THROW(image_mse(a, c), std::invalid_argument);
+}
+
+TEST(RenderCalibrationTest, ImageQualityImprovesWithOctreeDepth) {
+  // The visual claim of the paper's Fig. 1: deeper octree -> sharper image.
+  const auto source = open_test_subject(51);
+  const Octree tree(source->frame(0), 8);
+  Camera camera;
+  camera.eye = {0, 0.9F, 2.2F};
+  camera.target = {0, 0.9F, 0};
+
+  Framebuffer reference(128, 128);
+  reference.clear();
+  render_points(reference, camera, tree.extract_lod(8), 1);
+
+  double previous_psnr = 0.0;
+  for (int depth : {3, 5, 7}) {
+    Framebuffer fb(128, 128);
+    fb.clear();
+    // Scale splats with cell size so coarse LODs stay hole-free.
+    const int splat = std::max(1, 1 << (8 - depth) >> 1);
+    render_points(fb, camera, tree.extract_lod(depth), splat);
+    const double psnr = image_psnr_db(reference, fb);
+    EXPECT_GT(psnr, previous_psnr) << "depth " << depth;
+    previous_psnr = psnr;
+  }
+}
+
+TEST(RenderCalibrationTest, RenderTimeGrowsWithPointCount) {
+  // Grounds the affine delay model: time per frame grows with submitted
+  // points. Uses wall clock with generous margins (CI-safe: only ordering
+  // of 16x workloads is asserted, averaged over repeats).
+  const auto source = open_test_subject(52);
+  const Octree tree(source->frame(0), 8);
+  const PointCloud small = tree.extract_lod(4);
+  const PointCloud large = tree.extract_lod(8);
+  ASSERT_GT(large.size(), small.size() * 8);
+
+  Framebuffer fb(256, 256);
+  Camera camera;
+  camera.eye = {0, 0.9F, 2.2F};
+  camera.target = {0, 0.9F, 0};
+
+  auto time_render = [&](const PointCloud& cloud) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < 20; ++rep) {
+      fb.clear();
+      render_points(fb, camera, cloud, 1);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start).count();
+  };
+  time_render(small);  // warm-up
+  EXPECT_GT(time_render(large), time_render(small));
+}
+
+}  // namespace
+}  // namespace arvis

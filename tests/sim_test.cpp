@@ -1,0 +1,244 @@
+// Tests for the simulation engine: trace bookkeeping, frame-stats caching,
+// run orchestration and the calibration helpers behind Fig. 2.
+#include <gtest/gtest.h>
+
+#include "datasets/catalog.hpp"
+#include "sim/simulation.hpp"
+
+namespace arvis {
+namespace {
+
+SimConfig test_config() {
+  SimConfig config;
+  config.steps = 200;
+  config.candidates = {3, 4, 5, 6};
+  return config;
+}
+
+const FrameStatsCache& shared_cache() {
+  static const FrameStatsCache cache(*open_test_subject(61), 8, 8);
+  return cache;
+}
+
+// ---------------------------------------------------------------- Trace ----
+
+TEST(TraceTest, SeriesAndSummary) {
+  Trace trace;
+  for (std::size_t t = 0; t < 10; ++t) {
+    StepRecord r;
+    r.t = t;
+    r.depth = static_cast<int>(5 + t % 2);
+    r.arrivals = 100.0;
+    r.service = 90.0;
+    r.backlog_begin = 10.0 * static_cast<double>(t);
+    r.backlog_end = 10.0 * static_cast<double>(t + 1);
+    r.quality = 1.0 + static_cast<double>(t % 2);
+    trace.add(r);
+  }
+  EXPECT_EQ(trace.backlog_series().size(), 10U);
+  EXPECT_EQ(trace.depth_series()[1], 6);
+  EXPECT_EQ(trace.quality_series()[0], 1.0);
+
+  const TraceSummary s = trace.summarize();
+  EXPECT_DOUBLE_EQ(s.time_average_quality, 1.5);
+  EXPECT_DOUBLE_EQ(s.time_average_backlog, 45.0);
+  EXPECT_DOUBLE_EQ(s.final_backlog, 100.0);
+  EXPECT_DOUBLE_EQ(s.peak_backlog, 90.0);
+  EXPECT_DOUBLE_EQ(s.mean_depth, 5.5);
+  EXPECT_DOUBLE_EQ(s.mean_arrivals, 100.0);
+}
+
+TEST(TraceTest, SummaryRequiresEnoughSlots) {
+  Trace trace;
+  StepRecord r;
+  trace.add(r);
+  EXPECT_THROW(static_cast<void>(trace.summarize()), std::logic_error);
+}
+
+TEST(TraceTest, CsvTableShape) {
+  Trace trace;
+  for (std::size_t t = 0; t < 3; ++t) {
+    StepRecord r;
+    r.t = t;
+    trace.add(r);
+  }
+  const CsvTable table = trace.to_csv_table();
+  EXPECT_EQ(table.column_count(), 6U);
+  EXPECT_EQ(table.row_count(), 3U);
+}
+
+TEST(TraceTest, CsvSerializationRoundTripsThroughParser) {
+  // End-to-end: trace -> CSV text -> parse_csv recovers every cell, so
+  // bench outputs can be re-loaded for offline analysis.
+  Trace trace;
+  for (std::size_t t = 0; t < 12; ++t) {
+    StepRecord r;
+    r.t = t;
+    r.depth = 5 + static_cast<int>(t % 3);
+    r.arrivals = 100.5 * static_cast<double>(t) + 0.25;  // never integral
+    r.service = 42.25;
+    r.backlog_begin = static_cast<double>(t * t) + 0.5;  // non-integral so
+    r.quality = 7.125;  // the parser classifies these columns as doubles
+    trace.add(r);
+  }
+  const auto parsed = parse_csv(trace.to_csv_table().to_string());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->row_count(), trace.size());
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(std::get<std::int64_t>(parsed->at(t, 0)),
+              static_cast<std::int64_t>(t));
+    EXPECT_EQ(std::get<std::int64_t>(parsed->at(t, 1)), trace.at(t).depth);
+    EXPECT_DOUBLE_EQ(std::get<double>(parsed->at(t, 2)), trace.at(t).arrivals);
+    EXPECT_DOUBLE_EQ(std::get<double>(parsed->at(t, 4)),
+                     trace.at(t).backlog_begin);
+  }
+}
+
+// ------------------------------------------------------ FrameStatsCache ----
+
+TEST(FrameStatsCacheTest, CachesRequestedFrames) {
+  const auto source = open_test_subject(62);
+  const FrameStatsCache cache(*source, 7, 4);
+  EXPECT_EQ(cache.frame_count(), 4U);
+  EXPECT_EQ(cache.octree_depth(), 7);
+  // Slot indices wrap over the cached frames.
+  EXPECT_DOUBLE_EQ(cache.workload(0).points(7), cache.workload(4).points(7));
+}
+
+TEST(FrameStatsCacheTest, MeanPointsMonotone) {
+  const auto& cache = shared_cache();
+  const auto& mean = cache.mean_points_at_depth();
+  ASSERT_EQ(mean.size(), 9U);
+  for (std::size_t d = 1; d < mean.size(); ++d) {
+    EXPECT_GE(mean[d], mean[d - 1]);
+  }
+  EXPECT_DOUBLE_EQ(mean[0], 1.0);  // root
+}
+
+// ----------------------------------------------------------- Simulation ----
+
+TEST(SimulationTest, RunsAndRecordsEverySlot) {
+  const auto& cache = shared_cache();
+  const SimConfig config = test_config();
+  LyapunovDepthController controller(1'000.0);
+  ConstantService service(calibrate_service_rate(cache, 4));
+  const Trace trace = run_simulation(config, cache, controller, service);
+  ASSERT_EQ(trace.size(), config.steps);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const StepRecord& r = trace.at(t);
+    EXPECT_EQ(r.t, t);
+    EXPECT_GE(r.depth, config.candidates.front());
+    EXPECT_LE(r.depth, config.candidates.back());
+    EXPECT_GT(r.arrivals, 0.0);
+    if (t > 0) {
+      EXPECT_DOUBLE_EQ(r.backlog_begin, trace.at(t - 1).backlog_end);
+    }
+  }
+}
+
+TEST(SimulationTest, BacklogFollowsLindley) {
+  const auto& cache = shared_cache();
+  SimConfig config = test_config();
+  config.steps = 50;
+  auto controller = FixedDepthController::max_depth();
+  ConstantService service(100.0);
+  const Trace trace = run_simulation(config, cache, controller, service);
+  for (const StepRecord& r : trace.steps()) {
+    const double expected =
+        std::max(r.backlog_begin - r.service, 0.0) + r.arrivals;
+    EXPECT_NEAR(r.backlog_end, expected, 1e-9);
+  }
+}
+
+TEST(SimulationTest, QualityKindChangesUtilityScale) {
+  const auto& cache = shared_cache();
+  SimConfig config = test_config();
+  config.steps = 32;
+  ConstantService service(1e9);  // everything sustainable
+  config.quality = QualityKind::kPoints;
+  LyapunovDepthController c1(1.0);
+  const Trace points_trace = run_simulation(config, cache, c1, service);
+  config.quality = QualityKind::kLogPoints;
+  LyapunovDepthController c2(1.0);
+  ConstantService service2(1e9);
+  const Trace log_trace = run_simulation(config, cache, c2, service2);
+  // Point-count utilities are orders of magnitude above log utilities.
+  EXPECT_GT(points_trace.summarize().time_average_quality,
+            100.0 * log_trace.summarize().time_average_quality);
+}
+
+TEST(SimulationTest, ConfigValidation) {
+  const auto& cache = shared_cache();
+  LyapunovDepthController controller(1.0);
+  ConstantService service(100.0);
+  SimConfig config = test_config();
+  config.steps = 0;
+  EXPECT_THROW(run_simulation(config, cache, controller, service),
+               std::invalid_argument);
+  config = test_config();
+  config.candidates = {};
+  EXPECT_THROW(run_simulation(config, cache, controller, service),
+               std::invalid_argument);
+  config.candidates = {5, 4};
+  EXPECT_THROW(run_simulation(config, cache, controller, service),
+               std::invalid_argument);
+  config.candidates = {5, 12};  // beyond the cache's octree depth (8)
+  EXPECT_THROW(run_simulation(config, cache, controller, service),
+               std::invalid_argument);
+}
+
+TEST(SimulationTest, InitialBacklogPropagates) {
+  const auto& cache = shared_cache();
+  SimConfig config = test_config();
+  config.steps = 8;
+  config.initial_backlog = 777.0;
+  auto controller = FixedDepthController::min_depth();
+  ConstantService service(0.0);
+  const Trace trace = run_simulation(config, cache, controller, service);
+  EXPECT_DOUBLE_EQ(trace.at(0).backlog_begin, 777.0);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  const auto& cache = shared_cache();
+  const SimConfig config = test_config();
+  LyapunovDepthController c1(500.0), c2(500.0);
+  ConstantService s1(2'000.0), s2(2'000.0);
+  const Trace a = run_simulation(config, cache, c1, s1);
+  const Trace b = run_simulation(config, cache, c2, s2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.at(t).depth, b.at(t).depth);
+    EXPECT_DOUBLE_EQ(a.at(t).backlog_end, b.at(t).backlog_end);
+  }
+}
+
+// ---------------------------------------------------------- Calibration ----
+
+TEST(CalibrationTest, ServiceRateSitsAtRequestedDepth) {
+  const auto& cache = shared_cache();
+  const double rate = calibrate_service_rate(cache, 5, 1.05);
+  const auto& mean = cache.mean_points_at_depth();
+  EXPECT_DOUBLE_EQ(rate, mean[5] * 1.05);
+  // Depth 5 sustainable, depth 6 not (test subject grows >5% per level).
+  EXPECT_GE(rate, mean[5]);
+  EXPECT_LT(rate, mean[6]);
+  EXPECT_THROW(calibrate_service_rate(cache, 99), std::invalid_argument);
+  EXPECT_THROW(calibrate_service_rate(cache, 5, 0.0), std::invalid_argument);
+}
+
+TEST(CalibrationTest, VPivotPlacesSwitchover) {
+  const auto& cache = shared_cache();
+  SimConfig config = test_config();
+  config.quality = QualityKind::kPoints;
+  const double pivot = 1'234.0;
+  // With point-count quality, Δa == Δp so V == pivot exactly.
+  EXPECT_NEAR(calibrate_v_for_pivot(cache, config, pivot), pivot, 1e-9);
+  config.quality = QualityKind::kLogPoints;
+  // With log quality the V compensates by Δa/Δp > 1.
+  EXPECT_GT(calibrate_v_for_pivot(cache, config, pivot), pivot);
+  EXPECT_THROW(calibrate_v_for_pivot(cache, config, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arvis
