@@ -1,0 +1,106 @@
+// Serving-scale sweep: session count (1 → 256) × executor threads, on one
+// shared link whose capacity grows with the fleet so per-session load stays
+// constant. Reports wall time, throughput in session-slots/s, the speedup of
+// each thread count over serial at the same fleet size, and the fleet
+// quality/fairness metrics — the scaling story of the serving runtime.
+//
+// Build & run:  ./build/bench/bench_serving_scale
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "datasets/catalog.hpp"
+#include "net/channel.hpp"
+#include "net/streaming.hpp"
+#include "serving/session_manager.hpp"
+#include "sim/frame_stats_cache.hpp"
+
+namespace {
+
+constexpr std::size_t kSteps = 300;
+
+const arvis::FrameStatsCache& serving_cache() {
+  static const arvis::FrameStatsCache cache(*arvis::open_test_subject(17), 8,
+                                            16);
+  return cache;
+}
+
+double run_once(std::size_t sessions, std::size_t threads,
+                arvis::ServingResult& result) {
+  using namespace arvis;
+  const auto& cache = serving_cache();
+
+  ServingConfig config;
+  config.steps = kSteps;
+  config.candidates = {3, 4, 5, 6, 7};
+  config.v = calibrate_streaming_v(cache, config.candidates,
+                                   4.0 * cache.workload(0).bytes(5));
+  config.policy = SchedulerPolicy::kWorkConserving;
+  config.threads = threads;
+  config.admission.utilization_target = 0.95;
+
+  std::vector<SessionSpec> specs(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    specs[i].cache = &cache;
+    // A tenth of the fleet churns: arrives staggered, leaves mid-run.
+    if (i % 10 == 9) {
+      specs[i].arrival_slot = i % kSteps / 2;
+      specs[i].departure_slot = specs[i].arrival_slot + kSteps / 2;
+    }
+    specs[i].seed = i;
+  }
+
+  // Link fits the whole fleet around depth 5 (the middle candidate).
+  ConstantChannel channel(static_cast<double>(sessions) *
+                          cache.workload(0).bytes(5) * 1.2);
+
+  const auto start = std::chrono::steady_clock::now();
+  result = run_serving_scenario(config, specs, channel);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace arvis;
+
+  CsvTable table({"sessions", "threads", "wall_ms", "session_slots_per_s",
+                  "speedup_vs_1t", "admitted", "rejected", "fairness",
+                  "utilization", "divergent"});
+
+  for (std::size_t sessions : {1U, 4U, 16U, 64U, 256U}) {
+    double serial_ms = 0.0;
+    for (std::size_t threads : {1U, 2U, 4U}) {
+      if (threads > sessions) continue;
+      ServingResult result;
+      const double ms = run_once(sessions, threads, result);
+      if (threads == 1) serial_ms = ms;
+      double slots = 0.0;
+      for (const SessionOutcome& s : result.sessions) {
+        slots += static_cast<double>(s.trace.size());
+      }
+      table.add_row({static_cast<std::int64_t>(sessions),
+                     static_cast<std::int64_t>(threads), ms,
+                     slots / (ms / 1'000.0),
+                     serial_ms > 0.0 ? serial_ms / ms : 1.0,
+                     static_cast<std::int64_t>(result.admission.accepted),
+                     static_cast<std::int64_t>(result.admission.rejected),
+                     result.fleet.quality_fairness,
+                     result.fleet.utilization(),
+                     static_cast<std::int64_t>(result.fleet.divergent_sessions)});
+    }
+  }
+
+  bench::print_table("serving scale: sessions x threads, " +
+                         std::to_string(kSteps) + " slots",
+                     table);
+  std::printf(
+      "\nNote: speedup_vs_1t compares against the serial run at the same\n"
+      "fleet size; gains require free hardware cores (this machine has %u).\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

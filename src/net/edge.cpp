@@ -1,117 +1,57 @@
 #include "net/edge.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
-#include "queueing/queue.hpp"
+#include "serving/session_manager.hpp"
 
 namespace arvis {
 
-double jain_fairness_index(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
-  double sum = 0.0, sum_sq = 0.0;
-  for (double v : values) {
-    sum += v;
-    sum_sq += v * v;
-  }
-  if (sum_sq <= 0.0) return 0.0;
-  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
-}
-
+// The edge scenario predates the serving runtime and survives as its
+// simplest special case: every device is a session arriving at slot 0 and
+// staying to the end, admission disabled, serial execution. The SharePolicy
+// enum maps onto the pluggable scheduler policies.
 EdgeResult run_edge_scenario(const EdgeConfig& config,
                              const std::vector<const FrameStatsCache*>& caches,
                              ChannelModel& shared_channel) {
-  const std::size_t n = caches.size();
-  if (n == 0) {
+  if (caches.empty()) {
     throw std::invalid_argument("run_edge_scenario: need >= 1 device");
   }
-  if (config.steps == 0) {
-    throw std::invalid_argument("run_edge_scenario: steps must be > 0");
-  }
+
+  ServingConfig serving;
+  serving.steps = config.steps;
+  serving.candidates = config.candidates;
+  serving.v = config.v;
+  serving.policy = config.share == SharePolicy::kWorkConserving
+                       ? SchedulerPolicy::kWorkConserving
+                       : SchedulerPolicy::kEqualShare;
+  serving.admission.enabled = false;
+  serving.threads = 1;
+
+  std::vector<SessionSpec> specs;
+  specs.reserve(caches.size());
   for (const FrameStatsCache* cache : caches) {
-    if (cache == nullptr) {
-      throw std::invalid_argument("run_edge_scenario: null cache");
-    }
-    for (int d : config.candidates) {
-      if (d < 1 || d > cache->octree_depth()) {
-        throw std::invalid_argument(
-            "run_edge_scenario: candidate outside cache range");
-      }
-    }
+    SessionSpec spec;
+    spec.cache = cache;
+    specs.push_back(spec);
   }
 
-  std::vector<LyapunovDepthController> controllers(n,
-                                                   LyapunovDepthController(config.v));
-  std::vector<DiscreteQueue> queues(n);
+  ServingResult served = run_serving_scenario(serving, specs, shared_channel);
+
   EdgeResult result;
-  result.device_traces.resize(n);
-  for (auto& trace : result.device_traces) trace.reserve(config.steps);
-
-  std::vector<double> arrivals(n);
-  std::vector<double> shares(n);
-  for (std::size_t t = 0; t < config.steps; ++t) {
-    // Phase 1: every device decides from purely local state.
-    std::vector<StepRecord> records(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const FrameWorkload& frame = caches[i]->workload(t);
-      const ByteWorkload workload(frame.bytes_at_depth);
-      const LogPointQuality quality(frame.points_at_depth);
-      DepthContext context;
-      context.queue_backlog = queues[i].backlog();
-      context.quality = &quality;
-      context.workload = &workload;
-
-      records[i].t = t;
-      records[i].backlog_begin = queues[i].backlog();
-      records[i].depth = controllers[i].decide(config.candidates, context);
-      records[i].arrivals = workload.arrivals(records[i].depth);
-      records[i].quality = quality.quality(records[i].depth);
-      arrivals[i] = records[i].arrivals;
-    }
-
-    // Phase 2: the link divides this slot's capacity.
-    const double capacity = shared_channel.next_capacity_bytes();
-    const double equal_share = capacity / static_cast<double>(n);
-    std::fill(shares.begin(), shares.end(), equal_share);
-    if (config.share == SharePolicy::kWorkConserving) {
-      // Devices whose (backlog + arrivals) is below their share donate the
-      // surplus to the backlogged pool, split evenly among the rest. One
-      // redistribution round suffices for the experiments' regimes.
-      double surplus = 0.0;
-      std::size_t needy = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double demand = queues[i].backlog() + arrivals[i];
-        if (demand < equal_share) {
-          surplus += equal_share - demand;
-          shares[i] = demand;
-        } else {
-          ++needy;
-        }
-      }
-      if (needy > 0 && surplus > 0.0) {
-        const double bonus = surplus / static_cast<double>(needy);
-        for (std::size_t i = 0; i < n; ++i) {
-          const double demand = queues[i].backlog() + arrivals[i];
-          if (demand >= equal_share) shares[i] += bonus;
-        }
-      }
-    }
-
-    // Phase 3: queues advance.
-    for (std::size_t i = 0; i < n; ++i) {
-      records[i].service = shares[i];
-      records[i].backlog_end = queues[i].step(records[i].arrivals, shares[i]);
-      result.device_traces[i].add(records[i]);
-    }
-  }
-
+  result.device_traces.reserve(served.sessions.size());
   std::vector<double> per_device_quality;
-  per_device_quality.reserve(n);
+  per_device_quality.reserve(served.sessions.size());
   double total_backlog = 0.0;
-  for (const Trace& trace : result.device_traces) {
-    const TraceSummary summary = trace.summarize();
+  for (SessionOutcome& session : served.sessions) {
+    // The serving runtime silently skips sessions too short to summarize;
+    // this scenario's contract (inherited from the seed) is to fail loudly
+    // instead, so re-summarize only then (std::logic_error when steps < 8).
+    const TraceSummary summary =
+        session.has_summary ? session.summary : session.trace.summarize();
     per_device_quality.push_back(summary.time_average_quality);
     total_backlog += summary.time_average_backlog;
+    result.device_traces.push_back(std::move(session.trace));
   }
   result.quality_fairness = jain_fairness_index(per_device_quality);
   result.total_time_average_backlog = total_backlog;

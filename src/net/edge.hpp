@@ -11,6 +11,7 @@
 
 #include "lyapunov/depth_controller.hpp"
 #include "net/channel.hpp"
+#include "serving/metrics.hpp"
 #include "sim/frame_stats_cache.hpp"
 #include "sim/trace.hpp"
 
@@ -46,12 +47,15 @@ struct EdgeResult {
 /// device; devices may share a cache pointer for identical content).
 /// Controllers are created internally (one LyapunovDepthController per
 /// device with the configured V).
+///
+/// This is a thin wrapper over the serving runtime (serving/
+/// session_manager.hpp): all devices arrive at slot 0, never depart,
+/// admission is disabled, and SharePolicy maps onto the pluggable
+/// SchedulerPolicy. New code should use run_serving_scenario directly.
+/// jain_fairness_index also lives with the serving metrics now
+/// (serving/metrics.hpp, re-exported by the include above).
 EdgeResult run_edge_scenario(const EdgeConfig& config,
                              const std::vector<const FrameStatsCache*>& caches,
                              ChannelModel& shared_channel);
-
-/// Jain's fairness index: (Σx)² / (n·Σx²); 1 when all equal, →1/n when one
-/// dominates. Empty or all-zero input returns 0.
-double jain_fairness_index(const std::vector<double>& values);
 
 }  // namespace arvis

@@ -1,0 +1,113 @@
+#include "serving/executor.hpp"
+
+#include <algorithm>
+
+namespace arvis {
+
+ParallelExecutor::ParallelExecutor(std::size_t threads)
+    : threads_(threads == 0
+                   ? std::max<std::size_t>(std::thread::hardware_concurrency(), 1)
+                   : threads) {
+  // The calling thread is worker #0; spawn the rest.
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelExecutor::run_current_job() {
+  // Precondition: caller holds no lock; body_/count_ are set for the live
+  // generation and this thread is counted in completed_ bookkeeping only
+  // per claimed index. Claims happen under the mutex, so a thread can never
+  // wander into a later generation's index space (the caller waits for all
+  // claim loops to drain before resetting state).
+  std::exception_ptr error;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (next_ < count_) {
+    const std::size_t i = next_++;
+    lock.unlock();
+    try {
+      (*body_)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    ++completed_;
+    if (error && !first_error_) first_error_ = error;
+    error = nullptr;
+  }
+  if (completed_ == count_) done_.notify_all();
+}
+
+void ParallelExecutor::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    if (body_ == nullptr) continue;  // woke after the job already drained
+    ++active_workers_;
+    lock.unlock();
+    run_current_job();
+    lock.lock();
+    --active_workers_;
+    done_.notify_all();
+  }
+}
+
+void ParallelExecutor::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (threads_ == 1 || count == 1) {
+    // Same drain-then-rethrow contract as the pooled path: every index
+    // runs, the first exception wins.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_ = 0;
+    completed_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  run_current_job();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock,
+             [&] { return completed_ == count_ && active_workers_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace arvis

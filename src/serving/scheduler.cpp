@@ -1,0 +1,169 @@
+#include "serving/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arvis {
+
+namespace {
+
+/// Water-fills `capacity` over the sessions in `index` (a subset of
+/// `demands`), equal-split seeded and weight-blind: repeatedly grant every
+/// unsatisfied session an equal slice of what remains, capping each at its
+/// demand, until capacity runs out or everyone is satisfied. Adds grants
+/// into `shares` (callers zero-init). Returns the capacity left over once
+/// every demand in the subset is met.
+double water_fill(double capacity, const std::vector<SchedulerDemand>& demands,
+                  const std::vector<std::size_t>& index,
+                  std::vector<double>& shares) {
+  std::vector<std::size_t> unsatisfied(index);
+  while (capacity > 0.0 && !unsatisfied.empty()) {
+    const double slice = capacity / static_cast<double>(unsatisfied.size());
+    std::vector<std::size_t> next;
+    next.reserve(unsatisfied.size());
+    double granted = 0.0;
+    for (std::size_t i : unsatisfied) {
+      const double want = demands[i].total() - shares[i];
+      if (want <= slice) {
+        shares[i] += want;
+        granted += want;
+      } else {
+        shares[i] += slice;
+        granted += slice;
+        next.push_back(i);
+      }
+    }
+    capacity -= granted;
+    // No one was capped this round: everyone took a full slice, so the
+    // remaining capacity is (numerically) zero and further rounds would
+    // only chase rounding error.
+    if (next.size() == unsatisfied.size()) break;
+    unsatisfied = std::move(next);
+  }
+  return std::max(capacity, 0.0);
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> index(n);
+  for (std::size_t i = 0; i < n; ++i) index[i] = i;
+  return index;
+}
+
+}  // namespace
+
+void EqualShareScheduler::allocate(double capacity,
+                                   const std::vector<SchedulerDemand>& demands,
+                                   std::vector<double>& shares) {
+  const std::size_t n = demands.size();
+  shares.assign(n, n == 0 ? 0.0 : capacity / static_cast<double>(n));
+}
+
+void WorkConservingScheduler::allocate(
+    double capacity, const std::vector<SchedulerDemand>& demands,
+    std::vector<double>& shares) {
+  const std::size_t n = demands.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+  const double leftover = water_fill(capacity, demands, all_indices(n), shares);
+  // All demands met with capacity to spare: hand the excess back out
+  // equally so an idle fleet still sees the full pipe (it will be wasted
+  // by the queues, but the allocation itself stays work-conserving and
+  // matches the seed's "equal split" baseline when nobody is backlogged).
+  if (leftover > 0.0) {
+    const double bonus = leftover / static_cast<double>(n);
+    for (double& s : shares) s += bonus;
+  }
+}
+
+void ProportionalFairScheduler::allocate(
+    double capacity, const std::vector<SchedulerDemand>& demands,
+    std::vector<double>& shares) {
+  const std::size_t n = demands.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+
+  std::vector<std::size_t> unsatisfied = all_indices(n);
+  while (capacity > 0.0 && !unsatisfied.empty()) {
+    double mass = 0.0;
+    for (std::size_t i : unsatisfied) {
+      mass += demands[i].weight * (demands[i].total() - shares[i]);
+    }
+    if (mass <= 0.0) {
+      // Only zero-weight (or zero-demand) sessions remain: proportional
+      // offers would starve them forever, so the surplus-redistribution
+      // contract falls back to plain water-filling.
+      water_fill(capacity, demands, unsatisfied, shares);
+      break;
+    }
+    std::vector<std::size_t> next;
+    next.reserve(unsatisfied.size());
+    double granted = 0.0;
+    bool capped = false;
+    for (std::size_t i : unsatisfied) {
+      const double want = demands[i].total() - shares[i];
+      const double offer = capacity * demands[i].weight * want / mass;
+      if (want <= offer) {
+        shares[i] += want;
+        granted += want;
+        capped = true;
+      } else {
+        shares[i] += offer;
+        granted += offer;
+        next.push_back(i);
+      }
+    }
+    capacity -= granted;
+    if (!capped) break;  // everyone took exactly their proportional offer
+    unsatisfied = std::move(next);
+  }
+}
+
+void WeightedPriorityScheduler::allocate(
+    double capacity, const std::vector<SchedulerDemand>& demands,
+    std::vector<double>& shares) {
+  const std::size_t n = demands.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+
+  // Distinct weights, descending.
+  std::vector<double> tiers;
+  tiers.reserve(n);
+  for (const SchedulerDemand& d : demands) tiers.push_back(d.weight);
+  std::sort(tiers.begin(), tiers.end(), std::greater<>());
+  tiers.erase(std::unique(tiers.begin(), tiers.end()), tiers.end());
+
+  for (double w : tiers) {
+    if (capacity <= 0.0) break;
+    std::vector<std::size_t> tier;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (demands[i].weight == w) tier.push_back(i);
+    }
+    capacity = water_fill(capacity, demands, tier, shares);
+  }
+}
+
+const char* to_string(SchedulerPolicy policy) noexcept {
+  switch (policy) {
+    case SchedulerPolicy::kEqualShare: return "equal-share";
+    case SchedulerPolicy::kWorkConserving: return "work-conserving";
+    case SchedulerPolicy::kProportionalFair: return "proportional-fair";
+    case SchedulerPolicy::kWeightedPriority: return "weighted-priority";
+  }
+  return "?";
+}
+
+std::unique_ptr<EdgeScheduler> make_scheduler(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kEqualShare:
+      return std::make_unique<EqualShareScheduler>();
+    case SchedulerPolicy::kWorkConserving:
+      return std::make_unique<WorkConservingScheduler>();
+    case SchedulerPolicy::kProportionalFair:
+      return std::make_unique<ProportionalFairScheduler>();
+    case SchedulerPolicy::kWeightedPriority:
+      return std::make_unique<WeightedPriorityScheduler>();
+  }
+  throw std::invalid_argument("make_scheduler: unknown policy");
+}
+
+}  // namespace arvis

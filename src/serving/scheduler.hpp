@@ -1,0 +1,106 @@
+// Per-slot link capacity allocation among concurrent serving sessions.
+//
+// The seed's edge scenario hardcoded two share policies in run_edge_scenario;
+// the serving runtime needs them pluggable (the policy is the one piece of
+// the edge that is centralized — devices stay fully distributed, the link
+// merely divides its own capacity). All policies are stateless per slot and
+// must uphold two invariants, checked by tests:
+//   * shares[i] >= 0 for all i,
+//   * sum(shares) <= capacity (+ float slack).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace arvis {
+
+/// One session's demand as seen by the scheduler in one slot.
+struct SchedulerDemand {
+  /// Queue backlog Q(t) at slot start (bytes).
+  double backlog = 0.0;
+  /// Bytes enqueued this slot, a(d(t)).
+  double arrivals = 0.0;
+  /// Relative priority (>= 0; only weighted policies look at it).
+  double weight = 1.0;
+
+  /// Most the session could drain this slot.
+  [[nodiscard]] double total() const noexcept { return backlog + arrivals; }
+};
+
+/// Interface: divides one slot's link capacity among sessions.
+class EdgeScheduler {
+ public:
+  virtual ~EdgeScheduler() = default;
+
+  /// Writes shares[i] = bytes granted to session i (resizes `shares`).
+  /// `capacity` >= 0. Implementations never allocate more than `capacity`
+  /// in total; whether capacity beyond a session's demand is wasted or
+  /// redistributed is the policy's defining choice.
+  virtual void allocate(double capacity,
+                        const std::vector<SchedulerDemand>& demands,
+                        std::vector<double>& shares) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// capacity / N to every session regardless of demand; unused share wasted
+/// (TDMA-like). The seed's SharePolicy::kEqual.
+class EqualShareScheduler final : public EdgeScheduler {
+ public:
+  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+                std::vector<double>& shares) override;
+  [[nodiscard]] std::string name() const override { return "equal-share"; }
+};
+
+/// Equal split, but shares unused by under-demanding sessions are
+/// redistributed to backlogged ones (iterated to a fixpoint, i.e. full
+/// water-filling — the seed ran a single redistribution round). Work
+/// conserving: while any session's demand is unmet, no capacity is wasted.
+class WorkConservingScheduler final : public EdgeScheduler {
+ public:
+  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+                std::vector<double>& shares) override;
+  [[nodiscard]] std::string name() const override { return "work-conserving"; }
+};
+
+/// Shares proportional to weight * demand, capped at demand, with the
+/// surplus re-divided among still-unsatisfied sessions (iterated). Sessions
+/// with larger queues drain proportionally faster, which equalizes sojourn
+/// times across heterogeneous content.
+class ProportionalFairScheduler final : public EdgeScheduler {
+ public:
+  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+                std::vector<double>& shares) override;
+  [[nodiscard]] std::string name() const override {
+    return "proportional-fair";
+  }
+};
+
+/// Strict priority tiers by descending weight: each tier water-fills the
+/// remaining capacity before any lower tier sees a byte. Within a tier,
+/// equal-split water-filling. Starvation of low tiers under overload is the
+/// intended behaviour (premium sessions).
+class WeightedPriorityScheduler final : public EdgeScheduler {
+ public:
+  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+                std::vector<double>& shares) override;
+  [[nodiscard]] std::string name() const override {
+    return "weighted-priority";
+  }
+};
+
+/// The pluggable policies by name (for configs and benches).
+enum class SchedulerPolicy {
+  kEqualShare,
+  kWorkConserving,
+  kProportionalFair,
+  kWeightedPriority,
+};
+
+const char* to_string(SchedulerPolicy policy) noexcept;
+
+std::unique_ptr<EdgeScheduler> make_scheduler(SchedulerPolicy policy);
+
+}  // namespace arvis

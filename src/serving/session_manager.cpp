@@ -1,0 +1,254 @@
+#include "serving/session_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arvis {
+
+namespace {
+enum class SessionState { kPending, kActive, kClosed };
+}  // namespace
+
+struct SessionManager::Session {
+  Session(std::size_t id_in, const SessionSpec& spec_in, double v)
+      : id(id_in),
+        spec(spec_in),
+        controller(v),
+        // Mix the session id into the stream so sessions sharing a spec
+        // seed (e.g. the default 0) still draw independent randomness.
+        rng(Rng(spec_in.seed ^
+                (0x9E3779B97F4A7C15ULL * (id_in + 1)))
+                .split()),
+        arrival_actual(spec_in.arrival_slot) {}
+
+  std::size_t id;
+  SessionSpec spec;
+  LyapunovDepthController controller;
+  DiscreteQueue queue;
+  Trace trace;
+  /// Private stream derived from the spec seed; reserved for stochastic
+  /// controllers/arrival jitter so adding them later cannot perturb any
+  /// other session's stream.
+  Rng rng;
+  SessionState state = SessionState::kPending;
+  bool admitted = false;
+  int max_sustainable_depth = 0;
+  double cheapest_load = 0.0;
+  /// Slot the session actually became active (== spec.arrival_slot unless
+  /// submitted after that slot had passed, in which case it arrives at the
+  /// submission-time slot); session-local frame time counts from here.
+  std::size_t arrival_actual = 0;
+  std::size_t departure_actual = 0;
+  /// Scratch for the current slot's decide phase (written by exactly one
+  /// executor worker — the one that owns this session's index).
+  StepRecord record;
+};
+
+SessionManager::SessionManager(const ServingConfig& config,
+                               double mean_capacity_bytes)
+    : config_(config),
+      admission_(config.admission, mean_capacity_bytes),
+      scheduler_(make_scheduler(config.policy)),
+      executor_(config.threads) {
+  if (config_.steps == 0) {
+    throw std::invalid_argument("SessionManager: steps must be > 0");
+  }
+  if (config_.candidates.empty()) {
+    throw std::invalid_argument("SessionManager: empty candidate set");
+  }
+}
+
+SessionManager::~SessionManager() = default;
+
+std::size_t SessionManager::submit(const SessionSpec& spec) {
+  if (finished_) {
+    throw std::logic_error("SessionManager::submit: already finished");
+  }
+  if (spec.cache == nullptr) {
+    throw std::invalid_argument("SessionManager::submit: null cache");
+  }
+  for (int d : config_.candidates) {
+    if (d < 1 || d > spec.cache->octree_depth()) {
+      throw std::invalid_argument(
+          "SessionManager::submit: candidate outside cache range");
+    }
+  }
+  if (spec.departure_slot <= spec.arrival_slot) {
+    throw std::invalid_argument(
+        "SessionManager::submit: departure must be after arrival");
+  }
+  // A spec submitted between steps may declare an arrival in the past (it
+  // simply arrives now), but a window that has entirely elapsed can never
+  // stream a slot inside its declared lifetime.
+  if (spec.departure_slot <= slot_) {
+    throw std::invalid_argument(
+        "SessionManager::submit: departure slot already elapsed");
+  }
+  if (spec.weight < 0.0) {
+    throw std::invalid_argument("SessionManager::submit: negative weight");
+  }
+  sessions_.push_back(
+      std::make_unique<Session>(sessions_.size(), spec, config_.v));
+  return sessions_.back()->id;
+}
+
+void SessionManager::close_departures() {
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [&](Session* s) {
+                                 if (s->spec.departure_slot > slot_) {
+                                   return false;
+                                 }
+                                 s->state = SessionState::kClosed;
+                                 s->departure_actual = slot_;
+                                 admission_.release(s->cheapest_load);
+                                 return true;
+                               }),
+                active_.end());
+}
+
+void SessionManager::admit_arrivals() {
+  for (const auto& session : sessions_) {
+    Session& s = *session;
+    if (s.state != SessionState::kPending || s.spec.arrival_slot > slot_) {
+      continue;
+    }
+    const AdmissionDecision decision =
+        admission_.try_admit(*s.spec.cache, config_.candidates);
+    s.admitted = decision.admitted;
+    s.cheapest_load = decision.cheapest_load;
+    s.max_sustainable_depth = decision.max_sustainable_depth;
+    s.arrival_actual = slot_;
+    if (decision.admitted) {
+      s.state = SessionState::kActive;
+      active_.push_back(&s);
+    } else {
+      s.state = SessionState::kClosed;
+      s.departure_actual = slot_;
+    }
+  }
+}
+
+void SessionManager::step(double capacity_bytes) {
+  if (finished_) {
+    throw std::logic_error("SessionManager::step: already finished");
+  }
+  // Departures first so a same-slot arrival sees the freed reservation.
+  close_departures();
+  admit_arrivals();
+
+  const std::size_t n = active_.size();
+  // Decide phase: purely session-local state, fanned out over the executor.
+  executor_.parallel_for(n, [&](std::size_t i) {
+    Session& s = *active_[i];
+    const std::size_t local_t = slot_ - s.arrival_actual;
+    const FrameWorkload& frame = s.spec.cache->workload(local_t);
+    const ByteWorkload workload(frame.bytes_at_depth);
+    const LogPointQuality quality(frame.points_at_depth);
+    DepthContext context;
+    context.queue_backlog = s.queue.backlog();
+    context.quality = &quality;
+    context.workload = &workload;
+
+    s.record = StepRecord{};
+    s.record.t = slot_;
+    s.record.backlog_begin = s.queue.backlog();
+    s.record.depth = s.controller.decide(config_.candidates, context);
+    s.record.arrivals = workload.arrivals(s.record.depth);
+    s.record.quality = quality.quality(s.record.depth);
+  });
+
+  // Schedule phase: the one centralized act — the link divides its own
+  // capacity. Sessions never see each other's state.
+  demands_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Session& s = *active_[i];
+    demands_[i].backlog = s.queue.backlog();
+    demands_[i].arrivals = s.record.arrivals;
+    demands_[i].weight = s.spec.weight;
+  }
+  scheduler_->allocate(capacity_bytes, demands_, shares_);
+
+  // Drain phase.
+  double used = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Session& s = *active_[i];
+    used += std::min(shares_[i], demands_[i].total());
+    s.record.service = shares_[i];
+    s.record.backlog_end = s.queue.step(s.record.arrivals, shares_[i]);
+    s.trace.add(s.record);
+  }
+  metrics_.record_slot(capacity_bytes, used, n);
+  ++slot_;
+}
+
+std::size_t SessionManager::active_count() const noexcept {
+  return active_.size();
+}
+
+const AdmissionStats& SessionManager::admission_stats() const noexcept {
+  return admission_.stats();
+}
+
+ServingResult SessionManager::finish() {
+  if (finished_) {
+    throw std::logic_error("SessionManager::finish: already finished");
+  }
+  finished_ = true;
+  for (Session* s : active_) {
+    s->state = SessionState::kClosed;
+    s->departure_actual = slot_;
+    admission_.release(s->cheapest_load);
+  }
+  active_.clear();
+
+  ServingResult result;
+  result.admission = admission_.stats();
+  result.sessions.reserve(sessions_.size());
+  for (auto& session : sessions_) {
+    Session& s = *session;
+    // A session whose arrival slot was never reached is reported as not
+    // admitted with an empty window (admission never saw it).
+    if (s.state == SessionState::kPending) s.departure_actual = s.arrival_actual;
+
+    SessionMetrics metrics;
+    metrics.session_id = s.id;
+    metrics.arrived = s.state != SessionState::kPending;
+    metrics.admitted = s.admitted;
+    metrics.arrival_slot = s.arrival_actual;
+    metrics.departure_slot = s.departure_actual;
+    metrics.weight = s.spec.weight;
+    if (s.admitted && s.trace.size() >= 8) {
+      metrics.has_summary = true;
+      metrics.summary = s.trace.summarize();
+    }
+    metrics_.record_session(metrics);
+
+    SessionOutcome outcome;
+    outcome.id = s.id;
+    outcome.admitted = s.admitted;
+    outcome.arrival_slot = s.arrival_actual;
+    outcome.departure_slot = s.departure_actual;
+    outcome.weight = s.spec.weight;
+    outcome.max_sustainable_depth = s.max_sustainable_depth;
+    outcome.has_summary = metrics.has_summary;
+    outcome.summary = metrics.summary;
+    outcome.trace = std::move(s.trace);
+    result.sessions.push_back(std::move(outcome));
+  }
+  result.fleet = metrics_.fleet();
+  result.session_table = metrics_.session_table();
+  return result;
+}
+
+ServingResult run_serving_scenario(const ServingConfig& config,
+                                   const std::vector<SessionSpec>& specs,
+                                   ChannelModel& channel) {
+  SessionManager manager(config, channel.mean_capacity_bytes());
+  for (const SessionSpec& spec : specs) manager.submit(spec);
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    manager.step(channel.next_capacity_bytes());
+  }
+  return manager.finish();
+}
+
+}  // namespace arvis

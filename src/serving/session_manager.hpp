@@ -1,0 +1,161 @@
+// The multi-session edge serving runtime.
+//
+// Owns the session lifecycle the seed's per-bench loops could not express:
+// sessions arrive mid-run (through admission control), stream for a window,
+// and depart, while a pluggable scheduler divides each slot's link capacity
+// and every session's depth decisions stay purely local (the paper's
+// distributed-operation claim survives intact — the only centralized pieces
+// are the link dividing its own capacity and the edge refusing sessions that
+// cannot fit its stability region).
+//
+// Slot loop (SessionManager::step):
+//   1. close this slot's departures, then admit its arrivals (so a
+//      same-slot arrival sees the freed link reservation);
+//   2. decide: every active session runs its own controller on local state
+//      (fanned out across the executor — sessions are independent, so the
+//      result is bit-identical for any thread count);
+//   3. schedule: the EdgeScheduler divides the slot's capacity;
+//   4. drain: queues advance, per-session traces and fleet metrics record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lyapunov/depth_controller.hpp"
+#include "net/channel.hpp"
+#include "queueing/queue.hpp"
+#include "serving/admission.hpp"
+#include "serving/executor.hpp"
+#include "serving/metrics.hpp"
+#include "serving/scheduler.hpp"
+#include "sim/frame_stats_cache.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// A session's lifetime is [arrival_slot, departure_slot); this sentinel
+/// means "stays until the run ends".
+inline constexpr std::size_t kNeverDeparts =
+    std::numeric_limits<std::size_t>::max();
+
+/// One streaming client as submitted to the server.
+struct SessionSpec {
+  /// Frame statistics of the content this session streams (non-null;
+  /// sessions may share a cache).
+  const FrameStatsCache* cache = nullptr;
+  std::size_t arrival_slot = 0;
+  std::size_t departure_slot = kNeverDeparts;
+  /// Scheduler priority (>= 0; weighted policies only).
+  double weight = 1.0;
+  /// Seed of this session's private RNG stream (split per session so runs
+  /// are reproducible regardless of arrival order or thread count).
+  std::uint64_t seed = 0;
+};
+
+struct ServingConfig {
+  std::size_t steps = 800;
+  std::vector<int> candidates{5, 6, 7, 8, 9, 10};
+  SchedulerPolicy policy = SchedulerPolicy::kWorkConserving;
+  /// Tradeoff knob V of every session's Lyapunov controller (byte domain —
+  /// calibrate with calibrate_streaming_v).
+  double v = 0.0;
+  AdmissionConfig admission;
+  /// Executor width for the decide phase; 1 = serial, 0 = all cores.
+  std::size_t threads = 1;
+};
+
+/// One session's run record.
+struct SessionOutcome {
+  std::size_t id = 0;
+  bool admitted = false;
+  /// Slot the session actually became active. Equals the spec's
+  /// arrival_slot unless the spec was submitted between steps with an
+  /// already-elapsed arrival, in which case it arrived at submission time.
+  std::size_t arrival_slot = 0;
+  /// Actual last-active bound (run end for sessions that never departed).
+  std::size_t departure_slot = 0;
+  double weight = 1.0;
+  /// Depth headroom the admission controller saw at arrival.
+  int max_sustainable_depth = 0;
+  /// True when `summary` is populated (admitted, active >= 8 slots);
+  /// computed once at finish() so consumers need not re-summarize.
+  bool has_summary = false;
+  TraceSummary summary;
+  /// Per-slot record over the active window (empty when rejected).
+  Trace trace;
+};
+
+struct ServingResult {
+  std::vector<SessionOutcome> sessions;  // in submission order
+  AdmissionStats admission;
+  FleetMetrics fleet;
+  /// Per-session report table (ServerMetrics::session_table()).
+  CsvTable session_table = CsvTable({"session"});
+};
+
+/// The serving runtime. Submit sessions up front (or between steps), then
+/// drive it one slot at a time; finish() closes the books. Not thread-safe —
+/// one manager per run; the parallelism is inside step().
+class SessionManager {
+ public:
+  /// `mean_capacity_bytes` calibrates admission (ChannelModel::
+  /// mean_capacity_bytes() of the link the run will use). Throws
+  /// std::invalid_argument on an empty candidate set, steps == 0, or a bad
+  /// admission config.
+  SessionManager(const ServingConfig& config, double mean_capacity_bytes);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a session; it stays pending until its arrival slot, when
+  /// admission decides. Returns the session id (submission index). Throws
+  /// std::invalid_argument on a null cache, a candidate outside the cache's
+  /// depth range, or departure <= arrival.
+  std::size_t submit(const SessionSpec& spec);
+
+  /// Advances one slot, consuming `capacity_bytes` of link capacity.
+  void step(double capacity_bytes);
+
+  /// Slots elapsed.
+  [[nodiscard]] std::size_t slot() const noexcept { return slot_; }
+  /// Sessions currently streaming.
+  [[nodiscard]] std::size_t active_count() const noexcept;
+  [[nodiscard]] const AdmissionStats& admission_stats() const noexcept;
+
+  /// Closes every still-active session at the current slot and returns the
+  /// full result. The manager is spent afterwards (submit/step throw).
+  ServingResult finish();
+
+ private:
+  struct Session;
+
+  void admit_arrivals();
+  void close_departures();
+
+  ServingConfig config_;
+  AdmissionController admission_;
+  std::unique_ptr<EdgeScheduler> scheduler_;
+  ParallelExecutor executor_;
+  std::vector<std::unique_ptr<Session>> sessions_;  // submission order
+  std::vector<Session*> active_;                    // admission order
+  ServerMetrics metrics_;
+  std::size_t slot_ = 0;
+  bool finished_ = false;
+  // Scratch reused across slots.
+  std::vector<SchedulerDemand> demands_;
+  std::vector<double> shares_;
+};
+
+/// Convenience one-shot: submits `specs`, steps `config.steps` slots drawing
+/// capacity from `channel`, and finishes. The usual entry point for benches
+/// and the edge wrapper.
+ServingResult run_serving_scenario(const ServingConfig& config,
+                                   const std::vector<SessionSpec>& specs,
+                                   ChannelModel& channel);
+
+}  // namespace arvis

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "serving/executor.hpp"
+
 namespace arvis {
 
 MetricEstimate estimate_metric(const std::vector<double>& samples) {
@@ -23,10 +25,21 @@ MetricEstimate estimate_metric(const std::vector<double>& samples) {
 
 ReplicationSummary replicate(
     std::size_t replicates,
-    const std::function<Trace(std::uint64_t seed)>& factory) {
+    const std::function<Trace(std::uint64_t seed)>& factory,
+    std::size_t threads) {
   if (replicates < 2) {
     throw std::invalid_argument("replicate: need >= 2 replicates");
   }
+  // Fan the independent seeds out, each summarizing into its own slot (the
+  // full traces would be O(replicates x steps) memory); the reduction below
+  // then runs serially in seed order, so the result does not depend on the
+  // thread count (bit-identical to a serial run).
+  std::vector<TraceSummary> summaries(replicates);
+  ParallelExecutor executor(threads);
+  executor.parallel_for(replicates, [&](std::size_t seed) {
+    summaries[seed] = factory(static_cast<std::uint64_t>(seed)).summarize();
+  });
+
   std::vector<double> quality, backlog, depth;
   quality.reserve(replicates);
   backlog.reserve(replicates);
@@ -35,8 +48,7 @@ ReplicationSummary replicate(
   ReplicationSummary summary;
   summary.replicates = replicates;
   for (std::uint64_t seed = 0; seed < replicates; ++seed) {
-    const Trace trace = factory(seed);
-    const TraceSummary s = trace.summarize();
+    const TraceSummary& s = summaries[seed];
     quality.push_back(s.time_average_quality);
     backlog.push_back(s.time_average_backlog);
     depth.push_back(s.mean_depth);

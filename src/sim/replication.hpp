@@ -4,6 +4,7 @@
 // mislead under jittered service or Markov channels.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "common/stats.hpp"
@@ -33,9 +34,16 @@ struct ReplicationSummary {
 /// Runs `factory(seed)` for seeds 0..replicates-1; the factory builds and
 /// runs one experiment and returns its trace. Preconditions: replicates >= 2
 /// (throws std::invalid_argument).
+///
+/// `threads` > 1 fans the seeds out across a ParallelExecutor; the factory
+/// must then be safe to call concurrently (capture only const or per-call
+/// state — every seed builds its own experiment). Traces land in seed order
+/// and are aggregated serially, so the summary is bit-identical to
+/// threads == 1. 0 = all hardware cores.
 ReplicationSummary replicate(
     std::size_t replicates,
-    const std::function<Trace(std::uint64_t seed)>& factory);
+    const std::function<Trace(std::uint64_t seed)>& factory,
+    std::size_t threads = 1);
 
 /// Computes an estimate from raw samples (exposed for tests and custom
 /// metrics). Precondition: samples.size() >= 2.

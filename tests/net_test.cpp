@@ -132,7 +132,10 @@ TEST(JainFairnessTest, KnownValues) {
   EXPECT_DOUBLE_EQ(jain_fairness_index({1, 1, 1, 1}), 1.0);
   EXPECT_NEAR(jain_fairness_index({1, 0, 0, 0}), 0.25, 1e-12);
   EXPECT_DOUBLE_EQ(jain_fairness_index({}), 0.0);
-  EXPECT_DOUBLE_EQ(jain_fairness_index({0, 0}), 0.0);
+  // All-equal input is perfectly fair even when the equal value is zero
+  // (an idle fleet favours nobody); serving_test covers the rest of the
+  // degenerate cases at the index's new home in serving/metrics.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0, 0}), 1.0);
 }
 
 TEST(EdgeScenarioTest, IdenticalDevicesAreFair) {
@@ -210,6 +213,12 @@ TEST(EdgeScenarioTest, Validation) {
   config.candidates = {99};
   EXPECT_THROW(run_edge_scenario(config, {&cache}, channel),
                std::invalid_argument);
+  // Too short to summarize fails loudly, not with silent zero metrics.
+  config = EdgeConfig{};
+  config.candidates = {3, 4, 5};
+  config.steps = 5;
+  EXPECT_THROW(run_edge_scenario(config, {&cache}, channel),
+               std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,511 @@
+// Tests for the multi-session edge serving runtime: scheduler policy
+// invariants, admission boundaries, session churn bookkeeping, and the
+// determinism contract of the parallel executor (parallel == serial,
+// bit for bit).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "datasets/catalog.hpp"
+#include "net/channel.hpp"
+#include "net/streaming.hpp"
+#include "serving/admission.hpp"
+#include "serving/executor.hpp"
+#include "serving/metrics.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/session_manager.hpp"
+#include "sim/replication.hpp"
+
+namespace arvis {
+namespace {
+
+const FrameStatsCache& shared_cache() {
+  static const FrameStatsCache cache(*open_test_subject(71), 8, 8);
+  return cache;
+}
+
+double cheapest_load(const std::vector<int>& candidates) {
+  return AdmissionController::cheapest_depth_load(shared_cache(), candidates);
+}
+
+// ------------------------------------------------------------ Fairness ----
+
+TEST(ServingMetricsTest, JainDegenerateCases) {
+  // The new home of jain_fairness_index fixes the all-equal degenerate
+  // cases: any constant fleet is perfectly fair, zero included.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({7.5, 7.5}), 1.0);
+  EXPECT_NEAR(jain_fairness_index({1, 0, 0, 0}), 0.25, 1e-12);
+  // n-1 equal plus one dominant lands strictly between 1/n and 1.
+  const double mixed = jain_fairness_index({10, 1, 1, 1});
+  EXPECT_GT(mixed, 0.25);
+  EXPECT_LT(mixed, 1.0);
+}
+
+// ---------------------------------------------------------- Schedulers ----
+
+std::vector<SchedulerDemand> random_demands(Rng& rng, std::size_t n) {
+  std::vector<SchedulerDemand> demands(n);
+  for (SchedulerDemand& d : demands) {
+    d.backlog = rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 5'000.0);
+    d.arrivals = rng.uniform(0.0, 1'000.0);
+    d.weight = rng.bernoulli(0.5) ? 1.0 : rng.uniform(0.5, 4.0);
+  }
+  return demands;
+}
+
+TEST(SchedulerTest, AllPoliciesConserveCapacity) {
+  Rng rng(7);
+  std::vector<double> shares;
+  for (SchedulerPolicy policy :
+       {SchedulerPolicy::kEqualShare, SchedulerPolicy::kWorkConserving,
+        SchedulerPolicy::kProportionalFair,
+        SchedulerPolicy::kWeightedPriority}) {
+    auto scheduler = make_scheduler(policy);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t n = 1 + static_cast<std::size_t>(rng.below(12));
+      const auto demands = random_demands(rng, n);
+      const double capacity = rng.uniform(0.0, 20'000.0);
+      scheduler->allocate(capacity, demands, shares);
+      ASSERT_EQ(shares.size(), n) << scheduler->name();
+      double total = 0.0;
+      for (double s : shares) {
+        EXPECT_GE(s, 0.0) << scheduler->name();
+        total += s;
+      }
+      EXPECT_LE(total, capacity * (1.0 + 1e-9) + 1e-9) << scheduler->name();
+    }
+  }
+}
+
+TEST(SchedulerTest, WorkConservingNeverWastesWhileBacklogged) {
+  Rng rng(11);
+  WorkConservingScheduler scheduler;
+  std::vector<double> shares;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(12));
+    const auto demands = random_demands(rng, n);
+    const double total_demand = std::accumulate(
+        demands.begin(), demands.end(), 0.0,
+        [](double acc, const SchedulerDemand& d) { return acc + d.total(); });
+    // Capacity strictly below total demand: some queue stays backlogged, so
+    // a work-conserving allocation must hand out every byte.
+    const double capacity = rng.uniform(0.0, 0.95) * total_demand;
+    scheduler.allocate(capacity, demands, shares);
+    const double allocated = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(allocated, capacity, 1e-6 * std::max(capacity, 1.0));
+    // And nobody is granted beyond their demand while others starve.
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      EXPECT_LE(shares[i], demands[i].total() * (1.0 + 1e-9) + 1e-9);
+    }
+  }
+}
+
+TEST(SchedulerTest, WorkConservingMeetsAllDemandsUnderLightLoad) {
+  WorkConservingScheduler scheduler;
+  std::vector<double> shares;
+  const std::vector<SchedulerDemand> demands{
+      {100.0, 50.0, 1.0}, {0.0, 0.0, 1.0}, {10.0, 5.0, 1.0}};
+  scheduler.allocate(1'000.0, demands, shares);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_GE(shares[i], demands[i].total());
+  }
+  // Full pipe still handed out (excess is wasted by the queues, not here).
+  EXPECT_NEAR(shares[0] + shares[1] + shares[2], 1'000.0, 1e-9);
+}
+
+TEST(SchedulerTest, ProportionalFairSplitsByWeightedDemand) {
+  ProportionalFairScheduler scheduler;
+  std::vector<double> shares;
+  // Overload with equal weights: pure proportional split by demand.
+  scheduler.allocate(200.0, {{100.0, 0.0, 1.0}, {300.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 150.0, 1e-9);
+  // Weight doubles a session's pull.
+  scheduler.allocate(120.0, {{100.0, 0.0, 2.0}, {100.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 80.0, 1e-9);
+  EXPECT_NEAR(shares[1], 40.0, 1e-9);
+  // A capped heavy-weight session's surplus flows to the rest instead of
+  // being wasted.
+  scheduler.allocate(200.0, {{100.0, 0.0, 4.0}, {300.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 100.0, 1e-9);
+  EXPECT_NEAR(shares[1], 100.0, 1e-9);
+  // Light load: everyone gets exactly their demand, never more.
+  scheduler.allocate(1'000.0, {{100.0, 0.0, 1.0}, {300.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 100.0, 1e-9);
+  EXPECT_NEAR(shares[1], 300.0, 1e-9);
+  // A weight-0 session draws no proportional offer but is not starved:
+  // once only zero-weight demand remains, the surplus water-fills it.
+  scheduler.allocate(100.0, {{50.0, 0.0, 0.0}, {10.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 10.0, 1e-9);
+}
+
+TEST(SchedulerTest, WeightedPriorityServesTiersInOrder) {
+  WeightedPriorityScheduler scheduler;
+  std::vector<double> shares;
+  // The weight-2 tier drains fully before the weight-1 tier sees a byte.
+  scheduler.allocate(200.0, {{150.0, 0.0, 2.0}, {150.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 150.0, 1e-9);
+  EXPECT_NEAR(shares[1], 50.0, 1e-9);
+  // Under overload the low tier starves entirely.
+  scheduler.allocate(100.0, {{150.0, 0.0, 2.0}, {150.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 100.0, 1e-9);
+  EXPECT_NEAR(shares[1], 0.0, 1e-9);
+  // Equal weights degenerate to equal-split water-filling.
+  scheduler.allocate(100.0, {{150.0, 0.0, 1.0}, {150.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 50.0, 1e-9);
+}
+
+// ----------------------------------------------------------- Admission ----
+
+TEST(AdmissionTest, AcceptRejectBoundary) {
+  const std::vector<int> candidates{3, 4, 5, 6};
+  const double load = cheapest_load(candidates);
+  ASSERT_GT(load, 0.0);
+
+  // Room for exactly two sessions' cheapest-depth load.
+  AdmissionConfig config;
+  config.utilization_target = 1.0;
+  AdmissionController admission(config, 2.5 * load);
+
+  const auto first = admission.try_admit(shared_cache(), candidates);
+  EXPECT_TRUE(first.admitted);
+  EXPECT_NEAR(first.cheapest_load, load, 1e-9);
+  EXPECT_GE(first.max_sustainable_depth, 3);
+  const auto second = admission.try_admit(shared_cache(), candidates);
+  EXPECT_TRUE(second.admitted);
+  // Third would need 3x the load on a 2.5x link: rejected, and the
+  // stability-region probe reports "not even the cheapest depth".
+  const auto third = admission.try_admit(shared_cache(), candidates);
+  EXPECT_FALSE(third.admitted);
+  EXPECT_EQ(third.max_sustainable_depth, 2);
+
+  EXPECT_EQ(admission.stats().attempts, 3U);
+  EXPECT_EQ(admission.stats().accepted, 2U);
+  EXPECT_EQ(admission.stats().rejected, 1U);
+  EXPECT_NEAR(admission.reserved_load(), 2.0 * load, 1e-9);
+
+  // A departure frees the slot.
+  admission.release(load);
+  EXPECT_TRUE(admission.try_admit(shared_cache(), candidates).admitted);
+}
+
+TEST(AdmissionTest, DisabledAdmitsEverything) {
+  AdmissionConfig config;
+  config.enabled = false;
+  AdmissionController admission(config, 1.0);  // capacity irrelevant
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(admission.try_admit(shared_cache(), {3, 4, 5}).admitted);
+  }
+  EXPECT_EQ(admission.stats().rejected, 0U);
+}
+
+TEST(AdmissionTest, Validation) {
+  AdmissionConfig config;
+  EXPECT_THROW(AdmissionController(config, 0.0), std::invalid_argument);
+  config.utilization_target = 1.5;
+  EXPECT_THROW(AdmissionController(config, 100.0), std::invalid_argument);
+  config.utilization_target = 0.9;
+  AdmissionController admission(config, 1e9);
+  EXPECT_THROW(admission.try_admit(shared_cache(), {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Executor ----
+
+TEST(ParallelExecutorTest, RunsEveryIndexExactlyOnce) {
+  ParallelExecutor executor(4);
+  EXPECT_EQ(executor.threads(), 4U);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  executor.parallel_for(257, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reusable across jobs (the pool persists between calls).
+  executor.parallel_for(257, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+  executor.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelExecutorTest, PropagatesExceptions) {
+  ParallelExecutor executor(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      executor.parallel_for(64,
+                            [&](std::size_t i) {
+                              ++ran;
+                              if (i == 13) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  // The loop drains instead of abandoning indices mid-flight.
+  EXPECT_EQ(ran.load(), 64);
+  // The pool survives a throwing job.
+  executor.parallel_for(8, [](std::size_t) {});
+
+  // The serial (threads == 1) inline path honours the same drain contract,
+  // so the error path is thread-count-invariant too.
+  ParallelExecutor serial(1);
+  ran = 0;
+  EXPECT_THROW(
+      serial.parallel_for(64,
+                          [&](std::size_t i) {
+                            ++ran;
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+// ---------------------------------------------------------------- Churn ----
+
+ServingConfig small_config() {
+  ServingConfig config;
+  config.steps = 120;
+  config.candidates = {3, 4, 5, 6};
+  config.v = calibrate_streaming_v(shared_cache(), config.candidates,
+                                   4.0 * shared_cache().workload(0).bytes(5));
+  config.admission.utilization_target = 1.0;
+  return config;
+}
+
+TEST(SessionManagerTest, ChurnBookkeeping) {
+  ServingConfig config = small_config();
+  const double load = cheapest_load(config.candidates);
+  // Fits two cheapest-depth sessions, not three.
+  ConstantChannel channel(2.5 * load);
+  SessionManager manager(config, channel.mean_capacity_bytes());
+
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  spec.departure_slot = 60;
+  const std::size_t a = manager.submit(spec);  // slots [0, 60)
+  spec.arrival_slot = 20;
+  spec.departure_slot = kNeverDeparts;
+  const std::size_t b = manager.submit(spec);  // slots [20, end)
+  spec.arrival_slot = 30;
+  const std::size_t c = manager.submit(spec);  // rejected: link is full
+  spec.arrival_slot = 80;
+  const std::size_t d = manager.submit(spec);  // admitted: a left at 60
+
+  EXPECT_EQ(manager.active_count(), 0U);
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    manager.step(channel.next_capacity_bytes());
+    if (t < 20) {
+      EXPECT_EQ(manager.active_count(), 1U) << t;
+    } else if (t < 60) {
+      EXPECT_EQ(manager.active_count(), 2U) << t;
+    } else if (t < 80) {
+      EXPECT_EQ(manager.active_count(), 1U) << t;
+    } else {
+      EXPECT_EQ(manager.active_count(), 2U) << t;
+    }
+  }
+
+  const ServingResult result = manager.finish();
+  ASSERT_EQ(result.sessions.size(), 4U);
+  EXPECT_TRUE(result.sessions[a].admitted);
+  EXPECT_EQ(result.sessions[a].trace.size(), 60U);
+  EXPECT_EQ(result.sessions[a].departure_slot, 60U);
+  EXPECT_TRUE(result.sessions[b].admitted);
+  EXPECT_EQ(result.sessions[b].trace.size(), 100U);
+  EXPECT_EQ(result.sessions[b].departure_slot, 120U);
+  EXPECT_FALSE(result.sessions[c].admitted);
+  EXPECT_EQ(result.sessions[c].trace.size(), 0U);
+  EXPECT_TRUE(result.sessions[d].admitted);
+  EXPECT_EQ(result.sessions[d].trace.size(), 40U);
+
+  EXPECT_EQ(result.admission.attempts, 4U);
+  EXPECT_EQ(result.admission.accepted, 3U);
+  EXPECT_EQ(result.admission.rejected, 1U);
+  EXPECT_EQ(result.fleet.sessions_admitted, 3U);
+  EXPECT_EQ(result.fleet.sessions_rejected, 1U);
+  EXPECT_EQ(result.fleet.peak_concurrency, 2U);
+  EXPECT_EQ(result.session_table.row_count(), 4U);
+
+  EXPECT_THROW(manager.step(1.0), std::logic_error);
+  EXPECT_THROW(manager.submit(spec), std::logic_error);
+}
+
+TEST(SessionManagerTest, Validation) {
+  ServingConfig config = small_config();
+  SessionManager manager(config, 1e6);
+  SessionSpec spec;
+  EXPECT_THROW(manager.submit(spec), std::invalid_argument);  // null cache
+  spec.cache = &shared_cache();
+  spec.arrival_slot = 10;
+  spec.departure_slot = 10;
+  EXPECT_THROW(manager.submit(spec), std::invalid_argument);
+  spec.departure_slot = 11;
+  spec.weight = -1.0;
+  EXPECT_THROW(manager.submit(spec), std::invalid_argument);
+
+  // A window that fully elapsed before submission can never stream a slot
+  // inside its declared lifetime.
+  SessionSpec elapsed;
+  elapsed.cache = &shared_cache();
+  elapsed.departure_slot = 3;
+  for (int t = 0; t < 5; ++t) manager.step(1e6);
+  EXPECT_THROW(manager.submit(elapsed), std::invalid_argument);
+  // An elapsed *arrival* with a live departure is fine: it arrives now.
+  elapsed.departure_slot = 100;
+  EXPECT_NO_THROW(manager.submit(elapsed));
+
+  ServingConfig bad = config;
+  bad.steps = 0;
+  EXPECT_THROW(SessionManager(bad, 1e6), std::invalid_argument);
+  bad = config;
+  bad.candidates = {};
+  EXPECT_THROW(SessionManager(bad, 1e6), std::invalid_argument);
+  bad = config;
+  bad.candidates = {42};
+  SessionManager out_of_range(bad, 1e6);
+  SessionSpec ok;
+  ok.cache = &shared_cache();
+  EXPECT_THROW(out_of_range.submit(ok), std::invalid_argument);
+}
+
+TEST(SessionManagerTest, LateSubmitArrivesAtSubmissionSlot) {
+  ServingConfig config = small_config();
+  ConstantChannel channel(1e6);
+  SessionManager manager(config, channel.mean_capacity_bytes());
+  for (int t = 0; t < 10; ++t) manager.step(channel.next_capacity_bytes());
+
+  // Declared arrival is in the past: the session arrives now, and the
+  // reported window matches the trace exactly.
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  spec.arrival_slot = 0;
+  const std::size_t id = manager.submit(spec);
+  for (int t = 0; t < 20; ++t) manager.step(channel.next_capacity_bytes());
+
+  const ServingResult result = manager.finish();
+  EXPECT_EQ(result.sessions[id].arrival_slot, 10U);
+  EXPECT_EQ(result.sessions[id].departure_slot, 30U);
+  EXPECT_EQ(result.sessions[id].trace.size(), 20U);
+}
+
+TEST(SessionManagerTest, NeverArrivedSessionIsNeitherAdmittedNorRejected) {
+  ServingConfig config = small_config();
+  config.steps = 20;
+  ConstantChannel channel(1e9);
+  SessionSpec active;
+  active.cache = &shared_cache();
+  SessionSpec never;
+  never.cache = &shared_cache();
+  never.arrival_slot = 500;  // beyond the horizon
+
+  const ServingResult result =
+      run_serving_scenario(config, {active, never}, channel);
+  // Admission never saw the future session, and the fleet counters agree.
+  EXPECT_EQ(result.admission.attempts, 1U);
+  EXPECT_EQ(result.admission.rejected, 0U);
+  EXPECT_EQ(result.fleet.sessions_submitted, 2U);
+  EXPECT_EQ(result.fleet.sessions_admitted, 1U);
+  EXPECT_EQ(result.fleet.sessions_rejected, 0U);
+}
+
+// -------------------------------------------------------- Determinism ----
+
+std::vector<SessionSpec> churn_specs(std::size_t n) {
+  std::vector<SessionSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].cache = &shared_cache();
+    specs[i].arrival_slot = 5 * i;
+    specs[i].departure_slot = (i % 3 == 0) ? 5 * i + 70 : kNeverDeparts;
+    specs[i].weight = (i % 2 == 0) ? 1.0 : 2.0;
+    specs[i].seed = 1'000 + i;
+  }
+  return specs;
+}
+
+TEST(SessionManagerTest, ParallelExecutionIsBitIdenticalToSerial) {
+  ServingConfig config = small_config();
+  config.steps = 150;
+  config.policy = SchedulerPolicy::kProportionalFair;
+  const auto specs = churn_specs(9);
+  const double capacity = 9.0 * shared_cache().workload(0).bytes(4);
+
+  config.threads = 1;
+  ConstantChannel ch_serial(capacity);
+  const ServingResult serial = run_serving_scenario(config, specs, ch_serial);
+  config.threads = 4;
+  ConstantChannel ch_parallel(capacity);
+  const ServingResult parallel =
+      run_serving_scenario(config, specs, ch_parallel);
+
+  ASSERT_EQ(serial.sessions.size(), parallel.sessions.size());
+  for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+    const Trace& a = serial.sessions[i].trace;
+    const Trace& b = parallel.sessions[i].trace;
+    ASSERT_EQ(a.size(), b.size()) << "session " << i;
+    for (std::size_t t = 0; t < a.size(); ++t) {
+      // Bit-exact equality, not approximate: the decide phase touches only
+      // per-session state, so thread count must not change a single bit.
+      EXPECT_EQ(a.at(t).depth, b.at(t).depth);
+      EXPECT_EQ(a.at(t).arrivals, b.at(t).arrivals);
+      EXPECT_EQ(a.at(t).service, b.at(t).service);
+      EXPECT_EQ(a.at(t).backlog_begin, b.at(t).backlog_begin);
+      EXPECT_EQ(a.at(t).backlog_end, b.at(t).backlog_end);
+      EXPECT_EQ(a.at(t).quality, b.at(t).quality);
+    }
+  }
+  EXPECT_EQ(serial.fleet.quality_fairness, parallel.fleet.quality_fairness);
+  EXPECT_EQ(serial.fleet.total_time_average_backlog,
+            parallel.fleet.total_time_average_backlog);
+}
+
+TEST(ReplicationTest, ParallelReplicateMatchesSerialExactly) {
+  const auto factory = [](std::uint64_t seed) {
+    StreamingConfig config;
+    config.steps = 64;
+    config.candidates = {3, 4, 5, 6};
+    LyapunovDepthController controller(calibrate_streaming_v(
+        shared_cache(), config.candidates,
+        3.0 * shared_cache().workload(0).bytes(4)));
+    GilbertElliottChannel channel(shared_cache().workload(0).bytes(4) * 1.3,
+                                  0.4, 0.1, 0.3, Rng(seed));
+    return run_streaming_session(config, shared_cache(), controller, channel);
+  };
+
+  const ReplicationSummary serial = replicate(10, factory, 1);
+  const ReplicationSummary parallel = replicate(10, factory, 4);
+  EXPECT_EQ(serial.replicates, parallel.replicates);
+  EXPECT_EQ(serial.quality.mean, parallel.quality.mean);
+  EXPECT_EQ(serial.quality.ci_half_width, parallel.quality.ci_half_width);
+  EXPECT_EQ(serial.backlog.mean, parallel.backlog.mean);
+  EXPECT_EQ(serial.backlog.min, parallel.backlog.min);
+  EXPECT_EQ(serial.backlog.max, parallel.backlog.max);
+  EXPECT_EQ(serial.mean_depth.mean, parallel.mean_depth.mean);
+  EXPECT_EQ(serial.divergent_count, parallel.divergent_count);
+}
+
+// ------------------------------------------------- Serving end-to-end ----
+
+TEST(ServingScenarioTest, AdmissionKeepsFleetStable) {
+  // Twice as many sessions as the link's stability region fits; admission
+  // must turn the overflow away and every admitted session must stay
+  // non-divergent.
+  ServingConfig config = small_config();
+  config.steps = 400;
+  const double load = cheapest_load(config.candidates);
+  ConstantChannel channel(4.2 * load);
+  std::vector<SessionSpec> specs(8);
+  for (auto& spec : specs) spec.cache = &shared_cache();
+
+  const ServingResult result = run_serving_scenario(config, specs, channel);
+  EXPECT_EQ(result.admission.accepted, 4U);
+  EXPECT_EQ(result.admission.rejected, 4U);
+  EXPECT_EQ(result.fleet.divergent_sessions, 0U);
+  EXPECT_GT(result.fleet.quality_fairness, 0.99);
+  EXPECT_GT(result.fleet.utilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace arvis
