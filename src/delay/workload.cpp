@@ -50,6 +50,10 @@ double ByteWorkload::arrivals(int depth) const {
   return clamped_at(bytes_at_depth_, depth);
 }
 
+double ByteWorkloadView::arrivals(int depth) const {
+  return clamped_at(*bytes_at_depth_, depth);
+}
+
 GeometricWorkload::GeometricWorkload(int d_min, double base, double growth)
     : d_min_(d_min), base_(base), growth_(growth) {
   if (base <= 0.0 || growth < 1.0) {

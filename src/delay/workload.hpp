@@ -51,6 +51,23 @@ class ByteWorkload final : public WorkloadMap {
   std::vector<double> bytes_at_depth_;
 };
 
+/// Non-owning ByteWorkload: reads the depth table in place instead of
+/// copying it. The serving runtime's per-slot decide loop constructs one of
+/// these per session per slot on the stack — zero heap traffic — against the
+/// FrameStatsCache's long-lived tables. The referenced table must outlive
+/// the view and is assumed already validated (non-empty, non-decreasing).
+class ByteWorkloadView final : public WorkloadMap {
+ public:
+  explicit ByteWorkloadView(const std::vector<double>& bytes_at_depth) noexcept
+      : bytes_at_depth_(&bytes_at_depth) {}
+
+  [[nodiscard]] double arrivals(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "bytes-view"; }
+
+ private:
+  const std::vector<double>* bytes_at_depth_;
+};
+
 /// Closed-form workload a(d) = base * growth^(d - d_min), the idealized
 /// octree growth law (occupancy multiplies by ~4 per level on a 2-manifold
 /// surface). Used by analytical tests and fast simulations.

@@ -44,11 +44,13 @@ EdgeResult run_edge_scenario(const EdgeConfig& config,
   per_device_quality.reserve(served.sessions.size());
   double total_backlog = 0.0;
   for (SessionOutcome& session : served.sessions) {
-    // The serving runtime silently skips sessions too short to summarize;
+    // The serving runtime degrades to partial summaries for short sessions;
     // this scenario's contract (inherited from the seed) is to fail loudly
-    // instead, so re-summarize only then (std::logic_error when steps < 8).
+    // instead, so re-summarize then (std::logic_error when steps < 8).
     const TraceSummary summary =
-        session.has_summary ? session.summary : session.trace.summarize();
+        session.has_summary && !session.summary.partial
+            ? session.summary
+            : session.trace.summarize();
     per_device_quality.push_back(summary.time_average_quality);
     total_backlog += summary.time_average_backlog;
     result.device_traces.push_back(std::move(session.trace));

@@ -44,6 +44,11 @@ double LogPointQuality::quality(int depth) const {
   return points >= 1.0 ? std::log10(points) : 0.0;
 }
 
+double LogPointQualityView::quality(int depth) const {
+  const double points = clamped_lookup(*points_at_depth_, 0, depth);
+  return points >= 1.0 ? std::log10(points) : 0.0;
+}
+
 SaturatingQuality::SaturatingQuality(int d_min, double rate)
     : d_min_(d_min), rate_(rate) {
   if (rate <= 0.0) {

@@ -61,6 +61,23 @@ class LogPointQuality final : public QualityModel {
   std::vector<double> points_at_depth_;
 };
 
+/// Non-owning LogPointQuality: reads the depth table in place instead of
+/// copying it — the serving runtime's decide loop builds one per session per
+/// slot on the stack against the FrameStatsCache's long-lived tables. The
+/// referenced table must outlive the view.
+class LogPointQualityView final : public QualityModel {
+ public:
+  explicit LogPointQualityView(
+      const std::vector<double>& points_at_depth) noexcept
+      : points_at_depth_(&points_at_depth) {}
+
+  [[nodiscard]] double quality(int depth) const override;
+  [[nodiscard]] std::string name() const override { return "log-points-view"; }
+
+ private:
+  const std::vector<double>* points_at_depth_;
+};
+
 /// p_a(d) = 1 - exp(-rate * (d - d_min + 1)): closed-form saturating utility
 /// independent of frame content (useful for analytical tests).
 class SaturatingQuality final : public QualityModel {

@@ -17,6 +17,7 @@ double DiscreteQueue::step(double arrivals, double service) noexcept {
   stats_.add(backlog_);
 
   const double served = std::min(backlog_, service);
+  last_served_ = served;
   total_served_ += served;
   total_wasted_ += service - served;
   total_arrivals_ += arrivals;

@@ -26,6 +26,13 @@ class DiscreteQueue {
   /// Returns the new backlog Q(t+1).
   double step(double arrivals, double service) noexcept;
 
+  /// Bytes actually drained by the most recent step(): min(Q(t), b(t)).
+  /// Same-slot arrivals are admitted *after* service (Lindley order), so
+  /// this can be strictly less than both the service offered and the
+  /// post-step demand — accounting that charges the link min(share, demand)
+  /// over-reports. 0 before any step.
+  [[nodiscard]] double last_served() const noexcept { return last_served_; }
+
   /// Slots elapsed.
   [[nodiscard]] std::size_t time() const noexcept { return time_; }
 
@@ -54,6 +61,7 @@ class DiscreteQueue {
  private:
   double backlog_;
   std::size_t time_ = 0;
+  double last_served_ = 0.0;
   double backlog_integral_ = 0.0;  // Σ over slots of Q at slot start
   double total_arrivals_ = 0.0;
   double total_served_ = 0.0;

@@ -1,0 +1,368 @@
+#include "serving/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "serving/admission.hpp"
+
+namespace arvis {
+
+/// One submitted session as the cluster tracks it. Before placement the
+/// cluster owns the lifecycle; after placement the assigned link's
+/// SessionManager does, and the entry only remembers where it went.
+struct EdgeCluster::Entry {
+  Entry(std::size_t id_in, const SessionSpec& spec_in)
+      : id(id_in), spec(spec_in), arrival_actual(spec_in.arrival_slot) {}
+
+  std::size_t id;
+  SessionSpec spec;
+  /// First slot placement may consider this session (declared arrival, or
+  /// the submission-time slot when the declared arrival already elapsed).
+  std::size_t due = 0;
+  int link = -1;
+  bool spilled = false;
+  bool arrived = false;
+  bool admitted = false;
+  std::size_t arrival_actual;
+  std::size_t departure_actual = 0;
+  /// Best depth headroom any tried link reported.
+  int max_sustainable_depth = 0;
+};
+
+const char* to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin: return "round-robin";
+    case PlacementPolicy::kLeastLoaded: return "least-loaded";
+    case PlacementPolicy::kBestFit: return "best-fit";
+  }
+  return "?";
+}
+
+EdgeCluster::EdgeCluster(const ClusterConfig& config,
+                         const std::vector<double>& link_mean_capacity_bytes)
+    : config_(config), executor_(config.serving.threads) {
+  if (link_mean_capacity_bytes.empty()) {
+    throw std::invalid_argument("EdgeCluster: need >= 1 link");
+  }
+  // The links run their phases inline — the cluster's executor is the only
+  // fan-out point — so give each manager a serial (no-pool) executor.
+  ServingConfig link_config = config_.serving;
+  link_config.threads = 1;
+  links_.reserve(link_mean_capacity_bytes.size());
+  for (double mean : link_mean_capacity_bytes) {
+    links_.push_back(std::make_unique<SessionManager>(link_config, mean));
+  }
+}
+
+EdgeCluster::~EdgeCluster() = default;
+
+std::size_t EdgeCluster::submit(const SessionSpec& spec) {
+  if (finished_) {
+    throw std::logic_error("EdgeCluster::submit: already finished");
+  }
+  // Same validation as SessionManager::submit, applied once at the cluster
+  // door so a bad spec fails before placement ever sees it. The links step
+  // in lockstep with the cluster, so link 0's slot clock is the cluster's.
+  links_.front()->validate_spec(spec);
+
+  entries_.push_back(std::make_unique<Entry>(entries_.size(), spec));
+  Entry* e = entries_.back().get();
+  e->due = std::max(spec.arrival_slot, slot_);
+  const auto begin =
+      pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_);
+  const auto pos = std::upper_bound(
+      begin, pending_.end(), e->id, [&](std::size_t a, std::size_t b) {
+        const Entry& ea = *entries_[a];
+        const Entry& eb = *entries_[b];
+        if (ea.due != eb.due) return ea.due < eb.due;
+        return ea.id < eb.id;
+      });
+  pending_.insert(pos, e->id);
+  return e->id;
+}
+
+void EdgeCluster::rank_links(const Entry& entry) {
+  const std::size_t k = links_.size();
+  rank_.resize(k);
+  switch (config_.placement) {
+    case PlacementPolicy::kRoundRobin:
+      for (std::size_t i = 0; i < k; ++i) rank_[i] = (rr_cursor_ + i) % k;
+      break;
+    case PlacementPolicy::kLeastLoaded:
+      for (std::size_t i = 0; i < k; ++i) rank_[i] = i;
+      std::sort(rank_.begin(), rank_.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double la = links_[a]->admission().reserved_load();
+                  const double lb = links_[b]->admission().reserved_load();
+                  if (la != lb) return la < lb;
+                  return a < b;
+                });
+      break;
+    case PlacementPolicy::kBestFit: {
+      const double load = AdmissionController::cheapest_depth_load(
+          *entry.spec.cache, config_.serving.candidates);
+      for (std::size_t i = 0; i < k; ++i) rank_[i] = i;
+      // Links that fit rank first by tightness (smallest leftover); links
+      // that cannot fit follow by descending residual (the least-bad spill).
+      std::sort(rank_.begin(), rank_.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double ra = links_[a]->admission().residual_capacity();
+                  const double rb = links_[b]->admission().residual_capacity();
+                  const bool fa = ra >= load;
+                  const bool fb = rb >= load;
+                  if (fa != fb) return fa;
+                  if (ra != rb) return fa ? ra < rb : ra > rb;
+                  return a < b;
+                });
+      break;
+    }
+  }
+}
+
+void EdgeCluster::place_arrivals() {
+  while (pending_head_ < pending_.size() &&
+         entries_[pending_[pending_head_]]->due <= slot_) {
+    Entry& e = *entries_[pending_[pending_head_++]];
+    e.arrived = true;
+    e.arrival_actual = slot_;
+    rank_links(e);
+    const std::size_t attempts =
+        std::min(rank_.size(), config_.spill_limit + 1);
+    int best_depth = std::numeric_limits<int>::min();
+    // Each attempt re-runs the link's admission scan (O(cached frames));
+    // placement happens once per session lifetime, never in the slot loop,
+    // so clarity wins over caching the load curve across attempts here.
+    for (std::size_t a = 0; a < attempts; ++a) {
+      const std::size_t k = rank_[a];
+      const AdmissionDecision decision = links_[k]->try_place(e.spec, e.id);
+      best_depth = std::max(best_depth, decision.max_sustainable_depth);
+      if (decision.admitted) {
+        e.admitted = true;
+        e.link = static_cast<int>(k);
+        e.spilled = a > 0;
+        e.max_sustainable_depth = decision.max_sustainable_depth;
+        if (e.spilled) ++spills_;
+        break;
+      }
+    }
+    if (!e.admitted) {
+      e.departure_actual = slot_;
+      e.max_sustainable_depth = best_depth;
+      ++placement_rejects_;
+    }
+    if (config_.placement == PlacementPolicy::kRoundRobin) {
+      rr_cursor_ = (rr_cursor_ + 1) % links_.size();
+    }
+  }
+  if (pending_head_ > 64 && pending_head_ * 2 >= pending_.size()) {
+    pending_.erase(
+        pending_.begin(),
+        pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
+  }
+}
+
+void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
+  if (finished_) {
+    throw std::logic_error("EdgeCluster::step: already finished");
+  }
+  if (link_capacity_bytes.size() != links_.size()) {
+    throw std::invalid_argument(
+        "EdgeCluster::step: one capacity draw per link required");
+  }
+
+  // 1. Departures everywhere first, so this slot's arrivals can be placed
+  //    into reservations freed on any link.
+  for (auto& link : links_) link->begin_slot();
+
+  // 2. Placement (the one cluster-centralized act).
+  place_arrivals();
+
+  // 3. Decide: all links' sessions through one executor. Each (link, index)
+  //    pair owns disjoint state, so the fan-out is bit-identical to serial
+  //    for any thread count.
+  decide_map_.clear();
+  for (std::size_t k = 0; k < links_.size(); ++k) {
+    const std::size_t width = links_[k]->decide_width();
+    for (std::size_t i = 0; i < width; ++i) {
+      decide_map_.emplace_back(static_cast<std::uint32_t>(k),
+                               static_cast<std::uint32_t>(i));
+    }
+  }
+  executor_.parallel_for(decide_map_.size(), [this](std::size_t j) {
+    const auto [k, i] = decide_map_[j];
+    links_[k]->decide_session(i);
+  });
+
+  // 4. Each link schedules and drains with its own capacity; the cluster
+  //    records the fleet-wide slot totals.
+  double offered = 0.0, used = 0.0;
+  std::size_t active = 0;
+  for (std::size_t k = 0; k < links_.size(); ++k) {
+    const SessionManager::SlotReport report =
+        links_[k]->finish_slot(link_capacity_bytes[k]);
+    offered += report.capacity_offered;
+    used += report.capacity_used;
+    active += report.active_sessions;
+  }
+  metrics_.record_slot(offered, used, active);
+  ++slot_;
+}
+
+std::size_t EdgeCluster::active_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& link : links_) total += link->active_count();
+  return total;
+}
+
+ClusterResult EdgeCluster::finish() {
+  if (finished_) {
+    throw std::logic_error("EdgeCluster::finish: already finished");
+  }
+  finished_ = true;
+
+  // Close every link and index its outcomes by cluster session id.
+  std::vector<ServingResult> link_results;
+  link_results.reserve(links_.size());
+  for (auto& link : links_) link_results.push_back(link->finish());
+  // id -> (link, index into that link's outcome list)
+  std::vector<std::pair<int, std::size_t>> where(entries_.size(), {-1, 0});
+  for (std::size_t k = 0; k < link_results.size(); ++k) {
+    const auto& sessions = link_results[k].sessions;
+    for (std::size_t j = 0; j < sessions.size(); ++j) {
+      where[sessions[j].id] = {static_cast<int>(k), j};
+    }
+  }
+
+  ClusterResult result;
+  result.sessions.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    const Entry& e = *entry;
+    ClusterSessionOutcome out;
+    out.link = e.link;
+    out.spilled = e.spilled;
+    if (e.admitted) {
+      out.session = std::move(
+          link_results[static_cast<std::size_t>(where[e.id].first)]
+              .sessions[where[e.id].second]);
+    } else {
+      // Refused everywhere (or never arrived): synthesize the same outcome
+      // shape the single-link runtime reports.
+      out.session.id = e.id;
+      out.session.admitted = false;
+      out.session.arrival_slot = e.arrival_actual;
+      out.session.departure_slot = e.arrived ? e.departure_actual
+                                             : e.arrival_actual;
+      out.session.weight = e.spec.weight;
+      out.session.max_sustainable_depth =
+          e.arrived ? e.max_sustainable_depth : 0;
+    }
+
+    SessionMetrics metrics;
+    metrics.session_id = e.id;
+    metrics.arrived = e.arrived;
+    metrics.admitted = e.admitted;
+    metrics.arrival_slot = out.session.arrival_slot;
+    metrics.departure_slot = out.session.departure_slot;
+    metrics.weight = e.spec.weight;
+    metrics.has_summary = out.session.has_summary;
+    metrics.summary = out.session.summary;
+    metrics_.record_session(metrics);
+
+    result.sessions.push_back(std::move(out));
+  }
+
+  result.metrics.link_count = links_.size();
+  result.metrics.fleet = metrics_.fleet();
+  result.metrics.spills = spills_;
+  result.metrics.placement_rejects = placement_rejects_;
+  std::vector<double> link_used;
+  link_used.reserve(link_results.size());
+  for (const ServingResult& lr : link_results) {
+    result.metrics.per_link.push_back(lr.fleet);
+    result.metrics.per_link_admission.push_back(lr.admission);
+    link_used.push_back(lr.fleet.capacity_used);
+  }
+  result.metrics.link_load_fairness = jain_fairness_index(link_used);
+
+  // Per-session report with link assignment.
+  CsvTable sessions({"session", "link", "placed", "spilled", "arrival",
+                     "departure", "weight", "avg_quality", "avg_backlog",
+                     "mean_depth", "verdict"});
+  for (const ClusterSessionOutcome& s : result.sessions) {
+    const SessionOutcome& o = s.session;
+    CsvCell link_cell = s.link >= 0
+                            ? CsvCell(static_cast<std::int64_t>(s.link))
+                            : CsvCell(std::monostate{});
+    if (o.has_summary) {
+      sessions.add_row(
+          {static_cast<std::int64_t>(o.id), link_cell, std::string("yes"),
+           std::string(s.spilled ? "yes" : "no"),
+           static_cast<std::int64_t>(o.arrival_slot),
+           static_cast<std::int64_t>(o.departure_slot), o.weight,
+           o.summary.time_average_quality, o.summary.time_average_backlog,
+           o.summary.mean_depth,
+           std::string(o.summary.partial
+                           ? "too-short"
+                           : to_string(o.summary.stability.verdict))});
+    } else {
+      sessions.add_row({static_cast<std::int64_t>(o.id), link_cell,
+                        std::string(o.admitted ? "yes" : "no"),
+                        std::string(s.spilled ? "yes" : "no"),
+                        static_cast<std::int64_t>(o.arrival_slot),
+                        static_cast<std::int64_t>(o.departure_slot), o.weight,
+                        std::monostate{}, std::monostate{}, std::monostate{},
+                        std::string("-")});
+    }
+  }
+  result.session_table = std::move(sessions);
+
+  // Per-link rollup.
+  CsvTable links({"link", "placed", "attempts", "accepted", "rejected",
+                  "capacity_offered", "capacity_used", "utilization",
+                  "mean_quality", "divergent"});
+  for (std::size_t k = 0; k < link_results.size(); ++k) {
+    const FleetMetrics& fleet = link_results[k].fleet;
+    const AdmissionStats& adm = link_results[k].admission;
+    links.add_row({static_cast<std::int64_t>(k),
+                   static_cast<std::int64_t>(fleet.sessions_admitted),
+                   static_cast<std::int64_t>(adm.attempts),
+                   static_cast<std::int64_t>(adm.accepted),
+                   static_cast<std::int64_t>(adm.rejected),
+                   fleet.capacity_offered, fleet.capacity_used,
+                   fleet.utilization(), fleet.mean_quality,
+                   static_cast<std::int64_t>(fleet.divergent_sessions)});
+  }
+  result.link_table = std::move(links);
+  return result;
+}
+
+ClusterResult run_cluster_scenario(const ClusterConfig& config,
+                                   const std::vector<SessionSpec>& specs,
+                                   const std::vector<ChannelModel*>& channels) {
+  if (channels.empty()) {
+    throw std::invalid_argument("run_cluster_scenario: need >= 1 channel");
+  }
+  std::vector<double> means;
+  means.reserve(channels.size());
+  for (ChannelModel* channel : channels) {
+    if (channel == nullptr) {
+      throw std::invalid_argument("run_cluster_scenario: null channel");
+    }
+    means.push_back(channel->mean_capacity_bytes());
+  }
+  EdgeCluster cluster(config, means);
+  for (const SessionSpec& spec : specs) cluster.submit(spec);
+  std::vector<double> caps(channels.size());
+  for (std::size_t t = 0; t < config.serving.steps; ++t) {
+    for (std::size_t k = 0; k < channels.size(); ++k) {
+      caps[k] = channels[k]->next_capacity_bytes();
+    }
+    cluster.step(caps);
+  }
+  return cluster.finish();
+}
+
+}  // namespace arvis

@@ -1,0 +1,177 @@
+// EdgeCluster: the serving runtime sharded across K independent links.
+//
+// The paper's controller is per-session and the single-link SessionManager
+// scales the session count; the next scale axis is the *link*. An EdgeCluster
+// owns K links — each with its own capacity stream, AdmissionController and
+// EdgeScheduler — plus a PlacementPolicy that assigns every arriving session
+// to a link. A session refused by its first-choice link may spill to the
+// next-best link(s) before being refused outright. Once placed, a session
+// lives entirely on its link: the paper's distributed-operation claim is
+// untouched (controllers stay session-local; each link divides only its own
+// capacity; the only new centralized act is the arrival-time placement).
+//
+// Cluster slot loop (EdgeCluster::step):
+//   1. every link closes its departures (so arrivals see freed reservations
+//      on any link);
+//   2. the cluster places this slot's arrivals: rank links by the placement
+//      policy, try admission in rank order (first choice, then up to
+//      spill_limit spills), refuse when every tried link rejects;
+//   3. decide: all links' active sessions fan out through ONE deterministic
+//      ParallelExecutor (each session touches only its own state, so any
+//      thread count is bit-identical to serial);
+//   4. every link schedules + drains with its own capacity draw; per-link
+//      ServerMetrics roll up into the cluster fleet view.
+//
+// With K = 1 and round-robin placement the cluster reproduces
+// run_serving_scenario bit for bit (tested): the single-link runtime is the
+// K = 1 special case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "serving/session_manager.hpp"
+
+namespace arvis {
+
+/// How arriving sessions are assigned to links.
+enum class PlacementPolicy {
+  /// Links in rotation, one step per arrival; spills continue the rotation.
+  kRoundRobin,
+  /// Link with the least reserved admission load first (ties: lowest index).
+  kLeastLoaded,
+  /// Link whose residual admissible capacity most tightly fits the session's
+  /// cheapest-depth load (best fit); links that cannot fit rank after, by
+  /// descending residual. Packs tight links first, preserving large holes
+  /// for heavy sessions.
+  kBestFit,
+};
+
+const char* to_string(PlacementPolicy policy) noexcept;
+
+struct ClusterConfig {
+  /// Per-link runtime configuration (scheduler policy, candidates, V,
+  /// admission target). `serving.threads` sizes the *cluster's* decide
+  /// executor; the per-link managers run their phases inline.
+  ServingConfig serving;
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  /// Extra links an arrival may try after its first choice rejects it
+  /// (0 = no spill; 1 = the next-best link, the default).
+  std::size_t spill_limit = 1;
+};
+
+/// One session's cluster-level run record.
+struct ClusterSessionOutcome {
+  /// Link the session streamed on; -1 when refused or never arrived.
+  int link = -1;
+  /// Admitted by a link other than its first choice.
+  bool spilled = false;
+  SessionOutcome session;
+};
+
+/// Fleet view across all links.
+struct ClusterMetrics {
+  std::size_t link_count = 0;
+  /// Cluster-wide aggregates over every submitted session and the summed
+  /// per-slot link capacities (for K = 1 this equals the single-link
+  /// FleetMetrics bit for bit).
+  FleetMetrics fleet;
+  /// Each link's own fleet view (covers only sessions placed on that link).
+  std::vector<FleetMetrics> per_link;
+  /// Each link's admission counters (spill attempts count per link tried).
+  std::vector<AdmissionStats> per_link_admission;
+  /// Jain fairness of per-link capacity_used — how evenly the placement
+  /// policy spread real work across links.
+  double link_load_fairness = 0.0;
+  /// Sessions admitted via a non-first-choice link.
+  std::size_t spills = 0;
+  /// Sessions refused by every link they were offered to.
+  std::size_t placement_rejects = 0;
+};
+
+struct ClusterResult {
+  std::vector<ClusterSessionOutcome> sessions;  // submission order
+  ClusterMetrics metrics;
+  /// Per-session report with link assignment.
+  CsvTable session_table = CsvTable({"session"});
+  /// Per-link rollup (placed/utilization/fairness inputs).
+  CsvTable link_table = CsvTable({"link"});
+};
+
+/// The sharded serving runtime. Submit sessions up front (or between steps),
+/// then drive it one slot at a time with one capacity draw per link;
+/// finish() closes the books. Not thread-safe — one cluster per run; the
+/// parallelism is inside step().
+class EdgeCluster {
+ public:
+  /// `link_mean_capacity_bytes[k]` calibrates link k's admission controller
+  /// (ChannelModel::mean_capacity_bytes() of the stream that will drive it).
+  /// Throws std::invalid_argument on zero links or a bad serving config.
+  EdgeCluster(const ClusterConfig& config,
+              const std::vector<double>& link_mean_capacity_bytes);
+  ~EdgeCluster();
+
+  EdgeCluster(const EdgeCluster&) = delete;
+  EdgeCluster& operator=(const EdgeCluster&) = delete;
+
+  /// Registers a session; placement happens at its arrival slot. Returns the
+  /// cluster-wide session id (submission index). Same spec validation as
+  /// SessionManager::submit.
+  std::size_t submit(const SessionSpec& spec);
+
+  /// Advances one slot. `link_capacity_bytes` holds this slot's capacity for
+  /// every link (size must equal link_count()).
+  void step(const std::vector<double>& link_capacity_bytes);
+
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] std::size_t slot() const noexcept { return slot_; }
+  /// Sessions currently streaming, across all links.
+  [[nodiscard]] std::size_t active_count() const noexcept;
+  /// Link k's runtime (admission state, active count) — read-only.
+  [[nodiscard]] const SessionManager& link(std::size_t k) const {
+    return *links_.at(k);
+  }
+
+  /// Closes every still-active session at the current slot and returns the
+  /// full result. The cluster is spent afterwards (submit/step throw).
+  ClusterResult finish();
+
+ private:
+  struct Entry;
+
+  void place_arrivals();
+  void rank_links(const Entry& entry);
+
+  ClusterConfig config_;
+  ParallelExecutor executor_;
+  std::vector<std::unique_ptr<SessionManager>> links_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // submission order
+  // Not-yet-arrived entry indices, sorted by (due slot, id); the prefix
+  // before pending_head_ has been consumed (same O(arrivals due) scheme as
+  // SessionManager).
+  std::vector<std::size_t> pending_;
+  std::size_t pending_head_ = 0;
+  std::size_t rr_cursor_ = 0;
+  ServerMetrics metrics_;  // cluster-wide slot + session aggregates
+  std::size_t slot_ = 0;
+  bool finished_ = false;
+  std::size_t spills_ = 0;
+  std::size_t placement_rejects_ = 0;
+  // Scratch reused across slots.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> decide_map_;
+  std::vector<std::size_t> rank_;
+};
+
+/// Convenience one-shot mirroring run_serving_scenario: submits `specs`,
+/// steps `config.serving.steps` slots drawing every link's capacity from its
+/// channel (`channels[k]` drives link k; all non-null), and finishes.
+ClusterResult run_cluster_scenario(const ClusterConfig& config,
+                                   const std::vector<SessionSpec>& specs,
+                                   const std::vector<ChannelModel*>& channels);
+
+}  // namespace arvis

@@ -50,7 +50,11 @@ FleetMetrics ServerMetrics::fleet() const {
     fleet.mean_quality += s.summary.time_average_quality;
     fleet.total_time_average_backlog += s.summary.time_average_backlog;
     fleet.peak_backlog = std::max(fleet.peak_backlog, s.summary.peak_backlog);
-    if (s.summary.stability.verdict == StabilityVerdict::kDivergent) {
+    if (s.summary.partial) {
+      // Too short for a stability verdict, but its quality/backlog means are
+      // real — excluding them made churn-heavy fleets under-report.
+      ++fleet.partial_summary_sessions;
+    } else if (s.summary.stability.verdict == StabilityVerdict::kDivergent) {
       ++fleet.divergent_sessions;
     }
   }
@@ -72,7 +76,9 @@ CsvTable ServerMetrics::session_table() const {
                      static_cast<std::int64_t>(s.departure_slot), s.weight,
                      s.summary.time_average_quality,
                      s.summary.time_average_backlog, s.summary.mean_depth,
-                     std::string(to_string(s.summary.stability.verdict))});
+                     std::string(s.summary.partial
+                                     ? "too-short"
+                                     : to_string(s.summary.stability.verdict))});
     } else {
       table.add_row({static_cast<std::int64_t>(s.session_id),
                      std::string(!s.arrived     ? "never-arrived"

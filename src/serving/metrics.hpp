@@ -33,8 +33,10 @@ struct SessionMetrics {
   /// rejected session).
   std::size_t departure_slot = 0;
   double weight = 1.0;
-  /// True when `summary` is populated (admitted sessions active >= 8 slots;
-  /// shorter windows cannot be summarized — stability needs a tail).
+  /// True when `summary` is populated: any admitted session with a non-empty
+  /// trace. Sessions active < 8 slots carry a *partial* summary
+  /// (summary.partial — means valid, stability verdict reported as
+  /// "too-short"), so churn-heavy fleets no longer under-report.
   bool has_summary = false;
   TraceSummary summary;
 
@@ -48,10 +50,10 @@ struct FleetMetrics {
   std::size_t sessions_submitted = 0;
   std::size_t sessions_admitted = 0;
   std::size_t sessions_rejected = 0;
-  // The quality/backlog/stability aggregates below cover *summarized*
-  // admitted sessions only — sessions active < 8 slots cannot be
-  // summarized and sit out, so under heavy short-lived churn they can
-  // cover fewer sessions than sessions_admitted.
+  // The quality/backlog aggregates below cover every admitted session that
+  // streamed at least one slot (sessions active < 8 slots contribute via
+  // partial summaries); only the stability verdict count is restricted to
+  // full summaries, since the classifier needs a tail.
   /// Jain index over summarized sessions' time-average quality.
   double quality_fairness = 0.0;
   /// Mean over summarized sessions of time-average quality.
@@ -60,8 +62,10 @@ struct FleetMetrics {
   double total_time_average_backlog = 0.0;
   /// Largest instantaneous backlog any summarized session reached (bytes).
   double peak_backlog = 0.0;
-  /// Summarized sessions whose stability verdict was divergent.
+  /// Fully-summarized (>= 8 slot) sessions whose verdict was divergent.
   std::size_t divergent_sessions = 0;
+  /// Admitted sessions whose summary is partial (active 1..7 slots).
+  std::size_t partial_summary_sessions = 0;
   /// Σ over slots of link capacity offered (bytes).
   double capacity_offered = 0.0;
   /// Σ over slots of capacity that actually drained queues (bytes).

@@ -1,26 +1,26 @@
 #include "serving/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace arvis {
 
 namespace {
 
-/// Water-fills `capacity` over the sessions in `index` (a subset of
+/// Water-fills `capacity` over the sessions in `unsatisfied` (a subset of
 /// `demands`), equal-split seeded and weight-blind: repeatedly grant every
 /// unsatisfied session an equal slice of what remains, capping each at its
 /// demand, until capacity runs out or everyone is satisfied. Adds grants
-/// into `shares` (callers zero-init). Returns the capacity left over once
-/// every demand in the subset is met.
+/// into `shares` (callers zero-init). Consumes `unsatisfied` in place
+/// (compacting between rounds — no allocation) and returns the capacity
+/// left over once every demand in the subset is met.
 double water_fill(double capacity, const std::vector<SchedulerDemand>& demands,
-                  const std::vector<std::size_t>& index,
+                  std::vector<std::size_t>& unsatisfied,
                   std::vector<double>& shares) {
-  std::vector<std::size_t> unsatisfied(index);
   while (capacity > 0.0 && !unsatisfied.empty()) {
     const double slice = capacity / static_cast<double>(unsatisfied.size());
-    std::vector<std::size_t> next;
-    next.reserve(unsatisfied.size());
+    std::size_t kept = 0;
     double granted = 0.0;
     for (std::size_t i : unsatisfied) {
       const double want = demands[i].total() - shares[i];
@@ -30,23 +30,30 @@ double water_fill(double capacity, const std::vector<SchedulerDemand>& demands,
       } else {
         shares[i] += slice;
         granted += slice;
-        next.push_back(i);
+        unsatisfied[kept++] = i;
       }
     }
     capacity -= granted;
     // No one was capped this round: everyone took a full slice, so the
     // remaining capacity is (numerically) zero and further rounds would
     // only chase rounding error.
-    if (next.size() == unsatisfied.size()) break;
-    unsatisfied = std::move(next);
+    if (kept == unsatisfied.size()) break;
+    unsatisfied.resize(kept);
   }
   return std::max(capacity, 0.0);
 }
 
-std::vector<std::size_t> all_indices(std::size_t n) {
-  std::vector<std::size_t> index(n);
+void fill_indices(std::vector<std::size_t>& index, std::size_t n) {
+  index.resize(n);
   for (std::size_t i = 0; i < n; ++i) index[i] = i;
-  return index;
+}
+
+/// Two weights belong to the same priority tier when they differ by no more
+/// than a relative epsilon — wide enough to absorb accumulated rounding from
+/// different arithmetic paths, far too narrow to merge humanly distinct
+/// priorities.
+bool same_tier(double a, double b) noexcept {
+  return std::abs(a - b) <= 1e-9 * std::max(std::abs(a), std::abs(b));
 }
 
 }  // namespace
@@ -64,7 +71,8 @@ void WorkConservingScheduler::allocate(
   const std::size_t n = demands.size();
   shares.assign(n, 0.0);
   if (n == 0) return;
-  const double leftover = water_fill(capacity, demands, all_indices(n), shares);
+  fill_indices(scratch_, n);
+  const double leftover = water_fill(capacity, demands, scratch_, shares);
   // All demands met with capacity to spare: hand the excess back out
   // equally so an idle fleet still sees the full pipe (it will be wasted
   // by the queues, but the allocation itself stays work-conserving and
@@ -82,7 +90,8 @@ void ProportionalFairScheduler::allocate(
   shares.assign(n, 0.0);
   if (n == 0) return;
 
-  std::vector<std::size_t> unsatisfied = all_indices(n);
+  std::vector<std::size_t>& unsatisfied = scratch_;
+  fill_indices(unsatisfied, n);
   while (capacity > 0.0 && !unsatisfied.empty()) {
     double mass = 0.0;
     for (std::size_t i : unsatisfied) {
@@ -95,8 +104,7 @@ void ProportionalFairScheduler::allocate(
       water_fill(capacity, demands, unsatisfied, shares);
       break;
     }
-    std::vector<std::size_t> next;
-    next.reserve(unsatisfied.size());
+    std::size_t kept = 0;
     double granted = 0.0;
     bool capped = false;
     for (std::size_t i : unsatisfied) {
@@ -109,12 +117,12 @@ void ProportionalFairScheduler::allocate(
       } else {
         shares[i] += offer;
         granted += offer;
-        next.push_back(i);
+        unsatisfied[kept++] = i;
       }
     }
     capacity -= granted;
     if (!capped) break;  // everyone took exactly their proportional offer
-    unsatisfied = std::move(next);
+    unsatisfied.resize(kept);
   }
 }
 
@@ -125,20 +133,27 @@ void WeightedPriorityScheduler::allocate(
   shares.assign(n, 0.0);
   if (n == 0) return;
 
-  // Distinct weights, descending.
-  std::vector<double> tiers;
-  tiers.reserve(n);
-  for (const SchedulerDemand& d : demands) tiers.push_back(d.weight);
-  std::sort(tiers.begin(), tiers.end(), std::greater<>());
-  tiers.erase(std::unique(tiers.begin(), tiers.end()), tiers.end());
-
-  for (double w : tiers) {
-    if (capacity <= 0.0) break;
-    std::vector<std::size_t> tier;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (demands[i].weight == w) tier.push_back(i);
+  // Sorted index permutation (weight descending, index ascending for
+  // determinism); tiers are maximal runs of epsilon-equal adjacent weights.
+  fill_indices(perm_, n);
+  std::sort(perm_.begin(), perm_.end(), [&](std::size_t a, std::size_t b) {
+    if (demands[a].weight != demands[b].weight) {
+      return demands[a].weight > demands[b].weight;
     }
-    capacity = water_fill(capacity, demands, tier, shares);
+    return a < b;
+  });
+
+  std::size_t begin = 0;
+  while (begin < n && capacity > 0.0) {
+    std::size_t end = begin + 1;
+    while (end < n && same_tier(demands[perm_[end - 1]].weight,
+                                demands[perm_[end]].weight)) {
+      ++end;
+    }
+    tier_.assign(perm_.begin() + static_cast<std::ptrdiff_t>(begin),
+                 perm_.begin() + static_cast<std::ptrdiff_t>(end));
+    capacity = water_fill(capacity, demands, tier_, shares);
+    begin = end;
   }
 }
 

@@ -3,8 +3,10 @@
 // The seed's edge scenario hardcoded two share policies in run_edge_scenario;
 // the serving runtime needs them pluggable (the policy is the one piece of
 // the edge that is centralized — devices stay fully distributed, the link
-// merely divides its own capacity). All policies are stateless per slot and
-// must uphold two invariants, checked by tests:
+// merely divides its own capacity). All policies are functionally stateless
+// per slot (they may keep scratch buffers so steady-state allocation stays
+// zero, but no decision depends on a previous slot) and must uphold two
+// invariants, checked by tests:
 //   * shares[i] >= 0 for all i,
 //   * sum(shares) <= capacity (+ float slack).
 #pragma once
@@ -63,6 +65,9 @@ class WorkConservingScheduler final : public EdgeScheduler {
   void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
                 std::vector<double>& shares) override;
   [[nodiscard]] std::string name() const override { return "work-conserving"; }
+
+ private:
+  std::vector<std::size_t> scratch_;  // reused across slots: no per-slot allocs
 };
 
 /// Shares proportional to weight * demand, capped at demand, with the
@@ -76,12 +81,21 @@ class ProportionalFairScheduler final : public EdgeScheduler {
   [[nodiscard]] std::string name() const override {
     return "proportional-fair";
   }
+
+ private:
+  std::vector<std::size_t> scratch_;  // reused across slots: no per-slot allocs
 };
 
 /// Strict priority tiers by descending weight: each tier water-fills the
 /// remaining capacity before any lower tier sees a byte. Within a tier,
 /// equal-split water-filling. Starvation of low tiers under overload is the
 /// intended behaviour (premium sessions).
+///
+/// Tiers are found by sorting an index permutation by weight (descending,
+/// index-stable) and splitting where adjacent weights differ by more than a
+/// relative epsilon — never by exact `double ==`, so weights that should be
+/// equal but were produced by different arithmetic paths (0.1 + 0.2 vs 0.3)
+/// land in one tier instead of silently forming a phantom priority level.
 class WeightedPriorityScheduler final : public EdgeScheduler {
  public:
   void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
@@ -89,6 +103,10 @@ class WeightedPriorityScheduler final : public EdgeScheduler {
   [[nodiscard]] std::string name() const override {
     return "weighted-priority";
   }
+
+ private:
+  std::vector<std::size_t> perm_;  // reused across slots: no per-slot allocs
+  std::vector<std::size_t> tier_;
 };
 
 /// The pluggable policies by name (for configs and benches).

@@ -34,6 +34,9 @@ struct SessionManager::Session {
   bool admitted = false;
   int max_sustainable_depth = 0;
   double cheapest_load = 0.0;
+  /// First slot admission may consider this session: the declared arrival,
+  /// or the submission-time slot when the declared arrival already elapsed.
+  std::size_t due_slot = 0;
   /// Slot the session actually became active (== spec.arrival_slot unless
   /// submitted after that slot had passed, in which case it arrives at the
   /// submission-time slot); session-local frame time counts from here.
@@ -60,36 +63,53 @@ SessionManager::SessionManager(const ServingConfig& config,
 
 SessionManager::~SessionManager() = default;
 
-std::size_t SessionManager::submit(const SessionSpec& spec) {
-  if (finished_) {
-    throw std::logic_error("SessionManager::submit: already finished");
-  }
+void SessionManager::validate_spec(const SessionSpec& spec) const {
   if (spec.cache == nullptr) {
-    throw std::invalid_argument("SessionManager::submit: null cache");
+    throw std::invalid_argument("SessionManager: null cache");
   }
   for (int d : config_.candidates) {
     if (d < 1 || d > spec.cache->octree_depth()) {
       throw std::invalid_argument(
-          "SessionManager::submit: candidate outside cache range");
+          "SessionManager: candidate outside cache range");
     }
   }
   if (spec.departure_slot <= spec.arrival_slot) {
     throw std::invalid_argument(
-        "SessionManager::submit: departure must be after arrival");
+        "SessionManager: departure must be after arrival");
   }
   // A spec submitted between steps may declare an arrival in the past (it
   // simply arrives now), but a window that has entirely elapsed can never
   // stream a slot inside its declared lifetime.
   if (spec.departure_slot <= slot_) {
     throw std::invalid_argument(
-        "SessionManager::submit: departure slot already elapsed");
+        "SessionManager: departure slot already elapsed");
   }
   if (spec.weight < 0.0) {
-    throw std::invalid_argument("SessionManager::submit: negative weight");
+    throw std::invalid_argument("SessionManager: negative weight");
   }
+}
+
+std::size_t SessionManager::submit(const SessionSpec& spec) {
+  if (finished_) {
+    throw std::logic_error("SessionManager::submit: already finished");
+  }
+  validate_spec(spec);
   sessions_.push_back(
       std::make_unique<Session>(sessions_.size(), spec, config_.v));
-  return sessions_.back()->id;
+  Session* s = sessions_.back().get();
+  s->due_slot = std::max(spec.arrival_slot, slot_);
+  // Keep pending_ sorted by (due, id). Ids grow with submission order, so
+  // the insertion point is found among the not-yet-consumed suffix; same-due
+  // sessions stay in submission order, preserving admission ordering.
+  const auto begin =
+      pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_);
+  const auto pos = std::upper_bound(
+      begin, pending_.end(), s, [](const Session* a, const Session* b) {
+        if (a->due_slot != b->due_slot) return a->due_slot < b->due_slot;
+        return a->id < b->id;
+      });
+  pending_.insert(pos, s);
+  return s->id;
 }
 
 void SessionManager::close_departures() {
@@ -106,12 +126,20 @@ void SessionManager::close_departures() {
                 active_.end());
 }
 
+void SessionManager::activate(Session& s) {
+  s.state = SessionState::kActive;
+  // Reserve the whole active window up front so steady-state trace appends
+  // never reallocate (the manager may be driven past config_.steps by hand,
+  // in which case appends beyond the reservation simply grow as usual).
+  const std::size_t horizon = std::min(s.spec.departure_slot, config_.steps);
+  if (horizon > slot_) s.trace.reserve(horizon - slot_);
+  active_.push_back(&s);
+}
+
 void SessionManager::admit_arrivals() {
-  for (const auto& session : sessions_) {
-    Session& s = *session;
-    if (s.state != SessionState::kPending || s.spec.arrival_slot > slot_) {
-      continue;
-    }
+  while (pending_head_ < pending_.size() &&
+         pending_[pending_head_]->due_slot <= slot_) {
+    Session& s = *pending_[pending_head_++];
     const AdmissionDecision decision =
         admission_.try_admit(*s.spec.cache, config_.candidates);
     s.admitted = decision.admitted;
@@ -119,44 +147,73 @@ void SessionManager::admit_arrivals() {
     s.max_sustainable_depth = decision.max_sustainable_depth;
     s.arrival_actual = slot_;
     if (decision.admitted) {
-      s.state = SessionState::kActive;
-      active_.push_back(&s);
+      activate(s);
     } else {
       s.state = SessionState::kClosed;
       s.departure_actual = slot_;
     }
   }
+  // Compact the consumed prefix once it dominates the buffer, keeping the
+  // amortized per-arrival cost O(1) without unbounded growth.
+  if (pending_head_ > 64 && pending_head_ * 2 >= pending_.size()) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
+  }
 }
 
-void SessionManager::step(double capacity_bytes) {
+AdmissionDecision SessionManager::try_place(const SessionSpec& spec,
+                                            std::size_t session_id) {
   if (finished_) {
-    throw std::logic_error("SessionManager::step: already finished");
+    throw std::logic_error("SessionManager::try_place: already finished");
+  }
+  validate_spec(spec);
+  const AdmissionDecision decision =
+      admission_.try_admit(*spec.cache, config_.candidates);
+  if (!decision.admitted) return decision;
+  sessions_.push_back(std::make_unique<Session>(session_id, spec, config_.v));
+  Session& s = *sessions_.back();
+  s.admitted = true;
+  s.cheapest_load = decision.cheapest_load;
+  s.max_sustainable_depth = decision.max_sustainable_depth;
+  s.due_slot = slot_;
+  s.arrival_actual = slot_;
+  activate(s);
+  return decision;
+}
+
+void SessionManager::begin_slot() {
+  if (finished_) {
+    throw std::logic_error("SessionManager::begin_slot: already finished");
   }
   // Departures first so a same-slot arrival sees the freed reservation.
   close_departures();
   admit_arrivals();
+}
 
+void SessionManager::decide_session(std::size_t i) {
+  Session& s = *active_[i];
+  const std::size_t local_t = slot_ - s.arrival_actual;
+  const FrameWorkload& frame = s.spec.cache->workload(local_t);
+  // Non-owning views over the cache's long-lived depth tables: the hot loop
+  // copies nothing and allocates nothing.
+  const ByteWorkloadView workload(frame.bytes_at_depth);
+  const LogPointQualityView quality(frame.points_at_depth);
+  DepthContext context;
+  context.queue_backlog = s.queue.backlog();
+  context.quality = &quality;
+  context.workload = &workload;
+
+  s.record = StepRecord{};
+  s.record.t = slot_;
+  s.record.backlog_begin = s.queue.backlog();
+  s.record.depth = s.controller.decide(config_.candidates, context);
+  s.record.arrivals = workload.arrivals(s.record.depth);
+  s.record.quality = quality.quality(s.record.depth);
+}
+
+SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
   const std::size_t n = active_.size();
-  // Decide phase: purely session-local state, fanned out over the executor.
-  executor_.parallel_for(n, [&](std::size_t i) {
-    Session& s = *active_[i];
-    const std::size_t local_t = slot_ - s.arrival_actual;
-    const FrameWorkload& frame = s.spec.cache->workload(local_t);
-    const ByteWorkload workload(frame.bytes_at_depth);
-    const LogPointQuality quality(frame.points_at_depth);
-    DepthContext context;
-    context.queue_backlog = s.queue.backlog();
-    context.quality = &quality;
-    context.workload = &workload;
-
-    s.record = StepRecord{};
-    s.record.t = slot_;
-    s.record.backlog_begin = s.queue.backlog();
-    s.record.depth = s.controller.decide(config_.candidates, context);
-    s.record.arrivals = workload.arrivals(s.record.depth);
-    s.record.quality = quality.quality(s.record.depth);
-  });
-
   // Schedule phase: the one centralized act — the link divides its own
   // capacity. Sessions never see each other's state.
   demands_.resize(n);
@@ -168,17 +225,29 @@ void SessionManager::step(double capacity_bytes) {
   }
   scheduler_->allocate(capacity_bytes, demands_, shares_);
 
-  // Drain phase.
+  // Drain phase. The link is charged what the queues actually drained
+  // (min(Q(t), share) per session, reported by the queue) — same-slot
+  // arrivals enter *after* service in the Lindley order, so charging
+  // min(share, backlog + arrivals) would over-report utilization.
   double used = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     Session& s = *active_[i];
-    used += std::min(shares_[i], demands_[i].total());
     s.record.service = shares_[i];
     s.record.backlog_end = s.queue.step(s.record.arrivals, shares_[i]);
+    used += s.queue.last_served();
     s.trace.add(s.record);
   }
   metrics_.record_slot(capacity_bytes, used, n);
   ++slot_;
+  return SlotReport{capacity_bytes, used, n};
+}
+
+void SessionManager::step(double capacity_bytes) {
+  begin_slot();
+  // Decide phase: purely session-local state, fanned out over the executor.
+  executor_.parallel_for(active_.size(),
+                         [this](std::size_t i) { decide_session(i); });
+  finish_slot(capacity_bytes);
 }
 
 std::size_t SessionManager::active_count() const noexcept {
@@ -217,9 +286,9 @@ ServingResult SessionManager::finish() {
     metrics.arrival_slot = s.arrival_actual;
     metrics.departure_slot = s.departure_actual;
     metrics.weight = s.spec.weight;
-    if (s.admitted && s.trace.size() >= 8) {
+    if (s.admitted && !s.trace.empty()) {
       metrics.has_summary = true;
-      metrics.summary = s.trace.summarize();
+      metrics.summary = s.trace.summarize_partial();
     }
     metrics_.record_session(metrics);
 

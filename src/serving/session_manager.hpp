@@ -81,8 +81,10 @@ struct SessionOutcome {
   double weight = 1.0;
   /// Depth headroom the admission controller saw at arrival.
   int max_sustainable_depth = 0;
-  /// True when `summary` is populated (admitted, active >= 8 slots);
-  /// computed once at finish() so consumers need not re-summarize.
+  /// True when `summary` is populated (admitted with a non-empty trace);
+  /// computed once at finish() so consumers need not re-summarize. Sessions
+  /// active < 8 slots carry a partial summary (summary.partial) whose means
+  /// are valid but whose stability verdict is reported as "too-short".
   bool has_summary = false;
   TraceSummary summary;
   /// Per-slot record over the active window (empty when rejected).
@@ -119,7 +121,67 @@ class SessionManager {
   std::size_t submit(const SessionSpec& spec);
 
   /// Advances one slot, consuming `capacity_bytes` of link capacity.
+  /// Equivalent to begin_slot() + decide over all active sessions +
+  /// finish_slot(capacity_bytes).
   void step(double capacity_bytes);
+
+  // --- Phase API -----------------------------------------------------------
+  // step() split open so an external driver (EdgeCluster) can interleave the
+  // phases of several links: close/admit everywhere, place cross-link
+  // arrivals, fan the decide work of *all* links through one executor, then
+  // drain each link with its own capacity draw. Call order per slot:
+  // begin_slot() [+ try_place()*] -> decide_session(i) for i in
+  // [0, decide_width()) -> finish_slot(). step() composes exactly these.
+
+  /// Link-level outcome of one slot, returned by finish_slot() so external
+  /// drivers can aggregate fleet metrics across links.
+  struct SlotReport {
+    double capacity_offered = 0.0;
+    /// Bytes that actually drained queues (never exceeds offered).
+    double capacity_used = 0.0;
+    std::size_t active_sessions = 0;
+  };
+
+  /// Closes this slot's departures, then admits its due internal arrivals
+  /// (so a same-slot arrival sees the freed link reservation).
+  void begin_slot();
+
+  /// Active sessions this slot (the decide fan-out width).
+  [[nodiscard]] std::size_t decide_width() const noexcept {
+    return active_.size();
+  }
+
+  /// Runs active session i's local controller for the current slot. Touches
+  /// only session-i state: safe to fan out across any executor, and the
+  /// result is bit-identical for any thread count. Allocation-free in steady
+  /// state (workload/quality are non-owning views over the frame cache).
+  void decide_session(std::size_t i);
+
+  /// Schedules the slot's capacity, drains queues, records metrics, and
+  /// advances the slot clock.
+  SlotReport finish_slot(double capacity_bytes);
+
+  /// External-placement hook (EdgeCluster): runs this link's admission on
+  /// `spec` right now. On accept the session is created *active at the
+  /// current slot* under the caller-assigned `session_id` (which also seeds
+  /// the per-session RNG stream, so placement decisions never perturb
+  /// another session's randomness). On reject nothing is recorded beyond
+  /// admission stats — the caller may spill the session to another link.
+  /// Same validation as submit(). Call between begin_slot() and the decide
+  /// phase.
+  AdmissionDecision try_place(const SessionSpec& spec, std::size_t session_id);
+
+  /// The link's admission state (reserved load / residual capacity), for
+  /// external placement policies.
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+
+  /// The spec checks submit()/try_place() apply (null cache, candidate
+  /// range, window ordering, elapsed departure, negative weight). Public so
+  /// external drivers validate at their own door with the same rules
+  /// instead of re-implementing them. Throws std::invalid_argument.
+  void validate_spec(const SessionSpec& spec) const;
 
   /// Slots elapsed.
   [[nodiscard]] std::size_t slot() const noexcept { return slot_; }
@@ -136,13 +198,19 @@ class SessionManager {
 
   void admit_arrivals();
   void close_departures();
+  void activate(Session& s);
 
   ServingConfig config_;
   AdmissionController admission_;
   std::unique_ptr<EdgeScheduler> scheduler_;
   ParallelExecutor executor_;
   std::vector<std::unique_ptr<Session>> sessions_;  // submission order
-  std::vector<Session*> active_;                    // admission order
+  // Not-yet-arrived sessions, sorted by (due slot, id); the prefix before
+  // pending_head_ has been consumed. Keeps the per-slot arrival scan at
+  // O(arrivals due) instead of O(all sessions ever submitted).
+  std::vector<Session*> pending_;
+  std::size_t pending_head_ = 0;
+  std::vector<Session*> active_;  // admission order
   ServerMetrics metrics_;
   std::size_t slot_ = 0;
   bool finished_ = false;

@@ -30,6 +30,13 @@ TraceSummary Trace::summarize() const {
   if (steps_.size() < 8) {
     throw std::logic_error("Trace::summarize: need >= 8 slots");
   }
+  return summarize_partial();
+}
+
+TraceSummary Trace::summarize_partial() const {
+  if (steps_.empty()) {
+    throw std::logic_error("Trace::summarize_partial: empty trace");
+  }
   TraceSummary summary;
   double q_sum = 0.0, b_sum = 0.0, d_sum = 0.0, a_sum = 0.0, s_sum = 0.0;
   for (const StepRecord& s : steps_) {
@@ -47,6 +54,16 @@ TraceSummary Trace::summarize() const {
   summary.mean_arrivals = a_sum / n;
   summary.mean_service = s_sum / n;
   summary.final_backlog = steps_.back().backlog_end;
+  if (steps_.size() < 8) {
+    // Too short for the regression-based stability classifier: report the
+    // observables we do have and flag the summary partial so consumers show
+    // "too-short" instead of a fabricated verdict.
+    summary.partial = true;
+    summary.stability.peak = summary.peak_backlog;
+    summary.stability.time_average = summary.time_average_backlog;
+    summary.stability.tail_mean = summary.time_average_backlog;
+    return summary;
+  }
   // Scale-relative thresholds: a stable queue still holds up to one slot of
   // arrivals at the observation instant (Lindley order: serve, then admit),
   // so "converged to zero" means "at most ~a couple of slots of arrivals";

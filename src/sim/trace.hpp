@@ -30,6 +30,10 @@ struct TraceSummary {
   double mean_depth = 0.0;
   double mean_arrivals = 0.0;
   double mean_service = 0.0;
+  /// True when the trace was too short (< 8 slots) for stability analysis:
+  /// the means above are valid, but `stability` holds only peak/average and
+  /// its verdict must not be trusted (report it as "too-short").
+  bool partial = false;
   StabilityReport stability;
 };
 
@@ -58,6 +62,13 @@ class Trace {
   /// Computes all summary scalars (throws std::logic_error on an empty
   /// trace; stability analysis needs >= 8 slots).
   [[nodiscard]] TraceSummary summarize() const;
+
+  /// summarize() that degrades instead of throwing on short traces: with
+  /// >= 8 slots it returns the full summary, otherwise a partial one
+  /// (means/peaks valid, `partial` set, no stability verdict). Short-lived
+  /// churned sessions still throw on an *empty* trace — there is nothing
+  /// to summarize.
+  [[nodiscard]] TraceSummary summarize_partial() const;
 
   /// Full per-slot CSV (t, depth, arrivals, service, backlog, quality).
   [[nodiscard]] CsvTable to_csv_table() const;

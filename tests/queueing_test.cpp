@@ -20,6 +20,21 @@ TEST(DiscreteQueueTest, LindleyRecursion) {
   EXPECT_EQ(q.time(), 3U);
 }
 
+TEST(DiscreteQueueTest, LastServedReportsDrainedBytesOnly) {
+  DiscreteQueue q;
+  EXPECT_DOUBLE_EQ(q.last_served(), 0.0);  // nothing stepped yet
+  q.step(10.0, 8.0);
+  // Same-slot arrivals enter after service: an empty queue drains nothing
+  // even though 8 bytes of service met 10 bytes of demand.
+  EXPECT_DOUBLE_EQ(q.last_served(), 0.0);
+  q.step(5.0, 8.0);
+  EXPECT_DOUBLE_EQ(q.last_served(), 8.0);  // backlog 10, service 8
+  q.step(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(q.last_served(), 7.0);  // only the 7 left could drain
+  q.reset();
+  EXPECT_DOUBLE_EQ(q.last_served(), 0.0);
+}
+
 TEST(DiscreteQueueTest, NegativeInputsClamped) {
   DiscreteQueue q;
   q.step(-5.0, -3.0);

@@ -4,10 +4,12 @@
 // bit for bit).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <variant>
 
 #include "common/rng.hpp"
 #include "datasets/catalog.hpp"
@@ -145,6 +147,30 @@ TEST(SchedulerTest, ProportionalFairSplitsByWeightedDemand) {
   scheduler.allocate(100.0, {{50.0, 0.0, 0.0}, {10.0, 0.0, 1.0}}, shares);
   EXPECT_NEAR(shares[0], 50.0, 1e-9);
   EXPECT_NEAR(shares[1], 10.0, 1e-9);
+}
+
+TEST(SchedulerTest, WeightedPriorityGroupsWeightsFromDifferentArithmetic) {
+  WeightedPriorityScheduler scheduler;
+  std::vector<double> shares;
+  // 0.1 + 0.2 != 0.3 in binary floating point; exact == grouping split these
+  // into a phantom priority tier and starved the "lower" one. The sorted-
+  // permutation grouping treats them as one tier: equal-split water-fill.
+  const double w_sum = 0.1 + 0.2;
+  const double w_lit = 0.3;
+  ASSERT_NE(w_sum, w_lit);  // the premise: different arithmetic paths differ
+  scheduler.allocate(100.0, {{150.0, 0.0, w_sum}, {150.0, 0.0, w_lit}},
+                     shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 50.0, 1e-9);
+  // Order-independent: the literal first gets the same split.
+  scheduler.allocate(100.0, {{150.0, 0.0, w_lit}, {150.0, 0.0, w_sum}},
+                     shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 50.0, 1e-9);
+  // Humanly distinct weights still tier strictly.
+  scheduler.allocate(100.0, {{150.0, 0.0, 0.3}, {150.0, 0.0, 0.31}}, shares);
+  EXPECT_NEAR(shares[0], 0.0, 1e-9);
+  EXPECT_NEAR(shares[1], 100.0, 1e-9);
 }
 
 TEST(SchedulerTest, WeightedPriorityServesTiersInOrder) {
@@ -409,6 +435,105 @@ TEST(SessionManagerTest, NeverArrivedSessionIsNeitherAdmittedNorRejected) {
   EXPECT_EQ(result.fleet.sessions_submitted, 2U);
   EXPECT_EQ(result.fleet.sessions_admitted, 1U);
   EXPECT_EQ(result.fleet.sessions_rejected, 0U);
+}
+
+TEST(SessionManagerTest, CapacityUsedEqualsBytesActuallyDrained) {
+  // Queues serve only pre-existing backlog (Lindley: serve, then admit), so
+  // the link must be charged min(Q(t), share) per session — the old
+  // min(share, backlog + arrivals) counted undrainable same-slot arrivals
+  // as used capacity and over-reported utilization.
+  ServingConfig config = small_config();
+  config.steps = 40;
+  ConstantChannel channel(1e9);  // never the bottleneck
+  std::vector<SessionSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].cache = &shared_cache();
+    specs[i].seed = i;
+  }
+  const ServingResult result = run_serving_scenario(config, specs, channel);
+
+  double drained = 0.0;       // what the queues actually served
+  double old_accounting = 0.0;  // what the old code charged the link
+  for (const SessionOutcome& s : result.sessions) {
+    for (const StepRecord& r : s.trace.steps()) {
+      drained += std::min(r.backlog_begin, r.service);
+      old_accounting += std::min(r.service, r.backlog_begin + r.arrivals);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.fleet.capacity_used, drained);
+  // The over-report was real: with arrivals every slot the old accounting
+  // strictly exceeds the drained bytes.
+  EXPECT_GT(old_accounting, drained);
+  EXPECT_LE(result.fleet.capacity_used, result.fleet.capacity_offered);
+}
+
+TEST(SessionManagerTest, ShortSessionGetsPartialSummary) {
+  // A 3-slot session used to vanish from fleet quality aggregates and print
+  // a "-" row; now it carries a partial summary with a "too-short" verdict.
+  ServingConfig config = small_config();
+  config.steps = 30;
+  ConstantChannel channel(1e9);
+  SessionSpec brief;
+  brief.cache = &shared_cache();
+  brief.arrival_slot = 0;
+  brief.departure_slot = 3;
+  SessionSpec full;
+  full.cache = &shared_cache();
+  const ServingResult result =
+      run_serving_scenario(config, {brief, full}, channel);
+
+  const SessionOutcome& short_session = result.sessions[0];
+  ASSERT_TRUE(short_session.admitted);
+  ASSERT_EQ(short_session.trace.size(), 3U);
+  ASSERT_TRUE(short_session.has_summary);
+  EXPECT_TRUE(short_session.summary.partial);
+  EXPECT_GT(short_session.summary.time_average_quality, 0.0);
+  EXPECT_GE(short_session.summary.mean_depth, config.candidates.front());
+  EXPECT_LE(short_session.summary.mean_depth, config.candidates.back());
+
+  // Both sessions now count toward the fleet aggregates.
+  EXPECT_EQ(result.fleet.partial_summary_sessions, 1U);
+  EXPECT_GT(result.fleet.mean_quality, 0.0);
+  EXPECT_GT(result.fleet.quality_fairness, 0.0);
+
+  // The report row carries the means and the "too-short" verdict.
+  EXPECT_EQ(std::get<std::string>(result.session_table.at(0, 8)),
+            "too-short");
+  EXPECT_TRUE(
+      std::holds_alternative<double>(result.session_table.at(0, 5)));
+  // The full-horizon session keeps a real verdict.
+  EXPECT_NE(std::get<std::string>(result.session_table.at(1, 8)), "-");
+  EXPECT_NE(std::get<std::string>(result.session_table.at(1, 8)),
+            "too-short");
+}
+
+TEST(SessionManagerTest, OutOfOrderSubmissionsAdmitInArrivalOrder) {
+  // The pending list admits by (arrival slot, id) regardless of submission
+  // order — the latest-arriving session was submitted first, and the link
+  // only fits two, so it is the one refused.
+  ServingConfig config = small_config();
+  const double load = cheapest_load(config.candidates);
+  ConstantChannel channel(2.5 * load);
+  SessionManager manager(config, channel.mean_capacity_bytes());
+
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  spec.arrival_slot = 30;
+  const std::size_t last = manager.submit(spec);
+  spec.arrival_slot = 20;
+  const std::size_t middle = manager.submit(spec);
+  spec.arrival_slot = 10;
+  const std::size_t first = manager.submit(spec);
+
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    manager.step(channel.next_capacity_bytes());
+  }
+  const ServingResult result = manager.finish();
+  EXPECT_TRUE(result.sessions[first].admitted);
+  EXPECT_TRUE(result.sessions[middle].admitted);
+  EXPECT_FALSE(result.sessions[last].admitted);
+  EXPECT_EQ(result.sessions[last].arrival_slot, 30U);
+  EXPECT_EQ(result.admission.attempts, 3U);
 }
 
 // -------------------------------------------------------- Determinism ----
