@@ -141,15 +141,30 @@ int run_smoke() {
   point.placement = PlacementPolicy::kLeastLoaded;
   point.threads = 2;
   const ClusterResult parallel = run_point(point, ms);
-  if (parallel.metrics.fleet.capacity_used != ll.metrics.fleet.capacity_used ||
-      parallel.metrics.fleet.quality_fairness !=
-          ll.metrics.fleet.quality_fairness) {
+  const bool bit_identical =
+      parallel.metrics.fleet.capacity_used == ll.metrics.fleet.capacity_used &&
+      parallel.metrics.fleet.quality_fairness ==
+          ll.metrics.fleet.quality_fairness;
+  if (!bit_identical) {
     std::printf("smoke FAIL: parallel run diverged from serial\n");
     ++failures;
   } else {
     std::printf("smoke: parallel (2 threads) bit-identical to serial\n");
   }
 
+  // Machine-readable summary so CI can diff the key invariant numbers, not
+  // just this binary's exit code.
+  std::printf(
+      "SMOKE_JSON {\"bench\":\"cluster_placement\",\"rr_admitted\":%zu,"
+      "\"ll_admitted\":%zu,\"ll_beats_rr\":%s,\"rr_spills\":%zu,"
+      "\"ll_link_fairness\":%.6f,\"parallel_bit_identical\":%s,"
+      "\"failures\":%d}\n",
+      rr.metrics.fleet.sessions_admitted, ll.metrics.fleet.sessions_admitted,
+      ll.metrics.fleet.sessions_admitted > rr.metrics.fleet.sessions_admitted
+          ? "true"
+          : "false",
+      rr.metrics.spills, ll.metrics.link_load_fairness,
+      bit_identical ? "true" : "false", failures);
   std::printf(failures == 0 ? "smoke OK\n" : "smoke: %d failure(s)\n",
               failures);
   return failures == 0 ? 0 : 1;

@@ -1,0 +1,131 @@
+// Trace replay demo: the event-driven workload engine end to end.
+//
+// A seeded flash-crowd ScenarioGenerator synthesizes a session trace (sparse
+// base churn, then a 60-slot arrival spike), the trace is written to CSV and
+// loaded back — the same file could be hand-edited or produced by any other
+// tool — and replayed through a two-link EdgeCluster under least-loaded
+// placement. The EventLoop runs open-loop: no horizon anywhere, the run lasts
+// exactly as long as the churn does, idle stretches are fast-forwarded, and
+// periodic snapshots record the spike hitting the admission wall.
+//
+// Build & run:  ./build/examples/trace_replay
+// Writes:       trace_replay_events.csv, trace_replay_snapshots.csv
+#include <cstdio>
+#include <vector>
+
+#include "datasets/catalog.hpp"
+#include "net/streaming.hpp"
+#include "serving/admission.hpp"
+#include "serving/driver/replay.hpp"
+#include "serving/driver/scenario.hpp"
+#include "serving/driver/trace.hpp"
+
+int main() {
+  using namespace arvis;
+
+  // Two content profiles: trace rows reference them by id, staying
+  // content-agnostic until replay binds them.
+  auto subject_a = open_subject("longdress", /*seed=*/5, /*scale=*/0.02);
+  auto subject_b = open_subject("loot", /*seed=*/6, /*scale=*/0.02);
+  if (!subject_a.ok() || !subject_b.ok()) {
+    std::fprintf(stderr, "failed to open subjects\n");
+    return 1;
+  }
+  const FrameStatsCache cache_a(**subject_a, /*octree_depth=*/9,
+                                /*frame_limit=*/8);
+  const FrameStatsCache cache_b(**subject_b, 9, 8);
+  const std::vector<const FrameStatsCache*> profiles{&cache_a, &cache_b};
+
+  // A flash crowd over sparse base churn.
+  ScenarioConfig scenario;
+  scenario.horizon = 1'200;
+  scenario.base_rate = 0.004;
+  scenario.mean_duration = 60.0;
+  scenario.max_duration = 150;
+  scenario.profile_count = profiles.size();
+  scenario.best_effort_fraction = 0.25;
+  scenario.premium_fraction = 0.15;
+  scenario.spike_duration = 60;
+  scenario.spike_multiplier = 100.0;
+  scenario.seed = 2'022;
+  const WorkloadTrace generated =
+      make_scenario(ScenarioKind::kFlashCrowd, scenario)->generate();
+
+  // Round-trip through the CSV format, then replay the *loaded* file.
+  const std::string trace_path = "trace_replay_events.csv";
+  if (!generated.write_csv_file(trace_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  const Result<WorkloadTrace> loaded = load_workload_trace(trace_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "reload failed: %s\n",
+                 loaded.status().to_string().c_str());
+    return 1;
+  }
+
+  ReplayConfig config;
+  config.cluster.serving.steps = scenario.horizon;  // reservation hint
+  config.cluster.serving.candidates = {4, 5, 6, 7, 8};
+  config.cluster.serving.v =
+      calibrate_streaming_v(cache_a, config.cluster.serving.candidates,
+                            3.0 * cache_a.workload(0).bytes(5));
+  config.cluster.serving.policy = SchedulerPolicy::kDeficitRoundRobin;
+  config.cluster.serving.pf_ewma_window = 0.0;
+  config.cluster.serving.admission.utilization_target = 0.95;
+  config.cluster.placement = PlacementPolicy::kLeastLoaded;
+  config.driver.snapshot_period = 60;
+
+  // Two links, each sized for about three cheapest-depth sessions: the base
+  // churn fits with room to spare, the spike slams into the admission wall.
+  const double load = AdmissionController::cheapest_depth_load(
+      cache_a, config.cluster.serving.candidates);
+  ConstantChannel link0(3.5 * load / 0.95);
+  ConstantChannel link1(3.5 * load / 0.95);
+  std::vector<ChannelModel*> channels{&link0, &link1};
+
+  const ReplayResult result =
+      replay_trace(config, *loaded, profiles, channels);
+
+  const std::size_t spike_start = scenario.resolved_spike_start();
+  std::printf(
+      "replayed %zu sessions (%zu-slot arrival horizon, spike at [%zu, %zu))\n"
+      "through K=%zu links, %s placement, deficit-round-robin link schedule:\n"
+      "\n%s\n",
+      loaded->events.size(), scenario.horizon, spike_start,
+      spike_start + scenario.spike_duration, result.cluster.metrics.link_count,
+      to_string(config.cluster.placement),
+      result.report.snapshot_table().to_pretty_string().c_str());
+
+  std::printf("per-QoS-tier outcome:\n");
+  for (std::size_t q = 0; q < kQosClassCount; ++q) {
+    const QosOutcome& tier = result.per_qos[q];
+    std::printf("  %-11s  %3zu arrived  %3zu admitted  %3zu rejected\n",
+                to_string(static_cast<QosClass>(q)), tier.arrivals,
+                tier.admitted, tier.rejected);
+  }
+  std::printf(
+      "\nfleet: %zu admitted, %zu refused outright (%zu spills rescued), "
+      "utilization %.1f%%,\n"
+      "       run ended itself at slot %zu — %zu slots executed, %zu idle "
+      "slots skipped\n"
+      "(the spike is the only stretch that rejects: watch the `rejected` "
+      "column jump\n"
+      "across it and stay flat everywhere else)\n",
+      result.cluster.metrics.fleet.sessions_admitted,
+      result.cluster.metrics.placement_rejects, result.cluster.metrics.spills,
+      100.0 * result.cluster.metrics.fleet.utilization(),
+      result.report.slots_executed + result.report.slots_skipped,
+      result.report.slots_executed, result.report.slots_skipped);
+
+  if (!result.report.snapshot_table()
+           .write_file("trace_replay_snapshots.csv")
+           .ok()) {
+    std::fprintf(stderr, "cannot write trace_replay_snapshots.csv\n");
+    return 1;
+  }
+  std::printf(
+      "\nwrote trace_replay_events.csv (the replayable trace) and "
+      "trace_replay_snapshots.csv\n");
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "queueing/arrival_process.hpp"
 
+#include <cmath>
+#include <numbers>
 #include <stdexcept>
 
 namespace arvis {
@@ -49,6 +51,64 @@ double BurstyArrivals::mean_rate() const {
   if (denom <= 0.0) return on_mean_;
   const double pi_on = p_off_on_ / denom;
   return pi_on * on_mean_;
+}
+
+SinusoidModulatedArrivals::SinusoidModulatedArrivals(double base_mean,
+                                                     double amplitude,
+                                                     std::size_t period_slots,
+                                                     Rng rng)
+    : base_mean_(base_mean),
+      amplitude_(amplitude),
+      period_(period_slots),
+      rng_(rng) {
+  if (base_mean < 0.0) {
+    throw std::invalid_argument(
+        "SinusoidModulatedArrivals: base_mean must be >= 0");
+  }
+  if (amplitude < 0.0 || amplitude > 1.0) {
+    throw std::invalid_argument(
+        "SinusoidModulatedArrivals: amplitude must be in [0,1]");
+  }
+  if (period_slots == 0) {
+    throw std::invalid_argument(
+        "SinusoidModulatedArrivals: period must be > 0");
+  }
+}
+
+double SinusoidModulatedArrivals::rate_at(std::size_t t) const noexcept {
+  const double phase = 2.0 * std::numbers::pi *
+                       static_cast<double>(t % period_) /
+                       static_cast<double>(period_);
+  return base_mean_ * (1.0 + amplitude_ * std::sin(phase));
+}
+
+double SinusoidModulatedArrivals::next_arrivals() {
+  return static_cast<double>(rng_.poisson(rate_at(t_++)));
+}
+
+FlashCrowdArrivals::FlashCrowdArrivals(double base_mean, double multiplier,
+                                       std::size_t spike_start,
+                                       std::size_t spike_duration, Rng rng)
+    : base_mean_(base_mean),
+      multiplier_(multiplier),
+      spike_start_(spike_start),
+      spike_end_(spike_start + spike_duration),
+      rng_(rng) {
+  if (base_mean < 0.0) {
+    throw std::invalid_argument("FlashCrowdArrivals: base_mean must be >= 0");
+  }
+  if (multiplier < 0.0) {
+    throw std::invalid_argument("FlashCrowdArrivals: multiplier must be >= 0");
+  }
+}
+
+double FlashCrowdArrivals::rate_at(std::size_t t) const noexcept {
+  const bool in_spike = t >= spike_start_ && t < spike_end_;
+  return in_spike ? base_mean_ * multiplier_ : base_mean_;
+}
+
+double FlashCrowdArrivals::next_arrivals() {
+  return static_cast<double>(rng_.poisson(rate_at(t_++)));
 }
 
 }  // namespace arvis

@@ -65,4 +65,57 @@ class BurstyArrivals final : public ArrivalProcess {
   Rng rng_;
 };
 
+/// Diurnal (sine-modulated) Poisson arrivals: slot t draws
+/// Poisson(base * (1 + amplitude * sin(2π t / period))). With amplitude in
+/// [0, 1] the instantaneous rate stays >= 0; the sine integrates to zero over
+/// a period, so the long-run mean is `base`.
+class SinusoidModulatedArrivals final : public ArrivalProcess {
+ public:
+  /// Throws std::invalid_argument on base < 0, amplitude outside [0, 1], or
+  /// period == 0.
+  SinusoidModulatedArrivals(double base_mean, double amplitude,
+                            std::size_t period_slots, Rng rng);
+
+  [[nodiscard]] double next_arrivals() override;
+  [[nodiscard]] double mean_rate() const override { return base_mean_; }
+  [[nodiscard]] std::string name() const override { return "sinusoid"; }
+
+  /// The deterministic rate the process draws from at slot t.
+  [[nodiscard]] double rate_at(std::size_t t) const noexcept;
+
+ private:
+  double base_mean_;
+  double amplitude_;
+  std::size_t period_;
+  std::size_t t_ = 0;
+  Rng rng_;
+};
+
+/// Flash-crowd arrivals: Poisson(base) everywhere except a spike window
+/// [spike_start, spike_start + spike_duration), where the rate is
+/// base * multiplier. mean_rate() reports the long-run mean — the base rate —
+/// since the spike is a transient, not a stationary regime.
+class FlashCrowdArrivals final : public ArrivalProcess {
+ public:
+  /// Throws std::invalid_argument on base < 0 or multiplier < 0.
+  FlashCrowdArrivals(double base_mean, double multiplier,
+                     std::size_t spike_start, std::size_t spike_duration,
+                     Rng rng);
+
+  [[nodiscard]] double next_arrivals() override;
+  [[nodiscard]] double mean_rate() const override { return base_mean_; }
+  [[nodiscard]] std::string name() const override { return "flash-crowd"; }
+
+  /// The deterministic rate the process draws from at slot t.
+  [[nodiscard]] double rate_at(std::size_t t) const noexcept;
+
+ private:
+  double base_mean_;
+  double multiplier_;
+  std::size_t spike_start_;
+  std::size_t spike_end_;
+  std::size_t t_ = 0;
+  Rng rng_;
+};
+
 }  // namespace arvis

@@ -217,6 +217,36 @@ std::size_t EdgeCluster::active_count() const noexcept {
   return total;
 }
 
+std::size_t EdgeCluster::next_pending_arrival_slot() const noexcept {
+  return pending_head_ < pending_.size()
+             ? entries_[pending_[pending_head_]]->due
+             : kNeverDeparts;
+}
+
+std::size_t EdgeCluster::skip_idle_slots(std::size_t max_slots) {
+  if (finished_) {
+    throw std::logic_error("EdgeCluster::skip_idle_slots: already finished");
+  }
+  if (active_count() != 0) {
+    throw std::logic_error("EdgeCluster::skip_idle_slots: sessions are active");
+  }
+  std::size_t slots = max_slots;
+  if (pending_head_ < pending_.size()) {
+    const std::size_t due = entries_[pending_[pending_head_]]->due;
+    slots = due > slot_ ? std::min(slots, due - slot_) : 0;
+  }
+  // The links hold no internal pending arrivals (placement injects sessions
+  // via try_place only), so each accepts the full skip; anything else means
+  // the link clocks desynced from the cluster's.
+  for (auto& link : links_) {
+    if (link->skip_idle_slots(slots) != slots) {
+      throw std::logic_error("EdgeCluster::skip_idle_slots: link desynced");
+    }
+  }
+  slot_ += slots;
+  return slots;
+}
+
 ClusterResult EdgeCluster::finish() {
   if (finished_) {
     throw std::logic_error("EdgeCluster::finish: already finished");
@@ -243,6 +273,7 @@ ClusterResult EdgeCluster::finish() {
     ClusterSessionOutcome out;
     out.link = e.link;
     out.spilled = e.spilled;
+    out.arrived = e.arrived;
     if (e.admitted) {
       out.session = std::move(
           link_results[static_cast<std::size_t>(where[e.id].first)]
@@ -339,30 +370,8 @@ ClusterResult EdgeCluster::finish() {
   return result;
 }
 
-ClusterResult run_cluster_scenario(const ClusterConfig& config,
-                                   const std::vector<SessionSpec>& specs,
-                                   const std::vector<ChannelModel*>& channels) {
-  if (channels.empty()) {
-    throw std::invalid_argument("run_cluster_scenario: need >= 1 channel");
-  }
-  std::vector<double> means;
-  means.reserve(channels.size());
-  for (ChannelModel* channel : channels) {
-    if (channel == nullptr) {
-      throw std::invalid_argument("run_cluster_scenario: null channel");
-    }
-    means.push_back(channel->mean_capacity_bytes());
-  }
-  EdgeCluster cluster(config, means);
-  for (const SessionSpec& spec : specs) cluster.submit(spec);
-  std::vector<double> caps(channels.size());
-  for (std::size_t t = 0; t < config.serving.steps; ++t) {
-    for (std::size_t k = 0; k < channels.size(); ++k) {
-      caps[k] = channels[k]->next_capacity_bytes();
-    }
-    cluster.step(caps);
-  }
-  return cluster.finish();
-}
+// run_cluster_scenario is defined in serving/driver/event_loop.cpp: the
+// fixed-horizon loop is now a thin wrapper over the event-driven driver, so
+// the driver is the single execution path.
 
 }  // namespace arvis

@@ -69,6 +69,9 @@ struct ClusterSessionOutcome {
   int link = -1;
   /// Admitted by a link other than its first choice.
   bool spilled = false;
+  /// False when the run ended before the session's arrival slot: placement
+  /// never saw it, so it counts as neither admitted nor refused.
+  bool arrived = false;
   SessionOutcome session;
 };
 
@@ -137,6 +140,29 @@ class EdgeCluster {
     return *links_.at(k);
   }
 
+  // Running counters, readable mid-run (the event-driven driver samples
+  // them for periodic metrics snapshots).
+  /// Cluster-wide slot aggregates (summed capacity offered/used).
+  [[nodiscard]] const ServerMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  /// Sessions admitted via a non-first-choice link so far.
+  [[nodiscard]] std::size_t spills() const noexcept { return spills_; }
+  /// Sessions refused by every link they were offered to so far.
+  [[nodiscard]] std::size_t placement_rejects() const noexcept {
+    return placement_rejects_;
+  }
+
+  /// Due slot of the earliest not-yet-placed submitted session, or
+  /// kNeverDeparts when none are pending.
+  [[nodiscard]] std::size_t next_pending_arrival_slot() const noexcept;
+
+  /// Fast-forwards every link's slot clock across an idle stretch (no active
+  /// sessions on any link). Same contract as
+  /// SessionManager::skip_idle_slots: clamps at the earliest pending
+  /// arrival, skipped slots offer no capacity, returns slots skipped.
+  std::size_t skip_idle_slots(std::size_t max_slots);
+
   /// Closes every still-active session at the current slot and returns the
   /// full result. The cluster is spent afterwards (submit/step throw).
   ClusterResult finish();
@@ -169,7 +195,9 @@ class EdgeCluster {
 
 /// Convenience one-shot mirroring run_serving_scenario: submits `specs`,
 /// steps `config.serving.steps` slots drawing every link's capacity from its
-/// channel (`channels[k]` drives link k; all non-null), and finishes.
+/// channel (`channels[k]` drives link k; all non-null), and finishes. Like
+/// run_serving_scenario, a thin wrapper over an EventLoop in fixed-horizon
+/// mode (defined in serving/driver/event_loop.cpp).
 ClusterResult run_cluster_scenario(const ClusterConfig& config,
                                    const std::vector<SessionSpec>& specs,
                                    const std::vector<ChannelModel*>& channels);

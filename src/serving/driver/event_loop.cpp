@@ -1,0 +1,274 @@
+#include "serving/driver/event_loop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "serving/metrics.hpp"
+
+namespace arvis {
+
+std::vector<double> validated_channel_means(
+    const std::vector<ChannelModel*>& channels, const char* who) {
+  if (channels.empty()) {
+    throw std::invalid_argument(std::string(who) + ": need >= 1 channel");
+  }
+  std::vector<double> means;
+  means.reserve(channels.size());
+  for (ChannelModel* channel : channels) {
+    if (channel == nullptr) {
+      throw std::invalid_argument(std::string(who) + ": null channel");
+    }
+    means.push_back(channel->mean_capacity_bytes());
+  }
+  return means;
+}
+
+CsvTable DriverReport::snapshot_table() const {
+  CsvTable table({"slot", "active", "admitted", "rejected", "offered", "used",
+                  "window_utilization", "link_fairness"});
+  for (const MetricsSnapshot& s : snapshots) {
+    table.add_row({static_cast<std::int64_t>(s.slot),
+                   static_cast<std::int64_t>(s.active_sessions),
+                   static_cast<std::int64_t>(s.admitted_total),
+                   static_cast<std::int64_t>(s.rejected_total),
+                   s.capacity_offered_total, s.capacity_used_total,
+                   s.window_utilization, s.link_load_fairness});
+  }
+  return table;
+}
+
+void SessionManagerBackend::sample(MetricsSnapshot& out,
+                                   std::vector<double>& per_link_used) const {
+  out.active_sessions = manager_->active_count();
+  out.admitted_total = manager_->admission_stats().accepted;
+  out.rejected_total = manager_->admission_stats().rejected;
+  out.capacity_offered_total = manager_->metrics().capacity_offered_total();
+  out.capacity_used_total = manager_->metrics().capacity_used_total();
+  per_link_used.assign(1, out.capacity_used_total);
+}
+
+ClusterBackend::ClusterBackend(EdgeCluster& cluster,
+                               std::vector<ChannelModel*> channels)
+    : cluster_(&cluster), channels_(std::move(channels)) {
+  if (channels_.size() != cluster_->link_count()) {
+    throw std::invalid_argument(
+        "ClusterBackend: one channel per link required");
+  }
+  for (const ChannelModel* channel : channels_) {
+    if (channel == nullptr) {
+      throw std::invalid_argument("ClusterBackend: null channel");
+    }
+  }
+  caps_.resize(channels_.size());
+}
+
+void ClusterBackend::step_slot() {
+  for (std::size_t k = 0; k < channels_.size(); ++k) {
+    caps_[k] = channels_[k]->next_capacity_bytes();
+  }
+  cluster_->step(caps_);
+}
+
+void ClusterBackend::sample(MetricsSnapshot& out,
+                            std::vector<double>& per_link_used) const {
+  out.active_sessions = cluster_->active_count();
+  std::size_t accepted = 0;
+  per_link_used.resize(cluster_->link_count());
+  for (std::size_t k = 0; k < cluster_->link_count(); ++k) {
+    accepted += cluster_->link(k).admission_stats().accepted;
+    per_link_used[k] = cluster_->link(k).metrics().capacity_used_total();
+  }
+  out.admitted_total = accepted;
+  out.rejected_total = cluster_->placement_rejects();
+  out.capacity_offered_total = cluster_->metrics().capacity_offered_total();
+  out.capacity_used_total = cluster_->metrics().capacity_used_total();
+}
+
+EventLoop::EventLoop(const DriverConfig& config, ServingBackend& backend)
+    : config_(config), backend_(&backend) {}
+
+void EventLoop::push(std::size_t slot, EventKind kind, std::size_t payload) {
+  if (ran_ && kind != EventKind::kSnapshot) {
+    throw std::logic_error("EventLoop: cannot schedule after run()");
+  }
+  if (kind == EventKind::kArrival) ++arrival_events_;
+  if (kind == EventKind::kStop) ++stop_events_;
+  events_.push(Event{slot, seq_++, kind, payload});
+}
+
+void EventLoop::schedule_arrival(std::size_t slot, const SessionSpec& spec) {
+  specs_.push_back(spec);
+  push(slot, EventKind::kArrival, specs_.size() - 1);
+}
+
+void EventLoop::schedule_departure_marker(std::size_t slot) {
+  push(slot, EventKind::kDeparture, 0);
+}
+
+void EventLoop::schedule_stop(std::size_t slot) {
+  push(slot, EventKind::kStop, 0);
+}
+
+void EventLoop::take_snapshot(std::size_t slot, DriverReport& report) {
+  MetricsSnapshot snapshot;
+  snapshot.slot = slot;
+  backend_->sample(snapshot, per_link_used_);
+
+  const double window_offered =
+      snapshot.capacity_offered_total - prev_offered_;
+  const double window_used = snapshot.capacity_used_total - prev_used_;
+  snapshot.window_utilization =
+      window_offered > 0.0 ? window_used / window_offered : 0.0;
+
+  // Jain fairness over how much each link actually drained this window: 1.0
+  // when the placement spread the window's real work evenly (or when there
+  // was no work / one link — nobody was favoured).
+  if (per_link_used_.size() > 1) {
+    window_per_link_.resize(per_link_used_.size());
+    prev_per_link_used_.resize(per_link_used_.size(), 0.0);
+    for (std::size_t k = 0; k < per_link_used_.size(); ++k) {
+      window_per_link_[k] = per_link_used_[k] - prev_per_link_used_[k];
+    }
+    snapshot.link_load_fairness = jain_fairness_index(window_per_link_);
+  }
+  prev_offered_ = snapshot.capacity_offered_total;
+  prev_used_ = snapshot.capacity_used_total;
+  prev_per_link_used_ = per_link_used_;
+
+  report.snapshots.push_back(snapshot);
+}
+
+DriverReport EventLoop::run() {
+  if (ran_) {
+    throw std::logic_error("EventLoop::run: already ran");
+  }
+  DriverReport report;
+  // Arm the periodic snapshot (and seed the window baseline) before any
+  // events fire; snapshots are ordinary calendar entries from here on.
+  {
+    MetricsSnapshot baseline;
+    backend_->sample(baseline, per_link_used_);
+    prev_offered_ = baseline.capacity_offered_total;
+    prev_used_ = baseline.capacity_used_total;
+    prev_per_link_used_ = per_link_used_;
+  }
+  if (config_.snapshot_period > 0) {
+    push(backend_->slot() + config_.snapshot_period, EventKind::kSnapshot, 0);
+  }
+  ran_ = true;
+
+  bool stopped = false;
+  while (true) {
+    const std::size_t now = backend_->slot();
+
+    // Fire everything due at or before this slot, in (slot, schedule-order):
+    // arrivals enter the runtime before the slot executes, a snapshot at S
+    // samples the end-of-slot-(S-1) state, a stop at S halts before S runs.
+    while (!events_.empty() && events_.top().slot <= now) {
+      const Event event = events_.top();
+      events_.pop();
+      switch (event.kind) {
+        case EventKind::kArrival:
+          --arrival_events_;
+          backend_->submit(specs_[event.payload]);
+          ++report.arrivals_injected;
+          break;
+        case EventKind::kDeparture:
+          ++report.departure_markers;
+          break;
+        case EventKind::kSnapshot:
+          take_snapshot(event.slot, report);
+          push(event.slot + config_.snapshot_period, EventKind::kSnapshot, 0);
+          break;
+        case EventKind::kStop:
+          --stop_events_;
+          stopped = true;
+          break;
+      }
+    }
+    if (stopped) break;
+    if (report.slots_executed >= config_.max_slots) {
+      report.hit_slot_cap = true;
+      break;
+    }
+
+    const std::size_t pending = backend_->next_pending_arrival_slot();
+    const bool work_now = backend_->active_count() > 0 || pending <= now;
+    if (work_now) {
+      backend_->step_slot();
+      ++report.slots_executed;
+      continue;
+    }
+
+    // Idle with no arrivals ever coming: the churn is over. A queued stop
+    // only keeps the run alive in dense mode, where it defines the horizon
+    // and the empty slots up to it must execute; in idle-skip mode it is a
+    // ceiling, and waiting for it would only manufacture a phantom idle
+    // tail of skipped slots and empty snapshots. Self-re-arming snapshots
+    // and pure-observation markers never keep the run alive.
+    if (pending == kNoSlot && arrival_events_ == 0 &&
+        (config_.skip_idle || stop_events_ == 0)) {
+      break;
+    }
+
+    // Idle: nothing to serve this slot. Find the next slot anything happens
+    // (snapshots included, so idle gaps still sample on schedule).
+    std::size_t next = pending;
+    if (!events_.empty()) next = std::min(next, events_.top().slot);
+    if (next == kNoSlot) break;  // calendar drained — the run is over
+    if (config_.skip_idle) {
+      backend_->skip_idle_slots(next - now);
+      report.slots_skipped += next - now;
+    } else {
+      // Dense mode: execute the empty slot, capacity draw and all — the
+      // fixed-horizon contract.
+      backend_->step_slot();
+      ++report.slots_executed;
+    }
+  }
+  return report;
+}
+
+// --------------------------------------------------------------------------
+// The fixed-horizon one-shots, re-expressed over the event loop. Dense mode
+// (skip_idle off) plus a stop event at `steps` reproduces the pre-driver
+// hand-rolled loops bit for bit: same submit order, one step per slot
+// drawing the same capacity sequence, nothing else — asserted in
+// tests/serving_test.cpp and tests/cluster_test.cpp.
+
+ServingResult run_serving_scenario(const ServingConfig& config,
+                                   const std::vector<SessionSpec>& specs,
+                                   ChannelModel& channel) {
+  SessionManager manager(config, channel.mean_capacity_bytes());
+  for (const SessionSpec& spec : specs) manager.submit(spec);
+
+  DriverConfig driver;
+  driver.skip_idle = false;
+  driver.max_slots = kNoSlot;
+  SessionManagerBackend backend(manager, channel);
+  EventLoop loop(driver, backend);
+  loop.schedule_stop(config.steps);
+  loop.run();
+  return manager.finish();
+}
+
+ClusterResult run_cluster_scenario(const ClusterConfig& config,
+                                   const std::vector<SessionSpec>& specs,
+                                   const std::vector<ChannelModel*>& channels) {
+  const std::vector<double> means =
+      validated_channel_means(channels, "run_cluster_scenario");
+  EdgeCluster cluster(config, means);
+  for (const SessionSpec& spec : specs) cluster.submit(spec);
+
+  DriverConfig driver;
+  driver.skip_idle = false;
+  driver.max_slots = kNoSlot;
+  ClusterBackend backend(cluster, channels);
+  EventLoop loop(driver, backend);
+  loop.schedule_stop(config.serving.steps);
+  loop.run();
+  return cluster.finish();
+}
+
+}  // namespace arvis

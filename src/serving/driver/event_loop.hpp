@@ -1,0 +1,261 @@
+// EventLoop: the event-driven workload engine on top of the serving phase
+// API.
+//
+// PR 1–2 could only run fixed-horizon scenarios: every session declared up
+// front, the loop stepping a preordained number of slots. The paper's edge
+// server faces the opposite regime — open-loop, bursty, unpredictable churn
+// with no natural horizon. The EventLoop closes that gap with a calendar
+// queue of timed events:
+//
+//   arrival    inject a SessionSpec into the runtime at its slot
+//   departure  marker mirroring a known departure (the close itself runs
+//              inside the runtime via SessionSpec::departure_slot; the
+//              marker keeps the calendar observable and counted)
+//   snapshot   periodic metrics sample (re-arms itself every period)
+//   control    stop the run before a given slot (the fixed-horizon mode)
+//
+// The loop advances the runtime slot-by-slot only while work exists (active
+// sessions, or arrivals due now). Across idle stretches it fast-forwards the
+// slot clock to the next event instead of burning capacity draws on empty
+// slots — an event-driven server does not spin while nobody streams. With
+// skip_idle off and a stop event armed it degenerates to exactly the old
+// fixed-horizon loop, which is how run_serving_scenario and
+// run_cluster_scenario are now implemented (bit-for-bit, tested): one
+// execution path, two driving styles.
+//
+// The loop is runtime-agnostic through ServingBackend: the same engine
+// drives a single SessionManager link or a K-link EdgeCluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "net/channel.hpp"
+#include "serving/cluster.hpp"
+#include "serving/session_manager.hpp"
+
+namespace arvis {
+
+/// "No such slot" sentinel (events, pending arrivals, stop slots).
+inline constexpr std::size_t kNoSlot = kNeverDeparts;
+
+struct DriverConfig {
+  /// Slots between periodic metrics snapshots (0 = none). Snapshots fire on
+  /// the calendar, so an idle gap still produces its regularly spaced
+  /// samples (with zero activity) — time series stay rectangular.
+  std::size_t snapshot_period = 0;
+  /// Fast-forward the slot clock across idle stretches. Off reproduces the
+  /// dense fixed-horizon loop: every slot executes and draws capacity.
+  bool skip_idle = true;
+  /// Safety valve for open-ended runs (e.g. a trace with a never-departing
+  /// session and no stop event): the loop stops after this many *executed*
+  /// slots and flags the report. kNoSlot = uncapped.
+  std::size_t max_slots = 1'000'000;
+};
+
+/// One periodic sample of the runtime's running counters. Counter fields are
+/// cumulative since the start of the run; window fields cover the stretch
+/// since the previous snapshot.
+struct MetricsSnapshot {
+  /// Slots completed when the sample was taken.
+  std::size_t slot = 0;
+  std::size_t active_sessions = 0;
+  /// Sessions accepted by admission so far (cluster: placed on any link).
+  std::size_t admitted_total = 0;
+  /// Sessions refused outright so far (cluster: refused by every link
+  /// offered, i.e. placement rejects — per-link spill refusals that were
+  /// later rescued do not count).
+  std::size_t rejected_total = 0;
+  double capacity_offered_total = 0.0;
+  double capacity_used_total = 0.0;
+  /// used / offered over the window since the previous snapshot (0 when the
+  /// window offered nothing, e.g. an idle gap).
+  double window_utilization = 0.0;
+  /// Jain fairness of per-link capacity_used over the window (1.0 for a
+  /// single link or an idle window).
+  double link_load_fairness = 1.0;
+};
+
+/// What one EventLoop::run produced, besides the backend's own results.
+struct DriverReport {
+  std::vector<MetricsSnapshot> snapshots;
+  std::size_t slots_executed = 0;
+  /// Idle slots fast-forwarded (0 when skip_idle is off).
+  std::size_t slots_skipped = 0;
+  std::size_t arrivals_injected = 0;
+  std::size_t departure_markers = 0;
+  /// True when DriverConfig::max_slots ended the run.
+  bool hit_slot_cap = false;
+
+  /// Snapshot time series as CSV (slot, active, admitted, rejected,
+  /// offered, used, window_utilization, link_fairness).
+  [[nodiscard]] CsvTable snapshot_table() const;
+};
+
+/// The slice of a serving runtime the EventLoop needs. Implementations own
+/// nothing — they adapt a caller-owned runtime + channel stream(s).
+class ServingBackend {
+ public:
+  virtual ~ServingBackend() = default;
+
+  [[nodiscard]] virtual std::size_t slot() const = 0;
+  [[nodiscard]] virtual std::size_t active_count() const = 0;
+  /// Earliest internally pending arrival's due slot, kNoSlot when none.
+  [[nodiscard]] virtual std::size_t next_pending_arrival_slot() const = 0;
+  virtual void submit(const SessionSpec& spec) = 0;
+  /// Executes one slot, drawing this slot's capacity from the channel(s).
+  virtual void step_slot() = 0;
+  /// Fast-forwards `slots` idle slots (precondition: nothing active).
+  virtual void skip_idle_slots(std::size_t slots) = 0;
+  /// Samples cumulative counters into `out` (slot/window fields are the
+  /// loop's job) and per-link cumulative used bytes into `per_link_used`
+  /// (resized; one entry per link, a single entry for one-link runtimes).
+  virtual void sample(MetricsSnapshot& out,
+                      std::vector<double>& per_link_used) const = 0;
+};
+
+/// Adapts a single-link SessionManager + its capacity stream.
+class SessionManagerBackend final : public ServingBackend {
+ public:
+  SessionManagerBackend(SessionManager& manager, ChannelModel& channel)
+      : manager_(&manager), channel_(&channel) {}
+
+  [[nodiscard]] std::size_t slot() const override { return manager_->slot(); }
+  [[nodiscard]] std::size_t active_count() const override {
+    return manager_->active_count();
+  }
+  [[nodiscard]] std::size_t next_pending_arrival_slot() const override {
+    return manager_->next_pending_arrival_slot();
+  }
+  void submit(const SessionSpec& spec) override { manager_->submit(spec); }
+  void step_slot() override {
+    manager_->step(channel_->next_capacity_bytes());
+  }
+  void skip_idle_slots(std::size_t slots) override {
+    manager_->skip_idle_slots(slots);
+  }
+  void sample(MetricsSnapshot& out,
+              std::vector<double>& per_link_used) const override;
+
+ private:
+  SessionManager* manager_;
+  ChannelModel* channel_;
+};
+
+/// Per-channel mean capacities (the admission calibration input), after
+/// checking the set is non-empty and null-free. Throws std::invalid_argument
+/// otherwise, prefixing messages with `who`. Shared by every driver entry
+/// point that builds a cluster from a channel list.
+std::vector<double> validated_channel_means(
+    const std::vector<ChannelModel*>& channels, const char* who);
+
+/// Adapts a K-link EdgeCluster + one capacity stream per link. Throws
+/// std::invalid_argument when the channel count does not match the cluster's
+/// link count or any channel is null.
+class ClusterBackend final : public ServingBackend {
+ public:
+  ClusterBackend(EdgeCluster& cluster, std::vector<ChannelModel*> channels);
+
+  [[nodiscard]] std::size_t slot() const override { return cluster_->slot(); }
+  [[nodiscard]] std::size_t active_count() const override {
+    return cluster_->active_count();
+  }
+  [[nodiscard]] std::size_t next_pending_arrival_slot() const override {
+    return cluster_->next_pending_arrival_slot();
+  }
+  void submit(const SessionSpec& spec) override { cluster_->submit(spec); }
+  void step_slot() override;
+  void skip_idle_slots(std::size_t slots) override {
+    cluster_->skip_idle_slots(slots);
+  }
+  void sample(MetricsSnapshot& out,
+              std::vector<double>& per_link_used) const override;
+
+ private:
+  EdgeCluster* cluster_;
+  std::vector<ChannelModel*> channels_;
+  std::vector<double> caps_;  // scratch reused across slots
+};
+
+/// The calendar-driven engine. Schedule events, then run() once; harvest
+/// the runtime's results from the backend's underlying object afterwards
+/// (manager.finish() / cluster.finish()). Not thread-safe; one loop per run.
+class EventLoop {
+ public:
+  /// The backend must outlive the loop.
+  EventLoop(const DriverConfig& config, ServingBackend& backend);
+
+  /// Schedules a session arrival at `slot` (>= the backend's current slot).
+  /// The spec's own arrival_slot should agree with `slot`; the runtime
+  /// clamps late declarations to "arrives now" either way.
+  void schedule_arrival(std::size_t slot, const SessionSpec& spec);
+
+  /// Schedules a departure marker: counted in the report when the calendar
+  /// passes it. The session's actual close runs inside the runtime.
+  void schedule_departure_marker(std::size_t slot);
+
+  /// Schedules a stop control event: the loop halts before executing `slot`
+  /// (so exactly `slot` slots execute when counting from 0 and nothing is
+  /// skipped). The earliest scheduled stop wins.
+  void schedule_stop(std::size_t slot);
+
+  /// Drives the backend until stopped, drained (no events, no pending
+  /// arrivals, nothing active), or capped. Throws std::logic_error on a
+  /// second call.
+  DriverReport run();
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kArrival,
+    kDeparture,
+    kSnapshot,
+    kStop,
+  };
+
+  struct Event {
+    std::size_t slot = 0;
+    /// Ties broken by schedule order, so same-slot arrivals submit (and
+    /// therefore get session ids) in the order they were scheduled.
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kArrival;
+    /// Index into specs_ for arrivals.
+    std::size_t payload = 0;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.slot != b.slot) return a.slot > b.slot;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(std::size_t slot, EventKind kind, std::size_t payload);
+  void take_snapshot(std::size_t slot, DriverReport& report);
+
+  DriverConfig config_;
+  ServingBackend* backend_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<SessionSpec> specs_;  // arrival payloads
+  std::uint64_t seq_ = 0;
+  /// Arrival events still queued. Snapshots re-arm themselves and markers
+  /// are pure observations, so neither may keep the run alive; the loop is
+  /// drained when nothing is active, nothing is pending, and this hits zero.
+  std::size_t arrival_events_ = 0;
+  /// Stop events still queued. In dense mode a stop *is* the horizon (empty
+  /// slots execute up to it — the fixed-horizon contract); in idle-skip
+  /// mode it is only a ceiling, so a drained run ends without waiting for
+  /// it.
+  std::size_t stop_events_ = 0;
+  bool ran_ = false;
+  // Previous snapshot's cumulative counters (window deltas).
+  double prev_offered_ = 0.0;
+  double prev_used_ = 0.0;
+  std::vector<double> prev_per_link_used_;
+  std::vector<double> per_link_used_;    // scratch
+  std::vector<double> window_per_link_;  // scratch
+};
+
+}  // namespace arvis

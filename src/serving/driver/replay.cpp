@@ -1,0 +1,83 @@
+#include "serving/driver/replay.hpp"
+
+#include <stdexcept>
+
+namespace arvis {
+
+SessionSpec trace_session_spec(
+    const TraceEvent& event, std::size_t index,
+    const std::vector<const FrameStatsCache*>& profiles) {
+  if (event.profile >= profiles.size()) {
+    throw std::invalid_argument("trace_session_spec: profile id out of range");
+  }
+  SessionSpec spec;
+  spec.cache = profiles[event.profile];
+  spec.arrival_slot = event.t_arrive;
+  spec.departure_slot =
+      event.duration > 0 ? event.t_arrive + event.duration : kNeverDeparts;
+  spec.weight = event.weight;
+  // The trace carries no seed column: each session's stream derives from its
+  // row index, so identical files replay identically everywhere.
+  spec.seed = index;
+  return spec;
+}
+
+ReplayResult replay_trace(const ReplayConfig& config,
+                          const WorkloadTrace& trace,
+                          const std::vector<const FrameStatsCache*>& profiles,
+                          const std::vector<ChannelModel*>& channels) {
+  if (profiles.empty()) {
+    throw std::invalid_argument("replay_trace: need >= 1 profile");
+  }
+  for (const FrameStatsCache* profile : profiles) {
+    if (profile == nullptr) {
+      throw std::invalid_argument("replay_trace: null profile");
+    }
+  }
+  const std::vector<double> means =
+      validated_channel_means(channels, "replay_trace");
+  if (const Status status = validate_workload_trace(trace, profiles.size());
+      !status.ok()) {
+    throw std::invalid_argument("replay_trace: " + status.message());
+  }
+
+  EdgeCluster cluster(config.cluster, means);
+  ClusterBackend backend(cluster, channels);
+  EventLoop loop(config.driver, backend);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& event = trace.events[i];
+    const SessionSpec spec = trace_session_spec(event, i, profiles);
+    loop.schedule_arrival(event.t_arrive, spec);
+    if (spec.departure_slot != kNeverDeparts) {
+      loop.schedule_departure_marker(spec.departure_slot);
+    }
+  }
+  if (config.stop_slot != kNoSlot) loop.schedule_stop(config.stop_slot);
+
+  ReplayResult result;
+  result.report = loop.run();
+  result.cluster = cluster.finish();
+
+  // Arrival events fire in trace order, so the sessions the loop submitted
+  // are a prefix of the trace rows (a stop event may cut the tail off before
+  // its events ever fire) and cluster session ids are trace row indices —
+  // the per-tier rollup is a straight join. Rows the run never reached
+  // (never submitted, or submitted but stopped before their slot) count
+  // nowhere, mirroring fleet accounting, so each tier's books balance:
+  // arrivals == admitted + rejected.
+  for (std::size_t i = 0; i < result.cluster.sessions.size(); ++i) {
+    const ClusterSessionOutcome& outcome = result.cluster.sessions[i];
+    if (!outcome.arrived) continue;
+    QosOutcome& tier =
+        result.per_qos[static_cast<std::size_t>(trace.events[i].qos)];
+    ++tier.arrivals;
+    if (outcome.session.admitted) {
+      ++tier.admitted;
+    } else {
+      ++tier.rejected;
+    }
+  }
+  return result;
+}
+
+}  // namespace arvis

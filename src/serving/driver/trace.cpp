@@ -1,0 +1,164 @@
+#include "serving/driver/trace.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <variant>
+
+namespace arvis {
+
+namespace {
+
+const std::vector<std::string>& trace_header() {
+  static const std::vector<std::string> header{"t_arrive", "duration",
+                                               "profile", "weight", "qos"};
+  return header;
+}
+
+/// A non-negative integer cell. The CSV parser types numeric-looking fields
+/// for us, but a hand-edited file may carry an integral double ("12.0").
+bool cell_to_size(const CsvCell& cell, std::size_t& out) {
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    if (*i < 0) return false;
+    out = static_cast<std::size_t>(*i);
+    return true;
+  }
+  if (const auto* d = std::get_if<double>(&cell)) {
+    if (*d < 0.0 || *d != std::floor(*d) ||
+        *d > 9.007199254740992e15) {  // 2^53: beyond it doubles skip integers
+      return false;
+    }
+    out = static_cast<std::size_t>(*d);
+    return true;
+  }
+  return false;
+}
+
+bool cell_to_double(const CsvCell& cell, double& out) {
+  if (const auto* d = std::get_if<double>(&cell)) {
+    out = *d;
+    return true;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    out = static_cast<double>(*i);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(QosClass qos) noexcept {
+  switch (qos) {
+    case QosClass::kBestEffort: return "best-effort";
+    case QosClass::kStandard: return "standard";
+    case QosClass::kPremium: return "premium";
+  }
+  return "?";
+}
+
+Result<QosClass> parse_qos_class(const std::string& text) {
+  if (text == "best-effort") return QosClass::kBestEffort;
+  if (text == "standard") return QosClass::kStandard;
+  if (text == "premium") return QosClass::kPremium;
+  return Status::ParseError("unknown qos class: \"" + text + "\"");
+}
+
+double default_qos_weight(QosClass qos) noexcept {
+  switch (qos) {
+    case QosClass::kBestEffort: return 0.5;
+    case QosClass::kStandard: return 1.0;
+    case QosClass::kPremium: return 2.0;
+  }
+  return 1.0;
+}
+
+std::size_t WorkloadTrace::arrival_horizon() const noexcept {
+  return events.empty() ? 0 : events.back().t_arrive + 1;
+}
+
+CsvTable WorkloadTrace::to_table() const {
+  CsvTable table(trace_header());
+  for (const TraceEvent& e : events) {
+    table.add_row({static_cast<std::int64_t>(e.t_arrive),
+                   static_cast<std::int64_t>(e.duration),
+                   static_cast<std::int64_t>(e.profile), e.weight,
+                   std::string(to_string(e.qos))});
+  }
+  return table;
+}
+
+Status WorkloadTrace::write_csv_file(const std::string& path) const {
+  return to_table().write_file(path);
+}
+
+Status validate_workload_trace(const WorkloadTrace& trace,
+                               std::size_t profile_count) {
+  std::size_t previous_arrival = 0;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    const std::string row = "trace event " + std::to_string(i);
+    if (e.t_arrive < previous_arrival) {
+      return Status::InvalidArgument(row + ": t_arrive decreases");
+    }
+    previous_arrival = e.t_arrive;
+    if (!std::isfinite(e.weight) || e.weight < 0.0) {
+      return Status::InvalidArgument(row + ": weight must be finite and >= 0");
+    }
+    if (profile_count > 0 && e.profile >= profile_count) {
+      return Status::InvalidArgument(
+          row + ": profile id " + std::to_string(e.profile) +
+          " out of range (have " + std::to_string(profile_count) +
+          " profiles)");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
+  if (table.header() != trace_header()) {
+    return Status::ParseError(
+        "workload trace: expected header t_arrive,duration,profile,weight,qos");
+  }
+  WorkloadTrace trace;
+  trace.events.reserve(table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    const std::string row = "workload trace row " + std::to_string(r);
+    TraceEvent e;
+    std::size_t profile = 0;
+    if (!cell_to_size(table.at(r, 0), e.t_arrive)) {
+      return Status::ParseError(row + ": t_arrive must be an integer >= 0");
+    }
+    if (!cell_to_size(table.at(r, 1), e.duration)) {
+      return Status::ParseError(row + ": duration must be an integer >= 0");
+    }
+    if (!cell_to_size(table.at(r, 2), profile) ||
+        profile > std::numeric_limits<std::uint32_t>::max()) {
+      return Status::ParseError(row + ": bad profile id");
+    }
+    e.profile = static_cast<std::uint32_t>(profile);
+    if (!cell_to_double(table.at(r, 3), e.weight)) {
+      return Status::ParseError(row + ": weight must be numeric");
+    }
+    const auto* qos = std::get_if<std::string>(&table.at(r, 4));
+    if (qos == nullptr) {
+      return Status::ParseError(row + ": qos must be a string");
+    }
+    const Result<QosClass> parsed = parse_qos_class(*qos);
+    if (!parsed.ok()) return Status::ParseError(row + ": " + parsed.status().message());
+    e.qos = *parsed;
+    trace.events.push_back(e);
+  }
+  if (const Status status = validate_workload_trace(trace); !status.ok()) {
+    return Status::ParseError(status.message());
+  }
+  return trace;
+}
+
+Result<WorkloadTrace> load_workload_trace(const std::string& path) {
+  Result<CsvTable> table = read_csv_file(path);
+  if (!table.ok()) return table.status();
+  return parse_workload_trace(*table);
+}
+
+}  // namespace arvis

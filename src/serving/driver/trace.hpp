@@ -1,0 +1,95 @@
+// WorkloadTrace: the on-disk session-arrival format of the event-driven
+// workload engine.
+//
+// A trace is an *open-loop* description of session churn — one row per
+// arriving session, nothing about the server — so the same trace can be
+// replayed against any cluster shape, placement policy or scheduler and the
+// comparison is apples to apples. The CSV schema (via common/csv, RFC-4180):
+//
+//   t_arrive, duration, profile, weight, qos
+//
+//   t_arrive  slot the session arrives (non-decreasing down the file)
+//   duration  slots the session stays once admitted; 0 = until the run ends
+//   profile   bytes-per-slot profile id — an index into the replayer's
+//             FrameStatsCache table (the trace stays content-agnostic)
+//   weight    scheduler weight (>= 0, finite)
+//   qos       "best-effort" | "standard" | "premium"
+//
+// Traces round-trip exactly: generate -> to_table -> serialize -> parse ->
+// identical event stream (tested). Validation is split by failure class per
+// repo convention: malformed *input* travels through Result/Status, while
+// programming errors (replaying a trace whose profile ids exceed the profile
+// table you supplied) throw from the replayer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/status.hpp"
+
+namespace arvis {
+
+/// Service class of a session, carried through the trace so scenario
+/// generators can emit tiered fleets and reports can slice outcomes by tier.
+enum class QosClass { kBestEffort, kStandard, kPremium };
+
+inline constexpr std::size_t kQosClassCount = 3;
+
+const char* to_string(QosClass qos) noexcept;
+
+/// Parses the trace-file spelling ("best-effort" | "standard" | "premium").
+Result<QosClass> parse_qos_class(const std::string& text);
+
+/// The scheduler weight a class carries unless the trace says otherwise:
+/// best-effort 0.5, standard 1.0, premium 2.0.
+double default_qos_weight(QosClass qos) noexcept;
+
+/// One session arrival. The trace carries no seed column: replay derives each
+/// session's RNG stream from its row index, so a trace file fully determines
+/// a run without hiding entropy in the format.
+struct TraceEvent {
+  std::size_t t_arrive = 0;
+  /// Slots the session stays once admitted; 0 = until the run ends.
+  std::size_t duration = 0;
+  /// Bytes-per-slot profile id (index into the replayer's profile table).
+  std::uint32_t profile = 0;
+  double weight = 1.0;
+  QosClass qos = QosClass::kStandard;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// An ordered stream of session arrivals.
+struct WorkloadTrace {
+  std::vector<TraceEvent> events;  // non-decreasing t_arrive
+
+  /// First slot after the last arrival (0 for an empty trace). The *run* may
+  /// outlive this: sessions admitted near the end keep streaming for their
+  /// duration.
+  [[nodiscard]] std::size_t arrival_horizon() const noexcept;
+
+  /// Renders the trace as a CSV table in the documented column order.
+  [[nodiscard]] CsvTable to_table() const;
+
+  /// Writes the CSV file. IoError on failure.
+  [[nodiscard]] Status write_csv_file(const std::string& path) const;
+};
+
+/// Structural validation: events sorted by t_arrive, weights finite and
+/// >= 0, and (when `profile_count` > 0) every profile id < profile_count.
+/// Returns the first violation; Ok for the empty trace.
+Status validate_workload_trace(const WorkloadTrace& trace,
+                               std::size_t profile_count = 0);
+
+/// Decodes a parsed CSV table into a trace. ParseError on a wrong header,
+/// non-integer slots, malformed qos, or any validate_workload_trace
+/// violation — a loaded trace is always structurally sound.
+Result<WorkloadTrace> parse_workload_trace(const CsvTable& table);
+
+/// Reads and decodes a trace file (read_csv_file + parse_workload_trace).
+Result<WorkloadTrace> load_workload_trace(const std::string& path);
+
+}  // namespace arvis

@@ -97,6 +97,16 @@ class ServerMetrics {
     return sessions_;
   }
 
+  // Running slot totals, readable mid-run (the event-driven driver samples
+  // them for its periodic metrics snapshots; fleet() stays an end-of-run
+  // aggregate).
+  [[nodiscard]] double capacity_offered_total() const noexcept {
+    return capacity_offered_;
+  }
+  [[nodiscard]] double capacity_used_total() const noexcept {
+    return capacity_used_;
+  }
+
   /// Computes the fleet aggregates from everything recorded so far.
   [[nodiscard]] FleetMetrics fleet() const;
 

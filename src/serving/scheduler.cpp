@@ -90,12 +90,25 @@ void ProportionalFairScheduler::allocate(
   shares.assign(n, 0.0);
   if (n == 0) return;
 
+  // True PF when history is supplied: divide each session's pull by
+  // (1 + EWMA served bytes/slot). The +1 byte floors the denominator so a
+  // brand-new session (EWMA 0) gets the largest catch-up pull instead of a
+  // division by zero; at streaming scales (KBs/slot) the offset is noise.
+  // Demands without history (ewma < 0) keep the instantaneous-demand pull,
+  // preserving the legacy allocation bit for bit.
+  const auto pull = [&](std::size_t i) {
+    const double want = demands[i].total() - shares[i];
+    const double history = demands[i].ewma_throughput;
+    const double denom = history >= 0.0 ? 1.0 + history : 1.0;
+    return demands[i].weight * want / denom;
+  };
+
   std::vector<std::size_t>& unsatisfied = scratch_;
   fill_indices(unsatisfied, n);
   while (capacity > 0.0 && !unsatisfied.empty()) {
     double mass = 0.0;
     for (std::size_t i : unsatisfied) {
-      mass += demands[i].weight * (demands[i].total() - shares[i]);
+      mass += pull(i);
     }
     if (mass <= 0.0) {
       // Only zero-weight (or zero-demand) sessions remain: proportional
@@ -109,7 +122,7 @@ void ProportionalFairScheduler::allocate(
     bool capped = false;
     for (std::size_t i : unsatisfied) {
       const double want = demands[i].total() - shares[i];
-      const double offer = capacity * demands[i].weight * want / mass;
+      const double offer = capacity * pull(i) / mass;
       if (want <= offer) {
         shares[i] += want;
         granted += want;
@@ -157,12 +170,82 @@ void WeightedPriorityScheduler::allocate(
   }
 }
 
+void DeficitRoundRobinScheduler::allocate(
+    double capacity, const std::vector<SchedulerDemand>& demands,
+    std::vector<double>& shares) {
+  const std::size_t n = demands.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+  // Rotation order for this slot; the cursor advances once per allocation so
+  // the position served first (which matters when capacity runs dry
+  // mid-round) rotates across the fleet.
+  const std::size_t start = cursor_ % n;
+  ++cursor_;
+
+  ring_.clear();
+  double ring_weight = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i = (start + j) % n;
+    if (demands[i].weight > 0.0 && demands[i].total() > 0.0) {
+      ring_.push_back(i);
+      ring_weight += demands[i].weight;
+    }
+  }
+
+  double remaining = capacity;
+  if (!ring_.empty() && ring_weight > 0.0 && remaining > 0.0) {
+    deficit_.assign(n, 0.0);
+    // The quantum is recomputed from the *surviving* ring's weight each
+    // round, so every round tops deficits up by exactly `capacity` in
+    // aggregate no matter who already left — the loop meets every demand or
+    // exhausts the link in O(1) rounds even when the last survivor's weight
+    // is vanishingly small (a trace file may carry any weight >= 0).
+    // Deficits persist across rounds within the slot (the "deficit" of the
+    // name) so under-granted sessions catch up before anyone laps them.
+    while (remaining > 0.0 && !ring_.empty()) {
+      const double quantum = capacity / ring_weight;
+      std::size_t kept = 0;
+      double kept_weight = 0.0;
+      for (std::size_t idx = 0; idx < ring_.size() && remaining > 0.0; ++idx) {
+        const std::size_t i = ring_[idx];
+        deficit_[i] += quantum * demands[i].weight;
+        const double want = demands[i].total() - shares[i];
+        const double grant = std::min({deficit_[i], want, remaining});
+        shares[i] += grant;
+        deficit_[i] -= grant;
+        remaining -= grant;
+        if (want - grant > 0.0) {
+          ring_[kept++] = i;
+          kept_weight += demands[i].weight;
+        }
+      }
+      ring_.resize(kept);
+      ring_weight = kept_weight;
+    }
+  }
+
+  // Every weighted demand met with capacity left (or only zero-weight
+  // sessions exist): zero-weight stragglers drink from the leftovers via
+  // plain water-filling. Anything still left after that is wasted — DRR
+  // grants no idle bonus, unlike WorkConserving.
+  if (remaining > 0.0) {
+    leftover_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (demands[i].weight <= 0.0 && demands[i].total() - shares[i] > 0.0) {
+        leftover_.push_back(i);
+      }
+    }
+    if (!leftover_.empty()) water_fill(remaining, demands, leftover_, shares);
+  }
+}
+
 const char* to_string(SchedulerPolicy policy) noexcept {
   switch (policy) {
     case SchedulerPolicy::kEqualShare: return "equal-share";
     case SchedulerPolicy::kWorkConserving: return "work-conserving";
     case SchedulerPolicy::kProportionalFair: return "proportional-fair";
     case SchedulerPolicy::kWeightedPriority: return "weighted-priority";
+    case SchedulerPolicy::kDeficitRoundRobin: return "deficit-round-robin";
   }
   return "?";
 }
@@ -177,6 +260,8 @@ std::unique_ptr<EdgeScheduler> make_scheduler(SchedulerPolicy policy) {
       return std::make_unique<ProportionalFairScheduler>();
     case SchedulerPolicy::kWeightedPriority:
       return std::make_unique<WeightedPriorityScheduler>();
+    case SchedulerPolicy::kDeficitRoundRobin:
+      return std::make_unique<DeficitRoundRobinScheduler>();
   }
   throw std::invalid_argument("make_scheduler: unknown policy");
 }

@@ -26,6 +26,11 @@ struct SchedulerDemand {
   double arrivals = 0.0;
   /// Relative priority (>= 0; only weighted policies look at it).
   double weight = 1.0;
+  /// EWMA of bytes actually served per slot, maintained by the session
+  /// manager when ServingConfig::pf_ewma_window > 0. Negative means "no
+  /// history supplied": proportional-fair then weighs instantaneous demand
+  /// (the legacy behaviour, bit-for-bit).
+  double ewma_throughput = -1.0;
 
   /// Most the session could drain this slot.
   [[nodiscard]] double total() const noexcept { return backlog + arrivals; }
@@ -74,6 +79,13 @@ class WorkConservingScheduler final : public EdgeScheduler {
 /// surplus re-divided among still-unsatisfied sessions (iterated). Sessions
 /// with larger queues drain proportionally faster, which equalizes sojourn
 /// times across heterogeneous content.
+///
+/// When demands carry an EWMA throughput history (ewma_throughput >= 0, fed
+/// by the session manager's pf_ewma_window knob) the offer becomes true
+/// proportional fairness: weight * demand / (1 + historical throughput), so
+/// a session that has been drinking from the link for many slots yields to
+/// one that has been starved, instead of the instantaneous-demand split that
+/// lets a heavy backlog monopolize the link forever.
 class ProportionalFairScheduler final : public EdgeScheduler {
  public:
   void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
@@ -109,12 +121,41 @@ class WeightedPriorityScheduler final : public EdgeScheduler {
   std::vector<std::size_t> tier_;
 };
 
+/// Deficit round-robin, byte-granular: each round every positive-weight
+/// session's deficit counter is topped up by its weighted quantum
+/// (capacity * weight / Σweights) and the session drains up to its deficit,
+/// visited in rotation order. The outcome is weighted max-min (unlike
+/// WorkConserving's weight-blind split, ProportionalFair's demand-
+/// proportional split, or WeightedPriority's strict tiers); the rotation
+/// cursor advances one position per slot so the quantization residue —
+/// whoever is visited first when capacity runs dry mid-round — does not
+/// favour a fixed index. The cursor is the policy's only cross-slot state
+/// and is deterministic, so runs stay bit-reproducible for any thread count.
+/// Zero-weight sessions are served from leftovers only (plain water-fill
+/// after every weighted demand is met).
+class DeficitRoundRobinScheduler final : public EdgeScheduler {
+ public:
+  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+                std::vector<double>& shares) override;
+  [[nodiscard]] std::string name() const override {
+    return "deficit-round-robin";
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+  // Reused across slots: no per-slot allocs.
+  std::vector<std::size_t> ring_;
+  std::vector<std::size_t> leftover_;
+  std::vector<double> deficit_;
+};
+
 /// The pluggable policies by name (for configs and benches).
 enum class SchedulerPolicy {
   kEqualShare,
   kWorkConserving,
   kProportionalFair,
   kWeightedPriority,
+  kDeficitRoundRobin,
 };
 
 const char* to_string(SchedulerPolicy policy) noexcept;

@@ -1,6 +1,7 @@
 #include "serving/session_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace arvis {
@@ -45,6 +46,9 @@ struct SessionManager::Session {
   /// Scratch for the current slot's decide phase (written by exactly one
   /// executor worker — the one that owns this session's index).
   StepRecord record;
+  /// EWMA of bytes actually served per slot (proportional-fair history;
+  /// maintained only when config.pf_ewma_window > 0).
+  double ewma_throughput = 0.0;
 };
 
 SessionManager::SessionManager(const ServingConfig& config,
@@ -58,6 +62,12 @@ SessionManager::SessionManager(const ServingConfig& config,
   }
   if (config_.candidates.empty()) {
     throw std::invalid_argument("SessionManager: empty candidate set");
+  }
+  if (config_.pf_ewma_window != 0.0 &&
+      !(config_.pf_ewma_window >= 1.0 &&
+        std::isfinite(config_.pf_ewma_window))) {
+    throw std::invalid_argument(
+        "SessionManager: pf_ewma_window must be 0 (off) or >= 1");
   }
 }
 
@@ -214,6 +224,7 @@ void SessionManager::decide_session(std::size_t i) {
 
 SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
   const std::size_t n = active_.size();
+  const bool pf_history = config_.pf_ewma_window > 0.0;
   // Schedule phase: the one centralized act — the link divides its own
   // capacity. Sessions never see each other's state.
   demands_.resize(n);
@@ -222,6 +233,9 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
     demands_[i].backlog = s.queue.backlog();
     demands_[i].arrivals = s.record.arrivals;
     demands_[i].weight = s.spec.weight;
+    // -1 = "no history": proportional-fair falls back to instantaneous
+    // demand, keeping the window-off path bit-identical to the legacy one.
+    demands_[i].ewma_throughput = pf_history ? s.ewma_throughput : -1.0;
   }
   scheduler_->allocate(capacity_bytes, demands_, shares_);
 
@@ -229,12 +243,17 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
   // (min(Q(t), share) per session, reported by the queue) — same-slot
   // arrivals enter *after* service in the Lindley order, so charging
   // min(share, backlog + arrivals) would over-report utilization.
+  const double alpha = pf_history ? 1.0 / config_.pf_ewma_window : 0.0;
   double used = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     Session& s = *active_[i];
     s.record.service = shares_[i];
     s.record.backlog_end = s.queue.step(s.record.arrivals, shares_[i]);
     used += s.queue.last_served();
+    if (pf_history) {
+      s.ewma_throughput =
+          (1.0 - alpha) * s.ewma_throughput + alpha * s.queue.last_served();
+    }
     s.trace.add(s.record);
   }
   metrics_.record_slot(capacity_bytes, used, n);
@@ -256,6 +275,28 @@ std::size_t SessionManager::active_count() const noexcept {
 
 const AdmissionStats& SessionManager::admission_stats() const noexcept {
   return admission_.stats();
+}
+
+std::size_t SessionManager::next_pending_arrival_slot() const noexcept {
+  return pending_head_ < pending_.size() ? pending_[pending_head_]->due_slot
+                                         : kNeverDeparts;
+}
+
+std::size_t SessionManager::skip_idle_slots(std::size_t max_slots) {
+  if (finished_) {
+    throw std::logic_error("SessionManager::skip_idle_slots: already finished");
+  }
+  if (!active_.empty()) {
+    throw std::logic_error(
+        "SessionManager::skip_idle_slots: sessions are active");
+  }
+  std::size_t slots = max_slots;
+  if (pending_head_ < pending_.size()) {
+    const std::size_t due = pending_[pending_head_]->due_slot;
+    slots = due > slot_ ? std::min(slots, due - slot_) : 0;
+  }
+  slot_ += slots;
+  return slots;
 }
 
 ServingResult SessionManager::finish() {
@@ -309,15 +350,8 @@ ServingResult SessionManager::finish() {
   return result;
 }
 
-ServingResult run_serving_scenario(const ServingConfig& config,
-                                   const std::vector<SessionSpec>& specs,
-                                   ChannelModel& channel) {
-  SessionManager manager(config, channel.mean_capacity_bytes());
-  for (const SessionSpec& spec : specs) manager.submit(spec);
-  for (std::size_t t = 0; t < config.steps; ++t) {
-    manager.step(channel.next_capacity_bytes());
-  }
-  return manager.finish();
-}
+// run_serving_scenario is defined in serving/driver/event_loop.cpp: the
+// fixed-horizon loop is now a thin wrapper over the event-driven driver, so
+// the driver is the single execution path.
 
 }  // namespace arvis

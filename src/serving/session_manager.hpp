@@ -66,6 +66,12 @@ struct ServingConfig {
   AdmissionConfig admission;
   /// Executor width for the decide phase; 1 = serial, 0 = all cores.
   std::size_t threads = 1;
+  /// Averaging window (slots) of the per-session served-bytes EWMA fed to
+  /// the proportional-fair scheduler: alpha = 1 / window. 0 (default)
+  /// disables the history signal — proportional-fair then weighs
+  /// instantaneous demand, the legacy behaviour, bit for bit. Must be 0 or
+  /// >= 1.
+  double pf_ewma_window = 0.0;
 };
 
 /// One session's run record.
@@ -189,6 +195,26 @@ class SessionManager {
   [[nodiscard]] std::size_t active_count() const noexcept;
   [[nodiscard]] const AdmissionStats& admission_stats() const noexcept;
 
+  /// Running slot/session aggregates, readable mid-run (the event-driven
+  /// driver samples them for periodic metrics snapshots).
+  [[nodiscard]] const ServerMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Due slot of the earliest not-yet-admitted internal arrival, or
+  /// kNeverDeparts when none are pending. Lets an external driver know how
+  /// far it may fast-forward an idle link.
+  [[nodiscard]] std::size_t next_pending_arrival_slot() const noexcept;
+
+  /// Fast-forwards the slot clock across an idle stretch: no sessions are
+  /// active, so the skipped slots would only have drawn and wasted capacity.
+  /// Skipped slots offer no capacity and record no metrics — an event-driven
+  /// server does not burn link time while nobody streams. Clamps at the
+  /// earliest pending internal arrival's due slot and returns the slots
+  /// actually skipped. Throws std::logic_error when sessions are active or
+  /// the manager is finished.
+  std::size_t skip_idle_slots(std::size_t max_slots);
+
   /// Closes every still-active session at the current slot and returns the
   /// full result. The manager is spent afterwards (submit/step throw).
   ServingResult finish();
@@ -221,7 +247,10 @@ class SessionManager {
 
 /// Convenience one-shot: submits `specs`, steps `config.steps` slots drawing
 /// capacity from `channel`, and finishes. The usual entry point for benches
-/// and the edge wrapper.
+/// and the edge wrapper. Since the event-driven driver landed this is a thin
+/// wrapper over an EventLoop in fixed-horizon mode (defined in
+/// serving/driver/event_loop.cpp) — one execution path, bit-for-bit the
+/// results the hand-rolled loop produced (tested).
 ServingResult run_serving_scenario(const ServingConfig& config,
                                    const std::vector<SessionSpec>& specs,
                                    ChannelModel& channel);

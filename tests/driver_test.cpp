@@ -1,0 +1,522 @@
+// Tests for the event-driven workload engine (serving/driver): trace CSV
+// round-trip, scenario generator seed-stability and shape, EventLoop
+// determinism (same seed => identical snapshot series), idle fast-forward
+// equivalence, and the flash-crowd acceptance property (admission rejects
+// confined to the spike window).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "datasets/catalog.hpp"
+#include "net/channel.hpp"
+#include "net/streaming.hpp"
+#include "serving/admission.hpp"
+#include "serving/driver/event_loop.hpp"
+#include "serving/driver/replay.hpp"
+#include "serving/driver/scenario.hpp"
+#include "serving/driver/trace.hpp"
+
+namespace arvis {
+namespace {
+
+const FrameStatsCache& shared_cache() {
+  static const FrameStatsCache cache(*open_test_subject(71), 8, 8);
+  return cache;
+}
+
+const FrameStatsCache& second_cache() {
+  static const FrameStatsCache cache(*open_test_subject(172), 8, 8);
+  return cache;
+}
+
+double cheapest_load(const std::vector<int>& candidates) {
+  return AdmissionController::cheapest_depth_load(shared_cache(), candidates);
+}
+
+ScenarioConfig base_scenario() {
+  ScenarioConfig config;
+  config.horizon = 1'000;
+  config.base_rate = 0.02;
+  config.mean_duration = 80.0;
+  config.max_duration = 200;
+  config.profile_count = 2;
+  config.seed = 99;
+  return config;
+}
+
+ClusterConfig replay_cluster_config(std::size_t sessions_per_link) {
+  ClusterConfig config;
+  config.serving.steps = 400;  // reservation hint only under the driver
+  config.serving.candidates = {3, 4, 5, 6};
+  config.serving.v =
+      calibrate_streaming_v(shared_cache(), config.serving.candidates,
+                            4.0 * shared_cache().workload(0).bytes(5));
+  config.serving.admission.utilization_target = 1.0;
+  config.placement = PlacementPolicy::kLeastLoaded;
+  (void)sessions_per_link;
+  return config;
+}
+
+// ----------------------------------------------------------- Trace I/O ----
+
+WorkloadTrace sample_trace() {
+  WorkloadTrace trace;
+  trace.events = {
+      {0, 40, 0, 1.0, QosClass::kStandard},
+      {5, 0, 1, 2.0, QosClass::kPremium},
+      {5, 12, 0, 0.5, QosClass::kBestEffort},
+      {300, 7, 1, 1.0, QosClass::kStandard},
+  };
+  return trace;
+}
+
+TEST(WorkloadTraceTest, RoundTripsThroughCsvText) {
+  const WorkloadTrace trace = sample_trace();
+  const std::string csv = trace.to_table().to_string();
+  const Result<CsvTable> table = parse_csv(csv);
+  ASSERT_TRUE(table.ok()) << table.status().to_string();
+  const Result<WorkloadTrace> loaded = parse_workload_trace(*table);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->events, trace.events);
+  EXPECT_EQ(loaded->arrival_horizon(), 301U);
+}
+
+TEST(WorkloadTraceTest, RoundTripsThroughFile) {
+  const WorkloadTrace trace = sample_trace();
+  const std::string path = "driver_trace_roundtrip_test.csv";
+  ASSERT_TRUE(trace.write_csv_file(path).ok());
+  const Result<WorkloadTrace> loaded = load_workload_trace(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->events, trace.events);
+}
+
+TEST(WorkloadTraceTest, GeneratedTracesRoundTripExactly) {
+  // The acceptance loop: generate -> write CSV -> load -> identical event
+  // stream, for every scenario kind (weights survive shortest-round-trip
+  // double formatting bit for bit).
+  for (ScenarioKind kind :
+       {ScenarioKind::kPoisson, ScenarioKind::kBursty, ScenarioKind::kDiurnal,
+        ScenarioKind::kFlashCrowd}) {
+    const WorkloadTrace trace = make_scenario(kind, base_scenario())->generate();
+    ASSERT_FALSE(trace.events.empty()) << to_string(kind);
+    const Result<CsvTable> table = parse_csv(trace.to_table().to_string());
+    ASSERT_TRUE(table.ok()) << to_string(kind);
+    const Result<WorkloadTrace> loaded = parse_workload_trace(*table);
+    ASSERT_TRUE(loaded.ok()) << to_string(kind) << ": "
+                             << loaded.status().to_string();
+    EXPECT_EQ(loaded->events, trace.events) << to_string(kind);
+  }
+}
+
+TEST(WorkloadTraceTest, ValidationCatchesStructuralErrors) {
+  WorkloadTrace unsorted = sample_trace();
+  std::swap(unsorted.events[0], unsorted.events[3]);
+  EXPECT_FALSE(validate_workload_trace(unsorted).ok());
+
+  WorkloadTrace negative = sample_trace();
+  negative.events[1].weight = -1.0;
+  EXPECT_FALSE(validate_workload_trace(negative).ok());
+
+  // Profile range is only checkable against a profile table.
+  const WorkloadTrace trace = sample_trace();
+  EXPECT_TRUE(validate_workload_trace(trace).ok());
+  EXPECT_TRUE(validate_workload_trace(trace, 2).ok());
+  EXPECT_FALSE(validate_workload_trace(trace, 1).ok());
+
+  EXPECT_TRUE(parse_qos_class("premium").ok());
+  EXPECT_FALSE(parse_qos_class("platinum").ok());
+
+  // A parsed trace is always structurally sound: bad rows fail the parse.
+  CsvTable bad_qos({"t_arrive", "duration", "profile", "weight", "qos"});
+  bad_qos.add_row({std::int64_t{0}, std::int64_t{5}, std::int64_t{0}, 1.0,
+                   std::string("platinum")});
+  EXPECT_FALSE(parse_workload_trace(bad_qos).ok());
+
+  CsvTable wrong_header({"when", "how_long"});
+  EXPECT_FALSE(parse_workload_trace(wrong_header).ok());
+}
+
+// ----------------------------------------------------------- Generators ----
+
+TEST(ScenarioGeneratorTest, SameSeedSameTraceDifferentSeedDifferentTrace) {
+  for (ScenarioKind kind :
+       {ScenarioKind::kPoisson, ScenarioKind::kBursty, ScenarioKind::kDiurnal,
+        ScenarioKind::kFlashCrowd}) {
+    ScenarioConfig config = base_scenario();
+    const WorkloadTrace a = make_scenario(kind, config)->generate();
+    const WorkloadTrace b = make_scenario(kind, config)->generate();
+    EXPECT_EQ(a.events, b.events) << to_string(kind);
+    config.seed = 100;
+    const WorkloadTrace c = make_scenario(kind, config)->generate();
+    EXPECT_NE(a.events, c.events) << to_string(kind);
+  }
+}
+
+TEST(ScenarioGeneratorTest, PoissonCountTracksRate) {
+  ScenarioConfig config = base_scenario();
+  config.horizon = 20'000;
+  const WorkloadTrace trace =
+      make_scenario(ScenarioKind::kPoisson, config)->generate();
+  const double expected = config.base_rate * static_cast<double>(config.horizon);
+  EXPECT_GT(static_cast<double>(trace.events.size()), 0.7 * expected);
+  EXPECT_LT(static_cast<double>(trace.events.size()), 1.3 * expected);
+  // Attributes respect their knobs.
+  for (const TraceEvent& e : trace.events) {
+    EXPECT_LT(e.t_arrive, config.horizon);
+    EXPECT_GE(e.duration, 1U);
+    EXPECT_LE(e.duration, config.max_duration);
+    EXPECT_LT(e.profile, config.profile_count);
+    EXPECT_EQ(e.weight, default_qos_weight(e.qos));
+  }
+}
+
+TEST(ScenarioGeneratorTest, DiurnalPeakHalfOutdrawsTroughHalf) {
+  ScenarioConfig config = base_scenario();
+  config.horizon = 10'000;
+  config.diurnal_period = 1'000;
+  config.diurnal_amplitude = 0.9;
+  const WorkloadTrace trace =
+      make_scenario(ScenarioKind::kDiurnal, config)->generate();
+  // sin > 0 on the first half of each period: that half should hold clearly
+  // more arrivals than the second.
+  std::size_t peak = 0, trough = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.t_arrive % config.diurnal_period < config.diurnal_period / 2) {
+      ++peak;
+    } else {
+      ++trough;
+    }
+  }
+  EXPECT_GT(peak, trough + trough / 2);
+}
+
+TEST(ScenarioGeneratorTest, FlashCrowdConcentratesInSpikeWindow) {
+  ScenarioConfig config = base_scenario();
+  config.horizon = 4'000;
+  config.spike_duration = 100;
+  config.spike_multiplier = 25.0;
+  const WorkloadTrace trace =
+      make_scenario(ScenarioKind::kFlashCrowd, config)->generate();
+  const std::size_t spike_start = config.resolved_spike_start();
+  const std::size_t spike_end = spike_start + config.spike_duration;
+  std::size_t inside = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.t_arrive >= spike_start && e.t_arrive < spike_end) ++inside;
+  }
+  const std::size_t outside = trace.events.size() - inside;
+  // 100 spike slots at 25x the base rate carry more mass than the other
+  // 3,900 slots combined (expected 50 vs 78; per-slot density ~25x).
+  const double inside_density = static_cast<double>(inside) / 100.0;
+  const double outside_density = static_cast<double>(outside) / 3'900.0;
+  EXPECT_GT(inside_density, 10.0 * outside_density);
+  EXPECT_GT(inside, 20U);
+}
+
+TEST(ScenarioGeneratorTest, BurstyAlternatesBurstsAndSilencePreservingMean) {
+  ScenarioConfig config = base_scenario();
+  config.horizon = 20'000;
+  config.base_rate = 0.05;
+  config.p_on_to_off = 0.1;
+  config.p_off_to_on = 0.02;  // pi_on = 1/6 -> ON rate = 0.3
+  const WorkloadTrace trace =
+      make_scenario(ScenarioKind::kBursty, config)->generate();
+  // Mean-preserving: the bursty kind offers the same long-run volume as a
+  // stationary Poisson at base_rate, just clumped.
+  const double expected = config.base_rate * static_cast<double>(config.horizon);
+  EXPECT_GT(static_cast<double>(trace.events.size()), 0.6 * expected);
+  EXPECT_LT(static_cast<double>(trace.events.size()), 1.4 * expected);
+  // ON dwell ~10 slots at rate 0.3, OFF dwell ~50 slots: the trace must show
+  // at least one inter-arrival gap far longer than the ON-state spacing.
+  std::size_t max_gap = 0;
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    max_gap = std::max(max_gap,
+                       trace.events[i].t_arrive - trace.events[i - 1].t_arrive);
+  }
+  EXPECT_GT(max_gap, 40U);
+
+  config.p_off_to_on = 0.0;  // never ON: cannot deliver base_rate
+  EXPECT_THROW(make_scenario(ScenarioKind::kBursty, config)->generate(),
+               std::invalid_argument);
+}
+
+TEST(ScenarioGeneratorTest, ConfigValidation) {
+  ScenarioConfig config = base_scenario();
+  config.horizon = 0;
+  EXPECT_THROW(PoissonScenario{config}, std::invalid_argument);
+  config = base_scenario();
+  config.base_rate = -0.1;
+  EXPECT_THROW(PoissonScenario{config}, std::invalid_argument);
+  config = base_scenario();
+  config.mean_duration = 0.5;
+  EXPECT_THROW(PoissonScenario{config}, std::invalid_argument);
+  config = base_scenario();
+  config.profile_count = 0;
+  EXPECT_THROW(PoissonScenario{config}, std::invalid_argument);
+  config = base_scenario();
+  config.best_effort_fraction = 0.8;
+  config.premium_fraction = 0.3;
+  EXPECT_THROW(PoissonScenario{config}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ EventLoop ----
+
+std::vector<const FrameStatsCache*> two_profiles() {
+  return {&shared_cache(), &second_cache()};
+}
+
+/// A flash-crowd replay setup: K=2 links that comfortably fit the sparse
+/// base churn, overwhelmed during the spike.
+struct FlashCrowdFixture {
+  ScenarioConfig scenario;
+  ReplayConfig replay;
+  WorkloadTrace trace;
+  double per_link_capacity = 0.0;
+
+  FlashCrowdFixture() {
+    scenario = base_scenario();
+    scenario.horizon = 2'000;
+    scenario.base_rate = 0.002;
+    scenario.mean_duration = 40.0;
+    scenario.max_duration = 80;
+    scenario.spike_duration = 60;
+    scenario.spike_multiplier = 150.0;
+    scenario.seed = 7;
+    trace = make_scenario(ScenarioKind::kFlashCrowd, scenario)->generate();
+
+    replay.cluster = replay_cluster_config(2);
+    replay.driver.snapshot_period = 25;
+    const double load = cheapest_load(replay.cluster.serving.candidates);
+    per_link_capacity = 2.5 * load;  // two cheapest-depth sessions per link
+  }
+
+  [[nodiscard]] ReplayResult run() const {
+    ConstantChannel a(per_link_capacity), b(per_link_capacity);
+    std::vector<ChannelModel*> channels{&a, &b};
+    return replay_trace(replay, trace, two_profiles(), channels);
+  }
+};
+
+TEST(EventLoopTest, FlashCrowdReplayIsSeedStable) {
+  const FlashCrowdFixture fixture;
+  const ReplayResult first = fixture.run();
+  const ReplayResult second = fixture.run();
+
+  // Identical snapshot series, field for field, bit for bit.
+  ASSERT_FALSE(first.report.snapshots.empty());
+  ASSERT_EQ(first.report.snapshots.size(), second.report.snapshots.size());
+  for (std::size_t i = 0; i < first.report.snapshots.size(); ++i) {
+    const MetricsSnapshot& a = first.report.snapshots[i];
+    const MetricsSnapshot& b = second.report.snapshots[i];
+    EXPECT_EQ(a.slot, b.slot);
+    EXPECT_EQ(a.active_sessions, b.active_sessions);
+    EXPECT_EQ(a.admitted_total, b.admitted_total);
+    EXPECT_EQ(a.rejected_total, b.rejected_total);
+    EXPECT_EQ(a.capacity_offered_total, b.capacity_offered_total);
+    EXPECT_EQ(a.capacity_used_total, b.capacity_used_total);
+    EXPECT_EQ(a.window_utilization, b.window_utilization);
+    EXPECT_EQ(a.link_load_fairness, b.link_load_fairness);
+  }
+  EXPECT_EQ(first.report.slots_executed, second.report.slots_executed);
+  EXPECT_EQ(first.cluster.metrics.fleet.capacity_used,
+            second.cluster.metrics.fleet.capacity_used);
+  EXPECT_EQ(first.cluster.metrics.fleet.quality_fairness,
+            second.cluster.metrics.fleet.quality_fairness);
+}
+
+TEST(EventLoopTest, FlashCrowdRejectsOnlyDuringSpikeWindow) {
+  const FlashCrowdFixture fixture;
+  const ReplayResult result = fixture.run();
+
+  // The spike overloads the cluster: some sessions are refused outright.
+  EXPECT_GT(result.cluster.metrics.placement_rejects, 0U);
+  // All arrivals reached the cluster (no stop event) and the books balance.
+  EXPECT_EQ(result.report.arrivals_injected, fixture.trace.events.size());
+  std::size_t admitted = 0, rejected = 0, arrivals = 0;
+  for (const QosOutcome& tier : result.per_qos) {
+    arrivals += tier.arrivals;
+    admitted += tier.admitted;
+    rejected += tier.rejected;
+  }
+  EXPECT_EQ(arrivals, fixture.trace.events.size());
+  EXPECT_EQ(admitted + rejected, arrivals);
+  EXPECT_EQ(rejected, result.cluster.metrics.placement_rejects);
+
+  // Rejects are confined to the spike: a session admitted during the spike
+  // can hold its link for up to max_duration slots past the window, so the
+  // tolerance band is [spike_start, spike_end + max_duration). Snapshot
+  // windows entirely outside that band must show zero new rejects.
+  const std::size_t spike_start = fixture.scenario.resolved_spike_start();
+  const std::size_t spike_end =
+      spike_start + fixture.scenario.spike_duration;
+  const std::size_t drain_end = spike_end + fixture.scenario.max_duration;
+  std::size_t prev_rejects = 0, prev_slot = 0;
+  std::size_t rejects_in_band = 0;
+  for (const MetricsSnapshot& s : result.report.snapshots) {
+    const std::size_t delta = s.rejected_total - prev_rejects;
+    const bool window_outside_band =
+        s.slot <= spike_start || prev_slot >= drain_end;
+    if (window_outside_band) {
+      EXPECT_EQ(delta, 0U) << "rejects in (" << prev_slot << ", " << s.slot
+                           << "]";
+    } else {
+      rejects_in_band += delta;
+    }
+    prev_rejects = s.rejected_total;
+    prev_slot = s.slot;
+  }
+  EXPECT_EQ(rejects_in_band, result.cluster.metrics.placement_rejects);
+}
+
+TEST(EventLoopTest, SkipIdleMatchesDenseExecutionOnConstantChannels) {
+  // One short session deep into an otherwise idle calendar: fast-forwarding
+  // the idle stretch must not change a bit of what the session experiences
+  // on a constant-capacity link — only how many empty slots burned.
+  WorkloadTrace trace;
+  trace.events = {{400, 20, 0, 1.0, QosClass::kStandard}};
+
+  ReplayConfig config;
+  config.cluster = replay_cluster_config(2);
+  config.driver.snapshot_period = 100;
+  const double capacity =
+      3.0 * cheapest_load(config.cluster.serving.candidates);
+  const std::vector<const FrameStatsCache*> profiles{&shared_cache()};
+
+  config.driver.skip_idle = true;
+  ConstantChannel skip_channel(capacity);
+  std::vector<ChannelModel*> skip_channels{&skip_channel};
+  const ReplayResult skipped =
+      replay_trace(config, trace, profiles, skip_channels);
+
+  config.driver.skip_idle = false;
+  ConstantChannel dense_channel(capacity);
+  std::vector<ChannelModel*> dense_channels{&dense_channel};
+  const ReplayResult dense =
+      replay_trace(config, trace, profiles, dense_channels);
+
+  // The idle 400 slots were skipped, not served. 21 slots execute, not 20:
+  // the departure itself closes inside slot 420's begin phase, so the final
+  // slot runs (empty) to retire the session.
+  EXPECT_EQ(skipped.report.slots_executed, 21U);
+  EXPECT_EQ(skipped.report.slots_skipped, 400U);
+  EXPECT_EQ(dense.report.slots_executed, 421U);
+  EXPECT_EQ(dense.report.slots_skipped, 0U);
+  EXPECT_EQ(skipped.report.arrivals_injected, 1U);
+  EXPECT_EQ(skipped.report.departure_markers, 1U);
+
+  // The session's run is bit-identical either way.
+  ASSERT_EQ(skipped.cluster.sessions.size(), 1U);
+  ASSERT_EQ(dense.cluster.sessions.size(), 1U);
+  const Trace& a = skipped.cluster.sessions[0].session.trace;
+  const Trace& b = dense.cluster.sessions[0].session.trace;
+  ASSERT_EQ(a.size(), 20U);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.at(t).depth, b.at(t).depth);
+    EXPECT_EQ(a.at(t).service, b.at(t).service);
+    EXPECT_EQ(a.at(t).backlog_end, b.at(t).backlog_end);
+    EXPECT_EQ(a.at(t).quality, b.at(t).quality);
+  }
+  EXPECT_EQ(skipped.cluster.metrics.fleet.capacity_used,
+            dense.cluster.metrics.fleet.capacity_used);
+  // Skipped slots offered no capacity; dense ones drew the channel each slot.
+  EXPECT_LT(skipped.cluster.metrics.fleet.capacity_offered,
+            dense.cluster.metrics.fleet.capacity_offered);
+
+  // Snapshots punctuated the idle gap on schedule (slots 100, 200, ...).
+  ASSERT_GE(skipped.report.snapshots.size(), 4U);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(skipped.report.snapshots[i].slot, 100 * (i + 1));
+    EXPECT_EQ(skipped.report.snapshots[i].rejected_total, 0U);
+  }
+  // And the snapshot CSV is rectangular with the documented columns.
+  const CsvTable table = skipped.report.snapshot_table();
+  EXPECT_EQ(table.row_count(), skipped.report.snapshots.size());
+  EXPECT_EQ(table.column_count(), 8U);
+}
+
+TEST(EventLoopTest, StopEventCutsTheTailAndKeepsAccountingConsistent) {
+  // Three arrivals; a stop before the third's slot. The tail session is
+  // neither admitted nor rejected — placement never saw it.
+  WorkloadTrace trace;
+  trace.events = {{0, 50, 0, 1.0, QosClass::kStandard},
+                  {10, 50, 0, 1.0, QosClass::kPremium},
+                  {600, 50, 0, 1.0, QosClass::kBestEffort}};
+  ReplayConfig config;
+  config.cluster = replay_cluster_config(2);
+  config.stop_slot = 100;
+  config.driver.skip_idle = false;  // dense: exactly 100 slots execute
+  const double capacity =
+      3.0 * cheapest_load(config.cluster.serving.candidates);
+  ConstantChannel channel(capacity);
+  std::vector<ChannelModel*> channels{&channel};
+  const std::vector<const FrameStatsCache*> profiles{&shared_cache()};
+  const ReplayResult result = replay_trace(config, trace, profiles, channels);
+
+  EXPECT_EQ(result.report.slots_executed, 100U);
+  EXPECT_EQ(result.report.arrivals_injected, 2U);
+  std::size_t arrivals = 0, admitted = 0, rejected = 0;
+  for (const QosOutcome& tier : result.per_qos) {
+    arrivals += tier.arrivals;
+    admitted += tier.admitted;
+    rejected += tier.rejected;
+  }
+  // The cut-off row counts nowhere: the per-tier books balance on what the
+  // cluster actually saw.
+  EXPECT_EQ(arrivals, 2U);
+  EXPECT_EQ(admitted, 2U);
+  EXPECT_EQ(rejected, 0U);
+  EXPECT_EQ(result.per_qos[static_cast<std::size_t>(QosClass::kBestEffort)]
+                .arrivals,
+            0U);
+}
+
+TEST(EventLoopTest, DrainedOpenLoopRunIgnoresAFarStopCeiling) {
+  // In idle-skip mode a stop is only a ceiling: once the churn drains, the
+  // run ends instead of skipping a phantom idle tail to the stop slot (and
+  // padding the snapshot series with empty windows on the way).
+  WorkloadTrace trace;
+  trace.events = {{0, 20, 0, 1.0, QosClass::kStandard}};
+  ReplayConfig config;
+  config.cluster = replay_cluster_config(2);
+  config.stop_slot = 10'000;
+  config.driver.snapshot_period = 100;
+  const double capacity =
+      3.0 * cheapest_load(config.cluster.serving.candidates);
+  ConstantChannel channel(capacity);
+  std::vector<ChannelModel*> channels{&channel};
+  const std::vector<const FrameStatsCache*> profiles{&shared_cache()};
+  const ReplayResult result = replay_trace(config, trace, profiles, channels);
+
+  EXPECT_EQ(result.report.slots_executed, 21U);
+  EXPECT_EQ(result.report.slots_skipped, 0U);
+  EXPECT_TRUE(result.report.snapshots.empty());  // drained before slot 100
+  EXPECT_FALSE(result.report.hit_slot_cap);
+}
+
+TEST(EventLoopTest, ReplayValidatesItsInputs) {
+  const WorkloadTrace trace = sample_trace();  // uses profile ids {0, 1}
+  ReplayConfig config;
+  config.cluster = replay_cluster_config(2);
+  ConstantChannel channel(1e6);
+  std::vector<ChannelModel*> channels{&channel};
+
+  // Profile id out of range for the supplied table.
+  const std::vector<const FrameStatsCache*> one_profile{&shared_cache()};
+  EXPECT_THROW(replay_trace(config, trace, one_profile, channels),
+               std::invalid_argument);
+  EXPECT_THROW(replay_trace(config, trace, {}, channels),
+               std::invalid_argument);
+  EXPECT_THROW(replay_trace(config, trace, two_profiles(), {}),
+               std::invalid_argument);
+  std::vector<ChannelModel*> null_channel{nullptr};
+  EXPECT_THROW(replay_trace(config, trace, two_profiles(), null_channel),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arvis

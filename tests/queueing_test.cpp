@@ -149,6 +149,53 @@ TEST(ArrivalProcessTest, BurstyLongRunRate) {
   EXPECT_NEAR(stats.mean(), 5.0, 0.25);
 }
 
+TEST(ArrivalProcessTest, SinusoidModulationShapesTheRate) {
+  SinusoidModulatedArrivals a(10.0, 0.8, 100, Rng(9));
+  EXPECT_DOUBLE_EQ(a.mean_rate(), 10.0);
+  // The deterministic rate curve peaks a quarter period in and bottoms out
+  // at three quarters; the long-run draw average matches the base.
+  EXPECT_NEAR(a.rate_at(25), 18.0, 1e-9);
+  EXPECT_NEAR(a.rate_at(75), 2.0, 1e-9);
+  EXPECT_NEAR(a.rate_at(0), 10.0, 1e-9);
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) stats.add(a.next_arrivals());
+  EXPECT_NEAR(stats.mean(), 10.0, 0.15);
+
+  EXPECT_THROW(SinusoidModulatedArrivals(-1.0, 0.5, 100, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SinusoidModulatedArrivals(1.0, 1.5, 100, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SinusoidModulatedArrivals(1.0, 0.5, 0, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(ArrivalProcessTest, FlashCrowdSpikesOnlyInsideItsWindow) {
+  FlashCrowdArrivals a(2.0, 25.0, 100, 50, Rng(10));
+  EXPECT_DOUBLE_EQ(a.mean_rate(), 2.0);  // the spike is a transient
+  EXPECT_NEAR(a.rate_at(99), 2.0, 1e-9);
+  EXPECT_NEAR(a.rate_at(100), 50.0, 1e-9);
+  EXPECT_NEAR(a.rate_at(149), 50.0, 1e-9);
+  EXPECT_NEAR(a.rate_at(150), 2.0, 1e-9);
+  double before = 0.0, inside = 0.0, after = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    const double n = a.next_arrivals();
+    if (t < 100) {
+      before += n;
+    } else if (t < 150) {
+      inside += n;
+    } else {
+      after += n;
+    }
+  }
+  // ~200 draws at rate 2 outside vs ~2500 inside the 50-slot spike.
+  EXPECT_GT(inside, 3.0 * (before + after));
+
+  EXPECT_THROW(FlashCrowdArrivals(-1.0, 2.0, 0, 10, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(FlashCrowdArrivals(1.0, -2.0, 0, 10, Rng(1)),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------------ Stability ----
 
 std::vector<double> make_series(std::size_t n, double (*f)(std::size_t)) {

@@ -67,8 +67,8 @@ TEST(SchedulerTest, AllPoliciesConserveCapacity) {
   std::vector<double> shares;
   for (SchedulerPolicy policy :
        {SchedulerPolicy::kEqualShare, SchedulerPolicy::kWorkConserving,
-        SchedulerPolicy::kProportionalFair,
-        SchedulerPolicy::kWeightedPriority}) {
+        SchedulerPolicy::kProportionalFair, SchedulerPolicy::kWeightedPriority,
+        SchedulerPolicy::kDeficitRoundRobin}) {
     auto scheduler = make_scheduler(policy);
     for (int trial = 0; trial < 200; ++trial) {
       const std::size_t n = 1 + static_cast<std::size_t>(rng.below(12));
@@ -188,6 +188,91 @@ TEST(SchedulerTest, WeightedPriorityServesTiersInOrder) {
   scheduler.allocate(100.0, {{150.0, 0.0, 1.0}, {150.0, 0.0, 1.0}}, shares);
   EXPECT_NEAR(shares[0], 50.0, 1e-9);
   EXPECT_NEAR(shares[1], 50.0, 1e-9);
+}
+
+TEST(SchedulerTest, ProportionalFairEwmaFavorsHistoricallyStarved) {
+  ProportionalFairScheduler scheduler;
+  std::vector<double> shares;
+  // Equal weight, equal demand; session 0 has been drinking 1000 bytes/slot
+  // while session 1 got nothing. True PF hands the starved session the lion's
+  // share: pulls are 1/1001 vs 1/1.
+  scheduler.allocate(100.0,
+                     {{200.0, 0.0, 1.0, 1'000.0}, {200.0, 0.0, 1.0, 0.0}},
+                     shares);
+  EXPECT_LT(shares[0], 1.0);
+  EXPECT_GT(shares[1], 99.0);
+  EXPECT_NEAR(shares[0] + shares[1], 100.0, 1e-9);
+  // Equal histories collapse to the legacy demand-proportional split.
+  scheduler.allocate(200.0,
+                     {{100.0, 0.0, 1.0, 500.0}, {300.0, 0.0, 1.0, 500.0}},
+                     shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 150.0, 1e-9);
+  // No history (< 0, the default) is the legacy behaviour bit for bit.
+  scheduler.allocate(200.0, {{100.0, 0.0, 1.0}, {300.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 150.0, 1e-9);
+}
+
+TEST(SchedulerTest, DeficitRoundRobinIsWeightedMaxMin) {
+  DeficitRoundRobinScheduler scheduler;
+  std::vector<double> shares;
+  // Equal weights under overload: equal split.
+  scheduler.allocate(100.0, {{150.0, 0.0, 1.0}, {150.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);
+  EXPECT_NEAR(shares[1], 50.0, 1e-9);
+  // 2:1 weights under overload: 2:1 split.
+  scheduler.allocate(90.0, {{150.0, 0.0, 2.0}, {150.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 60.0, 1e-9);
+  EXPECT_NEAR(shares[1], 30.0, 1e-9);
+  // Grants cap at demand; the surplus reaches the still-hungry session
+  // (max-min, not strict priority).
+  scheduler.allocate(300.0, {{100.0, 0.0, 2.0}, {150.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 100.0, 1e-9);
+  EXPECT_NEAR(shares[1], 150.0, 1e-9);
+  // Zero-weight sessions are served from leftovers only.
+  scheduler.allocate(100.0, {{80.0, 0.0, 0.0}, {50.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[1], 50.0, 1e-9);
+  EXPECT_NEAR(shares[0], 50.0, 1e-9);  // leftover 50 of the 80 wanted
+  // Under overload nothing leaks to weight zero.
+  scheduler.allocate(40.0, {{80.0, 0.0, 0.0}, {50.0, 0.0, 1.0}}, shares);
+  EXPECT_NEAR(shares[0], 0.0, 1e-9);
+  EXPECT_NEAR(shares[1], 40.0, 1e-9);
+}
+
+TEST(SchedulerTest, DeficitRoundRobinHandlesVanishinglySmallWeights) {
+  // The per-round quantum is recomputed from the surviving ring's weight, so
+  // a near-zero-weight straggler (trace files accept any weight >= 0) drains
+  // in O(1) rounds instead of ~capacity/(capacity * w/Σw) of them — this
+  // call used to take hours at weight 1e-12.
+  DeficitRoundRobinScheduler scheduler;
+  std::vector<double> shares;
+  scheduler.allocate(1'000.0, {{1'000.0, 0.0, 1e-12}, {10.0, 0.0, 1.0}},
+                     shares);
+  EXPECT_NEAR(shares[1], 10.0, 1e-9);
+  EXPECT_NEAR(shares[0], 990.0, 1e-6);
+}
+
+TEST(SchedulerTest, DeficitRoundRobinRotatesTheResidue) {
+  // Capacity runs dry mid-round, so whoever is visited first in the final
+  // round keeps the residue; the cursor rotates that advantage across slots.
+  DeficitRoundRobinScheduler scheduler;
+  std::vector<double> shares;
+  const std::vector<SchedulerDemand> demands{
+      {5.0, 0.0, 1.0}, {100.0, 0.0, 1.0}, {100.0, 0.0, 1.0}};
+  scheduler.allocate(30.0, demands, shares);  // rotation starts at index 0
+  const std::vector<double> first = shares;
+  scheduler.allocate(30.0, demands, shares);
+  scheduler.allocate(30.0, demands, shares);  // rotation starts at index 2
+  const std::vector<double> third = shares;
+  // Session 0's tiny demand is always met; the big pair split the rest, and
+  // the 5-byte residue lands on whichever of them the rotation favours.
+  EXPECT_NEAR(first[0], 5.0, 1e-9);
+  EXPECT_NEAR(third[0], 5.0, 1e-9);
+  EXPECT_NEAR(first[1], 15.0, 1e-9);
+  EXPECT_NEAR(first[2], 10.0, 1e-9);
+  EXPECT_NEAR(third[1], 10.0, 1e-9);
+  EXPECT_NEAR(third[2], 15.0, 1e-9);
 }
 
 // ----------------------------------------------------------- Admission ----
@@ -611,7 +696,102 @@ TEST(ReplicationTest, ParallelReplicateMatchesSerialExactly) {
   EXPECT_EQ(serial.divergent_count, parallel.divergent_count);
 }
 
+TEST(SessionManagerTest, PfEwmaWindowValidationAndEffect) {
+  ServingConfig config = small_config();
+  config.policy = SchedulerPolicy::kProportionalFair;
+  config.pf_ewma_window = -1.0;
+  EXPECT_THROW(SessionManager(config, 1e6), std::invalid_argument);
+  config.pf_ewma_window = 0.5;  // alpha would exceed 1
+  EXPECT_THROW(SessionManager(config, 1e6), std::invalid_argument);
+
+  // The knob changes real allocations: under contention, true PF serves the
+  // fleet differently from the instantaneous-demand split.
+  const auto run_with_window = [&](double window) {
+    ServingConfig c = small_config();
+    c.steps = 200;
+    c.policy = SchedulerPolicy::kProportionalFair;
+    c.pf_ewma_window = window;
+    std::vector<SessionSpec> specs(3);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].cache = &shared_cache();
+      specs[i].seed = i;
+      specs[i].weight = i == 0 ? 2.0 : 1.0;
+    }
+    // Scarce link: queues stay backlogged, so the scheduler's choices bite.
+    ConstantChannel channel(2.0 * shared_cache().workload(0).bytes(3));
+    return run_serving_scenario(c, specs, channel);
+  };
+  const ServingResult legacy = run_with_window(0.0);
+  const ServingResult true_pf = run_with_window(32.0);
+  ASSERT_EQ(legacy.sessions.size(), true_pf.sessions.size());
+  bool any_service_differs = false;
+  for (std::size_t i = 0; i < legacy.sessions.size(); ++i) {
+    const Trace& a = legacy.sessions[i].trace;
+    const Trace& b = true_pf.sessions[i].trace;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) {
+      if (a.at(t).service != b.at(t).service) any_service_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_service_differs);
+  // Same capacity offered either way — the knob moves bytes between
+  // sessions, it does not mint or lose any.
+  EXPECT_EQ(legacy.fleet.capacity_offered, true_pf.fleet.capacity_offered);
+}
+
 // ------------------------------------------------- Serving end-to-end ----
+
+TEST(ServingScenarioTest, EventLoopWrapperMatchesHandRolledFixedHorizonLoop) {
+  // run_serving_scenario is now a thin wrapper over the event-driven
+  // EventLoop (dense mode + stop event). It must reproduce the pre-driver
+  // hand-rolled fixed-horizon loop bit for bit — same submit order, one step
+  // per slot, same capacity draws.
+  ServingConfig config = small_config();
+  config.steps = 150;
+  config.policy = SchedulerPolicy::kProportionalFair;
+  const auto specs = churn_specs(9);
+  const double capacity = 6.0 * shared_cache().workload(0).bytes(4);
+
+  // The reference: the loop run_serving_scenario used to be.
+  GilbertElliottChannel hand_channel(capacity, 0.4, 0.1, 0.3, Rng(23));
+  SessionManager manager(config, hand_channel.mean_capacity_bytes());
+  for (const SessionSpec& spec : specs) manager.submit(spec);
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    manager.step(hand_channel.next_capacity_bytes());
+  }
+  const ServingResult hand = manager.finish();
+
+  GilbertElliottChannel loop_channel(capacity, 0.4, 0.1, 0.3, Rng(23));
+  const ServingResult looped =
+      run_serving_scenario(config, specs, loop_channel);
+
+  ASSERT_EQ(hand.sessions.size(), looped.sessions.size());
+  for (std::size_t i = 0; i < hand.sessions.size(); ++i) {
+    const SessionOutcome& a = hand.sessions[i];
+    const SessionOutcome& b = looped.sessions[i];
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.arrival_slot, b.arrival_slot);
+    EXPECT_EQ(a.departure_slot, b.departure_slot);
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << "session " << i;
+    for (std::size_t t = 0; t < a.trace.size(); ++t) {
+      EXPECT_EQ(a.trace.at(t).depth, b.trace.at(t).depth);
+      EXPECT_EQ(a.trace.at(t).arrivals, b.trace.at(t).arrivals);
+      EXPECT_EQ(a.trace.at(t).service, b.trace.at(t).service);
+      EXPECT_EQ(a.trace.at(t).backlog_begin, b.trace.at(t).backlog_begin);
+      EXPECT_EQ(a.trace.at(t).backlog_end, b.trace.at(t).backlog_end);
+      EXPECT_EQ(a.trace.at(t).quality, b.trace.at(t).quality);
+    }
+  }
+  EXPECT_EQ(hand.admission.attempts, looped.admission.attempts);
+  EXPECT_EQ(hand.admission.accepted, looped.admission.accepted);
+  EXPECT_EQ(hand.admission.rejected, looped.admission.rejected);
+  EXPECT_EQ(hand.fleet.capacity_offered, looped.fleet.capacity_offered);
+  EXPECT_EQ(hand.fleet.capacity_used, looped.fleet.capacity_used);
+  EXPECT_EQ(hand.fleet.quality_fairness, looped.fleet.quality_fairness);
+  EXPECT_EQ(hand.fleet.total_time_average_backlog,
+            looped.fleet.total_time_average_backlog);
+  EXPECT_EQ(hand.fleet.peak_concurrency, looped.fleet.peak_concurrency);
+}
 
 TEST(ServingScenarioTest, AdmissionKeepsFleetStable) {
   // Twice as many sessions as the link's stability region fits; admission
