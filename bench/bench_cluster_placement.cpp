@@ -8,12 +8,14 @@
 // best-fit packs by residual capacity. Reports admissions, spills, cross-link
 // load fairness, utilization and wall time per configuration.
 //
-// Build & run:  ./build/bench/bench_cluster_placement [--smoke]
+// Build & run:  ./build/bench/bench_cluster_placement [--smoke | --json]
 //
 // --smoke runs one small configuration plus two hard invariant checks
 // (parallel decide == serial bit-for-bit; least-loaded admits at least as
 // many as round-robin on the skewed burst) and exits non-zero on violation —
 // cheap enough for CI, so the placement sweep cannot silently rot.
+// --json additionally writes BENCH_cluster_placement.json (wall time per
+// sweep point) — the bench's perf-trajectory record.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -175,10 +177,12 @@ int run_smoke() {
 int main(int argc, char** argv) {
   using namespace arvis;
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
 
   CsvTable table({"links", "policy", "sessions", "admitted", "rejected",
                   "spills", "link_fairness", "utilization", "mean_quality",
                   "wall_ms"});
+  std::vector<bench::BenchRecord> records;
   for (std::size_t links : {1U, 2U, 4U}) {
     for (std::size_t per_link : {2U, 4U, 8U}) {
       for (PlacementPolicy placement :
@@ -201,11 +205,22 @@ int main(int argc, char** argv) {
                        result.metrics.link_load_fairness,
                        result.metrics.fleet.utilization(),
                        result.metrics.fleet.mean_quality, ms});
+        char params[128];
+        std::snprintf(params, sizeof params,
+                      "{\"links\":%zu,\"policy\":\"%s\",\"sessions\":%zu}",
+                      links, to_string(placement), point.total_sessions());
+        records.push_back({"placement_sweep", params, ms * 1e6,
+                           static_cast<double>(point.total_sessions()), 1});
       }
     }
   }
   bench::print_table(
       "cluster placement: K x policy x sessions, skewed bursts", table);
+  if (json &&
+      !bench::write_bench_json("cluster_placement", records,
+                               "\"unit\":\"ns_per_sweep_point\"")) {
+    return 1;
+  }
   std::printf(
       "\nNote: K = 1 rows are the single-link special case (policies\n"
       "coincide); the round-robin vs least-loaded admission gap at K = 4 is\n"

@@ -8,9 +8,11 @@
 // full-scale spot check.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "datasets/catalog.hpp"
@@ -18,6 +20,82 @@
 #include "sim/simulation.hpp"
 
 namespace arvis::bench {
+
+// ---------------------------------------------------------------------------
+// Perf-trajectory plumbing shared by the benches: a wall-clock timer and a
+// BENCH_<name>.json emitter. Every bench that measures speed writes its
+// numbers through this, so the repo accumulates a machine-readable perf
+// trajectory (one JSON file per bench at the repo root, uploaded by CI as a
+// workflow artifact) instead of throwing measurements away in stdout tables.
+
+/// Monotonic wall-clock stopwatch (nanosecond reads).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_ns() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One measured configuration of a bench. `params` is a raw JSON object
+/// string ("{\"sessions\":10000,...}") so each bench picks its own axes;
+/// `ns_per_op` is the headline number (ops = whatever unit the bench
+/// documents, e.g. session·slots), min over `repetitions` runs.
+struct BenchRecord {
+  std::string name;
+  std::string params;  // raw JSON object
+  double ns_per_op = 0.0;
+  double ops = 0.0;  // ops measured in the best repetition
+  std::size_t repetitions = 1;
+};
+
+/// Serializes records (plus an optional raw-JSON `extra` block of
+/// bench-specific fields) as BENCH_<bench>.json-style content.
+inline std::string bench_json(const std::string& bench,
+                              const std::vector<BenchRecord>& records,
+                              const std::string& extra = "") {
+  std::string out = "{\"bench\":\"" + bench + "\",\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "\"ns_per_op\":%.3f,\"ops\":%.0f,\"repetitions\":%zu}",
+                  r.ns_per_op, r.ops, r.repetitions);
+    out += (i ? "," : "");
+    out += "{\"name\":\"" + r.name + "\",\"params\":" + r.params + "," + buf;
+  }
+  out += "]";
+  if (!extra.empty()) out += "," + extra;
+  out += "}\n";
+  return out;
+}
+
+/// Writes the bench's trajectory JSON to `path` (default:
+/// BENCH_<bench>.json in the current directory — run from the repo root to
+/// land it beside the sources). Returns false on I/O failure.
+inline bool write_bench_json(const std::string& bench,
+                             const std::vector<BenchRecord>& records,
+                             const std::string& extra = "",
+                             std::string path = "") {
+  if (path.empty()) path = "BENCH_" + bench + ".json";
+  const std::string body = bench_json(bench, records, extra);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return ok;
+}
 
 /// Frames cached for the simulation benches (one walk cycle at 30 fps ~ a
 /// representative slice of the 300-frame sequence; slots cycle through it).

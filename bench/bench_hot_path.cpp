@@ -1,0 +1,397 @@
+// Hot-path microbench: steady-state slot-loop cost of the serving runtime,
+// in ns per session·slot, at fleet sizes 1k / 10k / 100k — the perf
+// trajectory anchor for the SoA session-store refactor.
+//
+// Two regimes per fleet size:
+//   dense  every session arrives at slot 0 and never departs: the measured
+//          window is pure decide/schedule/drain, no lifecycle work;
+//   churn  arrivals staggered across the window with finite lifetimes, so
+//          every slot admits and retires sessions: begin_slot, the pending
+//          list, admission and active-list compaction are all on the clock.
+//
+// Build & run:  ./build/bench/bench_hot_path [--smoke] [--json [--quick]]
+//
+// --json writes BENCH_hot_path.json (run from the repo root to land it
+// there); --quick shrinks the sweep for CI. --smoke runs two hard
+// invariants cheap enough for CI and exits non-zero on violation:
+//   1. oracle equivalence: the runtime's slot loop, re-simulated through the
+//      original view-based controller path (ByteWorkloadView /
+//      LogPointQualityView / LyapunovDepthController + the demand-struct
+//      scheduler interface), matches the SessionManager's traces bit for
+//      bit — the SoA layout and flattened decide tables are pure layout,
+//      zero behaviour;
+//   2. executor determinism: threads=2 decide fan-out over the SoA arrays is
+//      bit-identical to serial.
+// A SMOKE_JSON line summarizes both for CI diffing.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "datasets/catalog.hpp"
+#include "delay/workload.hpp"
+#include "lyapunov/depth_controller.hpp"
+#include "net/streaming.hpp"
+#include "quality/quality_model.hpp"
+#include "queueing/queue.hpp"
+#include "serving/admission.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/session_manager.hpp"
+#include "sim/frame_stats_cache.hpp"
+
+namespace {
+
+using namespace arvis;
+
+// Pre-PR baseline, measured with this same harness on the pointer-chasing
+// layout (commit fcdeea9: unique_ptr session heap, per-slot view construction,
+// demand-struct scheduler copy-in) before the SoA refactor landed. Single
+// thread, Release, this container. Units: ns per session·slot.
+constexpr double kPrePrDense10k = 173.33;
+constexpr double kPrePrDense100k = 206.97;
+constexpr double kPrePrChurn10k = 167.90;
+
+const FrameStatsCache& hot_cache() {
+  static const FrameStatsCache cache(*open_test_subject(17), 8, 16);
+  return cache;
+}
+
+ServingConfig base_config(std::size_t steps) {
+  ServingConfig config;
+  config.steps = steps;
+  config.candidates = {3, 4, 5, 6};
+  config.v = calibrate_streaming_v(hot_cache(), config.candidates,
+                                   4.0 * hot_cache().workload(0).bytes(5));
+  config.policy = SchedulerPolicy::kWorkConserving;
+  config.threads = 1;
+  config.admission.utilization_target = 1.0;
+  return config;
+}
+
+struct Measurement {
+  double ns_per_session_slot = 0.0;
+  double session_slots = 0.0;
+};
+
+/// Dense steady state: N sessions admitted at slot 0, none ever leave; the
+/// clock covers only the measured window (warm-up absorbs admission, trace
+/// reservations and scratch growth).
+Measurement run_dense(std::size_t n, std::size_t warm, std::size_t measure) {
+  ServingConfig config = base_config(warm + measure);
+  const double load =
+      AdmissionController::cheapest_depth_load(hot_cache(), config.candidates);
+  const double capacity = static_cast<double>(n) * load * 1.2;
+  SessionManager manager(config, capacity);
+  for (std::size_t i = 0; i < n; ++i) {
+    SessionSpec spec;
+    spec.cache = &hot_cache();
+    spec.seed = i;
+    manager.submit(spec);
+  }
+  for (std::size_t t = 0; t < warm; ++t) manager.step(capacity);
+
+  bench::WallTimer timer;
+  for (std::size_t t = 0; t < measure; ++t) manager.step(capacity);
+  const double ns = timer.elapsed_ns();
+  const ServingResult result = manager.finish();
+  if (result.admission.accepted != n) {
+    std::fprintf(stderr, "bench_hot_path: dense admission shortfall\n");
+    std::abort();
+  }
+  const double slots =
+      static_cast<double>(n) * static_cast<double>(measure);
+  return {ns / slots, slots};
+}
+
+/// Churn-heavy: arrivals staggered over the window (non-decreasing due
+/// slots), each session living `life` slots, so every measured slot runs the
+/// full lifecycle — pending-list pops, admission, activation, departure
+/// compaction — alongside decide/schedule/drain.
+Measurement run_churn(std::size_t n, std::size_t warm, std::size_t measure) {
+  const std::size_t span = warm + measure;  // arrival window
+  const std::size_t life = std::max<std::size_t>(span / 2, 8);
+  ServingConfig config = base_config(span);
+  const double load =
+      AdmissionController::cheapest_depth_load(hot_cache(), config.candidates);
+  const double capacity = static_cast<double>(n) * load * 1.2;
+  SessionManager manager(config, capacity);
+  for (std::size_t i = 0; i < n; ++i) {
+    SessionSpec spec;
+    spec.cache = &hot_cache();
+    spec.seed = i;
+    spec.arrival_slot = i * span / n;  // non-decreasing: O(1) pending insert
+    spec.departure_slot = spec.arrival_slot + life;
+    manager.submit(spec);
+  }
+  for (std::size_t t = 0; t < warm; ++t) manager.step(capacity);
+
+  bench::WallTimer timer;
+  for (std::size_t t = 0; t < measure; ++t) manager.step(capacity);
+  const double ns = timer.elapsed_ns();
+  const ServingResult result = manager.finish();
+
+  double slots = 0.0;  // session·slots inside the measured window
+  for (const SessionOutcome& s : result.sessions) {
+    if (!s.admitted) continue;
+    const std::size_t lo = std::max(s.arrival_slot, warm);
+    const std::size_t hi = std::min(s.departure_slot, span);
+    if (hi > lo) slots += static_cast<double>(hi - lo);
+  }
+  return {ns / slots, slots};
+}
+
+Measurement best_of(std::size_t reps, const auto& run) {
+  Measurement best;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const Measurement m = run();
+    if (r == 0 || m.ns_per_session_slot < best.ns_per_session_slot) best = m;
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- oracle ----
+// Re-simulates the slot loop the way the pre-SoA runtime computed it: one
+// object per session, per-slot non-owning views over the frame cache, the
+// virtual-dispatch controller, and the demand-struct scheduler interface.
+// Any divergence between this and SessionManager's traces means the data
+// layout leaked into behaviour.
+
+struct OracleSession {
+  OracleSession(double v, double weight_in)
+      : controller(v), weight(weight_in) {}
+  LyapunovDepthController controller;
+  DiscreteQueue queue;
+  double weight;
+  double ewma = 0.0;
+  std::vector<StepRecord> steps;
+};
+
+bool oracle_matches(SchedulerPolicy policy, double pf_window, std::size_t n,
+                    std::size_t steps, const char* label) {
+  ServingConfig config = base_config(steps);
+  config.policy = policy;
+  config.pf_ewma_window = pf_window;
+  const double load =
+      AdmissionController::cheapest_depth_load(hot_cache(), config.candidates);
+  const double capacity = static_cast<double>(n) * load * 2.0;
+
+  SessionManager manager(config, capacity);
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SessionSpec spec;
+    spec.cache = &hot_cache();
+    spec.seed = i;
+    spec.weight = (i % 2 == 0) ? 1.0 : 2.0;
+    weights[i] = spec.weight;
+    manager.submit(spec);
+  }
+  for (std::size_t t = 0; t < steps; ++t) manager.step(capacity);
+  const ServingResult result = manager.finish();
+
+  const auto scheduler = make_scheduler(policy);
+  const bool pf = pf_window > 0.0;
+  const double alpha = pf ? 1.0 / pf_window : 0.0;
+  std::vector<OracleSession> oracle;
+  oracle.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) oracle.emplace_back(config.v, weights[i]);
+  std::vector<SchedulerDemand> demands(n);
+  std::vector<double> shares;
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      OracleSession& s = oracle[i];
+      const FrameWorkload& frame = hot_cache().workload(t);
+      const ByteWorkloadView workload(frame.bytes_at_depth);
+      const LogPointQualityView quality(frame.points_at_depth);
+      DepthContext context;
+      context.queue_backlog = s.queue.backlog();
+      context.quality = &quality;
+      context.workload = &workload;
+      StepRecord record;
+      record.t = t;
+      record.backlog_begin = s.queue.backlog();
+      record.depth = s.controller.decide(config.candidates, context);
+      record.arrivals = workload.arrivals(record.depth);
+      record.quality = quality.quality(record.depth);
+      s.steps.push_back(record);
+      demands[i] = {record.backlog_begin, record.arrivals, s.weight,
+                    pf ? s.ewma : -1.0};
+    }
+    scheduler->allocate(capacity, demands, shares);
+    for (std::size_t i = 0; i < n; ++i) {
+      OracleSession& s = oracle[i];
+      StepRecord& record = s.steps.back();
+      record.service = shares[i];
+      record.backlog_end = s.queue.step(record.arrivals, shares[i]);
+      if (pf) s.ewma = (1.0 - alpha) * s.ewma + alpha * s.queue.last_served();
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Trace& got = result.sessions[i].trace;
+    const std::vector<StepRecord>& want = oracle[i].steps;
+    if (!result.sessions[i].admitted || got.size() != want.size()) {
+      std::printf("oracle MISMATCH [%s]: session %zu trace shape\n", label, i);
+      return false;
+    }
+    for (std::size_t t = 0; t < want.size(); ++t) {
+      const StepRecord& a = got.at(t);
+      const StepRecord& b = want[t];
+      if (a.depth != b.depth || a.arrivals != b.arrivals ||
+          a.service != b.service || a.backlog_begin != b.backlog_begin ||
+          a.backlog_end != b.backlog_end || a.quality != b.quality) {
+        std::printf("oracle MISMATCH [%s]: session %zu slot %zu\n", label, i,
+                    t);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// threads=2 decide fan-out must be bit-identical to serial.
+bool parallel_matches_serial() {
+  const auto run = [&](std::size_t threads) {
+    ServingConfig config = base_config(120);
+    config.threads = threads;
+    const double load = AdmissionController::cheapest_depth_load(
+        hot_cache(), config.candidates);
+    const double capacity = 64.0 * load * 1.5;
+    std::vector<SessionSpec> specs(64);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].cache = &hot_cache();
+      specs[i].seed = i;
+      specs[i].weight = (i % 3 == 0) ? 2.0 : 1.0;
+    }
+    ConstantChannel channel(capacity);
+    return run_serving_scenario(config, specs, channel);
+  };
+  const ServingResult serial = run(1);
+  const ServingResult parallel = run(2);
+  if (serial.sessions.size() != parallel.sessions.size()) return false;
+  for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+    const Trace& a = serial.sessions[i].trace;
+    const Trace& b = parallel.sessions[i].trace;
+    if (a.size() != b.size()) return false;
+    for (std::size_t t = 0; t < a.size(); ++t) {
+      if (a.at(t).depth != b.at(t).depth ||
+          a.at(t).service != b.at(t).service ||
+          a.at(t).backlog_end != b.at(t).backlog_end) {
+        return false;
+      }
+    }
+  }
+  return serial.fleet.capacity_used == parallel.fleet.capacity_used &&
+         serial.fleet.quality_fairness == parallel.fleet.quality_fairness;
+}
+
+int run_smoke() {
+  int failures = 0;
+  const bool oracle_wc =
+      oracle_matches(SchedulerPolicy::kWorkConserving, 0.0, 8, 200,
+                     "work-conserving");
+  if (!oracle_wc) ++failures;
+  const bool oracle_pf =
+      oracle_matches(SchedulerPolicy::kProportionalFair, 16.0, 6, 200,
+                     "proportional-fair+ewma");
+  if (!oracle_pf) ++failures;
+  const bool oracle_drr =
+      oracle_matches(SchedulerPolicy::kDeficitRoundRobin, 0.0, 6, 200, "drr");
+  if (!oracle_drr) ++failures;
+  const bool parallel_ok = parallel_matches_serial();
+  if (!parallel_ok) ++failures;
+
+  std::printf("smoke: oracle wc=%d pf+ewma=%d drr=%d, parallel==serial=%d\n",
+              oracle_wc ? 1 : 0, oracle_pf ? 1 : 0, oracle_drr ? 1 : 0,
+              parallel_ok ? 1 : 0);
+  std::printf(
+      "SMOKE_JSON {\"bench\":\"hot_path\",\"oracle_work_conserving\":%s,"
+      "\"oracle_pf_ewma\":%s,\"oracle_drr\":%s,"
+      "\"parallel_bit_identical\":%s,\"failures\":%d}\n",
+      oracle_wc ? "true" : "false", oracle_pf ? "true" : "false",
+      oracle_drr ? "true" : "false", parallel_ok ? "true" : "false", failures);
+  std::printf(failures == 0 ? "smoke OK\n" : "smoke: %d failure(s)\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, json = false, quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (smoke) return run_smoke();
+
+  struct Point {
+    std::size_t sessions, warm, measure, reps;
+  };
+  std::vector<Point> points{{1'000, 16, 256, 3}, {10'000, 8, 64, 3}};
+  if (!quick) points.push_back({100'000, 4, 24, 2});
+
+  CsvTable table({"case", "sessions", "measured_slots", "session_slots",
+                  "ns_per_session_slot", "reps"});
+  std::vector<arvis::bench::BenchRecord> records;
+  double dense_10k = 0.0, dense_100k = 0.0, churn_10k = 0.0;
+  for (const Point& p : points) {
+    for (const bool churn : {false, true}) {
+      const Measurement m = best_of(p.reps, [&] {
+        return churn ? run_churn(p.sessions, p.warm, p.measure)
+                     : run_dense(p.sessions, p.warm, p.measure);
+      });
+      const std::string name = churn ? "slot_loop_churn" : "slot_loop_dense";
+      table.add_row({name, static_cast<std::int64_t>(p.sessions),
+                     static_cast<std::int64_t>(p.measure), m.session_slots,
+                     m.ns_per_session_slot,
+                     static_cast<std::int64_t>(p.reps)});
+      char params[96];
+      std::snprintf(params, sizeof params,
+                    "{\"sessions\":%zu,\"measured_slots\":%zu}", p.sessions,
+                    p.measure);
+      records.push_back({name, params, m.ns_per_session_slot, m.session_slots,
+                         p.reps});
+      if (!churn && p.sessions == 10'000) dense_10k = m.ns_per_session_slot;
+      if (!churn && p.sessions == 100'000) dense_100k = m.ns_per_session_slot;
+      if (churn && p.sessions == 10'000) churn_10k = m.ns_per_session_slot;
+    }
+  }
+
+  arvis::bench::print_table("hot path: steady-state slot loop (ns per "
+                            "session-slot)",
+                            table);
+  if (kPrePrDense10k > 0.0 && dense_10k > 0.0) {
+    std::printf(
+        "\nvs pre-PR layout: dense@10k %.1f -> %.1f ns (%.2fx), "
+        "churn@10k %.1f -> %.1f ns (%.2fx)\n",
+        kPrePrDense10k, dense_10k, kPrePrDense10k / dense_10k, kPrePrChurn10k,
+        churn_10k, churn_10k > 0.0 ? kPrePrChurn10k / churn_10k : 0.0);
+  }
+
+  if (json) {
+    char extra[512];
+    if (quick) {
+      // CI / foreign hardware: the compiled-in baseline was measured on the
+      // reference container, so a cross-machine speedup ratio would be
+      // noise dressed as signal — emit the measurements alone.
+      std::snprintf(extra, sizeof extra, "\"unit\":\"ns_per_session_slot\"");
+    } else {
+      std::snprintf(
+          extra, sizeof extra,
+          "\"unit\":\"ns_per_session_slot\",\"baseline\":{\"layout\":"
+          "\"pre-PR pointer-chasing (commit fcdeea9)\",\"dense_10k\":%.3f,"
+          "\"dense_100k\":%.3f,\"churn_10k\":%.3f},\"speedup_dense_10k\":%.3f,"
+          "\"speedup_dense_100k\":%.3f,\"speedup_churn_10k\":%.3f",
+          kPrePrDense10k, kPrePrDense100k, kPrePrChurn10k,
+          dense_10k > 0.0 ? kPrePrDense10k / dense_10k : 0.0,
+          dense_100k > 0.0 ? kPrePrDense100k / dense_100k : 0.0,
+          churn_10k > 0.0 ? kPrePrChurn10k / churn_10k : 0.0);
+    }
+    if (!arvis::bench::write_bench_json("hot_path", records, extra)) return 1;
+  }
+  return 0;
+}

@@ -4,9 +4,14 @@
 // each thread count over serial at the same fleet size, and the fleet
 // quality/fairness metrics — the scaling story of the serving runtime.
 //
-// Build & run:  ./build/bench/bench_serving_scale
+// Build & run:  ./build/bench/bench_serving_scale [--json]
+//
+// --json additionally writes BENCH_serving_scale.json (ns per session·slot
+// per sweep point) — the bench's perf-trajectory record.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -65,12 +70,15 @@ double run_once(std::size_t sessions, std::size_t threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace arvis;
+  const bool json =
+      argc > 1 && std::strcmp(argv[1], "--json") == 0;
 
   CsvTable table({"sessions", "threads", "wall_ms", "session_slots_per_s",
                   "speedup_vs_1t", "admitted", "rejected", "fairness",
                   "utilization", "divergent"});
+  std::vector<bench::BenchRecord> records;
 
   for (std::size_t sessions : {1U, 4U, 16U, 64U, 256U}) {
     double serial_ms = 0.0;
@@ -92,6 +100,11 @@ int main() {
                      result.fleet.quality_fairness,
                      result.fleet.utilization(),
                      static_cast<std::int64_t>(result.fleet.divergent_sessions)});
+      char params[96];
+      std::snprintf(params, sizeof params,
+                    "{\"sessions\":%zu,\"threads\":%zu}", sessions, threads);
+      records.push_back({"scenario_run", params,
+                         slots > 0.0 ? ms * 1e6 / slots : 0.0, slots, 1});
     }
   }
 
@@ -102,5 +115,10 @@ int main() {
       "\nNote: speedup_vs_1t compares against the serial run at the same\n"
       "fleet size; gains require free hardware cores (this machine has %u).\n",
       std::thread::hardware_concurrency());
+  if (json &&
+      !bench::write_bench_json("serving_scale", records,
+                               "\"unit\":\"ns_per_session_slot\"")) {
+    return 1;
+  }
   return 0;
 }

@@ -68,6 +68,7 @@ std::size_t EdgeCluster::submit(const SessionSpec& spec) {
   links_.front()->validate_spec(spec);
 
   entries_.push_back(std::make_unique<Entry>(entries_.size(), spec));
+  metrics_.reserve_sessions(entries_.size());
   Entry* e = entries_.back().get();
   e->due = std::max(spec.arrival_slot, slot_);
   const auto begin =

@@ -18,9 +18,13 @@
 //      spill_limit spills), refuse when every tried link rejects;
 //   3. decide: all links' active sessions fan out through ONE deterministic
 //      ParallelExecutor (each session touches only its own state, so any
-//      thread count is bit-identical to serial);
-//   4. every link schedules + drains with its own capacity draw; per-link
-//      ServerMetrics roll up into the cluster fleet view.
+//      thread count is bit-identical to serial); each decide is the link's
+//      flattened SoA kernel (SessionStore::decide), so the fan-out walks
+//      dense arrays, not heap-scattered session objects;
+//   4. every link schedules + drains with its own capacity draw — the
+//      scheduler consumes the link store's SoA spans in place (no
+//      demand-struct copy-in) — and per-link ServerMetrics roll up into the
+//      cluster fleet view.
 //
 // With K = 1 and round-robin placement the cluster reproduces
 // run_serving_scenario bit for bit (tested): the single-link runtime is the

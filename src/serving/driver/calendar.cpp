@@ -1,0 +1,109 @@
+#include "serving/driver/calendar.hpp"
+
+#include <algorithm>
+
+namespace arvis {
+
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 64;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+void EventCalendar::reserve(std::size_t events) {
+  const std::size_t want = pow2_at_least(events);
+  if (want <= buckets_.size()) return;
+  if (buckets_.empty()) {
+    buckets_.resize(want);
+    mask_ = want - 1;
+    return;
+  }
+  std::vector<std::vector<CalendarEvent>> old = std::move(buckets_);
+  buckets_.assign(want, {});
+  mask_ = want - 1;
+  for (const auto& bucket : old) {
+    for (const CalendarEvent& e : bucket) {
+      buckets_[e.slot & mask_].push_back(e);
+    }
+  }
+}
+
+void EventCalendar::grow() {
+  // Double the ring and rehash. Old buckets are walked in index order and
+  // each in push order; all events of one slot live in one old bucket, so
+  // their relative (push) order survives — the ordering contract holds.
+  reserve(buckets_.size() * 2);
+}
+
+void EventCalendar::push(const CalendarEvent& event) {
+  if (buckets_.empty()) {
+    buckets_.resize(64);
+    mask_ = 63;
+  } else if (count_ + 1 > 2 * buckets_.size()) {
+    grow();
+  }
+  buckets_[event.slot & mask_].push_back(event);
+  ++count_;
+  if (event.slot < floor_) floor_ = event.slot;
+  if (min_cache_ != kNone && event.slot < min_cache_) min_cache_ = event.slot;
+}
+
+std::size_t EventCalendar::scan_min() const {
+  // Fast path: the nearest queued slot usually lies within one ring
+  // revolution of the floor; slot floor_+j can only live in bucket
+  // (floor_+j) & mask_, so probe the ring in day order and stop at the
+  // first hit. Falls back to a full scan for far-future events (a sparse
+  // calendar after a long idle gap).
+  const std::size_t nb = buckets_.size();
+  if (floor_ <= kNone - nb) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      const std::size_t target = floor_ + j;
+      for (const CalendarEvent& e : buckets_[target & mask_]) {
+        if (e.slot == target) return target;
+      }
+    }
+  }
+  std::size_t best = kNone;
+  for (const auto& bucket : buckets_) {
+    for (const CalendarEvent& e : bucket) best = std::min(best, e.slot);
+  }
+  return best;
+}
+
+std::size_t EventCalendar::min_slot() {
+  if (count_ == 0) return kNone;
+  if (min_cache_ == kNone) {
+    min_cache_ = scan_min();
+    floor_ = min_cache_;
+  }
+  return min_cache_;
+}
+
+void EventCalendar::pop_due(std::size_t now, std::vector<CalendarEvent>& out) {
+  out.clear();
+  while (count_ > 0) {
+    const std::size_t m = min_slot();
+    if (m == kNone || m > now) break;
+    std::vector<CalendarEvent>& bucket = buckets_[m & mask_];
+    std::size_t kept = 0;
+    for (CalendarEvent& e : bucket) {
+      if (e.slot == m) {
+        out.push_back(e);
+      } else {
+        bucket[kept++] = e;
+      }
+    }
+    count_ -= bucket.size() - kept;
+    bucket.resize(kept);
+    // Every event at slot m lived in this bucket, so the calendar's new
+    // minimum is strictly later.
+    floor_ = m + 1;
+    min_cache_ = kNone;
+  }
+}
+
+}  // namespace arvis

@@ -88,13 +88,28 @@ void ClusterBackend::sample(MetricsSnapshot& out,
 EventLoop::EventLoop(const DriverConfig& config, ServingBackend& backend)
     : config_(config), backend_(&backend) {}
 
+void EventLoop::reserve(std::size_t arrivals) {
+  specs_.reserve(arrivals);
+  // Each arrival may ride with a departure marker, plus stop + snapshot.
+  events_.reserve(2 * arrivals + 4);
+}
+
+void EventLoop::push_event(std::size_t slot, EventKind kind,
+                           std::size_t payload) {
+  events_.push(CalendarEvent{slot, seq_++,
+                             static_cast<std::uint8_t>(kind), payload});
+}
+
 void EventLoop::push(std::size_t slot, EventKind kind, std::size_t payload) {
+  // Only the loop's own snapshot re-arm (and the source's marker rides,
+  // which bypass this via push_event) may enqueue mid-run; the public
+  // scheduling API stays closed once run() starts.
   if (ran_ && kind != EventKind::kSnapshot) {
     throw std::logic_error("EventLoop: cannot schedule after run()");
   }
   if (kind == EventKind::kArrival) ++arrival_events_;
   if (kind == EventKind::kStop) ++stop_events_;
-  events_.push(Event{slot, seq_++, kind, payload});
+  push_event(slot, kind, payload);
 }
 
 void EventLoop::schedule_arrival(std::size_t slot, const SessionSpec& spec) {
@@ -108,6 +123,16 @@ void EventLoop::schedule_departure_marker(std::size_t slot) {
 
 void EventLoop::schedule_stop(std::size_t slot) {
   push(slot, EventKind::kStop, 0);
+}
+
+void EventLoop::set_arrival_source(ArrivalSource& source) {
+  if (ran_) {
+    throw std::logic_error("EventLoop: cannot attach a source after run()");
+  }
+  if (source_ != nullptr) {
+    throw std::logic_error("EventLoop: arrival source already attached");
+  }
+  source_ = &source;
 }
 
 void EventLoop::take_snapshot(std::size_t slot, DriverReport& report) {
@@ -139,6 +164,23 @@ void EventLoop::take_snapshot(std::size_t slot, DriverReport& report) {
   report.snapshots.push_back(snapshot);
 }
 
+void EventLoop::pull_source(std::size_t now, DriverReport& report) {
+  // Source arrivals due at or before this slot submit before any calendar
+  // event of the same slot fires — mirroring a pre-scheduled trace, whose
+  // arrival events carry the smallest sequence numbers.
+  while (source_ != nullptr && source_->next_slot() <= now) {
+    batch_.clear();
+    source_->take(batch_);
+    for (const SessionSpec& spec : batch_) {
+      backend_->submit(spec);
+      ++report.arrivals_injected;
+      if (spec.departure_slot != kNeverDeparts) {
+        push_event(spec.departure_slot, EventKind::kDeparture, 0);
+      }
+    }
+  }
+}
+
 DriverReport EventLoop::run() {
   if (ran_) {
     throw std::logic_error("EventLoop::run: already ran");
@@ -162,13 +204,14 @@ DriverReport EventLoop::run() {
   while (true) {
     const std::size_t now = backend_->slot();
 
-    // Fire everything due at or before this slot, in (slot, schedule-order):
-    // arrivals enter the runtime before the slot executes, a snapshot at S
-    // samples the end-of-slot-(S-1) state, a stop at S halts before S runs.
-    while (!events_.empty() && events_.top().slot <= now) {
-      const Event event = events_.top();
-      events_.pop();
-      switch (event.kind) {
+    // Incremental arrivals first (see pull_source), then fire everything
+    // due at or before this slot, in (slot, schedule-order): arrivals enter
+    // the runtime before the slot executes, a snapshot at S samples the
+    // end-of-slot-(S-1) state, a stop at S halts before S runs.
+    pull_source(now, report);
+    events_.pop_due(now, due_);
+    for (const CalendarEvent& event : due_) {
+      switch (static_cast<EventKind>(event.kind)) {
         case EventKind::kArrival:
           --arrival_events_;
           backend_->submit(specs_[event.payload]);
@@ -201,21 +244,24 @@ DriverReport EventLoop::run() {
       continue;
     }
 
+    const std::size_t source_next =
+        source_ != nullptr ? source_->next_slot() : kNoSlot;
+
     // Idle with no arrivals ever coming: the churn is over. A queued stop
     // only keeps the run alive in dense mode, where it defines the horizon
     // and the empty slots up to it must execute; in idle-skip mode it is a
     // ceiling, and waiting for it would only manufacture a phantom idle
     // tail of skipped slots and empty snapshots. Self-re-arming snapshots
     // and pure-observation markers never keep the run alive.
-    if (pending == kNoSlot && arrival_events_ == 0 &&
+    if (pending == kNoSlot && arrival_events_ == 0 && source_next == kNoSlot &&
         (config_.skip_idle || stop_events_ == 0)) {
       break;
     }
 
     // Idle: nothing to serve this slot. Find the next slot anything happens
     // (snapshots included, so idle gaps still sample on schedule).
-    std::size_t next = pending;
-    if (!events_.empty()) next = std::min(next, events_.top().slot);
+    std::size_t next = std::min(pending, source_next);
+    if (!events_.empty()) next = std::min(next, events_.min_slot());
     if (next == kNoSlot) break;  // calendar drained — the run is over
     if (config_.skip_idle) {
       backend_->skip_idle_slots(next - now);

@@ -14,6 +14,14 @@
 //   snapshot   periodic metrics sample (re-arms itself every period)
 //   control    stop the run before a given slot (the fixed-horizon mode)
 //
+// The calendar is a bucketed calendar queue keyed by slot (see
+// calendar.hpp): event push and pop are O(1) amortized under heavy churn,
+// where the old std::priority_queue paid O(log n) heap percolations per
+// event. Arrivals can also be *pulled* instead of scheduled: attach an
+// ArrivalSource and the loop asks it for each slot's arrivals as the clock
+// reaches them — churn too large (or too long-running) to materialize as a
+// trace streams through in O(one slot's arrivals) memory.
+//
 // The loop advances the runtime slot-by-slot only while work exists (active
 // sessions, or arrivals due now). Across idle stretches it fast-forwards the
 // slot clock to the next event instead of burning capacity draws on empty
@@ -29,12 +37,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/csv.hpp"
 #include "net/channel.hpp"
 #include "serving/cluster.hpp"
+#include "serving/driver/calendar.hpp"
 #include "serving/session_manager.hpp"
 
 namespace arvis {
@@ -117,6 +125,23 @@ class ServingBackend {
                       std::vector<double>& per_link_used) const = 0;
 };
 
+/// Pull-based arrival feed: the incremental alternative to scheduling every
+/// arrival up front. The loop reads next_slot(); when the clock reaches it,
+/// take() is called exactly once to emit that slot's specs (in submission
+/// order) and advance. Emitted specs are submitted *before* any calendar
+/// event of the same slot fires, and a departure marker is scheduled
+/// automatically for every spec with a finite departure — so a source feed
+/// is bit-for-bit equivalent to pre-scheduling the same arrivals (tested).
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  /// Slot of the next un-emitted arrival batch; kNoSlot when exhausted.
+  [[nodiscard]] virtual std::size_t next_slot() const = 0;
+  /// Appends the batch due at next_slot() to `out` and advances.
+  virtual void take(std::vector<SessionSpec>& out) = 0;
+};
+
 /// Adapts a single-link SessionManager + its capacity stream.
 class SessionManagerBackend final : public ServingBackend {
  public:
@@ -188,6 +213,12 @@ class EventLoop {
   /// The backend must outlive the loop.
   EventLoop(const DriverConfig& config, ServingBackend& backend);
 
+  /// Pre-sizes the calendar and the arrival payload store for `arrivals`
+  /// scheduled sessions (each may carry a departure marker), so a
+  /// trace-sized scheduling burst never reallocates mid-push. Optional —
+  /// the structures grow on demand either way.
+  void reserve(std::size_t arrivals);
+
   /// Schedules a session arrival at `slot` (>= the backend's current slot).
   /// The spec's own arrival_slot should agree with `slot`; the runtime
   /// clamps late declarations to "arrives now" either way.
@@ -202,9 +233,13 @@ class EventLoop {
   /// skipped). The earliest scheduled stop wins.
   void schedule_stop(std::size_t slot);
 
+  /// Attaches an incremental arrival feed (must outlive run()). At most one
+  /// source; call before run().
+  void set_arrival_source(ArrivalSource& source);
+
   /// Drives the backend until stopped, drained (no events, no pending
-  /// arrivals, nothing active), or capped. Throws std::logic_error on a
-  /// second call.
+  /// arrivals, source exhausted, nothing active), or capped. Throws
+  /// std::logic_error on a second call.
   DriverReport run();
 
  private:
@@ -215,34 +250,23 @@ class EventLoop {
     kStop,
   };
 
-  struct Event {
-    std::size_t slot = 0;
-    /// Ties broken by schedule order, so same-slot arrivals submit (and
-    /// therefore get session ids) in the order they were scheduled.
-    std::uint64_t seq = 0;
-    EventKind kind = EventKind::kArrival;
-    /// Index into specs_ for arrivals.
-    std::size_t payload = 0;
-  };
-
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.slot != b.slot) return a.slot > b.slot;
-      return a.seq > b.seq;
-    }
-  };
-
   void push(std::size_t slot, EventKind kind, std::size_t payload);
+  /// Guard-free enqueue for the loop's own mid-run pushes (source-fed
+  /// departure markers); the public API goes through push().
+  void push_event(std::size_t slot, EventKind kind, std::size_t payload);
+  void pull_source(std::size_t now, DriverReport& report);
   void take_snapshot(std::size_t slot, DriverReport& report);
 
   DriverConfig config_;
   ServingBackend* backend_;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  EventCalendar events_;
   std::vector<SessionSpec> specs_;  // arrival payloads
+  ArrivalSource* source_ = nullptr;
   std::uint64_t seq_ = 0;
   /// Arrival events still queued. Snapshots re-arm themselves and markers
   /// are pure observations, so neither may keep the run alive; the loop is
-  /// drained when nothing is active, nothing is pending, and this hits zero.
+  /// drained when nothing is active, nothing is pending, the source is
+  /// exhausted, and this hits zero.
   std::size_t arrival_events_ = 0;
   /// Stop events still queued. In dense mode a stop *is* the horizon (empty
   /// slots execute up to it — the fixed-horizon contract); in idle-skip
@@ -254,6 +278,8 @@ class EventLoop {
   double prev_offered_ = 0.0;
   double prev_used_ = 0.0;
   std::vector<double> prev_per_link_used_;
+  std::vector<CalendarEvent> due_;       // pop_due scratch
+  std::vector<SessionSpec> batch_;       // source-pull scratch
   std::vector<double> per_link_used_;    // scratch
   std::vector<double> window_per_link_;  // scratch
 };

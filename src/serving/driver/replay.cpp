@@ -1,8 +1,80 @@
 #include "serving/driver/replay.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace arvis {
+
+namespace {
+
+void validate_profiles(const std::vector<const FrameStatsCache*>& profiles,
+                       const char* who) {
+  if (profiles.empty()) {
+    throw std::invalid_argument(std::string(who) + ": need >= 1 profile");
+  }
+  for (const FrameStatsCache* profile : profiles) {
+    if (profile == nullptr) {
+      throw std::invalid_argument(std::string(who) + ": null profile");
+    }
+  }
+}
+
+/// Adapts a ScenarioStream to the loop's pull interface, remembering each
+/// emitted row's QoS class (one byte per row — the only per-row state the
+/// incremental path keeps) so the per-tier rollup can join outcomes the
+/// same way the materialized path joins against trace rows.
+class ScenarioArrivalSource final : public ArrivalSource {
+ public:
+  ScenarioArrivalSource(ScenarioStream stream,
+                        const std::vector<const FrameStatsCache*>& profiles)
+      : stream_(std::move(stream)), profiles_(&profiles) {}
+
+  [[nodiscard]] std::size_t next_slot() const override {
+    return stream_.next_slot();  // kExhausted == kNoSlot numerically
+  }
+
+  void take(std::vector<SessionSpec>& out) override {
+    std::size_t row = stream_.batch_first_row();
+    for (const TraceEvent& event : stream_.batch()) {
+      out.push_back(trace_session_spec(event, row++, *profiles_));
+      qos_.push_back(event.qos);
+    }
+    stream_.pop();
+  }
+
+  /// QoS class per emitted row (row index == cluster session id).
+  [[nodiscard]] const std::vector<QosClass>& emitted_qos() const noexcept {
+    return qos_;
+  }
+
+ private:
+  ScenarioStream stream_;
+  const std::vector<const FrameStatsCache*>* profiles_;
+  std::vector<QosClass> qos_;
+};
+
+/// The per-tier rollup both replay shapes share. Arrival events fire in row
+/// order, so the sessions the loop submitted are a prefix of the rows (a
+/// stop event may cut the tail off before its events ever fire) and cluster
+/// session ids are row indices — the join is a straight walk. Rows the run
+/// never reached count nowhere, mirroring fleet accounting, so each tier's
+/// books balance: arrivals == admitted + rejected.
+template <class QosOfRow>
+void roll_up_qos(ReplayResult& result, const QosOfRow& qos_of_row) {
+  for (std::size_t i = 0; i < result.cluster.sessions.size(); ++i) {
+    const ClusterSessionOutcome& outcome = result.cluster.sessions[i];
+    if (!outcome.arrived) continue;
+    QosOutcome& tier = result.per_qos[static_cast<std::size_t>(qos_of_row(i))];
+    ++tier.arrivals;
+    if (outcome.session.admitted) {
+      ++tier.admitted;
+    } else {
+      ++tier.rejected;
+    }
+  }
+}
+
+}  // namespace
 
 SessionSpec trace_session_spec(
     const TraceEvent& event, std::size_t index,
@@ -26,14 +98,7 @@ ReplayResult replay_trace(const ReplayConfig& config,
                           const WorkloadTrace& trace,
                           const std::vector<const FrameStatsCache*>& profiles,
                           const std::vector<ChannelModel*>& channels) {
-  if (profiles.empty()) {
-    throw std::invalid_argument("replay_trace: need >= 1 profile");
-  }
-  for (const FrameStatsCache* profile : profiles) {
-    if (profile == nullptr) {
-      throw std::invalid_argument("replay_trace: null profile");
-    }
-  }
+  validate_profiles(profiles, "replay_trace");
   const std::vector<double> means =
       validated_channel_means(channels, "replay_trace");
   if (const Status status = validate_workload_trace(trace, profiles.size());
@@ -44,6 +109,9 @@ ReplayResult replay_trace(const ReplayConfig& config,
   EdgeCluster cluster(config.cluster, means);
   ClusterBackend backend(cluster, channels);
   EventLoop loop(config.driver, backend);
+  // One reservation for the whole schedule burst: the calendar and the
+  // payload store never reallocate while the trace streams in.
+  loop.reserve(trace.events.size());
   for (std::size_t i = 0; i < trace.events.size(); ++i) {
     const TraceEvent& event = trace.events[i];
     const SessionSpec spec = trace_session_spec(event, i, profiles);
@@ -57,26 +125,30 @@ ReplayResult replay_trace(const ReplayConfig& config,
   ReplayResult result;
   result.report = loop.run();
   result.cluster = cluster.finish();
+  roll_up_qos(result, [&](std::size_t i) { return trace.events[i].qos; });
+  return result;
+}
 
-  // Arrival events fire in trace order, so the sessions the loop submitted
-  // are a prefix of the trace rows (a stop event may cut the tail off before
-  // its events ever fire) and cluster session ids are trace row indices —
-  // the per-tier rollup is a straight join. Rows the run never reached
-  // (never submitted, or submitted but stopped before their slot) count
-  // nowhere, mirroring fleet accounting, so each tier's books balance:
-  // arrivals == admitted + rejected.
-  for (std::size_t i = 0; i < result.cluster.sessions.size(); ++i) {
-    const ClusterSessionOutcome& outcome = result.cluster.sessions[i];
-    if (!outcome.arrived) continue;
-    QosOutcome& tier =
-        result.per_qos[static_cast<std::size_t>(trace.events[i].qos)];
-    ++tier.arrivals;
-    if (outcome.session.admitted) {
-      ++tier.admitted;
-    } else {
-      ++tier.rejected;
-    }
-  }
+ReplayResult replay_scenario(
+    const ReplayConfig& config, const ScenarioGenerator& generator,
+    const std::vector<const FrameStatsCache*>& profiles,
+    const std::vector<ChannelModel*>& channels) {
+  validate_profiles(profiles, "replay_scenario");
+  const std::vector<double> means =
+      validated_channel_means(channels, "replay_scenario");
+
+  EdgeCluster cluster(config.cluster, means);
+  ClusterBackend backend(cluster, channels);
+  EventLoop loop(config.driver, backend);
+  ScenarioArrivalSource source(generator.stream(), profiles);
+  loop.set_arrival_source(source);
+  if (config.stop_slot != kNoSlot) loop.schedule_stop(config.stop_slot);
+
+  ReplayResult result;
+  result.report = loop.run();
+  result.cluster = cluster.finish();
+  roll_up_qos(result,
+              [&](std::size_t i) { return source.emitted_qos()[i]; });
   return result;
 }
 

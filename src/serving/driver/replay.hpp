@@ -15,6 +15,7 @@
 
 #include "serving/cluster.hpp"
 #include "serving/driver/event_loop.hpp"
+#include "serving/driver/scenario.hpp"
 #include "serving/driver/trace.hpp"
 #include "sim/frame_stats_cache.hpp"
 
@@ -63,5 +64,19 @@ ReplayResult replay_trace(const ReplayConfig& config,
                           const WorkloadTrace& trace,
                           const std::vector<const FrameStatsCache*>& profiles,
                           const std::vector<ChannelModel*>& channels);
+
+/// Replays a scenario generator's churn through a fresh EdgeCluster by
+/// pulling arrivals *incrementally* (ScenarioGenerator::stream ->
+/// EventLoop::ArrivalSource) as the clock advances — bit-for-bit the run
+/// replay_trace(generator.generate(), ...) produces (tested), without ever
+/// materializing the trace: peak arrival-side memory is one slot's batch
+/// plus one QoS tag per emitted row, which is what makes horizon-scale
+/// diurnal runs feasible. Rows whose profile id is outside `profiles` throw
+/// std::invalid_argument when their slot is reached (the materialized path
+/// rejects the whole trace up front instead).
+ReplayResult replay_scenario(const ReplayConfig& config,
+                             const ScenarioGenerator& generator,
+                             const std::vector<const FrameStatsCache*>& profiles,
+                             const std::vector<ChannelModel*>& channels);
 
 }  // namespace arvis

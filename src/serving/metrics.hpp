@@ -5,6 +5,7 @@
 // runtime.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
 #include <string>
@@ -92,6 +93,16 @@ class ServerMetrics {
 
   /// Records one finished (or rejected) session.
   void record_session(SessionMetrics metrics);
+
+  /// Pre-sizes the per-session record vector for an expected session count
+  /// (geometric growth, so calling it per submit stays amortized O(1)).
+  /// The runtime calls it at submit time, so the finish-time
+  /// record_session loop never reallocates mid-aggregation.
+  void reserve_sessions(std::size_t expected) {
+    if (sessions_.capacity() < expected) {
+      sessions_.reserve(std::max(expected, sessions_.capacity() * 2));
+    }
+  }
 
   [[nodiscard]] const std::vector<SessionMetrics>& sessions() const noexcept {
     return sessions_;

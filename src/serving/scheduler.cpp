@@ -15,7 +15,7 @@ namespace {
 /// into `shares` (callers zero-init). Consumes `unsatisfied` in place
 /// (compacting between rounds — no allocation) and returns the capacity
 /// left over once every demand in the subset is met.
-double water_fill(double capacity, const std::vector<SchedulerDemand>& demands,
+double water_fill(double capacity, const SchedulerInput& demands,
                   std::vector<std::size_t>& unsatisfied,
                   std::vector<double>& shares) {
   while (capacity > 0.0 && !unsatisfied.empty()) {
@@ -23,7 +23,7 @@ double water_fill(double capacity, const std::vector<SchedulerDemand>& demands,
     std::size_t kept = 0;
     double granted = 0.0;
     for (std::size_t i : unsatisfied) {
-      const double want = demands[i].total() - shares[i];
+      const double want = demands.total(i) - shares[i];
       if (want <= slice) {
         shares[i] += want;
         granted += want;
@@ -58,16 +58,36 @@ bool same_tier(double a, double b) noexcept {
 
 }  // namespace
 
+void EdgeScheduler::allocate(double capacity,
+                             const std::vector<SchedulerDemand>& demands,
+                             std::vector<double>& shares) {
+  const std::size_t n = demands.size();
+  compat_backlog_.resize(n);
+  compat_arrivals_.resize(n);
+  compat_weight_.resize(n);
+  compat_ewma_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    compat_backlog_[i] = demands[i].backlog;
+    compat_arrivals_[i] = demands[i].arrivals;
+    compat_weight_[i] = demands[i].weight;
+    compat_ewma_[i] = demands[i].ewma_throughput;
+  }
+  allocate(capacity,
+           SchedulerInput{compat_backlog_, compat_arrivals_, compat_weight_,
+                          compat_ewma_},
+           shares);
+}
+
 void EqualShareScheduler::allocate(double capacity,
-                                   const std::vector<SchedulerDemand>& demands,
+                                   const SchedulerInput& demands,
                                    std::vector<double>& shares) {
   const std::size_t n = demands.size();
   shares.assign(n, n == 0 ? 0.0 : capacity / static_cast<double>(n));
 }
 
-void WorkConservingScheduler::allocate(
-    double capacity, const std::vector<SchedulerDemand>& demands,
-    std::vector<double>& shares) {
+void WorkConservingScheduler::allocate(double capacity,
+                                       const SchedulerInput& demands,
+                                       std::vector<double>& shares) {
   const std::size_t n = demands.size();
   shares.assign(n, 0.0);
   if (n == 0) return;
@@ -83,9 +103,9 @@ void WorkConservingScheduler::allocate(
   }
 }
 
-void ProportionalFairScheduler::allocate(
-    double capacity, const std::vector<SchedulerDemand>& demands,
-    std::vector<double>& shares) {
+void ProportionalFairScheduler::allocate(double capacity,
+                                         const SchedulerInput& demands,
+                                         std::vector<double>& shares) {
   const std::size_t n = demands.size();
   shares.assign(n, 0.0);
   if (n == 0) return;
@@ -97,10 +117,10 @@ void ProportionalFairScheduler::allocate(
   // Demands without history (ewma < 0) keep the instantaneous-demand pull,
   // preserving the legacy allocation bit for bit.
   const auto pull = [&](std::size_t i) {
-    const double want = demands[i].total() - shares[i];
-    const double history = demands[i].ewma_throughput;
+    const double want = demands.total(i) - shares[i];
+    const double history = demands.ewma(i);
     const double denom = history >= 0.0 ? 1.0 + history : 1.0;
-    return demands[i].weight * want / denom;
+    return demands.weight[i] * want / denom;
   };
 
   std::vector<std::size_t>& unsatisfied = scratch_;
@@ -121,7 +141,7 @@ void ProportionalFairScheduler::allocate(
     double granted = 0.0;
     bool capped = false;
     for (std::size_t i : unsatisfied) {
-      const double want = demands[i].total() - shares[i];
+      const double want = demands.total(i) - shares[i];
       const double offer = capacity * pull(i) / mass;
       if (want <= offer) {
         shares[i] += want;
@@ -139,9 +159,9 @@ void ProportionalFairScheduler::allocate(
   }
 }
 
-void WeightedPriorityScheduler::allocate(
-    double capacity, const std::vector<SchedulerDemand>& demands,
-    std::vector<double>& shares) {
+void WeightedPriorityScheduler::allocate(double capacity,
+                                         const SchedulerInput& demands,
+                                         std::vector<double>& shares) {
   const std::size_t n = demands.size();
   shares.assign(n, 0.0);
   if (n == 0) return;
@@ -150,8 +170,8 @@ void WeightedPriorityScheduler::allocate(
   // determinism); tiers are maximal runs of epsilon-equal adjacent weights.
   fill_indices(perm_, n);
   std::sort(perm_.begin(), perm_.end(), [&](std::size_t a, std::size_t b) {
-    if (demands[a].weight != demands[b].weight) {
-      return demands[a].weight > demands[b].weight;
+    if (demands.weight[a] != demands.weight[b]) {
+      return demands.weight[a] > demands.weight[b];
     }
     return a < b;
   });
@@ -159,8 +179,8 @@ void WeightedPriorityScheduler::allocate(
   std::size_t begin = 0;
   while (begin < n && capacity > 0.0) {
     std::size_t end = begin + 1;
-    while (end < n && same_tier(demands[perm_[end - 1]].weight,
-                                demands[perm_[end]].weight)) {
+    while (end < n && same_tier(demands.weight[perm_[end - 1]],
+                                demands.weight[perm_[end]])) {
       ++end;
     }
     tier_.assign(perm_.begin() + static_cast<std::ptrdiff_t>(begin),
@@ -170,9 +190,9 @@ void WeightedPriorityScheduler::allocate(
   }
 }
 
-void DeficitRoundRobinScheduler::allocate(
-    double capacity, const std::vector<SchedulerDemand>& demands,
-    std::vector<double>& shares) {
+void DeficitRoundRobinScheduler::allocate(double capacity,
+                                          const SchedulerInput& demands,
+                                          std::vector<double>& shares) {
   const std::size_t n = demands.size();
   shares.assign(n, 0.0);
   if (n == 0) return;
@@ -186,9 +206,9 @@ void DeficitRoundRobinScheduler::allocate(
   double ring_weight = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t i = (start + j) % n;
-    if (demands[i].weight > 0.0 && demands[i].total() > 0.0) {
+    if (demands.weight[i] > 0.0 && demands.total(i) > 0.0) {
       ring_.push_back(i);
-      ring_weight += demands[i].weight;
+      ring_weight += demands.weight[i];
     }
   }
 
@@ -208,15 +228,15 @@ void DeficitRoundRobinScheduler::allocate(
       double kept_weight = 0.0;
       for (std::size_t idx = 0; idx < ring_.size() && remaining > 0.0; ++idx) {
         const std::size_t i = ring_[idx];
-        deficit_[i] += quantum * demands[i].weight;
-        const double want = demands[i].total() - shares[i];
+        deficit_[i] += quantum * demands.weight[i];
+        const double want = demands.total(i) - shares[i];
         const double grant = std::min({deficit_[i], want, remaining});
         shares[i] += grant;
         deficit_[i] -= grant;
         remaining -= grant;
         if (want - grant > 0.0) {
           ring_[kept++] = i;
-          kept_weight += demands[i].weight;
+          kept_weight += demands.weight[i];
         }
       }
       ring_.resize(kept);
@@ -231,7 +251,7 @@ void DeficitRoundRobinScheduler::allocate(
   if (remaining > 0.0) {
     leftover_.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      if (demands[i].weight <= 0.0 && demands[i].total() - shares[i] > 0.0) {
+      if (demands.weight[i] <= 0.0 && demands.total(i) - shares[i] > 0.0) {
         leftover_.push_back(i);
       }
     }

@@ -9,16 +9,25 @@
 // invariants, checked by tests:
 //   * shares[i] >= 0 for all i,
 //   * sum(shares) <= capacity (+ float slack).
+//
+// The kernels consume *flat per-field arrays* (SchedulerInput spans over the
+// session store's SoA mirrors) so the schedule phase walks contiguous
+// memory with no per-session struct copy-in. The demand-struct shape
+// (SchedulerDemand) survives as a convenience adapter for tests and
+// external callers; it unpacks into scratch arrays and forwards to the same
+// kernels, bit for bit.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace arvis {
 
-/// One session's demand as seen by the scheduler in one slot.
+/// One session's demand as seen by the scheduler in one slot (the adapter
+/// shape; the hot path feeds SchedulerInput spans instead).
 struct SchedulerDemand {
   /// Queue backlog Q(t) at slot start (bytes).
   double backlog = 0.0;
@@ -36,6 +45,27 @@ struct SchedulerDemand {
   [[nodiscard]] double total() const noexcept { return backlog + arrivals; }
 };
 
+/// One slot's demand set as flat per-field spans (SoA), index-parallel.
+/// `ewma_throughput` may be EMPTY — "no history supplied for anyone", the
+/// common case — or full-length with -1 marking individual no-history
+/// entries (the adapter shape).
+struct SchedulerInput {
+  std::span<const double> backlog;
+  std::span<const double> arrivals;
+  std::span<const double> weight;
+  std::span<const double> ewma_throughput;
+
+  [[nodiscard]] std::size_t size() const noexcept { return backlog.size(); }
+  /// Most session i could drain this slot.
+  [[nodiscard]] double total(std::size_t i) const noexcept {
+    return backlog[i] + arrivals[i];
+  }
+  /// Session i's served-bytes history, -1 when none was supplied.
+  [[nodiscard]] double ewma(std::size_t i) const noexcept {
+    return ewma_throughput.empty() ? -1.0 : ewma_throughput[i];
+  }
+};
+
 /// Interface: divides one slot's link capacity among sessions.
 class EdgeScheduler {
  public:
@@ -44,19 +74,33 @@ class EdgeScheduler {
   /// Writes shares[i] = bytes granted to session i (resizes `shares`).
   /// `capacity` >= 0. Implementations never allocate more than `capacity`
   /// in total; whether capacity beyond a session's demand is wasted or
-  /// redistributed is the policy's defining choice.
-  virtual void allocate(double capacity,
-                        const std::vector<SchedulerDemand>& demands,
+  /// redistributed is the policy's defining choice. The spans must stay
+  /// valid for the duration of the call only.
+  virtual void allocate(double capacity, const SchedulerInput& demands,
                         std::vector<double>& shares) = 0;
 
+  /// Demand-struct adapter: unpacks into scratch SoA arrays and forwards to
+  /// the span kernel — same arithmetic, same results, a copy slower. Derived
+  /// classes re-expose it with `using EdgeScheduler::allocate`.
+  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+                std::vector<double>& shares);
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+ private:
+  // Adapter scratch, reused across calls.
+  std::vector<double> compat_backlog_;
+  std::vector<double> compat_arrivals_;
+  std::vector<double> compat_weight_;
+  std::vector<double> compat_ewma_;
 };
 
 /// capacity / N to every session regardless of demand; unused share wasted
 /// (TDMA-like). The seed's SharePolicy::kEqual.
 class EqualShareScheduler final : public EdgeScheduler {
  public:
-  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+  using EdgeScheduler::allocate;
+  void allocate(double capacity, const SchedulerInput& demands,
                 std::vector<double>& shares) override;
   [[nodiscard]] std::string name() const override { return "equal-share"; }
 };
@@ -67,7 +111,8 @@ class EqualShareScheduler final : public EdgeScheduler {
 /// conserving: while any session's demand is unmet, no capacity is wasted.
 class WorkConservingScheduler final : public EdgeScheduler {
  public:
-  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+  using EdgeScheduler::allocate;
+  void allocate(double capacity, const SchedulerInput& demands,
                 std::vector<double>& shares) override;
   [[nodiscard]] std::string name() const override { return "work-conserving"; }
 
@@ -80,15 +125,16 @@ class WorkConservingScheduler final : public EdgeScheduler {
 /// with larger queues drain proportionally faster, which equalizes sojourn
 /// times across heterogeneous content.
 ///
-/// When demands carry an EWMA throughput history (ewma_throughput >= 0, fed
-/// by the session manager's pf_ewma_window knob) the offer becomes true
+/// When demands carry an EWMA throughput history (ewma(i) >= 0, fed by the
+/// session manager's pf_ewma_window knob) the offer becomes true
 /// proportional fairness: weight * demand / (1 + historical throughput), so
 /// a session that has been drinking from the link for many slots yields to
 /// one that has been starved, instead of the instantaneous-demand split that
 /// lets a heavy backlog monopolize the link forever.
 class ProportionalFairScheduler final : public EdgeScheduler {
  public:
-  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+  using EdgeScheduler::allocate;
+  void allocate(double capacity, const SchedulerInput& demands,
                 std::vector<double>& shares) override;
   [[nodiscard]] std::string name() const override {
     return "proportional-fair";
@@ -110,7 +156,8 @@ class ProportionalFairScheduler final : public EdgeScheduler {
 /// land in one tier instead of silently forming a phantom priority level.
 class WeightedPriorityScheduler final : public EdgeScheduler {
  public:
-  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+  using EdgeScheduler::allocate;
+  void allocate(double capacity, const SchedulerInput& demands,
                 std::vector<double>& shares) override;
   [[nodiscard]] std::string name() const override {
     return "weighted-priority";
@@ -135,7 +182,8 @@ class WeightedPriorityScheduler final : public EdgeScheduler {
 /// after every weighted demand is met).
 class DeficitRoundRobinScheduler final : public EdgeScheduler {
  public:
-  void allocate(double capacity, const std::vector<SchedulerDemand>& demands,
+  using EdgeScheduler::allocate;
+  void allocate(double capacity, const SchedulerInput& demands,
                 std::vector<double>& shares) override;
   [[nodiscard]] std::string name() const override {
     return "deficit-round-robin";

@@ -6,62 +6,27 @@
 
 namespace arvis {
 
-namespace {
-enum class SessionState { kPending, kActive, kClosed };
-}  // namespace
-
-struct SessionManager::Session {
-  Session(std::size_t id_in, const SessionSpec& spec_in, double v)
-      : id(id_in),
-        spec(spec_in),
-        controller(v),
-        // Mix the session id into the stream so sessions sharing a spec
-        // seed (e.g. the default 0) still draw independent randomness.
-        rng(Rng(spec_in.seed ^
-                (0x9E3779B97F4A7C15ULL * (id_in + 1)))
-                .split()),
-        arrival_actual(spec_in.arrival_slot) {}
-
-  std::size_t id;
-  SessionSpec spec;
-  LyapunovDepthController controller;
-  DiscreteQueue queue;
-  Trace trace;
-  /// Private stream derived from the spec seed; reserved for stochastic
-  /// controllers/arrival jitter so adding them later cannot perturb any
-  /// other session's stream.
-  Rng rng;
-  SessionState state = SessionState::kPending;
-  bool admitted = false;
-  int max_sustainable_depth = 0;
-  double cheapest_load = 0.0;
-  /// First slot admission may consider this session: the declared arrival,
-  /// or the submission-time slot when the declared arrival already elapsed.
-  std::size_t due_slot = 0;
-  /// Slot the session actually became active (== spec.arrival_slot unless
-  /// submitted after that slot had passed, in which case it arrives at the
-  /// submission-time slot); session-local frame time counts from here.
-  std::size_t arrival_actual = 0;
-  std::size_t departure_actual = 0;
-  /// Scratch for the current slot's decide phase (written by exactly one
-  /// executor worker — the one that owns this session's index).
-  StepRecord record;
-  /// EWMA of bytes actually served per slot (proportional-fair history;
-  /// maintained only when config.pf_ewma_window > 0).
-  double ewma_throughput = 0.0;
-};
-
 SessionManager::SessionManager(const ServingConfig& config,
                                double mean_capacity_bytes)
     : config_(config),
       admission_(config.admission, mean_capacity_bytes),
       scheduler_(make_scheduler(config.policy)),
-      executor_(config.threads) {
+      executor_(config.threads),
+      store_(config.candidates, config.v) {
   if (config_.steps == 0) {
     throw std::invalid_argument("SessionManager: steps must be > 0");
   }
   if (config_.candidates.empty()) {
     throw std::invalid_argument("SessionManager: empty candidate set");
+  }
+  // The flattened decide kernel assumes (and the argmax tie-break exploits)
+  // strictly ascending candidates; the view-based path enforced this on
+  // every decide, so the manager now enforces it once at the door.
+  for (std::size_t i = 1; i < config_.candidates.size(); ++i) {
+    if (config_.candidates[i] <= config_.candidates[i - 1]) {
+      throw std::invalid_argument(
+          "SessionManager: candidates must be strictly ascending");
+    }
   }
   if (config_.pf_ewma_window != 0.0 &&
       !(config_.pf_ewma_window >= 1.0 &&
@@ -104,52 +69,48 @@ std::size_t SessionManager::submit(const SessionSpec& spec) {
     throw std::logic_error("SessionManager::submit: already finished");
   }
   validate_spec(spec);
-  sessions_.push_back(
-      std::make_unique<Session>(sessions_.size(), spec, config_.v));
-  Session* s = sessions_.back().get();
-  s->due_slot = std::max(spec.arrival_slot, slot_);
+  ServingSession& s = store_.create(store_.session_count(), spec);
+  s.due_slot = std::max(spec.arrival_slot, slot_);
+  metrics_.reserve_sessions(store_.session_count());
   // Keep pending_ sorted by (due, id). Ids grow with submission order, so
   // the insertion point is found among the not-yet-consumed suffix; same-due
   // sessions stay in submission order, preserving admission ordering.
   const auto begin =
       pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_);
   const auto pos = std::upper_bound(
-      begin, pending_.end(), s, [](const Session* a, const Session* b) {
+      begin, pending_.end(), &s,
+      [](const ServingSession* a, const ServingSession* b) {
         if (a->due_slot != b->due_slot) return a->due_slot < b->due_slot;
         return a->id < b->id;
       });
-  pending_.insert(pos, s);
-  return s->id;
+  pending_.insert(pos, &s);
+  return s.id;
 }
 
 void SessionManager::close_departures() {
-  active_.erase(std::remove_if(active_.begin(), active_.end(),
-                               [&](Session* s) {
-                                 if (s->spec.departure_slot > slot_) {
-                                   return false;
-                                 }
-                                 s->state = SessionState::kClosed;
-                                 s->departure_actual = slot_;
-                                 admission_.release(s->cheapest_load);
-                                 return true;
-                               }),
-                active_.end());
+  store_.retire_active(
+      [&](const ServingSession& s) { return s.spec.departure_slot <= slot_; },
+      [&](ServingSession& s) {
+        s.phase = SessionPhase::kClosed;
+        s.departure_actual = slot_;
+        admission_.release(s.cheapest_load);
+      });
 }
 
-void SessionManager::activate(Session& s) {
-  s.state = SessionState::kActive;
+void SessionManager::activate(ServingSession& s) {
+  s.phase = SessionPhase::kActive;
   // Reserve the whole active window up front so steady-state trace appends
   // never reallocate (the manager may be driven past config_.steps by hand,
   // in which case appends beyond the reservation simply grow as usual).
   const std::size_t horizon = std::min(s.spec.departure_slot, config_.steps);
   if (horizon > slot_) s.trace.reserve(horizon - slot_);
-  active_.push_back(&s);
+  store_.activate(s, slot_);
 }
 
 void SessionManager::admit_arrivals() {
   while (pending_head_ < pending_.size() &&
          pending_[pending_head_]->due_slot <= slot_) {
-    Session& s = *pending_[pending_head_++];
+    ServingSession& s = *pending_[pending_head_++];
     const AdmissionDecision decision =
         admission_.try_admit(*s.spec.cache, config_.candidates);
     s.admitted = decision.admitted;
@@ -159,7 +120,7 @@ void SessionManager::admit_arrivals() {
     if (decision.admitted) {
       activate(s);
     } else {
-      s.state = SessionState::kClosed;
+      s.phase = SessionPhase::kClosed;
       s.departure_actual = slot_;
     }
   }
@@ -181,8 +142,8 @@ AdmissionDecision SessionManager::try_place(const SessionSpec& spec,
   const AdmissionDecision decision =
       admission_.try_admit(*spec.cache, config_.candidates);
   if (!decision.admitted) return decision;
-  sessions_.push_back(std::make_unique<Session>(session_id, spec, config_.v));
-  Session& s = *sessions_.back();
+  ServingSession& s = store_.create(session_id, spec);
+  metrics_.reserve_sessions(store_.session_count());
   s.admitted = true;
   s.cheapest_load = decision.cheapest_load;
   s.max_sustainable_depth = decision.max_sustainable_depth;
@@ -201,43 +162,20 @@ void SessionManager::begin_slot() {
   admit_arrivals();
 }
 
-void SessionManager::decide_session(std::size_t i) {
-  Session& s = *active_[i];
-  const std::size_t local_t = slot_ - s.arrival_actual;
-  const FrameWorkload& frame = s.spec.cache->workload(local_t);
-  // Non-owning views over the cache's long-lived depth tables: the hot loop
-  // copies nothing and allocates nothing.
-  const ByteWorkloadView workload(frame.bytes_at_depth);
-  const LogPointQualityView quality(frame.points_at_depth);
-  DepthContext context;
-  context.queue_backlog = s.queue.backlog();
-  context.quality = &quality;
-  context.workload = &workload;
-
-  s.record = StepRecord{};
-  s.record.t = slot_;
-  s.record.backlog_begin = s.queue.backlog();
-  s.record.depth = s.controller.decide(config_.candidates, context);
-  s.record.arrivals = workload.arrivals(s.record.depth);
-  s.record.quality = quality.quality(s.record.depth);
-}
-
 SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
-  const std::size_t n = active_.size();
+  const std::size_t n = store_.active_count();
   const bool pf_history = config_.pf_ewma_window > 0.0;
   // Schedule phase: the one centralized act — the link divides its own
-  // capacity. Sessions never see each other's state.
-  demands_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Session& s = *active_[i];
-    demands_[i].backlog = s.queue.backlog();
-    demands_[i].arrivals = s.record.arrivals;
-    demands_[i].weight = s.spec.weight;
-    // -1 = "no history": proportional-fair falls back to instantaneous
-    // demand, keeping the window-off path bit-identical to the legacy one.
-    demands_[i].ewma_throughput = pf_history ? s.ewma_throughput : -1.0;
-  }
-  scheduler_->allocate(capacity_bytes, demands_, shares_);
+  // capacity. Sessions never see each other's state. The scheduler reads
+  // the store's SoA spans in place; nothing is copied in.
+  SchedulerInput demands;
+  demands.backlog = store_.backlogs();
+  demands.arrivals = store_.decided_arrivals();
+  demands.weight = store_.weights();
+  // Empty span = "no history": proportional-fair falls back to instantaneous
+  // demand, keeping the window-off path bit-identical to the legacy one.
+  if (pf_history) demands.ewma_throughput = store_.ewma_throughput();
+  scheduler_->allocate(capacity_bytes, demands, shares_);
 
   // Drain phase. The link is charged what the queues actually drained
   // (min(Q(t), share) per session, reported by the queue) — same-slot
@@ -246,15 +184,7 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
   const double alpha = pf_history ? 1.0 / config_.pf_ewma_window : 0.0;
   double used = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    Session& s = *active_[i];
-    s.record.service = shares_[i];
-    s.record.backlog_end = s.queue.step(s.record.arrivals, shares_[i]);
-    used += s.queue.last_served();
-    if (pf_history) {
-      s.ewma_throughput =
-          (1.0 - alpha) * s.ewma_throughput + alpha * s.queue.last_served();
-    }
-    s.trace.add(s.record);
+    used += store_.drain(i, slot_, shares_[i], alpha);
   }
   metrics_.record_slot(capacity_bytes, used, n);
   ++slot_;
@@ -264,13 +194,13 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
 void SessionManager::step(double capacity_bytes) {
   begin_slot();
   // Decide phase: purely session-local state, fanned out over the executor.
-  executor_.parallel_for(active_.size(),
+  executor_.parallel_for(store_.active_count(),
                          [this](std::size_t i) { decide_session(i); });
   finish_slot(capacity_bytes);
 }
 
 std::size_t SessionManager::active_count() const noexcept {
-  return active_.size();
+  return store_.active_count();
 }
 
 const AdmissionStats& SessionManager::admission_stats() const noexcept {
@@ -286,7 +216,7 @@ std::size_t SessionManager::skip_idle_slots(std::size_t max_slots) {
   if (finished_) {
     throw std::logic_error("SessionManager::skip_idle_slots: already finished");
   }
-  if (!active_.empty()) {
+  if (store_.active_count() != 0) {
     throw std::logic_error(
         "SessionManager::skip_idle_slots: sessions are active");
   }
@@ -304,25 +234,25 @@ ServingResult SessionManager::finish() {
     throw std::logic_error("SessionManager::finish: already finished");
   }
   finished_ = true;
-  for (Session* s : active_) {
-    s->state = SessionState::kClosed;
-    s->departure_actual = slot_;
-    admission_.release(s->cheapest_load);
-  }
-  active_.clear();
+  store_.retire_active([](const ServingSession&) { return true; },
+                       [&](ServingSession& s) {
+                         s.phase = SessionPhase::kClosed;
+                         s.departure_actual = slot_;
+                         admission_.release(s.cheapest_load);
+                       });
 
   ServingResult result;
   result.admission = admission_.stats();
-  result.sessions.reserve(sessions_.size());
-  for (auto& session : sessions_) {
-    Session& s = *session;
+  result.sessions.reserve(store_.session_count());
+  for (std::size_t pos = 0; pos < store_.session_count(); ++pos) {
+    ServingSession& s = store_.session(pos);
     // A session whose arrival slot was never reached is reported as not
     // admitted with an empty window (admission never saw it).
-    if (s.state == SessionState::kPending) s.departure_actual = s.arrival_actual;
+    if (s.phase == SessionPhase::kPending) s.departure_actual = s.arrival_actual;
 
     SessionMetrics metrics;
     metrics.session_id = s.id;
-    metrics.arrived = s.state != SessionState::kPending;
+    metrics.arrived = s.phase != SessionPhase::kPending;
     metrics.admitted = s.admitted;
     metrics.arrival_slot = s.arrival_actual;
     metrics.departure_slot = s.departure_actual;

@@ -16,45 +16,33 @@
 //      result is bit-identical for any thread count);
 //   3. schedule: the EdgeScheduler divides the slot's capacity;
 //   4. drain: queues advance, per-session traces and fleet metrics record.
+//
+// Data layout (the hot-path contract): sessions live in the SessionStore's
+// stable-index slab, and the per-slot fields the three phases touch are
+// mirrored into dense struct-of-arrays vectors indexed by the active list —
+// decide is a flattened argmax over precomputed candidate rows, schedule
+// consumes the SoA spans directly (no demand-struct copy-in), drain walks
+// the same arrays. See session_store.hpp; bench_hot_path measures the
+// resulting ns/session·slot and its --smoke oracle asserts the layout is
+// behaviour-free.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <limits>
 #include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
-#include "lyapunov/depth_controller.hpp"
 #include "net/channel.hpp"
-#include "queueing/queue.hpp"
 #include "serving/admission.hpp"
 #include "serving/executor.hpp"
 #include "serving/metrics.hpp"
 #include "serving/scheduler.hpp"
+#include "serving/session_store.hpp"
 #include "sim/frame_stats_cache.hpp"
 #include "sim/trace.hpp"
 
 namespace arvis {
-
-/// A session's lifetime is [arrival_slot, departure_slot); this sentinel
-/// means "stays until the run ends".
-inline constexpr std::size_t kNeverDeparts =
-    std::numeric_limits<std::size_t>::max();
-
-/// One streaming client as submitted to the server.
-struct SessionSpec {
-  /// Frame statistics of the content this session streams (non-null;
-  /// sessions may share a cache).
-  const FrameStatsCache* cache = nullptr;
-  std::size_t arrival_slot = 0;
-  std::size_t departure_slot = kNeverDeparts;
-  /// Scheduler priority (>= 0; weighted policies only).
-  double weight = 1.0;
-  /// Seed of this session's private RNG stream (split per session so runs
-  /// are reproducible regardless of arrival order or thread count).
-  std::uint64_t seed = 0;
-};
 
 struct ServingConfig {
   std::size_t steps = 800;
@@ -112,8 +100,8 @@ class SessionManager {
  public:
   /// `mean_capacity_bytes` calibrates admission (ChannelModel::
   /// mean_capacity_bytes() of the link the run will use). Throws
-  /// std::invalid_argument on an empty candidate set, steps == 0, or a bad
-  /// admission config.
+  /// std::invalid_argument on an empty or non-ascending candidate set,
+  /// steps == 0, or a bad admission config.
   SessionManager(const ServingConfig& config, double mean_capacity_bytes);
   ~SessionManager();
 
@@ -154,17 +142,18 @@ class SessionManager {
 
   /// Active sessions this slot (the decide fan-out width).
   [[nodiscard]] std::size_t decide_width() const noexcept {
-    return active_.size();
+    return store_.active_count();
   }
 
-  /// Runs active session i's local controller for the current slot. Touches
-  /// only session-i state: safe to fan out across any executor, and the
-  /// result is bit-identical for any thread count. Allocation-free in steady
-  /// state (workload/quality are non-owning views over the frame cache).
-  void decide_session(std::size_t i);
+  /// Runs active session i's local controller for the current slot: the
+  /// flattened drift-plus-penalty kernel over the session's precomputed
+  /// candidate row. Touches only index-i state: safe to fan out across any
+  /// executor, and the result is bit-identical for any thread count.
+  /// Allocation-free, virtual-dispatch-free, log10-free.
+  void decide_session(std::size_t i) { store_.decide(i, slot_); }
 
-  /// Schedules the slot's capacity, drains queues, records metrics, and
-  /// advances the slot clock.
+  /// Schedules the slot's capacity over the store's SoA spans, drains
+  /// queues, records metrics, and advances the slot clock.
   SlotReport finish_slot(double capacity_bytes);
 
   /// External-placement hook (EdgeCluster): runs this link's admission on
@@ -220,28 +209,25 @@ class SessionManager {
   ServingResult finish();
 
  private:
-  struct Session;
-
   void admit_arrivals();
   void close_departures();
-  void activate(Session& s);
+  void activate(ServingSession& s);
 
   ServingConfig config_;
   AdmissionController admission_;
   std::unique_ptr<EdgeScheduler> scheduler_;
   ParallelExecutor executor_;
-  std::vector<std::unique_ptr<Session>> sessions_;  // submission order
+  /// The session arena: cold slab + hot SoA mirrors (see session_store.hpp).
+  SessionStore store_;
   // Not-yet-arrived sessions, sorted by (due slot, id); the prefix before
   // pending_head_ has been consumed. Keeps the per-slot arrival scan at
   // O(arrivals due) instead of O(all sessions ever submitted).
-  std::vector<Session*> pending_;
+  std::vector<ServingSession*> pending_;
   std::size_t pending_head_ = 0;
-  std::vector<Session*> active_;  // admission order
   ServerMetrics metrics_;
   std::size_t slot_ = 0;
   bool finished_ = false;
   // Scratch reused across slots.
-  std::vector<SchedulerDemand> demands_;
   std::vector<double> shares_;
 };
 

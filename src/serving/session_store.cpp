@@ -1,0 +1,95 @@
+#include "serving/session_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arvis {
+
+namespace {
+
+/// Clamped depth-table lookup, exactly the arithmetic of
+/// quality_model/workload's view classes (empty table reads 0, indices
+/// clamp to [0, size)). Keeping this identical is what makes the flattened
+/// tables a pure layout change.
+double clamped(const std::vector<double>& table, int depth) {
+  if (table.empty()) return 0.0;
+  const int last = static_cast<int>(table.size()) - 1;
+  return table[static_cast<std::size_t>(std::clamp(depth, 0, last))];
+}
+
+}  // namespace
+
+FlatDecideTable::FlatDecideTable(const FrameStatsCache& cache,
+                                 std::span<const int> candidates)
+    : frames_(cache.frame_count()) {
+  const std::size_t width = candidates.size();
+  data_.resize(frames_ * 2 * width);
+  for (std::size_t f = 0; f < frames_; ++f) {
+    const FrameWorkload& frame = cache.workload(f);
+    double* u = data_.data() + f * 2 * width;
+    double* a = u + width;
+    for (std::size_t c = 0; c < width; ++c) {
+      // LogPointQualityView::quality, verbatim.
+      const double points = clamped(frame.points_at_depth, candidates[c]);
+      u[c] = points >= 1.0 ? std::log10(points) : 0.0;
+      // ByteWorkloadView::arrivals, verbatim.
+      a[c] = clamped(frame.bytes_at_depth, candidates[c]);
+    }
+  }
+}
+
+SessionStore::SessionStore(std::vector<int> candidates, double v)
+    : candidates_(std::move(candidates)), v_(v), width_(candidates_.size()) {
+  if (candidates_.empty()) {
+    throw std::invalid_argument("SessionStore: empty candidate set");
+  }
+  // The per-session LyapunovDepthController used to reject V < 0 at
+  // construction; the flat kernel owns V now, so the check lives here.
+  if (v < 0.0) {
+    throw std::invalid_argument("SessionStore: V must be >= 0");
+  }
+}
+
+ServingSession& SessionStore::create(std::size_t id, const SessionSpec& spec) {
+  slab_.emplace_back(id, spec);
+  return slab_.back();
+}
+
+const FlatDecideTable& SessionStore::intern(const FrameStatsCache& cache) {
+  for (const auto& [key, table] : tables_) {
+    if (key == &cache) return *table;
+  }
+  tables_.emplace_back(&cache,
+                       std::make_unique<FlatDecideTable>(cache, candidates_));
+  return *tables_.back().second;
+}
+
+void SessionStore::activate(ServingSession& s, std::size_t slot) {
+  const FlatDecideTable& table = intern(*s.spec.cache);
+  active_.push_back(&s);
+  backlog_.push_back(s.queue.backlog());
+  weight_.push_back(s.spec.weight);
+  ewma_.push_back(0.0);
+  table_.push_back(table.data());
+  frames_.push_back(table.frames());
+  arrival_.push_back(slot);
+  depth_.push_back(0);
+  dec_arrivals_.push_back(0.0);
+  dec_quality_.push_back(0.0);
+}
+
+void SessionStore::resize_active(std::size_t n) {
+  active_.resize(n);
+  backlog_.resize(n);
+  weight_.resize(n);
+  ewma_.resize(n);
+  table_.resize(n);
+  frames_.resize(n);
+  arrival_.resize(n);
+  depth_.resize(n);
+  dec_arrivals_.resize(n);
+  dec_quality_.resize(n);
+}
+
+}  // namespace arvis

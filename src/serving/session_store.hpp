@@ -1,0 +1,274 @@
+// SessionStore: the serving runtime's session arena and its hot-path data
+// layout.
+//
+// The slot loop's cost is dominated by memory traffic, not arithmetic: the
+// per-slot work is one six-wide argmax and a handful of adds per session,
+// so what matters is whether those operands are contiguous. The store
+// separates the two temperatures a session's state has:
+//
+//   cold  the slab — one ServingSession record per submitted session
+//         (spec, queue statistics, trace, RNG stream, lifecycle fields),
+//         held in a std::deque so records never move (stable references for
+//         the pending list and the outcome walk) while still being
+//         chunk-allocated instead of one heap object per session;
+//
+//   hot   dense struct-of-arrays mirrors of exactly the fields the
+//         decide/schedule/drain phases read every slot (queue backlog,
+//         weight, served-bytes EWMA, flattened decide-table row pointer),
+//         index-parallel with the active list, so each phase is a linear
+//         walk over contiguous doubles instead of a pointer chase across
+//         heap-scattered session objects.
+//
+// The decide kernel itself runs on *flattened candidate tables*: at
+// activation the session's FrameStatsCache is interned into a
+// FlatDecideTable — per cached frame, the per-candidate utility
+// (log-points, exactly LogPointQualityView's arithmetic) and arrivals
+// (bytes, exactly ByteWorkloadView's) written as one contiguous row — so
+// each decide is a branch-light scan over 2·|candidates| adjacent doubles
+// with no virtual dispatch and no per-slot log10. Sessions sharing a cache
+// share the table.
+//
+// Everything here is pure layout: the arithmetic, evaluation order and tie
+// breaks are bit-for-bit those of the view-based path (asserted by the
+// bench_hot_path oracle and the serving determinism tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "queueing/queue.hpp"
+#include "sim/frame_stats_cache.hpp"
+#include "sim/trace.hpp"
+
+namespace arvis {
+
+/// A session's lifetime is [arrival_slot, departure_slot); this sentinel
+/// means "stays until the run ends".
+inline constexpr std::size_t kNeverDeparts =
+    std::numeric_limits<std::size_t>::max();
+
+/// One streaming client as submitted to the server.
+struct SessionSpec {
+  /// Frame statistics of the content this session streams (non-null;
+  /// sessions may share a cache).
+  const FrameStatsCache* cache = nullptr;
+  std::size_t arrival_slot = 0;
+  std::size_t departure_slot = kNeverDeparts;
+  /// Scheduler priority (>= 0; weighted policies only).
+  double weight = 1.0;
+  /// Seed of this session's private RNG stream (split per session so runs
+  /// are reproducible regardless of arrival order or thread count).
+  std::uint64_t seed = 0;
+};
+
+enum class SessionPhase : std::uint8_t { kPending, kActive, kClosed };
+
+/// The cold per-session record (slab resident; read at lifecycle edges and
+/// in the drain phase, never in the decide/schedule inner loops).
+struct ServingSession {
+  ServingSession(std::size_t id_in, const SessionSpec& spec_in)
+      : id(id_in),
+        spec(spec_in),
+        // Mix the session id into the stream so sessions sharing a spec
+        // seed (e.g. the default 0) still draw independent randomness.
+        rng(Rng(spec_in.seed ^ (0x9E3779B97F4A7C15ULL * (id_in + 1)))
+                .split()),
+        arrival_actual(spec_in.arrival_slot) {}
+
+  std::size_t id;
+  SessionSpec spec;
+  DiscreteQueue queue;
+  Trace trace;
+  /// Private stream derived from the spec seed; reserved for stochastic
+  /// controllers/arrival jitter so adding them later cannot perturb any
+  /// other session's stream.
+  Rng rng;
+  SessionPhase phase = SessionPhase::kPending;
+  bool admitted = false;
+  int max_sustainable_depth = 0;
+  double cheapest_load = 0.0;
+  /// First slot admission may consider this session: the declared arrival,
+  /// or the submission-time slot when the declared arrival already elapsed.
+  std::size_t due_slot = 0;
+  /// Slot the session actually became active; session-local frame time
+  /// counts from here.
+  std::size_t arrival_actual = 0;
+  std::size_t departure_actual = 0;
+};
+
+/// Per-cache flattened decide tables: for every cached frame, the
+/// per-candidate (utility, arrivals) pairs laid out as one contiguous row
+/// [u_0 .. u_{w-1} | a_0 .. a_{w-1}]. Values reproduce LogPointQualityView /
+/// ByteWorkloadView bit for bit (same clamping, same log10 inputs).
+class FlatDecideTable {
+ public:
+  FlatDecideTable(const FrameStatsCache& cache,
+                  std::span<const int> candidates);
+
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t frames() const noexcept { return frames_; }
+
+ private:
+  std::size_t frames_;
+  std::vector<double> data_;  // frames_ rows of 2·|candidates| doubles
+};
+
+/// The arena + hot-mirror container. The SessionManager owns one and drives
+/// it; the store's job is keeping the SoA arrays in lockstep with the
+/// active list so the phase loops can trust plain indices.
+class SessionStore {
+ public:
+  /// `candidates` must be non-empty (the manager validates ordering/range).
+  SessionStore(std::vector<int> candidates, double v);
+
+  // --- slab ---------------------------------------------------------------
+
+  /// Appends a cold record (stable reference; insertion order preserved).
+  ServingSession& create(std::size_t id, const SessionSpec& spec);
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return slab_.size();
+  }
+  /// Insertion-order access (the finish() walk).
+  [[nodiscard]] ServingSession& session(std::size_t pos) noexcept {
+    return slab_[pos];
+  }
+
+  // --- active list + hot mirrors ------------------------------------------
+
+  /// Marks `s` active at `slot` and mirrors its hot fields into the SoA
+  /// arrays (interning its cache's FlatDecideTable on first sight).
+  void activate(ServingSession& s, std::size_t slot);
+
+  /// Compacts the active list, retiring every session `should_close`
+  /// selects (invoking `on_close(session)` for each) while keeping all SoA
+  /// mirrors index-parallel. Preserves relative order of survivors.
+  template <class ShouldClose, class OnClose>
+  void retire_active(ShouldClose should_close, OnClose on_close) {
+    const std::size_t n = active_.size();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ServingSession& s = *active_[i];
+      if (should_close(s)) {
+        on_close(s);
+        continue;
+      }
+      if (kept != i) {
+        active_[kept] = active_[i];
+        backlog_[kept] = backlog_[i];
+        weight_[kept] = weight_[i];
+        ewma_[kept] = ewma_[i];
+        table_[kept] = table_[i];
+        frames_[kept] = frames_[i];
+        arrival_[kept] = arrival_[i];
+      }
+      ++kept;
+    }
+    resize_active(kept);
+  }
+
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return active_.size();
+  }
+  [[nodiscard]] ServingSession& active_session(std::size_t i) noexcept {
+    return *active_[i];
+  }
+
+  // --- per-slot kernels ---------------------------------------------------
+
+  /// The flattened decide kernel: drift-plus-penalty argmax over active
+  /// session i's precomputed candidate row for this slot. Touches only
+  /// index-i state — safe to fan out across any executor — and performs no
+  /// allocation, no virtual dispatch, no transcendental math.
+  void decide(std::size_t i, std::size_t slot) noexcept {
+    const double q = backlog_[i];
+    const double* row =
+        table_[i] + ((slot - arrival_[i]) % frames_[i]) * (2 * width_);
+    const double* u = row;
+    const double* a = row + width_;
+    std::size_t best = 0;
+    double best_objective = v_ * u[0] - q * a[0];
+    for (std::size_t c = 1; c < width_; ++c) {
+      const double objective = v_ * u[c] - q * a[c];
+      if (objective > best_objective) {  // strict: ties keep the lower index
+        best = c;
+        best_objective = objective;
+      }
+    }
+    depth_[i] = candidates_[best];
+    dec_arrivals_[i] = a[best];
+    dec_quality_[i] = u[best];
+  }
+
+  /// Drain bookkeeping for active session i after the scheduler granted
+  /// `share`: Lindley queue step, trace append, hot-mirror refresh, EWMA
+  /// update (alpha > 0 only). Returns the bytes actually served.
+  double drain(std::size_t i, std::size_t slot, double share, double alpha) {
+    ServingSession& s = *active_[i];
+    StepRecord record;
+    record.t = slot;
+    record.depth = depth_[i];
+    record.arrivals = dec_arrivals_[i];
+    record.service = share;
+    record.backlog_begin = backlog_[i];
+    record.quality = dec_quality_[i];
+    record.backlog_end = s.queue.step(record.arrivals, share);
+    backlog_[i] = record.backlog_end;
+    s.trace.add(record);
+    const double served = s.queue.last_served();
+    if (alpha > 0.0) ewma_[i] = (1.0 - alpha) * ewma_[i] + alpha * served;
+    return served;
+  }
+
+  // --- SoA spans for the schedule phase -----------------------------------
+
+  [[nodiscard]] std::span<const double> backlogs() const noexcept {
+    return backlog_;
+  }
+  [[nodiscard]] std::span<const double> decided_arrivals() const noexcept {
+    return dec_arrivals_;
+  }
+  [[nodiscard]] std::span<const double> weights() const noexcept {
+    return weight_;
+  }
+  [[nodiscard]] std::span<const double> ewma_throughput() const noexcept {
+    return ewma_;
+  }
+
+ private:
+  void resize_active(std::size_t n);
+  const FlatDecideTable& intern(const FrameStatsCache& cache);
+
+  std::vector<int> candidates_;
+  double v_;
+  std::size_t width_;  // candidates_.size()
+
+  std::deque<ServingSession> slab_;        // insertion order, stable refs
+  std::vector<ServingSession*> active_;    // admission order
+
+  // Hot SoA mirrors, index-parallel with active_.
+  std::vector<double> backlog_;
+  std::vector<double> weight_;
+  std::vector<double> ewma_;
+  std::vector<const double*> table_;       // flattened table base pointer
+  std::vector<std::size_t> frames_;        // table frame count (cycle length)
+  std::vector<std::size_t> arrival_;       // arrival_actual (local time base)
+
+  // Per-slot decide outputs (written by decide, read by schedule/drain).
+  std::vector<int> depth_;
+  std::vector<double> dec_arrivals_;
+  std::vector<double> dec_quality_;
+
+  // Interned flattened tables, keyed by cache identity (few distinct caches
+  // per run; linear scan at activation only).
+  std::vector<std::pair<const FrameStatsCache*, std::unique_ptr<FlatDecideTable>>>
+      tables_;
+};
+
+}  // namespace arvis

@@ -1,24 +1,57 @@
 // Tests for the event-driven workload engine (serving/driver): trace CSV
 // round-trip, scenario generator seed-stability and shape, EventLoop
 // determinism (same seed => identical snapshot series), idle fast-forward
-// equivalence, and the flash-crowd acceptance property (admission rejects
-// confined to the spike window).
+// equivalence, the flash-crowd acceptance property (admission rejects
+// confined to the spike window), the calendar queue's ordering contract,
+// incremental-vs-materialized replay equivalence, and the driver-path
+// allocation probe (EventLoop + EdgeCluster steady state between arrivals
+// is heap-silent).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "datasets/catalog.hpp"
 #include "net/channel.hpp"
 #include "net/streaming.hpp"
 #include "serving/admission.hpp"
+#include "serving/driver/calendar.hpp"
 #include "serving/driver/event_loop.hpp"
 #include "serving/driver/replay.hpp"
 #include "serving/driver/scenario.hpp"
 #include "serving/driver/trace.hpp"
+
+// ------------------------------------------------------ allocation probe ----
+// Counting global operator new: the whole test binary routes through it (as
+// in cluster_test), and the driver steady-state test asserts that extending
+// a run's arrival-free tail adds zero allocations.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace arvis {
 namespace {
@@ -516,6 +549,255 @@ TEST(EventLoopTest, ReplayValidatesItsInputs) {
   std::vector<ChannelModel*> null_channel{nullptr};
   EXPECT_THROW(replay_trace(config, trace, two_profiles(), null_channel),
                std::invalid_argument);
+}
+
+TEST(EventLoopTest, PublicSchedulingIsClosedOnceRunStarts) {
+  ServingConfig serving = replay_cluster_config(1).serving;
+  SessionManager manager(serving, 1e6);
+  ConstantChannel channel(1e6);
+  SessionManagerBackend backend(manager, channel);
+  EventLoop loop(DriverConfig{}, backend);
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  loop.schedule_arrival(0, spec);
+  loop.schedule_stop(10);
+  loop.run();
+  // The whole public scheduling surface throws after run() — including
+  // departure markers, which only the loop's own source feed may push
+  // mid-run.
+  EXPECT_THROW(loop.schedule_arrival(20, spec), std::logic_error);
+  EXPECT_THROW(loop.schedule_departure_marker(20), std::logic_error);
+  EXPECT_THROW(loop.schedule_stop(20), std::logic_error);
+  EXPECT_THROW(loop.run(), std::logic_error);
+}
+
+// -------------------------------------------------------- EventCalendar ----
+
+TEST(EventCalendarTest, DrainsInSlotSeqOrderLikeAPriorityQueue) {
+  Rng rng(2024);
+  EventCalendar calendar;
+  std::vector<CalendarEvent> reference;
+  std::vector<CalendarEvent> drained;
+  std::vector<CalendarEvent> due;
+  std::uint64_t seq = 0;
+  std::size_t now = 0;
+
+  // Bursty pushes against an advancing clock (enough volume to force
+  // several rehash growths), drained exactly the way the EventLoop drains.
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t pushes = rng.below(8);
+    for (std::size_t p = 0; p < pushes; ++p) {
+      CalendarEvent event;
+      event.slot = now + rng.below(40);
+      event.seq = seq++;
+      event.kind = static_cast<std::uint8_t>(rng.below(4));
+      event.payload = p;
+      calendar.push(event);
+      reference.push_back(event);
+    }
+    now += rng.below(3);
+    calendar.pop_due(now, due);
+    drained.insert(drained.end(), due.begin(), due.end());
+  }
+
+  // Flush the queued tail (slots reach at most now + 39).
+  calendar.pop_due(now + 64, due);
+  drained.insert(drained.end(), due.begin(), due.end());
+  ASSERT_TRUE(calendar.empty());
+
+  // Far-future event after a long idle gap: min_slot must find it without
+  // a year's worth of bucket probes going wrong.
+  CalendarEvent far;
+  far.slot = now + 1'000'000;
+  far.seq = seq++;
+  calendar.push(far);
+  reference.push_back(far);
+  EXPECT_EQ(calendar.min_slot(), far.slot);
+  calendar.pop_due(far.slot, due);
+  drained.insert(drained.end(), due.begin(), due.end());
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(calendar.min_slot(), EventCalendar::kNone);
+
+  // The contract the priority_queue gave the loop: ascending (slot, seq).
+  std::sort(reference.begin(), reference.end(),
+            [](const CalendarEvent& a, const CalendarEvent& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              return a.seq < b.seq;
+            });
+  ASSERT_EQ(drained.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(drained[i].slot, reference[i].slot) << i;
+    EXPECT_EQ(drained[i].seq, reference[i].seq) << i;
+  }
+}
+
+// ---------------------------------------------- incremental arrival feed ----
+
+void expect_replays_bit_identical(const ReplayResult& a,
+                                  const ReplayResult& b) {
+  EXPECT_EQ(a.report.arrivals_injected, b.report.arrivals_injected);
+  EXPECT_EQ(a.report.departure_markers, b.report.departure_markers);
+  EXPECT_EQ(a.report.slots_executed, b.report.slots_executed);
+  EXPECT_EQ(a.report.slots_skipped, b.report.slots_skipped);
+  ASSERT_EQ(a.report.snapshots.size(), b.report.snapshots.size());
+  for (std::size_t i = 0; i < a.report.snapshots.size(); ++i) {
+    const MetricsSnapshot& sa = a.report.snapshots[i];
+    const MetricsSnapshot& sb = b.report.snapshots[i];
+    EXPECT_EQ(sa.slot, sb.slot);
+    EXPECT_EQ(sa.active_sessions, sb.active_sessions);
+    EXPECT_EQ(sa.admitted_total, sb.admitted_total);
+    EXPECT_EQ(sa.rejected_total, sb.rejected_total);
+    EXPECT_EQ(sa.capacity_offered_total, sb.capacity_offered_total);
+    EXPECT_EQ(sa.capacity_used_total, sb.capacity_used_total);
+    EXPECT_EQ(sa.window_utilization, sb.window_utilization);
+    EXPECT_EQ(sa.link_load_fairness, sb.link_load_fairness);
+  }
+  EXPECT_EQ(a.cluster.metrics.fleet.sessions_admitted,
+            b.cluster.metrics.fleet.sessions_admitted);
+  EXPECT_EQ(a.cluster.metrics.fleet.capacity_used,
+            b.cluster.metrics.fleet.capacity_used);
+  EXPECT_EQ(a.cluster.metrics.fleet.quality_fairness,
+            b.cluster.metrics.fleet.quality_fairness);
+  EXPECT_EQ(a.cluster.metrics.spills, b.cluster.metrics.spills);
+  EXPECT_EQ(a.cluster.metrics.placement_rejects,
+            b.cluster.metrics.placement_rejects);
+  for (std::size_t q = 0; q < kQosClassCount; ++q) {
+    EXPECT_EQ(a.per_qos[q].arrivals, b.per_qos[q].arrivals);
+    EXPECT_EQ(a.per_qos[q].admitted, b.per_qos[q].admitted);
+    EXPECT_EQ(a.per_qos[q].rejected, b.per_qos[q].rejected);
+  }
+  ASSERT_EQ(a.cluster.sessions.size(), b.cluster.sessions.size());
+  for (std::size_t i = 0; i < a.cluster.sessions.size(); ++i) {
+    const ClusterSessionOutcome& ca = a.cluster.sessions[i];
+    const ClusterSessionOutcome& cb = b.cluster.sessions[i];
+    EXPECT_EQ(ca.link, cb.link);
+    EXPECT_EQ(ca.spilled, cb.spilled);
+    EXPECT_EQ(ca.arrived, cb.arrived);
+    EXPECT_EQ(ca.session.admitted, cb.session.admitted);
+    ASSERT_EQ(ca.session.trace.size(), cb.session.trace.size());
+    for (std::size_t t = 0; t < ca.session.trace.size(); ++t) {
+      EXPECT_EQ(ca.session.trace.at(t).depth, cb.session.trace.at(t).depth);
+      EXPECT_EQ(ca.session.trace.at(t).service,
+                cb.session.trace.at(t).service);
+      EXPECT_EQ(ca.session.trace.at(t).backlog_end,
+                cb.session.trace.at(t).backlog_end);
+    }
+  }
+}
+
+TEST(EventLoopTest, IncrementalScenarioFeedMatchesMaterializedReplay) {
+  for (const ScenarioKind kind :
+       {ScenarioKind::kDiurnal, ScenarioKind::kFlashCrowd}) {
+    ScenarioConfig scenario = base_scenario();
+    scenario.horizon = 1'500;
+    scenario.base_rate = 0.01;
+    scenario.mean_duration = 60.0;
+    scenario.max_duration = 150;
+    scenario.diurnal_period = 300;
+    scenario.seed = 11;
+    const auto generator = make_scenario(kind, scenario);
+
+    ReplayConfig replay;
+    replay.cluster = replay_cluster_config(2);
+    replay.driver.snapshot_period = 50;
+    const double load = cheapest_load(replay.cluster.serving.candidates);
+    const double per_link = 2.5 * load;
+
+    ConstantChannel a0(per_link), a1(per_link);
+    std::vector<ChannelModel*> channels_a{&a0, &a1};
+    const ReplayResult materialized =
+        replay_trace(replay, generator->generate(), two_profiles(), channels_a);
+
+    ConstantChannel b0(per_link), b1(per_link);
+    std::vector<ChannelModel*> channels_b{&b0, &b1};
+    const ReplayResult incremental =
+        replay_scenario(replay, *generator, two_profiles(), channels_b);
+
+    expect_replays_bit_identical(materialized, incremental);
+    EXPECT_GT(incremental.report.arrivals_injected, 0U);
+
+    // A mid-horizon stop must cut the same prefix in both shapes.
+    replay.stop_slot = scenario.horizon / 2;
+    ConstantChannel c0(per_link), c1(per_link);
+    std::vector<ChannelModel*> channels_c{&c0, &c1};
+    const ReplayResult materialized_cut =
+        replay_trace(replay, generator->generate(), two_profiles(), channels_c);
+    ConstantChannel d0(per_link), d1(per_link);
+    std::vector<ChannelModel*> channels_d{&d0, &d1};
+    const ReplayResult incremental_cut =
+        replay_scenario(replay, *generator, two_profiles(), channels_d);
+    expect_replays_bit_identical(materialized_cut, incremental_cut);
+    EXPECT_LT(incremental_cut.report.arrivals_injected,
+              incremental.report.arrivals_injected);
+  }
+}
+
+TEST(ScenarioStreamTest, BatchesReproduceGenerateRowForRow) {
+  ScenarioConfig config = base_scenario();
+  config.seed = 31;
+  const PoissonScenario generator(config);
+  const WorkloadTrace trace = generator.generate();
+  ASSERT_FALSE(trace.events.empty());
+
+  ScenarioStream stream = generator.stream();
+  std::size_t row = 0;
+  std::size_t previous_slot = 0;
+  while (stream.next_slot() != ScenarioStream::kExhausted) {
+    ASSERT_FALSE(stream.batch().empty());
+    EXPECT_GE(stream.next_slot(), previous_slot);
+    previous_slot = stream.next_slot();
+    EXPECT_EQ(stream.batch_first_row(), row);
+    for (const TraceEvent& event : stream.batch()) {
+      ASSERT_LT(row, trace.events.size());
+      EXPECT_EQ(event, trace.events[row]);
+      EXPECT_EQ(event.t_arrive, stream.next_slot());
+      ++row;
+    }
+    stream.pop();
+  }
+  EXPECT_EQ(row, trace.events.size());
+}
+
+// ------------------------------------------------- allocation freedom ----
+
+/// Drives six never-departing sessions through an EventLoop + EdgeCluster
+/// and returns the allocations the run() performed. Called with two stop
+/// horizons: every heap allocation belongs to the arrival/warm-up phase, so
+/// the longer steady tail must add exactly zero.
+std::size_t driver_run_allocations(std::size_t stop_slot) {
+  ClusterConfig config = replay_cluster_config(2);
+  config.serving.steps = 600;  // trace reservation horizon covers both runs
+  const double load = cheapest_load(config.serving.candidates);
+  const double capacity = 4.0 * load;
+  EdgeCluster cluster(config, {capacity, capacity});
+  ConstantChannel a(capacity), b(capacity);
+  ClusterBackend backend(cluster, {&a, &b});
+
+  DriverConfig driver;  // no snapshots: pure slot-loop steady state
+  EventLoop loop(driver, backend);
+  loop.reserve(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    SessionSpec spec;
+    spec.cache = &shared_cache();
+    spec.arrival_slot = i * 5;
+    spec.seed = i;
+    loop.schedule_arrival(spec.arrival_slot, spec);
+  }
+  loop.schedule_stop(stop_slot);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  loop.run();
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  static_cast<void>(cluster.finish());
+  return after - before;
+}
+
+TEST(DriverAllocationProbeTest, SteadyStateBetweenArrivalsIsAllocationFree) {
+  const std::size_t short_run = driver_run_allocations(150);
+  const std::size_t long_run = driver_run_allocations(450);
+  EXPECT_EQ(short_run, long_run)
+      << "the 300 extra arrival-free driver slots performed "
+      << (long_run - short_run) << " heap allocations";
 }
 
 }  // namespace

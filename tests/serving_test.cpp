@@ -475,6 +475,12 @@ TEST(SessionManagerTest, Validation) {
   bad.candidates = {};
   EXPECT_THROW(SessionManager(bad, 1e6), std::invalid_argument);
   bad = config;
+  bad.v = -1.0;  // the controller's V >= 0 contract, enforced at the door
+  EXPECT_THROW(SessionManager(bad, 1e6), std::invalid_argument);
+  bad = config;
+  bad.candidates = {5, 4};  // must be strictly ascending
+  EXPECT_THROW(SessionManager(bad, 1e6), std::invalid_argument);
+  bad = config;
   bad.candidates = {42};
   SessionManager out_of_range(bad, 1e6);
   SessionSpec ok;
