@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,12 +57,12 @@ struct BenchRecord {
   std::size_t repetitions = 1;
 };
 
-/// Serializes records (plus an optional raw-JSON `extra` block of
-/// bench-specific fields) as BENCH_<bench>.json-style content.
-inline std::string bench_json(const std::string& bench,
-                              const std::vector<BenchRecord>& records,
-                              const std::string& extra = "") {
-  std::string out = "{\"bench\":\"" + bench + "\",\"records\":[";
+/// Serializes one dated trajectory entry (records plus an optional raw-JSON
+/// `extra` block of bench-specific fields).
+inline std::string bench_entry_json(const std::string& date,
+                                    const std::vector<BenchRecord>& records,
+                                    const std::string& extra = "") {
+  std::string out = "{\"date\":\"" + date + "\",\"records\":[";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     char buf[160];
@@ -73,19 +74,71 @@ inline std::string bench_json(const std::string& bench,
   }
   out += "]";
   if (!extra.empty()) out += "," + extra;
-  out += "}\n";
+  out += "}";
   return out;
 }
 
-/// Writes the bench's trajectory JSON to `path` (default:
+/// Local date as YYYY-MM-DD (the trajectory entry stamp).
+inline std::string bench_date() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  localtime_r(&now, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+/// Reads a whole file; empty string when absent/unreadable.
+inline std::string read_file_or_empty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  return content;
+}
+
+/// Appends a dated trajectory entry to the bench's JSON at `path` (default:
 /// BENCH_<bench>.json in the current directory — run from the repo root to
-/// land it beside the sources). Returns false on I/O failure.
+/// land it beside the sources), preserving every earlier entry so the perf
+/// history survives across PRs:
+///
+///   {"bench":"<name>","entries":[<oldest>, ..., <today>]}
+///
+/// A pre-history file in the old single-object format is wrapped verbatim as
+/// the first entry (it keeps its own fields; it just lacks a "date").
+/// Returns false on I/O failure.
 inline bool write_bench_json(const std::string& bench,
                              const std::vector<BenchRecord>& records,
                              const std::string& extra = "",
                              std::string path = "") {
   if (path.empty()) path = "BENCH_" + bench + ".json";
-  const std::string body = bench_json(bench, records, extra);
+  const std::string entry = bench_entry_json(bench_date(), records, extra);
+  const std::string prefix = "{\"bench\":\"" + bench + "\",\"entries\":[";
+
+  std::string existing = read_file_or_empty(path);
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' ')) {
+    existing.pop_back();
+  }
+
+  std::string body;
+  if (existing.rfind(prefix, 0) == 0 && existing.size() >= 2 &&
+      existing.compare(existing.size() - 2, 2, "]}") == 0) {
+    // Already the entries format: splice today's entry before the closer.
+    body = existing.substr(0, existing.size() - 2) + ",\n" + entry + "]}\n";
+  } else if (!existing.empty() && existing.front() == '{' &&
+             existing.back() == '}') {
+    // Legacy single-object trajectory point: keep it as the first entry.
+    body = prefix + existing + ",\n" + entry + "]}\n";
+  } else {
+    body = prefix + entry + "]}\n";
+  }
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
@@ -93,7 +146,7 @@ inline bool write_bench_json(const std::string& bench,
   }
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  std::printf("appended trajectory entry to %s\n", path.c_str());
   return ok;
 }
 

@@ -11,20 +11,29 @@
 //
 // Build & run:  ./build/bench/bench_hot_path [--smoke] [--json [--quick]]
 //
-// --json writes BENCH_hot_path.json (run from the repo root to land it
-// there); --quick shrinks the sweep for CI. --smoke runs two hard
-// invariants cheap enough for CI and exits non-zero on violation:
+// --json appends a dated trajectory entry to BENCH_hot_path.json (run from
+// the repo root to land it there); --quick shrinks the sweep for CI.
+// --smoke runs hard invariants cheap enough for CI and exits non-zero on
+// violation:
 //   1. oracle equivalence: the runtime's slot loop, re-simulated through the
 //      original view-based controller path (ByteWorkloadView /
 //      LogPointQualityView / LyapunovDepthController + the demand-struct
-//      scheduler interface), matches the SessionManager's traces bit for
-//      bit — the SoA layout and flattened decide tables are pure layout,
-//      zero behaviour;
-//   2. executor determinism: threads=2 decide fan-out over the SoA arrays is
-//      bit-identical to serial.
-// A SMOKE_JSON line summarizes both for CI diffing.
+//      scheduler interface + a per-session DiscreteQueue), matches the
+//      SessionManager's traces bit for bit. Covered regimes: dense (the
+//      memoizer collapses the fleet to a handful of groups), churn (arrivals
+//      and departures mutate the groups every few slots), and a K>1 cluster
+//      (each link's incremental engine + the cluster placement path) — the
+//      incremental decide engine, the blocked kernel and the scheduler fast
+//      paths are exact memoization, zero behaviour;
+//   2. executor determinism: threads=2 decide fan-out (the scalar kernel)
+//      is bit-identical to the serial memoized engine;
+//   3. perf budget: dense@10k may not regress more than 25% against the
+//      last committed BENCH_hot_path.json trajectory entry (override the
+//      factor with BENCH_HOT_PATH_BUDGET_FACTOR for foreign hardware).
+// A SMOKE_JSON line summarizes everything for CI diffing.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -38,6 +47,7 @@
 #include "quality/quality_model.hpp"
 #include "queueing/queue.hpp"
 #include "serving/admission.hpp"
+#include "serving/cluster.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/session_manager.hpp"
 #include "sim/frame_stats_cache.hpp"
@@ -46,13 +56,20 @@ namespace {
 
 using namespace arvis;
 
-// Pre-PR baseline, measured with this same harness on the pointer-chasing
-// layout (commit fcdeea9: unique_ptr session heap, per-slot view construction,
-// demand-struct scheduler copy-in) before the SoA refactor landed. Single
-// thread, Release, this container. Units: ns per session·slot.
+// Measured baselines from this same harness on this container (single
+// thread, Release), units ns per session·slot. The PR 3 layout is the
+// pointer-chasing runtime before the SoA refactor (commit fcdeea9:
+// unique_ptr session heap, per-slot view construction, demand-struct
+// scheduler copy-in); the PR 4 numbers are the SoA + flat-table runtime
+// (commit 20a7cf3), i.e. the baseline the incremental decide engine is
+// measured against. Both survive as entries in BENCH_hot_path.json — these
+// constants are the same numbers compiled in for the comparison printout.
 constexpr double kPrePrDense10k = 173.33;
 constexpr double kPrePrDense100k = 206.97;
 constexpr double kPrePrChurn10k = 167.90;
+constexpr double kPr4Dense10k = 76.807;
+constexpr double kPr4Dense100k = 90.478;
+constexpr double kPr4Churn10k = 72.204;
 
 const FrameStatsCache& hot_cache() {
   static const FrameStatsCache cache(*open_test_subject(17), 8, 16);
@@ -155,54 +172,71 @@ Measurement best_of(std::size_t reps, const auto& run) {
 // ------------------------------------------------------------- oracle ----
 // Re-simulates the slot loop the way the pre-SoA runtime computed it: one
 // object per session, per-slot non-owning views over the frame cache, the
-// virtual-dispatch controller, and the demand-struct scheduler interface.
-// Any divergence between this and SessionManager's traces means the data
-// layout leaked into behaviour.
+// virtual-dispatch controller, a per-session DiscreteQueue, and the
+// demand-struct scheduler interface (which carries none of the O(changed)
+// aggregate hints, so the schedulers' cached/fused fast paths are exercised
+// on the runtime side only). Any divergence between this and the runtime's
+// traces means the incremental decide engine, the blocked kernel, or a
+// scheduler fast path leaked into behaviour.
 
 struct OracleSession {
-  OracleSession(double v, double weight_in)
-      : controller(v), weight(weight_in) {}
+  OracleSession(double v, std::size_t arrival_in, std::size_t departure_in,
+                double weight_in)
+      : controller(v),
+        arrival(arrival_in),
+        departure(departure_in),
+        weight(weight_in) {}
   LyapunovDepthController controller;
   DiscreteQueue queue;
+  std::size_t arrival;
+  std::size_t departure;  // kNeverDeparts = stays to the end
   double weight;
   double ewma = 0.0;
   std::vector<StepRecord> steps;
 };
 
-bool oracle_matches(SchedulerPolicy policy, double pf_window, std::size_t n,
-                    std::size_t steps, const char* label) {
-  ServingConfig config = base_config(steps);
-  config.policy = policy;
-  config.pf_ewma_window = pf_window;
-  const double load =
-      AdmissionController::cheapest_depth_load(hot_cache(), config.candidates);
-  const double capacity = static_cast<double>(n) * load * 2.0;
+/// One oracle session's lifecycle; arrivals must be submitted in
+/// non-decreasing arrival order so the oracle's live list mirrors the
+/// runtime's admission order.
+struct OracleSpec {
+  std::size_t arrival = 0;
+  std::size_t departure = kNeverDeparts;
+  double weight = 1.0;
+};
 
-  SessionManager manager(config, capacity);
-  std::vector<double> weights(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    SessionSpec spec;
-    spec.cache = &hot_cache();
-    spec.seed = i;
-    spec.weight = (i % 2 == 0) ? 1.0 : 2.0;
-    weights[i] = spec.weight;
-    manager.submit(spec);
-  }
-  for (std::size_t t = 0; t < steps; ++t) manager.step(capacity);
-  const ServingResult result = manager.finish();
-
+/// Simulates `specs` through the view-based path on one link of constant
+/// `capacity` and compares against the runtime traces in `sessions`
+/// (indexed by oracle position). Lifecycle per slot mirrors the runtime:
+/// departures (departure <= t) leave before arrivals (arrival == t) join,
+/// the live list keeps arrival order, frame time is session-local.
+bool oracle_replay_matches(SchedulerPolicy policy, double pf_window, double v,
+                           const std::vector<int>& candidates, double capacity,
+                           std::size_t steps,
+                           const std::vector<OracleSpec>& specs,
+                           const std::vector<const SessionOutcome*>& sessions,
+                           const char* label) {
   const auto scheduler = make_scheduler(policy);
   const bool pf = pf_window > 0.0;
   const double alpha = pf ? 1.0 / pf_window : 0.0;
+  const std::size_t n = specs.size();
   std::vector<OracleSession> oracle;
   oracle.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) oracle.emplace_back(config.v, weights[i]);
-  std::vector<SchedulerDemand> demands(n);
+  for (const OracleSpec& s : specs) {
+    oracle.emplace_back(v, s.arrival, s.departure, s.weight);
+  }
+  std::vector<std::size_t> live;
+  std::size_t next_arrival = 0;
+  std::vector<SchedulerDemand> demands;
   std::vector<double> shares;
   for (std::size_t t = 0; t < steps; ++t) {
-    for (std::size_t i = 0; i < n; ++i) {
-      OracleSession& s = oracle[i];
-      const FrameWorkload& frame = hot_cache().workload(t);
+    std::erase_if(live, [&](std::size_t i) { return oracle[i].departure <= t; });
+    while (next_arrival < n && oracle[next_arrival].arrival <= t) {
+      live.push_back(next_arrival++);
+    }
+    demands.resize(live.size());
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      OracleSession& s = oracle[live[j]];
+      const FrameWorkload& frame = hot_cache().workload(t - s.arrival);
       const ByteWorkloadView workload(frame.bytes_at_depth);
       const LogPointQualityView quality(frame.points_at_depth);
       DepthContext context;
@@ -212,30 +246,32 @@ bool oracle_matches(SchedulerPolicy policy, double pf_window, std::size_t n,
       StepRecord record;
       record.t = t;
       record.backlog_begin = s.queue.backlog();
-      record.depth = s.controller.decide(config.candidates, context);
+      record.depth = s.controller.decide(candidates, context);
       record.arrivals = workload.arrivals(record.depth);
       record.quality = quality.quality(record.depth);
       s.steps.push_back(record);
-      demands[i] = {record.backlog_begin, record.arrivals, s.weight,
+      demands[j] = {record.backlog_begin, record.arrivals, s.weight,
                     pf ? s.ewma : -1.0};
     }
     scheduler->allocate(capacity, demands, shares);
-    for (std::size_t i = 0; i < n; ++i) {
-      OracleSession& s = oracle[i];
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      OracleSession& s = oracle[live[j]];
       StepRecord& record = s.steps.back();
-      record.service = shares[i];
-      record.backlog_end = s.queue.step(record.arrivals, shares[i]);
+      record.service = shares[j];
+      record.backlog_end = s.queue.step(record.arrivals, shares[j]);
       if (pf) s.ewma = (1.0 - alpha) * s.ewma + alpha * s.queue.last_served();
     }
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    const Trace& got = result.sessions[i].trace;
+    const SessionOutcome* got_session = sessions[i];
     const std::vector<StepRecord>& want = oracle[i].steps;
-    if (!result.sessions[i].admitted || got.size() != want.size()) {
+    if (got_session == nullptr || !got_session->admitted ||
+        got_session->trace.size() != want.size()) {
       std::printf("oracle MISMATCH [%s]: session %zu trace shape\n", label, i);
       return false;
     }
+    const Trace& got = got_session->trace;
     for (std::size_t t = 0; t < want.size(); ++t) {
       const StepRecord& a = got.at(t);
       const StepRecord& b = want[t];
@@ -249,6 +285,149 @@ bool oracle_matches(SchedulerPolicy policy, double pf_window, std::size_t n,
     }
   }
   return true;
+}
+
+/// Single-link oracle. `churn` staggers arrivals across the first half of
+/// the window with finite lifetimes, so groups mutate every few slots;
+/// without it every session arrives at 0 and stays (dense steady state, the
+/// memoizer's best case).
+bool oracle_matches(SchedulerPolicy policy, double pf_window, std::size_t n,
+                    std::size_t steps, bool churn, const char* label) {
+  ServingConfig config = base_config(steps);
+  config.policy = policy;
+  config.pf_ewma_window = pf_window;
+  const double load =
+      AdmissionController::cheapest_depth_load(hot_cache(), config.candidates);
+  const double capacity = static_cast<double>(n) * load * 2.0;
+
+  SessionManager manager(config, capacity);
+  std::vector<OracleSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SessionSpec spec;
+    spec.cache = &hot_cache();
+    spec.seed = i;
+    spec.weight = (i % 2 == 0) ? 1.0 : 2.0;
+    if (churn) {
+      spec.arrival_slot = i * steps / (2 * n);  // non-decreasing
+      spec.departure_slot = spec.arrival_slot + steps / 3 + 7 * (i % 3);
+    }
+    specs[i] = {spec.arrival_slot,
+                churn ? spec.departure_slot : kNeverDeparts, spec.weight};
+    manager.submit(spec);
+  }
+  for (std::size_t t = 0; t < steps; ++t) manager.step(capacity);
+  const ServingResult result = manager.finish();
+
+  std::vector<const SessionOutcome*> sessions(n);
+  for (std::size_t i = 0; i < n; ++i) sessions[i] = &result.sessions[i];
+  // A session retired by the run's end keeps its full declared window; one
+  // still live at `steps` was cut there — mirror that in the oracle.
+  for (OracleSpec& s : specs) s.departure = std::min(s.departure, steps);
+  return oracle_replay_matches(policy, pf_window, config.v, config.candidates,
+                               capacity, steps, specs, sessions, label);
+}
+
+/// K>1 cluster oracle: run a round-robin-placed cluster, then re-simulate
+/// every link's session subset (in placement order, which is id order)
+/// through the view-based path with that link's constant capacity.
+bool cluster_oracle_matches(SchedulerPolicy policy, std::size_t links,
+                            std::size_t n, std::size_t steps,
+                            const char* label) {
+  ClusterConfig config;
+  config.serving = base_config(steps);
+  config.serving.policy = policy;
+  config.placement = PlacementPolicy::kRoundRobin;
+  const double load = AdmissionController::cheapest_depth_load(
+      hot_cache(), config.serving.candidates);
+  std::vector<ConstantChannel> channels;
+  std::vector<ChannelModel*> channel_ptrs;
+  std::vector<double> capacities;
+  channels.reserve(links);
+  for (std::size_t k = 0; k < links; ++k) {
+    // Distinct per-link capacities so a link mix-up cannot cancel out.
+    capacities.push_back(static_cast<double>(n) / static_cast<double>(links) *
+                         load * (2.0 + 0.4 * static_cast<double>(k)));
+    channels.emplace_back(capacities.back());
+  }
+  for (auto& c : channels) channel_ptrs.push_back(&c);
+
+  std::vector<SessionSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].cache = &hot_cache();
+    specs[i].seed = i;
+    specs[i].weight = (i % 3 == 0) ? 2.0 : 1.0;
+  }
+  const ClusterResult result =
+      run_cluster_scenario(config, specs, channel_ptrs);
+
+  for (std::size_t k = 0; k < links; ++k) {
+    std::vector<OracleSpec> link_specs;
+    std::vector<const SessionOutcome*> link_sessions;
+    for (std::size_t i = 0; i < n; ++i) {
+      const ClusterSessionOutcome& s = result.sessions[i];
+      if (!s.session.admitted) {
+        std::printf("oracle MISMATCH [%s]: session %zu not admitted\n", label,
+                    i);
+        return false;
+      }
+      if (static_cast<std::size_t>(s.link) != k) continue;
+      link_specs.push_back({0, steps, specs[i].weight});
+      link_sessions.push_back(&s.session);
+    }
+    if (!oracle_replay_matches(policy, 0.0, config.serving.v,
+                               config.serving.candidates, capacities[k], steps,
+                               link_specs, link_sessions, label)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------- budget guard ----
+// CI perf-regression guard: dense@10k measured now must stay within a
+// multiplicative budget of the last committed trajectory entry.
+
+/// Last "slot_loop_dense" @10k ns_per_op in BENCH_hot_path.json, or 0 when
+/// the file/record is absent (fresh checkout, foreign cwd).
+double committed_dense_10k(const char* path) {
+  const std::string content = arvis::bench::read_file_or_empty(path);
+  // The trailing comma stops "sessions":10000 from matching the 100k point.
+  const std::string needle =
+      "\"name\":\"slot_loop_dense\",\"params\":{\"sessions\":10000,";
+  std::size_t pos = std::string::npos;
+  for (std::size_t at = content.find(needle); at != std::string::npos;
+       at = content.find(needle, at + 1)) {
+    pos = at;  // last occurrence = newest trajectory entry
+  }
+  if (pos == std::string::npos) return 0.0;
+  const std::string key = "\"ns_per_op\":";
+  const std::size_t val = content.find(key, pos);
+  if (val == std::string::npos) return 0.0;
+  return std::strtod(content.c_str() + val + key.size(), nullptr);
+}
+
+bool budget_ok(double* measured_out, double* budget_out) {
+  const double committed = committed_dense_10k("BENCH_hot_path.json");
+  double factor = 1.25;
+  if (const char* env = std::getenv("BENCH_HOT_PATH_BUDGET_FACTOR")) {
+    const double parsed = std::strtod(env, nullptr);
+    if (parsed > 0.0) factor = parsed;
+  }
+  if (committed <= 0.0) {
+    std::printf("budget: no committed BENCH_hot_path.json dense@10k record "
+                "(skipping)\n");
+    *measured_out = 0.0;
+    *budget_out = 0.0;
+    return true;
+  }
+  const Measurement m =
+      best_of(2, [] { return run_dense(10'000, 4, 16); });
+  *measured_out = m.ns_per_session_slot;
+  *budget_out = committed * factor;
+  std::printf("budget: dense@10k measured %.1f ns vs committed %.1f ns "
+              "(budget %.1f, factor %.2f)\n",
+              m.ns_per_session_slot, committed, *budget_out, factor);
+  return m.ns_per_session_slot <= *budget_out;
 }
 
 /// threads=2 decide fan-out must be bit-identical to serial.
@@ -289,29 +468,54 @@ bool parallel_matches_serial() {
 
 int run_smoke() {
   int failures = 0;
-  const bool oracle_wc =
-      oracle_matches(SchedulerPolicy::kWorkConserving, 0.0, 8, 200,
-                     "work-conserving");
+  const bool oracle_wc = oracle_matches(SchedulerPolicy::kWorkConserving, 0.0,
+                                        8, 200, false, "work-conserving");
   if (!oracle_wc) ++failures;
   const bool oracle_pf =
-      oracle_matches(SchedulerPolicy::kProportionalFair, 16.0, 6, 200,
+      oracle_matches(SchedulerPolicy::kProportionalFair, 16.0, 6, 200, false,
                      "proportional-fair+ewma");
   if (!oracle_pf) ++failures;
-  const bool oracle_drr =
-      oracle_matches(SchedulerPolicy::kDeficitRoundRobin, 0.0, 6, 200, "drr");
+  const bool oracle_drr = oracle_matches(SchedulerPolicy::kDeficitRoundRobin,
+                                         0.0, 6, 200, false, "drr");
   if (!oracle_drr) ++failures;
+  // Churn: arrivals/departures mutate the memo groups and bump the
+  // membership generation every few slots; weighted-priority additionally
+  // exercises the cached tier permutation's invalidation.
+  const bool oracle_churn_wc =
+      oracle_matches(SchedulerPolicy::kWorkConserving, 0.0, 10, 240, true,
+                     "churn/work-conserving");
+  if (!oracle_churn_wc) ++failures;
+  const bool oracle_churn_wp =
+      oracle_matches(SchedulerPolicy::kWeightedPriority, 0.0, 10, 240, true,
+                     "churn/weighted-priority");
+  if (!oracle_churn_wp) ++failures;
+  const bool oracle_cluster = cluster_oracle_matches(
+      SchedulerPolicy::kDeficitRoundRobin, 3, 12, 160, "cluster-k3/drr");
+  if (!oracle_cluster) ++failures;
   const bool parallel_ok = parallel_matches_serial();
   if (!parallel_ok) ++failures;
+  double budget_measured = 0.0, budget_limit = 0.0;
+  const bool budget = budget_ok(&budget_measured, &budget_limit);
+  if (!budget) ++failures;
 
-  std::printf("smoke: oracle wc=%d pf+ewma=%d drr=%d, parallel==serial=%d\n",
-              oracle_wc ? 1 : 0, oracle_pf ? 1 : 0, oracle_drr ? 1 : 0,
-              parallel_ok ? 1 : 0);
+  std::printf(
+      "smoke: oracle wc=%d pf+ewma=%d drr=%d churn_wc=%d churn_wp=%d "
+      "cluster=%d, parallel==serial=%d, budget=%d\n",
+      oracle_wc ? 1 : 0, oracle_pf ? 1 : 0, oracle_drr ? 1 : 0,
+      oracle_churn_wc ? 1 : 0, oracle_churn_wp ? 1 : 0, oracle_cluster ? 1 : 0,
+      parallel_ok ? 1 : 0, budget ? 1 : 0);
   std::printf(
       "SMOKE_JSON {\"bench\":\"hot_path\",\"oracle_work_conserving\":%s,"
-      "\"oracle_pf_ewma\":%s,\"oracle_drr\":%s,"
-      "\"parallel_bit_identical\":%s,\"failures\":%d}\n",
+      "\"oracle_pf_ewma\":%s,\"oracle_drr\":%s,\"oracle_churn_wc\":%s,"
+      "\"oracle_churn_wp\":%s,\"oracle_cluster_drr\":%s,"
+      "\"parallel_bit_identical\":%s,\"budget_ok\":%s,"
+      "\"budget_measured_ns\":%.3f,\"budget_limit_ns\":%.3f,"
+      "\"failures\":%d}\n",
       oracle_wc ? "true" : "false", oracle_pf ? "true" : "false",
-      oracle_drr ? "true" : "false", parallel_ok ? "true" : "false", failures);
+      oracle_drr ? "true" : "false", oracle_churn_wc ? "true" : "false",
+      oracle_churn_wp ? "true" : "false", oracle_cluster ? "true" : "false",
+      parallel_ok ? "true" : "false", budget ? "true" : "false",
+      budget_measured, budget_limit, failures);
   std::printf(failures == 0 ? "smoke OK\n" : "smoke: %d failure(s)\n",
               failures);
   return failures == 0 ? 0 : 1;
@@ -364,32 +568,44 @@ int main(int argc, char** argv) {
   arvis::bench::print_table("hot path: steady-state slot loop (ns per "
                             "session-slot)",
                             table);
-  if (kPrePrDense10k > 0.0 && dense_10k > 0.0) {
+  if (dense_10k > 0.0) {
     std::printf(
-        "\nvs pre-PR layout: dense@10k %.1f -> %.1f ns (%.2fx), "
-        "churn@10k %.1f -> %.1f ns (%.2fx)\n",
+        "\nvs PR 3 pointer-chasing layout: dense@10k %.1f -> %.1f ns "
+        "(%.2fx), churn@10k %.1f -> %.1f ns (%.2fx)\n",
         kPrePrDense10k, dense_10k, kPrePrDense10k / dense_10k, kPrePrChurn10k,
         churn_10k, churn_10k > 0.0 ? kPrePrChurn10k / churn_10k : 0.0);
+    std::printf(
+        "vs PR 4 SoA layout:            dense@10k %.1f -> %.1f ns (%.2fx), "
+        "churn@10k %.1f -> %.1f ns (%.2fx)\n",
+        kPr4Dense10k, dense_10k, kPr4Dense10k / dense_10k, kPr4Churn10k,
+        churn_10k, churn_10k > 0.0 ? kPr4Churn10k / churn_10k : 0.0);
   }
 
   if (json) {
-    char extra[512];
+    char extra[768];
     if (quick) {
-      // CI / foreign hardware: the compiled-in baseline was measured on the
-      // reference container, so a cross-machine speedup ratio would be
+      // CI / foreign hardware: the compiled-in baselines were measured on
+      // the reference container, so a cross-machine speedup ratio would be
       // noise dressed as signal — emit the measurements alone.
       std::snprintf(extra, sizeof extra, "\"unit\":\"ns_per_session_slot\"");
     } else {
       std::snprintf(
           extra, sizeof extra,
-          "\"unit\":\"ns_per_session_slot\",\"baseline\":{\"layout\":"
-          "\"pre-PR pointer-chasing (commit fcdeea9)\",\"dense_10k\":%.3f,"
-          "\"dense_100k\":%.3f,\"churn_10k\":%.3f},\"speedup_dense_10k\":%.3f,"
-          "\"speedup_dense_100k\":%.3f,\"speedup_churn_10k\":%.3f",
-          kPrePrDense10k, kPrePrDense100k, kPrePrChurn10k,
-          dense_10k > 0.0 ? kPrePrDense10k / dense_10k : 0.0,
-          dense_100k > 0.0 ? kPrePrDense100k / dense_100k : 0.0,
-          churn_10k > 0.0 ? kPrePrChurn10k / churn_10k : 0.0);
+          "\"unit\":\"ns_per_session_slot\",\"baseline_pr3\":{\"layout\":"
+          "\"pointer-chasing (commit fcdeea9)\",\"dense_10k\":%.3f,"
+          "\"dense_100k\":%.3f,\"churn_10k\":%.3f},\"baseline_pr4\":{"
+          "\"layout\":\"SoA + flat tables (commit 20a7cf3)\","
+          "\"dense_10k\":%.3f,\"dense_100k\":%.3f,\"churn_10k\":%.3f},"
+          "\"speedup_vs_pr4_dense_10k\":%.3f,"
+          "\"speedup_vs_pr4_dense_100k\":%.3f,"
+          "\"speedup_vs_pr4_churn_10k\":%.3f,"
+          "\"speedup_vs_pr3_dense_10k\":%.3f",
+          kPrePrDense10k, kPrePrDense100k, kPrePrChurn10k, kPr4Dense10k,
+          kPr4Dense100k, kPr4Churn10k,
+          dense_10k > 0.0 ? kPr4Dense10k / dense_10k : 0.0,
+          dense_100k > 0.0 ? kPr4Dense100k / dense_100k : 0.0,
+          churn_10k > 0.0 ? kPr4Churn10k / churn_10k : 0.0,
+          dense_10k > 0.0 ? kPrePrDense10k / dense_10k : 0.0);
     }
     if (!arvis::bench::write_bench_json("hot_path", records, extra)) return 1;
   }

@@ -25,6 +25,8 @@ struct EdgeCluster::Entry {
   bool spilled = false;
   bool arrived = false;
   bool admitted = false;
+  /// Cancelled by an external-close control event before placement saw it.
+  bool cancelled = false;
   std::size_t arrival_actual;
   std::size_t departure_actual = 0;
   /// Best depth headroom any tried link reported.
@@ -126,6 +128,8 @@ void EdgeCluster::place_arrivals() {
   while (pending_head_ < pending_.size() &&
          entries_[pending_[pending_head_]]->due <= slot_) {
     Entry& e = *entries_[pending_[pending_head_++]];
+    // Cancelled before arrival: placement never sees it (never-arrived).
+    if (e.cancelled) continue;
     e.arrived = true;
     e.arrival_actual = slot_;
     rank_links(e);
@@ -181,21 +185,27 @@ void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
   // 2. Placement (the one cluster-centralized act).
   place_arrivals();
 
-  // 3. Decide: all links' sessions through one executor. Each (link, index)
-  //    pair owns disjoint state, so the fan-out is bit-identical to serial
-  //    for any thread count.
-  decide_map_.clear();
-  for (std::size_t k = 0; k < links_.size(); ++k) {
-    const std::size_t width = links_[k]->decide_width();
-    for (std::size_t i = 0; i < width; ++i) {
-      decide_map_.emplace_back(static_cast<std::uint32_t>(k),
-                               static_cast<std::uint32_t>(i));
+  // 3. Decide. Serial executor: each link runs its incremental memoized
+  //    engine inline (group by exact inputs, blocked argmax per distinct
+  //    key). Parallel executor: all links' sessions fan out per (link,
+  //    index) pair through the one executor, each pair owning disjoint
+  //    state. Both produce bit-identical decisions for any thread count.
+  if (executor_.threads() > 1) {
+    decide_map_.clear();
+    for (std::size_t k = 0; k < links_.size(); ++k) {
+      const std::size_t width = links_[k]->decide_width();
+      for (std::size_t i = 0; i < width; ++i) {
+        decide_map_.emplace_back(static_cast<std::uint32_t>(k),
+                                 static_cast<std::uint32_t>(i));
+      }
     }
+    executor_.parallel_for(decide_map_.size(), [this](std::size_t j) {
+      const auto [k, i] = decide_map_[j];
+      links_[k]->decide_session(i);
+    });
+  } else {
+    for (auto& link : links_) link->decide_all_sessions();
   }
-  executor_.parallel_for(decide_map_.size(), [this](std::size_t j) {
-    const auto [k, i] = decide_map_[j];
-    links_[k]->decide_session(i);
-  });
 
   // 4. Each link schedules and drains with its own capacity; the cluster
   //    records the fleet-wide slot totals.
@@ -216,6 +226,22 @@ std::size_t EdgeCluster::active_count() const noexcept {
   std::size_t total = 0;
   for (const auto& link : links_) total += link->active_count();
   return total;
+}
+
+bool EdgeCluster::request_close(std::size_t session_id) {
+  if (finished_) {
+    throw std::logic_error("EdgeCluster::request_close: already finished");
+  }
+  if (session_id >= entries_.size()) return false;
+  Entry& e = *entries_[session_id];
+  if (e.admitted) {
+    return links_[static_cast<std::size_t>(e.link)]->request_close(session_id);
+  }
+  if (!e.arrived && !e.cancelled) {
+    e.cancelled = true;
+    return true;
+  }
+  return false;  // refused, already cancelled, or already closed
 }
 
 std::size_t EdgeCluster::next_pending_arrival_slot() const noexcept {

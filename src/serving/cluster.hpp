@@ -157,6 +157,12 @@ class EdgeCluster {
     return placement_rejects_;
   }
 
+  /// External-close control: ends session `session_id` at the current slot.
+  /// A placed session closes on its link (trace covers [arrival, now)); a
+  /// not-yet-arrived session is cancelled and reports as never-arrived.
+  /// Returns false for unknown, already-closed, or refused ids.
+  bool request_close(std::size_t session_id);
+
   /// Due slot of the earliest not-yet-placed submitted session, or
   /// kNeverDeparts when none are pending.
   [[nodiscard]] std::size_t next_pending_arrival_slot() const noexcept;

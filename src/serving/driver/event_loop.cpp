@@ -38,6 +38,16 @@ CsvTable DriverReport::snapshot_table() const {
   return table;
 }
 
+std::size_t ServingBackend::step_slots(std::size_t max_slots) {
+  std::size_t done = 0;
+  while (done < max_slots &&
+         (active_count() > 0 || next_pending_arrival_slot() <= slot())) {
+    step_slot();
+    ++done;
+  }
+  return done;
+}
+
 void SessionManagerBackend::sample(MetricsSnapshot& out,
                                    std::vector<double>& per_link_used) const {
   out.active_sessions = manager_->active_count();
@@ -119,6 +129,10 @@ void EventLoop::schedule_arrival(std::size_t slot, const SessionSpec& spec) {
 
 void EventLoop::schedule_departure_marker(std::size_t slot) {
   push(slot, EventKind::kDeparture, 0);
+}
+
+void EventLoop::schedule_close(std::size_t slot, std::size_t session_id) {
+  push(slot, EventKind::kClose, session_id);
 }
 
 void EventLoop::schedule_stop(std::size_t slot) {
@@ -224,6 +238,16 @@ DriverReport EventLoop::run() {
           take_snapshot(event.slot, report);
           push(event.slot + config_.snapshot_period, EventKind::kSnapshot, 0);
           break;
+        case EventKind::kClose:
+          // Fires before the slot executes: the session's trace covers
+          // [arrival, event.slot). A target already refused/retired (or a
+          // bogus id in a hand-written trace) is counted, not fatal.
+          if (backend_->close_session(event.payload)) {
+            ++report.closes_applied;
+          } else {
+            ++report.closes_ignored;
+          }
+          break;
         case EventKind::kStop:
           --stop_events_;
           stopped = true;
@@ -239,8 +263,26 @@ DriverReport EventLoop::run() {
     const std::size_t pending = backend_->next_pending_arrival_slot();
     const bool work_now = backend_->active_count() > 0 || pending <= now;
     if (work_now) {
-      backend_->step_slot();
-      ++report.slots_executed;
+      // Decision-stable fast-forward: nothing external can happen before the
+      // next calendar/source event, so hand the backend the whole stretch as
+      // one burst. Bit-identical to stepping slot by slot — the skipped
+      // per-slot checks would all have been no-ops — but the runtime's
+      // incremental decide engine gets an uninterrupted run of slots, and
+      // the loop's event bookkeeping drops out of the per-slot cost. The
+      // burst ends early if the runtime drains mid-stretch (internal
+      // departures), handing control back to the idle logic below.
+      const std::size_t cal_next =
+          events_.empty() ? kNoSlot : events_.min_slot();
+      const std::size_t src_next =
+          source_ != nullptr ? source_->next_slot() : kNoSlot;
+      const std::size_t next_external = std::min(cal_next, src_next);
+      // Events at `now` already fired, so next_external > now here.
+      std::size_t burst =
+          next_external == kNoSlot ? config_.max_slots : next_external - now;
+      if (config_.max_slots != kNoSlot) {
+        burst = std::min(burst, config_.max_slots - report.slots_executed);
+      }
+      report.slots_executed += backend_->step_slots(burst);
       continue;
     }
 

@@ -12,6 +12,9 @@
 //              inside the runtime via SessionSpec::departure_slot; the
 //              marker keeps the calendar observable and counted)
 //   snapshot   periodic metrics sample (re-arms itself every period)
+//   close      external-close control: cancel one session mid-stream (a
+//              trace can express abandonment — the session departs at the
+//              event's slot instead of its declared departure)
 //   control    stop the run before a given slot (the fixed-horizon mode)
 //
 // The calendar is a bucketed calendar queue keyed by slot (see
@@ -25,7 +28,13 @@
 // The loop advances the runtime slot-by-slot only while work exists (active
 // sessions, or arrivals due now). Across idle stretches it fast-forwards the
 // slot clock to the next event instead of burning capacity draws on empty
-// slots — an event-driven server does not spin while nobody streams. With
+// slots — an event-driven server does not spin while nobody streams. Busy
+// stretches fast-forward too, in the *decision-stable* sense: the loop
+// computes how many slots separate now from the next calendar/source event
+// and hands the whole stretch to the backend as one burst
+// (ServingBackend::step_slots), so the per-slot event bookkeeping vanishes
+// and the runtime's incremental decide engine sees an uninterrupted run of
+// slots over which its memoized group structure stays valid. With
 // skip_idle off and a stop event armed it degenerates to exactly the old
 // fixed-horizon loop, which is how run_serving_scenario and
 // run_cluster_scenario are now implemented (bit-for-bit, tested): one
@@ -95,6 +104,11 @@ struct DriverReport {
   std::size_t slots_skipped = 0;
   std::size_t arrivals_injected = 0;
   std::size_t departure_markers = 0;
+  /// Close events that ended or cancelled a live session.
+  std::size_t closes_applied = 0;
+  /// Close events whose target was unknown or already gone (a trace may
+  /// legitimately close a session the runtime already refused or retired).
+  std::size_t closes_ignored = 0;
   /// True when DriverConfig::max_slots ended the run.
   bool hit_slot_cap = false;
 
@@ -116,6 +130,15 @@ class ServingBackend {
   virtual void submit(const SessionSpec& spec) = 0;
   /// Executes one slot, drawing this slot's capacity from the channel(s).
   virtual void step_slot() = 0;
+  /// External-close control: ends (or cancels, if still pending) the session
+  /// with the given runtime id at the current slot. Returns false when the
+  /// id is unknown or the session is already gone.
+  virtual bool close_session(std::size_t session_id) = 0;
+  /// Executes up to `max_slots` consecutive slots, stopping early when the
+  /// runtime goes idle (nothing active, no internal arrival due). Returns
+  /// the slots executed. The loop uses this to hand the backend whole
+  /// event-free stretches in one call (decision-stable fast-forward).
+  std::size_t step_slots(std::size_t max_slots);
   /// Fast-forwards `slots` idle slots (precondition: nothing active).
   virtual void skip_idle_slots(std::size_t slots) = 0;
   /// Samples cumulative counters into `out` (slot/window fields are the
@@ -159,6 +182,9 @@ class SessionManagerBackend final : public ServingBackend {
   void step_slot() override {
     manager_->step(channel_->next_capacity_bytes());
   }
+  bool close_session(std::size_t session_id) override {
+    return manager_->request_close(session_id);
+  }
   void skip_idle_slots(std::size_t slots) override {
     manager_->skip_idle_slots(slots);
   }
@@ -193,6 +219,9 @@ class ClusterBackend final : public ServingBackend {
   }
   void submit(const SessionSpec& spec) override { cluster_->submit(spec); }
   void step_slot() override;
+  bool close_session(std::size_t session_id) override {
+    return cluster_->request_close(session_id);
+  }
   void skip_idle_slots(std::size_t slots) override {
     cluster_->skip_idle_slots(slots);
   }
@@ -228,6 +257,14 @@ class EventLoop {
   /// passes it. The session's actual close runs inside the runtime.
   void schedule_departure_marker(std::size_t slot);
 
+  /// Schedules an external-close control event: at `slot`, before the slot
+  /// executes, session `session_id` (the runtime id submit()/the trace
+  /// assigned) ends — its trace covers [arrival, slot) — or, if it has not
+  /// arrived yet, is cancelled and reports as never-arrived. Lets a trace
+  /// express mid-stream abandonment. Applied/ignored counts land in the
+  /// report.
+  void schedule_close(std::size_t slot, std::size_t session_id);
+
   /// Schedules a stop control event: the loop halts before executing `slot`
   /// (so exactly `slot` slots execute when counting from 0 and nothing is
   /// skipped). The earliest scheduled stop wins.
@@ -247,6 +284,7 @@ class EventLoop {
     kArrival,
     kDeparture,
     kSnapshot,
+    kClose,
     kStop,
   };
 

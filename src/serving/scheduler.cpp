@@ -89,8 +89,45 @@ void WorkConservingScheduler::allocate(double capacity,
                                        const SchedulerInput& demands,
                                        std::vector<double>& shares) {
   const std::size_t n = demands.size();
+  if (n == 0) {
+    shares.clear();
+    return;
+  }
+  // Fused first round: in the common regime (capacity covers every demand —
+  // steady state under admission control) the generic path's first
+  // water-fill round caps everyone and the loop ends, so detect that in one
+  // read-only pass and write want+bonus directly — no zero-fill, no index
+  // list, no compaction. Arithmetic is operation-for-operation the generic
+  // round's (want accumulates left to right, 0.0 + want == want,
+  // want + bonus unchanged), so shares are bit-identical (tested).
+  if (capacity > 0.0) {
+    const double slice = capacity / static_cast<double>(n);
+    double granted = 0.0;
+    bool all_capped = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double want = demands.total(i);
+      if (want <= slice) {
+        granted += want;
+      } else {
+        all_capped = false;
+        break;
+      }
+    }
+    if (all_capped) {
+      shares.resize(n);
+      const double leftover = std::max(capacity - granted, 0.0);
+      if (leftover > 0.0) {
+        const double bonus = leftover / static_cast<double>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          shares[i] = demands.total(i) + bonus;
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) shares[i] = demands.total(i);
+      }
+      return;
+    }
+  }
   shares.assign(n, 0.0);
-  if (n == 0) return;
   fill_indices(scratch_, n);
   const double leftover = water_fill(capacity, demands, scratch_, shares);
   // All demands met with capacity to spare: hand the excess back out
@@ -122,18 +159,63 @@ void ProportionalFairScheduler::allocate(double capacity,
     const double denom = history >= 0.0 ? 1.0 + history : 1.0;
     return demands.weight[i] * want / denom;
   };
+  // First-round pull with shares implicitly zero: total(i) - 0.0 == total(i)
+  // bitwise for the non-negative demands the runtime produces, so the fused
+  // round below reproduces the generic round exactly.
+  const auto pull0 = [&](std::size_t i) {
+    const double history = demands.ewma(i);
+    const double denom = history >= 0.0 ? 1.0 + history : 1.0;
+    return demands.weight[i] * demands.total(i) / denom;
+  };
 
   std::vector<std::size_t>& unsatisfied = scratch_;
-  fill_indices(unsatisfied, n);
-  while (capacity > 0.0 && !unsatisfied.empty()) {
-    double mass = 0.0;
-    for (std::size_t i : unsatisfied) {
-      mass += pull(i);
-    }
-    if (mass <= 0.0) {
-      // Only zero-weight (or zero-demand) sessions remain: proportional
+
+  // Fused first round over the implicit full index range: no zero-fill of
+  // `shares`, no index-list materialization. Every arithmetic step mirrors
+  // the generic loop's first iteration operation for operation (tested
+  // bit-for-bit against the reference algorithm).
+  double mass = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mass += pull0(i);
+  if (!(capacity > 0.0) || mass <= 0.0) {
+    shares.assign(n, 0.0);
+    if (capacity > 0.0) {
+      // Only zero-weight (or zero-demand) sessions exist: proportional
       // offers would starve them forever, so the surplus-redistribution
       // contract falls back to plain water-filling.
+      fill_indices(unsatisfied, n);
+      water_fill(capacity, demands, unsatisfied, shares);
+    }
+    return;
+  }
+  shares.resize(n);
+  unsatisfied.clear();
+  {
+    double granted = 0.0;
+    bool capped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double want = demands.total(i);
+      const double offer = capacity * pull0(i) / mass;
+      if (want <= offer) {
+        shares[i] = want;
+        granted += want;
+        capped = true;
+      } else {
+        shares[i] = offer;
+        granted += offer;
+        unsatisfied.push_back(i);
+      }
+    }
+    capacity -= granted;
+    if (!capped) return;  // everyone took exactly their proportional offer
+  }
+
+  // Remaining rounds: the generic iteration over the surviving set.
+  while (capacity > 0.0 && !unsatisfied.empty()) {
+    double round_mass = 0.0;
+    for (std::size_t i : unsatisfied) {
+      round_mass += pull(i);
+    }
+    if (round_mass <= 0.0) {
       water_fill(capacity, demands, unsatisfied, shares);
       break;
     }
@@ -142,7 +224,7 @@ void ProportionalFairScheduler::allocate(double capacity,
     bool capped = false;
     for (std::size_t i : unsatisfied) {
       const double want = demands.total(i) - shares[i];
-      const double offer = capacity * pull(i) / mass;
+      const double offer = capacity * pull(i) / round_mass;
       if (want <= offer) {
         shares[i] += want;
         granted += want;
@@ -159,13 +241,8 @@ void ProportionalFairScheduler::allocate(double capacity,
   }
 }
 
-void WeightedPriorityScheduler::allocate(double capacity,
-                                         const SchedulerInput& demands,
-                                         std::vector<double>& shares) {
+void WeightedPriorityScheduler::rebuild_tiers(const SchedulerInput& demands) {
   const std::size_t n = demands.size();
-  shares.assign(n, 0.0);
-  if (n == 0) return;
-
   // Sorted index permutation (weight descending, index ascending for
   // determinism); tiers are maximal runs of epsilon-equal adjacent weights.
   fill_indices(perm_, n);
@@ -175,18 +252,65 @@ void WeightedPriorityScheduler::allocate(double capacity,
     }
     return a < b;
   });
-
+  tier_bounds_.clear();
   std::size_t begin = 0;
-  while (begin < n && capacity > 0.0) {
+  while (begin < n) {
     std::size_t end = begin + 1;
     while (end < n && same_tier(demands.weight[perm_[end - 1]],
                                 demands.weight[perm_[end]])) {
       ++end;
     }
+    tier_bounds_.emplace_back(begin, end);
+    begin = end;
+  }
+}
+
+void WeightedPriorityScheduler::allocate(double capacity,
+                                         const SchedulerInput& demands,
+                                         std::vector<double>& shares) {
+  const std::size_t n = demands.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+
+  // Uniform fleet (hinted by the store's weight histogram, or detected in
+  // one compare pass): the sort would be the identity permutation and the
+  // tier split one maximal run, so the whole policy degenerates to a single
+  // water-fill over everyone — bit-identical, no sort, no permutation.
+  bool uniform = demands.uniform_weights == 1;
+  if (demands.uniform_weights < 0) {
+    uniform = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (demands.weight[i] != demands.weight[0]) {
+        uniform = false;
+        break;
+      }
+    }
+  }
+  if (uniform) {
+    if (capacity > 0.0) {
+      fill_indices(tier_, n);
+      water_fill(capacity, demands, tier_, shares);
+    }
+    return;
+  }
+
+  // Weights belong to sessions and sessions only change at lifecycle edges,
+  // so the sorted tier permutation is valid as long as the caller's
+  // membership generation holds still: the O(n log n) sort runs once per
+  // arrival/departure batch, not once per slot.
+  const bool cached = demands.membership_generation != 0 &&
+                      demands.membership_generation == cached_generation_ &&
+                      perm_.size() == n;
+  if (!cached) {
+    rebuild_tiers(demands);
+    cached_generation_ = demands.membership_generation;
+  }
+
+  for (const auto& [begin, end] : tier_bounds_) {
+    if (!(capacity > 0.0)) break;
     tier_.assign(perm_.begin() + static_cast<std::ptrdiff_t>(begin),
                  perm_.begin() + static_cast<std::ptrdiff_t>(end));
     capacity = water_fill(capacity, demands, tier_, shares);
-    begin = end;
   }
 }
 
@@ -203,18 +327,22 @@ void DeficitRoundRobinScheduler::allocate(double capacity,
   ++cursor_;
 
   ring_.clear();
+  // Deficit residue is initialized lazily for ring members only (while the
+  // build loop already touches them): sessions outside the ring are never
+  // read, so the old fleet-wide zero-fill was pure O(n) waste.
+  deficit_.resize(n);
   double ring_weight = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t i = (start + j) % n;
     if (demands.weight[i] > 0.0 && demands.total(i) > 0.0) {
       ring_.push_back(i);
       ring_weight += demands.weight[i];
+      deficit_[i] = 0.0;
     }
   }
 
   double remaining = capacity;
   if (!ring_.empty() && ring_weight > 0.0 && remaining > 0.0) {
-    deficit_.assign(n, 0.0);
     // The quantum is recomputed from the *surviving* ring's weight each
     // round, so every round tops deficits up by exactly `capacity` in
     // aggregate no matter who already left — the loop meets every demand or

@@ -88,13 +88,13 @@ std::size_t SessionManager::submit(const SessionSpec& spec) {
 }
 
 void SessionManager::close_departures() {
-  store_.retire_active(
-      [&](const ServingSession& s) { return s.spec.departure_slot <= slot_; },
-      [&](ServingSession& s) {
-        s.phase = SessionPhase::kClosed;
-        s.departure_actual = slot_;
-        admission_.release(s.cheapest_load);
-      });
+  // Sweeps the dense departure mirror; the cold slab is only touched for
+  // sessions actually retiring, so a no-departure slot reads one array.
+  store_.retire_departed(slot_, [&](ServingSession& s) {
+    s.phase = SessionPhase::kClosed;
+    s.departure_actual = slot_;
+    admission_.release(s.cheapest_load);
+  });
 }
 
 void SessionManager::activate(ServingSession& s) {
@@ -111,6 +111,9 @@ void SessionManager::admit_arrivals() {
   while (pending_head_ < pending_.size() &&
          pending_[pending_head_]->due_slot <= slot_) {
     ServingSession& s = *pending_[pending_head_++];
+    // Cancelled by an external-close event before arrival: admission never
+    // sees it; it stays kPending and reports as never-arrived.
+    if (s.cancelled) continue;
     const AdmissionDecision decision =
         admission_.try_admit(*s.spec.cache, config_.candidates);
     s.admitted = decision.admitted;
@@ -153,6 +156,29 @@ AdmissionDecision SessionManager::try_place(const SessionSpec& spec,
   return decision;
 }
 
+bool SessionManager::request_close(std::size_t session_id) {
+  if (finished_) {
+    throw std::logic_error("SessionManager::request_close: already finished");
+  }
+  ServingSession* s = store_.find(session_id);
+  if (s == nullptr) return false;
+  switch (s->phase) {
+    case SessionPhase::kClosed:
+      return false;
+    case SessionPhase::kActive:
+      // Departing "now": close_departures() retires departure_slot <= slot_
+      // at the next begin_slot(), before this slot streams.
+      s->spec.departure_slot = slot_;
+      store_.mirror_departure(*s);
+      return true;
+    case SessionPhase::kPending:
+      if (s->cancelled) return false;
+      s->cancelled = true;
+      return true;
+  }
+  return false;
+}
+
 void SessionManager::begin_slot() {
   if (finished_) {
     throw std::logic_error("SessionManager::begin_slot: already finished");
@@ -175,6 +201,11 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
   // Empty span = "no history": proportional-fair falls back to instantaneous
   // demand, keeping the window-off path bit-identical to the legacy one.
   if (pf_history) demands.ewma_throughput = store_.ewma_throughput();
+  // O(changed) aggregate hints maintained by the store at lifecycle edges:
+  // let weighted policies reuse their sorted tier permutation across slots
+  // and skip tier-finding for uniform fleets (bit-identical either way).
+  demands.membership_generation = store_.membership_generation();
+  demands.uniform_weights = store_.uniform_weights() ? 1 : 0;
   scheduler_->allocate(capacity_bytes, demands, shares_);
 
   // Drain phase. The link is charged what the queues actually drained
@@ -193,9 +224,9 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
 
 void SessionManager::step(double capacity_bytes) {
   begin_slot();
-  // Decide phase: purely session-local state, fanned out over the executor.
-  executor_.parallel_for(store_.active_count(),
-                         [this](std::size_t i) { decide_session(i); });
+  // Decide phase: the incremental engine when serial, the per-session
+  // executor fan-out when parallel — bit-identical decisions either way.
+  decide_phase();
   finish_slot(capacity_bytes);
 }
 

@@ -146,11 +146,31 @@ class SessionManager {
   }
 
   /// Runs active session i's local controller for the current slot: the
-  /// flattened drift-plus-penalty kernel over the session's precomputed
-  /// candidate row. Touches only index-i state: safe to fan out across any
-  /// executor, and the result is bit-identical for any thread count.
-  /// Allocation-free, virtual-dispatch-free, log10-free.
-  void decide_session(std::size_t i) { store_.decide(i, slot_); }
+  /// scalar flattened drift-plus-penalty kernel over the session's
+  /// precomputed candidate row. Touches only index-i state: safe to fan out
+  /// across any executor, and the result is bit-identical for any thread
+  /// count. Allocation-free, virtual-dispatch-free, log10-free.
+  void decide_session(std::size_t i) { store_.decide(i); }
+
+  /// The whole decide phase for this slot: the incremental memoized engine
+  /// (group by exact inputs, blocked argmax per distinct key, fan out) when
+  /// the manager's executor is serial, the scalar per-session fan-out
+  /// otherwise. Both produce bit-identical decisions (the engine is exact
+  /// memoization, asserted by the bench_hot_path oracle and the
+  /// parallel==serial test).
+  void decide_phase() {
+    if (executor_.threads() > 1) {
+      executor_.parallel_for(store_.active_count(),
+                             [this](std::size_t i) { decide_session(i); });
+    } else {
+      store_.decide_all();
+    }
+  }
+
+  /// The serial incremental decide engine, for external drivers that manage
+  /// their own fan-out (EdgeCluster runs each link's engine inline when its
+  /// executor is serial).
+  void decide_all_sessions() { store_.decide_all(); }
 
   /// Schedules the slot's capacity over the store's SoA spans, drains
   /// queues, records metrics, and advances the slot clock.
@@ -171,6 +191,14 @@ class SessionManager {
   [[nodiscard]] const AdmissionController& admission() const noexcept {
     return admission_;
   }
+
+  /// External-close control: ends session `session_id` at the current slot.
+  /// An active session departs before this slot streams (its trace covers
+  /// [arrival, now)); a still-pending session is cancelled and reports as
+  /// never-arrived. Returns false for unknown or already-closed ids, true
+  /// when the close/cancel took effect. Call between slots or before the
+  /// decide phase (the driver fires close events before stepping the slot).
+  bool request_close(std::size_t session_id);
 
   /// The spec checks submit()/try_place() apply (null cache, candidate
   /// range, window ordering, elapsed departure, negative weight). Public so

@@ -18,6 +18,18 @@ double clamped(const std::vector<double>& table, int depth) {
   return table[static_cast<std::size_t>(std::clamp(depth, 0, last))];
 }
 
+/// Mixes a decide key (row pointer, backlog bits) into a table hash
+/// (splitmix64-style finalizer; the low bits index the power-of-two ring).
+std::uint64_t mix_key(const double* row, std::uint64_t backlog_bits) {
+  std::uint64_t k = static_cast<std::uint64_t>(
+                        reinterpret_cast<std::uintptr_t>(row)) ^
+                    (backlog_bits * 0x9E3779B97F4A7C15ULL);
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  return k;
+}
+
 }  // namespace
 
 FlatDecideTable::FlatDecideTable(const FrameStatsCache& cache,
@@ -56,6 +68,16 @@ ServingSession& SessionStore::create(std::size_t id, const SessionSpec& spec) {
   return slab_.back();
 }
 
+ServingSession* SessionStore::find(std::size_t id) noexcept {
+  // Linear: slab ids are NOT guaranteed sorted (EdgeCluster places sessions
+  // in (due slot, id) order, so a link can create id 7 before id 3), and
+  // closes are rare calendar events, never per-slot work.
+  for (ServingSession& s : slab_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
 const FlatDecideTable& SessionStore::intern(const FrameStatsCache& cache) {
   for (const auto& [key, table] : tables_) {
     if (key == &cache) return *table;
@@ -67,16 +89,20 @@ const FlatDecideTable& SessionStore::intern(const FrameStatsCache& cache) {
 
 void SessionStore::activate(ServingSession& s, std::size_t slot) {
   const FlatDecideTable& table = intern(*s.spec.cache);
+  (void)slot;  // session-local frame time starts at row 0 regardless
   active_.push_back(&s);
-  backlog_.push_back(s.queue.backlog());
+  backlog_.push_back(0.0);  // sessions start with an empty queue
   weight_.push_back(s.spec.weight);
   ewma_.push_back(0.0);
   table_.push_back(table.data());
   frames_.push_back(table.frames());
-  arrival_.push_back(slot);
+  row_off_.push_back(0);
+  departure_.push_back(s.spec.departure_slot);
   depth_.push_back(0);
   dec_arrivals_.push_back(0.0);
   dec_quality_.push_back(0.0);
+  histo_add(std::bit_cast<std::uint64_t>(s.spec.weight));
+  ++generation_;
 }
 
 void SessionStore::resize_active(std::size_t n) {
@@ -86,10 +112,192 @@ void SessionStore::resize_active(std::size_t n) {
   ewma_.resize(n);
   table_.resize(n);
   frames_.resize(n);
-  arrival_.resize(n);
+  row_off_.resize(n);
+  departure_.resize(n);
   depth_.resize(n);
   dec_arrivals_.resize(n);
   dec_quality_.resize(n);
+}
+
+void SessionStore::histo_add(std::uint64_t weight_bits) {
+  for (auto& [bits, count] : weight_histo_) {
+    if (bits == weight_bits) {
+      ++count;
+      return;
+    }
+  }
+  weight_histo_.emplace_back(weight_bits, 1);
+}
+
+void SessionStore::histo_remove(std::uint64_t weight_bits) {
+  for (std::size_t k = 0; k < weight_histo_.size(); ++k) {
+    if (weight_histo_[k].first == weight_bits) {
+      if (--weight_histo_[k].second == 0) {
+        weight_histo_[k] = weight_histo_.back();
+        weight_histo_.pop_back();
+      }
+      return;
+    }
+  }
+}
+
+void SessionStore::rebuild_groups() {
+  const std::size_t n = active_.size();
+  group_rep_.clear();
+  group_row_.clear();
+  group_of_.resize(n);
+
+  // Size the scratch hash at >= 2n slots (power of two, grown once).
+  std::size_t cap = memo_.size();
+  if (cap < 2 * n) {
+    cap = 64;
+    while (cap < 2 * n) cap <<= 1;
+    memo_.assign(cap, MemoSlot{});
+    memo_epoch_ = 0;
+  }
+  const std::size_t mask = memo_.size() - 1;
+  const std::uint64_t epoch = ++memo_epoch_;
+
+  const double* prev_row = nullptr;
+  std::uint64_t prev_bits = 0;
+  std::uint32_t prev_group = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = table_[i] + row_off_[i];
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(backlog_[i]);
+    // Cohort fast path: sessions that activated together sit adjacently in
+    // the active list and evolve identically, so most duplicates are the
+    // previous index — no hash probe, no random memory touch.
+    if (have_prev && row == prev_row && bits == prev_bits) {
+      group_of_[i] = prev_group;
+      continue;
+    }
+    std::size_t p = mix_key(row, bits) & mask;
+    std::uint32_t g;
+    for (;;) {
+      MemoSlot& slot = memo_[p];
+      if (slot.epoch != epoch) {
+        g = static_cast<std::uint32_t>(group_rep_.size());
+        slot = MemoSlot{epoch, row, bits, g};
+        group_rep_.push_back(static_cast<std::uint32_t>(i));
+        group_row_.push_back(row);
+        break;
+      }
+      if (slot.row == row && slot.backlog_bits == bits) {
+        g = slot.group;
+        break;
+      }
+      p = (p + 1) & mask;
+    }
+    group_of_[i] = g;
+    prev_row = row;
+    prev_bits = bits;
+    prev_group = g;
+    have_prev = true;
+  }
+
+  groups_generation_ = generation_;
+  backlog_dirty_ = false;
+}
+
+void SessionStore::run_blocked_kernel() {
+  const std::size_t g_count = group_rep_.size();
+  group_depth_.resize(g_count);
+  group_arrivals_.resize(g_count);
+  group_quality_.resize(g_count);
+
+  std::size_t g = 0;
+  // Blocked lanes: kDecideLanes independent argmaxes advanced candidate by
+  // candidate with branch-free selects. Each lane performs exactly the
+  // scalar kernel's operations in the scalar kernel's order, so lane results
+  // are bit-identical to decide(i) — blocking changes scheduling, not math.
+  for (; g + kDecideLanes <= g_count; g += kDecideLanes) {
+    const double* rows[kDecideLanes];
+    double q[kDecideLanes];
+    double best_obj[kDecideLanes];
+    std::size_t best[kDecideLanes];
+    for (std::size_t l = 0; l < kDecideLanes; ++l) {
+      rows[l] = group_row_[g + l];
+      q[l] = backlog_[group_rep_[g + l]];
+      best[l] = 0;
+      best_obj[l] = v_ * rows[l][0] - q[l] * rows[l][width_];
+    }
+    for (std::size_t c = 1; c < width_; ++c) {
+      for (std::size_t l = 0; l < kDecideLanes; ++l) {
+        const double objective = v_ * rows[l][c] - q[l] * rows[l][width_ + c];
+        const bool better = objective > best_obj[l];  // strict: ties keep low
+        best_obj[l] = better ? objective : best_obj[l];
+        best[l] = better ? c : best[l];
+      }
+    }
+    for (std::size_t l = 0; l < kDecideLanes; ++l) {
+      group_depth_[g + l] = candidates_[best[l]];
+      group_arrivals_[g + l] = rows[l][width_ + best[l]];
+      group_quality_[g + l] = rows[l][best[l]];
+    }
+  }
+  for (; g < g_count; ++g) {  // scalar tail
+    const double* row = group_row_[g];
+    const double q = backlog_[group_rep_[g]];
+    std::size_t best = 0;
+    double best_objective = v_ * row[0] - q * row[width_];
+    for (std::size_t c = 1; c < width_; ++c) {
+      const double objective = v_ * row[c] - q * row[width_ + c];
+      if (objective > best_objective) {
+        best = c;
+        best_objective = objective;
+      }
+    }
+    group_depth_[g] = candidates_[best];
+    group_arrivals_[g] = row[width_ + best];
+    group_quality_[g] = row[best];
+  }
+}
+
+void SessionStore::decide_all() {
+  const std::size_t n = active_.size();
+  if (n == 0) {
+    group_rep_.clear();
+    group_row_.clear();
+    last_reused_ = false;
+    return;
+  }
+
+  const bool reuse = groups_generation_ == generation_ && !backlog_dirty_ &&
+                     !group_rep_.empty();
+  last_reused_ = reuse;
+  if (reuse) {
+    // Decision-stable steady state: membership and every backlog bit are
+    // unchanged since the groups were built, so group structure is provably
+    // identical — only each group's frame row advanced. O(groups).
+    for (std::size_t g = 0; g < group_rep_.size(); ++g) {
+      const std::size_t rep = group_rep_[g];
+      group_row_[g] = table_[rep] + row_off_[rep];
+    }
+  } else {
+    rebuild_groups();
+  }
+
+  run_blocked_kernel();
+
+  // Fan the group decisions out to members. When every key was distinct the
+  // group arrays are index-parallel with the active list (groups are minted
+  // in scan order), so the copy is three straight streams.
+  const std::size_t g_count = group_rep_.size();
+  if (g_count == n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      depth_[i] = group_depth_[i];
+      dec_arrivals_[i] = group_arrivals_[i];
+      dec_quality_[i] = group_quality_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t g = group_of_[i];
+      depth_[i] = group_depth_[g];
+      dec_arrivals_[i] = group_arrivals_[g];
+      dec_quality_[i] = group_quality_[g];
+    }
+  }
 }
 
 }  // namespace arvis

@@ -1,38 +1,54 @@
-// SessionStore: the serving runtime's session arena and its hot-path data
-// layout.
+// SessionStore: the serving runtime's session arena, its hot-path data
+// layout, and the incremental decide engine.
 //
-// The slot loop's cost is dominated by memory traffic, not arithmetic: the
-// per-slot work is one six-wide argmax and a handful of adds per session,
-// so what matters is whether those operands are contiguous. The store
-// separates the two temperatures a session's state has:
+// The slot loop's cost has two components. PR 4 attacked *memory traffic*:
+// the store separates a session's cold slab record (spec, queue statistics,
+// trace, RNG stream) from dense struct-of-arrays mirrors of exactly the
+// fields the decide/schedule/drain phases read every slot, so each phase is
+// a linear walk over contiguous doubles. This PR attacks *redundant
+// arithmetic*: in a dense fleet thousands of sessions share one flattened
+// decide table and bit-identical backlogs, so re-running the same argmax per
+// session is pure waste. The decide phase is now an incremental engine:
 //
-//   cold  the slab — one ServingSession record per submitted session
-//         (spec, queue statistics, trace, RNG stream, lifecycle fields),
-//         held in a std::deque so records never move (stable references for
-//         the pending list and the outcome walk) while still being
-//         chunk-allocated instead of one heap object per session;
+//   group   one pass groups active sessions by their exact decide inputs —
+//           (candidate-row pointer, backlog bit pattern) — via neighbour
+//           run-detection (cohorts that arrived together sit adjacently and
+//           evolve identically) backed by an epoch-stamped open-addressing
+//           hash for scattered duplicates. The argmax inputs are *exactly*
+//           these two values (V and the candidate set are store constants;
+//           weight/EWMA feed the scheduler, never the argmax), so sessions
+//           sharing a key provably share the decision bit for bit.
 //
-//   hot   dense struct-of-arrays mirrors of exactly the fields the
-//         decide/schedule/drain phases read every slot (queue backlog,
-//         weight, served-bytes EWMA, flattened decide-table row pointer),
-//         index-parallel with the active list, so each phase is a linear
-//         walk over contiguous doubles instead of a pointer chase across
-//         heap-scattered session objects.
+//   reuse   when no session arrived, departed, or changed backlog since the
+//           groups were built (membership generation + a backlog dirty flag,
+//           both maintained by the store), the group structure is provably
+//           unchanged — keys of distinct groups can never collide as rows
+//           advance and equal keys advance equally — so the grouping pass is
+//           skipped and only each group's row pointer is advanced: the
+//           steady-state decide cost is O(distinct keys), not O(sessions).
 //
-// The decide kernel itself runs on *flattened candidate tables*: at
-// activation the session's FrameStatsCache is interned into a
-// FlatDecideTable — per cached frame, the per-candidate utility
-// (log-points, exactly LogPointQualityView's arithmetic) and arrivals
-// (bytes, exactly ByteWorkloadView's) written as one contiguous row — so
-// each decide is a branch-light scan over 2·|candidates| adjacent doubles
-// with no virtual dispatch and no per-slot log10. Sessions sharing a cache
-// share the table.
+//   kernel  the distinct keys run through a blocked, branch-light argmax
+//           (kDecideLanes lane-parallel argmaxes over contiguous candidate
+//           rows); results fan out to members by group id.
 //
-// Everything here is pure layout: the arithmetic, evaluation order and tie
-// breaks are bit-for-bit those of the view-based path (asserted by the
-// bench_hot_path oracle and the serving determinism tests).
+// Frame rows are addressed by a per-session *row cursor* advanced in the
+// drain phase (every active session drains every slot), replacing the
+// per-session `(slot - arrival) % frames` integer division of the PR 4
+// kernel — the single most expensive instruction the old decide executed.
+//
+// The store also maintains exact O(changed) aggregates for the scheduler:
+// a membership generation (bumped on any activation/retirement) and a
+// weight histogram keyed by weight bit patterns (per-tier session counts),
+// which let weighted policies reuse their sorted tier permutation across
+// slots and skip tier-finding entirely for uniform fleets. Floating-point
+// *sums* are deliberately not maintained incrementally: an incrementally
+// updated sum rounds differently from the canonical left-to-right pass, and
+// everything here must stay bit-for-bit against the view-based oracle
+// (asserted by bench_hot_path --smoke and the serving determinism tests).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -43,7 +59,6 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "queueing/queue.hpp"
 #include "sim/frame_stats_cache.hpp"
 #include "sim/trace.hpp"
 
@@ -53,6 +68,11 @@ namespace arvis {
 /// means "stays until the run ends".
 inline constexpr std::size_t kNeverDeparts =
     std::numeric_limits<std::size_t>::max();
+
+/// Lane width of the blocked decide kernel (independent argmaxes advanced in
+/// lockstep — one cache line of doubles halved, the sweet spot for the
+/// 4-6-wide candidate rows the runtime uses).
+inline constexpr std::size_t kDecideLanes = 4;
 
 /// One streaming client as submitted to the server.
 struct SessionSpec {
@@ -84,7 +104,6 @@ struct ServingSession {
 
   std::size_t id;
   SessionSpec spec;
-  DiscreteQueue queue;
   Trace trace;
   /// Private stream derived from the spec seed; reserved for stochastic
   /// controllers/arrival jitter so adding them later cannot perturb any
@@ -92,6 +111,9 @@ struct ServingSession {
   Rng rng;
   SessionPhase phase = SessionPhase::kPending;
   bool admitted = false;
+  /// Cancelled by an external-close control event before it ever arrived;
+  /// admission skips it and it reports as never-arrived.
+  bool cancelled = false;
   int max_sustainable_depth = 0;
   double cheapest_load = 0.0;
   /// First slot admission may consider this session: the declared arrival,
@@ -131,6 +153,8 @@ class SessionStore {
   // --- slab ---------------------------------------------------------------
 
   /// Appends a cold record (stable reference; insertion order preserved).
+  /// Ids need not be ordered (cluster placement can create them out of
+  /// submission order) but must be unique within one store.
   ServingSession& create(std::size_t id, const SessionSpec& spec);
   [[nodiscard]] std::size_t session_count() const noexcept {
     return slab_.size();
@@ -139,6 +163,9 @@ class SessionStore {
   [[nodiscard]] ServingSession& session(std::size_t pos) noexcept {
     return slab_[pos];
   }
+  /// Slab record with the given id, nullptr when unknown. O(sessions) —
+  /// used by the rare external-close path only, never per slot.
+  [[nodiscard]] ServingSession* find(std::size_t id) noexcept;
 
   // --- active list + hot mirrors ------------------------------------------
 
@@ -156,21 +183,53 @@ class SessionStore {
     for (std::size_t i = 0; i < n; ++i) {
       ServingSession& s = *active_[i];
       if (should_close(s)) {
+        histo_remove(std::bit_cast<std::uint64_t>(weight_[i]));
         on_close(s);
         continue;
       }
-      if (kept != i) {
-        active_[kept] = active_[i];
-        backlog_[kept] = backlog_[i];
-        weight_[kept] = weight_[i];
-        ewma_[kept] = ewma_[i];
-        table_[kept] = table_[i];
-        frames_[kept] = frames_[i];
-        arrival_[kept] = arrival_[i];
-      }
+      compact_to(kept, i);
       ++kept;
     }
-    resize_active(kept);
+    if (kept != n) {
+      resize_active(kept);
+      ++generation_;
+    }
+  }
+
+  /// The per-slot departure sweep: retires every session whose departure
+  /// slot has been reached. Same contract as retire_active with the
+  /// departure predicate, but the scan reads only the dense departure
+  /// mirror — in the no-departure steady state it never touches the cold
+  /// slab at all.
+  template <class OnClose>
+  void retire_departed(std::size_t slot, OnClose on_close) {
+    const std::size_t n = active_.size();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (departure_[i] <= slot) {
+        histo_remove(std::bit_cast<std::uint64_t>(weight_[i]));
+        on_close(*active_[i]);
+        continue;
+      }
+      compact_to(kept, i);
+      ++kept;
+    }
+    if (kept != n) {
+      resize_active(kept);
+      ++generation_;
+    }
+  }
+
+  /// Re-mirrors session `s`'s departure slot after the caller mutated it
+  /// (the external-close control path). O(active) pointer scan — closes are
+  /// calendar events, never per-slot work.
+  void mirror_departure(const ServingSession& s) noexcept {
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i] == &s) {
+        departure_[i] = s.spec.departure_slot;
+        return;
+      }
+    }
   }
 
   [[nodiscard]] std::size_t active_count() const noexcept {
@@ -180,16 +239,37 @@ class SessionStore {
     return *active_[i];
   }
 
+  // --- O(changed) aggregates ----------------------------------------------
+
+  /// Monotone active-membership generation: bumped on every activation and
+  /// every retirement batch. Equal generations promise an identical active
+  /// list (same sessions, same index order, same weights) — the key the
+  /// decide memoizer and the schedulers' cached structures invalidate on.
+  [[nodiscard]] std::uint64_t membership_generation() const noexcept {
+    return generation_;
+  }
+  /// True when every active session's weight has the same bit pattern
+  /// (maintained via the weight histogram, O(distinct weights) per
+  /// lifecycle edge — never a per-slot pass).
+  [[nodiscard]] bool uniform_weights() const noexcept {
+    return weight_histo_.size() <= 1;
+  }
+  /// Distinct active weight bit patterns (an upper bound on — and for
+  /// exactly-equal weights, equal to — the weighted-priority tier count).
+  [[nodiscard]] std::size_t distinct_weight_count() const noexcept {
+    return weight_histo_.size();
+  }
+
   // --- per-slot kernels ---------------------------------------------------
 
-  /// The flattened decide kernel: drift-plus-penalty argmax over active
-  /// session i's precomputed candidate row for this slot. Touches only
-  /// index-i state — safe to fan out across any executor — and performs no
-  /// allocation, no virtual dispatch, no transcendental math.
-  void decide(std::size_t i, std::size_t slot) noexcept {
+  /// The scalar flattened decide kernel: drift-plus-penalty argmax over
+  /// active session i's precomputed candidate row for this slot. Touches
+  /// only index-i state — safe to fan out across any executor — and performs
+  /// no allocation, no virtual dispatch, no transcendental math, no integer
+  /// division (the frame row is a cursor advanced by drain()).
+  void decide(std::size_t i) noexcept {
     const double q = backlog_[i];
-    const double* row =
-        table_[i] + ((slot - arrival_[i]) % frames_[i]) * (2 * width_);
+    const double* row = table_[i] + row_off_[i];
     const double* u = row;
     const double* a = row + width_;
     std::size_t best = 0;
@@ -206,9 +286,34 @@ class SessionStore {
     dec_quality_[i] = u[best];
   }
 
+  /// The incremental decide engine: one call decides every active session
+  /// for this slot, bit-for-bit identical to calling decide(i) for each i
+  /// (asserted by the bench_hot_path oracle and the parallel==serial test,
+  /// whose threads>1 path still runs the scalar kernel). Groups sessions by
+  /// exact decide inputs, reuses the grouping across slots while the dirty
+  /// tracking proves it unchanged, and runs the blocked kernel once per
+  /// distinct key. Serial by design — the grouping pass is a dependent scan.
+  void decide_all();
+
+  /// Distinct decide keys of the last decide_all() (diagnostics/benches).
+  [[nodiscard]] std::size_t last_decide_groups() const noexcept {
+    return group_rep_.size();
+  }
+  /// True when the last decide_all() reused the previous slot's grouping.
+  [[nodiscard]] bool last_decide_reused_groups() const noexcept {
+    return last_reused_;
+  }
+
   /// Drain bookkeeping for active session i after the scheduler granted
   /// `share`: Lindley queue step, trace append, hot-mirror refresh, EWMA
-  /// update (alpha > 0 only). Returns the bytes actually served.
+  /// update (alpha > 0 only), frame-row cursor advance, backlog dirty
+  /// tracking for the memoizer. Returns the bytes actually served.
+  ///
+  /// The Lindley step runs inline on the hot mirror — DiscreteQueue::step's
+  /// arithmetic verbatim (clamp negatives, serve min(Q, b) before same-slot
+  /// arrivals enter) — because the serving runtime observes a queue only
+  /// through the trace records and the served-bytes return: the cold queue
+  /// object's running statistics were per-session·slot work nobody read.
   double drain(std::size_t i, std::size_t slot, double share, double alpha) {
     ServingSession& s = *active_[i];
     StepRecord record;
@@ -218,10 +323,18 @@ class SessionStore {
     record.service = share;
     record.backlog_begin = backlog_[i];
     record.quality = dec_quality_[i];
-    record.backlog_end = s.queue.step(record.arrivals, share);
+    const double arrivals = std::max(0.0, record.arrivals);
+    const double service = std::max(0.0, share);
+    const double served = std::min(backlog_[i], service);
+    record.backlog_end = backlog_[i] - served + arrivals;
+    if (std::bit_cast<std::uint64_t>(backlog_[i]) !=
+        std::bit_cast<std::uint64_t>(record.backlog_end)) {
+      backlog_dirty_ = true;
+    }
     backlog_[i] = record.backlog_end;
     s.trace.add(record);
-    const double served = s.queue.last_served();
+    const std::size_t next = row_off_[i] + 2 * width_;
+    row_off_[i] = next == frames_[i] * 2 * width_ ? 0 : next;
     if (alpha > 0.0) ewma_[i] = (1.0 - alpha) * ewma_[i] + alpha * served;
     return served;
   }
@@ -242,8 +355,34 @@ class SessionStore {
   }
 
  private:
+  /// Moves every SoA mirror of index `from` to index `to` (compaction).
+  void compact_to(std::size_t to, std::size_t from) noexcept {
+    if (to == from) return;
+    active_[to] = active_[from];
+    backlog_[to] = backlog_[from];
+    weight_[to] = weight_[from];
+    ewma_[to] = ewma_[from];
+    table_[to] = table_[from];
+    frames_[to] = frames_[from];
+    row_off_[to] = row_off_[from];
+    departure_[to] = departure_[from];
+  }
+
   void resize_active(std::size_t n);
   const FlatDecideTable& intern(const FrameStatsCache& cache);
+  void rebuild_groups();
+  void run_blocked_kernel();
+  void histo_add(std::uint64_t weight_bits);
+  void histo_remove(std::uint64_t weight_bits);
+
+  /// One epoch-stamped slot of the grouping hash (open addressing, linear
+  /// probing; stale entries die by stamp, never by clearing the table).
+  struct MemoSlot {
+    std::uint64_t epoch = 0;
+    const double* row = nullptr;
+    std::uint64_t backlog_bits = 0;
+    std::uint32_t group = 0;
+  };
 
   std::vector<int> candidates_;
   double v_;
@@ -258,7 +397,8 @@ class SessionStore {
   std::vector<double> ewma_;
   std::vector<const double*> table_;       // flattened table base pointer
   std::vector<std::size_t> frames_;        // table frame count (cycle length)
-  std::vector<std::size_t> arrival_;       // arrival_actual (local time base)
+  std::vector<std::size_t> row_off_;       // current frame row, in doubles
+  std::vector<std::size_t> departure_;     // spec departure slot (sweep key)
 
   // Per-slot decide outputs (written by decide, read by schedule/drain).
   std::vector<int> depth_;
@@ -269,6 +409,24 @@ class SessionStore {
   // per run; linear scan at activation only).
   std::vector<std::pair<const FrameStatsCache*, std::unique_ptr<FlatDecideTable>>>
       tables_;
+
+  // --- incremental decide engine state ------------------------------------
+  std::uint64_t generation_ = 1;       // active-membership generation
+  bool backlog_dirty_ = true;          // any backlog bits changed since build
+  std::uint64_t groups_generation_ = 0;  // generation the groups were built at
+  bool last_reused_ = false;
+  std::vector<std::uint32_t> group_of_;   // session index -> group id
+  std::vector<std::uint32_t> group_rep_;  // group id -> representative index
+  std::vector<const double*> group_row_;  // group id -> this slot's row
+  std::vector<int> group_depth_;          // group outputs
+  std::vector<double> group_arrivals_;
+  std::vector<double> group_quality_;
+  std::vector<MemoSlot> memo_;            // power-of-two scratch hash
+  std::uint64_t memo_epoch_ = 0;
+
+  // Active-weight histogram: (weight bit pattern, active count). Few
+  // distinct weights per fleet; linear scans at lifecycle edges only.
+  std::vector<std::pair<std::uint64_t, std::size_t>> weight_histo_;
 };
 
 }  // namespace arvis

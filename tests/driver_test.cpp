@@ -631,6 +631,207 @@ TEST(EventCalendarTest, DrainsInSlotSeqOrderLikeAPriorityQueue) {
   }
 }
 
+TEST(EventCalendarTest, FarFutureEventsBeyondTheBucketHorizon) {
+  // Ring starts at 64 buckets; an event whole ring-revolutions past the
+  // floor can only be found by the fallback full scan. Interleave near and
+  // far events and make sure min_slot()/pop_due() never lose or reorder one.
+  EventCalendar calendar;
+  std::vector<CalendarEvent> due;
+  std::uint64_t seq = 0;
+  calendar.push({5, seq++, 0, 0});
+  calendar.push({5 + 64 * 1000, seq++, 0, 1});     // ~1000 revolutions out
+  calendar.push({5 + 64 * 500 + 3, seq++, 0, 2});  // between the two
+  EXPECT_EQ(calendar.min_slot(), 5u);
+
+  calendar.pop_due(5, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].payload, 0u);
+  // Next minimum is half a million slots away: the day-order probe gives up
+  // after one revolution and the full scan must take over.
+  EXPECT_EQ(calendar.min_slot(), 5u + 64 * 500 + 3);
+
+  calendar.pop_due(5 + 64 * 1000, due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].payload, 2u);
+  EXPECT_EQ(due[1].payload, 1u);
+  EXPECT_TRUE(calendar.empty());
+
+  // A push far below the current floor must still surface first.
+  calendar.push({64 * 2000, seq++, 0, 3});
+  calendar.push({7, seq++, 0, 4});
+  EXPECT_EQ(calendar.min_slot(), 7u);
+  calendar.pop_due(64 * 2000, due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].payload, 4u);
+  EXPECT_EQ(due[1].payload, 3u);
+}
+
+TEST(EventCalendarTest, SameSlotOrderingSurvivesBucketWrap) {
+  // Slots s, s+64, s+128 share one bucket of the initial 64-wide ring.
+  // Within every slot, drain order must stay push order — including for
+  // events pushed after the clock already wrapped the ring once, which
+  // appends them behind older same-bucket events of *later* slots.
+  EventCalendar calendar;
+  std::vector<CalendarEvent> due;
+  std::uint64_t seq = 0;
+  const std::size_t s = 10;
+  calendar.push({s + 64, seq++, 0, 100});   // future year, pushed first
+  calendar.push({s, seq++, 0, 0});
+  calendar.push({s, seq++, 0, 1});
+  calendar.push({s + 128, seq++, 0, 200});  // two years out, same bucket
+
+  calendar.pop_due(s, due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].payload, 0u);
+  EXPECT_EQ(due[1].payload, 1u);
+
+  // The clock wrapped the ring: new same-slot pushes at s+64 must drain in
+  // push order behind nothing (the compaction preserved relative order).
+  calendar.push({s + 64, seq++, 0, 101});
+  calendar.push({s + 64, seq++, 0, 102});
+  calendar.pop_due(s + 64, due);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].payload, 100u);
+  EXPECT_EQ(due[1].payload, 101u);
+  EXPECT_EQ(due[2].payload, 102u);
+
+  calendar.pop_due(s + 128, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].payload, 200u);
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(EventCalendarTest, ReserveThenBurstGrowthKeepsTheOrderingContract) {
+  // reserve() sizes the ring for a burst; pushing well past the reservation
+  // forces mid-stream rehash growth. Ordering must survive both the
+  // reserved phase and every growth rehash.
+  Rng rng(7);
+  EventCalendar calendar;
+  calendar.reserve(128);
+  std::vector<CalendarEvent> reference;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < 3'000; ++i) {  // ~23x the reservation
+    CalendarEvent event;
+    event.slot = rng.below(400);
+    event.seq = seq++;
+    event.payload = i;
+    calendar.push(event);
+    reference.push_back(event);
+  }
+  EXPECT_EQ(calendar.size(), reference.size());
+  // A late reserve() on a populated calendar is a rehash too.
+  calendar.reserve(8'192);
+
+  std::vector<CalendarEvent> drained;
+  std::vector<CalendarEvent> due;
+  calendar.pop_due(400, due);
+  drained.insert(drained.end(), due.begin(), due.end());
+  ASSERT_TRUE(calendar.empty());
+
+  std::sort(reference.begin(), reference.end(),
+            [](const CalendarEvent& a, const CalendarEvent& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              return a.seq < b.seq;
+            });
+  ASSERT_EQ(drained.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(drained[i].slot, reference[i].slot) << i;
+    ASSERT_EQ(drained[i].seq, reference[i].seq) << i;
+  }
+}
+
+// ------------------------------------------------ external-close events ----
+
+TEST(EventLoopTest, ExternalCloseEndsASessionMidStreamAndCancelsPending) {
+  const std::vector<int> candidates{3, 4, 5, 6};
+  ServingConfig config;
+  config.steps = 64;
+  config.candidates = candidates;
+  config.v = calibrate_streaming_v(shared_cache(), candidates,
+                                   4.0 * shared_cache().workload(0).bytes(5));
+  config.admission.utilization_target = 1.0;
+  const double capacity = 8.0 * cheapest_load(candidates);
+  ConstantChannel channel(capacity);
+  SessionManager manager(config, capacity);
+
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  manager.submit(spec);  // id 0: closed mid-stream at slot 30
+  manager.submit(spec);  // id 1: streams to the stop
+  SessionSpec late = spec;
+  late.arrival_slot = 40;
+  manager.submit(late);  // id 2: cancelled (close fires before it arrives)
+
+  DriverConfig driver;
+  SessionManagerBackend backend(manager, channel);
+  EventLoop loop(driver, backend);
+  loop.schedule_close(30, 0);
+  loop.schedule_close(20, 2);
+  loop.schedule_close(15, 99);  // unknown id: counted, not fatal
+  loop.schedule_stop(60);
+  const DriverReport report = loop.run();
+  EXPECT_EQ(report.closes_applied, 2u);
+  EXPECT_EQ(report.closes_ignored, 1u);
+  EXPECT_EQ(report.slots_executed, 60u);
+
+  const ServingResult result = manager.finish();
+  ASSERT_EQ(result.sessions.size(), 3u);
+  // Mid-stream close: departed at the close slot, trace covers [0, 30).
+  EXPECT_TRUE(result.sessions[0].admitted);
+  EXPECT_EQ(result.sessions[0].departure_slot, 30u);
+  EXPECT_EQ(result.sessions[0].trace.size(), 30u);
+  // Untouched: streams the whole horizon.
+  EXPECT_TRUE(result.sessions[1].admitted);
+  EXPECT_EQ(result.sessions[1].trace.size(), 60u);
+  // Cancelled before arrival: admission never saw it.
+  EXPECT_FALSE(result.sessions[2].admitted);
+  EXPECT_TRUE(result.sessions[2].trace.empty());
+  EXPECT_EQ(result.admission.attempts, 2u);
+}
+
+TEST(EventLoopTest, ExternalCloseOnAClusterClosesOnTheOwningLink) {
+  ClusterConfig config = replay_cluster_config(4);
+  config.serving.steps = 48;
+  const double capacity =
+      6.0 * cheapest_load(config.serving.candidates);
+  ConstantChannel a(capacity), b(capacity);
+  EdgeCluster cluster(config, {capacity, capacity});
+
+  // Id 0 is submitted first but *arrives last* (slot 6): placement creates
+  // it on its link after ids 1..4, so the link's slab holds out-of-order
+  // ids — the close lookup must not assume id-sorted slabs.
+  SessionSpec late;
+  late.cache = &shared_cache();
+  late.arrival_slot = 6;
+  cluster.submit(late);  // id 0
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  for (int i = 0; i < 4; ++i) cluster.submit(spec);  // ids 1..4
+
+  DriverConfig driver;
+  ClusterBackend backend(cluster, {&a, &b});
+  EventLoop loop(driver, backend);
+  loop.schedule_close(12, 4);
+  loop.schedule_close(20, 0);  // the out-of-order slab entry
+  loop.schedule_stop(40);
+  const DriverReport report = loop.run();
+  EXPECT_EQ(report.closes_applied, 2u);
+  EXPECT_EQ(report.closes_ignored, 0u);
+
+  const ClusterResult result = cluster.finish();
+  ASSERT_EQ(result.sessions.size(), 5u);
+  EXPECT_TRUE(result.sessions[4].session.admitted);
+  EXPECT_EQ(result.sessions[4].session.departure_slot, 12u);
+  EXPECT_EQ(result.sessions[4].session.trace.size(), 12u);
+  EXPECT_TRUE(result.sessions[0].session.admitted);
+  EXPECT_EQ(result.sessions[0].session.arrival_slot, 6u);
+  EXPECT_EQ(result.sessions[0].session.departure_slot, 20u);
+  EXPECT_EQ(result.sessions[0].session.trace.size(), 14u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.sessions[i].session.trace.size(), 40u) << i;
+  }
+}
+
 // ---------------------------------------------- incremental arrival feed ----
 
 void expect_replays_bit_identical(const ReplayResult& a,

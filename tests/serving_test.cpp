@@ -275,6 +275,255 @@ TEST(SchedulerTest, DeficitRoundRobinRotatesTheResidue) {
   EXPECT_NEAR(third[2], 15.0, 1e-9);
 }
 
+// ------------------------------------- scheduler fast-path equivalence ----
+// Reference implementations of the pre-incremental generic algorithms (as
+// they stood before the fused first rounds, cached tier permutation, and
+// lazy DRR residue landed). The production kernels' fast paths must
+// reproduce them share for share — exact doubles, not NEAR.
+
+namespace ref {
+
+double water_fill(double capacity, const std::vector<SchedulerDemand>& d,
+                  std::vector<std::size_t>& unsatisfied,
+                  std::vector<double>& shares) {
+  while (capacity > 0.0 && !unsatisfied.empty()) {
+    const double slice = capacity / static_cast<double>(unsatisfied.size());
+    std::size_t kept = 0;
+    double granted = 0.0;
+    for (std::size_t i : unsatisfied) {
+      const double want = d[i].total() - shares[i];
+      if (want <= slice) {
+        shares[i] += want;
+        granted += want;
+      } else {
+        shares[i] += slice;
+        granted += slice;
+        unsatisfied[kept++] = i;
+      }
+    }
+    capacity -= granted;
+    if (kept == unsatisfied.size()) break;
+    unsatisfied.resize(kept);
+  }
+  return std::max(capacity, 0.0);
+}
+
+void work_conserving(double capacity, const std::vector<SchedulerDemand>& d,
+                     std::vector<double>& shares) {
+  const std::size_t n = d.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+  std::vector<std::size_t> unsatisfied(n);
+  for (std::size_t i = 0; i < n; ++i) unsatisfied[i] = i;
+  const double leftover = water_fill(capacity, d, unsatisfied, shares);
+  if (leftover > 0.0) {
+    const double bonus = leftover / static_cast<double>(n);
+    for (double& s : shares) s += bonus;
+  }
+}
+
+void proportional_fair(double capacity, const std::vector<SchedulerDemand>& d,
+                       std::vector<double>& shares) {
+  const std::size_t n = d.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+  const auto pull = [&](std::size_t i) {
+    const double want = d[i].total() - shares[i];
+    const double history = d[i].ewma_throughput;
+    const double denom = history >= 0.0 ? 1.0 + history : 1.0;
+    return d[i].weight * want / denom;
+  };
+  std::vector<std::size_t> unsatisfied(n);
+  for (std::size_t i = 0; i < n; ++i) unsatisfied[i] = i;
+  while (capacity > 0.0 && !unsatisfied.empty()) {
+    double mass = 0.0;
+    for (std::size_t i : unsatisfied) mass += pull(i);
+    if (mass <= 0.0) {
+      water_fill(capacity, d, unsatisfied, shares);
+      break;
+    }
+    std::size_t kept = 0;
+    double granted = 0.0;
+    bool capped = false;
+    for (std::size_t i : unsatisfied) {
+      const double want = d[i].total() - shares[i];
+      const double offer = capacity * pull(i) / mass;
+      if (want <= offer) {
+        shares[i] += want;
+        granted += want;
+        capped = true;
+      } else {
+        shares[i] += offer;
+        granted += offer;
+        unsatisfied[kept++] = i;
+      }
+    }
+    capacity -= granted;
+    if (!capped) break;
+    unsatisfied.resize(kept);
+  }
+}
+
+void weighted_priority(double capacity, const std::vector<SchedulerDemand>& d,
+                       std::vector<double>& shares) {
+  const std::size_t n = d.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (d[a].weight != d[b].weight) return d[a].weight > d[b].weight;
+    return a < b;
+  });
+  const auto same_tier = [](double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max(std::abs(a), std::abs(b));
+  };
+  std::size_t begin = 0;
+  while (begin < n && capacity > 0.0) {
+    std::size_t end = begin + 1;
+    while (end < n &&
+           same_tier(d[perm[end - 1]].weight, d[perm[end]].weight)) {
+      ++end;
+    }
+    std::vector<std::size_t> tier(perm.begin() + begin, perm.begin() + end);
+    capacity = water_fill(capacity, d, tier, shares);
+    begin = end;
+  }
+}
+
+void deficit_round_robin(double capacity,
+                         const std::vector<SchedulerDemand>& d,
+                         std::size_t cursor, std::vector<double>& shares) {
+  const std::size_t n = d.size();
+  shares.assign(n, 0.0);
+  if (n == 0) return;
+  const std::size_t start = cursor % n;
+  std::vector<std::size_t> ring;
+  double ring_weight = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i = (start + j) % n;
+    if (d[i].weight > 0.0 && d[i].total() > 0.0) {
+      ring.push_back(i);
+      ring_weight += d[i].weight;
+    }
+  }
+  double remaining = capacity;
+  if (!ring.empty() && ring_weight > 0.0 && remaining > 0.0) {
+    std::vector<double> deficit(n, 0.0);
+    while (remaining > 0.0 && !ring.empty()) {
+      const double quantum = capacity / ring_weight;
+      std::size_t kept = 0;
+      double kept_weight = 0.0;
+      for (std::size_t idx = 0; idx < ring.size() && remaining > 0.0; ++idx) {
+        const std::size_t i = ring[idx];
+        deficit[i] += quantum * d[i].weight;
+        const double want = d[i].total() - shares[i];
+        const double grant = std::min({deficit[i], want, remaining});
+        shares[i] += grant;
+        deficit[i] -= grant;
+        remaining -= grant;
+        if (want - grant > 0.0) {
+          ring[kept++] = i;
+          kept_weight += d[i].weight;
+        }
+      }
+      ring.resize(kept);
+      ring_weight = kept_weight;
+    }
+  }
+  if (remaining > 0.0) {
+    std::vector<std::size_t> leftover;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d[i].weight <= 0.0 && d[i].total() - shares[i] > 0.0) {
+        leftover.push_back(i);
+      }
+    }
+    if (!leftover.empty()) water_fill(remaining, d, leftover, shares);
+  }
+}
+
+}  // namespace ref
+
+TEST(SchedulerTest, FastPathsMatchReferenceBitForBit) {
+  Rng rng(4242);
+  WorkConservingScheduler wc;
+  ProportionalFairScheduler pf;
+  WeightedPriorityScheduler wp;
+  std::vector<double> shares, want, hinted;
+  std::size_t drr_calls = 0;
+  DeficitRoundRobinScheduler drr;
+
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = rng.below(18);
+    std::vector<SchedulerDemand> demands = random_demands(rng, n);
+    // Exercise every regime the fast paths special-case: uniform weights,
+    // PF history, zero-demand and zero-weight stragglers, dry capacity.
+    const bool uniform = rng.bernoulli(0.4);
+    for (SchedulerDemand& d : demands) {
+      if (uniform) d.weight = 1.5;
+      if (rng.bernoulli(0.3)) d.ewma_throughput = rng.uniform(0.0, 2'000.0);
+      if (rng.bernoulli(0.1)) d.weight = 0.0;
+      if (rng.bernoulli(0.1)) {
+        d.backlog = 0.0;
+        d.arrivals = 0.0;
+      }
+    }
+    double total = 0.0;
+    for (const SchedulerDemand& d : demands) total += d.total();
+    const double capacity =
+        rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.0, total * 1.4 + 10.0);
+
+    // SoA mirror of the demand set, carrying the aggregate hints the hot
+    // path would supply.
+    std::vector<double> backlog(n), arrivals(n), weight(n), ewma(n);
+    bool bits_uniform = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      backlog[i] = demands[i].backlog;
+      arrivals[i] = demands[i].arrivals;
+      weight[i] = demands[i].weight;
+      ewma[i] = demands[i].ewma_throughput;
+      if (weight[i] != weight[0]) bits_uniform = false;
+    }
+    SchedulerInput input{backlog, arrivals, weight, ewma};
+    input.membership_generation = static_cast<std::uint64_t>(iter) + 1;
+    input.uniform_weights = bits_uniform ? 1 : 0;
+
+    ref::work_conserving(capacity, demands, want);
+    wc.allocate(capacity, demands, shares);  // adapter path, no hints
+    ASSERT_EQ(shares, want) << "wc iter " << iter;
+    wc.allocate(capacity, input, hinted);
+    ASSERT_EQ(hinted, want) << "wc hinted iter " << iter;
+
+    ref::proportional_fair(capacity, demands, want);
+    pf.allocate(capacity, demands, shares);
+    ASSERT_EQ(shares, want) << "pf iter " << iter;
+    pf.allocate(capacity, input, hinted);
+    ASSERT_EQ(hinted, want) << "pf hinted iter " << iter;
+
+    ref::weighted_priority(capacity, demands, want);
+    wp.allocate(capacity, demands, shares);
+    ASSERT_EQ(shares, want) << "wp iter " << iter;
+    // Twice with the same generation: the second call replays the cached
+    // tier permutation and must not drift by a bit.
+    wp.allocate(capacity, input, hinted);
+    ASSERT_EQ(hinted, want) << "wp hinted iter " << iter;
+    wp.allocate(capacity, input, hinted);
+    ASSERT_EQ(hinted, want) << "wp cached iter " << iter;
+
+    // DRR is stateful (rotation cursor, lazy residue): drive one scheduler
+    // object across all iterations and mirror the cursor in the reference
+    // (the cursor only advances on non-empty demand sets).
+    ref::deficit_round_robin(capacity, demands, drr_calls, want);
+    if (n > 0) ++drr_calls;
+    drr.allocate(capacity, demands, shares);
+    ASSERT_EQ(shares, want) << "drr iter " << iter;
+    ref::deficit_round_robin(capacity, demands, drr_calls, want);
+    if (n > 0) ++drr_calls;
+    drr.allocate(capacity, input, hinted);
+    ASSERT_EQ(hinted, want) << "drr hinted iter " << iter;
+  }
+}
+
 // ----------------------------------------------------------- Admission ----
 
 TEST(AdmissionTest, AcceptRejectBoundary) {
