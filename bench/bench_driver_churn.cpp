@@ -6,7 +6,15 @@
 // rejects, spills, peak concurrency, utilization, cross-link window fairness
 // at the last snapshot, executed vs skipped slots, and wall time.
 //
-// Build & run:  ./build/bench/bench_driver_churn [--smoke]
+// Build & run:  ./build/bench/bench_driver_churn [--smoke] [--json]
+//                                                [--telemetry]
+//
+// --json appends a dated trajectory entry to BENCH_driver_churn.json (one
+// record per scenario at the least-loaded 2-link point; ns per executed
+// slot). --telemetry re-runs the poisson and flash-crowd points with full
+// tracing on, writes churn_<scenario>_trace.json (Chrome trace_event format,
+// loadable in Perfetto / chrome://tracing) and prints the per-phase rollup
+// plus the counter registry.
 //
 // --smoke runs three hard invariants cheap enough for CI and exits non-zero
 // on violation:
@@ -32,6 +40,9 @@
 #include "serving/driver/replay.hpp"
 #include "serving/driver/scenario.hpp"
 #include "serving/driver/trace.hpp"
+#include "serving/telemetry/export.hpp"
+#include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/tracer.hpp"
 
 namespace {
 
@@ -88,11 +99,17 @@ arvis::ReplayConfig replay_for(const SweepPoint& point) {
   return config;
 }
 
-arvis::ReplayResult run_point(const SweepPoint& point, double& wall_ms) {
+arvis::ReplayResult run_point(
+    const SweepPoint& point, double& wall_ms,
+    const arvis::TelemetryConfig* telemetry = nullptr) {
   using namespace arvis;
   const WorkloadTrace trace =
       make_scenario(point.kind, scenario_for(point))->generate();
-  const ReplayConfig config = replay_for(point);
+  ReplayConfig config = replay_for(point);
+  if (telemetry != nullptr) {
+    config.cluster.serving.telemetry = *telemetry;
+    config.driver.telemetry = *telemetry;
+  }
 
   const double load = AdmissionController::cheapest_depth_load(
       churn_cache(), config.cluster.serving.candidates);
@@ -213,12 +230,57 @@ int run_smoke() {
   return failures == 0 ? 0 : 1;
 }
 
+/// Re-runs two sweep points with full tracing and counters on: a Chrome
+/// trace JSON per scenario (Perfetto-loadable), the per-phase rollup, and
+/// the flat counter registry. Exit code reflects export I/O.
+int run_telemetry() {
+  using namespace arvis;
+  int failures = 0;
+  for (ScenarioKind kind :
+       {ScenarioKind::kPoisson, ScenarioKind::kFlashCrowd}) {
+    SweepPoint point;
+    point.kind = kind;
+
+    TelemetryRegistry registry;
+    PhaseTracer tracer(TracerConfig{});
+    TelemetryConfig telemetry;
+    telemetry.mode = TelemetryMode::kFullTrace;
+    telemetry.registry = &registry;
+    telemetry.tracer = &tracer;
+
+    double ms = 0.0;
+    const ReplayResult result = run_point(point, ms, &telemetry);
+    const std::string stem = std::string("churn_") + to_string(kind);
+    const std::string trace_path = stem + "_trace.json";
+    if (const Status status = write_chrome_trace(tracer, trace_path);
+        !status.ok()) {
+      std::printf("telemetry FAIL: %s\n", status.to_string().c_str());
+      ++failures;
+    } else {
+      std::printf("\nwrote %s (%zu spans, %zu dropped)\n", trace_path.c_str(),
+                  tracer.size(), tracer.dropped());
+    }
+    bench::print_table(stem + ": per-phase rollup", tracer.rollup_table());
+    bench::print_table(stem + ": counters", registry.counters_table());
+    bench::print_table(stem + ": histograms", registry.histograms_table());
+    std::printf("(%zu arrivals, %.2f ms wall with full tracing)\n",
+                result.report.arrivals_injected, ms);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace arvis;
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  bool emit_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    if (std::strcmp(argv[i], "--telemetry") == 0) return run_telemetry();
+    if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
+  }
 
+  std::vector<bench::BenchRecord> records;
   CsvTable table({"scenario", "policy", "links", "arrivals", "admitted",
                   "rejected", "spills", "peak_active", "utilization",
                   "link_fairness", "slots_run", "slots_skipped", "wall_ms"});
@@ -251,6 +313,17 @@ int main(int argc, char** argv) {
              result.cluster.metrics.fleet.utilization(), fairness,
              static_cast<std::int64_t>(result.report.slots_executed),
              static_cast<std::int64_t>(result.report.slots_skipped), ms});
+        if (placement == PlacementPolicy::kLeastLoaded && links == 2) {
+          // One trajectory record per scenario at the representative point.
+          bench::BenchRecord record;
+          record.name = std::string("churn_") + to_string(kind);
+          record.params = "{\"policy\":\"least_loaded\",\"links\":2}";
+          const double slots =
+              static_cast<double>(result.report.slots_executed);
+          record.ns_per_op = slots > 0.0 ? ms * 1e6 / slots : 0.0;
+          record.ops = slots;
+          records.push_back(record);
+        }
       }
     }
   }
@@ -263,5 +336,8 @@ int main(int argc, char** argv) {
       "flash-crowd rows show the admission wall: rejects cluster in the\n"
       "spike; bursty rows show skipped slots — the event loop fast-forwards\n"
       "the OFF-state gaps no fixed-horizon loop could.\n");
+  if (emit_json && !bench::write_bench_json("driver_churn", records)) {
+    return 1;
+  }
   return 0;
 }

@@ -10,9 +10,14 @@
 //          list, admission and active-list compaction are all on the clock.
 //
 // Build & run:  ./build/bench/bench_hot_path [--smoke] [--json [--quick]]
+//                                            [--telemetry]
 //
 // --json appends a dated trajectory entry to BENCH_hot_path.json (run from
 // the repo root to land it there); --quick shrinks the sweep for CI.
+// --telemetry A/Bs dense@10k with telemetry off vs full tracing (counters +
+// per-phase spans every slot), records the enabled overhead as a
+// "slot_loop_dense_telemetry" trajectory record, and fails if the overhead
+// exceeds 5%.
 // --smoke runs hard invariants cheap enough for CI and exits non-zero on
 // violation:
 //   1. oracle equivalence: the runtime's slot loop, re-simulated through the
@@ -50,6 +55,8 @@
 #include "serving/cluster.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/session_manager.hpp"
+#include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/tracer.hpp"
 #include "sim/frame_stats_cache.hpp"
 
 namespace {
@@ -96,8 +103,10 @@ struct Measurement {
 /// Dense steady state: N sessions admitted at slot 0, none ever leave; the
 /// clock covers only the measured window (warm-up absorbs admission, trace
 /// reservations and scratch growth).
-Measurement run_dense(std::size_t n, std::size_t warm, std::size_t measure) {
+Measurement run_dense(std::size_t n, std::size_t warm, std::size_t measure,
+                      const TelemetryConfig* telemetry = nullptr) {
   ServingConfig config = base_config(warm + measure);
+  if (telemetry != nullptr) config.telemetry = *telemetry;
   const double load =
       AdmissionController::cheapest_depth_load(hot_cache(), config.candidates);
   const double capacity = static_cast<double>(n) * load * 1.2;
@@ -521,16 +530,84 @@ int run_smoke() {
   return failures == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------ telemetry A/B ----
+
+/// Dense@10k with telemetry off vs full tracing. The off side is the
+/// same run the trajectory anchors on; the on side pays counters plus four
+/// phase spans (eight steady-clock reads) per slot — amortized over 10k
+/// sessions the budget is <5% and the measured number lands in
+/// BENCH_hot_path.json as its own record so the trajectory tracks it.
+int run_telemetry_ab() {
+  const std::size_t n = 10'000, warm = 8, measure = 64;
+  TelemetryRegistry registry;
+  PhaseTracer tracer(TracerConfig{});
+  TelemetryConfig telemetry;
+  telemetry.mode = TelemetryMode::kFullTrace;
+  telemetry.registry = &registry;
+  telemetry.tracer = &tracer;
+
+  // Interleave off/on repetitions and keep the min of each: on a noisy
+  // shared machine, run-to-run drift dwarfs the overhead under test, and
+  // back-to-back A-then-B blocks would fold that drift into the delta.
+  const std::size_t reps = 7;
+  Measurement off, on;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const Measurement a = run_dense(n, warm, measure);
+    const Measurement b = run_dense(n, warm, measure, &telemetry);
+    if (r == 0 || a.ns_per_session_slot < off.ns_per_session_slot) off = a;
+    if (r == 0 || b.ns_per_session_slot < on.ns_per_session_slot) on = b;
+  }
+
+  const double overhead_pct =
+      off.ns_per_session_slot > 0.0
+          ? (on.ns_per_session_slot / off.ns_per_session_slot - 1.0) * 100.0
+          : 0.0;
+  std::printf(
+      "telemetry A/B dense@10k: off %.3f ns, full-trace %.3f ns "
+      "(overhead %+.2f%%, %zu spans recorded)\n",
+      off.ns_per_session_slot, on.ns_per_session_slot, overhead_pct,
+      tracer.recorded_total());
+  arvis::bench::print_table("dense@10k full-trace: per-phase rollup",
+                            tracer.rollup_table());
+
+  std::vector<arvis::bench::BenchRecord> records;
+  records.push_back({"slot_loop_dense_telemetry",
+                     "{\"sessions\":10000,\"mode\":\"full_trace\"}",
+                     on.ns_per_session_slot, on.session_slots, reps});
+  char extra[256];
+  std::snprintf(extra, sizeof extra,
+                "\"unit\":\"ns_per_session_slot\","
+                "\"telemetry_off_ns\":%.3f,\"telemetry_on_ns\":%.3f,"
+                "\"telemetry_overhead_pct\":%.3f",
+                off.ns_per_session_slot, on.ns_per_session_slot, overhead_pct);
+  if (!arvis::bench::write_bench_json("hot_path", records, extra)) return 1;
+
+  double limit = 5.0;  // BENCH_TELEMETRY_OVERHEAD_PCT overrides (noisy hosts)
+  if (const char* env = std::getenv("BENCH_TELEMETRY_OVERHEAD_PCT")) {
+    const double parsed = std::strtod(env, nullptr);
+    if (parsed > 0.0) limit = parsed;
+  }
+  if (overhead_pct >= limit) {
+    std::printf("telemetry FAIL: overhead %.2f%% >= %.1f%%\n", overhead_pct,
+                limit);
+    return 1;
+  }
+  std::printf("telemetry OK: overhead %.2f%% < %.1f%%\n", overhead_pct, limit);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false, json = false, quick = false;
+  bool smoke = false, json = false, quick = false, telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--telemetry") == 0) telemetry = true;
   }
   if (smoke) return run_smoke();
+  if (telemetry) return run_telemetry_ab();
 
   struct Point {
     std::size_t sessions, warm, measure, reps;

@@ -8,9 +8,14 @@
 // exactly as long as the churn does, idle stretches are fast-forwarded, and
 // periodic snapshots record the spike hitting the admission wall.
 //
-// Build & run:  ./build/examples/trace_replay
+// Build & run:  ./build/examples/trace_replay [--telemetry]
 // Writes:       trace_replay_events.csv, trace_replay_snapshots.csv
+//               (--telemetry adds trace_replay_trace.json — Chrome
+//               trace_event format, loadable in Perfetto — plus
+//               trace_replay_counters.csv / trace_replay_histograms.csv and
+//               prints the per-phase rollup)
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "datasets/catalog.hpp"
@@ -19,9 +24,14 @@
 #include "serving/driver/replay.hpp"
 #include "serving/driver/scenario.hpp"
 #include "serving/driver/trace.hpp"
+#include "serving/telemetry/export.hpp"
+#include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/tracer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace arvis;
+  const bool telemetry_on =
+      argc > 1 && std::strcmp(argv[1], "--telemetry") == 0;
 
   // Two content profiles: trace rows reference them by id, staying
   // content-agnostic until replay binds them.
@@ -76,6 +86,19 @@ int main() {
   config.cluster.placement = PlacementPolicy::kLeastLoaded;
   config.driver.snapshot_period = 60;
 
+  // Full tracing on demand: one registry + tracer shared by both links and
+  // the driver (the cluster assigns each link its tid).
+  TelemetryRegistry registry;
+  PhaseTracer tracer(TracerConfig{});
+  if (telemetry_on) {
+    TelemetryConfig telemetry;
+    telemetry.mode = TelemetryMode::kFullTrace;
+    telemetry.registry = &registry;
+    telemetry.tracer = &tracer;
+    config.cluster.serving.telemetry = telemetry;
+    config.driver.telemetry = telemetry;
+  }
+
   // Two links, each sized for about three cheapest-depth sessions: the base
   // churn fits with room to spare, the spike slams into the admission wall.
   const double load = AdmissionController::cheapest_depth_load(
@@ -127,5 +150,20 @@ int main() {
   std::printf(
       "\nwrote trace_replay_events.csv (the replayable trace) and "
       "trace_replay_snapshots.csv\n");
+
+  if (telemetry_on) {
+    if (!write_chrome_trace(tracer, "trace_replay_trace.json").ok() ||
+        !write_registry_csv(registry, "trace_replay").ok()) {
+      std::fprintf(stderr, "cannot write telemetry exports\n");
+      return 1;
+    }
+    std::printf(
+        "\nper-phase rollup (%zu spans, %zu dropped):\n%s\n"
+        "wrote trace_replay_trace.json (open in Perfetto or "
+        "chrome://tracing),\ntrace_replay_counters.csv and "
+        "trace_replay_histograms.csv\n",
+        tracer.size(), tracer.dropped(),
+        tracer.rollup_table().to_pretty_string().c_str());
+  }
   return 0;
 }

@@ -1,14 +1,43 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 #include <utility>
 
 namespace arvis {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+/// Initial level from ARVIS_LOG_LEVEL (DEBUG/INFO/WARN/ERROR/OFF, any case),
+/// read once at first logger use. An unrecognized value falls back to kWarn
+/// with a direct stderr note — not log_warn, which would recurse into the
+/// level we are mid-way through computing.
+LogLevel level_from_env() {
+  const char* raw = std::getenv("ARVIS_LOG_LEVEL");
+  if (raw == nullptr || raw[0] == '\0') return LogLevel::kWarn;
+  std::string value(raw);
+  for (char& c : value) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (value == "DEBUG") return LogLevel::kDebug;
+  if (value == "INFO") return LogLevel::kInfo;
+  if (value == "WARN") return LogLevel::kWarn;
+  if (value == "ERROR") return LogLevel::kError;
+  if (value == "OFF") return LogLevel::kOff;
+  std::fprintf(stderr,
+               "[arvis WARN] ARVIS_LOG_LEVEL=\"%s\" not recognized "
+               "(want DEBUG/INFO/WARN/ERROR/OFF); using WARN\n",
+               raw);
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
 
 std::mutex& sink_mutex() {
   static std::mutex m;
@@ -27,10 +56,12 @@ void default_sink(LogLevel level, const std::string& message) {
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
-  g_level.store(level, std::memory_order_relaxed);
+  level_ref().store(level, std::memory_order_relaxed);
 }
 
-LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() noexcept {
+  return level_ref().load(std::memory_order_relaxed);
+}
 
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
   const std::scoped_lock lock(sink_mutex());

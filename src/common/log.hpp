@@ -24,7 +24,10 @@ constexpr const char* to_string(LogLevel level) noexcept {
   return "?";
 }
 
-/// Sets the global minimum level (default kWarn). Thread-safe.
+/// Sets the global minimum level. Thread-safe. The initial level comes from
+/// the ARVIS_LOG_LEVEL environment variable (DEBUG/INFO/WARN/ERROR/OFF, any
+/// case; unset or unrecognized -> kWarn), read once at first logger use;
+/// set_log_level always overrides it.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 

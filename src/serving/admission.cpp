@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/log.hpp"
 #include "queueing/stability.hpp"
 
 namespace arvis {
@@ -74,6 +75,10 @@ AdmissionDecision AdmissionController::try_admit(
     reserved_ += decision.cheapest_load;
   } else {
     ++stats_.rejected;
+    log_info("admission: rejected session (cheapest load ",
+             decision.cheapest_load, " B/slot vs residual ",
+             decision.residual_capacity, " B/slot, depths ", d_min, "..",
+             d_max, ")");
   }
   return decision;
 }

@@ -49,12 +49,23 @@ EdgeCluster::EdgeCluster(const ClusterConfig& config,
     throw std::invalid_argument("EdgeCluster: need >= 1 link");
   }
   // The links run their phases inline — the cluster's executor is the only
-  // fan-out point — so give each manager a serial (no-pool) executor.
+  // fan-out point — so give each manager a serial (no-pool) executor. Each
+  // link gets its own telemetry lane: counters under "link<k>/", spans on
+  // Chrome tid k.
   ServingConfig link_config = config_.serving;
   link_config.threads = 1;
   links_.reserve(link_mean_capacity_bytes.size());
   for (double mean : link_mean_capacity_bytes) {
+    link_config.telemetry.tid = static_cast<std::uint32_t>(links_.size());
     links_.push_back(std::make_unique<SessionManager>(link_config, mean));
+  }
+  const TelemetryConfig& tel = config_.serving.telemetry;
+  if (tel.trace_on()) tracer_ = tel.tracer;
+  if (tel.counters_on()) {
+    TelemetryRegistry& reg = *tel.registry;
+    c_placed_ = &reg.counter("cluster/sessions_placed");
+    c_spills_ = &reg.counter("cluster/session_spills");
+    c_rejects_ = &reg.counter("cluster/placement_rejects");
   }
 }
 
@@ -125,6 +136,11 @@ void EdgeCluster::rank_links(const Entry& entry) {
 }
 
 void EdgeCluster::place_arrivals() {
+  if (pending_head_ >= pending_.size() ||
+      entries_[pending_[pending_head_]]->due > slot_) {
+    return;  // nothing due: keep the no-arrival slot span-free
+  }
+  const PhaseSpan span(tracer_, Phase::kPlace, slot_, kClusterTid);
   while (pending_head_ < pending_.size() &&
          entries_[pending_[pending_head_]]->due <= slot_) {
     Entry& e = *entries_[pending_[pending_head_++]];
@@ -149,6 +165,10 @@ void EdgeCluster::place_arrivals() {
         e.spilled = a > 0;
         e.max_sustainable_depth = decision.max_sustainable_depth;
         if (e.spilled) ++spills_;
+        if (c_placed_ != nullptr) {
+          c_placed_->add(1);
+          if (e.spilled) c_spills_->add(1);
+        }
         break;
       }
     }
@@ -156,6 +176,7 @@ void EdgeCluster::place_arrivals() {
       e.departure_actual = slot_;
       e.max_sustainable_depth = best_depth;
       ++placement_rejects_;
+      if (c_rejects_ != nullptr) c_rejects_->add(1);
     }
     if (config_.placement == PlacementPolicy::kRoundRobin) {
       rr_cursor_ = (rr_cursor_ + 1) % links_.size();
@@ -191,6 +212,7 @@ void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
   //    index) pair through the one executor, each pair owning disjoint
   //    state. Both produce bit-identical decisions for any thread count.
   if (executor_.threads() > 1) {
+    const PhaseSpan span(tracer_, Phase::kDecide, slot_, kClusterTid);
     decide_map_.clear();
     for (std::size_t k = 0; k < links_.size(); ++k) {
       const std::size_t width = links_[k]->decide_width();

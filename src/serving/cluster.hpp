@@ -201,6 +201,14 @@ class EdgeCluster {
   // Scratch reused across slots.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> decide_map_;
   std::vector<std::size_t> rank_;
+  // Telemetry (see session_manager.hpp for the null-pointer cost model).
+  // Links carry their own per-link instruments (tid = link index); these are
+  // the cluster-level ones: placement outcomes under "cluster/", spans on
+  // the kClusterTid lane.
+  PhaseTracer* tracer_ = nullptr;
+  TelemetryCounter* c_placed_ = nullptr;
+  TelemetryCounter* c_spills_ = nullptr;
+  TelemetryCounter* c_rejects_ = nullptr;
 };
 
 /// Convenience one-shot mirroring run_serving_scenario: submits `specs`,

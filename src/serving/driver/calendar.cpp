@@ -36,6 +36,7 @@ void EventCalendar::grow() {
   // Double the ring and rehash. Old buckets are walked in index order and
   // each in push order; all events of one slot live in one old bucket, so
   // their relative (push) order survives — the ordering contract holds.
+  ++grows_;
   reserve(buckets_.size() * 2);
 }
 
@@ -46,6 +47,9 @@ void EventCalendar::push(const CalendarEvent& event) {
   } else if (count_ + 1 > 2 * buckets_.size()) {
     grow();
   }
+  // A push beyond one ring revolution of the floor shares its bucket with
+  // earlier-"year" slots — the collision regime the wrap counter tracks.
+  if (event.slot > floor_ && event.slot - floor_ > mask_) ++wrapped_pushes_;
   buckets_[event.slot & mask_].push_back(event);
   ++count_;
   if (event.slot < floor_) floor_ = event.slot;

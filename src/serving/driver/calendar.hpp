@@ -65,6 +65,16 @@ class EventCalendar {
   /// buckets) for k extracted events.
   void pop_due(std::size_t now, std::vector<CalendarEvent>& out);
 
+  // Always-on structural accounting (one add at the rare edge, nothing per
+  // pop): how often the ring doubled, and how many pushes landed more than
+  // one ring revolution past the floor — such events share buckets with
+  // earlier "years", the collision regime the doubling keeps rare. The
+  // driver flushes these into the telemetry registry at end of run.
+  [[nodiscard]] std::size_t grows() const noexcept { return grows_; }
+  [[nodiscard]] std::size_t wrapped_pushes() const noexcept {
+    return wrapped_pushes_;
+  }
+
  private:
   void grow();
   [[nodiscard]] std::size_t scan_min() const;
@@ -74,6 +84,8 @@ class EventCalendar {
   std::size_t count_ = 0;
   std::size_t floor_ = 0;  // lower bound: no queued event has slot < floor_
   std::size_t min_cache_ = kNone;  // valid iff != kNone
+  std::size_t grows_ = 0;
+  std::size_t wrapped_pushes_ = 0;
 };
 
 }  // namespace arvis

@@ -4,7 +4,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/log.hpp"
 #include "serving/metrics.hpp"
+#include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/tracer.hpp"
 
 namespace arvis {
 
@@ -25,15 +28,20 @@ std::vector<double> validated_channel_means(
 }
 
 CsvTable DriverReport::snapshot_table() const {
+  // "offered_bytes" (the window's offered capacity) is appended last so
+  // consumers indexing the original eight columns keep working; it is what
+  // disambiguates window_utilization == 0 (idle window: offered_bytes == 0;
+  // saturated-at-zero: offered_bytes > 0).
   CsvTable table({"slot", "active", "admitted", "rejected", "offered", "used",
-                  "window_utilization", "link_fairness"});
+                  "window_utilization", "link_fairness", "offered_bytes"});
   for (const MetricsSnapshot& s : snapshots) {
     table.add_row({static_cast<std::int64_t>(s.slot),
                    static_cast<std::int64_t>(s.active_sessions),
                    static_cast<std::int64_t>(s.admitted_total),
                    static_cast<std::int64_t>(s.rejected_total),
                    s.capacity_offered_total, s.capacity_used_total,
-                   s.window_utilization, s.link_load_fairness});
+                   s.window_utilization, s.link_load_fairness,
+                   s.window_offered_bytes});
   }
   return table;
 }
@@ -96,7 +104,13 @@ void ClusterBackend::sample(MetricsSnapshot& out,
 }
 
 EventLoop::EventLoop(const DriverConfig& config, ServingBackend& backend)
-    : config_(config), backend_(&backend) {}
+    : config_(config), backend_(&backend) {
+  validate_telemetry(config_.telemetry, "EventLoop");
+  if (config_.telemetry.trace_on()) tracer_ = config_.telemetry.tracer;
+  if (config_.telemetry.counters_on()) {
+    h_batch_ = &config_.telemetry.registry->histogram("driver/event_batch_size");
+  }
+}
 
 void EventLoop::reserve(std::size_t arrivals) {
   specs_.reserve(arrivals);
@@ -157,6 +171,7 @@ void EventLoop::take_snapshot(std::size_t slot, DriverReport& report) {
   const double window_offered =
       snapshot.capacity_offered_total - prev_offered_;
   const double window_used = snapshot.capacity_used_total - prev_used_;
+  snapshot.window_offered_bytes = window_offered;
   snapshot.window_utilization =
       window_offered > 0.0 ? window_used / window_offered : 0.0;
 
@@ -224,34 +239,46 @@ DriverReport EventLoop::run() {
     // end-of-slot-(S-1) state, a stop at S halts before S runs.
     pull_source(now, report);
     events_.pop_due(now, due_);
-    for (const CalendarEvent& event : due_) {
-      switch (static_cast<EventKind>(event.kind)) {
-        case EventKind::kArrival:
-          --arrival_events_;
-          backend_->submit(specs_[event.payload]);
-          ++report.arrivals_injected;
-          break;
-        case EventKind::kDeparture:
-          ++report.departure_markers;
-          break;
-        case EventKind::kSnapshot:
-          take_snapshot(event.slot, report);
-          push(event.slot + config_.snapshot_period, EventKind::kSnapshot, 0);
-          break;
-        case EventKind::kClose:
-          // Fires before the slot executes: the session's trace covers
-          // [arrival, event.slot). A target already refused/retired (or a
-          // bogus id in a hand-written trace) is counted, not fatal.
-          if (backend_->close_session(event.payload)) {
-            ++report.closes_applied;
-          } else {
-            ++report.closes_ignored;
-          }
-          break;
-        case EventKind::kStop:
-          --stop_events_;
-          stopped = true;
-          break;
+    if (!due_.empty()) {
+      // One span per non-empty calendar batch (batches are rare relative to
+      // slots — burst stepping handles event-free stretches elsewhere).
+      const PhaseSpan span(tracer_, Phase::kEvents, now, kDriverTid);
+      if (h_batch_ != nullptr) {
+        h_batch_->record(static_cast<double>(due_.size()));
+      }
+      for (const CalendarEvent& event : due_) {
+        switch (static_cast<EventKind>(event.kind)) {
+          case EventKind::kArrival:
+            --arrival_events_;
+            backend_->submit(specs_[event.payload]);
+            ++report.arrivals_injected;
+            break;
+          case EventKind::kDeparture:
+            ++report.departure_markers;
+            break;
+          case EventKind::kSnapshot:
+            take_snapshot(event.slot, report);
+            push(event.slot + config_.snapshot_period, EventKind::kSnapshot,
+                 0);
+            break;
+          case EventKind::kClose:
+            // Fires before the slot executes: the session's trace covers
+            // [arrival, event.slot). A target already refused/retired (or a
+            // bogus id in a hand-written trace) is counted, not fatal.
+            if (backend_->close_session(event.payload)) {
+              ++report.closes_applied;
+            } else {
+              ++report.closes_ignored;
+              log_info("driver: close event at slot ", event.slot,
+                       " ignored (session ", event.payload,
+                       " unknown or already gone)");
+            }
+            break;
+          case EventKind::kStop:
+            --stop_events_;
+            stopped = true;
+            break;
+        }
       }
     }
     if (stopped) break;
@@ -314,6 +341,22 @@ DriverReport EventLoop::run() {
       backend_->step_slot();
       ++report.slots_executed;
     }
+  }
+
+  // End-of-run flush: report totals and calendar structural counters land in
+  // the registry once, so per-event paths stay free of counter traffic.
+  if (config_.telemetry.counters_on()) {
+    TelemetryRegistry& reg = *config_.telemetry.registry;
+    reg.counter("driver/arrivals_injected").add(report.arrivals_injected);
+    reg.counter("driver/departure_markers").add(report.departure_markers);
+    reg.counter("driver/closes_applied").add(report.closes_applied);
+    reg.counter("driver/closes_ignored").add(report.closes_ignored);
+    reg.counter("driver/slots_executed").add(report.slots_executed);
+    reg.counter("driver/slots_skipped").add(report.slots_skipped);
+    reg.counter("driver/snapshots").add(report.snapshots.size());
+    reg.counter("driver/calendar_grows").add(events_.grows());
+    reg.counter("driver/calendar_wrapped_pushes")
+        .add(events_.wrapped_pushes());
   }
   return report;
 }

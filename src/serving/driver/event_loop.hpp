@@ -71,6 +71,12 @@ struct DriverConfig {
   /// session and no stop event): the loop stops after this many *executed*
   /// slots and flags the report. kNoSlot = uncapped.
   std::size_t max_slots = 1'000'000;
+  /// Driver-level observability: event-batch spans on the kDriverTid lane
+  /// and "driver/..." counters (event mix, slots executed/skipped, calendar
+  /// health), flushed at end of run. Independent of the runtime's own
+  /// ServingConfig::telemetry — point both at the same registry/tracer for
+  /// one combined view.
+  TelemetryConfig telemetry;
 };
 
 /// One periodic sample of the runtime's running counters. Counter fields are
@@ -88,6 +94,10 @@ struct MetricsSnapshot {
   std::size_t rejected_total = 0;
   double capacity_offered_total = 0.0;
   double capacity_used_total = 0.0;
+  /// Capacity offered over the window since the previous snapshot. Keeps
+  /// "idle window" (0 offered) distinguishable from "saturated at zero
+  /// utilization" in the exported table.
+  double window_offered_bytes = 0.0;
   /// used / offered over the window since the previous snapshot (0 when the
   /// window offered nothing, e.g. an idle gap).
   double window_utilization = 0.0;
@@ -113,7 +123,9 @@ struct DriverReport {
   bool hit_slot_cap = false;
 
   /// Snapshot time series as CSV (slot, active, admitted, rejected,
-  /// offered, used, window_utilization, link_fairness).
+  /// offered, used, window_utilization, link_fairness, offered_bytes —
+  /// the last column is the *window's* offered capacity, so tooling can
+  /// tell an idle window from a saturated one when utilization reads 0).
   [[nodiscard]] CsvTable snapshot_table() const;
 };
 
@@ -320,6 +332,11 @@ class EventLoop {
   std::vector<SessionSpec> batch_;       // source-pull scratch
   std::vector<double> per_link_used_;    // scratch
   std::vector<double> window_per_link_;  // scratch
+  // Telemetry (null unless DriverConfig::telemetry turns it on; see
+  // session_manager.hpp for the cost model). Driver counters are flushed
+  // once at end of run; the batch histogram records per non-empty batch.
+  PhaseTracer* tracer_ = nullptr;
+  TelemetryHistogram* h_batch_ = nullptr;
 };
 
 }  // namespace arvis

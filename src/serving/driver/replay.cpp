@@ -1,7 +1,10 @@
 #include "serving/driver/replay.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "serving/telemetry/registry.hpp"
 
 namespace arvis {
 
@@ -74,6 +77,23 @@ void roll_up_qos(ReplayResult& result, const QosOfRow& qos_of_row) {
   }
 }
 
+/// Flushes the per-tier rollup into the registry ("qos/<tier>/..."): the
+/// replay layer is the only place QoS class and admission outcome meet, so
+/// the counters live here rather than in the runtime.
+void flush_qos_counters(const ReplayResult& result,
+                        const TelemetryConfig& telemetry) {
+  if (!telemetry.counters_on()) return;
+  TelemetryRegistry& reg = *telemetry.registry;
+  for (std::size_t q = 0; q < kQosClassCount; ++q) {
+    const QosOutcome& tier = result.per_qos[q];
+    const std::string prefix =
+        std::string("qos/") + to_string(static_cast<QosClass>(q)) + "/";
+    reg.counter(prefix + "arrivals").add(tier.arrivals);
+    reg.counter(prefix + "admitted").add(tier.admitted);
+    reg.counter(prefix + "rejected").add(tier.rejected);
+  }
+}
+
 }  // namespace
 
 SessionSpec trace_session_spec(
@@ -126,6 +146,7 @@ ReplayResult replay_trace(const ReplayConfig& config,
   result.report = loop.run();
   result.cluster = cluster.finish();
   roll_up_qos(result, [&](std::size_t i) { return trace.events[i].qos; });
+  flush_qos_counters(result, config.driver.telemetry);
   return result;
 }
 
@@ -149,6 +170,7 @@ ReplayResult replay_scenario(
   result.cluster = cluster.finish();
   roll_up_qos(result,
               [&](std::size_t i) { return source.emitted_qos()[i]; });
+  flush_qos_counters(result, config.driver.telemetry);
   return result;
 }
 

@@ -82,6 +82,8 @@ void EqualShareScheduler::allocate(double capacity,
                                    const SchedulerInput& demands,
                                    std::vector<double>& shares) {
   const std::size_t n = demands.size();
+  ++stats_.calls;
+  ++stats_.fast_path;  // closed form — there is no generic fallback
   shares.assign(n, n == 0 ? 0.0 : capacity / static_cast<double>(n));
 }
 
@@ -89,7 +91,9 @@ void WorkConservingScheduler::allocate(double capacity,
                                        const SchedulerInput& demands,
                                        std::vector<double>& shares) {
   const std::size_t n = demands.size();
+  ++stats_.calls;
   if (n == 0) {
+    ++stats_.fast_path;  // trivially nothing to do — still classified
     shares.clear();
     return;
   }
@@ -114,6 +118,7 @@ void WorkConservingScheduler::allocate(double capacity,
       }
     }
     if (all_capped) {
+      ++stats_.fast_path;
       shares.resize(n);
       const double leftover = std::max(capacity - granted, 0.0);
       if (leftover > 0.0) {
@@ -127,6 +132,7 @@ void WorkConservingScheduler::allocate(double capacity,
       return;
     }
   }
+  ++stats_.generic;
   shares.assign(n, 0.0);
   fill_indices(scratch_, n);
   const double leftover = water_fill(capacity, demands, scratch_, shares);
@@ -144,8 +150,12 @@ void ProportionalFairScheduler::allocate(double capacity,
                                          const SchedulerInput& demands,
                                          std::vector<double>& shares) {
   const std::size_t n = demands.size();
+  ++stats_.calls;
   shares.assign(n, 0.0);
-  if (n == 0) return;
+  if (n == 0) {
+    ++stats_.fast_path;  // trivially nothing to do — still classified
+    return;
+  }
 
   // True PF when history is supplied: divide each session's pull by
   // (1 + EWMA served bytes/slot). The +1 byte floors the denominator so a
@@ -177,6 +187,7 @@ void ProportionalFairScheduler::allocate(double capacity,
   double mass = 0.0;
   for (std::size_t i = 0; i < n; ++i) mass += pull0(i);
   if (!(capacity > 0.0) || mass <= 0.0) {
+    ++stats_.generic;
     shares.assign(n, 0.0);
     if (capacity > 0.0) {
       // Only zero-weight (or zero-demand) sessions exist: proportional
@@ -206,7 +217,15 @@ void ProportionalFairScheduler::allocate(double capacity,
       }
     }
     capacity -= granted;
-    if (!capped) return;  // everyone took exactly their proportional offer
+    if (!capped) {
+      ++stats_.fast_path;  // the fused round settled the whole slot
+      return;              // everyone took exactly their proportional offer
+    }
+  }
+  if (unsatisfied.empty() || !(capacity > 0.0)) {
+    ++stats_.fast_path;  // fused round capped everyone / spent the link
+  } else {
+    ++stats_.generic;
   }
 
   // Remaining rounds: the generic iteration over the surviving set.
@@ -269,8 +288,12 @@ void WeightedPriorityScheduler::allocate(double capacity,
                                          const SchedulerInput& demands,
                                          std::vector<double>& shares) {
   const std::size_t n = demands.size();
+  ++stats_.calls;
   shares.assign(n, 0.0);
-  if (n == 0) return;
+  if (n == 0) {
+    ++stats_.fast_path;  // trivially nothing to do — still classified
+    return;
+  }
 
   // Uniform fleet (hinted by the store's weight histogram, or detected in
   // one compare pass): the sort would be the identity permutation and the
@@ -287,6 +310,7 @@ void WeightedPriorityScheduler::allocate(double capacity,
     }
   }
   if (uniform) {
+    ++stats_.fast_path;
     if (capacity > 0.0) {
       fill_indices(tier_, n);
       water_fill(capacity, demands, tier_, shares);
@@ -302,8 +326,11 @@ void WeightedPriorityScheduler::allocate(double capacity,
                       demands.membership_generation == cached_generation_ &&
                       perm_.size() == n;
   if (!cached) {
+    ++stats_.generic;  // membership changed: pay the O(n log n) sort
     rebuild_tiers(demands);
     cached_generation_ = demands.membership_generation;
+  } else {
+    ++stats_.fast_path;  // cached tier permutation reused across slots
   }
 
   for (const auto& [begin, end] : tier_bounds_) {
@@ -318,6 +345,8 @@ void DeficitRoundRobinScheduler::allocate(double capacity,
                                           const SchedulerInput& demands,
                                           std::vector<double>& shares) {
   const std::size_t n = demands.size();
+  ++stats_.calls;
+  ++stats_.generic;  // DRR always runs its ring rounds — no fused shortcut
   shares.assign(n, 0.0);
   if (n == 0) return;
   // Rotation order for this slot; the cursor advances once per allocation so

@@ -94,6 +94,18 @@ struct SchedulerInput {
   }
 };
 
+/// Always-on dispatch accounting, kept as plain cumulative uint64s (one or
+/// two adds per allocate — slot granularity, free by the smoke budget). The
+/// session manager samples per-slot deltas into the telemetry registry.
+struct SchedulerStats {
+  /// Span-kernel allocate() invocations.
+  std::uint64_t calls = 0;
+  /// Slots served entirely by a fused / cached / uniform fast path.
+  std::uint64_t fast_path = 0;
+  /// Slots that fell through to the generic multi-round algorithm.
+  std::uint64_t generic = 0;
+};
+
 /// Interface: divides one slot's link capacity among sessions.
 class EdgeScheduler {
  public:
@@ -114,6 +126,12 @@ class EdgeScheduler {
                 std::vector<double>& shares);
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Cumulative dispatch accounting since construction.
+  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
+
+ protected:
+  SchedulerStats stats_;
 
  private:
   // Adapter scratch, reused across calls.

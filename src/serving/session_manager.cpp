@@ -34,6 +34,29 @@ SessionManager::SessionManager(const ServingConfig& config,
     throw std::invalid_argument(
         "SessionManager: pf_ewma_window must be 0 (off) or >= 1");
   }
+  validate_telemetry(config_.telemetry, "SessionManager");
+  register_telemetry();
+}
+
+void SessionManager::register_telemetry() {
+  const TelemetryConfig& tel = config_.telemetry;
+  tid_ = tel.tid;
+  if (tel.trace_on()) tracer_ = tel.tracer;
+  if (!tel.counters_on()) return;
+  TelemetryRegistry& reg = *tel.registry;
+  const std::string prefix = "link" + std::to_string(tel.tid) + "/";
+  c_slots_ = &reg.counter(prefix + "slots");
+  c_adm_accept_ = &reg.counter(prefix + "admission_accepted");
+  c_adm_reject_ = &reg.counter(prefix + "admission_rejected");
+  c_closed_ = &reg.counter(prefix + "sessions_closed");
+  c_decide_reuse_ = &reg.counter(prefix + "decide_group_reuses");
+  c_decide_rebuild_ = &reg.counter(prefix + "decide_group_rebuilds");
+  c_sched_fast_ = &reg.counter(prefix + "scheduler_fast_path");
+  c_sched_generic_ = &reg.counter(prefix + "scheduler_generic");
+  h_decide_groups_ = &reg.histogram(prefix + "decide_groups");
+  h_active_ = &reg.histogram(prefix + "active_sessions");
+  h_slot_used_ = &reg.histogram(prefix + "slot_used_bytes");
+  h_lifetime_ = &reg.histogram(prefix + "session_lifetime_slots");
 }
 
 SessionManager::~SessionManager() = default;
@@ -94,6 +117,10 @@ void SessionManager::close_departures() {
     s.phase = SessionPhase::kClosed;
     s.departure_actual = slot_;
     admission_.release(s.cheapest_load);
+    if (c_closed_ != nullptr) {
+      c_closed_->add(1);
+      h_lifetime_->record(static_cast<double>(slot_ - s.arrival_actual));
+    }
   });
 }
 
@@ -120,6 +147,9 @@ void SessionManager::admit_arrivals() {
     s.cheapest_load = decision.cheapest_load;
     s.max_sustainable_depth = decision.max_sustainable_depth;
     s.arrival_actual = slot_;
+    if (c_adm_accept_ != nullptr) {
+      (decision.admitted ? c_adm_accept_ : c_adm_reject_)->add(1);
+    }
     if (decision.admitted) {
       activate(s);
     } else {
@@ -144,6 +174,9 @@ AdmissionDecision SessionManager::try_place(const SessionSpec& spec,
   validate_spec(spec);
   const AdmissionDecision decision =
       admission_.try_admit(*spec.cache, config_.candidates);
+  if (c_adm_accept_ != nullptr) {
+    (decision.admitted ? c_adm_accept_ : c_adm_reject_)->add(1);
+  }
   if (!decision.admitted) return decision;
   ServingSession& s = store_.create(session_id, spec);
   metrics_.reserve_sessions(store_.session_count());
@@ -183,6 +216,7 @@ void SessionManager::begin_slot() {
   if (finished_) {
     throw std::logic_error("SessionManager::begin_slot: already finished");
   }
+  const PhaseSpan span(tracer_, Phase::kBeginSlot, slot_, tid_);
   // Departures first so a same-slot arrival sees the freed reservation.
   close_departures();
   admit_arrivals();
@@ -191,22 +225,26 @@ void SessionManager::begin_slot() {
 SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
   const std::size_t n = store_.active_count();
   const bool pf_history = config_.pf_ewma_window > 0.0;
-  // Schedule phase: the one centralized act — the link divides its own
-  // capacity. Sessions never see each other's state. The scheduler reads
-  // the store's SoA spans in place; nothing is copied in.
-  SchedulerInput demands;
-  demands.backlog = store_.backlogs();
-  demands.arrivals = store_.decided_arrivals();
-  demands.weight = store_.weights();
-  // Empty span = "no history": proportional-fair falls back to instantaneous
-  // demand, keeping the window-off path bit-identical to the legacy one.
-  if (pf_history) demands.ewma_throughput = store_.ewma_throughput();
-  // O(changed) aggregate hints maintained by the store at lifecycle edges:
-  // let weighted policies reuse their sorted tier permutation across slots
-  // and skip tier-finding for uniform fleets (bit-identical either way).
-  demands.membership_generation = store_.membership_generation();
-  demands.uniform_weights = store_.uniform_weights() ? 1 : 0;
-  scheduler_->allocate(capacity_bytes, demands, shares_);
+  {
+    const PhaseSpan span(tracer_, Phase::kSchedule, slot_, tid_);
+    // Schedule phase: the one centralized act — the link divides its own
+    // capacity. Sessions never see each other's state. The scheduler reads
+    // the store's SoA spans in place; nothing is copied in.
+    SchedulerInput demands;
+    demands.backlog = store_.backlogs();
+    demands.arrivals = store_.decided_arrivals();
+    demands.weight = store_.weights();
+    // Empty span = "no history": proportional-fair falls back to
+    // instantaneous demand, keeping the window-off path bit-identical to the
+    // legacy one.
+    if (pf_history) demands.ewma_throughput = store_.ewma_throughput();
+    // O(changed) aggregate hints maintained by the store at lifecycle edges:
+    // let weighted policies reuse their sorted tier permutation across slots
+    // and skip tier-finding for uniform fleets (bit-identical either way).
+    demands.membership_generation = store_.membership_generation();
+    demands.uniform_weights = store_.uniform_weights() ? 1 : 0;
+    scheduler_->allocate(capacity_bytes, demands, shares_);
+  }
 
   // Drain phase. The link is charged what the queues actually drained
   // (min(Q(t), share) per session, reported by the queue) — same-slot
@@ -214,8 +252,23 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
   // min(share, backlog + arrivals) would over-report utilization.
   const double alpha = pf_history ? 1.0 / config_.pf_ewma_window : 0.0;
   double used = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    used += store_.drain(i, slot_, shares_[i], alpha);
+  {
+    const PhaseSpan span(tracer_, Phase::kDrain, slot_, tid_);
+    for (std::size_t i = 0; i < n; ++i) {
+      used += store_.drain(i, slot_, shares_[i], alpha);
+    }
+  }
+  // Telemetry flush: a handful of counter bumps per *slot* boundary, never
+  // per session — the disabled path pays exactly one branch here.
+  if (c_slots_ != nullptr) {
+    c_slots_->add(1);
+    h_active_->record(static_cast<double>(n));
+    h_slot_used_->record(used);
+    const SchedulerStats& sched = scheduler_->stats();
+    c_sched_fast_->add(sched.fast_path - sched_fast_seen_);
+    c_sched_generic_->add(sched.generic - sched_generic_seen_);
+    sched_fast_seen_ = sched.fast_path;
+    sched_generic_seen_ = sched.generic;
   }
   metrics_.record_slot(capacity_bytes, used, n);
   ++slot_;
@@ -265,6 +318,7 @@ ServingResult SessionManager::finish() {
     throw std::logic_error("SessionManager::finish: already finished");
   }
   finished_ = true;
+  const PhaseSpan span(tracer_, Phase::kFinish, slot_, tid_);
   store_.retire_active([](const ServingSession&) { return true; },
                        [&](ServingSession& s) {
                          s.phase = SessionPhase::kClosed;

@@ -39,6 +39,8 @@
 #include "serving/metrics.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/session_store.hpp"
+#include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/tracer.hpp"
 #include "sim/frame_stats_cache.hpp"
 #include "sim/trace.hpp"
 
@@ -60,6 +62,10 @@ struct ServingConfig {
   /// instantaneous demand, the legacy behaviour, bit for bit. Must be 0 or
   /// >= 1.
   double pf_ewma_window = 0.0;
+  /// Observability wiring (off by default — and free when off: the
+  /// instrumentation points are null checks and slot-boundary counter
+  /// bumps, never per-session work). See serving/telemetry/.
+  TelemetryConfig telemetry;
 };
 
 /// One session's run record.
@@ -160,17 +166,29 @@ class SessionManager {
   /// parallel==serial test).
   void decide_phase() {
     if (executor_.threads() > 1) {
+      const PhaseSpan span(tracer_, Phase::kDecide, slot_, tid_);
       executor_.parallel_for(store_.active_count(),
                              [this](std::size_t i) { decide_session(i); });
     } else {
-      store_.decide_all();
+      decide_all_sessions();
     }
   }
 
   /// The serial incremental decide engine, for external drivers that manage
   /// their own fan-out (EdgeCluster runs each link's engine inline when its
   /// executor is serial).
-  void decide_all_sessions() { store_.decide_all(); }
+  void decide_all_sessions() {
+    const PhaseSpan span(tracer_, Phase::kDecide, slot_, tid_);
+    store_.decide_all();
+    // Memoization outcome, sampled once per decide (never per session).
+    if (c_decide_reuse_ != nullptr && store_.active_count() > 0) {
+      (store_.last_decide_reused_groups() ? c_decide_reuse_
+                                          : c_decide_rebuild_)
+          ->add(1);
+      h_decide_groups_->record(
+          static_cast<double>(store_.last_decide_groups()));
+    }
+  }
 
   /// Schedules the slot's capacity over the store's SoA spans, drains
   /// queues, records metrics, and advances the slot clock.
@@ -240,6 +258,7 @@ class SessionManager {
   void admit_arrivals();
   void close_departures();
   void activate(ServingSession& s);
+  void register_telemetry();
 
   ServingConfig config_;
   AdmissionController admission_;
@@ -257,6 +276,28 @@ class SessionManager {
   bool finished_ = false;
   // Scratch reused across slots.
   std::vector<double> shares_;
+
+  // Telemetry. tracer_ is null unless full tracing is on (a PhaseSpan over a
+  // null tracer is one branch); the handle pointers are null unless counters
+  // are on, so the hot path pays one predictable check per instrumentation
+  // point. Handles are registered once at construction under "link<tid>/".
+  PhaseTracer* tracer_ = nullptr;
+  std::uint32_t tid_ = 0;
+  TelemetryCounter* c_slots_ = nullptr;
+  TelemetryCounter* c_adm_accept_ = nullptr;
+  TelemetryCounter* c_adm_reject_ = nullptr;
+  TelemetryCounter* c_closed_ = nullptr;
+  TelemetryCounter* c_decide_reuse_ = nullptr;
+  TelemetryCounter* c_decide_rebuild_ = nullptr;
+  TelemetryCounter* c_sched_fast_ = nullptr;
+  TelemetryCounter* c_sched_generic_ = nullptr;
+  TelemetryHistogram* h_decide_groups_ = nullptr;
+  TelemetryHistogram* h_active_ = nullptr;
+  TelemetryHistogram* h_slot_used_ = nullptr;
+  TelemetryHistogram* h_lifetime_ = nullptr;
+  // Last-flushed scheduler stats (registry counters get per-slot deltas).
+  std::uint64_t sched_fast_seen_ = 0;
+  std::uint64_t sched_generic_seen_ = 0;
 };
 
 /// Convenience one-shot: submits `specs`, steps `config.steps` slots drawing

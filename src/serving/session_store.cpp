@@ -266,6 +266,12 @@ void SessionStore::decide_all() {
   const bool reuse = groups_generation_ == generation_ && !backlog_dirty_ &&
                      !group_rep_.empty();
   last_reused_ = reuse;
+  ++decide_calls_;
+  if (reuse) {
+    ++decide_group_reuses_;
+  } else {
+    ++decide_group_rebuilds_;
+  }
   if (reuse) {
     // Decision-stable steady state: membership and every backlog bit are
     // unchanged since the groups were built, so group structure is provably

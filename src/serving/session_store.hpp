@@ -304,6 +304,20 @@ class SessionStore {
     return last_reused_;
   }
 
+  // Cumulative memoization accounting over the store's lifetime (decide_all
+  // calls with >= 1 active session only). Plain uint64 adds at decide
+  // granularity — always on, free by the smoke budget; the session manager
+  // mirrors the per-call outcome into the telemetry registry.
+  [[nodiscard]] std::uint64_t decide_calls() const noexcept {
+    return decide_calls_;
+  }
+  [[nodiscard]] std::uint64_t decide_group_reuses() const noexcept {
+    return decide_group_reuses_;
+  }
+  [[nodiscard]] std::uint64_t decide_group_rebuilds() const noexcept {
+    return decide_group_rebuilds_;
+  }
+
   /// Drain bookkeeping for active session i after the scheduler granted
   /// `share`: Lindley queue step, trace append, hot-mirror refresh, EWMA
   /// update (alpha > 0 only), frame-row cursor advance, backlog dirty
@@ -415,6 +429,9 @@ class SessionStore {
   bool backlog_dirty_ = true;          // any backlog bits changed since build
   std::uint64_t groups_generation_ = 0;  // generation the groups were built at
   bool last_reused_ = false;
+  std::uint64_t decide_calls_ = 0;
+  std::uint64_t decide_group_reuses_ = 0;
+  std::uint64_t decide_group_rebuilds_ = 0;
   std::vector<std::uint32_t> group_of_;   // session index -> group id
   std::vector<std::uint32_t> group_rep_;  // group id -> representative index
   std::vector<const double*> group_row_;  // group id -> this slot's row

@@ -1,0 +1,34 @@
+#include "serving/telemetry/export.hpp"
+
+#include <fstream>
+
+namespace arvis {
+
+Status write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << body;
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status write_chrome_trace(const PhaseTracer& tracer, const std::string& path) {
+  return write_text_file(path, tracer.chrome_trace_json());
+}
+
+Status write_registry_json(const TelemetryRegistry& registry,
+                           const std::string& path) {
+  return write_text_file(path, registry.to_json());
+}
+
+Status write_registry_csv(const TelemetryRegistry& registry,
+                          const std::string& stem) {
+  if (const Status status =
+          registry.counters_table().write_file(stem + "_counters.csv");
+      !status.ok()) {
+    return status;
+  }
+  return registry.histograms_table().write_file(stem + "_histograms.csv");
+}
+
+}  // namespace arvis

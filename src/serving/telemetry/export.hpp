@@ -1,0 +1,32 @@
+// Telemetry file emitters: Chrome trace JSON, registry JSON, registry CSVs.
+// Thin wrappers over the tracer/registry renderers plus one file write, so
+// benches and examples share identical output shapes.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/tracer.hpp"
+
+namespace arvis {
+
+/// Writes `body` to `path`. IoError on failure.
+[[nodiscard]] Status write_text_file(const std::string& path,
+                                     const std::string& body);
+
+/// Writes the tracer's held spans as Chrome trace_event JSON (loadable by
+/// chrome://tracing and Perfetto).
+[[nodiscard]] Status write_chrome_trace(const PhaseTracer& tracer,
+                                        const std::string& path);
+
+/// Writes the registry as one JSON object (counters + histogram summaries).
+[[nodiscard]] Status write_registry_json(const TelemetryRegistry& registry,
+                                         const std::string& path);
+
+/// Writes counters_table() and histograms_table() as CSV next to each other:
+/// <stem>_counters.csv and <stem>_histograms.csv.
+[[nodiscard]] Status write_registry_csv(const TelemetryRegistry& registry,
+                                        const std::string& stem);
+
+}  // namespace arvis

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -27,6 +29,7 @@
 #include "serving/driver/replay.hpp"
 #include "serving/driver/scenario.hpp"
 #include "serving/driver/trace.hpp"
+#include "serving/telemetry/registry.hpp"
 
 // ------------------------------------------------------ allocation probe ----
 // Counting global operator new: the whole test binary routes through it (as
@@ -462,14 +465,22 @@ TEST(EventLoopTest, SkipIdleMatchesDenseExecutionOnConstantChannels) {
 
   // Snapshots punctuated the idle gap on schedule (slots 100, 200, ...).
   ASSERT_GE(skipped.report.snapshots.size(), 4U);
+  ASSERT_GE(dense.report.snapshots.size(), 4U);
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(skipped.report.snapshots[i].slot, 100 * (i + 1));
     EXPECT_EQ(skipped.report.snapshots[i].rejected_total, 0U);
+    // Both runs report utilization 0 across the gap; offered_bytes is what
+    // tells them apart — the skipped run's windows offered nothing (idle),
+    // the dense run executed the empty slots and drew capacity each one.
+    EXPECT_EQ(skipped.report.snapshots[i].window_utilization, 0.0);
+    EXPECT_EQ(skipped.report.snapshots[i].window_offered_bytes, 0.0);
+    EXPECT_EQ(dense.report.snapshots[i].window_utilization, 0.0);
+    EXPECT_GT(dense.report.snapshots[i].window_offered_bytes, 0.0);
   }
   // And the snapshot CSV is rectangular with the documented columns.
   const CsvTable table = skipped.report.snapshot_table();
   EXPECT_EQ(table.row_count(), skipped.report.snapshots.size());
-  EXPECT_EQ(table.column_count(), 8U);
+  EXPECT_EQ(table.column_count(), 9U);
 }
 
 TEST(EventLoopTest, StopEventCutsTheTailAndKeepsAccountingConsistent) {
@@ -830,6 +841,91 @@ TEST(EventLoopTest, ExternalCloseOnAClusterClosesOnTheOwningLink) {
   for (int i = 1; i < 4; ++i) {
     EXPECT_EQ(result.sessions[i].session.trace.size(), 40u) << i;
   }
+}
+
+// ------------------------------------------------ decide-memo telemetry ----
+
+// The decide-memo counters must agree with an oracle derived purely from the
+// emitted traces: the store reuses its grouping when membership is unchanged
+// AND no session's backlog bits moved during the previous drain; otherwise it
+// rebuilds. A 1-frame cache makes arrivals depth-constant, so once every
+// session fully drains each slot the backlog reaches a bit-stable fixed point
+// and the memo should hit on (nearly) every subsequent slot.
+TEST(EventLoopTest, DecideMemoCountersMatchTraceOracle) {
+  static const FrameStatsCache mono(*open_test_subject(71), 8,
+                                    /*frame_limit=*/1);
+  const std::vector<int> candidates{3, 4, 5, 6};
+  ServingConfig config;
+  config.steps = 60;
+  config.candidates = candidates;
+  // A near-zero V pins the argmax to the cheapest depth whenever backlog is
+  // positive; a calibrated V would ride a depth limit cycle whose backlog
+  // never bit-stabilizes, so the memo would (correctly) never hit.
+  config.v = 1e-6;
+  config.admission.utilization_target = 1.0;
+  TelemetryRegistry registry;
+  config.telemetry.mode = TelemetryMode::kCounters;
+  config.telemetry.registry = &registry;
+
+  // Capacity far above worst-case arrivals: every session drains fully
+  // every slot, so the backlog hits the fixed point q = a(cheapest).
+  const std::size_t n = 12;
+  const double capacity =
+      200.0 * static_cast<double>(n) *
+      AdmissionController::cheapest_depth_load(mono, candidates);
+  ConstantChannel channel(capacity);
+  SessionManager manager(config, capacity);
+  SessionSpec spec;
+  spec.cache = &mono;
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.seed = i;
+    manager.submit(spec);
+  }
+
+  DriverConfig driver;
+  SessionManagerBackend backend(manager, channel);
+  EventLoop loop(driver, backend);
+  loop.schedule_stop(config.steps);
+  loop.run();
+  const ServingResult result = manager.finish();
+  ASSERT_EQ(result.sessions.size(), n);
+  for (const auto& s : result.sessions) {
+    ASSERT_TRUE(s.admitted);
+    ASSERT_EQ(s.trace.size(), config.steps);
+  }
+
+  // Replay the memo rule from the traces alone (membership is constant, so
+  // only backlog-bit movement forces a rebuild; the flag clears on rebuild).
+  std::size_t want_reuses = 0;
+  std::size_t want_rebuilds = 0;
+  bool have_groups = false;
+  bool dirty = false;
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    if (have_groups && !dirty) {
+      ++want_reuses;
+    } else {
+      ++want_rebuilds;
+      have_groups = true;
+      dirty = false;
+    }
+    for (const auto& s : result.sessions) {
+      const StepRecord& rec = s.trace.at(t);
+      if (std::bit_cast<std::uint64_t>(rec.backlog_begin) !=
+          std::bit_cast<std::uint64_t>(rec.backlog_end)) {
+        dirty = true;
+      }
+    }
+  }
+
+  const auto counter = [&](const char* name) {
+    const TelemetryCounter* c = registry.find_counter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c != nullptr ? c->value() : 0;
+  };
+  EXPECT_EQ(counter("link0/decide_group_reuses"), want_reuses);
+  EXPECT_EQ(counter("link0/decide_group_rebuilds"), want_rebuilds);
+  // The fixed point must actually be reached — the memo pays off.
+  EXPECT_GT(want_reuses, want_rebuilds);
 }
 
 // ---------------------------------------------- incremental arrival feed ----
