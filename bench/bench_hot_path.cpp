@@ -324,7 +324,20 @@ bool oracle_matches(SchedulerPolicy policy, double pf_window, std::size_t n,
                 churn ? spec.departure_slot : kNeverDeparts, spec.weight};
     manager.submit(spec);
   }
-  for (std::size_t t = 0; t < steps; ++t) manager.step(capacity);
+  for (std::size_t t = 0; t < steps; ++t) {
+    manager.step(capacity);
+    // Lifetime-checker cross-check: SoA mirrors must match the cold slab at
+    // every checkpoint (cheap relative to the oracle replay; cadence chosen
+    // to hit dense and churn regimes alike).
+    if ((t & 15) == 0) {
+      const Status store_ok = manager.validate_store();
+      if (!store_ok.ok()) {
+        std::printf("oracle MISMATCH [%s]: %s\n", label,
+                    store_ok.to_string().c_str());
+        return false;
+      }
+    }
+  }
   const ServingResult result = manager.finish();
 
   std::vector<const SessionOutcome*> sessions(n);

@@ -1,0 +1,21 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arvis::detail {
+
+void dcheck_fail(const char* expr, const char* file, int line,
+                 const char* msg) noexcept {
+  if (msg != nullptr) {
+    std::fprintf(stderr, "ARVIS_DCHECK failed: %s (%s) at %s:%d\n", expr, msg,
+                 file, line);
+  } else {
+    std::fprintf(stderr, "ARVIS_DCHECK failed: %s at %s:%d\n", expr, file,
+                 line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace arvis::detail

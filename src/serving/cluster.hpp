@@ -36,6 +36,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.hpp"
 #include "net/channel.hpp"
 #include "serving/session_manager.hpp"
 
@@ -155,6 +156,17 @@ class EdgeCluster {
   /// Sessions refused by every link they were offered to so far.
   [[nodiscard]] std::size_t placement_rejects() const noexcept {
     return placement_rejects_;
+  }
+
+  /// Cross-checks every link's session store against its cold slab
+  /// (SessionStore::validate); the first failure wins. For tests and the
+  /// bench oracles — never part of the slot loop.
+  [[nodiscard]] Status validate_stores() const {
+    for (const auto& link : links_) {
+      Status s = link->validate_store();
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
   }
 
   /// External-close control: ends session `session_id` at the current slot.

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "net/channel.hpp"
 #include "serving/admission.hpp"
 #include "serving/executor.hpp"
@@ -235,6 +236,12 @@ class SessionManager {
   [[nodiscard]] const ServerMetrics& metrics() const noexcept {
     return metrics_;
   }
+
+  /// Cross-checks the session store's SoA mirrors against the cold slab
+  /// (SessionStore::validate). O(active + slab), callable mid-run between
+  /// phases — tests and the bench oracles call it at checkpoints; it is
+  /// never part of the slot loop.
+  [[nodiscard]] Status validate_store() const { return store_.validate(); }
 
   /// Due slot of the earliest not-yet-admitted internal arrival, or
   /// kNeverDeparts when none are pending. Lets an external driver know how

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <unordered_set>
 
 namespace arvis {
 
@@ -18,12 +20,10 @@ double clamped(const std::vector<double>& table, int depth) {
   return table[static_cast<std::size_t>(std::clamp(depth, 0, last))];
 }
 
-/// Mixes a decide key (row pointer, backlog bits) into a table hash
+/// Mixes a decide key (interned row key, backlog bits) into a table hash
 /// (splitmix64-style finalizer; the low bits index the power-of-two ring).
-std::uint64_t mix_key(const double* row, std::uint64_t backlog_bits) {
-  std::uint64_t k = static_cast<std::uint64_t>(
-                        reinterpret_cast<std::uintptr_t>(row)) ^
-                    (backlog_bits * 0x9E3779B97F4A7C15ULL);
+std::uint64_t mix_key(std::uint64_t row_key, std::uint64_t backlog_bits) {
+  std::uint64_t k = row_key ^ (backlog_bits * 0x9E3779B97F4A7C15ULL);
   k ^= k >> 33;
   k *= 0xFF51AFD7ED558CCDULL;
   k ^= k >> 33;
@@ -78,23 +78,32 @@ ServingSession* SessionStore::find(std::size_t id) noexcept {
   return nullptr;
 }
 
-const FlatDecideTable& SessionStore::intern(const FrameStatsCache& cache) {
-  for (const auto& [key, table] : tables_) {
-    if (key == &cache) return *table;
+std::size_t SessionStore::intern(const FrameStatsCache& cache) {
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (tables_[t].first == &cache) return t;
   }
   tables_.emplace_back(&cache,
                        std::make_unique<FlatDecideTable>(cache, candidates_));
-  return *tables_.back().second;
+  return tables_.size() - 1;
 }
 
 void SessionStore::activate(ServingSession& s, std::size_t slot) {
-  const FlatDecideTable& table = intern(*s.spec.cache);
+#if ARVIS_DCHECK_IS_ON
+  // Double-activation would alias two SoA slots onto one slab record;
+  // O(active) scan, Debug builds only.
+  for (const ServingSession* a : active_) {
+    ARVIS_DCHECK_MSG(a != &s, "session activated twice");
+  }
+#endif
+  const std::size_t table_id = intern(*s.spec.cache);
+  const FlatDecideTable& table = *tables_[table_id].second;
   (void)slot;  // session-local frame time starts at row 0 regardless
   active_.push_back(&s);
   backlog_.push_back(0.0);  // sessions start with an empty queue
   weight_.push_back(s.spec.weight);
   ewma_.push_back(0.0);
   table_.push_back(table.data());
+  table_id_.push_back(static_cast<std::uint32_t>(table_id));
   frames_.push_back(table.frames());
   row_off_.push_back(0);
   departure_.push_back(s.spec.departure_slot);
@@ -106,11 +115,29 @@ void SessionStore::activate(ServingSession& s, std::size_t slot) {
 }
 
 void SessionStore::resize_active(std::size_t n) {
+#if ARVIS_DCHECK_IS_ON
+  // Poison-on-release: freed slots keep their retired session's data in
+  // vector capacity, where a stale index that dodges the bounds DCHECK (or
+  // a push_back that recycles the slot without rewriting every mirror)
+  // would read it silently. Overwrite with unmistakable poison first.
+  for (std::size_t i = n; i < active_.size(); ++i) {
+    active_[i] = nullptr;
+    backlog_[i] = std::bit_cast<double>(kPoisonedSlotBits);
+    weight_[i] = std::bit_cast<double>(kPoisonedSlotBits);
+    ewma_[i] = std::bit_cast<double>(kPoisonedSlotBits);
+    table_[i] = nullptr;
+    table_id_[i] = std::numeric_limits<std::uint32_t>::max();
+    frames_[i] = 0;
+    row_off_[i] = std::numeric_limits<std::size_t>::max();
+    departure_[i] = 0;
+  }
+#endif
   active_.resize(n);
   backlog_.resize(n);
   weight_.resize(n);
   ewma_.resize(n);
   table_.resize(n);
+  table_id_.resize(n);
   frames_.resize(n);
   row_off_.resize(n);
   departure_.resize(n);
@@ -141,6 +168,108 @@ void SessionStore::histo_remove(std::uint64_t weight_bits) {
   }
 }
 
+Status SessionStore::validate() const {
+  const std::size_t n = active_.size();
+  const auto fail = [](std::size_t i, const char* what) {
+    return Status::FailedPrecondition("SessionStore::validate: slot " +
+                                      std::to_string(i) + ": " + what);
+  };
+  if (backlog_.size() != n || weight_.size() != n || ewma_.size() != n ||
+      table_.size() != n || table_id_.size() != n || frames_.size() != n ||
+      row_off_.size() != n || departure_.size() != n || depth_.size() != n ||
+      dec_arrivals_.size() != n || dec_quality_.size() != n) {
+    return Status::FailedPrecondition(
+        "SessionStore::validate: SoA mirrors not index-parallel with the "
+        "active list");
+  }
+  std::unordered_set<const ServingSession*> seen;
+  seen.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServingSession* s = active_[i];
+    if (s == nullptr) return fail(i, "null (poisoned?) session pointer");
+    if (!seen.insert(s).second) return fail(i, "session aliased twice");
+    if (s->phase != SessionPhase::kActive) {
+      return fail(i, "slab record is not kActive");
+    }
+    if (std::bit_cast<std::uint64_t>(weight_[i]) !=
+        std::bit_cast<std::uint64_t>(s->spec.weight)) {
+      return fail(i, "weight mirror diverged from spec");
+    }
+    if (departure_[i] != s->spec.departure_slot) {
+      return fail(i, "departure mirror diverged from spec");
+    }
+    if (std::bit_cast<std::uint64_t>(backlog_[i]) == kPoisonedSlotBits) {
+      return fail(i, "poisoned backlog in live slot");
+    }
+    if (!(backlog_[i] >= 0.0)) return fail(i, "negative or NaN backlog");
+    if (table_id_[i] >= tables_.size()) {
+      return fail(i, "table id out of interned range");
+    }
+    const auto& [cache, table] = tables_[table_id_[i]];
+    if (cache != s->spec.cache) {
+      return fail(i, "interned table belongs to a different cache");
+    }
+    if (table_[i] != table->data()) {
+      return fail(i, "table base pointer diverged from interned table");
+    }
+    if (frames_[i] != table->frames()) {
+      return fail(i, "frame count diverged from interned table");
+    }
+    const std::size_t stride = 2 * width_;
+    if (row_off_[i] % stride != 0 || row_off_[i] >= frames_[i] * stride) {
+      return fail(i, "row cursor out of table range or misaligned");
+    }
+  }
+  // The weight histogram must be exactly reproducible from the mirrors (it
+  // drives uniform_weights / distinct_weight_count, which gate scheduler
+  // fast paths — a drifted histogram silently changes scheduling).
+  std::vector<std::pair<std::uint64_t, std::size_t>> expect;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(weight_[i]);
+    bool found = false;
+    for (auto& [b, c] : expect) {
+      if (b == bits) {
+        ++c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) expect.emplace_back(bits, 1);
+  }
+  if (expect.size() != weight_histo_.size()) {
+    return Status::FailedPrecondition(
+        "SessionStore::validate: weight histogram tier count diverged");
+  }
+  for (const auto& [bits, count] : expect) {
+    bool matched = false;
+    for (const auto& [b, c] : weight_histo_) {
+      if (b == bits && c == count) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Status::FailedPrecondition(
+          "SessionStore::validate: weight histogram count diverged");
+    }
+  }
+  // Decide-group structures only claim validity while the membership they
+  // were built against is current.
+  if (groups_generation_ == generation_ && !group_rep_.empty()) {
+    if (group_row_.size() != group_rep_.size()) {
+      return Status::FailedPrecondition(
+          "SessionStore::validate: group rep/row arrays diverged");
+    }
+    for (std::size_t g = 0; g < group_rep_.size(); ++g) {
+      if (group_rep_[g] >= n) {
+        return Status::FailedPrecondition(
+            "SessionStore::validate: group representative out of range");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 void SessionStore::rebuild_groups() {
   const std::size_t n = active_.size();
   group_rep_.clear();
@@ -158,39 +287,39 @@ void SessionStore::rebuild_groups() {
   const std::size_t mask = memo_.size() - 1;
   const std::uint64_t epoch = ++memo_epoch_;
 
-  const double* prev_row = nullptr;
+  std::uint64_t prev_key = 0;
   std::uint64_t prev_bits = 0;
   std::uint32_t prev_group = 0;
   bool have_prev = false;
   for (std::size_t i = 0; i < n; ++i) {
-    const double* row = table_[i] + row_off_[i];
+    const std::uint64_t key = row_key(i);
     const std::uint64_t bits = std::bit_cast<std::uint64_t>(backlog_[i]);
     // Cohort fast path: sessions that activated together sit adjacently in
     // the active list and evolve identically, so most duplicates are the
     // previous index — no hash probe, no random memory touch.
-    if (have_prev && row == prev_row && bits == prev_bits) {
+    if (have_prev && key == prev_key && bits == prev_bits) {
       group_of_[i] = prev_group;
       continue;
     }
-    std::size_t p = mix_key(row, bits) & mask;
+    std::size_t p = mix_key(key, bits) & mask;
     std::uint32_t g;
     for (;;) {
       MemoSlot& slot = memo_[p];
       if (slot.epoch != epoch) {
         g = static_cast<std::uint32_t>(group_rep_.size());
-        slot = MemoSlot{epoch, row, bits, g};
+        slot = MemoSlot{epoch, key, bits, g};
         group_rep_.push_back(static_cast<std::uint32_t>(i));
-        group_row_.push_back(row);
+        group_row_.push_back(table_[i] + row_off_[i]);
         break;
       }
-      if (slot.row == row && slot.backlog_bits == bits) {
+      if (slot.row_key == key && slot.backlog_bits == bits) {
         g = slot.group;
         break;
       }
       p = (p + 1) & mask;
     }
     group_of_[i] = g;
-    prev_row = row;
+    prev_key = key;
     prev_bits = bits;
     prev_group = g;
     have_prev = true;

@@ -58,7 +58,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "sim/frame_stats_cache.hpp"
 #include "sim/trace.hpp"
 
@@ -73,6 +75,12 @@ inline constexpr std::size_t kNeverDeparts =
 /// lockstep — one cache line of doubles halved, the sweet spot for the
 /// 4-6-wide candidate rows the runtime uses).
 inline constexpr std::size_t kDecideLanes = 4;
+
+/// Poison bit pattern written into freed SoA backlog/weight slots when the
+/// check layer is on: a quiet NaN with a recognizable payload, so a stale
+/// index that survives the bounds DCHECK still trips the poison DCHECK
+/// instead of silently reading a retired session's data.
+inline constexpr std::uint64_t kPoisonedSlotBits = 0x7FF8DEADBEEFDEADULL;
 
 /// One streaming client as submitted to the server.
 struct SessionSpec {
@@ -236,8 +244,61 @@ class SessionStore {
     return active_.size();
   }
   [[nodiscard]] ServingSession& active_session(std::size_t i) noexcept {
+    ARVIS_DCHECK_LT(i, active_.size());
+    ARVIS_DCHECK_MSG(active_[i] != nullptr, "poisoned active slot");
     return *active_[i];
   }
+
+  // --- generation-stamped handles (the arena lifetime checker) ------------
+
+  /// A reference to an active SoA slot, stamped with the membership
+  /// generation it was minted at. Any lifecycle edge (activation or
+  /// retirement batch) bumps the generation, so a handle that survives one
+  /// is provably stale: indices may have compacted underneath it. Resolving
+  /// a stale handle is a checked error in Debug/sanitizer builds and
+  /// undefined in Release — mint handles per slot, never store them across
+  /// begin_slot(). Two plain words; Release pays nothing for carrying one.
+  struct ActiveHandle {
+    std::size_t index = 0;
+    std::uint64_t generation = 0;
+  };
+
+  /// Mints a handle for active index `i` at the current generation.
+  [[nodiscard]] ActiveHandle active_handle(std::size_t i) const noexcept {
+    ARVIS_DCHECK_LT(i, active_.size());
+    return ActiveHandle{i, generation_};
+  }
+
+  /// Resolves a handle to its session, validating (Debug only) that no
+  /// lifecycle edge invalidated it and the slot is not poisoned.
+  [[nodiscard]] ServingSession& resolve(ActiveHandle h) noexcept {
+    ARVIS_DCHECK_MSG(h.generation == generation_,
+                     "stale session handle: lifecycle edge since mint");
+    ARVIS_DCHECK_LT(h.index, active_.size());
+    ARVIS_DCHECK_MSG(active_[h.index] != nullptr, "poisoned active slot");
+    return *active_[h.index];
+  }
+
+  /// Handle-validated hot-mirror read (the schedulers read whole spans; this
+  /// is the single-session accessor for code that holds a handle).
+  [[nodiscard]] double backlog_at(ActiveHandle h) const noexcept {
+    ARVIS_DCHECK_MSG(h.generation == generation_,
+                     "stale session handle: lifecycle edge since mint");
+    ARVIS_DCHECK_LT(h.index, active_.size());
+    ARVIS_DCHECK_MSG(
+        std::bit_cast<std::uint64_t>(backlog_[h.index]) != kPoisonedSlotBits,
+        "poisoned active slot");
+    return backlog_[h.index];
+  }
+
+  /// Cross-checks every SoA mirror against the cold slab and the interned
+  /// tables: index-parallel lengths, weight/departure bit-equality with the
+  /// spec, table pointers/frame counts matching the session's interned
+  /// table, row cursors aligned and in range, the weight histogram exactly
+  /// reproducible from the mirrors, and no poisoned or duplicated slots.
+  /// O(active + slab) — called from tests and the bench oracles, never from
+  /// the slot loop (hot-path invariants are the DCHECKs above).
+  [[nodiscard]] Status validate() const;
 
   // --- O(changed) aggregates ----------------------------------------------
 
@@ -268,6 +329,12 @@ class SessionStore {
   /// no allocation, no virtual dispatch, no transcendental math, no integer
   /// division (the frame row is a cursor advanced by drain()).
   void decide(std::size_t i) noexcept {
+    ARVIS_DCHECK_LT(i, active_.size());
+    ARVIS_DCHECK_MSG(
+        std::bit_cast<std::uint64_t>(backlog_[i]) != kPoisonedSlotBits,
+        "decide on poisoned (released) slot");
+    ARVIS_DCHECK_MSG(table_[i] != nullptr, "decide on poisoned table slot");
+    ARVIS_DCHECK_LT(row_off_[i], frames_[i] * 2 * width_);
     const double q = backlog_[i];
     const double* row = table_[i] + row_off_[i];
     const double* u = row;
@@ -329,6 +396,11 @@ class SessionStore {
   /// through the trace records and the served-bytes return: the cold queue
   /// object's running statistics were per-session·slot work nobody read.
   double drain(std::size_t i, std::size_t slot, double share, double alpha) {
+    ARVIS_DCHECK_LT(i, active_.size());
+    ARVIS_DCHECK_MSG(active_[i] != nullptr, "drain on poisoned slot");
+    ARVIS_DCHECK_MSG(
+        std::bit_cast<std::uint64_t>(backlog_[i]) != kPoisonedSlotBits,
+        "drain on poisoned (released) slot");
     ServingSession& s = *active_[i];
     StepRecord record;
     record.t = slot;
@@ -377,13 +449,15 @@ class SessionStore {
     weight_[to] = weight_[from];
     ewma_[to] = ewma_[from];
     table_[to] = table_[from];
+    table_id_[to] = table_id_[from];
     frames_[to] = frames_[from];
     row_off_[to] = row_off_[from];
     departure_[to] = departure_[from];
   }
 
   void resize_active(std::size_t n);
-  const FlatDecideTable& intern(const FrameStatsCache& cache);
+  /// Index into tables_ of the (possibly newly) interned table for `cache`.
+  std::size_t intern(const FrameStatsCache& cache);
   void rebuild_groups();
   void run_blocked_kernel();
   void histo_add(std::uint64_t weight_bits);
@@ -391,12 +465,26 @@ class SessionStore {
 
   /// One epoch-stamped slot of the grouping hash (open addressing, linear
   /// probing; stale entries die by stamp, never by clearing the table).
+  ///
+  /// Keys are (interned-table id << 32 | row offset, backlog bits) — stable
+  /// identifiers, deliberately NOT the row's address: a pointer key dangles
+  /// the moment a table is freed and re-interned (the sharded runtime will
+  /// migrate sessions across stores), and comparing a dangling pointer that
+  /// the allocator reused is a silent wrong-group hazard no sanitizer can
+  /// see. row_key() packs the id/offset pair; offsets are DCHECKed to fit.
   struct MemoSlot {
     std::uint64_t epoch = 0;
-    const double* row = nullptr;
+    std::uint64_t row_key = 0;
     std::uint64_t backlog_bits = 0;
     std::uint32_t group = 0;
   };
+
+  /// The memo key of active session i's current frame row.
+  [[nodiscard]] std::uint64_t row_key(std::size_t i) const noexcept {
+    ARVIS_DCHECK_LE(row_off_[i], 0xFFFFFFFFULL);
+    return (static_cast<std::uint64_t>(table_id_[i]) << 32) |
+           static_cast<std::uint64_t>(row_off_[i]);
+  }
 
   std::vector<int> candidates_;
   double v_;
@@ -410,6 +498,7 @@ class SessionStore {
   std::vector<double> weight_;
   std::vector<double> ewma_;
   std::vector<const double*> table_;       // flattened table base pointer
+  std::vector<std::uint32_t> table_id_;    // index into tables_ (memo key)
   std::vector<std::size_t> frames_;        // table frame count (cycle length)
   std::vector<std::size_t> row_off_;       // current frame row, in doubles
   std::vector<std::size_t> departure_;     // spec departure slot (sweep key)

@@ -52,7 +52,10 @@ TelemetryCounter& TelemetryRegistry::counter(std::string_view name) {
   for (auto& entry : counters_) {
     if (entry.name == name) return entry.instrument;
   }
-  counters_.push_back({std::string(name), {}});
+  // emplace + assign (not push_back of a temporary): the counter's atomic
+  // member makes Entry immovable.
+  counters_.emplace_back();
+  counters_.back().name = std::string(name);
   return counters_.back().instrument;
 }
 

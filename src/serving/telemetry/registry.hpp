@@ -3,10 +3,10 @@
 //
 // Components register named instruments once at construction and keep the
 // returned handles; the hot path then records through plain pointers — no
-// name lookup, no hashing, no allocation, no atomics. Instruments are
-// deliberately single-threaded (the serving runtime serializes everything
-// except the decide fan-out, which records nothing): a counter is one
-// uint64 add, a histogram record is a bit_width + two adds.
+// name lookup, no hashing, no allocation. A counter is one relaxed atomic
+// add (safe to record from inside the decide fan-out); histograms stay
+// deliberately single-threaded (the serving runtime serializes every phase
+// that records one): a histogram record is a bit_width + two adds.
 //
 // Histograms are log2-bucketed: bucket 0 holds values < 1, bucket b >= 1
 // holds [2^(b-1), 2^b). Percentiles report the owning bucket's lower bound,
@@ -19,6 +19,7 @@
 // tables deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -32,13 +33,22 @@ namespace arvis {
 class PhaseTracer;  // tracer.hpp
 
 /// A named monotonic counter. add() only; no reset (a run owns its registry).
+/// add() is a relaxed atomic fetch-add: counters are the one instrument a
+/// parallel phase may record into (the decide fan-out), so concurrent adds
+/// must never tear or drop. Relaxed is enough — there is no ordering to
+/// protect, only the sum — and value() is meaningful at phase barriers
+/// (slot boundaries and export time), which is when the runtime reads it.
 class TelemetryCounter {
  public:
-  void add(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// A log2-bucketed histogram for latency/size samples. O(1) record.

@@ -19,30 +19,9 @@
 #include "serving/admission.hpp"
 #include "serving/cluster.hpp"
 #include "serving/session_manager.hpp"
+#include "support/alloc_probe.hpp"
 
-// ------------------------------------------------------ allocation probe ----
-// Counting global operator new: the whole test binary routes through it, and
-// the steady-state tests assert the delta over a measured window is zero.
-namespace {
-std::atomic<std::size_t> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+using arvis_test::g_allocations;
 
 namespace arvis {
 namespace {
@@ -157,7 +136,9 @@ TEST(EdgeClusterTest, K1RoundRobinReproducesSingleLinkBitForBit) {
       EXPECT_EQ(cs.summary.mean_depth, ss.summary.mean_depth);
     }
     expect_traces_bit_identical(cs.trace, ss.trace);
-    if (cs.admitted) EXPECT_EQ(cluster.sessions[i].link, 0);
+    if (cs.admitted) {
+      EXPECT_EQ(cluster.sessions[i].link, 0);
+    }
   }
 }
 

@@ -267,7 +267,7 @@ TEST(ResultTest, HoldsError) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(r.value_or(9), 9);
-  EXPECT_THROW(r.value(), BadResultAccess);
+  EXPECT_THROW((void)r.value(), BadResultAccess);
 }
 
 TEST(ResultTest, RejectsOkStatusConstruction) {

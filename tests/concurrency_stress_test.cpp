@@ -1,0 +1,144 @@
+// Thread-stress subset (ctest -L thread; the TSan preset runs exactly these).
+//
+// Three contracts under deliberate contention:
+//   1. ParallelExecutor fan-outs at 2-8 threads stay bit-for-bit identical
+//      to the serial run — the determinism claim the cluster decide phase
+//      rests on (paper: distributed per-session controllers must not observe
+//      the fan-out width).
+//   2. TelemetryCounter::add is safe to call concurrently (relaxed atomic):
+//      hammered from every worker, the sum is exact, never torn or dropped.
+//   3. The executor's own machinery (claim loop, exception funnel, pool
+//      reuse) survives back-to-back jobs under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "datasets/catalog.hpp"
+#include "net/channel.hpp"
+#include "net/streaming.hpp"
+#include "serving/executor.hpp"
+#include "serving/session_manager.hpp"
+#include "serving/telemetry/registry.hpp"
+
+namespace arvis {
+namespace {
+
+const FrameStatsCache& stress_cache() {
+  static const FrameStatsCache cache(*open_test_subject(71), 8, 8);
+  return cache;
+}
+
+ServingConfig stress_config(std::size_t threads) {
+  ServingConfig config;
+  config.steps = 160;
+  config.candidates = {3, 4, 5, 6};
+  config.v = calibrate_streaming_v(stress_cache(), config.candidates,
+                                   4.0 * stress_cache().workload(0).bytes(5));
+  config.admission.enabled = false;  // everyone in: maximise the fan-out
+  config.threads = threads;
+  return config;
+}
+
+std::vector<SessionSpec> churny_specs(std::size_t n, std::size_t steps) {
+  std::vector<SessionSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].cache = &stress_cache();
+    specs[i].seed = i;
+    specs[i].weight = (i % 3 == 0) ? 2.0 : 1.0;
+    // Staggered arrivals/departures so lifecycle edges land mid-run (the
+    // compaction paths run while the executor is in use).
+    specs[i].arrival_slot = (i % 5) * 7;
+    specs[i].departure_slot = (i % 4 == 0) ? steps / 2 + i : kNeverDeparts;
+  }
+  return specs;
+}
+
+ServingResult run_at(std::size_t threads, std::size_t n) {
+  ServingConfig config = stress_config(threads);
+  ConstantChannel channel(5.0e5);
+  return run_serving_scenario(config, churny_specs(n, config.steps), channel);
+}
+
+TEST(ConcurrencyStressTest, ParallelFanOutBitIdenticalAcrossThreadCounts) {
+  const std::size_t n = 96;
+  const ServingResult serial = run_at(1, n);
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    const ServingResult parallel = run_at(threads, n);
+    ASSERT_EQ(parallel.sessions.size(), serial.sessions.size()) << threads;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SessionOutcome& a = serial.sessions[i];
+      const SessionOutcome& b = parallel.sessions[i];
+      ASSERT_EQ(a.trace.size(), b.trace.size())
+          << "threads=" << threads << " session=" << i;
+      for (std::size_t t = 0; t < a.trace.size(); ++t) {
+        const StepRecord& x = a.trace.at(t);
+        const StepRecord& y = b.trace.at(t);
+        ASSERT_EQ(x.depth, y.depth)
+            << "threads=" << threads << " session=" << i << " slot=" << t;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(x.backlog_end),
+                  std::bit_cast<std::uint64_t>(y.backlog_end))
+            << "threads=" << threads << " session=" << i << " slot=" << t;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(x.quality),
+                  std::bit_cast<std::uint64_t>(y.quality))
+            << "threads=" << threads << " session=" << i << " slot=" << t;
+      }
+    }
+    EXPECT_EQ(parallel.fleet.capacity_used, serial.fleet.capacity_used);
+  }
+}
+
+TEST(ConcurrencyStressTest, ConcurrentCounterAddsAreExact) {
+  TelemetryRegistry registry;
+  // Handles registered up front (the registry itself is single-threaded);
+  // only add() is exercised concurrently, per the instrument contract.
+  TelemetryCounter& hits = registry.counter("stress/hits");
+  TelemetryCounter& bytes = registry.counter("stress/bytes");
+  const std::size_t iterations = 200'000;
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    const std::uint64_t hits_before = hits.value();
+    const std::uint64_t bytes_before = bytes.value();
+    ParallelExecutor executor(threads);
+    executor.parallel_for(iterations, [&](std::size_t i) {
+      hits.add();
+      bytes.add(i % 7 + 1);
+    });
+    std::uint64_t expect_bytes = 0;
+    for (std::size_t i = 0; i < iterations; ++i) expect_bytes += i % 7 + 1;
+    EXPECT_EQ(hits.value() - hits_before, iterations) << threads;
+    EXPECT_EQ(bytes.value() - bytes_before, expect_bytes) << threads;
+  }
+}
+
+TEST(ConcurrencyStressTest, ExecutorSurvivesContendedReuseAndExceptions) {
+  ParallelExecutor executor(8);
+  std::vector<std::atomic<std::uint32_t>> hits(4096);
+  for (auto& h : hits) h = 0;
+  // Many small back-to-back jobs: the pool's handoff (claim counter,
+  // wakeup, completion barrier) is the contended surface, not the work.
+  for (int round = 0; round < 50; ++round) {
+    executor.parallel_for(hits.size(),
+                          [&](std::size_t i) { ++hits[i]; });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 50U);
+
+  // A throwing job must drain, propagate once, and leave the pool usable.
+  std::atomic<std::uint32_t> ran{0};
+  EXPECT_THROW(executor.parallel_for(512,
+                                     [&](std::size_t i) {
+                                       ++ran;
+                                       if (i % 128 == 13) {
+                                         throw std::runtime_error("boom");
+                                       }
+                                     }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 512U);
+  executor.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 51U);
+}
+
+}  // namespace
+}  // namespace arvis

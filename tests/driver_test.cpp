@@ -30,31 +30,11 @@
 #include "serving/driver/scenario.hpp"
 #include "serving/driver/trace.hpp"
 #include "serving/telemetry/registry.hpp"
+#include "support/alloc_probe.hpp"
 
-// ------------------------------------------------------ allocation probe ----
-// Counting global operator new: the whole test binary routes through it (as
-// in cluster_test), and the driver steady-state test asserts that extending
-// a run's arrival-free tail adds zero allocations.
-namespace {
-std::atomic<std::size_t> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// The driver steady-state test asserts that extending a run's arrival-free
+// tail adds zero allocations (probe shared with cluster_test).
+using arvis_test::g_allocations;
 
 namespace arvis {
 namespace {

@@ -599,8 +599,8 @@ TEST_F(AdaptiveVFixture, OptionValidation) {
 TEST_F(AdaptiveVFixture, RequiresModels) {
   AdaptiveVDepthController controller{AdaptiveVDepthController::Options{}};
   DepthContext empty;
-  EXPECT_THROW(controller.decide({1, 2}, empty), std::invalid_argument);
-  EXPECT_THROW(controller.decide({}, empty), std::invalid_argument);
+  EXPECT_THROW((void)controller.decide({1, 2}, empty), std::invalid_argument);
+  EXPECT_THROW((void)controller.decide({}, empty), std::invalid_argument);
 }
 
 // -------------------------------------------------- Hindsight oracle ----

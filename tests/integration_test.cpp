@@ -131,9 +131,11 @@ TEST(IntegrationTest, FullPipelinePlyToControlledStream) {
   fs::create_directories(dir);
   const auto source = open_test_subject(82);
   for (std::size_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(write_ply_file((dir / ("f" + std::to_string(i) + ".ply")).string(),
-                               source->frame(i))
-                    .ok());
+    // += instead of operator+ dodges GCC -Wrestrict FP (GCC PR 105651).
+    std::string name = "f";
+    name += std::to_string(i);
+    name += ".ply";
+    ASSERT_TRUE(write_ply_file((dir / name).string(), source->frame(i)).ok());
   }
   auto ply_seq = PlySequence::open(dir.string());
   ASSERT_TRUE(ply_seq.ok());

@@ -161,12 +161,12 @@ TEST(LyapunovControllerTest, RequiresModelsAndValidCandidates) {
   LyapunovDepthController controller(1.0);
   DepthContext no_models;
   no_models.queue_backlog = 0.0;
-  EXPECT_THROW(controller.decide(kCandidates, no_models),
+  EXPECT_THROW((void)controller.decide(kCandidates, no_models),
                std::invalid_argument);
   const DepthContext ok = make_context(0.0, quality, workload);
-  EXPECT_THROW(controller.decide({}, ok), std::invalid_argument);
-  EXPECT_THROW(controller.decide({5, 5}, ok), std::invalid_argument);
-  EXPECT_THROW(controller.decide({6, 5}, ok), std::invalid_argument);
+  EXPECT_THROW((void)controller.decide({}, ok), std::invalid_argument);
+  EXPECT_THROW((void)controller.decide({5, 5}, ok), std::invalid_argument);
+  EXPECT_THROW((void)controller.decide({6, 5}, ok), std::invalid_argument);
 }
 
 // -------------------------------------------------- Baseline controllers ----
@@ -185,7 +185,7 @@ TEST(FixedDepthControllerTest, MinMaxSpecific) {
   EXPECT_EQ(max_ctrl.name(), "only-max-depth");
   EXPECT_EQ(at4.name(), "fixed-depth-4");
   auto at9 = FixedDepthController::at(9);
-  EXPECT_THROW(at9.decide(kCandidates, ctx), std::invalid_argument);
+  EXPECT_THROW((void)at9.decide(kCandidates, ctx), std::invalid_argument);
 }
 
 TEST(RandomDepthControllerTest, StaysInSetAndCoversIt) {

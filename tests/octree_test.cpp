@@ -81,12 +81,12 @@ TEST(OctreeTest, SurfaceOccupancyGrowsRoughlyFourfold) {
 
 TEST(OctreeTest, DepthRangeChecks) {
   const Octree tree(sphere_cloud(100, 5), 6);
-  EXPECT_THROW(tree.occupied_count(-1), std::out_of_range);
-  EXPECT_THROW(tree.occupied_count(7), std::out_of_range);
+  EXPECT_THROW((void)tree.occupied_count(-1), std::out_of_range);
+  EXPECT_THROW((void)tree.occupied_count(7), std::out_of_range);
   EXPECT_THROW(tree.extract_lod(0), std::out_of_range);
   EXPECT_THROW(tree.extract_lod(7), std::out_of_range);
   EXPECT_THROW(tree.level_nodes(6), std::out_of_range);
-  EXPECT_THROW(tree.cell_size(-1), std::out_of_range);
+  EXPECT_THROW((void)tree.cell_size(-1), std::out_of_range);
 }
 
 TEST(OctreeTest, CellSizeHalvesPerDepth) {

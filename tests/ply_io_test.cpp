@@ -35,7 +35,9 @@ void expect_equal_clouds(const PointCloud& a, const PointCloud& b,
     EXPECT_NEAR(a.position(i).x, b.position(i).x, tolerance);
     EXPECT_NEAR(a.position(i).y, b.position(i).y, tolerance);
     EXPECT_NEAR(a.position(i).z, b.position(i).z, tolerance);
-    if (a.has_colors()) EXPECT_EQ(a.color(i), b.color(i));
+    if (a.has_colors()) {
+      EXPECT_EQ(a.color(i), b.color(i));
+    }
   }
 }
 

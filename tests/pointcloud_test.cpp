@@ -211,7 +211,9 @@ TEST(VoxelizeTest, CodesSortedUniqueAndCountsMatch) {
   ASSERT_FALSE(voxels.codes.empty());
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < voxels.codes.size(); ++i) {
-    if (i > 0) EXPECT_LT(voxels.codes[i - 1], voxels.codes[i]);
+    if (i > 0) {
+      EXPECT_LT(voxels.codes[i - 1], voxels.codes[i]);
+    }
     total += voxels.point_counts[i];
   }
   EXPECT_EQ(total, cloud.size());

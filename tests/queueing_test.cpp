@@ -100,7 +100,7 @@ TEST(QueueBankTest, AggregatesAcrossQueues) {
   EXPECT_DOUBLE_EQ(bank.total_backlog(), 14.0);
   EXPECT_DOUBLE_EQ(bank.max_backlog(), 10.0);
   EXPECT_THROW(QueueBank(0), std::invalid_argument);
-  EXPECT_THROW(bank.queue(3), std::out_of_range);
+  EXPECT_THROW((void)bank.queue(3), std::out_of_range);
 }
 
 // --------------------------------------------------------- VirtualQueue ----

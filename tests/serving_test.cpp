@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <variant>
@@ -1046,6 +1048,154 @@ TEST(ServingScenarioTest, EventLoopWrapperMatchesHandRolledFixedHorizonLoop) {
   EXPECT_EQ(hand.fleet.total_time_average_backlog,
             looped.fleet.total_time_average_backlog);
   EXPECT_EQ(hand.fleet.peak_concurrency, looped.fleet.peak_concurrency);
+}
+
+// -------------------------------------------------------- Session store ----
+
+const FrameStatsCache& alt_cache() {
+  // Different subject than shared_cache() -> different workload/quality
+  // tables, so a session deciding on the wrong table decides differently.
+  static const FrameStatsCache cache(*open_test_subject(72), 8, 8);
+  return cache;
+}
+
+TEST(SessionStoreTest, ValidatePassesThroughLifecycle) {
+  const ServingConfig config = small_config();
+  SessionStore store(config.candidates, config.v);
+  EXPECT_TRUE(store.validate().ok());
+
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  for (std::size_t id = 0; id < 6; ++id) {
+    spec.departure_slot = (id % 2 == 0) ? 4 : kNeverDeparts;
+    spec.weight = (id % 3 == 0) ? 2.0 : 1.0;
+    ServingSession& s = store.create(id, spec);
+    s.phase = SessionPhase::kActive;
+    store.activate(s, 0);
+  }
+  EXPECT_TRUE(store.validate().ok()) << store.validate().to_string();
+
+  for (std::size_t t = 0; t < 8; ++t) {
+    store.retire_departed(t, [](ServingSession& s) {
+      s.phase = SessionPhase::kClosed;
+    });
+    store.decide_all();
+    for (std::size_t i = 0; i < store.active_count(); ++i) {
+      store.drain(i, t, 500.0, 0.25);
+    }
+    const Status ok = store.validate();
+    EXPECT_TRUE(ok.ok()) << "slot " << t << ": " << ok.to_string();
+  }
+  EXPECT_EQ(store.active_count(), 3U);  // the even ids departed at slot 4
+}
+
+TEST(SessionStoreTest, ValidateDetectsSlabMirrorDivergence) {
+  const ServingConfig config = small_config();
+  SessionStore store(config.candidates, config.v);
+  SessionSpec spec;
+  spec.cache = &shared_cache();
+  ServingSession& s = store.create(0, spec);
+  s.phase = SessionPhase::kActive;
+  store.activate(s, 0);
+  ASSERT_TRUE(store.validate().ok());
+
+  // A spec mutated behind the store's back must be caught: the weight and
+  // departure mirrors are bit-compared against the cold slab.
+  s.spec.weight = 3.0;
+  EXPECT_EQ(store.validate().code(), StatusCode::kFailedPrecondition);
+  s.spec.weight = 1.0;
+  ASSERT_TRUE(store.validate().ok());
+
+  s.spec.departure_slot = 7;  // without mirror_departure()
+  EXPECT_EQ(store.validate().code(), StatusCode::kFailedPrecondition);
+  store.mirror_departure(s);  // the sanctioned mutation path repairs it
+  EXPECT_TRUE(store.validate().ok());
+
+  s.phase = SessionPhase::kClosed;  // active slot pointing at a closed record
+  EXPECT_EQ(store.validate().code(), StatusCode::kFailedPrecondition);
+  s.phase = SessionPhase::kActive;
+  EXPECT_TRUE(store.validate().ok());
+}
+
+TEST(SessionStoreTest, ReinterningTablesMidRunKeepsDecisionsExact) {
+  // Regression for the decide-memo key scheme: memo entries are keyed by
+  // (interned table id, row offset), never by the row's address. The
+  // adversarial shape is sessions on *different* tables whose (row offset,
+  // backlog bits) collide exactly — fresh activations all start at row 0
+  // with backlog 0 — plus a table retired from use and re-interned mid-run.
+  // A key scheme that conflates tables would group them together and decide
+  // some sessions on the wrong table; every decision is therefore checked
+  // bit-for-bit against a twin store driven only by the scalar kernel.
+  const ServingConfig config = small_config();
+  SessionStore store(config.candidates, config.v);   // decide_all (memoized)
+  SessionStore oracle(config.candidates, config.v);  // decide(i) (scalar)
+
+  std::size_t next_id = 0;
+  const auto spawn = [&](const FrameStatsCache& cache, std::size_t count,
+                         std::size_t departure) {
+    SessionSpec spec;
+    spec.cache = &cache;
+    spec.departure_slot = departure;
+    for (std::size_t k = 0; k < count; ++k, ++next_id) {
+      for (SessionStore* st : {&store, &oracle}) {
+        ServingSession& s = st->create(next_id, spec);
+        s.phase = SessionPhase::kActive;
+        st->activate(s, 0);
+      }
+    }
+  };
+  const auto step = [&](std::size_t t) {
+    for (SessionStore* st : {&store, &oracle}) {
+      st->retire_departed(
+          t, [](ServingSession& s) { s.phase = SessionPhase::kClosed; });
+    }
+    store.decide_all();
+    for (std::size_t i = 0; i < oracle.active_count(); ++i) oracle.decide(i);
+    ASSERT_EQ(store.active_count(), oracle.active_count());
+    for (std::size_t i = 0; i < store.active_count(); ++i) {
+      // Identical per-session share so backlogs stay bit-identical too.
+      store.drain(i, t, 700.0, 0.0);
+      oracle.drain(i, t, 700.0, 0.0);
+    }
+    const Status ok = store.validate();
+    ASSERT_TRUE(ok.ok()) << "slot " << t << ": " << ok.to_string();
+  };
+
+  spawn(shared_cache(), 3, 4);            // cohort A: table 0, departs at 4
+  spawn(alt_cache(), 3, kNeverDeparts);   // cohort B: table 1, same row/backlog
+  for (std::size_t t = 0; t < 4; ++t) step(t);
+  // Cohort A is gone; re-intern its table mid-run (must find table id 0, not
+  // mint a duplicate) alongside more sessions on table 1.
+  spawn(shared_cache(), 2, kNeverDeparts);
+  spawn(alt_cache(), 2, kNeverDeparts);
+  for (std::size_t t = 4; t < 12; ++t) step(t);
+
+  // Bit-for-bit comparison of every surviving session's full trace.
+  ASSERT_EQ(store.session_count(), oracle.session_count());
+  for (std::size_t pos = 0; pos < store.session_count(); ++pos) {
+    const Trace& got = store.session(pos).trace;
+    const Trace& want = oracle.session(pos).trace;
+    ASSERT_EQ(got.size(), want.size()) << "session " << pos;
+    for (std::size_t t = 0; t < got.size(); ++t) {
+      const StepRecord& g = got.at(t);
+      const StepRecord& w = want.at(t);
+      EXPECT_EQ(g.depth, w.depth) << "session " << pos << " slot " << t;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(g.arrivals),
+                std::bit_cast<std::uint64_t>(w.arrivals));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(g.quality),
+                std::bit_cast<std::uint64_t>(w.quality));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(g.backlog_end),
+                std::bit_cast<std::uint64_t>(w.backlog_end));
+    }
+  }
+  // The engine rebuilt across the lifecycle edges above; now exercise the
+  // reuse path too: with no drain or churn since the previous call, the
+  // second decide_all must reuse the grouping (and still match the oracle).
+  EXPECT_GT(store.decide_group_rebuilds(), 0U);
+  store.decide_all();  // rebuilds: the last drain dirtied the backlogs
+  store.decide_all();  // provably unchanged since -> reuse
+  EXPECT_TRUE(store.last_decide_reused_groups());
+  EXPECT_GT(store.decide_group_reuses(), 0U);
 }
 
 TEST(ServingScenarioTest, AdmissionKeepsFleetStable) {

@@ -1,0 +1,55 @@
+// Counting global operator new: a test binary includes this once and every
+// allocation in the process routes through it, so steady-state tests can
+// assert the delta over a measured window is exactly zero (the zero-hot-path
+// -allocation invariant, also enforced statically by tools/lint_invariants.py).
+//
+// The replacement operators route to std::malloc/std::free — the standard
+// replacement pattern, and ASan-compatible (ASan intercepts malloc, so probe
+// binaries stay fully poisoned/leak-checked). GCC's -Wmismatched-new-delete
+// cannot see that the replaced operator new is malloc-backed and flags the
+// free() at inlined delete sites as a mismatch; that diagnostic is a known
+// false positive for user-replaced global operators and is suppressed for
+// exactly these four definitions.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace arvis_test {
+
+/// Total operator new / new[] calls in this process.
+inline std::atomic<std::size_t> g_allocations{0};
+
+inline std::size_t allocation_count() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace arvis_test
+
+void* operator new(std::size_t size) {
+  arvis_test::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  arvis_test::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -40,11 +40,18 @@ TEST(TelemetryCounterTest, GetOrCreateReturnsStableHandles) {
 
   // Handles survive later registrations (deque storage).
   TelemetryCounter* handles[64];
+  // Names built with += (not operator+) to dodge GCC's -Wrestrict false
+  // positive on "literal" + to_string temporaries (GCC PR 105651).
+  const auto name_of = [](int i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    return name;
+  };
   for (int i = 0; i < 64; ++i) {
-    handles[i] = &registry.counter("c" + std::to_string(i));
+    handles[i] = &registry.counter(name_of(i));
   }
   for (int i = 0; i < 64; ++i) {
-    EXPECT_EQ(handles[i], &registry.counter("c" + std::to_string(i)));
+    EXPECT_EQ(handles[i], &registry.counter(name_of(i)));
   }
   EXPECT_EQ(registry.counter_count(), 65U);
   EXPECT_EQ(registry.find_counter("link0/slots"), &a);
