@@ -7,14 +7,16 @@
 // at the last snapshot, executed vs skipped slots, and wall time.
 //
 // Build & run:  ./build/bench/bench_driver_churn [--smoke] [--json]
-//                                                [--telemetry]
+//                                                [--telemetry] [--slo]
 //
 // --json appends a dated trajectory entry to BENCH_driver_churn.json (one
 // record per scenario at the least-loaded 2-link point; ns per executed
 // slot). --telemetry re-runs the poisson and flash-crowd points with full
 // tracing on, writes churn_<scenario>_trace.json (Chrome trace_event format,
 // loadable in Perfetto / chrome://tracing) and prints the per-phase rollup
-// plus the counter registry.
+// plus the counter registry. --slo replays the flash crowd under
+// deliberately tight SLOs, prints the transition log and an
+// "SLO_SUMMARY breaches=N blips=M" line, and fails if nothing breached.
 //
 // --smoke runs three hard invariants cheap enough for CI and exits non-zero
 // on violation:
@@ -101,7 +103,8 @@ arvis::ReplayConfig replay_for(const SweepPoint& point) {
 
 arvis::ReplayResult run_point(
     const SweepPoint& point, double& wall_ms,
-    const arvis::TelemetryConfig* telemetry = nullptr) {
+    const arvis::TelemetryConfig* telemetry = nullptr,
+    const arvis::SloConfig* slo = nullptr) {
   using namespace arvis;
   const WorkloadTrace trace =
       make_scenario(point.kind, scenario_for(point))->generate();
@@ -110,6 +113,7 @@ arvis::ReplayResult run_point(
     config.cluster.serving.telemetry = *telemetry;
     config.driver.telemetry = *telemetry;
   }
+  if (slo != nullptr) config.driver.slo = *slo;
 
   const double load = AdmissionController::cheapest_depth_load(
       churn_cache(), config.cluster.serving.candidates);
@@ -269,6 +273,39 @@ int run_telemetry() {
   return failures == 0 ? 0 : 1;
 }
 
+/// Flash-crowd replay under deliberately tight SLOs: the spike must drive at
+/// least one spec to breach, exercising the whole chain (per-tier sampling ->
+/// window evaluation -> transition log -> report). Prints the transition
+/// table and a final SLO_SUMMARY line; exits non-zero if nothing breached —
+/// a silent SLO engine under a flash crowd means the sampling broke.
+int run_slo() {
+  using namespace arvis;
+  SweepPoint point;
+  point.kind = ScenarioKind::kFlashCrowd;
+
+  SloConfig slo;
+  slo.windows = {/*fast=*/2, /*slow=*/6};
+  slo.specs = {
+      {"accept-ratio", SloMetric::kAcceptRatio, 0.99, -1},
+      {"queue-delay", SloMetric::kP95QueueDelay, 3.0, -1},
+      {"reject-ratio", SloMetric::kRejectRatio, 0.01, -1},
+  };
+
+  double ms = 0.0;
+  const ReplayResult result = run_point(point, ms, nullptr, &slo);
+  std::printf("flash-crowd under tight SLOs (%.2f ms wall):\n%s\n", ms,
+              result.report.slo_table().to_pretty_string().c_str());
+  std::printf("SLO_SUMMARY breaches=%llu blips=%llu\n",
+              static_cast<unsigned long long>(result.report.slo_breaches),
+              static_cast<unsigned long long>(result.report.slo_blips));
+  if (result.report.slo_breaches == 0) {
+    std::printf("slo FAIL: flash crowd breached nothing\n");
+    return 1;
+  }
+  std::printf("slo OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,6 +314,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
     if (std::strcmp(argv[i], "--telemetry") == 0) return run_telemetry();
+    if (std::strcmp(argv[i], "--slo") == 0) return run_slo();
     if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
   }
 

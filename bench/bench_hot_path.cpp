@@ -10,7 +10,7 @@
 //          list, admission and active-list compaction are all on the clock.
 //
 // Build & run:  ./build/bench/bench_hot_path [--smoke] [--json [--quick]]
-//                                            [--telemetry]
+//                                            [--telemetry] [--flight]
 //
 // --json appends a dated trajectory entry to BENCH_hot_path.json (run from
 // the repo root to land it there); --quick shrinks the sweep for CI.
@@ -18,6 +18,9 @@
 // per-phase spans every slot), records the enabled overhead as a
 // "slot_loop_dense_telemetry" trajectory record, and fails if the overhead
 // exceeds 5%.
+// --flight A/Bs dense@10k with the (default-on) flight recorder disarmed vs
+// armed, records the armed cost as a "slot_loop_dense_flight" trajectory
+// record, and fails if the overhead exceeds 25%.
 // --smoke runs hard invariants cheap enough for CI and exits non-zero on
 // violation:
 //   1. oracle equivalence: the runtime's slot loop, re-simulated through the
@@ -55,6 +58,7 @@
 #include "serving/cluster.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/session_manager.hpp"
+#include "serving/telemetry/flight_recorder.hpp"
 #include "serving/telemetry/registry.hpp"
 #include "serving/telemetry/tracer.hpp"
 #include "sim/frame_stats_cache.hpp"
@@ -609,18 +613,84 @@ int run_telemetry_ab() {
   return 0;
 }
 
+// --------------------------------------------------- flight-recorder A/B ----
+
+/// Dense@10k with the flight recorder disabled vs armed. The recorder is
+/// default-on in production, so this measures what everyone pays: in dense
+/// steady state the ring only takes writes at lifecycle edges (the 10k
+/// admissions land during warm-up), leaving the measured window to show the
+/// cost of carrying the armed pointer through the hot loop — which must stay
+/// under the 25% budget with margin to spare. The measured number lands in
+/// BENCH_hot_path.json as its own record so the trajectory tracks it.
+int run_flight_ab() {
+  const std::size_t n = 10'000, warm = 8, measure = 64;
+  FlightRecorder recorder;  // isolated ring, same shape as the global one
+  TelemetryConfig armed;
+  armed.flight = &recorder;
+  TelemetryConfig disarmed;
+  disarmed.flight_off = true;
+
+  // Interleaved repetitions, min of each side (see run_telemetry_ab).
+  const std::size_t reps = 7;
+  Measurement off, on;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const Measurement a = run_dense(n, warm, measure, &disarmed);
+    const Measurement b = run_dense(n, warm, measure, &armed);
+    if (r == 0 || a.ns_per_session_slot < off.ns_per_session_slot) off = a;
+    if (r == 0 || b.ns_per_session_slot < on.ns_per_session_slot) on = b;
+  }
+
+  const double overhead_pct =
+      off.ns_per_session_slot > 0.0
+          ? (on.ns_per_session_slot / off.ns_per_session_slot - 1.0) * 100.0
+          : 0.0;
+  std::printf(
+      "flight-recorder A/B dense@10k: off %.3f ns, armed %.3f ns "
+      "(overhead %+.2f%%, ring holds %zu events, %llu dropped)\n",
+      off.ns_per_session_slot, on.ns_per_session_slot, overhead_pct,
+      recorder.size(), static_cast<unsigned long long>(recorder.dropped()));
+
+  std::vector<arvis::bench::BenchRecord> records;
+  records.push_back({"slot_loop_dense_flight",
+                     "{\"sessions\":10000,\"recorder\":\"armed\"}",
+                     on.ns_per_session_slot, on.session_slots, reps});
+  char extra[256];
+  std::snprintf(extra, sizeof extra,
+                "\"unit\":\"ns_per_session_slot\","
+                "\"flight_off_ns\":%.3f,\"flight_on_ns\":%.3f,"
+                "\"flight_overhead_pct\":%.3f",
+                off.ns_per_session_slot, on.ns_per_session_slot, overhead_pct);
+  if (!arvis::bench::write_bench_json("hot_path", records, extra)) return 1;
+
+  double limit = 25.0;  // BENCH_FLIGHT_OVERHEAD_PCT overrides (noisy hosts)
+  if (const char* env = std::getenv("BENCH_FLIGHT_OVERHEAD_PCT")) {
+    const double parsed = std::strtod(env, nullptr);
+    if (parsed > 0.0) limit = parsed;
+  }
+  if (overhead_pct >= limit) {
+    std::printf("flight FAIL: overhead %.2f%% >= %.1f%%\n", overhead_pct,
+                limit);
+    return 1;
+  }
+  std::printf("flight OK: overhead %.2f%% < %.1f%%\n", overhead_pct, limit);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false, json = false, quick = false, telemetry = false;
+  bool flight = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--telemetry") == 0) telemetry = true;
+    if (std::strcmp(argv[i], "--flight") == 0) flight = true;
   }
   if (smoke) return run_smoke();
   if (telemetry) return run_telemetry_ab();
+  if (flight) return run_flight_ab();
 
   struct Point {
     std::size_t sessions, warm, measure, reps;

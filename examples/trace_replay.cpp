@@ -6,16 +6,27 @@
 // tool — and replayed through a two-link EdgeCluster under least-loaded
 // placement. The EventLoop runs open-loop: no horizon anywhere, the run lasts
 // exactly as long as the churn does, idle stretches are fast-forwarded, and
-// periodic snapshots record the spike hitting the admission wall.
+// periodic snapshots record the spike hitting the admission wall. A few
+// sessions abandon mid-stream (the trace's t_close column), exercising the
+// external-close path.
 //
-// Build & run:  ./build/examples/trace_replay [--telemetry]
-// Writes:       trace_replay_events.csv, trace_replay_snapshots.csv
-//               (--telemetry adds trace_replay_trace.json — Chrome
-//               trace_event format, loadable in Perfetto — plus
-//               trace_replay_counters.csv / trace_replay_histograms.csv and
-//               prints the per-phase rollup)
+// Build & run:  ./build/examples/trace_replay [--telemetry] [--slo-strict]
+//                                             [--out-dir DIR]
+// Writes (under DIR, default trace_replay_out/):
+//   events.csv, snapshots.csv
+//   --telemetry adds trace.json (Chrome trace_event format, loadable in
+//   Perfetto) plus telemetry_counters.csv / telemetry_histograms.csv and
+//   prints the per-phase rollup
+//   --slo-strict (or --slo) arms deliberately tight SLOs so the spike
+//   breaches: prints the transition log and a final "SLO_SUMMARY breaches=N
+//   blips=M" line, rewrites live_stats.json at every snapshot (watch it with
+//   tools/arvis_top.py), exports metrics.prom (Prometheus text format), and
+//   auto-dumps the flight recorder's black box to slo_black_box.json on the
+//   first breach
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "datasets/catalog.hpp"
@@ -25,13 +36,39 @@
 #include "serving/driver/scenario.hpp"
 #include "serving/driver/trace.hpp"
 #include "serving/telemetry/export.hpp"
+#include "serving/telemetry/flight_recorder.hpp"
 #include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/slo.hpp"
 #include "serving/telemetry/tracer.hpp"
 
 int main(int argc, char** argv) {
   using namespace arvis;
-  const bool telemetry_on =
-      argc > 1 && std::strcmp(argv[1], "--telemetry") == 0;
+  bool telemetry_on = false;
+  bool slo_on = false;
+  std::string out_dir = "trace_replay_out";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry_on = true;
+    } else if (std::strcmp(argv[i], "--slo-strict") == 0 ||
+               std::strcmp(argv[i], "--slo") == 0) {
+      slo_on = true;
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--telemetry] [--slo-strict] [--out-dir DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const auto out = [&](const char* name) { return out_dir + "/" + name; };
 
   // Two content profiles: trace rows reference them by id, staying
   // content-agnostic until replay binds them.
@@ -58,11 +95,19 @@ int main(int argc, char** argv) {
   scenario.spike_duration = 60;
   scenario.spike_multiplier = 100.0;
   scenario.seed = 2'022;
-  const WorkloadTrace generated =
+  WorkloadTrace generated =
       make_scenario(ScenarioKind::kFlashCrowd, scenario)->generate();
 
+  // Every seventh long-enough session abandons 20 slots in: the trace's
+  // t_close column end to end (serialized, reloaded, applied as external
+  // closes — count them in `closes applied` below).
+  for (std::size_t i = 0; i < generated.events.size(); i += 7) {
+    TraceEvent& e = generated.events[i];
+    if (e.duration > 40) e.t_close = e.t_arrive + 20;
+  }
+
   // Round-trip through the CSV format, then replay the *loaded* file.
-  const std::string trace_path = "trace_replay_events.csv";
+  const std::string trace_path = out("events.csv");
   if (!generated.write_csv_file(trace_path).ok()) {
     std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
     return 1;
@@ -87,16 +132,35 @@ int main(int argc, char** argv) {
   config.driver.snapshot_period = 60;
 
   // Full tracing on demand: one registry + tracer shared by both links and
-  // the driver (the cluster assigns each link its tid).
+  // the driver (the cluster assigns each link its tid). SLO mode turns
+  // counters on so the black box carries a registry snapshot.
   TelemetryRegistry registry;
   PhaseTracer tracer(TracerConfig{});
-  if (telemetry_on) {
+  if (telemetry_on || slo_on) {
     TelemetryConfig telemetry;
-    telemetry.mode = TelemetryMode::kFullTrace;
+    telemetry.mode =
+        telemetry_on ? TelemetryMode::kFullTrace : TelemetryMode::kCounters;
     telemetry.registry = &registry;
-    telemetry.tracer = &tracer;
+    if (telemetry_on) telemetry.tracer = &tracer;
     config.cluster.serving.telemetry = telemetry;
     config.driver.telemetry = telemetry;
+  }
+
+  if (slo_on) {
+    // Deliberately tight objectives: the flash crowd must breach them. The
+    // same specs with honest thresholds are the production shape.
+    config.driver.slo.windows = {/*fast=*/2, /*slow=*/5};
+    config.driver.slo.specs = {
+        {"accept-ratio", SloMetric::kAcceptRatio, 0.99, -1},
+        {"premium-accept", SloMetric::kAcceptRatio, 0.99,
+         static_cast<int>(QosClass::kPremium)},
+        {"queue-delay", SloMetric::kP95QueueDelay, 4.0, -1},
+    };
+    config.driver.slo.black_box_path = out("slo_black_box.json");
+    config.driver.live_stats_path = out("live_stats.json");
+    config.driver.config_echo =
+        "{\"run\":\"trace_replay --slo-strict\",\"links\":2,"
+        "\"placement\":\"least-loaded\"}";
   }
 
   // Two links, each sized for about three cheapest-depth sessions: the base
@@ -130,40 +194,62 @@ int main(int argc, char** argv) {
   std::printf(
       "\nfleet: %zu admitted, %zu refused outright (%zu spills rescued), "
       "utilization %.1f%%,\n"
-      "       run ended itself at slot %zu — %zu slots executed, %zu idle "
-      "slots skipped\n"
+      "       %zu mid-stream closes applied; run ended itself at slot %zu — "
+      "%zu slots executed,\n"
+      "       %zu idle slots skipped\n"
       "(the spike is the only stretch that rejects: watch the `rejected` "
       "column jump\n"
       "across it and stay flat everywhere else)\n",
       result.cluster.metrics.fleet.sessions_admitted,
       result.cluster.metrics.placement_rejects, result.cluster.metrics.spills,
       100.0 * result.cluster.metrics.fleet.utilization(),
+      result.report.closes_applied,
       result.report.slots_executed + result.report.slots_skipped,
       result.report.slots_executed, result.report.slots_skipped);
 
-  if (!result.report.snapshot_table()
-           .write_file("trace_replay_snapshots.csv")
-           .ok()) {
-    std::fprintf(stderr, "cannot write trace_replay_snapshots.csv\n");
+  if (!result.report.snapshot_table().write_file(out("snapshots.csv")).ok()) {
+    std::fprintf(stderr, "cannot write snapshots.csv\n");
     return 1;
   }
-  std::printf(
-      "\nwrote trace_replay_events.csv (the replayable trace) and "
-      "trace_replay_snapshots.csv\n");
+  std::printf("\nwrote %s (the replayable trace) and %s\n",
+              trace_path.c_str(), out("snapshots.csv").c_str());
+
+  if (slo_on) {
+    std::printf("\nSLO transitions (tight thresholds — the spike *should* "
+                "breach):\n%s\n",
+                result.report.slo_table().to_pretty_string().c_str());
+    if (!write_prometheus_text(registry, out("metrics.prom")).ok()) {
+      std::fprintf(stderr, "cannot write metrics.prom\n");
+      return 1;
+    }
+    std::printf("wrote %s (Prometheus text format) and %s (rewritten at "
+                "every snapshot)\n",
+                out("metrics.prom").c_str(), out("live_stats.json").c_str());
+    if (result.report.slo_breaches > 0) {
+      std::printf("black box auto-dumped to %s on the first breach "
+                  "(last %zu flight events + registry + config echo)\n",
+                  out("slo_black_box.json").c_str(),
+                  global_flight_recorder().size());
+    }
+    std::printf("SLO_SUMMARY breaches=%llu blips=%llu\n",
+                static_cast<unsigned long long>(result.report.slo_breaches),
+                static_cast<unsigned long long>(result.report.slo_blips));
+  }
 
   if (telemetry_on) {
-    if (!write_chrome_trace(tracer, "trace_replay_trace.json").ok() ||
-        !write_registry_csv(registry, "trace_replay").ok()) {
+    if (!write_chrome_trace(tracer, out("trace.json")).ok() ||
+        !write_registry_csv(registry, out("telemetry")).ok()) {
       std::fprintf(stderr, "cannot write telemetry exports\n");
       return 1;
     }
     std::printf(
         "\nper-phase rollup (%zu spans, %zu dropped):\n%s\n"
-        "wrote trace_replay_trace.json (open in Perfetto or "
-        "chrome://tracing),\ntrace_replay_counters.csv and "
-        "trace_replay_histograms.csv\n",
+        "wrote %s (open in Perfetto or chrome://tracing),\n"
+        "%s_counters.csv and %s_histograms.csv\n",
         tracer.size(), tracer.dropped(),
-        tracer.rollup_table().to_pretty_string().c_str());
+        tracer.rollup_table().to_pretty_string().c_str(),
+        out("trace.json").c_str(), out("telemetry").c_str(),
+        out("telemetry").c_str());
   }
   return 0;
 }

@@ -1,7 +1,22 @@
 #include "common/check.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+namespace arvis {
+
+namespace {
+
+std::atomic<DcheckFailureHook> g_failure_hook{nullptr};
+
+}  // namespace
+
+DcheckFailureHook set_dcheck_failure_hook(DcheckFailureHook hook) noexcept {
+  return g_failure_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+}  // namespace arvis
 
 namespace arvis::detail {
 
@@ -15,6 +30,13 @@ void dcheck_fail(const char* expr, const char* file, int line,
                  line);
   }
   std::fflush(stderr);
+  // Exchange-then-call: a failure inside the hook finds no hook installed
+  // and aborts plainly instead of recursing.
+  if (DcheckFailureHook hook =
+          g_failure_hook.exchange(nullptr, std::memory_order_acq_rel);
+      hook != nullptr) {
+    hook();
+  }
   std::abort();
 }
 

@@ -74,4 +74,18 @@ namespace arvis {
   return ARVIS_DCHECK_IS_ON != 0;
 }
 
+/// Last-gasp callback invoked by dcheck_fail() after printing the failure
+/// but before std::abort() — the flight recorder installs one to write its
+/// black-box dump, so a crashing run leaves its recent event history behind.
+/// The hook must not return control flow to the failing code path (the abort
+/// still happens) and must tolerate being called from any thread. common/
+/// stays free of serving/ dependencies: the hook is a bare function pointer,
+/// installed by whoever owns the richer machinery.
+using DcheckFailureHook = void (*)() noexcept;
+
+/// Installs `hook` (nullptr to clear) and returns the previous one. The hook
+/// is cleared before invocation, so a DCHECK failing *inside* the hook
+/// aborts plainly instead of recursing.
+DcheckFailureHook set_dcheck_failure_hook(DcheckFailureHook hook) noexcept;
+
 }  // namespace arvis

@@ -61,6 +61,7 @@ EdgeCluster::EdgeCluster(const ClusterConfig& config,
   }
   const TelemetryConfig& tel = config_.serving.telemetry;
   if (tel.trace_on()) tracer_ = tel.tracer;
+  flight_ = resolve_flight_recorder(tel);
   if (tel.counters_on()) {
     TelemetryRegistry& reg = *tel.registry;
     c_placed_ = &reg.counter("cluster/sessions_placed");
@@ -164,10 +165,15 @@ void EdgeCluster::place_arrivals() {
         e.link = static_cast<int>(k);
         e.spilled = a > 0;
         e.max_sustainable_depth = decision.max_sustainable_depth;
+        ++placed_;
         if (e.spilled) ++spills_;
         if (c_placed_ != nullptr) {
           c_placed_->add(1);
           if (e.spilled) c_spills_->add(1);
+        }
+        if (e.spilled && flight_ != nullptr) {
+          flight_->record(FlightEventKind::kPlacementSpill, slot_, kClusterTid,
+                          static_cast<double>(e.id), static_cast<double>(k));
         }
         break;
       }
@@ -177,6 +183,11 @@ void EdgeCluster::place_arrivals() {
       e.max_sustainable_depth = best_depth;
       ++placement_rejects_;
       if (c_rejects_ != nullptr) c_rejects_->add(1);
+      if (flight_ != nullptr) {
+        flight_->record(FlightEventKind::kPlacementReject, slot_, kClusterTid,
+                        static_cast<double>(e.id),
+                        static_cast<double>(attempts));
+      }
     }
     if (config_.placement == PlacementPolicy::kRoundRobin) {
       rr_cursor_ = (rr_cursor_ + 1) % links_.size();
@@ -188,6 +199,13 @@ void EdgeCluster::place_arrivals() {
         pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_));
     pending_head_ = 0;
   }
+}
+
+void EdgeCluster::accumulate_slo(SloObservation& observation) {
+  observation.placed += placed_;
+  observation.spills += spills_;
+  observation.placement_rejects += placement_rejects_;
+  for (auto& link : links_) link->accumulate_slo(observation);
 }
 
 void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {

@@ -158,6 +158,12 @@ class EdgeCluster {
     return placement_rejects_;
   }
 
+  /// Folds the cluster's SLO sample into `observation`: every link's
+  /// per-tier counters and gauges (worst-link view — see
+  /// SessionManager::accumulate_slo) plus the cumulative placement
+  /// outcomes. Snapshot cadence only.
+  void accumulate_slo(SloObservation& observation);
+
   /// Cross-checks every link's session store against its cold slab
   /// (SessionStore::validate); the first failure wins. For tests and the
   /// bench oracles — never part of the slot loop.
@@ -208,6 +214,7 @@ class EdgeCluster {
   ServerMetrics metrics_;  // cluster-wide slot + session aggregates
   std::size_t slot_ = 0;
   bool finished_ = false;
+  std::size_t placed_ = 0;
   std::size_t spills_ = 0;
   std::size_t placement_rejects_ = 0;
   // Scratch reused across slots.
@@ -221,6 +228,9 @@ class EdgeCluster {
   TelemetryCounter* c_placed_ = nullptr;
   TelemetryCounter* c_spills_ = nullptr;
   TelemetryCounter* c_rejects_ = nullptr;
+  /// Cluster-level flight events (spill/refusal on the kClusterTid lane);
+  /// the links record their own admit/reject/close events.
+  FlightRecorder* flight_ = nullptr;
 };
 
 /// Convenience one-shot mirroring run_serving_scenario: submits `specs`,

@@ -1,11 +1,14 @@
 #include "serving/driver/event_loop.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "common/log.hpp"
 #include "serving/metrics.hpp"
+#include "serving/telemetry/export.hpp"
 #include "serving/telemetry/registry.hpp"
 #include "serving/telemetry/tracer.hpp"
 
@@ -110,6 +113,17 @@ EventLoop::EventLoop(const DriverConfig& config, ServingBackend& backend)
   if (config_.telemetry.counters_on()) {
     h_batch_ = &config_.telemetry.registry->histogram("driver/event_batch_size");
   }
+  flight_ = resolve_flight_recorder(config_.telemetry);
+  if (!config_.slo.specs.empty()) {
+    slo_ = std::make_unique<SloMonitor>(config_.slo);  // validates
+    if (config_.telemetry.counters_on()) {
+      TelemetryRegistry& reg = *config_.telemetry.registry;
+      for (const SloSpec& spec : config_.slo.specs) {
+        c_slo_breach_.push_back(&reg.counter("slo/" + spec.name + "/breaches"));
+        c_slo_blip_.push_back(&reg.counter("slo/" + spec.name + "/blips"));
+      }
+    }
+  }
 }
 
 void EventLoop::reserve(std::size_t arrivals) {
@@ -191,6 +205,96 @@ void EventLoop::take_snapshot(std::size_t slot, DriverReport& report) {
   prev_per_link_used_ = per_link_used_;
 
   report.snapshots.push_back(snapshot);
+
+  if (flight_ != nullptr) {
+    flight_->record(FlightEventKind::kSnapshot, slot, kDriverTid,
+                    static_cast<double>(snapshot.active_sessions),
+                    snapshot.window_utilization);
+  }
+  if (slo_ != nullptr) observe_slo(snapshot);
+  if (!config_.live_stats_path.empty()) write_live_stats(snapshot);
+}
+
+void EventLoop::observe_slo(const MetricsSnapshot& snapshot) {
+  SloObservation observation;
+  observation.slot = snapshot.slot;
+  backend_->sample_slo(observation);
+  for (const SloTransition& t : slo_->observe(observation)) {
+    const SloSpec& spec = config_.slo.specs[t.spec];
+    switch (t.to) {
+      case SloState::kBreach:
+        if (!c_slo_breach_.empty()) c_slo_breach_[t.spec]->add(1);
+        log_warn("SLO BREACH '", spec.name, "' (", to_string(spec.metric),
+                 ") at slot ", t.slot, ": fast=", t.fast_value,
+                 " slow=", t.slow_value, " threshold=", t.threshold);
+        if (flight_ != nullptr) {
+          flight_->record(FlightEventKind::kSloBreach, t.slot, kDriverTid,
+                          static_cast<double>(t.spec), t.fast_value);
+          if (!config_.slo.black_box_path.empty()) {
+            // Dump while the incident's first moments are still in the ring.
+            const Status status = write_black_box(
+                config_.slo.black_box_path, *flight_,
+                config_.telemetry.registry, config_.config_echo);
+            if (!status.ok()) {
+              log_warn("SLO black box write failed: ", status.message());
+            } else {
+              log_warn("SLO black box dumped to ",
+                       config_.slo.black_box_path);
+            }
+          }
+        }
+        break;
+      case SloState::kBlip:
+        if (!c_slo_blip_.empty()) c_slo_blip_[t.spec]->add(1);
+        log_warn("SLO blip '", spec.name, "' (", to_string(spec.metric),
+                 ") at slot ", t.slot, ": fast=", t.fast_value,
+                 " slow=", t.slow_value, " threshold=", t.threshold);
+        break;
+      case SloState::kOk:
+        log_info("SLO '", spec.name, "' recovered at slot ", t.slot);
+        if (flight_ != nullptr) {
+          flight_->record(FlightEventKind::kSloRecover, t.slot, kDriverTid,
+                          static_cast<double>(t.spec), t.fast_value);
+        }
+        break;
+    }
+  }
+}
+
+void EventLoop::write_live_stats(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"slot\":" + std::to_string(snapshot.slot);
+  out += ",\"active\":" + std::to_string(snapshot.active_sessions);
+  out += ",\"admitted\":" + std::to_string(snapshot.admitted_total);
+  out += ",\"rejected\":" + std::to_string(snapshot.rejected_total);
+  out += ",\"window_utilization\":" +
+         std::to_string(snapshot.window_utilization);
+  out += ",\"link_fairness\":" + std::to_string(snapshot.link_load_fairness);
+  out += ",\"config\":";
+  out += config_.config_echo.empty() ? "null" : config_.config_echo.c_str();
+  out += ",\"slo\":[";
+  if (slo_ != nullptr) {
+    for (std::size_t i = 0; i < config_.slo.specs.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"name\":\"" + config_.slo.specs[i].name + "\",\"state\":\"";
+      out += to_string(slo_->state(i));
+      out += "\"}";
+    }
+  }
+  out += "],\"breaches\":" +
+         std::to_string(slo_ != nullptr ? slo_->breach_count() : 0);
+  out += ",\"blips\":" +
+         std::to_string(slo_ != nullptr ? slo_->blip_count() : 0);
+  out += "}\n";
+  // Write-then-rename so a concurrent reader (tools/arvis_top.py) never
+  // sees a torn file.
+  const std::string tmp = config_.live_stats_path + ".tmp";
+  if (const Status status = write_text_file(tmp, out); !status.ok()) {
+    log_warn("live stats write failed: ", status.message());
+    return;
+  }
+  if (std::rename(tmp.c_str(), config_.live_stats_path.c_str()) != 0) {
+    log_warn("live stats rename failed: ", config_.live_stats_path);
+  }
 }
 
 void EventLoop::pull_source(std::size_t now, DriverReport& report) {
@@ -341,6 +445,14 @@ DriverReport EventLoop::run() {
       backend_->step_slot();
       ++report.slots_executed;
     }
+  }
+
+  // SLO bookkeeping into the report (self-contained: specs ride along).
+  if (slo_ != nullptr) {
+    report.slo_transitions = slo_->transitions();
+    report.slo_specs = config_.slo.specs;
+    report.slo_breaches = slo_->breach_count();
+    report.slo_blips = slo_->blip_count();
   }
 
   // End-of-run flush: report totals and calendar structural counters land in

@@ -46,6 +46,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/csv.hpp"
@@ -77,6 +79,22 @@ struct DriverConfig {
   /// ServingConfig::telemetry — point both at the same registry/tracer for
   /// one combined view.
   TelemetryConfig telemetry;
+  /// Declarative SLOs, evaluated at every snapshot (so they need
+  /// snapshot_period > 0 to ever fire). Empty specs = SLO engine off — the
+  /// loop then never samples SLO observations at all. Breach/blip/recovery
+  /// transitions land in the report, bump "slo/<name>/..." counters (when
+  /// telemetry counters are on), emit log_warn lines, record flight events,
+  /// and — on a transition INTO breach, when SloConfig::black_box_path is
+  /// set — auto-dump the flight recorder's black box.
+  SloConfig slo;
+  /// When non-empty, the loop rewrites this file at every snapshot with a
+  /// small JSON live-status object (slot, active sessions, window
+  /// utilization, per-spec SLO standing) — written to "<path>.tmp" then
+  /// renamed, so watchers (tools/arvis_top.py) never read a torn file.
+  std::string live_stats_path;
+  /// Free-form run description echoed into black boxes and live stats
+  /// (must be valid JSON when non-empty, e.g. "{\"run\":\"flash-crowd\"}").
+  std::string config_echo;
 };
 
 /// One periodic sample of the runtime's running counters. Counter fields are
@@ -121,6 +139,20 @@ struct DriverReport {
   std::size_t closes_ignored = 0;
   /// True when DriverConfig::max_slots ended the run.
   bool hit_slot_cap = false;
+  /// Every SLO state transition the monitor observed, oldest first (empty
+  /// when DriverConfig::slo has no specs), plus the specs they index —
+  /// copied from the config so the report is self-contained.
+  std::vector<SloTransition> slo_transitions;
+  std::vector<SloSpec> slo_specs;
+  /// Transitions INTO breach / INTO blip, respectively.
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t slo_blips = 0;
+
+  /// The SLO transition log as CSV (slot, spec, from, to, fast, slow,
+  /// threshold).
+  [[nodiscard]] CsvTable slo_table() const {
+    return slo_transitions_table(slo_specs, slo_transitions);
+  }
 
   /// Snapshot time series as CSV (slot, active, admitted, rejected,
   /// offered, used, window_utilization, link_fairness, offered_bytes —
@@ -158,6 +190,10 @@ class ServingBackend {
   /// (resized; one entry per link, a single entry for one-link runtimes).
   virtual void sample(MetricsSnapshot& out,
                       std::vector<double>& per_link_used) const = 0;
+  /// Folds the runtime's SLO sample into `observation` (additive —
+  /// merge_slo_sample semantics; see SessionManager::accumulate_slo).
+  /// Non-const: the delay percentile uses the runtime's reusable scratch.
+  virtual void sample_slo(SloObservation& observation) = 0;
 };
 
 /// Pull-based arrival feed: the incremental alternative to scheduling every
@@ -202,6 +238,9 @@ class SessionManagerBackend final : public ServingBackend {
   }
   void sample(MetricsSnapshot& out,
               std::vector<double>& per_link_used) const override;
+  void sample_slo(SloObservation& observation) override {
+    manager_->accumulate_slo(observation);
+  }
 
  private:
   SessionManager* manager_;
@@ -239,6 +278,9 @@ class ClusterBackend final : public ServingBackend {
   }
   void sample(MetricsSnapshot& out,
               std::vector<double>& per_link_used) const override;
+  void sample_slo(SloObservation& observation) override {
+    cluster_->accumulate_slo(observation);
+  }
 
  private:
   EdgeCluster* cluster_;
@@ -306,6 +348,9 @@ class EventLoop {
   void push_event(std::size_t slot, EventKind kind, std::size_t payload);
   void pull_source(std::size_t now, DriverReport& report);
   void take_snapshot(std::size_t slot, DriverReport& report);
+  /// SLO evaluation + live-stats rewrite, called from take_snapshot.
+  void observe_slo(const MetricsSnapshot& snapshot);
+  void write_live_stats(const MetricsSnapshot& snapshot);
 
   DriverConfig config_;
   ServingBackend* backend_;
@@ -337,6 +382,15 @@ class EventLoop {
   // once at end of run; the batch histogram records per non-empty batch.
   PhaseTracer* tracer_ = nullptr;
   TelemetryHistogram* h_batch_ = nullptr;
+  /// Snapshot + SLO flight events on the kDriverTid lane (default-on; see
+  /// TelemetryConfig::flight).
+  FlightRecorder* flight_ = nullptr;
+  /// Non-null iff DriverConfig::slo has specs. Snapshot cadence only.
+  std::unique_ptr<SloMonitor> slo_;
+  /// Per-spec "slo/<name>/breaches" / ".../blips" counters (empty unless
+  /// counters are on and specs exist; registered once at construction).
+  std::vector<TelemetryCounter*> c_slo_breach_;
+  std::vector<TelemetryCounter*> c_slo_blip_;
 };
 
 }  // namespace arvis

@@ -96,6 +96,11 @@ void flush_qos_counters(const ReplayResult& result,
 
 }  // namespace
 
+// The runtime's raw tier index and the trace's QosClass must agree — the
+// replayer is where the two layers meet.
+static_assert(kQosClassCount == kSloTiers,
+              "QosClass and the SLO tier set must stay in sync");
+
 SessionSpec trace_session_spec(
     const TraceEvent& event, std::size_t index,
     const std::vector<const FrameStatsCache*>& profiles) {
@@ -111,6 +116,7 @@ SessionSpec trace_session_spec(
   // The trace carries no seed column: each session's stream derives from its
   // row index, so identical files replay identically everywhere.
   spec.seed = index;
+  spec.qos = static_cast<std::uint8_t>(event.qos);
   return spec;
 }
 
@@ -139,6 +145,9 @@ ReplayResult replay_trace(const ReplayConfig& config,
     if (spec.departure_slot != kNeverDeparts) {
       loop.schedule_departure_marker(spec.departure_slot);
     }
+    // Mid-stream abandonment: arrival events fire in row order, so the
+    // cluster session id is the row index.
+    if (event.t_close != 0) loop.schedule_close(event.t_close, i);
   }
   if (config.stop_slot != kNoSlot) loop.schedule_stop(config.stop_slot);
 

@@ -15,6 +15,12 @@ const std::vector<std::string>& trace_header() {
   return header;
 }
 
+const std::vector<std::string>& trace_header_with_close() {
+  static const std::vector<std::string> header{
+      "t_arrive", "duration", "profile", "weight", "qos", "t_close"};
+  return header;
+}
+
 /// A non-negative integer cell. The CSV parser types numeric-looking fields
 /// for us, but a hand-edited file may carry an integral double ("12.0").
 bool cell_to_size(const CsvCell& cell, std::size_t& out) {
@@ -78,12 +84,23 @@ std::size_t WorkloadTrace::arrival_horizon() const noexcept {
 }
 
 CsvTable WorkloadTrace::to_table() const {
-  CsvTable table(trace_header());
+  // The sixth column rides only when used, so close-free traces serialize
+  // to the legacy five-column file byte for byte.
+  bool any_close = false;
   for (const TraceEvent& e : events) {
-    table.add_row({static_cast<std::int64_t>(e.t_arrive),
-                   static_cast<std::int64_t>(e.duration),
-                   static_cast<std::int64_t>(e.profile), e.weight,
-                   std::string(to_string(e.qos))});
+    if (e.t_close != 0) {
+      any_close = true;
+      break;
+    }
+  }
+  CsvTable table(any_close ? trace_header_with_close() : trace_header());
+  for (const TraceEvent& e : events) {
+    std::vector<CsvCell> row{static_cast<std::int64_t>(e.t_arrive),
+                             static_cast<std::int64_t>(e.duration),
+                             static_cast<std::int64_t>(e.profile), e.weight,
+                             std::string(to_string(e.qos))};
+    if (any_close) row.push_back(static_cast<std::int64_t>(e.t_close));
+    table.add_row(std::move(row));
   }
   return table;
 }
@@ -111,14 +128,20 @@ Status validate_workload_trace(const WorkloadTrace& trace,
           " out of range (have " + std::to_string(profile_count) +
           " profiles)");
     }
+    if (e.t_close != 0 && e.t_close <= e.t_arrive) {
+      return Status::InvalidArgument(row +
+                                     ": t_close must be 0 or > t_arrive");
+    }
   }
   return Status::Ok();
 }
 
 Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
-  if (table.header() != trace_header()) {
+  const bool has_close = table.header() == trace_header_with_close();
+  if (!has_close && table.header() != trace_header()) {
     return Status::ParseError(
-        "workload trace: expected header t_arrive,duration,profile,weight,qos");
+        "workload trace: expected header "
+        "t_arrive,duration,profile,weight,qos[,t_close]");
   }
   WorkloadTrace trace;
   trace.events.reserve(table.row_count());
@@ -147,6 +170,9 @@ Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
     const Result<QosClass> parsed = parse_qos_class(*qos);
     if (!parsed.ok()) return Status::ParseError(row + ": " + parsed.status().message());
     e.qos = *parsed;
+    if (has_close && !cell_to_size(table.at(r, 5), e.t_close)) {
+      return Status::ParseError(row + ": t_close must be an integer >= 0");
+    }
     trace.events.push_back(e);
   }
   if (const Status status = validate_workload_trace(trace); !status.ok()) {

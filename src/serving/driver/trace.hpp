@@ -6,7 +6,7 @@
 // replayed against any cluster shape, placement policy or scheduler and the
 // comparison is apples to apples. The CSV schema (via common/csv, RFC-4180):
 //
-//   t_arrive, duration, profile, weight, qos
+//   t_arrive, duration, profile, weight, qos [, t_close]
 //
 //   t_arrive  slot the session arrives (non-decreasing down the file)
 //   duration  slots the session stays once admitted; 0 = until the run ends
@@ -14,6 +14,12 @@
 //             FrameStatsCache table (the trace stays content-agnostic)
 //   weight    scheduler weight (>= 0, finite)
 //   qos       "best-effort" | "standard" | "premium"
+//   t_close   optional mid-stream abandonment slot: the replayer fires an
+//             external-close event at this slot, ending the session early
+//             regardless of duration. 0 = no abandonment (0 can never be a
+//             real close: it cannot exceed t_arrive). The column is emitted
+//             only when some event uses it, so traces without closes keep
+//             the legacy five-column file byte for byte; both headers parse.
 //
 // Traces round-trip exactly: generate -> to_table -> serialize -> parse ->
 // identical event stream (tested). Validation is split by failure class per
@@ -58,6 +64,9 @@ struct TraceEvent {
   std::uint32_t profile = 0;
   double weight = 1.0;
   QosClass qos = QosClass::kStandard;
+  /// Mid-stream abandonment slot (external close); 0 = none. When set, must
+  /// be > t_arrive (validated).
+  std::size_t t_close = 0;
 
   bool operator==(const TraceEvent&) const = default;
 };
@@ -71,7 +80,8 @@ struct WorkloadTrace {
   /// duration.
   [[nodiscard]] std::size_t arrival_horizon() const noexcept;
 
-  /// Renders the trace as a CSV table in the documented column order.
+  /// Renders the trace as a CSV table in the documented column order. The
+  /// t_close column appears iff any event has t_close != 0.
   [[nodiscard]] CsvTable to_table() const;
 
   /// Writes the CSV file. IoError on failure.
@@ -79,8 +89,9 @@ struct WorkloadTrace {
 };
 
 /// Structural validation: events sorted by t_arrive, weights finite and
-/// >= 0, and (when `profile_count` > 0) every profile id < profile_count.
-/// Returns the first violation; Ok for the empty trace.
+/// >= 0, every t_close either 0 or > its event's t_arrive, and (when
+/// `profile_count` > 0) every profile id < profile_count. Returns the first
+/// violation; Ok for the empty trace.
 Status validate_workload_trace(const WorkloadTrace& trace,
                                std::size_t profile_count = 0);
 

@@ -9,6 +9,7 @@ namespace arvis {
 SessionManager::SessionManager(const ServingConfig& config,
                                double mean_capacity_bytes)
     : config_(config),
+      mean_capacity_bytes_(mean_capacity_bytes),
       admission_(config.admission, mean_capacity_bytes),
       scheduler_(make_scheduler(config.policy)),
       executor_(config.threads),
@@ -35,6 +36,7 @@ SessionManager::SessionManager(const ServingConfig& config,
         "SessionManager: pf_ewma_window must be 0 (off) or >= 1");
   }
   validate_telemetry(config_.telemetry, "SessionManager");
+  flight_ = resolve_flight_recorder(config_.telemetry);
   register_telemetry();
 }
 
@@ -85,6 +87,9 @@ void SessionManager::validate_spec(const SessionSpec& spec) const {
   if (spec.weight < 0.0) {
     throw std::invalid_argument("SessionManager: negative weight");
   }
+  if (spec.qos >= kSloTiers) {
+    throw std::invalid_argument("SessionManager: qos tier out of range");
+  }
 }
 
 std::size_t SessionManager::submit(const SessionSpec& spec) {
@@ -121,6 +126,11 @@ void SessionManager::close_departures() {
       c_closed_->add(1);
       h_lifetime_->record(static_cast<double>(slot_ - s.arrival_actual));
     }
+    if (flight_ != nullptr) {
+      flight_->record(FlightEventKind::kClose, slot_, tid_,
+                      static_cast<double>(s.id),
+                      static_cast<double>(slot_ - s.arrival_actual));
+    }
   });
 }
 
@@ -150,11 +160,22 @@ void SessionManager::admit_arrivals() {
     if (c_adm_accept_ != nullptr) {
       (decision.admitted ? c_adm_accept_ : c_adm_reject_)->add(1);
     }
+    ++(decision.admitted ? tier_accepted_ : tier_rejected_)[s.spec.qos];
     if (decision.admitted) {
       activate(s);
+      if (flight_ != nullptr) {
+        flight_->record(FlightEventKind::kAdmit, slot_, tid_,
+                        static_cast<double>(s.id),
+                        static_cast<double>(store_.active_count()));
+      }
     } else {
       s.phase = SessionPhase::kClosed;
       s.departure_actual = slot_;
+      if (flight_ != nullptr) {
+        flight_->record(FlightEventKind::kReject, slot_, tid_,
+                        static_cast<double>(s.id),
+                        static_cast<double>(store_.active_count()));
+      }
     }
   }
   // Compact the consumed prefix once it dominates the buffer, keeping the
@@ -177,7 +198,15 @@ AdmissionDecision SessionManager::try_place(const SessionSpec& spec,
   if (c_adm_accept_ != nullptr) {
     (decision.admitted ? c_adm_accept_ : c_adm_reject_)->add(1);
   }
-  if (!decision.admitted) return decision;
+  ++(decision.admitted ? tier_accepted_ : tier_rejected_)[spec.qos];
+  if (!decision.admitted) {
+    if (flight_ != nullptr) {
+      flight_->record(FlightEventKind::kReject, slot_, tid_,
+                      static_cast<double>(session_id),
+                      static_cast<double>(store_.active_count()));
+    }
+    return decision;
+  }
   ServingSession& s = store_.create(session_id, spec);
   metrics_.reserve_sessions(store_.session_count());
   s.admitted = true;
@@ -186,6 +215,11 @@ AdmissionDecision SessionManager::try_place(const SessionSpec& spec,
   s.due_slot = slot_;
   s.arrival_actual = slot_;
   activate(s);
+  if (flight_ != nullptr) {
+    flight_->record(FlightEventKind::kAdmit, slot_, tid_,
+                    static_cast<double>(s.id),
+                    static_cast<double>(store_.active_count()));
+  }
   return decision;
 }
 
@@ -259,17 +293,30 @@ SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {
     }
   }
   // Telemetry flush: a handful of counter bumps per *slot* boundary, never
-  // per session — the disabled path pays exactly one branch here.
+  // per session — the disabled path pays one branch and two uint64 loads
+  // here (the scheduler stats feed the flight recorder's fallback edge
+  // even with counters off).
+  const SchedulerStats& sched = scheduler_->stats();
+  const std::uint64_t generic_delta = sched.generic - sched_generic_seen_;
   if (c_slots_ != nullptr) {
     c_slots_->add(1);
     h_active_->record(static_cast<double>(n));
     h_slot_used_->record(used);
-    const SchedulerStats& sched = scheduler_->stats();
     c_sched_fast_->add(sched.fast_path - sched_fast_seen_);
-    c_sched_generic_->add(sched.generic - sched_generic_seen_);
-    sched_fast_seen_ = sched.fast_path;
-    sched_generic_seen_ = sched.generic;
+    c_sched_generic_->add(generic_delta);
   }
+  sched_fast_seen_ = sched.fast_path;
+  sched_generic_seen_ = sched.generic;
+  // Flight event on the fast->generic schedule transition only (an edge,
+  // not a level): a run that settles into the generic path records once,
+  // not once per slot.
+  const bool generic_slot = generic_delta > 0;
+  if (flight_ != nullptr && generic_slot && !last_slot_generic_) {
+    flight_->record(FlightEventKind::kSchedFallback, slot_, tid_,
+                    static_cast<double>(sched.generic),
+                    static_cast<double>(n));
+  }
+  last_slot_generic_ = generic_slot;
   metrics_.record_slot(capacity_bytes, used, n);
   ++slot_;
   return SlotReport{capacity_bytes, used, n};
@@ -285,6 +332,65 @@ void SessionManager::step(double capacity_bytes) {
 
 std::size_t SessionManager::active_count() const noexcept {
   return store_.active_count();
+}
+
+void SessionManager::accumulate_slo(SloObservation& observation) {
+  // Cumulative admission outcomes, per tier (validate_spec guarantees
+  // spec.qos < kSloTiers).
+  SloTierSample local[kSloTiers];
+  for (std::size_t t = 0; t < kSloTiers; ++t) {
+    local[t].accepted = tier_accepted_[t];
+    local[t].rejected = tier_rejected_[t];
+  }
+  // Gauges over the active set. The backlog-age proxy divides each
+  // session's queue by its fair share of the mean link rate: backlog ·
+  // active / mean_capacity — slots of queued work, the paper's stability
+  // quantity rephrased as a latency.
+  const std::size_t n = store_.active_count();
+  const std::span<const double> backlogs = store_.backlogs();
+  for (auto& scratch : slo_scratch_) scratch.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    ServingSession& s = store_.active_session(i);
+    const auto t = static_cast<std::size_t>(s.spec.qos);
+    const double delay =
+        mean_capacity_bytes_ > 0.0
+            ? backlogs[i] * static_cast<double>(n) / mean_capacity_bytes_
+            : 0.0;
+    slo_scratch_[t].push_back(delay);
+    slo_scratch_[kSloTiers].push_back(delay);
+    local[t].active += 1;
+    if (!s.trace.empty()) {
+      const double quality = s.trace.at(s.trace.size() - 1).quality;
+      if (!local[t].has_quality || quality < local[t].min_quality) {
+        local[t].min_quality = quality;
+        local[t].has_quality = true;
+      }
+    }
+  }
+  const auto p95 = [](std::vector<double>& delays) {
+    const std::size_t k = delays.size();
+    const auto rank =
+        static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(k)));
+    const std::size_t idx = (rank > 0 ? rank : 1) - 1;
+    std::nth_element(delays.begin(),
+                     delays.begin() + static_cast<std::ptrdiff_t>(idx),
+                     delays.end());
+    return delays[idx];
+  };
+  for (std::size_t t = 0; t < kSloTiers; ++t) {
+    if (!slo_scratch_[t].empty()) {
+      local[t].p95_delay_slots = p95(slo_scratch_[t]);
+    }
+    merge_slo_sample(observation.tier[t], local[t]);
+  }
+  // The total lane repeats the merge with the link-exact all-tier p95 so a
+  // cluster's total is still the worst link, not a tier artifact.
+  SloTierSample total;
+  for (std::size_t t = 0; t < kSloTiers; ++t) merge_slo_sample(total, local[t]);
+  if (!slo_scratch_[kSloTiers].empty()) {
+    total.p95_delay_slots = p95(slo_scratch_[kSloTiers]);
+  }
+  merge_slo_sample(observation.total, total);
 }
 
 const AdmissionStats& SessionManager::admission_stats() const noexcept {

@@ -40,7 +40,9 @@
 #include "serving/metrics.hpp"
 #include "serving/scheduler.hpp"
 #include "serving/session_store.hpp"
+#include "serving/telemetry/flight_recorder.hpp"
 #include "serving/telemetry/registry.hpp"
+#include "serving/telemetry/slo.hpp"
 #include "serving/telemetry/tracer.hpp"
 #include "sim/frame_stats_cache.hpp"
 #include "sim/trace.hpp"
@@ -237,6 +239,15 @@ class SessionManager {
     return metrics_;
   }
 
+  /// Folds this link's SLO sample into `observation`: per-tier cumulative
+  /// admission counters, active counts, the link-exact p95 of the
+  /// backlog-age proxy (backlog · active / mean link capacity — slots of
+  /// queued work at a fair share), and the delivered-quality floor over
+  /// active sessions. Additive (merge_slo_sample semantics), so a cluster
+  /// calls it once per link and gets the worst-link gauge view. Snapshot
+  /// cadence only — O(active log active), never part of the slot loop.
+  void accumulate_slo(SloObservation& observation);
+
   /// Cross-checks the session store's SoA mirrors against the cold slab
   /// (SessionStore::validate). O(active + slab), callable mid-run between
   /// phases — tests and the bench oracles call it at checkpoints; it is
@@ -268,6 +279,9 @@ class SessionManager {
   void register_telemetry();
 
   ServingConfig config_;
+  /// Mean link capacity admission calibrated against; the SLO sampler's
+  /// service-rate proxy for the backlog-age gauge.
+  double mean_capacity_bytes_ = 0.0;
   AdmissionController admission_;
   std::unique_ptr<EdgeScheduler> scheduler_;
   ParallelExecutor executor_;
@@ -305,6 +319,23 @@ class SessionManager {
   // Last-flushed scheduler stats (registry counters get per-slot deltas).
   std::uint64_t sched_fast_seen_ = 0;
   std::uint64_t sched_generic_seen_ = 0;
+
+  // Flight recorder (default ON — resolve_flight_recorder falls back to the
+  // process-global ring). record() is a relaxed fetch_add plus six plain
+  // stores and fires only at lifecycle edges and slot-phase transitions,
+  // never per session·slot, so it lives inside the existing allocation
+  // probes and hot-path budget (bench_hot_path --slo measures the A/B).
+  FlightRecorder* flight_ = nullptr;
+  /// Whether the previous slot's schedule took the generic path — the
+  /// fast->generic transition edge is a flight event.
+  bool last_slot_generic_ = false;
+
+  // SLO accounting: cumulative per-tier admission outcomes (both internal
+  // arrivals and external placements) and the snapshot-time delay scratch
+  // ([tier 0..2] + [all tiers]).
+  std::uint64_t tier_accepted_[kSloTiers] = {};
+  std::uint64_t tier_rejected_[kSloTiers] = {};
+  std::vector<double> slo_scratch_[kSloTiers + 1];
 };
 
 /// Convenience one-shot: submits `specs`, steps `config.steps` slots drawing

@@ -94,6 +94,11 @@ struct SessionSpec {
   /// Seed of this session's private RNG stream (split per session so runs
   /// are reproducible regardless of arrival order or thread count).
   std::uint64_t seed = 0;
+  /// QoS tier for SLO accounting: 0 = best-effort, 1 = standard,
+  /// 2 = premium. Raw index (not the driver-layer QosClass enum — this layer
+  /// sits below the trace format); must be < kSloTiers, which the manager
+  /// validates. Tiering affects accounting only, never scheduling.
+  std::uint8_t qos = 1;
 };
 
 enum class SessionPhase : std::uint8_t { kPending, kActive, kClosed };

@@ -1,5 +1,7 @@
 #include "serving/telemetry/export.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <fstream>
 
 namespace arvis {
@@ -29,6 +31,65 @@ Status write_registry_csv(const TelemetryRegistry& registry,
     return status;
   }
   return registry.histograms_table().write_file(stem + "_histograms.csv");
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "arvis_";
+  for (char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    out += std::isalnum(u) != 0 ? c : '_';
+  }
+  return out;
+}
+
+void append_prometheus_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const TelemetryRegistry& registry) {
+  std::string out;
+  registry.for_each_counter(
+      [&](const std::string& name, const TelemetryCounter& counter) {
+        const std::string metric = prometheus_name(name);
+        out += "# TYPE " + metric + " counter\n";
+        out += metric + ' ' + std::to_string(counter.value()) + '\n';
+      });
+  registry.for_each_histogram(
+      [&](const std::string& name, const TelemetryHistogram& h) {
+        const std::string metric = prometheus_name(name);
+        out += "# TYPE " + metric + " histogram\n";
+        // Cumulative bucket series. Bucket b covers [2^(b-1), 2^b) (b = 0:
+        // [0, 1)), so its Prometheus upper bound is 2^b — the usual half-open
+        // vs closed le edge case is inherent to log bucketing and at most
+        // reassigns exact powers of two one bucket down.
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < TelemetryHistogram::kBuckets; ++b) {
+          if (h.bucket_count(b) == 0) continue;
+          cumulative += h.bucket_count(b);
+          out += metric + "_bucket{le=\"";
+          append_prometheus_double(
+              out, TelemetryHistogram::bucket_lower_bound(b + 1));
+          out += "\"} " + std::to_string(cumulative) + '\n';
+        }
+        out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+               '\n';
+        out += metric + "_sum ";
+        append_prometheus_double(out, h.sum());
+        out += '\n';
+        out += metric + "_count " + std::to_string(h.count()) + '\n';
+      });
+  return out;
+}
+
+Status write_prometheus_text(const TelemetryRegistry& registry,
+                             const std::string& path) {
+  return write_text_file(path, prometheus_text(registry));
 }
 
 }  // namespace arvis

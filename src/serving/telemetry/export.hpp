@@ -29,4 +29,17 @@ namespace arvis {
 [[nodiscard]] Status write_registry_csv(const TelemetryRegistry& registry,
                                         const std::string& stem);
 
+/// Renders the registry in the Prometheus text exposition format (version
+/// 0.0.4): every metric name is sanitized ([a-zA-Z0-9_], everything else
+/// becomes '_') and prefixed "arvis_"; counters emit `# TYPE ... counter`
+/// plus the value, histograms emit the standard cumulative `_bucket{le=...}`
+/// series (log2 bucket upper bounds; empty buckets elided; `+Inf` always
+/// present) plus `_sum` and `_count`. Registration order, so scrapes diff
+/// cleanly across runs.
+[[nodiscard]] std::string prometheus_text(const TelemetryRegistry& registry);
+
+/// prometheus_text() to a file. IoError on failure.
+[[nodiscard]] Status write_prometheus_text(const TelemetryRegistry& registry,
+                                           const std::string& path);
+
 }  // namespace arvis

@@ -30,7 +30,8 @@
 
 namespace arvis {
 
-class PhaseTracer;  // tracer.hpp
+class PhaseTracer;      // tracer.hpp
+class FlightRecorder;   // flight_recorder.hpp
 
 /// A named monotonic counter. add() only; no reset (a run owns its registry).
 /// add() is a relaxed atomic fetch-add: counters are the one instrument a
@@ -82,6 +83,12 @@ class TelemetryHistogram {
     return buckets_[b];
   }
 
+  /// Folds `other` into this histogram *exactly*: log2 buckets make the
+  /// merge lossless (bucket-wise add), so the merged percentile/count/sum/
+  /// min/max equal those of one histogram fed both sample streams — the
+  /// property the shard-per-thread rollup will rely on (tested).
+  void merge_from(const TelemetryHistogram& other) noexcept;
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
@@ -122,6 +129,14 @@ class TelemetryRegistry {
   void for_each_histogram(Fn&& fn) const {
     for (const auto& entry : histograms_) fn(entry.name, entry.instrument);
   }
+
+  /// Folds every instrument of `other` into this registry by name, creating
+  /// absent instruments (in `other`'s registration order, appended after the
+  /// existing ones): counters add their values, histograms merge bucket-wise
+  /// (exact — see TelemetryHistogram::merge_from). The per-shard -> global
+  /// rollup of the sharded-runtime refactor: each shard records into its own
+  /// registry lock-free, the barrier merges.
+  void merge_from(const TelemetryRegistry& other);
 
   /// (counter, value) rows in registration order.
   [[nodiscard]] CsvTable counters_table() const;
@@ -170,6 +185,14 @@ struct TelemetryConfig {
   /// link id ("link<tid>/..." counters, Chrome tid <tid>); EdgeCluster
   /// assigns each link its index.
   std::uint32_t tid = 0;
+  /// Flight-recorder wiring — the one default-ON telemetry layer: null
+  /// means "record lifecycle events into the process-global ring" (see
+  /// flight_recorder.hpp for why that is free enough). Point it at a
+  /// caller-owned recorder to isolate a run, or set flight_off to disable
+  /// recording entirely (the bench A/B's off arm). Resolved once at runtime
+  /// construction by resolve_flight_recorder().
+  FlightRecorder* flight = nullptr;
+  bool flight_off = false;
 
   [[nodiscard]] bool counters_on() const noexcept {
     return mode >= TelemetryMode::kCounters && registry != nullptr;

@@ -157,6 +157,71 @@ TEST(WorkloadTraceTest, ValidationCatchesStructuralErrors) {
   EXPECT_FALSE(parse_workload_trace(wrong_header).ok());
 }
 
+TEST(WorkloadTraceTest, CloseColumnRoundTripsAndStaysOptional) {
+  // Without closes, serialization is the legacy five-column file byte for
+  // byte — older tools keep parsing what we write.
+  const WorkloadTrace legacy = sample_trace();
+  const std::string five_cols = legacy.to_table().to_string();
+  EXPECT_EQ(five_cols.find("t_close"), std::string::npos);
+  EXPECT_EQ(five_cols.substr(0, five_cols.find('\n')),
+            "t_arrive,duration,profile,weight,qos");
+
+  // With a close anywhere, the sixth column rides for every row and the
+  // events round-trip exactly (t_close == 0 rows included).
+  WorkloadTrace closing = sample_trace();
+  closing.events[1].t_close = 30;
+  const std::string six_cols = closing.to_table().to_string();
+  EXPECT_EQ(six_cols.substr(0, six_cols.find('\n')),
+            "t_arrive,duration,profile,weight,qos,t_close");
+  const Result<CsvTable> table = parse_csv(six_cols);
+  ASSERT_TRUE(table.ok());
+  const Result<WorkloadTrace> loaded = parse_workload_trace(*table);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->events, closing.events);
+
+  // The validator rejects a close at or before its arrival.
+  WorkloadTrace too_early = sample_trace();
+  too_early.events[3].t_close = too_early.events[3].t_arrive;
+  EXPECT_FALSE(validate_workload_trace(too_early).ok());
+  too_early.events[3].t_close = too_early.events[3].t_arrive + 1;
+  EXPECT_TRUE(validate_workload_trace(too_early).ok());
+
+  // And the parser runs the same validation on loaded files.
+  CsvTable bad({"t_arrive", "duration", "profile", "weight", "qos",
+                "t_close"});
+  bad.add_row({std::int64_t{10}, std::int64_t{5}, std::int64_t{0}, 1.0,
+               std::string("standard"), std::int64_t{10}});
+  EXPECT_FALSE(parse_workload_trace(bad).ok());
+}
+
+TEST(EventLoopTest, TraceClosesEndSessionsEarly) {
+  // Two sessions arriving together; one abandons at slot 20, far before its
+  // nominal departure. The replayer must apply exactly one external close
+  // and the cluster's books must show the shortened lifetime.
+  WorkloadTrace trace;
+  trace.events = {{0, 100, 0, 1.0, QosClass::kStandard, 20},
+                  {0, 100, 0, 1.0, QosClass::kStandard, 0}};
+
+  ReplayConfig config;
+  config.cluster = replay_cluster_config(2);
+  config.driver.snapshot_period = 50;
+  const double capacity =
+      3.0 * cheapest_load(config.cluster.serving.candidates);
+  ConstantChannel channel(capacity);
+  std::vector<ChannelModel*> channels{&channel};
+  const std::vector<const FrameStatsCache*> profiles{&shared_cache()};
+  const ReplayResult result = replay_trace(config, trace, profiles, channels);
+
+  EXPECT_EQ(result.report.closes_applied, 1U);
+  ASSERT_EQ(result.cluster.sessions.size(), 2U);
+  EXPECT_TRUE(result.cluster.sessions[0].session.admitted);
+  EXPECT_TRUE(result.cluster.sessions[1].session.admitted);
+  // The abandoning session streamed ~20 slots; its sibling ran the full
+  // 100-slot duration.
+  EXPECT_LE(result.cluster.sessions[0].session.trace.size(), 21U);
+  EXPECT_GT(result.cluster.sessions[1].session.trace.size(), 90U);
+}
+
 // ----------------------------------------------------------- Generators ----
 
 TEST(ScenarioGeneratorTest, SameSeedSameTraceDifferentSeedDifferentTrace) {

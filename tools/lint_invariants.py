@@ -37,6 +37,8 @@ HOT_PATH_FILES = [
     "src/serving/scheduler.cpp",
     "src/serving/driver/calendar.hpp",
     "src/serving/driver/calendar.cpp",
+    "src/serving/telemetry/flight_recorder.hpp",
+    "src/serving/telemetry/flight_recorder.cpp",
     "src/serving/telemetry/registry.hpp",
     "src/serving/telemetry/registry.cpp",
     "src/serving/telemetry/tracer.hpp",
