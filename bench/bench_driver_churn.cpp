@@ -8,6 +8,7 @@
 //
 // Build & run:  ./build/bench/bench_driver_churn [--smoke] [--json]
 //                                                [--telemetry] [--slo]
+//                                                [--faults]
 //
 // --json appends a dated trajectory entry to BENCH_driver_churn.json (one
 // record per scenario at the least-loaded 2-link point; ns per executed
@@ -17,6 +18,10 @@
 // plus the counter registry. --slo replays the flash crowd under
 // deliberately tight SLOs, prints the transition log and an
 // "SLO_SUMMARY breaches=N blips=M" line, and fails if nothing breached.
+// --faults replays the flash crowd with a mid-spike single-link outage and
+// retry/backoff on, checks the failover books reconcile exactly and the run
+// is seed-stable, prints a FAULTS_JSON line, and appends a dated
+// churn_faults trajectory entry to BENCH_driver_churn.json.
 //
 // --smoke runs three hard invariants cheap enough for CI and exits non-zero
 // on violation:
@@ -104,7 +109,8 @@ arvis::ReplayConfig replay_for(const SweepPoint& point) {
 arvis::ReplayResult run_point(
     const SweepPoint& point, double& wall_ms,
     const arvis::TelemetryConfig* telemetry = nullptr,
-    const arvis::SloConfig* slo = nullptr) {
+    const arvis::SloConfig* slo = nullptr,
+    const arvis::FaultPlan* faults = nullptr, bool retry = false) {
   using namespace arvis;
   const WorkloadTrace trace =
       make_scenario(point.kind, scenario_for(point))->generate();
@@ -114,6 +120,8 @@ arvis::ReplayResult run_point(
     config.driver.telemetry = *telemetry;
   }
   if (slo != nullptr) config.driver.slo = *slo;
+  if (faults != nullptr) config.faults = *faults;
+  config.driver.retry.enabled = retry;
 
   const double load = AdmissionController::cheapest_depth_load(
       churn_cache(), config.cluster.serving.candidates);
@@ -306,6 +314,113 @@ int run_slo() {
   return 0;
 }
 
+/// Flash crowd x single-link outage x retry storm: the chaos leg. Link 1
+/// drops mid-spike while retry/backoff resubmits every reject, so the run
+/// exercises failover re-placement and the retry calendar at once. Checks
+/// that the failover books reconcile exactly (displaced == replaced +
+/// evicted + closed — no session strands), that a retry storm actually
+/// happened, and that a second identical run reproduces every fault counter
+/// bit for bit. Appends a dated churn_faults trajectory entry to
+/// BENCH_driver_churn.json so the fault path's cost is tracked across PRs.
+int run_faults() {
+  using namespace arvis;
+  int failures = 0;
+
+  SweepPoint point;
+  point.kind = ScenarioKind::kFlashCrowd;
+  point.links = 2;
+  point.horizon = 800;
+  point.sessions_per_link = 2;
+  point.pressure = 0.5;
+  point.spike_multiplier = 12.0;
+
+  const ScenarioConfig scenario = scenario_for(point);
+  const std::size_t spike_start = scenario.resolved_spike_start();
+  FaultPlan faults;
+  faults.outage(/*link=*/1, /*at=*/spike_start + 10, /*duration=*/40);
+
+  double ms = 0.0, ms2 = 0.0;
+  const ReplayResult first =
+      run_point(point, ms, nullptr, nullptr, &faults, /*retry=*/true);
+  const ReplayResult second =
+      run_point(point, ms2, nullptr, nullptr, &faults, /*retry=*/true);
+
+  const ClusterMetrics& m = first.cluster.metrics;
+  const bool books = m.failover_displaced ==
+                     m.failover_replaced + m.fault_evicted + m.fault_closed;
+  if (!books) {
+    std::printf(
+        "faults FAIL: books do not reconcile (displaced=%zu != "
+        "replaced=%zu + evicted=%zu + closed=%zu)\n",
+        m.failover_displaced, m.failover_replaced, m.fault_evicted,
+        m.fault_closed);
+    ++failures;
+  } else {
+    std::printf("faults: books reconcile (%zu displaced == %zu + %zu + %zu)\n",
+                m.failover_displaced, m.failover_replaced, m.fault_evicted,
+                m.fault_closed);
+  }
+  if (m.link_down_events != 1 || m.link_up_events != 1) {
+    std::printf("faults FAIL: expected one outage cycle (downs=%zu ups=%zu)\n",
+                m.link_down_events, m.link_up_events);
+    ++failures;
+  }
+  if (first.report.retries_scheduled == 0) {
+    std::printf("faults FAIL: spike x outage scheduled no retries\n");
+    ++failures;
+  } else {
+    std::printf("faults: retry storm of %zu (%zu abandoned)\n",
+                first.report.retries_scheduled,
+                first.report.retries_abandoned);
+  }
+
+  const ClusterMetrics& n = second.cluster.metrics;
+  const bool deterministic =
+      first.report.faults_applied == second.report.faults_applied &&
+      first.report.retries_scheduled == second.report.retries_scheduled &&
+      first.report.retries_abandoned == second.report.retries_abandoned &&
+      m.failover_displaced == n.failover_displaced &&
+      m.failover_replaced == n.failover_replaced &&
+      m.fault_evicted == n.fault_evicted &&
+      m.fault_closed == n.fault_closed &&
+      m.fleet.sessions_admitted == n.fleet.sessions_admitted &&
+      m.fleet.utilization() == n.fleet.utilization() &&
+      first.report.slots_executed == second.report.slots_executed;
+  if (!deterministic) {
+    std::printf("faults FAIL: fault path is not seed-stable\n");
+    ++failures;
+  } else {
+    std::printf("faults: two runs of the same plan agree bit for bit\n");
+  }
+
+  std::printf(
+      "FAULTS_JSON {\"bench\":\"driver_churn\",\"faults_applied\":%zu,"
+      "\"failover_displaced\":%zu,\"failover_replaced\":%zu,"
+      "\"fault_evicted\":%zu,\"fault_closed\":%zu,\"retries\":%zu,"
+      "\"retries_abandoned\":%zu,\"books_reconcile\":%s,"
+      "\"deterministic\":%s,\"failures\":%d}\n",
+      first.report.faults_applied, m.failover_displaced, m.failover_replaced,
+      m.fault_evicted, m.fault_closed, first.report.retries_scheduled,
+      first.report.retries_abandoned, books ? "true" : "false",
+      deterministic ? "true" : "false", failures);
+
+  // The chaos leg keeps its own perf trajectory: same ns-per-slot unit as
+  // the sweep records, measured with the fault plane active.
+  bench::BenchRecord record;
+  record.name = "churn_faults";
+  record.params =
+      "{\"scenario\":\"flash_crowd\",\"links\":2,\"outage_slots\":40,"
+      "\"retry\":true}";
+  const double slots = static_cast<double>(first.report.slots_executed);
+  record.ns_per_op = slots > 0.0 ? ms * 1e6 / slots : 0.0;
+  record.ops = slots;
+  if (!bench::write_bench_json("driver_churn", {record})) ++failures;
+
+  std::printf(failures == 0 ? "faults OK\n" : "faults: %d failure(s)\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,6 +430,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
     if (std::strcmp(argv[i], "--telemetry") == 0) return run_telemetry();
     if (std::strcmp(argv[i], "--slo") == 0) return run_slo();
+    if (std::strcmp(argv[i], "--faults") == 0) return run_faults();
     if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
   }
 

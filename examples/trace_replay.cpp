@@ -10,8 +10,13 @@
 // sessions abandon mid-stream (the trace's t_close column), exercising the
 // external-close path.
 //
+// --faults arms the fault plane: link 1 goes down mid-spike and recovers 30
+// slots later, displaced sessions fail over to link 0, refused and evicted
+// sessions retry with capped exponential backoff, and a final CHAOS_SUMMARY
+// line reports the reconciled failover books (CI greps it).
+//
 // Build & run:  ./build/examples/trace_replay [--telemetry] [--slo-strict]
-//                                             [--out-dir DIR]
+//                                             [--faults] [--out-dir DIR]
 // Writes (under DIR, default trace_replay_out/):
 //   events.csv, snapshots.csv
 //   --telemetry adds trace.json (Chrome trace_event format, loadable in
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
   using namespace arvis;
   bool telemetry_on = false;
   bool slo_on = false;
+  bool faults_on = false;
   std::string out_dir = "trace_replay_out";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0) {
@@ -52,11 +58,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--slo-strict") == 0 ||
                std::strcmp(argv[i], "--slo") == 0) {
       slo_on = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults_on = true;
     } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--telemetry] [--slo-strict] [--out-dir DIR]\n",
+                   "usage: %s [--telemetry] [--slo-strict] [--faults] "
+                   "[--out-dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -131,6 +140,17 @@ int main(int argc, char** argv) {
   config.cluster.placement = PlacementPolicy::kLeastLoaded;
   config.driver.snapshot_period = 60;
 
+  const std::size_t spike_start = scenario.resolved_spike_start();
+  if (faults_on) {
+    // Link 1 fails ten slots into the spike and recovers 30 slots later —
+    // the worst possible moment. Every active session on it fails over to
+    // link 0 (or is evicted and retried); refused arrivals retry with
+    // capped exponential backoff, so the outage feeds a retry storm back
+    // into admission.
+    config.faults.outage(1, spike_start + 10, 30);
+    config.driver.retry.enabled = true;
+  }
+
   // Full tracing on demand: one registry + tracer shared by both links and
   // the driver (the cluster assigns each link its tid). SLO mode turns
   // counters on so the black box carries a registry snapshot.
@@ -174,7 +194,6 @@ int main(int argc, char** argv) {
   const ReplayResult result =
       replay_trace(config, *loaded, profiles, channels);
 
-  const std::size_t spike_start = scenario.resolved_spike_start();
   std::printf(
       "replayed %zu sessions (%zu-slot arrival horizon, spike at [%zu, %zu))\n"
       "through K=%zu links, %s placement, deficit-round-robin link schedule:\n"
@@ -206,6 +225,31 @@ int main(int argc, char** argv) {
       result.report.closes_applied,
       result.report.slots_executed + result.report.slots_skipped,
       result.report.slots_executed, result.report.slots_skipped);
+
+  if (faults_on) {
+    const ClusterMetrics& m = result.cluster.metrics;
+    std::size_t recovers = 0;
+    for (const SloTransition& t : result.report.slo_transitions) {
+      if (t.to == SloState::kOk) ++recovers;
+    }
+    std::printf(
+        "\nfault plane: link 1 down at slot %zu for 30 slots — "
+        "%zu displaced -> %zu failed over,\n"
+        "             %zu fault-evicted, %zu closed while displaced "
+        "(books: %zu == %zu + %zu + %zu),\n"
+        "             %zu retries scheduled, %zu abandoned\n",
+        spike_start + 10, m.failover_displaced, m.failover_replaced,
+        m.fault_evicted, m.fault_closed, m.failover_displaced,
+        m.failover_replaced, m.fault_evicted, m.fault_closed,
+        result.report.retries_scheduled, result.report.retries_abandoned);
+    std::printf(
+        "CHAOS_SUMMARY link_downs=%zu link_ups=%zu failovers=%zu "
+        "fault_evicted=%zu retries=%zu breaches=%llu recovers=%zu\n",
+        m.link_down_events, m.link_up_events, m.failover_replaced,
+        m.fault_evicted, result.report.retries_scheduled,
+        static_cast<unsigned long long>(result.report.slo_breaches),
+        recovers);
+  }
 
   if (!result.report.snapshot_table().write_file(out("snapshots.csv")).ok()) {
     std::fprintf(stderr, "cannot write snapshots.csv\n");

@@ -88,7 +88,15 @@ void AdmissionController::release(double cheapest_load) noexcept {
 }
 
 double AdmissionController::residual_capacity() const noexcept {
-  return std::max(admissible_ - reserved_, 0.0);
+  return std::max(scaled_admissible() - reserved_, 0.0);
+}
+
+void AdmissionController::set_capacity_scale(double scale) {
+  if (!(scale >= 0.0) || scale > 1e6) {
+    throw std::invalid_argument(
+        "AdmissionController: capacity scale must be finite and >= 0");
+  }
+  scale_ = scale;
 }
 
 }  // namespace arvis

@@ -71,9 +71,21 @@ class AdmissionController {
   /// Admissible bytes/slot still unreserved.
   [[nodiscard]] double residual_capacity() const noexcept;
 
+  /// Fault-plane hook: multiplies the admissible budget (radio fade,
+  /// brownout). 1.0 restores nominal capacity — and is the bitwise identity,
+  /// so runs that never scale are unchanged. Throws std::invalid_argument on
+  /// a non-finite or negative scale.
+  void set_capacity_scale(double scale);
+  [[nodiscard]] double capacity_scale() const noexcept { return scale_; }
+  /// Admissible bytes/slot under the current capacity scale.
+  [[nodiscard]] double scaled_admissible() const noexcept {
+    return admissible_ * scale_;
+  }
+
  private:
   double admissible_;  // utilization_target * mean link capacity
   bool enabled_;
+  double scale_ = 1.0;  // fault-plane capacity multiplier
   double reserved_ = 0.0;
   AdmissionStats stats_;
 };

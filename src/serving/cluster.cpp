@@ -14,7 +14,8 @@ namespace arvis {
 /// SessionManager does, and the entry only remembers where it went.
 struct EdgeCluster::Entry {
   Entry(std::size_t id_in, const SessionSpec& spec_in)
-      : id(id_in), spec(spec_in), arrival_actual(spec_in.arrival_slot) {}
+      : id(id_in), spec(spec_in), arrival_actual(spec_in.arrival_slot),
+        runtime_id(id_in) {}
 
   std::size_t id;
   SessionSpec spec;
@@ -27,11 +28,28 @@ struct EdgeCluster::Entry {
   bool admitted = false;
   /// Cancelled by an external-close control event before placement saw it.
   bool cancelled = false;
+  /// Drained off a downed link; awaiting re-placement in place_displaced.
+  bool displaced = false;
+  /// Ended by an outage (no surviving link took it / no lifetime left).
+  bool fault_evicted = false;
   std::size_t arrival_actual;
   std::size_t departure_actual = 0;
   /// Best depth headroom any tried link reported.
   int max_sustainable_depth = 0;
+  /// Id of the session's *current* segment in its link's books. Equals `id`
+  /// until the first failover; every re-placement mints a fresh id (a
+  /// session may bounce back onto a link where its old id is already
+  /// retired).
+  std::size_t runtime_id;
+  /// Times the session was re-placed after a link outage.
+  std::uint32_t failovers = 0;
 };
+
+// Failover runtime ids live far above any plausible submission count so the
+// two id spaces cannot collide (ids below the base are entry ids verbatim).
+inline constexpr std::size_t kFailoverIdBase = std::size_t{1} << 32;
+static_assert(sizeof(std::size_t) >= 8,
+              "failover runtime ids need a 64-bit size_t");
 
 const char* to_string(PlacementPolicy policy) noexcept {
   switch (policy) {
@@ -59,6 +77,9 @@ EdgeCluster::EdgeCluster(const ClusterConfig& config,
     link_config.telemetry.tid = static_cast<std::uint32_t>(links_.size());
     links_.push_back(std::make_unique<SessionManager>(link_config, mean));
   }
+  link_down_.assign(links_.size(), 0);
+  link_scale_.assign(links_.size(), 1.0);
+  caps_scratch_.assign(links_.size(), 0.0);
   const TelemetryConfig& tel = config_.serving.telemetry;
   if (tel.trace_on()) tracer_ = tel.tracer;
   flight_ = resolve_flight_recorder(tel);
@@ -134,6 +155,13 @@ void EdgeCluster::rank_links(const Entry& entry) {
       break;
     }
   }
+  // Downed links leave the rotation entirely: arrivals route around them
+  // and displaced sessions only consider survivors. Down/up transitions are
+  // strict toggles, so the counters differ exactly while >= 1 link is down —
+  // the fault-free path never pays for the scan.
+  if (link_down_events_ != link_up_events_) {
+    std::erase_if(rank_, [this](std::size_t k) { return link_down_[k] != 0; });
+  }
 }
 
 void EdgeCluster::place_arrivals() {
@@ -180,7 +208,9 @@ void EdgeCluster::place_arrivals() {
     }
     if (!e.admitted) {
       e.departure_actual = slot_;
-      e.max_sustainable_depth = best_depth;
+      // attempts == 0 means every link was down — no link reported headroom.
+      e.max_sustainable_depth =
+          attempts > 0 ? best_depth : 0;
       ++placement_rejects_;
       if (c_rejects_ != nullptr) c_rejects_->add(1);
       if (flight_ != nullptr) {
@@ -188,6 +218,7 @@ void EdgeCluster::place_arrivals() {
                         static_cast<double>(e.id),
                         static_cast<double>(attempts));
       }
+      if (collect_retry_) retry_feed_.push_back({e.id, e.spec, false});
     }
     if (config_.placement == PlacementPolicy::kRoundRobin) {
       rr_cursor_ = (rr_cursor_ + 1) % links_.size();
@@ -199,6 +230,123 @@ void EdgeCluster::place_arrivals() {
         pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_));
     pending_head_ = 0;
   }
+}
+
+std::size_t EdgeCluster::mint_runtime_id(std::size_t entry_id) {
+  failover_owner_.push_back(entry_id);
+  return kFailoverIdBase + failover_owner_.size() - 1;
+}
+
+std::size_t EdgeCluster::owner_of(std::size_t runtime_id) const {
+  return runtime_id >= kFailoverIdBase
+             ? failover_owner_[runtime_id - kFailoverIdBase]
+             : runtime_id;
+}
+
+bool EdgeCluster::set_link_state(std::size_t link, bool down) {
+  if (finished_ || link >= links_.size()) return false;
+  if ((link_down_[link] != 0) == down) return true;  // already there: no-op
+  link_down_[link] = down ? 1 : 0;
+  if (flight_ != nullptr) {
+    flight_->record(FlightEventKind::kFault, slot_, kClusterTid,
+                    static_cast<double>(link), down ? 0.0 : 1.0);
+  }
+  if (!down) {
+    // Recovery: the link simply rejoins the placement rotation (rank_links
+    // stops filtering it). Sessions that failed over do not migrate back.
+    ++link_up_events_;
+    return true;
+  }
+  ++link_down_events_;
+  // Drain: every active session leaves the link's books now (its trace on
+  // that link ends at this slot) and queues for re-placement. The entry
+  // remembers the live spec — an external close may have shortened the
+  // departure since placement.
+  evict_scratch_.clear();
+  links_[link]->evict_all_active(evict_scratch_);
+  for (const EvictedSession& ev : evict_scratch_) {
+    const std::size_t owner = owner_of(ev.id);
+    Entry& e = *entries_[owner];
+    e.spec = ev.spec;
+    e.displaced = true;
+    displaced_.push_back(owner);
+    ++failover_displaced_;
+  }
+  return true;
+}
+
+bool EdgeCluster::set_link_capacity_scale(std::size_t link, double scale) {
+  if (finished_ || link >= links_.size()) return false;
+  if (!(scale >= 0.0) || scale > 1e6) return false;  // rejects NaN too
+  link_scale_[link] = scale;
+  links_[link]->set_capacity_scale(scale);
+  if (flight_ != nullptr) {
+    flight_->record(FlightEventKind::kFault, slot_, kClusterTid,
+                    static_cast<double>(link), 2.0);
+  }
+  return true;
+}
+
+void EdgeCluster::take_retry_feed(std::vector<RetrySeed>& out) {
+  out.insert(out.end(), std::make_move_iterator(retry_feed_.begin()),
+             std::make_move_iterator(retry_feed_.end()));
+  retry_feed_.clear();
+}
+
+void EdgeCluster::place_displaced() {
+  if (displaced_.empty()) return;
+  const PhaseSpan span(tracer_, Phase::kPlace, slot_, kClusterTid);
+  for (const std::size_t entry_id : displaced_) {
+    Entry& e = *entries_[entry_id];
+    if (!e.displaced) continue;  // externally closed while displaced
+    e.displaced = false;
+    if (e.spec.departure_slot != kNeverDeparts &&
+        e.spec.departure_slot <= slot_) {
+      // The session's window ended during the outage: nothing to re-place
+      // and nothing to retry.
+      e.fault_evicted = true;
+      e.departure_actual = slot_;
+      ++fault_evicted_;
+      continue;
+    }
+    rank_links(e);
+    const std::size_t attempts =
+        std::min(rank_.size(), config_.spill_limit + 1);
+    const std::size_t rid = mint_runtime_id(entry_id);
+    bool replaced = false;
+    for (std::size_t a = 0; a < attempts; ++a) {
+      const std::size_t k = rank_[a];
+      const AdmissionDecision decision = links_[k]->try_place(e.spec, rid);
+      if (decision.admitted) {
+        e.link = static_cast<int>(k);
+        e.runtime_id = rid;
+        ++e.failovers;
+        ++failover_replaced_;
+        replaced = true;
+        if (flight_ != nullptr) {
+          flight_->record(FlightEventKind::kFailover, slot_, kClusterTid,
+                          static_cast<double>(e.id), static_cast<double>(k));
+        }
+        break;
+      }
+    }
+    if (!replaced) {
+      e.fault_evicted = true;
+      e.departure_actual = slot_;
+      ++fault_evicted_;
+      if (flight_ != nullptr) {
+        flight_->record(FlightEventKind::kPlacementReject, slot_, kClusterTid,
+                        static_cast<double>(e.id),
+                        static_cast<double>(attempts));
+      }
+      if (collect_retry_) retry_feed_.push_back({e.id, e.spec, true});
+    }
+    // Failover re-placement deliberately does not advance rr_cursor_: the
+    // arrival rotation stays a pure function of the arrival sequence, so a
+    // fault plan perturbs placement only through load, not through cursor
+    // drift.
+  }
+  displaced_.clear();
 }
 
 void EdgeCluster::accumulate_slo(SloObservation& observation) {
@@ -221,7 +369,10 @@ void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
   //    into reservations freed on any link.
   for (auto& link : links_) link->begin_slot();
 
-  // 2. Placement (the one cluster-centralized act).
+  // 2. Placement (the one cluster-centralized act). Sessions displaced by an
+  //    outage re-enter first — they were admitted before this slot's
+  //    arrivals existed — then the slot's arrivals.
+  place_displaced();
   place_arrivals();
 
   // 3. Decide. Serial executor: each link runs its incremental memoized
@@ -248,12 +399,20 @@ void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
   }
 
   // 4. Each link schedules and drains with its own capacity; the cluster
-  //    records the fleet-wide slot totals.
+  //    records the fleet-wide slot totals. The fault plane shapes the
+  //    effective capacity here: a downed link offers zero (so utilization
+  //    never counts capacity nobody could use) and a faded link offers its
+  //    scaled draw. ×1.0 is the bitwise multiply identity, so with no
+  //    faults the totals are bit-for-bit the pre-fault-plane ones.
+  for (std::size_t k = 0; k < links_.size(); ++k) {
+    caps_scratch_[k] =
+        link_down_[k] != 0 ? 0.0 : link_capacity_bytes[k] * link_scale_[k];
+  }
   double offered = 0.0, used = 0.0;
   std::size_t active = 0;
   for (std::size_t k = 0; k < links_.size(); ++k) {
     const SessionManager::SlotReport report =
-        links_[k]->finish_slot(link_capacity_bytes[k]);
+        links_[k]->finish_slot(caps_scratch_[k]);
     offered += report.capacity_offered;
     used += report.capacity_used;
     active += report.active_sessions;
@@ -275,7 +434,18 @@ bool EdgeCluster::request_close(std::size_t session_id) {
   if (session_id >= entries_.size()) return false;
   Entry& e = *entries_[session_id];
   if (e.admitted) {
-    return links_[static_cast<std::size_t>(e.link)]->request_close(session_id);
+    if (e.fault_evicted) return false;  // already ended by an outage
+    if (e.displaced) {
+      // The owning link is down and the session is queued for re-placement:
+      // the close lands on the eviction path (its trace already ended at the
+      // drain) instead of being silently dropped.
+      e.displaced = false;
+      e.departure_actual = slot_;
+      ++fault_closed_;
+      return true;
+    }
+    return links_[static_cast<std::size_t>(e.link)]->request_close(
+        e.runtime_id);
   }
   if (!e.arrived && !e.cancelled) {
     e.cancelled = true;
@@ -285,6 +455,9 @@ bool EdgeCluster::request_close(std::size_t session_id) {
 }
 
 std::size_t EdgeCluster::next_pending_arrival_slot() const noexcept {
+  // Displaced sessions make the current slot "pending": the driver must
+  // step (not idle-skip) so re-placement happens immediately.
+  if (!displaced_.empty()) return slot_;
   return pending_head_ < pending_.size()
              ? entries_[pending_[pending_head_]]->due
              : kNeverDeparts;
@@ -298,6 +471,7 @@ std::size_t EdgeCluster::skip_idle_slots(std::size_t max_slots) {
     throw std::logic_error("EdgeCluster::skip_idle_slots: sessions are active");
   }
   std::size_t slots = max_slots;
+  if (!displaced_.empty()) slots = 0;  // re-placement is due this slot
   if (pending_head_ < pending_.size()) {
     const std::size_t due = entries_[pending_[pending_head_]]->due;
     slots = due > slot_ ? std::min(slots, due - slot_) : 0;
@@ -320,16 +494,35 @@ ClusterResult EdgeCluster::finish() {
   }
   finished_ = true;
 
-  // Close every link and index its outcomes by cluster session id.
+  // Sessions still displaced when the run ends never got a re-placement
+  // slot: count them as fault-evicted so the failover books balance
+  // (displaced == replaced + evicted + closed, nothing stranded).
+  for (const std::size_t entry_id : displaced_) {
+    Entry& e = *entries_[entry_id];
+    if (!e.displaced) continue;
+    e.displaced = false;
+    e.fault_evicted = true;
+    e.departure_actual = slot_;
+    ++fault_evicted_;
+  }
+  displaced_.clear();
+
+  // Close every link and index its outcomes by cluster session id. A
+  // failed-over session left retired segments on earlier links under older
+  // runtime ids; only the segment matching the entry's *current* runtime id
+  // is the one its report should carry.
   std::vector<ServingResult> link_results;
   link_results.reserve(links_.size());
   for (auto& link : links_) link_results.push_back(link->finish());
-  // id -> (link, index into that link's outcome list)
+  // entry id -> (link, index into that link's outcome list)
   std::vector<std::pair<int, std::size_t>> where(entries_.size(), {-1, 0});
   for (std::size_t k = 0; k < link_results.size(); ++k) {
     const auto& sessions = link_results[k].sessions;
     for (std::size_t j = 0; j < sessions.size(); ++j) {
-      where[sessions[j].id] = {static_cast<int>(k), j};
+      const std::size_t owner = owner_of(sessions[j].id);
+      if (sessions[j].id == entries_[owner]->runtime_id) {
+        where[owner] = {static_cast<int>(k), j};
+      }
     }
   }
 
@@ -341,10 +534,14 @@ ClusterResult EdgeCluster::finish() {
     out.link = e.link;
     out.spilled = e.spilled;
     out.arrived = e.arrived;
+    out.failovers = e.failovers;
+    out.fault_evicted = e.fault_evicted;
     if (e.admitted) {
       out.session = std::move(
           link_results[static_cast<std::size_t>(where[e.id].first)]
               .sessions[where[e.id].second]);
+      // The segment carries its per-link runtime id; report the cluster id.
+      out.session.id = e.id;
     } else {
       // Refused everywhere (or never arrived): synthesize the same outcome
       // shape the single-link runtime reports.
@@ -376,6 +573,12 @@ ClusterResult EdgeCluster::finish() {
   result.metrics.fleet = metrics_.fleet();
   result.metrics.spills = spills_;
   result.metrics.placement_rejects = placement_rejects_;
+  result.metrics.link_down_events = link_down_events_;
+  result.metrics.link_up_events = link_up_events_;
+  result.metrics.failover_displaced = failover_displaced_;
+  result.metrics.failover_replaced = failover_replaced_;
+  result.metrics.fault_evicted = fault_evicted_;
+  result.metrics.fault_closed = fault_closed_;
   std::vector<double> link_used;
   link_used.reserve(link_results.size());
   for (const ServingResult& lr : link_results) {

@@ -70,14 +70,33 @@ struct ClusterConfig {
 
 /// One session's cluster-level run record.
 struct ClusterSessionOutcome {
-  /// Link the session streamed on; -1 when refused or never arrived.
+  /// Link the session streamed on; -1 when refused or never arrived. For a
+  /// failed-over session this is the *last* link it streamed on.
   int link = -1;
   /// Admitted by a link other than its first choice.
   bool spilled = false;
   /// False when the run ended before the session's arrival slot: placement
   /// never saw it, so it counts as neither admitted nor refused.
   bool arrived = false;
+  /// Times the session was re-placed after its link went down.
+  std::uint32_t failovers = 0;
+  /// Ended by an outage: displaced with no surviving link taking it (or no
+  /// lifetime left). `session` covers the window up to the eviction.
+  bool fault_evicted = false;
   SessionOutcome session;
+};
+
+/// A rejected or fault-evicted session offered back to the driver's retry
+/// loop. Produced only when the retry feed is enabled (enable_retry_feed);
+/// `spec` is the live spec with its original absolute departure slot.
+struct RetrySeed {
+  /// Cluster session id the seed descends from (the driver tracks attempt
+  /// counts across generations by this id).
+  std::size_t session_id = 0;
+  SessionSpec spec;
+  /// True when an outage evicted the session mid-stream; false for a
+  /// placement reject at arrival.
+  bool fault_evicted = false;
 };
 
 /// Fleet view across all links.
@@ -98,6 +117,23 @@ struct ClusterMetrics {
   std::size_t spills = 0;
   /// Sessions refused by every link they were offered to.
   std::size_t placement_rejects = 0;
+  // Fault-plane outcomes. The books balance exactly:
+  //   failover_displaced == failover_replaced + fault_evicted + fault_closed
+  // (every displaced session is re-placed, evicted, or externally closed —
+  // none stranded; tested).
+  /// Link up→down transitions applied.
+  std::size_t link_down_events = 0;
+  /// Link down→up transitions applied.
+  std::size_t link_up_events = 0;
+  /// Active sessions drained off a link when it went down.
+  std::size_t failover_displaced = 0;
+  /// Displaced sessions re-admitted onto a surviving link.
+  std::size_t failover_replaced = 0;
+  /// Displaced sessions no surviving link would take (or with no lifetime
+  /// left) — ended at the eviction slot.
+  std::size_t fault_evicted = 0;
+  /// Displaced sessions externally closed before re-placement.
+  std::size_t fault_closed = 0;
 };
 
 struct ClusterResult {
@@ -157,6 +193,51 @@ class EdgeCluster {
   [[nodiscard]] std::size_t placement_rejects() const noexcept {
     return placement_rejects_;
   }
+  [[nodiscard]] std::size_t failover_displaced() const noexcept {
+    return failover_displaced_;
+  }
+  [[nodiscard]] std::size_t failover_replaced() const noexcept {
+    return failover_replaced_;
+  }
+  [[nodiscard]] std::size_t fault_evicted_count() const noexcept {
+    return fault_evicted_;
+  }
+  [[nodiscard]] std::size_t fault_closed() const noexcept {
+    return fault_closed_;
+  }
+
+  // -- Fault plane -----------------------------------------------------
+  /// Marks link `link` down (drains its active sessions into the failover
+  /// queue; they re-enter placement on the next step) or back up (the link
+  /// rejoins the placement rotation; sessions do NOT migrate back). Returns
+  /// false for an out-of-range link or after finish(); a transition to the
+  /// state the link is already in is a true no-op.
+  bool set_link_state(std::size_t link, bool down);
+
+  /// Scales link `link`'s admissible capacity (radio fade / brownout). The
+  /// caller also scales the capacity it feeds step() for that link — the
+  /// cluster applies the same factor to the admission controller so both
+  /// planes agree. scale = 1 restores nominal. Returns false for an
+  /// out-of-range link, a non-finite or negative scale, or after finish().
+  bool set_link_capacity_scale(std::size_t link, double scale);
+
+  [[nodiscard]] bool link_down(std::size_t link) const {
+    return link_down_.at(link) != 0;
+  }
+  [[nodiscard]] double link_capacity_scale(std::size_t link) const {
+    return link_scale_.at(link);
+  }
+
+  /// Turns on retry-seed collection: placement rejects and fault evictions
+  /// append a RetrySeed instead of vanishing. The driver drains the feed via
+  /// take_retry_feed and re-submits with backoff.
+  void enable_retry_feed() noexcept { collect_retry_ = true; }
+  [[nodiscard]] bool retry_feed_pending() const noexcept {
+    return !retry_feed_.empty();
+  }
+  /// Appends the pending seeds to `out` (in production order) and clears the
+  /// feed.
+  void take_retry_feed(std::vector<RetrySeed>& out);
 
   /// Folds the cluster's SLO sample into `observation`: every link's
   /// per-tier counters and gauges (worst-link view — see
@@ -199,7 +280,14 @@ class EdgeCluster {
   struct Entry;
 
   void place_arrivals();
+  void place_displaced();
   void rank_links(const Entry& entry);
+  /// Mints a fresh per-link session id for a failover segment and records
+  /// its owning entry. Re-placement cannot reuse the entry id: a session that
+  /// bounces back onto a link it streamed on earlier would collide with its
+  /// own retired id in that link's books.
+  std::size_t mint_runtime_id(std::size_t entry_id);
+  [[nodiscard]] std::size_t owner_of(std::size_t runtime_id) const;
 
   ClusterConfig config_;
   ParallelExecutor executor_;
@@ -220,6 +308,23 @@ class EdgeCluster {
   // Scratch reused across slots.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> decide_map_;
   std::vector<std::size_t> rank_;
+  // -- Fault plane (all vectors preallocated; idle cost is one branch per
+  // link per slot and a ×1.0 capacity multiply, which is bitwise identity) --
+  std::vector<std::uint8_t> link_down_;  // 1 = down
+  std::vector<double> link_scale_;       // admission/capacity scale, 1 = nominal
+  std::vector<double> caps_scratch_;     // effective per-link capacity this slot
+  std::vector<std::size_t> displaced_;   // entry ids awaiting re-placement
+  std::vector<EvictedSession> evict_scratch_;
+  // Failover runtime ids are kFailoverIdBase + index into this owner map.
+  std::vector<std::size_t> failover_owner_;
+  bool collect_retry_ = false;
+  std::vector<RetrySeed> retry_feed_;
+  std::size_t link_down_events_ = 0;
+  std::size_t link_up_events_ = 0;
+  std::size_t failover_displaced_ = 0;
+  std::size_t failover_replaced_ = 0;
+  std::size_t fault_evicted_ = 0;
+  std::size_t fault_closed_ = 0;
   // Telemetry (see session_manager.hpp for the null-pointer cost model).
   // Links carry their own per-link instruments (tid = link index); these are
   // the cluster-level ones: placement outcomes under "cluster/", spans on

@@ -51,7 +51,10 @@ CsvTable DriverReport::snapshot_table() const {
 
 std::size_t ServingBackend::step_slots(std::size_t max_slots) {
   std::size_t done = 0;
-  while (done < max_slots &&
+  // A pending retry feed ends the burst early: the loop must convert the
+  // seeds into future arrival events before more slots run, or a retry
+  // storm would collapse into a single batch at the end of the stretch.
+  while (done < max_slots && !retry_feed_pending() &&
          (active_count() > 0 || next_pending_arrival_slot() <= slot())) {
     step_slot();
     ++done;
@@ -114,6 +117,16 @@ EventLoop::EventLoop(const DriverConfig& config, ServingBackend& backend)
     h_batch_ = &config_.telemetry.registry->histogram("driver/event_batch_size");
   }
   flight_ = resolve_flight_recorder(config_.telemetry);
+  if (config_.retry.enabled) {
+    if (config_.retry.max_attempts == 0 ||
+        config_.retry.base_backoff_slots == 0 ||
+        config_.retry.max_backoff_slots < config_.retry.base_backoff_slots) {
+      throw std::invalid_argument(
+          "EventLoop: retry needs max_attempts >= 1 and "
+          "1 <= base_backoff_slots <= max_backoff_slots");
+    }
+    backend_->enable_retry_feed();
+  }
   if (!config_.slo.specs.empty()) {
     slo_ = std::make_unique<SloMonitor>(config_.slo);  // validates
     if (config_.telemetry.counters_on()) {
@@ -128,6 +141,7 @@ EventLoop::EventLoop(const DriverConfig& config, ServingBackend& backend)
 
 void EventLoop::reserve(std::size_t arrivals) {
   specs_.reserve(arrivals);
+  spec_attempt_.reserve(arrivals);
   // Each arrival may ride with a departure marker, plus stop + snapshot.
   events_.reserve(2 * arrivals + 4);
 }
@@ -152,6 +166,7 @@ void EventLoop::push(std::size_t slot, EventKind kind, std::size_t payload) {
 
 void EventLoop::schedule_arrival(std::size_t slot, const SessionSpec& spec) {
   specs_.push_back(spec);
+  spec_attempt_.push_back(0);
   push(slot, EventKind::kArrival, specs_.size() - 1);
 }
 
@@ -165,6 +180,42 @@ void EventLoop::schedule_close(std::size_t slot, std::size_t session_id) {
 
 void EventLoop::schedule_stop(std::size_t slot) {
   push(slot, EventKind::kStop, 0);
+}
+
+void EventLoop::schedule_link_down(std::size_t slot, std::size_t link) {
+  faults_.push_back(FaultEvent{slot, FaultKind::kLinkDown,
+                               static_cast<std::uint32_t>(link), 1.0});
+  push(slot, EventKind::kLinkDown, faults_.size() - 1);
+}
+
+void EventLoop::schedule_link_up(std::size_t slot, std::size_t link) {
+  faults_.push_back(FaultEvent{slot, FaultKind::kLinkUp,
+                               static_cast<std::uint32_t>(link), 1.0});
+  push(slot, EventKind::kLinkUp, faults_.size() - 1);
+}
+
+void EventLoop::schedule_capacity_scale(std::size_t slot, std::size_t link,
+                                        double scale) {
+  faults_.push_back(FaultEvent{slot, FaultKind::kCapacityScale,
+                               static_cast<std::uint32_t>(link), scale});
+  push(slot, EventKind::kCapacityScale, faults_.size() - 1);
+}
+
+void EventLoop::schedule_fault_plan(const FaultPlan& plan) {
+  faults_.reserve(faults_.size() + plan.events.size());
+  for (const FaultEvent& f : plan.events) {
+    switch (f.kind) {
+      case FaultKind::kLinkDown:
+        schedule_link_down(f.slot, f.link);
+        break;
+      case FaultKind::kLinkUp:
+        schedule_link_up(f.slot, f.link);
+        break;
+      case FaultKind::kCapacityScale:
+        schedule_capacity_scale(f.slot, f.link, f.scale);
+        break;
+    }
+  }
 }
 
 void EventLoop::set_arrival_source(ArrivalSource& source) {
@@ -297,6 +348,67 @@ void EventLoop::write_live_stats(const MetricsSnapshot& snapshot) {
   }
 }
 
+namespace {
+/// SplitMix64 finalizer — the retry jitter hash. Pure function of its input,
+/// so a (seed, session, attempt) triple always jitters identically.
+std::uint64_t mix_retry(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+void EventLoop::drain_retry_feed(std::size_t now, DriverReport& report) {
+  retry_scratch_.clear();
+  backend_->take_retry_feed(retry_scratch_);
+  const RetryConfig& rc = config_.retry;
+  for (const RetrySeed& seed : retry_scratch_) {
+    // Lineage depth: the map only holds retried arrivals, so a miss means
+    // the seed's session was an original submission (this is attempt 1).
+    std::uint32_t attempt = 1;
+    if (const auto it = retry_attempt_.find(seed.session_id);
+        it != retry_attempt_.end()) {
+      attempt = it->second + 1;
+    }
+    if (attempt > rc.max_attempts) {
+      ++report.retries_abandoned;
+      continue;
+    }
+    // Capped exponential backoff plus deterministic jitter.
+    std::size_t delay = rc.base_backoff_slots;
+    for (std::uint32_t a = 1; a < attempt && delay < rc.max_backoff_slots;
+         ++a) {
+      delay <<= 1;
+    }
+    delay = std::min(delay, rc.max_backoff_slots);
+    if (rc.jitter_slots > 0) {
+      const std::uint64_t h = mix_retry(
+          rc.seed ^ mix_retry(static_cast<std::uint64_t>(seed.session_id) ^
+                              (static_cast<std::uint64_t>(attempt) << 48)));
+      delay += static_cast<std::size_t>(h % (rc.jitter_slots + 1));
+    }
+    const std::size_t retry_slot = now + delay;
+    if (seed.spec.departure_slot != kNeverDeparts &&
+        retry_slot >= seed.spec.departure_slot) {
+      ++report.retries_abandoned;  // its window would be over before it lands
+      continue;
+    }
+    SessionSpec spec = seed.spec;
+    spec.arrival_slot = retry_slot;
+    specs_.push_back(spec);
+    spec_attempt_.push_back(attempt);
+    push_event(retry_slot, EventKind::kArrival, specs_.size() - 1);
+    ++arrival_events_;
+    ++report.retries_scheduled;
+    if (flight_ != nullptr) {
+      flight_->record(FlightEventKind::kRetry, now, kDriverTid,
+                      static_cast<double>(seed.session_id),
+                      static_cast<double>(attempt));
+    }
+  }
+}
+
 void EventLoop::pull_source(std::size_t now, DriverReport& report) {
   // Source arrivals due at or before this slot submit before any calendar
   // event of the same slot fires — mirroring a pre-scheduled trace, whose
@@ -352,11 +464,16 @@ DriverReport EventLoop::run() {
       }
       for (const CalendarEvent& event : due_) {
         switch (static_cast<EventKind>(event.kind)) {
-          case EventKind::kArrival:
+          case EventKind::kArrival: {
             --arrival_events_;
-            backend_->submit(specs_[event.payload]);
+            const std::size_t id = backend_->submit(specs_[event.payload]);
+            const std::uint32_t attempt = spec_attempt_[event.payload];
+            // Retried arrivals record their lineage depth under the fresh
+            // runtime id, so a re-rejection knows its attempt number.
+            if (attempt > 0) retry_attempt_.emplace(id, attempt);
             ++report.arrivals_injected;
             break;
+          }
           case EventKind::kDeparture:
             ++report.departure_markers;
             break;
@@ -382,6 +499,41 @@ DriverReport EventLoop::run() {
             --stop_events_;
             stopped = true;
             break;
+          case EventKind::kLinkDown:
+          case EventKind::kLinkUp: {
+            const FaultEvent& fault = faults_[event.payload];
+            const bool down =
+                static_cast<EventKind>(event.kind) == EventKind::kLinkDown;
+            if (backend_->apply_link_state(fault.link, down)) {
+              ++report.faults_applied;
+              if (down) {
+                ++report.link_down_events;
+              } else {
+                ++report.link_up_events;
+              }
+            } else {
+              // A backend without a fault plane (or a bad link index in a
+              // hand-written plan) is counted, not fatal — same contract as
+              // close events.
+              ++report.faults_ignored;
+              log_info("driver: ", down ? "link-down" : "link-up",
+                       " event at slot ", event.slot, " ignored (link ",
+                       fault.link, ")");
+            }
+            break;
+          }
+          case EventKind::kCapacityScale: {
+            const FaultEvent& fault = faults_[event.payload];
+            if (backend_->apply_capacity_scale(fault.link, fault.scale)) {
+              ++report.faults_applied;
+              ++report.capacity_scale_events;
+            } else {
+              ++report.faults_ignored;
+              log_info("driver: capacity-scale event at slot ", event.slot,
+                       " ignored (link ", fault.link, ")");
+            }
+            break;
+          }
         }
       }
     }
@@ -389,6 +541,13 @@ DriverReport EventLoop::run() {
     if (report.slots_executed >= config_.max_slots) {
       report.hit_slot_cap = true;
       break;
+    }
+
+    // Seeds the backend produced during the last burst (placement rejects,
+    // fault evictions) become future arrival events now — before the idle
+    // logic could conclude the run is drained.
+    if (config_.retry.enabled && backend_->retry_feed_pending()) {
+      drain_retry_feed(now, report);
     }
 
     const std::size_t pending = backend_->next_pending_arrival_slot();
@@ -447,6 +606,13 @@ DriverReport EventLoop::run() {
     }
   }
 
+  // Seeds still pending when the run stopped never got their retry slot.
+  if (config_.retry.enabled && backend_->retry_feed_pending()) {
+    retry_scratch_.clear();
+    backend_->take_retry_feed(retry_scratch_);
+    report.retries_abandoned += retry_scratch_.size();
+  }
+
   // SLO bookkeeping into the report (self-contained: specs ride along).
   if (slo_ != nullptr) {
     report.slo_transitions = slo_->transitions();
@@ -465,6 +631,10 @@ DriverReport EventLoop::run() {
     reg.counter("driver/closes_ignored").add(report.closes_ignored);
     reg.counter("driver/slots_executed").add(report.slots_executed);
     reg.counter("driver/slots_skipped").add(report.slots_skipped);
+    reg.counter("driver/faults_applied").add(report.faults_applied);
+    reg.counter("driver/faults_ignored").add(report.faults_ignored);
+    reg.counter("driver/retries_scheduled").add(report.retries_scheduled);
+    reg.counter("driver/retries_abandoned").add(report.retries_abandoned);
     reg.counter("driver/snapshots").add(report.snapshots.size());
     reg.counter("driver/calendar_grows").add(events_.grows());
     reg.counter("driver/calendar_wrapped_pushes")

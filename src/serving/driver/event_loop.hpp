@@ -48,18 +48,39 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/csv.hpp"
 #include "net/channel.hpp"
 #include "serving/cluster.hpp"
 #include "serving/driver/calendar.hpp"
+#include "serving/driver/fault.hpp"
 #include "serving/session_manager.hpp"
 
 namespace arvis {
 
 /// "No such slot" sentinel (events, pending arrivals, stop slots).
 inline constexpr std::size_t kNoSlot = kNeverDeparts;
+
+/// Capped-exponential-backoff retry for sessions the runtime refused or an
+/// outage evicted. A rejected session re-enters the arrival stream after
+/// min(max_backoff_slots, base_backoff_slots << attempt) plus a deterministic
+/// jitter drawn from (seed, session id, attempt) — so a flash crowd hitting
+/// an outage produces a reproducible retry storm, not a thundering herd of
+/// identical delays and not run-to-run noise.
+struct RetryConfig {
+  bool enabled = false;
+  /// Re-submissions per session lineage; the original arrival is attempt 0.
+  std::uint32_t max_attempts = 3;
+  /// Delay before the first retry (slots, >= 1).
+  std::size_t base_backoff_slots = 2;
+  /// Exponential growth cap (slots).
+  std::size_t max_backoff_slots = 64;
+  /// Jitter added on top, uniform in [0, jitter_slots].
+  std::size_t jitter_slots = 2;
+  std::uint64_t seed = 0x5EEDB0FFULL;
+};
 
 struct DriverConfig {
   /// Slots between periodic metrics snapshots (0 = none). Snapshots fire on
@@ -95,6 +116,10 @@ struct DriverConfig {
   /// Free-form run description echoed into black boxes and live stats
   /// (must be valid JSON when non-empty, e.g. "{\"run\":\"flash-crowd\"}").
   std::string config_echo;
+  /// Retry/backoff loop for refused and fault-evicted sessions. Requires a
+  /// backend with a retry feed (the cluster backend); enabling it against a
+  /// backend without one is a no-op.
+  RetryConfig retry;
 };
 
 /// One periodic sample of the runtime's running counters. Counter fields are
@@ -139,6 +164,19 @@ struct DriverReport {
   std::size_t closes_ignored = 0;
   /// True when DriverConfig::max_slots ended the run.
   bool hit_slot_cap = false;
+  /// Fault events the backend accepted / refused (a single-link backend has
+  /// no fault verbs, so every fault on it counts as ignored).
+  std::size_t faults_applied = 0;
+  std::size_t faults_ignored = 0;
+  /// Applied fault mix, by kind.
+  std::size_t link_down_events = 0;
+  std::size_t link_up_events = 0;
+  std::size_t capacity_scale_events = 0;
+  /// Retry arrivals scheduled from the backend's feed, and seeds dropped
+  /// because the lineage ran out of attempts or lifetime (including seeds
+  /// still pending when the run ended).
+  std::size_t retries_scheduled = 0;
+  std::size_t retries_abandoned = 0;
   /// Every SLO state transition the monitor observed, oldest first (empty
   /// when DriverConfig::slo has no specs), plus the specs they index —
   /// copied from the config so the report is self-contained.
@@ -171,7 +209,9 @@ class ServingBackend {
   [[nodiscard]] virtual std::size_t active_count() const = 0;
   /// Earliest internally pending arrival's due slot, kNoSlot when none.
   [[nodiscard]] virtual std::size_t next_pending_arrival_slot() const = 0;
-  virtual void submit(const SessionSpec& spec) = 0;
+  /// Registers a session and returns its runtime id (the id close events
+  /// and retry seeds refer to).
+  virtual std::size_t submit(const SessionSpec& spec) = 0;
   /// Executes one slot, drawing this slot's capacity from the channel(s).
   virtual void step_slot() = 0;
   /// External-close control: ends (or cancels, if still pending) the session
@@ -194,6 +234,26 @@ class ServingBackend {
   /// merge_slo_sample semantics; see SessionManager::accumulate_slo).
   /// Non-const: the delay percentile uses the runtime's reusable scratch.
   virtual void sample_slo(SloObservation& observation) = 0;
+
+  // -- Fault plane (optional; defaults describe a backend without one, so
+  // existing backends and tests are untouched) ---------------------------
+  /// Applies a link up/down transition. False = unsupported or bad link.
+  virtual bool apply_link_state(std::size_t link, bool down) {
+    (void)link;
+    (void)down;
+    return false;
+  }
+  /// Applies a capacity scale factor. False = unsupported or bad input.
+  virtual bool apply_capacity_scale(std::size_t link, double scale) {
+    (void)link;
+    (void)scale;
+    return false;
+  }
+  /// Turns on retry-seed collection (refusals/evictions feed the driver).
+  virtual void enable_retry_feed() {}
+  [[nodiscard]] virtual bool retry_feed_pending() const { return false; }
+  /// Moves the pending seeds into `out` (appended) and clears the feed.
+  virtual void take_retry_feed(std::vector<RetrySeed>& out) { (void)out; }
 };
 
 /// Pull-based arrival feed: the incremental alternative to scheduling every
@@ -226,7 +286,9 @@ class SessionManagerBackend final : public ServingBackend {
   [[nodiscard]] std::size_t next_pending_arrival_slot() const override {
     return manager_->next_pending_arrival_slot();
   }
-  void submit(const SessionSpec& spec) override { manager_->submit(spec); }
+  std::size_t submit(const SessionSpec& spec) override {
+    return manager_->submit(spec);
+  }
   void step_slot() override {
     manager_->step(channel_->next_capacity_bytes());
   }
@@ -268,7 +330,9 @@ class ClusterBackend final : public ServingBackend {
   [[nodiscard]] std::size_t next_pending_arrival_slot() const override {
     return cluster_->next_pending_arrival_slot();
   }
-  void submit(const SessionSpec& spec) override { cluster_->submit(spec); }
+  std::size_t submit(const SessionSpec& spec) override {
+    return cluster_->submit(spec);
+  }
   void step_slot() override;
   bool close_session(std::size_t session_id) override {
     return cluster_->request_close(session_id);
@@ -280,6 +344,19 @@ class ClusterBackend final : public ServingBackend {
               std::vector<double>& per_link_used) const override;
   void sample_slo(SloObservation& observation) override {
     cluster_->accumulate_slo(observation);
+  }
+  bool apply_link_state(std::size_t link, bool down) override {
+    return cluster_->set_link_state(link, down);
+  }
+  bool apply_capacity_scale(std::size_t link, double scale) override {
+    return cluster_->set_link_capacity_scale(link, scale);
+  }
+  void enable_retry_feed() override { cluster_->enable_retry_feed(); }
+  [[nodiscard]] bool retry_feed_pending() const override {
+    return cluster_->retry_feed_pending();
+  }
+  void take_retry_feed(std::vector<RetrySeed>& out) override {
+    cluster_->take_retry_feed(out);
   }
 
  private:
@@ -324,6 +401,20 @@ class EventLoop {
   /// skipped). The earliest scheduled stop wins.
   void schedule_stop(std::size_t slot);
 
+  /// Schedules a link outage start / recovery at `slot` (fires before the
+  /// slot executes, like close events). Whether the backend honours it lands
+  /// in the report's faults_applied / faults_ignored.
+  void schedule_link_down(std::size_t slot, std::size_t link);
+  void schedule_link_up(std::size_t slot, std::size_t link);
+
+  /// Schedules a capacity scale change (radio fade / brownout) at `slot`.
+  void schedule_capacity_scale(std::size_t slot, std::size_t link,
+                               double scale);
+
+  /// Schedules every event of a fault plan. The plan composes freely with
+  /// scheduled arrivals, an arrival source, and other plans.
+  void schedule_fault_plan(const FaultPlan& plan);
+
   /// Attaches an incremental arrival feed (must outlive run()). At most one
   /// source; call before run().
   void set_arrival_source(ArrivalSource& source);
@@ -340,13 +431,19 @@ class EventLoop {
     kSnapshot,
     kClose,
     kStop,
+    kLinkDown,
+    kLinkUp,
+    kCapacityScale,
   };
 
   void push(std::size_t slot, EventKind kind, std::size_t payload);
   /// Guard-free enqueue for the loop's own mid-run pushes (source-fed
-  /// departure markers); the public API goes through push().
+  /// departure markers, retry arrivals); the public API goes through push().
   void push_event(std::size_t slot, EventKind kind, std::size_t payload);
   void pull_source(std::size_t now, DriverReport& report);
+  /// Converts the backend's pending retry seeds into future arrival events
+  /// (capped exponential backoff + deterministic jitter) or abandons them.
+  void drain_retry_feed(std::size_t now, DriverReport& report);
   void take_snapshot(std::size_t slot, DriverReport& report);
   /// SLO evaluation + live-stats rewrite, called from take_snapshot.
   void observe_slo(const MetricsSnapshot& snapshot);
@@ -356,6 +453,17 @@ class EventLoop {
   ServingBackend* backend_;
   EventCalendar events_;
   std::vector<SessionSpec> specs_;  // arrival payloads
+  /// Retry generation of each specs_ entry (0 = original arrival); parallel
+  /// to specs_. A CalendarEvent carries one size_t payload, so the attempt
+  /// rides here rather than in the event.
+  std::vector<std::uint32_t> spec_attempt_;
+  /// Fault payloads; kLinkDown/kLinkUp/kCapacityScale events index here.
+  std::vector<FaultEvent> faults_;
+  /// Runtime id -> retry generation, populated only for retried arrivals
+  /// (attempt >= 1), so fault-free runs never touch it. Lets a seed for a
+  /// rejected retry find its lineage depth.
+  std::unordered_map<std::size_t, std::uint32_t> retry_attempt_;
+  std::vector<RetrySeed> retry_scratch_;
   ArrivalSource* source_ = nullptr;
   std::uint64_t seq_ = 0;
   /// Arrival events still queued. Snapshots re-arm themselves and markers

@@ -1,0 +1,116 @@
+// Deterministic fault plans for the event-driven serving driver.
+//
+// A FaultPlan is a sorted list of control events — link outages, recoveries
+// and capacity scaling — that the EventLoop schedules on its calendar
+// alongside arrivals, departures and snapshots. Plans are either composed
+// from the builder verbs below (outage / flap / fade / brownout) or drawn
+// from a seeded FaultPlanConfig, so the same seed always produces the same
+// chaos: replaying a scenario with the same workload seed and the same fault
+// plan is bit-for-bit reproducible.
+//
+// The plan layer knows nothing about EdgeCluster internals; the driver maps
+// each event onto the backend's fault verbs (ServingBackend::apply_link_state
+// / apply_capacity_scale).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace arvis {
+
+/// What a single fault event does to its target link.
+enum class FaultKind : std::uint8_t {
+  kLinkDown,       ///< Link fails: active sessions drain into failover.
+  kLinkUp,         ///< Link recovers and rejoins the placement rotation.
+  kCapacityScale,  ///< Link capacity is multiplied by `scale` (radio fade,
+                   ///< brownout). scale == 1.0 restores nominal capacity.
+};
+
+/// Stable lowercase name, e.g. "link-down". Used by the trace CSV format.
+const char* to_string(FaultKind kind) noexcept;
+
+/// Parses the names emitted by to_string. Returns false on unknown input.
+bool parse_fault_kind(const std::string& text, FaultKind& out) noexcept;
+
+/// One scheduled fault. `scale` is meaningful only for kCapacityScale and
+/// must be exactly 1.0 otherwise (keeps the trace round-trip exact).
+struct FaultEvent {
+  std::size_t slot = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::uint32_t link = 0;
+  double scale = 1.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// An ordered fault schedule. Builder verbs append and keep `events` sorted
+/// by slot (stable, so same-slot events fire in composition order).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// One-shot outage: link goes down at `at` and recovers `duration` slots
+  /// later. duration == 0 means the link never recovers.
+  FaultPlan& outage(std::uint32_t link, std::size_t at, std::size_t duration);
+
+  /// Correlated flap: every link in `links` goes down together at
+  /// `at + r * period` and recovers `down_slots` later, `repeats` times.
+  /// Models a shared-backhaul or handover burst taking out a link group.
+  FaultPlan& correlated_flap(const std::vector<std::uint32_t>& links,
+                             std::size_t at, std::size_t down_slots,
+                             std::size_t period, std::size_t repeats);
+
+  /// Radio fade: capacity ramps down in `steps` equal stages to
+  /// `floor_scale`, holds for `hold_slots`, then ramps back to 1.0.
+  FaultPlan& radio_fade(std::uint32_t link, std::size_t at,
+                        std::size_t ramp_slots, double floor_scale,
+                        std::size_t hold_slots, std::size_t steps = 4);
+
+  /// Brownout plateau: capacity drops to `scale` at `at` and restores to
+  /// 1.0 after `duration` slots.
+  FaultPlan& brownout(std::uint32_t link, std::size_t at, std::size_t duration,
+                      double scale);
+
+  /// Merges another plan's events into this one (stable by slot).
+  FaultPlan& merge(const FaultPlan& other);
+};
+
+/// Validates a plan against a backend with `link_count` links (0 skips the
+/// link bound check): events sorted by slot, links in range, scales finite
+/// and non-negative, non-scale events carrying scale == 1.0.
+[[nodiscard]] Status validate_fault_plan(const FaultPlan& plan,
+                                         std::size_t link_count);
+
+/// Seeded chaos mix. Draws each requested shape at a deterministic slot and
+/// link; composable with every scenario generator (the fault stream is
+/// independent of the arrival stream).
+struct FaultPlanConfig {
+  std::uint64_t seed = 0x0FA017ULL;
+  std::size_t link_count = 2;   ///< Links to target (>= 1).
+  std::size_t horizon = 1000;   ///< Events land in [warmup, horizon).
+  std::size_t warmup = 0;       ///< No faults before this slot.
+
+  std::size_t outages = 1;          ///< One-shot outages.
+  std::size_t outage_slots = 40;    ///< Outage duration.
+  std::size_t flaps = 0;            ///< Correlated multi-link flap groups.
+  std::size_t flap_links = 2;       ///< Links per flap group (capped at K).
+  std::size_t flap_down_slots = 6;  ///< Down time per flap.
+  std::size_t flap_period = 20;     ///< Slots between flap repeats.
+  std::size_t flap_repeats = 3;     ///< Repeats per flap group.
+  std::size_t fades = 0;            ///< Radio-fade capacity ramps.
+  double fade_floor = 0.3;          ///< Deepest fade scale.
+  std::size_t fade_slots = 60;      ///< Ramp-down length (== ramp-up).
+  std::size_t brownouts = 0;        ///< Capacity plateaus.
+  double brownout_scale = 0.5;      ///< Plateau scale.
+  std::size_t brownout_slots = 80;  ///< Plateau length.
+};
+
+/// Generates the plan described by `config`. Throws std::invalid_argument on
+/// a malformed config (zero links, horizon <= warmup with shapes requested).
+[[nodiscard]] FaultPlan make_fault_plan(const FaultPlanConfig& config);
+
+}  // namespace arvis

@@ -1,5 +1,6 @@
 #include "serving/driver/replay.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -63,8 +64,12 @@ class ScenarioArrivalSource final : public ArrivalSource {
 /// never reached count nowhere, mirroring fleet accounting, so each tier's
 /// books balance: arrivals == admitted + rejected.
 template <class QosOfRow>
-void roll_up_qos(ReplayResult& result, const QosOfRow& qos_of_row) {
-  for (std::size_t i = 0; i < result.cluster.sessions.size(); ++i) {
+void roll_up_qos(ReplayResult& result, std::size_t rows,
+                 const QosOfRow& qos_of_row) {
+  // Retry generations live past the trace rows (fresh ids, no row to join
+  // against); the rollup covers original arrivals only.
+  const std::size_t joined = std::min(result.cluster.sessions.size(), rows);
+  for (std::size_t i = 0; i < joined; ++i) {
     const ClusterSessionOutcome& outcome = result.cluster.sessions[i];
     if (!outcome.arrived) continue;
     QosOutcome& tier = result.per_qos[static_cast<std::size_t>(qos_of_row(i))];
@@ -131,6 +136,18 @@ ReplayResult replay_trace(const ReplayConfig& config,
       !status.ok()) {
     throw std::invalid_argument("replay_trace: " + status.message());
   }
+  // The trace's own validation could not know the cluster shape; here both
+  // fault schedules check against the real link count.
+  FaultPlan trace_faults;
+  trace_faults.events = trace.faults;
+  if (const Status status = validate_fault_plan(trace_faults, means.size());
+      !status.ok()) {
+    throw std::invalid_argument("replay_trace: " + status.message());
+  }
+  if (const Status status = validate_fault_plan(config.faults, means.size());
+      !status.ok()) {
+    throw std::invalid_argument("replay_trace: " + status.message());
+  }
 
   EdgeCluster cluster(config.cluster, means);
   ClusterBackend backend(cluster, channels);
@@ -149,12 +166,17 @@ ReplayResult replay_trace(const ReplayConfig& config,
     // cluster session id is the row index.
     if (event.t_close != 0) loop.schedule_close(event.t_close, i);
   }
+  // Trace faults schedule before config faults, so on a slot tie the file's
+  // own chaos fires first (calendar order is (slot, schedule-order)).
+  loop.schedule_fault_plan(trace_faults);
+  loop.schedule_fault_plan(config.faults);
   if (config.stop_slot != kNoSlot) loop.schedule_stop(config.stop_slot);
 
   ReplayResult result;
   result.report = loop.run();
   result.cluster = cluster.finish();
-  roll_up_qos(result, [&](std::size_t i) { return trace.events[i].qos; });
+  roll_up_qos(result, trace.events.size(),
+              [&](std::size_t i) { return trace.events[i].qos; });
   flush_qos_counters(result, config.driver.telemetry);
   return result;
 }
@@ -166,18 +188,23 @@ ReplayResult replay_scenario(
   validate_profiles(profiles, "replay_scenario");
   const std::vector<double> means =
       validated_channel_means(channels, "replay_scenario");
+  if (const Status status = validate_fault_plan(config.faults, means.size());
+      !status.ok()) {
+    throw std::invalid_argument("replay_scenario: " + status.message());
+  }
 
   EdgeCluster cluster(config.cluster, means);
   ClusterBackend backend(cluster, channels);
   EventLoop loop(config.driver, backend);
   ScenarioArrivalSource source(generator.stream(), profiles);
   loop.set_arrival_source(source);
+  loop.schedule_fault_plan(config.faults);
   if (config.stop_slot != kNoSlot) loop.schedule_stop(config.stop_slot);
 
   ReplayResult result;
   result.report = loop.run();
   result.cluster = cluster.finish();
-  roll_up_qos(result,
+  roll_up_qos(result, source.emitted_qos().size(),
               [&](std::size_t i) { return source.emitted_qos()[i]; });
   flush_qos_counters(result, config.driver.telemetry);
   return result;

@@ -29,6 +29,11 @@ struct ReplayConfig {
   /// Optional hard stop: halt before this slot even if sessions remain
   /// active (kNoSlot = run until the churn drains).
   std::size_t stop_slot = kNoSlot;
+  /// Fault plan scheduled alongside the workload (validated against the
+  /// link count). Composes with a trace's own fault schedule — the trace's
+  /// faults fire first on slot ties — and with every scenario generator,
+  /// which is how "flash crowd × link outage" style runs are expressed.
+  FaultPlan faults;
 };
 
 /// Outcomes sliced by QoS tier (indexed by QosClass). `arrivals` counts

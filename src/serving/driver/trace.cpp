@@ -1,5 +1,6 @@
 #include "serving/driver/trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -9,15 +10,16 @@ namespace arvis {
 
 namespace {
 
-const std::vector<std::string>& trace_header() {
-  static const std::vector<std::string> header{"t_arrive", "duration",
-                                               "profile", "weight", "qos"};
-  return header;
-}
-
-const std::vector<std::string>& trace_header_with_close() {
-  static const std::vector<std::string> header{
-      "t_arrive", "duration", "profile", "weight", "qos", "t_close"};
+/// The header for a given optional-column mix. Both options ride only when
+/// used, so four permutations exist; parse accepts them all, serialization
+/// picks the smallest that fits the trace.
+std::vector<std::string> trace_header(bool with_close, bool with_fault) {
+  std::vector<std::string> header{"t_arrive", "duration", "profile", "weight",
+                                  "qos"};
+  if (with_close) header.push_back("t_close");
+  if (with_fault) {
+    header.insert(header.end(), {"fault", "f_link", "f_slot", "f_scale"});
+  }
   return header;
 }
 
@@ -84,8 +86,8 @@ std::size_t WorkloadTrace::arrival_horizon() const noexcept {
 }
 
 CsvTable WorkloadTrace::to_table() const {
-  // The sixth column rides only when used, so close-free traces serialize
-  // to the legacy five-column file byte for byte.
+  // Optional columns ride only when used, so close-free fault-free traces
+  // serialize to the legacy five-column file byte for byte.
   bool any_close = false;
   for (const TraceEvent& e : events) {
     if (e.t_close != 0) {
@@ -93,13 +95,40 @@ CsvTable WorkloadTrace::to_table() const {
       break;
     }
   }
-  CsvTable table(any_close ? trace_header_with_close() : trace_header());
-  for (const TraceEvent& e : events) {
-    std::vector<CsvCell> row{static_cast<std::int64_t>(e.t_arrive),
-                             static_cast<std::int64_t>(e.duration),
-                             static_cast<std::int64_t>(e.profile), e.weight,
-                             std::string(to_string(e.qos))};
-    if (any_close) row.push_back(static_cast<std::int64_t>(e.t_close));
+  const bool any_fault = !faults.empty();
+  CsvTable table(trace_header(any_close, any_fault));
+  // Fault j rides row j; the streams are independent, so whichever is
+  // shorter pads its cells with empties (a trace can be all faults).
+  const std::size_t rows = std::max(events.size(), faults.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<CsvCell> row;
+    if (r < events.size()) {
+      const TraceEvent& e = events[r];
+      row = {static_cast<std::int64_t>(e.t_arrive),
+             static_cast<std::int64_t>(e.duration),
+             static_cast<std::int64_t>(e.profile), e.weight,
+             std::string(to_string(e.qos))};
+      if (any_close) row.push_back(static_cast<std::int64_t>(e.t_close));
+    } else {
+      row.assign(any_close ? 6 : 5, std::monostate{});
+    }
+    if (any_fault) {
+      if (r < faults.size()) {
+        const FaultEvent& f = faults[r];
+        row.push_back(std::string(to_string(f.kind)));
+        row.push_back(static_cast<std::int64_t>(f.link));
+        row.push_back(static_cast<std::int64_t>(f.slot));
+        if (f.kind == FaultKind::kCapacityScale) {
+          row.push_back(f.scale);
+        } else {
+          // Non-scale faults carry exactly 1.0 in memory (validated), so an
+          // empty cell loses nothing and the round-trip stays exact.
+          row.push_back(std::monostate{});
+        }
+      } else {
+        row.insert(row.end(), 4, std::monostate{});
+      }
+    }
     table.add_row(std::move(row));
   }
   return table;
@@ -133,47 +162,123 @@ Status validate_workload_trace(const WorkloadTrace& trace,
                                      ": t_close must be 0 or > t_arrive");
     }
   }
-  return Status::Ok();
+  // Link bounds stay unchecked here (0): the trace does not know the
+  // cluster shape; the replayer validates against its link count.
+  FaultPlan plan;
+  plan.events = trace.faults;
+  return validate_fault_plan(plan, 0);
 }
 
 Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
-  const bool has_close = table.header() == trace_header_with_close();
-  if (!has_close && table.header() != trace_header()) {
+  bool has_close = false;
+  bool has_fault = false;
+  bool known = false;
+  for (const bool close : {false, true}) {
+    for (const bool fault : {false, true}) {
+      if (table.header() == trace_header(close, fault)) {
+        has_close = close;
+        has_fault = fault;
+        known = true;
+      }
+    }
+  }
+  if (!known) {
     return Status::ParseError(
         "workload trace: expected header "
-        "t_arrive,duration,profile,weight,qos[,t_close]");
+        "t_arrive,duration,profile,weight,qos[,t_close]"
+        "[,fault,f_link,f_slot,f_scale]");
   }
+  const std::size_t session_columns = has_close ? 6 : 5;
   WorkloadTrace trace;
   trace.events.reserve(table.row_count());
   for (std::size_t r = 0; r < table.row_count(); ++r) {
     const std::string row = "workload trace row " + std::to_string(r);
-    TraceEvent e;
-    std::size_t profile = 0;
-    if (!cell_to_size(table.at(r, 0), e.t_arrive)) {
-      return Status::ParseError(row + ": t_arrive must be an integer >= 0");
+    // A row whose session cells are all empty carries only a fault (the
+    // fault stream outlived the arrival stream).
+    const bool fault_only =
+        std::holds_alternative<std::monostate>(table.at(r, 0));
+    if (fault_only) {
+      if (!has_fault) {
+        return Status::ParseError(row + ": empty t_arrive");
+      }
+      for (std::size_t c = 1; c < session_columns; ++c) {
+        if (!std::holds_alternative<std::monostate>(table.at(r, c))) {
+          return Status::ParseError(
+              row + ": fault-only rows must leave every session cell empty");
+        }
+      }
+    } else {
+      TraceEvent e;
+      std::size_t profile = 0;
+      if (!cell_to_size(table.at(r, 0), e.t_arrive)) {
+        return Status::ParseError(row + ": t_arrive must be an integer >= 0");
+      }
+      if (!cell_to_size(table.at(r, 1), e.duration)) {
+        return Status::ParseError(row + ": duration must be an integer >= 0");
+      }
+      if (!cell_to_size(table.at(r, 2), profile) ||
+          profile > std::numeric_limits<std::uint32_t>::max()) {
+        return Status::ParseError(row + ": bad profile id");
+      }
+      e.profile = static_cast<std::uint32_t>(profile);
+      if (!cell_to_double(table.at(r, 3), e.weight)) {
+        return Status::ParseError(row + ": weight must be numeric");
+      }
+      const auto* qos = std::get_if<std::string>(&table.at(r, 4));
+      if (qos == nullptr) {
+        return Status::ParseError(row + ": qos must be a string");
+      }
+      const Result<QosClass> parsed = parse_qos_class(*qos);
+      if (!parsed.ok()) {
+        return Status::ParseError(row + ": " + parsed.status().message());
+      }
+      e.qos = *parsed;
+      if (has_close && !cell_to_size(table.at(r, 5), e.t_close)) {
+        return Status::ParseError(row + ": t_close must be an integer >= 0");
+      }
+      trace.events.push_back(e);
     }
-    if (!cell_to_size(table.at(r, 1), e.duration)) {
-      return Status::ParseError(row + ": duration must be an integer >= 0");
+    if (has_fault) {
+      const CsvCell& kind_cell = table.at(r, session_columns);
+      if (std::holds_alternative<std::monostate>(kind_cell)) {
+        if (fault_only) {
+          return Status::ParseError(row + ": fault-only row without a fault");
+        }
+        for (std::size_t c = 1; c < 4; ++c) {
+          if (!std::holds_alternative<std::monostate>(
+                  table.at(r, session_columns + c))) {
+            return Status::ParseError(
+                row + ": fault cells must be all empty or a full fault");
+          }
+        }
+        continue;
+      }
+      const auto* kind_text = std::get_if<std::string>(&kind_cell);
+      FaultEvent f;
+      if (kind_text == nullptr || !parse_fault_kind(*kind_text, f.kind)) {
+        return Status::ParseError(row + ": unknown fault kind");
+      }
+      std::size_t link = 0;
+      if (!cell_to_size(table.at(r, session_columns + 1), link) ||
+          link > std::numeric_limits<std::uint32_t>::max()) {
+        return Status::ParseError(row + ": bad f_link");
+      }
+      f.link = static_cast<std::uint32_t>(link);
+      if (!cell_to_size(table.at(r, session_columns + 2), f.slot)) {
+        return Status::ParseError(row + ": f_slot must be an integer >= 0");
+      }
+      const CsvCell& scale_cell = table.at(r, session_columns + 3);
+      if (f.kind == FaultKind::kCapacityScale) {
+        if (!cell_to_double(scale_cell, f.scale)) {
+          return Status::ParseError(row +
+                                    ": capacity-scale fault needs f_scale");
+        }
+      } else if (!std::holds_alternative<std::monostate>(scale_cell)) {
+        return Status::ParseError(
+            row + ": f_scale is only meaningful for capacity-scale faults");
+      }
+      trace.faults.push_back(f);
     }
-    if (!cell_to_size(table.at(r, 2), profile) ||
-        profile > std::numeric_limits<std::uint32_t>::max()) {
-      return Status::ParseError(row + ": bad profile id");
-    }
-    e.profile = static_cast<std::uint32_t>(profile);
-    if (!cell_to_double(table.at(r, 3), e.weight)) {
-      return Status::ParseError(row + ": weight must be numeric");
-    }
-    const auto* qos = std::get_if<std::string>(&table.at(r, 4));
-    if (qos == nullptr) {
-      return Status::ParseError(row + ": qos must be a string");
-    }
-    const Result<QosClass> parsed = parse_qos_class(*qos);
-    if (!parsed.ok()) return Status::ParseError(row + ": " + parsed.status().message());
-    e.qos = *parsed;
-    if (has_close && !cell_to_size(table.at(r, 5), e.t_close)) {
-      return Status::ParseError(row + ": t_close must be an integer >= 0");
-    }
-    trace.events.push_back(e);
   }
   if (const Status status = validate_workload_trace(trace); !status.ok()) {
     return Status::ParseError(status.message());

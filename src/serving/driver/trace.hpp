@@ -21,6 +21,24 @@
 //             only when some event uses it, so traces without closes keep
 //             the legacy five-column file byte for byte; both headers parse.
 //
+// A trace may also carry a fault schedule (link outages / recoveries /
+// capacity scaling) in four optional trailing columns, emitted only when the
+// trace has faults — the same ride-only-when-used contract as t_close, so
+// every legacy file stays byte for byte and all four header permutations
+// parse:
+//
+//   fault     "link-down" | "link-up" | "capacity-scale"; empty = no fault
+//             on this row
+//   f_link    target link index
+//   f_slot    slot the fault fires (fault rows are sorted by f_slot)
+//   f_scale   capacity factor; present only for capacity-scale (empty
+//             otherwise — non-scale faults carry exactly 1.0 in memory, so
+//             the round-trip stays exact)
+//
+// Fault j rides row j. Faults and arrivals are independent streams, so a
+// trace with more faults than sessions appends fault-only rows whose five
+// session cells are empty.
+//
 // Traces round-trip exactly: generate -> to_table -> serialize -> parse ->
 // identical event stream (tested). Validation is split by failure class per
 // repo convention: malformed *input* travels through Result/Status, while
@@ -35,6 +53,7 @@
 
 #include "common/csv.hpp"
 #include "common/status.hpp"
+#include "serving/driver/fault.hpp"
 
 namespace arvis {
 
@@ -71,9 +90,13 @@ struct TraceEvent {
   bool operator==(const TraceEvent&) const = default;
 };
 
-/// An ordered stream of session arrivals.
+/// An ordered stream of session arrivals, optionally with a fault schedule.
 struct WorkloadTrace {
   std::vector<TraceEvent> events;  // non-decreasing t_arrive
+  /// Fault schedule replayed alongside the arrivals (sorted by slot; empty
+  /// for a fault-free trace). Kept separate from `events` — faults target
+  /// links, not sessions.
+  std::vector<FaultEvent> faults;
 
   /// First slot after the last arrival (0 for an empty trace). The *run* may
   /// outlive this: sessions admitted near the end keep streaming for their
@@ -81,7 +104,8 @@ struct WorkloadTrace {
   [[nodiscard]] std::size_t arrival_horizon() const noexcept;
 
   /// Renders the trace as a CSV table in the documented column order. The
-  /// t_close column appears iff any event has t_close != 0.
+  /// t_close column appears iff any event has t_close != 0; the four fault
+  /// columns appear iff the trace has faults.
   [[nodiscard]] CsvTable to_table() const;
 
   /// Writes the CSV file. IoError on failure.
@@ -89,8 +113,10 @@ struct WorkloadTrace {
 };
 
 /// Structural validation: events sorted by t_arrive, weights finite and
-/// >= 0, every t_close either 0 or > its event's t_arrive, and (when
-/// `profile_count` > 0) every profile id < profile_count. Returns the first
+/// >= 0, every t_close either 0 or > its event's t_arrive, (when
+/// `profile_count` > 0) every profile id < profile_count, and the fault
+/// schedule sound per validate_fault_plan (link bounds are the replayer's
+/// job — the trace does not know the cluster shape). Returns the first
 /// violation; Ok for the empty trace.
 Status validate_workload_trace(const WorkloadTrace& trace,
                                std::size_t profile_count = 0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace arvis {
@@ -35,6 +36,22 @@ SessionManager::SessionManager(const ServingConfig& config,
     throw std::invalid_argument(
         "SessionManager: pf_ewma_window must be 0 (off) or >= 1");
   }
+  if (config_.degradation.enabled) {
+    const DegradationPolicy& policy = config_.degradation;
+    if (!(policy.enter_utilization > 0.0) ||
+        !std::isfinite(policy.enter_utilization) ||
+        !(policy.exit_utilization >= 0.0) ||
+        policy.exit_utilization >= policy.enter_utilization) {
+      throw std::invalid_argument(
+          "SessionManager: degradation needs 0 <= exit < enter utilization");
+    }
+    if (policy.min_candidates < 1 ||
+        policy.min_candidates > config_.candidates.size()) {
+      throw std::invalid_argument(
+          "SessionManager: degradation min_candidates outside [1, width]");
+    }
+  }
+  tier_limit_scratch_.assign(kSloTiers, 0);
   validate_telemetry(config_.telemetry, "SessionManager");
   flight_ = resolve_flight_recorder(config_.telemetry);
   register_telemetry();
@@ -59,6 +76,7 @@ void SessionManager::register_telemetry() {
   h_active_ = &reg.histogram(prefix + "active_sessions");
   h_slot_used_ = &reg.histogram(prefix + "slot_used_bytes");
   h_lifetime_ = &reg.histogram(prefix + "session_lifetime_slots");
+  c_brownout_ = &reg.counter(prefix + "brownout_transitions");
 }
 
 SessionManager::~SessionManager() = default;
@@ -254,6 +272,81 @@ void SessionManager::begin_slot() {
   // Departures first so a same-slot arrival sees the freed reservation.
   close_departures();
   admit_arrivals();
+  // Brownout evaluation sees the slot's final reservation level — a policy
+  // that is off costs the slot loop exactly this branch.
+  if (config_.degradation.enabled) evaluate_brownout();
+}
+
+void SessionManager::evaluate_brownout() {
+  const DegradationPolicy& policy = config_.degradation;
+  const double capacity = admission_.scaled_admissible();
+  const double reserved = admission_.reserved_load();
+  // Zero scaled capacity with anything reserved is infinite pressure (a
+  // fully faded link); zero on zero is idle.
+  const double utilization =
+      capacity > 0.0
+          ? reserved / capacity
+          : (reserved > 0.0 ? std::numeric_limits<double>::infinity() : 0.0);
+  const std::size_t width = config_.candidates.size();
+  if (!brownout_ && utilization >= policy.enter_utilization) {
+    brownout_ = true;
+    ++brownout_enters_;
+    for (std::size_t t = 0; t < kSloTiers; ++t) {
+      const std::size_t drop = policy.tier_drop[t];
+      const std::size_t floor = policy.min_candidates;
+      const std::size_t lim = width > drop ? width - drop : floor;
+      tier_limit_scratch_[t] = static_cast<std::uint32_t>(std::max(lim, floor));
+    }
+    store_.set_tier_limits(tier_limit_scratch_);
+    if (c_brownout_ != nullptr) c_brownout_->add(1);
+    if (flight_ != nullptr) {
+      flight_->record(FlightEventKind::kBrownoutEnter, slot_, tid_,
+                      utilization, static_cast<double>(store_.active_count()));
+    }
+  } else if (brownout_ && utilization <= policy.exit_utilization) {
+    brownout_ = false;
+    for (std::size_t t = 0; t < kSloTiers; ++t) {
+      tier_limit_scratch_[t] = static_cast<std::uint32_t>(width);
+    }
+    store_.set_tier_limits(tier_limit_scratch_);
+    if (c_brownout_ != nullptr) c_brownout_->add(1);
+    if (flight_ != nullptr) {
+      flight_->record(FlightEventKind::kBrownoutExit, slot_, tid_,
+                      utilization, static_cast<double>(store_.active_count()));
+    }
+  }
+}
+
+std::size_t SessionManager::evict_all_active(std::vector<EvictedSession>& out) {
+  if (finished_) {
+    throw std::logic_error(
+        "SessionManager::evict_all_active: already finished");
+  }
+  const std::size_t evicted = store_.active_count();
+  if (evicted == 0) return 0;
+  out.reserve(out.size() + evicted);
+  store_.retire_active(
+      [](const ServingSession&) { return true; },
+      [&](ServingSession& s) {
+        out.push_back(EvictedSession{s.id, s.spec});
+        s.phase = SessionPhase::kClosed;
+        s.departure_actual = slot_;
+        admission_.release(s.cheapest_load);
+        if (c_closed_ != nullptr) {
+          c_closed_->add(1);
+          h_lifetime_->record(static_cast<double>(slot_ - s.arrival_actual));
+        }
+        if (flight_ != nullptr) {
+          flight_->record(FlightEventKind::kClose, slot_, tid_,
+                          static_cast<double>(s.id),
+                          static_cast<double>(slot_ - s.arrival_actual));
+        }
+      });
+  return evicted;
+}
+
+void SessionManager::set_capacity_scale(double scale) {
+  admission_.set_capacity_scale(scale);
 }
 
 SessionManager::SlotReport SessionManager::finish_slot(double capacity_bytes) {

@@ -49,6 +49,37 @@
 
 namespace arvis {
 
+/// Brownout degradation: under overload or reduced capacity the manager
+/// lowers the per-QoS quality ceiling (restricting each session's decide
+/// candidate set to a prefix) *before* admission starts hard-rejecting —
+/// everyone streams a little worse instead of newcomers streaming not at
+/// all. Transitions are hysteretic (enter above one utilization, exit below
+/// a lower one) and recorded as flight events, so the SLO quality-floor spec
+/// and the black box both see them. Free when disabled: one branch per slot.
+struct DegradationPolicy {
+  bool enabled = false;
+  /// Enter brownout when reserved load / scaled admissible capacity reaches
+  /// this fraction. Must exceed exit_utilization.
+  double enter_utilization = 0.98;
+  /// Exit brownout when utilization falls back to this fraction.
+  double exit_utilization = 0.85;
+  /// Candidates shaved off the top of each tier's set during brownout
+  /// (0 = best-effort, 1 = standard, 2 = premium). Clamped so at least
+  /// min_candidates survive.
+  std::size_t tier_drop[kSloTiers] = {3, 2, 1};
+  /// Floor on every tier's brownout candidate count. >= 1.
+  std::size_t min_candidates = 1;
+};
+
+/// A session forcibly evicted by the fault plane (its link went down),
+/// reported to the caller for failover re-placement. `spec` is the live
+/// spec: the departure slot reflects any external close applied since
+/// admission.
+struct EvictedSession {
+  std::size_t id = 0;
+  SessionSpec spec;
+};
+
 struct ServingConfig {
   std::size_t steps = 800;
   std::vector<int> candidates{5, 6, 7, 8, 9, 10};
@@ -69,6 +100,9 @@ struct ServingConfig {
   /// instrumentation points are null checks and slot-boundary counter
   /// bumps, never per-session work). See serving/telemetry/.
   TelemetryConfig telemetry;
+  /// Brownout degradation policy (off by default; requires admission
+  /// enabled to observe utilization).
+  DegradationPolicy degradation;
 };
 
 /// One session's run record.
@@ -227,6 +261,33 @@ class SessionManager {
   /// instead of re-implementing them. Throws std::invalid_argument.
   void validate_spec(const SessionSpec& spec) const;
 
+  // --- Fault plane -----------------------------------------------------------
+
+  /// Force-closes every active session at the current slot (the link went
+  /// down), appending each one's id and live spec to `out` so the caller can
+  /// re-place them elsewhere. Pending internal arrivals stay pending — a
+  /// recovered link admits them normally. Admission reservations are
+  /// released; lifetimes are recorded like ordinary closes. Returns the
+  /// number evicted. Allocation only when `out` grows — a fault edge, never
+  /// steady-state work.
+  std::size_t evict_all_active(std::vector<EvictedSession>& out);
+
+  /// Fault-plane capacity scaling: multiplies the admission budget (and the
+  /// brownout utilization denominator) by `scale`. 1.0 restores nominal
+  /// capacity and is the bitwise identity. Throws std::invalid_argument on a
+  /// non-finite or negative scale.
+  void set_capacity_scale(double scale);
+  [[nodiscard]] double capacity_scale() const noexcept {
+    return admission_.capacity_scale();
+  }
+
+  /// True while the degradation policy has the quality ceilings lowered.
+  [[nodiscard]] bool brownout_active() const noexcept { return brownout_; }
+  /// Brownout windows entered over the run.
+  [[nodiscard]] std::size_t brownout_enters() const noexcept {
+    return brownout_enters_;
+  }
+
   /// Slots elapsed.
   [[nodiscard]] std::size_t slot() const noexcept { return slot_; }
   /// Sessions currently streaming.
@@ -277,6 +338,7 @@ class SessionManager {
   void close_departures();
   void activate(ServingSession& s);
   void register_telemetry();
+  void evaluate_brownout();
 
   ServingConfig config_;
   /// Mean link capacity admission calibrated against; the SLO sampler's
@@ -336,6 +398,13 @@ class SessionManager {
   std::uint64_t tier_accepted_[kSloTiers] = {};
   std::uint64_t tier_rejected_[kSloTiers] = {};
   std::vector<double> slo_scratch_[kSloTiers + 1];
+
+  // Brownout degradation state. The limit scratch is preallocated at
+  // construction so transitions allocate nothing.
+  bool brownout_ = false;
+  std::size_t brownout_enters_ = 0;
+  std::vector<std::uint32_t> tier_limit_scratch_;
+  TelemetryCounter* c_brownout_ = nullptr;
 };
 
 /// Convenience one-shot: submits `specs`, steps `config.steps` slots drawing

@@ -20,10 +20,13 @@ double clamped(const std::vector<double>& table, int depth) {
   return table[static_cast<std::size_t>(std::clamp(depth, 0, last))];
 }
 
-/// Mixes a decide key (interned row key, backlog bits) into a table hash
-/// (splitmix64-style finalizer; the low bits index the power-of-two ring).
-std::uint64_t mix_key(std::uint64_t row_key, std::uint64_t backlog_bits) {
-  std::uint64_t k = row_key ^ (backlog_bits * 0x9E3779B97F4A7C15ULL);
+/// Mixes a decide key (interned row key, backlog bits, candidate ceiling)
+/// into a table hash (splitmix64-style finalizer; the low bits index the
+/// power-of-two ring).
+std::uint64_t mix_key(std::uint64_t row_key, std::uint64_t backlog_bits,
+                      std::uint32_t limit) {
+  std::uint64_t k = row_key ^ (backlog_bits * 0x9E3779B97F4A7C15ULL) ^
+                    ((limit + 1ULL) * 0xBF58476D1CE4E5B9ULL);
   k ^= k >> 33;
   k *= 0xFF51AFD7ED558CCDULL;
   k ^= k >> 33;
@@ -56,6 +59,7 @@ SessionStore::SessionStore(std::vector<int> candidates, double v)
   if (candidates_.empty()) {
     throw std::invalid_argument("SessionStore: empty candidate set");
   }
+  tier_limit_.assign(kStoreQosTiers, static_cast<std::uint32_t>(width_));
   // The per-session LyapunovDepthController used to reject V < 0 at
   // construction; the flat kernel owns V now, so the check lives here.
   if (v < 0.0) {
@@ -107,11 +111,42 @@ void SessionStore::activate(ServingSession& s, std::size_t slot) {
   frames_.push_back(table.frames());
   row_off_.push_back(0);
   departure_.push_back(s.spec.departure_slot);
+  ARVIS_DCHECK_LT(s.spec.qos, tier_limit_.size());
+  qos_.push_back(s.spec.qos);
+  limit_.push_back(tier_limit_[s.spec.qos]);
   depth_.push_back(0);
   dec_arrivals_.push_back(0.0);
   dec_quality_.push_back(0.0);
   histo_add(std::bit_cast<std::uint64_t>(s.spec.weight));
   ++generation_;
+}
+
+void SessionStore::set_tier_limits(std::span<const std::uint32_t> limits) {
+  if (limits.size() > tier_limit_.size()) {
+    throw std::invalid_argument("set_tier_limits: too many tiers");
+  }
+  for (const std::uint32_t l : limits) {
+    if (l < 1 || l > width_) {
+      throw std::invalid_argument("set_tier_limits: limit outside [1, width]");
+    }
+  }
+  for (std::size_t t = 0; t < tier_limit_.size(); ++t) {
+    tier_limit_[t] =
+        t < limits.size() ? limits[t] : static_cast<std::uint32_t>(width_);
+  }
+  // Refresh the active mirror; a changed ceiling invalidates the decide
+  // grouping (the ceiling is part of the group key), so bump the membership
+  // generation exactly like a lifecycle edge. No change, no invalidation —
+  // a policy re-asserting the current ceilings stays free.
+  bool changed = false;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::uint32_t next = tier_limit_[qos_[i]];
+    if (limit_[i] != next) {
+      limit_[i] = next;
+      changed = true;
+    }
+  }
+  if (changed) ++generation_;
 }
 
 void SessionStore::resize_active(std::size_t n) {
@@ -130,6 +165,8 @@ void SessionStore::resize_active(std::size_t n) {
     frames_[i] = 0;
     row_off_[i] = std::numeric_limits<std::size_t>::max();
     departure_[i] = 0;
+    qos_[i] = std::numeric_limits<std::uint8_t>::max();
+    limit_[i] = 0;  // a live ceiling is never < 1
   }
 #endif
   active_.resize(n);
@@ -141,6 +178,8 @@ void SessionStore::resize_active(std::size_t n) {
   frames_.resize(n);
   row_off_.resize(n);
   departure_.resize(n);
+  qos_.resize(n);
+  limit_.resize(n);
   depth_.resize(n);
   dec_arrivals_.resize(n);
   dec_quality_.resize(n);
@@ -176,7 +215,8 @@ Status SessionStore::validate() const {
   };
   if (backlog_.size() != n || weight_.size() != n || ewma_.size() != n ||
       table_.size() != n || table_id_.size() != n || frames_.size() != n ||
-      row_off_.size() != n || departure_.size() != n || depth_.size() != n ||
+      row_off_.size() != n || departure_.size() != n || qos_.size() != n ||
+      limit_.size() != n || depth_.size() != n ||
       dec_arrivals_.size() != n || dec_quality_.size() != n) {
     return Status::FailedPrecondition(
         "SessionStore::validate: SoA mirrors not index-parallel with the "
@@ -219,6 +259,14 @@ Status SessionStore::validate() const {
     if (row_off_[i] % stride != 0 || row_off_[i] >= frames_[i] * stride) {
       return fail(i, "row cursor out of table range or misaligned");
     }
+    if (qos_[i] != s->spec.qos) return fail(i, "qos mirror diverged from spec");
+    if (qos_[i] >= tier_limit_.size()) return fail(i, "qos tier out of range");
+    if (limit_[i] != tier_limit_[qos_[i]]) {
+      return fail(i, "candidate ceiling diverged from tier limit");
+    }
+    if (limit_[i] < 1 || limit_[i] > width_) {
+      return fail(i, "candidate ceiling outside [1, width]");
+    }
   }
   // The weight histogram must be exactly reproducible from the mirrors (it
   // drives uniform_weights / distinct_weight_count, which gate scheduler
@@ -256,9 +304,10 @@ Status SessionStore::validate() const {
   // Decide-group structures only claim validity while the membership they
   // were built against is current.
   if (groups_generation_ == generation_ && !group_rep_.empty()) {
-    if (group_row_.size() != group_rep_.size()) {
+    if (group_row_.size() != group_rep_.size() ||
+        group_limit_.size() != group_rep_.size()) {
       return Status::FailedPrecondition(
-          "SessionStore::validate: group rep/row arrays diverged");
+          "SessionStore::validate: group rep/row/limit arrays diverged");
     }
     for (std::size_t g = 0; g < group_rep_.size(); ++g) {
       if (group_rep_[g] >= n) {
@@ -274,6 +323,7 @@ void SessionStore::rebuild_groups() {
   const std::size_t n = active_.size();
   group_rep_.clear();
   group_row_.clear();
+  group_limit_.clear();
   group_of_.resize(n);
 
   // Size the scratch hash at >= 2n slots (power of two, grown once).
@@ -289,30 +339,35 @@ void SessionStore::rebuild_groups() {
 
   std::uint64_t prev_key = 0;
   std::uint64_t prev_bits = 0;
+  std::uint32_t prev_limit = 0;
   std::uint32_t prev_group = 0;
   bool have_prev = false;
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t key = row_key(i);
     const std::uint64_t bits = std::bit_cast<std::uint64_t>(backlog_[i]);
+    const std::uint32_t lim = limit_[i];
     // Cohort fast path: sessions that activated together sit adjacently in
     // the active list and evolve identically, so most duplicates are the
     // previous index — no hash probe, no random memory touch.
-    if (have_prev && key == prev_key && bits == prev_bits) {
+    if (have_prev && key == prev_key && bits == prev_bits &&
+        lim == prev_limit) {
       group_of_[i] = prev_group;
       continue;
     }
-    std::size_t p = mix_key(key, bits) & mask;
+    std::size_t p = mix_key(key, bits, lim) & mask;
     std::uint32_t g;
     for (;;) {
       MemoSlot& slot = memo_[p];
       if (slot.epoch != epoch) {
         g = static_cast<std::uint32_t>(group_rep_.size());
-        slot = MemoSlot{epoch, key, bits, g};
+        slot = MemoSlot{epoch, key, bits, g, lim};
         group_rep_.push_back(static_cast<std::uint32_t>(i));
         group_row_.push_back(table_[i] + row_off_[i]);
+        group_limit_.push_back(lim);
         break;
       }
-      if (slot.row_key == key && slot.backlog_bits == bits) {
+      if (slot.row_key == key && slot.backlog_bits == bits &&
+          slot.limit == lim) {
         g = slot.group;
         break;
       }
@@ -321,6 +376,7 @@ void SessionStore::rebuild_groups() {
     group_of_[i] = g;
     prev_key = key;
     prev_bits = bits;
+    prev_limit = lim;
     prev_group = g;
     have_prev = true;
   }
@@ -345,16 +401,21 @@ void SessionStore::run_blocked_kernel() {
     double q[kDecideLanes];
     double best_obj[kDecideLanes];
     std::size_t best[kDecideLanes];
+    std::size_t lim[kDecideLanes];
     for (std::size_t l = 0; l < kDecideLanes; ++l) {
       rows[l] = group_row_[g + l];
       q[l] = backlog_[group_rep_[g + l]];
       best[l] = 0;
       best_obj[l] = v_ * rows[l][0] - q[l] * rows[l][width_];
+      lim[l] = group_limit_[g + l];
     }
     for (std::size_t c = 1; c < width_; ++c) {
       for (std::size_t l = 0; l < kDecideLanes; ++l) {
         const double objective = v_ * rows[l][c] - q[l] * rows[l][width_ + c];
-        const bool better = objective > best_obj[l];  // strict: ties keep low
+        // Candidates past the lane's brownout ceiling never win; computing
+        // their objective anyway keeps the lane loop branch-free (the row is
+        // width_ wide regardless, so the loads are always in bounds).
+        const bool better = c < lim[l] && objective > best_obj[l];
         best_obj[l] = better ? objective : best_obj[l];
         best[l] = better ? c : best[l];
       }
@@ -370,7 +431,8 @@ void SessionStore::run_blocked_kernel() {
     const double q = backlog_[group_rep_[g]];
     std::size_t best = 0;
     double best_objective = v_ * row[0] - q * row[width_];
-    for (std::size_t c = 1; c < width_; ++c) {
+    const std::size_t lim = group_limit_[g];
+    for (std::size_t c = 1; c < lim; ++c) {
       const double objective = v_ * row[c] - q * row[width_ + c];
       if (objective > best_objective) {
         best = c;
@@ -388,6 +450,7 @@ void SessionStore::decide_all() {
   if (n == 0) {
     group_rep_.clear();
     group_row_.clear();
+    group_limit_.clear();
     last_reused_ = false;
     return;
   }

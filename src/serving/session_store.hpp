@@ -82,6 +82,11 @@ inline constexpr std::size_t kDecideLanes = 4;
 /// instead of silently reading a retired session's data.
 inline constexpr std::uint64_t kPoisonedSlotBits = 0x7FF8DEADBEEFDEADULL;
 
+/// QoS tiers the store tracks candidate ceilings for. Sized above kSloTiers
+/// so this layer stays independent of the telemetry headers; the manager
+/// validates spec.qos < kSloTiers long before activation.
+inline constexpr std::size_t kStoreQosTiers = 8;
+
 /// One streaming client as submitted to the server.
 struct SessionSpec {
   /// Frame statistics of the content this session streams (non-null;
@@ -326,6 +331,31 @@ class SessionStore {
     return weight_histo_.size();
   }
 
+  // --- brownout quality ceilings -------------------------------------------
+
+  /// Sets the per-QoS candidate ceiling: sessions of tier t may only choose
+  /// among their first `limits[t]` candidates (candidates_ is the manager's
+  /// ascending depth list, so a lower ceiling caps delivered quality — the
+  /// brownout degradation knob). Tiers beyond `limits.size()` reset to the
+  /// full width. Every limit must be in [1, width]; bumps the membership
+  /// generation when any active session's ceiling actually changed (the
+  /// decide groups key on the ceiling). Throws std::invalid_argument on a
+  /// limit out of range or more than kStoreQosTiers entries.
+  void set_tier_limits(std::span<const std::uint32_t> limits);
+
+  /// Current ceiling for tier `qos` (width when never restricted).
+  [[nodiscard]] std::uint32_t tier_limit(std::uint8_t qos) const noexcept {
+    ARVIS_DCHECK_LT(qos, tier_limit_.size());
+    return tier_limit_[qos];
+  }
+  /// True when any tier's ceiling is below the full candidate width.
+  [[nodiscard]] bool tier_limits_active() const noexcept {
+    for (const std::uint32_t l : tier_limit_) {
+      if (l != width_) return true;
+    }
+    return false;
+  }
+
   // --- per-slot kernels ---------------------------------------------------
 
   /// The scalar flattened decide kernel: drift-plus-penalty argmax over
@@ -340,13 +370,17 @@ class SessionStore {
         "decide on poisoned (released) slot");
     ARVIS_DCHECK_MSG(table_[i] != nullptr, "decide on poisoned table slot");
     ARVIS_DCHECK_LT(row_off_[i], frames_[i] * 2 * width_);
+    ARVIS_DCHECK(limit_[i] >= 1 && limit_[i] <= width_);
     const double q = backlog_[i];
     const double* row = table_[i] + row_off_[i];
     const double* u = row;
     const double* a = row + width_;
+    // The brownout quality ceiling: only the first limit_[i] candidates
+    // compete (limit == width when degradation is idle).
+    const std::size_t lim = limit_[i];
     std::size_t best = 0;
     double best_objective = v_ * u[0] - q * a[0];
-    for (std::size_t c = 1; c < width_; ++c) {
+    for (std::size_t c = 1; c < lim; ++c) {
       const double objective = v_ * u[c] - q * a[c];
       if (objective > best_objective) {  // strict: ties keep the lower index
         best = c;
@@ -458,6 +492,8 @@ class SessionStore {
     frames_[to] = frames_[from];
     row_off_[to] = row_off_[from];
     departure_[to] = departure_[from];
+    qos_[to] = qos_[from];
+    limit_[to] = limit_[from];
   }
 
   void resize_active(std::size_t n);
@@ -471,17 +507,21 @@ class SessionStore {
   /// One epoch-stamped slot of the grouping hash (open addressing, linear
   /// probing; stale entries die by stamp, never by clearing the table).
   ///
-  /// Keys are (interned-table id << 32 | row offset, backlog bits) — stable
-  /// identifiers, deliberately NOT the row's address: a pointer key dangles
-  /// the moment a table is freed and re-interned (the sharded runtime will
-  /// migrate sessions across stores), and comparing a dangling pointer that
-  /// the allocator reused is a silent wrong-group hazard no sanitizer can
-  /// see. row_key() packs the id/offset pair; offsets are DCHECKed to fit.
+  /// Keys are (interned-table id << 32 | row offset, backlog bits, candidate
+  /// ceiling) — stable identifiers, deliberately NOT the row's address: a
+  /// pointer key dangles the moment a table is freed and re-interned (the
+  /// sharded runtime will migrate sessions across stores), and comparing a
+  /// dangling pointer that the allocator reused is a silent wrong-group
+  /// hazard no sanitizer can see. row_key() packs the id/offset pair;
+  /// offsets are DCHECKed to fit. The ceiling joined the key with brownout
+  /// degradation: two sessions sharing a row and backlog but sitting in
+  /// different QoS tiers may argmax over different candidate prefixes.
   struct MemoSlot {
     std::uint64_t epoch = 0;
     std::uint64_t row_key = 0;
     std::uint64_t backlog_bits = 0;
     std::uint32_t group = 0;
+    std::uint32_t limit = 0;
   };
 
   /// The memo key of active session i's current frame row.
@@ -494,6 +534,9 @@ class SessionStore {
   std::vector<int> candidates_;
   double v_;
   std::size_t width_;  // candidates_.size()
+  /// Per-QoS candidate ceiling applied at activation (all width_ when the
+  /// degradation policy is idle). Fixed size; never reallocates.
+  std::vector<std::uint32_t> tier_limit_;
 
   std::deque<ServingSession> slab_;        // insertion order, stable refs
   std::vector<ServingSession*> active_;    // admission order
@@ -507,6 +550,8 @@ class SessionStore {
   std::vector<std::size_t> frames_;        // table frame count (cycle length)
   std::vector<std::size_t> row_off_;       // current frame row, in doubles
   std::vector<std::size_t> departure_;     // spec departure slot (sweep key)
+  std::vector<std::uint8_t> qos_;          // spec QoS tier (ceiling lookup)
+  std::vector<std::uint32_t> limit_;       // candidate ceiling (<= width_)
 
   // Per-slot decide outputs (written by decide, read by schedule/drain).
   std::vector<int> depth_;
@@ -529,6 +574,7 @@ class SessionStore {
   std::vector<std::uint32_t> group_of_;   // session index -> group id
   std::vector<std::uint32_t> group_rep_;  // group id -> representative index
   std::vector<const double*> group_row_;  // group id -> this slot's row
+  std::vector<std::uint32_t> group_limit_;  // group id -> candidate ceiling
   std::vector<int> group_depth_;          // group outputs
   std::vector<double> group_arrivals_;
   std::vector<double> group_quality_;

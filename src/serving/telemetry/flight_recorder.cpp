@@ -27,6 +27,11 @@ const char* to_string(FlightEventKind kind) noexcept {
     case FlightEventKind::kSnapshot: return "snapshot";
     case FlightEventKind::kSloBreach: return "slo_breach";
     case FlightEventKind::kSloRecover: return "slo_recover";
+    case FlightEventKind::kFault: return "fault";
+    case FlightEventKind::kFailover: return "failover";
+    case FlightEventKind::kRetry: return "retry";
+    case FlightEventKind::kBrownoutEnter: return "brownout_enter";
+    case FlightEventKind::kBrownoutExit: return "brownout_exit";
   }
   return "?";
 }

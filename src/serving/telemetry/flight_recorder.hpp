@@ -61,9 +61,24 @@ enum class FlightEventKind : std::uint8_t {
   kSloBreach,
   /// A breached SLO recovered. a = spec index, b = fast-window value.
   kSloRecover,
+  /// A fault-plane control event fired. a = link, b = FaultKind code
+  /// (0 = link-down, 1 = link-up, 2 = capacity-scale).
+  kFault,
+  /// A displaced session was re-placed on a surviving link. a = session id,
+  /// b = the link it landed on.
+  kFailover,
+  /// A rejected or fault-evicted session was rescheduled by the driver's
+  /// retry loop. a = session id, b = attempt number.
+  kRetry,
+  /// Brownout degradation engaged: quality ceilings lowered. a = utilization
+  /// that tripped it, b = active count.
+  kBrownoutEnter,
+  /// Brownout degradation released: full candidate sets restored.
+  /// a = utilization at exit, b = active count.
+  kBrownoutExit,
 };
 
-inline constexpr std::size_t kFlightEventKindCount = 9;
+inline constexpr std::size_t kFlightEventKindCount = 14;
 
 const char* to_string(FlightEventKind kind) noexcept;
 

@@ -9,6 +9,10 @@
 //      hammered from every worker, the sum is exact, never torn or dropped.
 //   3. The executor's own machinery (claim loop, exception funnel, pool
 //      reuse) survives back-to-back jobs under TSan.
+//   4. Failover under a parallel decide fan-out: links flap while the
+//      cluster's decide phase runs at 2-8 threads — displaced sessions
+//      re-enter placement between fan-outs without racing (TSan) and
+//      without perturbing determinism (bit-identical to the serial run).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -20,6 +24,8 @@
 #include "datasets/catalog.hpp"
 #include "net/channel.hpp"
 #include "net/streaming.hpp"
+#include "serving/admission.hpp"
+#include "serving/cluster.hpp"
 #include "serving/executor.hpp"
 #include "serving/session_manager.hpp"
 #include "serving/telemetry/registry.hpp"
@@ -138,6 +144,83 @@ TEST(ConcurrencyStressTest, ExecutorSurvivesContendedReuseAndExceptions) {
   EXPECT_EQ(ran.load(), 512U);
   executor.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 51U);
+}
+
+ClusterResult run_flapping_cluster(std::size_t threads) {
+  ClusterConfig config;
+  config.serving = stress_config(threads);
+  config.serving.admission.enabled = true;  // failover needs real placement
+  config.serving.admission.utilization_target = 1.0;
+  config.placement = PlacementPolicy::kLeastLoaded;
+
+  const double load = AdmissionController::cheapest_depth_load(
+      stress_cache(), config.serving.candidates);
+  const std::size_t links = 4;
+  const std::vector<double> means(links, 8.4 * load);
+
+  EdgeCluster cluster(config, means);
+  for (const SessionSpec& spec : churny_specs(48, config.serving.steps)) {
+    cluster.submit(spec);
+  }
+  // Two links flap on different cadences, so re-placement waves land while
+  // earlier waves' sessions are still streaming on their fallback links.
+  for (std::size_t t = 0; t < config.serving.steps; ++t) {
+    if (t == 40) cluster.set_link_state(1, true);
+    if (t == 60) cluster.set_link_state(2, true);
+    if (t == 80) cluster.set_link_state(1, false);
+    if (t == 100) cluster.set_link_state(2, false);
+    if (t == 120) cluster.set_link_state(3, true);
+    cluster.step(means);
+  }
+  return cluster.finish();
+}
+
+TEST(ConcurrencyStressTest, FailoverUnderParallelDecideMatchesSerial) {
+  const ClusterResult serial = run_flapping_cluster(1);
+  // The flaps actually displaced sessions, and the books reconcile: every
+  // displaced session was re-placed, evicted, or closed.
+  ASSERT_GT(serial.metrics.failover_displaced, 0U);
+  EXPECT_EQ(serial.metrics.failover_displaced,
+            serial.metrics.failover_replaced + serial.metrics.fault_evicted +
+                serial.metrics.fault_closed);
+
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    const ClusterResult parallel = run_flapping_cluster(threads);
+    EXPECT_EQ(parallel.metrics.failover_displaced,
+              serial.metrics.failover_displaced)
+        << threads;
+    EXPECT_EQ(parallel.metrics.failover_replaced,
+              serial.metrics.failover_replaced)
+        << threads;
+    EXPECT_EQ(parallel.metrics.fault_evicted, serial.metrics.fault_evicted)
+        << threads;
+    EXPECT_EQ(parallel.metrics.fault_closed, serial.metrics.fault_closed)
+        << threads;
+    ASSERT_EQ(parallel.sessions.size(), serial.sessions.size()) << threads;
+    for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+      const ClusterSessionOutcome& a = serial.sessions[i];
+      const ClusterSessionOutcome& b = parallel.sessions[i];
+      ASSERT_EQ(a.link, b.link) << "threads=" << threads << " session=" << i;
+      ASSERT_EQ(a.failovers, b.failovers)
+          << "threads=" << threads << " session=" << i;
+      ASSERT_EQ(a.fault_evicted, b.fault_evicted)
+          << "threads=" << threads << " session=" << i;
+      ASSERT_EQ(a.session.trace.size(), b.session.trace.size())
+          << "threads=" << threads << " session=" << i;
+      for (std::size_t t = 0; t < a.session.trace.size(); ++t) {
+        const StepRecord& x = a.session.trace.at(t);
+        const StepRecord& y = b.session.trace.at(t);
+        ASSERT_EQ(x.depth, y.depth)
+            << "threads=" << threads << " session=" << i << " slot=" << t;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(x.backlog_end),
+                  std::bit_cast<std::uint64_t>(y.backlog_end))
+            << "threads=" << threads << " session=" << i << " slot=" << t;
+      }
+    }
+    EXPECT_EQ(parallel.metrics.fleet.capacity_used,
+              serial.metrics.fleet.capacity_used)
+        << threads;
+  }
 }
 
 }  // namespace
