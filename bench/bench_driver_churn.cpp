@@ -8,7 +8,7 @@
 //
 // Build & run:  ./build/bench/bench_driver_churn [--smoke] [--json]
 //                                                [--telemetry] [--slo]
-//                                                [--faults]
+//                                                [--faults] [--handover]
 //
 // --json appends a dated trajectory entry to BENCH_driver_churn.json (one
 // record per scenario at the least-loaded 2-link point; ns per executed
@@ -22,6 +22,10 @@
 // retry/backoff on, checks the failover books reconcile exactly and the run
 // is seed-stable, prints a FAULTS_JSON line, and appends a dated
 // churn_faults trajectory entry to BENCH_driver_churn.json.
+// --handover replays the flash crowd with graded mid-spike degradation and
+// the handover policy live, checks the migration books are exact (>=1
+// completed, zero stranded) and seed-stable, prints a MIGRATION_JSON line,
+// and appends a dated churn_handover trajectory entry.
 //
 // --smoke runs three hard invariants cheap enough for CI and exits non-zero
 // on violation:
@@ -110,7 +114,8 @@ arvis::ReplayResult run_point(
     const SweepPoint& point, double& wall_ms,
     const arvis::TelemetryConfig* telemetry = nullptr,
     const arvis::SloConfig* slo = nullptr,
-    const arvis::FaultPlan* faults = nullptr, bool retry = false) {
+    const arvis::FaultPlan* faults = nullptr, bool retry = false,
+    bool handover = false) {
   using namespace arvis;
   const WorkloadTrace trace =
       make_scenario(point.kind, scenario_for(point))->generate();
@@ -122,6 +127,11 @@ arvis::ReplayResult run_point(
   if (slo != nullptr) config.driver.slo = *slo;
   if (faults != nullptr) config.faults = *faults;
   config.driver.retry.enabled = retry;
+  if (handover) {
+    config.cluster.handover.enabled = true;
+    config.cluster.handover.delay_weight = 0.1;
+    config.cluster.handover.rebalance_on_departure = true;
+  }
 
   const double load = AdmissionController::cheapest_depth_load(
       churn_cache(), config.cluster.serving.candidates);
@@ -421,6 +431,115 @@ int run_faults() {
   return failures == 0 ? 0 : 1;
 }
 
+/// Flash crowd x graded link degradation x live handover: the migration leg.
+/// Link 1 ramps down to 20% capacity (with a 3-slot reported delay) ten
+/// slots into the spike and holds well past it, while the handover policy
+/// drains its sessions onto link 0 mid-stream with hot state carried.
+/// Checks that at least one migration completed, that the migration books
+/// are exact (requested == completed + aborted, aborts on the displaced
+/// path — zero stranded), that the failover books still reconcile, and that
+/// a second identical run reproduces every counter bit for bit. Prints a
+/// MIGRATION_JSON line and appends a dated churn_handover trajectory entry
+/// to BENCH_driver_churn.json.
+int run_handover() {
+  using namespace arvis;
+  int failures = 0;
+
+  SweepPoint point;
+  point.kind = ScenarioKind::kFlashCrowd;
+  point.links = 2;
+  point.horizon = 800;
+  point.sessions_per_link = 2;
+  point.pressure = 0.5;
+  point.spike_multiplier = 12.0;
+
+  const ScenarioConfig scenario = scenario_for(point);
+  const std::size_t spike_start = scenario.resolved_spike_start();
+  FaultPlan faults;
+  faults.degrade_pulse(/*link=*/1, /*at=*/spike_start + 10, /*ramp_slots=*/12,
+                       /*floor_scale=*/0.2, /*delay=*/3.0,
+                       /*hold_slots=*/150);
+
+  double ms = 0.0, ms2 = 0.0;
+  const ReplayResult first = run_point(point, ms, nullptr, nullptr, &faults,
+                                       /*retry=*/true, /*handover=*/true);
+  const ReplayResult second = run_point(point, ms2, nullptr, nullptr, &faults,
+                                        /*retry=*/true, /*handover=*/true);
+
+  const ClusterMetrics& m = first.cluster.metrics;
+  const std::size_t stranded =
+      m.migrations_requested - m.migrations_completed - m.migrations_aborted;
+  const bool books =
+      m.migrations_requested ==
+          m.migrations_completed + m.migrations_aborted &&
+      m.failover_displaced ==
+          m.failover_replaced + m.fault_evicted + m.fault_closed;
+  if (!books || stranded != 0) {
+    std::printf(
+        "handover FAIL: books do not reconcile (requested=%zu != "
+        "completed=%zu + aborted=%zu, stranded=%zu)\n",
+        m.migrations_requested, m.migrations_completed, m.migrations_aborted,
+        stranded);
+    ++failures;
+  } else {
+    std::printf(
+        "handover: books reconcile (%zu requested == %zu completed + %zu "
+        "aborted, zero stranded)\n",
+        m.migrations_requested, m.migrations_completed, m.migrations_aborted);
+  }
+  if (m.migrations_completed == 0) {
+    std::printf("handover FAIL: degraded link handed nothing over\n");
+    ++failures;
+  } else {
+    std::printf("handover: %zu sessions migrated off the degraded link "
+                "(%zu degrade events)\n",
+                m.migrations_completed, m.link_degrade_events);
+  }
+
+  const ClusterMetrics& n = second.cluster.metrics;
+  const bool deterministic =
+      first.report.faults_applied == second.report.faults_applied &&
+      first.report.link_degrade_events == second.report.link_degrade_events &&
+      m.migrations_requested == n.migrations_requested &&
+      m.migrations_completed == n.migrations_completed &&
+      m.migrations_aborted == n.migrations_aborted &&
+      m.failover_displaced == n.failover_displaced &&
+      m.fleet.sessions_admitted == n.fleet.sessions_admitted &&
+      m.fleet.utilization() == n.fleet.utilization() &&
+      first.report.slots_executed == second.report.slots_executed;
+  if (!deterministic) {
+    std::printf("handover FAIL: migration path is not seed-stable\n");
+    ++failures;
+  } else {
+    std::printf("handover: two runs of the same plan agree bit for bit\n");
+  }
+
+  std::printf(
+      "MIGRATION_JSON {\"bench\":\"driver_churn\",\"link_degrades\":%zu,"
+      "\"migrations_requested\":%zu,\"migrations_completed\":%zu,"
+      "\"migrations_aborted\":%zu,\"stranded\":%zu,"
+      "\"failover_displaced\":%zu,\"fault_evicted\":%zu,"
+      "\"books_reconcile\":%s,\"deterministic\":%s,\"failures\":%d}\n",
+      m.link_degrade_events, m.migrations_requested, m.migrations_completed,
+      m.migrations_aborted, stranded, m.failover_displaced, m.fault_evicted,
+      books ? "true" : "false", deterministic ? "true" : "false", failures);
+
+  // The handover leg keeps its own perf trajectory alongside the chaos one.
+  bench::BenchRecord record;
+  record.name = "churn_handover";
+  record.params =
+      "{\"scenario\":\"flash_crowd\",\"links\":2,\"degrade_floor\":0.2,"
+      "\"hold_slots\":150,\"retry\":true}";
+  const double slots = static_cast<double>(first.report.slots_executed);
+  record.ns_per_op = slots > 0.0 ? ms * 1e6 / slots : 0.0;
+  record.ops = slots;
+  if (!bench::write_bench_json("driver_churn", {record})) ++failures;
+
+  std::printf(failures == 0 ? "handover OK\n" : "handover: %d failure(s)\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -431,6 +550,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--telemetry") == 0) return run_telemetry();
     if (std::strcmp(argv[i], "--slo") == 0) return run_slo();
     if (std::strcmp(argv[i], "--faults") == 0) return run_faults();
+    if (std::strcmp(argv[i], "--handover") == 0) return run_handover();
     if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
   }
 

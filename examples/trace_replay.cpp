@@ -13,10 +13,18 @@
 // --faults arms the fault plane: link 1 goes down mid-spike and recovers 30
 // slots later, displaced sessions fail over to link 0, refused and evicted
 // sessions retry with capped exponential backoff, and a final CHAOS_SUMMARY
-// line reports the reconciled failover books (CI greps it).
+// line reports the reconciled failover books per fault kind (CI greps it).
+//
+// --handover arms graded degradation instead of a hard outage: link 1 ramps
+// down to 20% capacity with 3-slot reported delay ten slots into the spike
+// and holds there long past it, the handover policy drains its sessions onto
+// link 0 mid-stream (hot state carried — no session drops), and a final
+// HANDOVER_SUMMARY line reports the exact migration books (CI greps it:
+// >=1 completed, zero stranded).
 //
 // Build & run:  ./build/examples/trace_replay [--telemetry] [--slo-strict]
-//                                             [--faults] [--out-dir DIR]
+//                                             [--faults] [--handover]
+//                                             [--out-dir DIR]
 // Writes (under DIR, default trace_replay_out/):
 //   events.csv, snapshots.csv
 //   --telemetry adds trace.json (Chrome trace_event format, loadable in
@@ -51,6 +59,7 @@ int main(int argc, char** argv) {
   bool telemetry_on = false;
   bool slo_on = false;
   bool faults_on = false;
+  bool handover_on = false;
   std::string out_dir = "trace_replay_out";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0) {
@@ -60,12 +69,14 @@ int main(int argc, char** argv) {
       slo_on = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults_on = true;
+    } else if (std::strcmp(argv[i], "--handover") == 0) {
+      handover_on = true;
     } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--telemetry] [--slo-strict] [--faults] "
-                   "[--out-dir DIR]\n",
+                   "[--handover] [--out-dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -150,6 +161,19 @@ int main(int argc, char** argv) {
     config.faults.outage(1, spike_start + 10, 30);
     config.driver.retry.enabled = true;
   }
+  if (handover_on) {
+    // Graded degradation instead of (or on top of) the hard outage: link 1
+    // ramps down to 20% capacity with a 3-slot reported delay ten slots into
+    // the spike and holds well past it, so the handover policy has a long
+    // window in which link 0 frees up and the drain completes mid-stream.
+    config.cluster.handover.enabled = true;
+    config.cluster.handover.delay_weight = 0.1;
+    config.cluster.handover.rebalance_on_departure = true;
+    config.faults.degrade_pulse(1, spike_start + 10, /*ramp_slots=*/12,
+                                /*floor_scale=*/0.2, /*delay=*/3.0,
+                                /*hold_slots=*/150);
+    config.driver.retry.enabled = true;
+  }
 
   // Full tracing on demand: one registry + tracer shared by both links and
   // the driver (the cluster assigns each link its tid). SLO mode turns
@@ -226,12 +250,12 @@ int main(int argc, char** argv) {
       result.report.slots_executed + result.report.slots_skipped,
       result.report.slots_executed, result.report.slots_skipped);
 
+  std::size_t recovers = 0;
+  for (const SloTransition& t : result.report.slo_transitions) {
+    if (t.to == SloState::kOk) ++recovers;
+  }
   if (faults_on) {
     const ClusterMetrics& m = result.cluster.metrics;
-    std::size_t recovers = 0;
-    for (const SloTransition& t : result.report.slo_transitions) {
-      if (t.to == SloState::kOk) ++recovers;
-    }
     std::printf(
         "\nfault plane: link 1 down at slot %zu for 30 slots — "
         "%zu displaced -> %zu failed over,\n"
@@ -243,12 +267,38 @@ int main(int argc, char** argv) {
         m.failover_replaced, m.fault_evicted, m.fault_closed,
         result.report.retries_scheduled, result.report.retries_abandoned);
     std::printf(
-        "CHAOS_SUMMARY link_downs=%zu link_ups=%zu failovers=%zu "
-        "fault_evicted=%zu retries=%zu breaches=%llu recovers=%zu\n",
-        m.link_down_events, m.link_up_events, m.failover_replaced,
-        m.fault_evicted, result.report.retries_scheduled,
+        "CHAOS_SUMMARY link_downs=%zu link_ups=%zu capacity_scales=%zu "
+        "link_degrades=%zu failovers=%zu fault_evicted=%zu "
+        "migrations_completed=%zu retries=%zu breaches=%llu recovers=%zu\n",
+        m.link_down_events, m.link_up_events,
+        result.report.capacity_scale_events, m.link_degrade_events,
+        m.failover_replaced, m.fault_evicted, m.migrations_completed,
+        result.report.retries_scheduled,
         static_cast<unsigned long long>(result.report.slo_breaches),
         recovers);
+  }
+
+  if (handover_on) {
+    const ClusterMetrics& m = result.cluster.metrics;
+    const std::size_t stranded =
+        m.migrations_requested - m.migrations_completed - m.migrations_aborted;
+    std::printf(
+        "\nhandover plane: link 1 degraded to 20%% (+3-slot delay) at slot "
+        "%zu for 150 slots —\n"
+        "             %zu link-degrade events, %zu migrations requested -> "
+        "%zu completed + %zu aborted\n"
+        "             (aborts fell back to the displaced path: %zu displaced "
+        "== %zu replaced + %zu evicted + %zu closed)\n",
+        spike_start + 10, m.link_degrade_events, m.migrations_requested,
+        m.migrations_completed, m.migrations_aborted, m.failover_displaced,
+        m.failover_replaced, m.fault_evicted, m.fault_closed);
+    std::printf(
+        "HANDOVER_SUMMARY link_degrades=%zu migrations_requested=%zu "
+        "migrations_completed=%zu migrations_aborted=%zu stranded=%zu "
+        "fault_evicted=%zu breaches=%llu recovers=%zu\n",
+        m.link_degrade_events, m.migrations_requested, m.migrations_completed,
+        m.migrations_aborted, stranded, m.fault_evicted,
+        static_cast<unsigned long long>(result.report.slo_breaches), recovers);
   }
 
   if (!result.report.snapshot_table().write_file(out("snapshots.csv")).ok()) {

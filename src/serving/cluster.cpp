@@ -1,7 +1,9 @@
 #include "serving/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -43,6 +45,13 @@ struct EdgeCluster::Entry {
   std::size_t runtime_id;
   /// Times the session was re-placed after a link outage.
   std::uint32_t failovers = 0;
+  /// Times the session completed a live migration between links.
+  std::uint32_t migrations = 0;
+  /// Start slot of the session's current handover budget window.
+  std::size_t migration_window_start = 0;
+  /// Migrations completed inside the current budget window (the ping-pong
+  /// guard: capped at HandoverPolicy::session_budget).
+  std::uint32_t migrations_in_window = 0;
 };
 
 // Failover runtime ids live far above any plausible submission count so the
@@ -79,7 +88,26 @@ EdgeCluster::EdgeCluster(const ClusterConfig& config,
   }
   link_down_.assign(links_.size(), 0);
   link_scale_.assign(links_.size(), 1.0);
+  link_degrade_scale_.assign(links_.size(), 1.0);
+  link_delay_.assign(links_.size(), 0.0);
+  link_effective_scale_.assign(links_.size(), 1.0);
+  handover_active_.assign(links_.size(), 0);
+  handover_score_.assign(links_.size(), 0.0);
+  prev_reserved_.assign(links_.size(), 0.0);
   caps_scratch_.assign(links_.size(), 0.0);
+  if (config_.handover.enabled) {
+    const HandoverPolicy& hp = config_.handover;
+    if (!std::isfinite(hp.enter_score) || !std::isfinite(hp.exit_score) ||
+        hp.enter_score <= hp.exit_score) {
+      throw std::invalid_argument(
+          "EdgeCluster: handover enter_score must exceed exit_score");
+    }
+    if (hp.window_slots == 0) {
+      throw std::invalid_argument(
+          "EdgeCluster: handover window_slots must be >= 1");
+    }
+    migrate_scratch_.reserve(32);
+  }
   const TelemetryConfig& tel = config_.serving.telemetry;
   if (tel.trace_on()) tracer_ = tel.tracer;
   flight_ = resolve_flight_recorder(tel);
@@ -279,10 +307,33 @@ bool EdgeCluster::set_link_capacity_scale(std::size_t link, double scale) {
   if (finished_ || link >= links_.size()) return false;
   if (!(scale >= 0.0) || scale > 1e6) return false;  // rejects NaN too
   link_scale_[link] = scale;
-  links_[link]->set_capacity_scale(scale);
+  // ×1.0 degrade is the bitwise multiply identity, so without kLinkDegrade
+  // events the effective scale is exactly the operator scale.
+  link_effective_scale_[link] = scale * link_degrade_scale_[link];
+  links_[link]->set_capacity_scale(link_effective_scale_[link]);
   if (flight_ != nullptr) {
     flight_->record(FlightEventKind::kFault, slot_, kClusterTid,
                     static_cast<double>(link), 2.0);
+  }
+  return true;
+}
+
+bool EdgeCluster::set_link_degrade(std::size_t link, double scale,
+                                   double delay) {
+  if (finished_ || link >= links_.size()) return false;
+  if (!(scale >= 0.0) || scale > 1e6) return false;  // rejects NaN too
+  if (!(delay >= 0.0) || !std::isfinite(delay)) return false;
+  link_degrade_scale_[link] = scale;
+  link_delay_[link] = delay;
+  // Degradation compounds multiplicatively with any operator capacity
+  // scale; the recompute happens only here and in set_link_capacity_scale,
+  // never in the slot loop.
+  link_effective_scale_[link] = link_scale_[link] * scale;
+  links_[link]->set_capacity_scale(link_effective_scale_[link]);
+  ++link_degrade_events_;
+  if (flight_ != nullptr) {
+    flight_->record(FlightEventKind::kFault, slot_, kClusterTid,
+                    static_cast<double>(link), 3.0);
   }
   return true;
 }
@@ -349,6 +400,224 @@ void EdgeCluster::place_displaced() {
   displaced_.clear();
 }
 
+bool EdgeCluster::do_migrate(std::size_t session_id, std::size_t target_link,
+                             unsigned reason) {
+  Entry& e = *entries_[session_id];
+  if (!e.admitted || e.displaced || e.fault_evicted || e.link < 0 ||
+      static_cast<std::size_t>(e.link) == target_link ||
+      link_down_[target_link] != 0) {
+    return false;  // invalid input: nothing extracted, books never see it
+  }
+  const std::size_t from = static_cast<std::size_t>(e.link);
+  ++migrations_requested_;
+  SessionManager::MigratedSession carried;
+  if (!links_[from]->extract_session(e.runtime_id, carried)) {
+    // Not in the link's active set (departed or externally closed already):
+    // refund — no session moved, so no request to reconcile.
+    --migrations_requested_;
+    return false;
+  }
+  e.spec = carried.spec;  // live spec: an external close may have shortened it
+  if (e.spec.departure_slot != kNeverDeparts &&
+      e.spec.departure_slot <= slot_) {
+    // The session's window ends this slot. Abort onto the displaced path so
+    // the usual eviction/close books end it — nothing is stranded.
+    ++migrations_aborted_;
+    e.displaced = true;
+    displaced_.push_back(session_id);
+    ++failover_displaced_;
+    return false;
+  }
+  const std::size_t rid = mint_runtime_id(session_id);
+  const AdmissionDecision decision =
+      links_[target_link]->place_migrated(carried, rid);
+  if (!decision.admitted) {
+    // Abort: the target refused the load. The session already left its
+    // source link, so it joins the displaced path — re-placement next slot,
+    // or eviction under the exact failover books.
+    ++migrations_aborted_;
+    e.displaced = true;
+    displaced_.push_back(session_id);
+    ++failover_displaced_;
+    return false;
+  }
+  e.link = static_cast<int>(target_link);
+  e.runtime_id = rid;
+  ++e.migrations;
+  ++e.migrations_in_window;
+  ++migrations_completed_;
+  if (flight_ != nullptr) {
+    flight_->record(FlightEventKind::kMigration, slot_, kClusterTid,
+                    static_cast<double>(e.id),
+                    static_cast<double>(reason) * 1048576.0 +
+                        static_cast<double>(from) * 1024.0 +
+                        static_cast<double>(target_link));
+  }
+  return true;
+}
+
+bool EdgeCluster::migrate_session(std::size_t session_id,
+                                  std::size_t target_link) {
+  if (finished_ || target_link >= links_.size() ||
+      session_id >= entries_.size()) {
+    return false;
+  }
+  return do_migrate(session_id, target_link, 2);
+}
+
+void EdgeCluster::evaluate_handover() {
+  const HandoverPolicy& hp = config_.handover;
+  const std::size_t n = links_.size();
+  const auto utilization = [&](std::size_t k) {
+    const double admissible = links_[k]->admission().scaled_admissible();
+    return admissible > 0.0
+               ? links_[k]->admission().reserved_load() / admissible
+               : 0.0;
+  };
+
+  // Score each link: capacity lost to degradation, the reported per-slot
+  // delay, and (optionally) utilization in excess of the fleet mean — so a
+  // healthy-but-overloaded link can also shed under imbalance_weight > 0.
+  double mean_util = 0.0;
+  if (hp.imbalance_weight > 0.0) {
+    for (std::size_t k = 0; k < n; ++k) mean_util += utilization(k);
+    mean_util /= static_cast<double>(n);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    double score = (1.0 - link_degrade_scale_[k]) +
+                   hp.delay_weight * link_delay_[k];
+    if (hp.imbalance_weight > 0.0) {
+      score += hp.imbalance_weight * std::max(0.0, utilization(k) - mean_util);
+    }
+    // A downed link already drained through the failover path; handover has
+    // nothing left to move off it.
+    if (link_down_[k] != 0) score = 0.0;
+    handover_score_[k] = score;
+    // Enter/exit hysteresis: a link starts shedding at enter_score and only
+    // stops once it recovers to exit_score, so a score hovering at one
+    // threshold cannot toggle the state every slot.
+    if (handover_active_[k] == 0) {
+      if (score >= hp.enter_score) handover_active_[k] = 1;
+    } else if (score <= hp.exit_score) {
+      handover_active_[k] = 0;
+    }
+  }
+
+  // Per-session ping-pong budget: at most session_budget completed
+  // migrations inside any window_slots window.
+  const auto within_budget = [&](Entry& e) {
+    if (slot_ - e.migration_window_start >= hp.window_slots) {
+      e.migration_window_start = slot_;
+      e.migrations_in_window = 0;
+    }
+    return e.migrations_in_window < hp.session_budget;
+  };
+  // Healthiest destination: not down, not itself in handover; lowest score,
+  // ties by least reserved load, then lowest index — fully deterministic.
+  const auto pick_target = [&](std::size_t avoid) {
+    int best = -1;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == avoid || link_down_[k] != 0 || handover_active_[k] != 0) {
+        continue;
+      }
+      if (best < 0) {
+        best = static_cast<int>(k);
+        continue;
+      }
+      const auto b = static_cast<std::size_t>(best);
+      if (handover_score_[k] != handover_score_[b]) {
+        if (handover_score_[k] < handover_score_[b]) best = static_cast<int>(k);
+        continue;
+      }
+      if (links_[k]->admission().reserved_load() <
+          links_[b]->admission().reserved_load()) {
+        best = static_cast<int>(k);
+      }
+    }
+    return best;
+  };
+
+  // Drain links in handover: worst-served sessions (largest backlog, ties
+  // by runtime id so store compaction order cannot leak into the drain
+  // order) migrate first, paced by max_migrations_per_slot.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (handover_active_[k] == 0) continue;
+    SessionManager& src = *links_[k];
+    const std::size_t active = src.active_count();
+    if (active == 0) continue;
+    const int target = pick_target(k);
+    if (target < 0) continue;  // nowhere healthier to go
+    migrate_scratch_.clear();
+    const std::span<const double> backlogs = src.active_backlogs();
+    for (std::size_t i = 0; i < active; ++i) {
+      migrate_scratch_.emplace_back(backlogs[i], src.active_session_id(i));
+    }
+    std::sort(migrate_scratch_.begin(), migrate_scratch_.end(),
+              [](const std::pair<double, std::size_t>& a,
+                 const std::pair<double, std::size_t>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    std::size_t attempts = 0;
+    for (const auto& [backlog, rid] : migrate_scratch_) {
+      if (attempts >= hp.max_migrations_per_slot) break;
+      Entry& e = *entries_[owner_of(rid)];
+      if (!within_budget(e)) continue;
+      ++attempts;  // aborts count against the pace: no same-slot retry storm
+      do_migrate(e.id, static_cast<std::size_t>(target), 0);
+    }
+  }
+
+  if (!hp.rebalance_on_departure) return;
+  // Rebalance-on-departure: a departure just freed reserved load on a link
+  // (its reservation dropped across begin_slot) that now sits below the
+  // fleet mean — pull the worst-served session off the most reserved link
+  // onto it. One migration per slot keeps the rebalance gentle.
+  double mean_reserved = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    mean_reserved += links_[k]->admission().reserved_load();
+  }
+  mean_reserved /= static_cast<double>(n);
+  int freed = -1;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (link_down_[k] != 0 || handover_active_[k] != 0) continue;
+    const double now = links_[k]->admission().reserved_load();
+    if (now >= prev_reserved_[k]) continue;  // nothing departed here
+    if (now >= mean_reserved) continue;      // not underloaded
+    if (freed < 0 ||
+        now <
+            links_[static_cast<std::size_t>(freed)]->admission().reserved_load()) {
+      freed = static_cast<int>(k);
+    }
+  }
+  if (freed < 0) return;
+  int donor = -1;
+  double donor_load = -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (static_cast<int>(k) == freed || link_down_[k] != 0) continue;
+    if (links_[k]->active_count() == 0) continue;
+    const double load = links_[k]->admission().reserved_load();
+    if (load > donor_load) {
+      donor_load = load;
+      donor = static_cast<int>(k);
+    }
+  }
+  if (donor < 0 || donor_load <= mean_reserved) return;
+  SessionManager& src = *links_[static_cast<std::size_t>(donor)];
+  const std::span<const double> backlogs = src.active_backlogs();
+  std::size_t worst = src.active_count();
+  double worst_backlog = -1.0;
+  for (std::size_t i = 0; i < src.active_count(); ++i) {
+    if (backlogs[i] > worst_backlog) {
+      worst_backlog = backlogs[i];
+      worst = i;
+    }
+  }
+  if (worst == src.active_count()) return;
+  Entry& e = *entries_[owner_of(src.active_session_id(worst))];
+  if (within_budget(e)) do_migrate(e.id, static_cast<std::size_t>(freed), 1);
+}
+
 void EdgeCluster::accumulate_slo(SloObservation& observation) {
   observation.placed += placed_;
   observation.spills += spills_;
@@ -365,6 +634,15 @@ void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
         "EdgeCluster::step: one capacity draw per link required");
   }
 
+  // Rebalance-on-departure needs to see which reservations this slot's
+  // departures release, so snapshot every link's reserved load before
+  // begin_slot. Policy-gated: default runs pay one branch.
+  if (config_.handover.enabled && config_.handover.rebalance_on_departure) {
+    for (std::size_t k = 0; k < links_.size(); ++k) {
+      prev_reserved_[k] = links_[k]->admission().reserved_load();
+    }
+  }
+
   // 1. Departures everywhere first, so this slot's arrivals can be placed
   //    into reservations freed on any link.
   for (auto& link : links_) link->begin_slot();
@@ -374,6 +652,11 @@ void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
   //    arrivals existed — then the slot's arrivals.
   place_displaced();
   place_arrivals();
+
+  // 2b. Handover: once placement settles the slot's membership, migrate
+  //     sessions off degraded or pressured links. A migration aborted here
+  //     lands on the displaced queue and re-enters placement next slot.
+  if (config_.handover.enabled) evaluate_handover();
 
   // 3. Decide. Serial executor: each link runs its incremental memoized
   //    engine inline (group by exact inputs, blocked argmax per distinct
@@ -405,8 +688,9 @@ void EdgeCluster::step(const std::vector<double>& link_capacity_bytes) {
   //    scaled draw. ×1.0 is the bitwise multiply identity, so with no
   //    faults the totals are bit-for-bit the pre-fault-plane ones.
   for (std::size_t k = 0; k < links_.size(); ++k) {
-    caps_scratch_[k] =
-        link_down_[k] != 0 ? 0.0 : link_capacity_bytes[k] * link_scale_[k];
+    caps_scratch_[k] = link_down_[k] != 0
+                           ? 0.0
+                           : link_capacity_bytes[k] * link_effective_scale_[k];
   }
   double offered = 0.0, used = 0.0;
   std::size_t active = 0;
@@ -535,6 +819,7 @@ ClusterResult EdgeCluster::finish() {
     out.spilled = e.spilled;
     out.arrived = e.arrived;
     out.failovers = e.failovers;
+    out.migrations = e.migrations;
     out.fault_evicted = e.fault_evicted;
     if (e.admitted) {
       out.session = std::move(
@@ -579,6 +864,10 @@ ClusterResult EdgeCluster::finish() {
   result.metrics.failover_replaced = failover_replaced_;
   result.metrics.fault_evicted = fault_evicted_;
   result.metrics.fault_closed = fault_closed_;
+  result.metrics.link_degrade_events = link_degrade_events_;
+  result.metrics.migrations_requested = migrations_requested_;
+  result.metrics.migrations_completed = migrations_completed_;
+  result.metrics.migrations_aborted = migrations_aborted_;
   std::vector<double> link_used;
   link_used.reserve(link_results.size());
   for (const ServingResult& lr : link_results) {

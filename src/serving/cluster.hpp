@@ -57,6 +57,43 @@ enum class PlacementPolicy {
 
 const char* to_string(PlacementPolicy policy) noexcept;
 
+/// Live-migration handover control. When enabled, the cluster scores every
+/// link's degradation each slot — the graded kLinkDegrade fault signal
+/// (lost capacity fraction + reported per-slot delay) plus utilization
+/// imbalance — and moves sessions off links whose score crosses
+/// `enter_score` onto the healthiest link, mid-stream, carrying their hot
+/// state (EdgeCluster::migrate_session). Enter/exit hysteresis plus a
+/// per-session migration budget keep a flapping radio from ping-ponging
+/// sessions. Free when disabled: one branch per slot.
+struct HandoverPolicy {
+  bool enabled = false;
+  /// A link whose degradation score reaches this enters handover: its
+  /// sessions start migrating off. Score = (1 - degrade scale)
+  /// + delay_weight * reported delay + imbalance_weight * max(0,
+  /// utilization - fleet mean utilization).
+  double enter_score = 0.5;
+  /// A link in handover whose score falls to or below this exits (the
+  /// hysteresis band; must be < enter_score, validated).
+  double exit_score = 0.2;
+  /// Score contribution per slot of reported kLinkDegrade delay.
+  double delay_weight = 0.1;
+  /// Score contribution per unit of utilization excess over the fleet mean
+  /// (0 = pure fault-signal scoring).
+  double imbalance_weight = 0.0;
+  /// Sessions migrated off a degraded link per slot (paces the drain so a
+  /// handover is a stream, not a stampede).
+  std::size_t max_migrations_per_slot = 4;
+  /// Migrations one session may undergo within any `window_slots` window;
+  /// the ping-pong guard (tested: a flapping radio cannot exceed it).
+  std::size_t session_budget = 2;
+  std::size_t window_slots = 64;
+  /// Rebalance-on-departure: when a departure frees reserved capacity on a
+  /// link below the fleet's mean load, migrate the worst-served (largest
+  /// backlog) session from the most reserved link onto it — one per slot,
+  /// same per-session budget.
+  bool rebalance_on_departure = false;
+};
+
 struct ClusterConfig {
   /// Per-link runtime configuration (scheduler policy, candidates, V,
   /// admission target). `serving.threads` sizes the *cluster's* decide
@@ -66,6 +103,9 @@ struct ClusterConfig {
   /// Extra links an arrival may try after its first choice rejects it
   /// (0 = no spill; 1 = the next-best link, the default).
   std::size_t spill_limit = 1;
+  /// Mid-stream session migration (off by default — fault-free runs stay
+  /// bit-identical).
+  HandoverPolicy handover;
 };
 
 /// One session's cluster-level run record.
@@ -80,6 +120,10 @@ struct ClusterSessionOutcome {
   bool arrived = false;
   /// Times the session was re-placed after its link went down.
   std::uint32_t failovers = 0;
+  /// Times the session migrated between links mid-stream (completed
+  /// migrations only; an aborted migration shows up as a failover once the
+  /// displaced path re-places it).
+  std::uint32_t migrations = 0;
   /// Ended by an outage: displaced with no surviving link taking it (or no
   /// lifetime left). `session` covers the window up to the eviction.
   bool fault_evicted = false;
@@ -134,6 +178,19 @@ struct ClusterMetrics {
   std::size_t fault_evicted = 0;
   /// Displaced sessions externally closed before re-placement.
   std::size_t fault_closed = 0;
+  /// Graded kLinkDegrade events applied.
+  std::size_t link_degrade_events = 0;
+  // Migration books. These balance exactly:
+  //   migrations_requested == migrations_completed + migrations_aborted
+  // and every aborted migration re-enters the failover books above (the
+  // displaced path), so nothing is ever stranded (tested).
+  /// Mid-stream migrations attempted (policy-driven + explicit).
+  std::size_t migrations_requested = 0;
+  /// Migrations whose target link admitted the carried session.
+  std::size_t migrations_completed = 0;
+  /// Migrations the target refused — the session fell back to the
+  /// displaced path (re-placement, eviction, or close).
+  std::size_t migrations_aborted = 0;
 };
 
 struct ClusterResult {
@@ -205,6 +262,18 @@ class EdgeCluster {
   [[nodiscard]] std::size_t fault_closed() const noexcept {
     return fault_closed_;
   }
+  [[nodiscard]] std::size_t migrations_requested() const noexcept {
+    return migrations_requested_;
+  }
+  [[nodiscard]] std::size_t migrations_completed() const noexcept {
+    return migrations_completed_;
+  }
+  [[nodiscard]] std::size_t migrations_aborted() const noexcept {
+    return migrations_aborted_;
+  }
+  [[nodiscard]] std::size_t link_degrade_events() const noexcept {
+    return link_degrade_events_;
+  }
 
   // -- Fault plane -----------------------------------------------------
   /// Marks link `link` down (drains its active sessions into the failover
@@ -221,11 +290,45 @@ class EdgeCluster {
   /// out-of-range link, a non-finite or negative scale, or after finish().
   bool set_link_capacity_scale(std::size_t link, double scale);
 
+  /// Graded degradation (the kLinkDegrade fault verb): link `link` keeps
+  /// `scale` of its capacity — the cluster folds the factor into the
+  /// admission budget and its own effective-capacity computation, composing
+  /// multiplicatively with set_link_capacity_scale — and reports `delay`
+  /// slots of added per-slot latency, which feeds the HandoverPolicy
+  /// degradation score (the capacity plane itself carries no delay, so the
+  /// signal is observability + handover pressure, not throughput). scale = 1
+  /// with delay = 0 restores nominal. Returns false for an out-of-range
+  /// link, a non-finite or negative scale/delay, or after finish().
+  bool set_link_degrade(std::size_t link, double scale, double delay);
+
+  /// Mid-stream live migration: moves active session `session_id` onto
+  /// `target_link`, carrying its hot SoA state (backlog, served-bytes EWMA,
+  /// frame-row cursor) so its decide/drain sequence continues bit for bit
+  /// on an equivalent link. On target refusal the session is NOT lost: it
+  /// falls back to the displaced/failover path (counted in
+  /// migrations_aborted) and re-enters placement next slot. Returns true
+  /// only for a completed migration; false for an aborted one or invalid
+  /// input (unknown/inactive session, bad/downed/same target, finished
+  /// cluster — invalid input does not count as requested).
+  bool migrate_session(std::size_t session_id, std::size_t target_link);
+
   [[nodiscard]] bool link_down(std::size_t link) const {
     return link_down_.at(link) != 0;
   }
   [[nodiscard]] double link_capacity_scale(std::size_t link) const {
     return link_scale_.at(link);
+  }
+  [[nodiscard]] double link_degrade_scale(std::size_t link) const {
+    return link_degrade_scale_.at(link);
+  }
+  /// Reported per-slot delay of the last kLinkDegrade on `link` (0 nominal).
+  [[nodiscard]] double link_delay(std::size_t link) const {
+    return link_delay_.at(link);
+  }
+  /// True while the HandoverPolicy holds `link` in handover (its sessions
+  /// are migrating off).
+  [[nodiscard]] bool handover_active(std::size_t link) const {
+    return handover_active_.at(link) != 0;
   }
 
   /// Turns on retry-seed collection: placement rejects and fault evictions
@@ -282,6 +385,17 @@ class EdgeCluster {
   void place_arrivals();
   void place_displaced();
   void rank_links(const Entry& entry);
+  /// The HandoverPolicy slot pass: score links, update hysteresis state,
+  /// drain sessions off links in handover, and (when configured) rebalance
+  /// one worst-served session onto a link a departure just freed. Runs
+  /// between placement and the decide phase; called only when the policy is
+  /// enabled.
+  void evaluate_handover();
+  /// Shared migration mechanics behind migrate_session and the policy
+  /// paths. `reason`: 0 = degraded-link handover, 1 = rebalance-on-
+  /// departure, 2 = explicit call (the kMigration flight encoding).
+  bool do_migrate(std::size_t session_id, std::size_t target_link,
+                  unsigned reason);
   /// Mints a fresh per-link session id for a failover segment and records
   /// its owning entry. Re-placement cannot reuse the entry id: a session that
   /// bounces back onto a link it streamed on earlier would collide with its
@@ -325,6 +439,25 @@ class EdgeCluster {
   std::size_t failover_replaced_ = 0;
   std::size_t fault_evicted_ = 0;
   std::size_t fault_closed_ = 0;
+  // -- Handover / live migration (vectors preallocated at construction;
+  // with the policy off the slot loop pays one branch, and the degrade
+  // factor folds into link_effective_scale_ at fault edges, so the
+  // fault-free capacity math is untouched bit for bit) --------------------
+  std::vector<double> link_degrade_scale_;  // kLinkDegrade scale, 1 = nominal
+  std::vector<double> link_delay_;          // reported per-slot delay
+  /// link_scale_ × link_degrade_scale_, the factor both the admission
+  /// budget and the per-slot capacity math consume (recomputed only at
+  /// fault edges).
+  std::vector<double> link_effective_scale_;
+  std::vector<std::uint8_t> handover_active_;  // hysteresis state, 1 = in
+  std::vector<double> handover_score_;         // scratch: per-link score
+  std::vector<double> prev_reserved_;  // reserved load before begin_slot
+  /// Scratch: (backlog, runtime id) candidates of the link being drained.
+  std::vector<std::pair<double, std::size_t>> migrate_scratch_;
+  std::size_t migrations_requested_ = 0;
+  std::size_t migrations_completed_ = 0;
+  std::size_t migrations_aborted_ = 0;
+  std::size_t link_degrade_events_ = 0;
   // Telemetry (see session_manager.hpp for the null-pointer cost model).
   // Links carry their own per-link instruments (tid = link index); these are
   // the cluster-level ones: placement outcomes under "cluster/", spans on

@@ -201,6 +201,14 @@ void EventLoop::schedule_capacity_scale(std::size_t slot, std::size_t link,
   push(slot, EventKind::kCapacityScale, faults_.size() - 1);
 }
 
+void EventLoop::schedule_link_degrade(std::size_t slot, std::size_t link,
+                                      double scale, double delay) {
+  faults_.push_back(FaultEvent{slot, FaultKind::kLinkDegrade,
+                               static_cast<std::uint32_t>(link), scale,
+                               delay});
+  push(slot, EventKind::kLinkDegrade, faults_.size() - 1);
+}
+
 void EventLoop::schedule_fault_plan(const FaultPlan& plan) {
   faults_.reserve(faults_.size() + plan.events.size());
   for (const FaultEvent& f : plan.events) {
@@ -213,6 +221,9 @@ void EventLoop::schedule_fault_plan(const FaultPlan& plan) {
         break;
       case FaultKind::kCapacityScale:
         schedule_capacity_scale(f.slot, f.link, f.scale);
+        break;
+      case FaultKind::kLinkDegrade:
+        schedule_link_degrade(f.slot, f.link, f.scale, f.delay);
         break;
     }
   }
@@ -320,6 +331,16 @@ void EventLoop::write_live_stats(const MetricsSnapshot& snapshot) {
   out += ",\"window_utilization\":" +
          std::to_string(snapshot.window_utilization);
   out += ",\"link_fairness\":" + std::to_string(snapshot.link_load_fairness);
+  // Fault-plane traffic (zeros for a backend without one), so a watcher
+  // sees handover/migration activity next to the failover books live.
+  const FaultPlaneSample fp = backend_->sample_fault_plane();
+  out += ",\"failover_displaced\":" + std::to_string(fp.failover_displaced);
+  out += ",\"failover_replaced\":" + std::to_string(fp.failover_replaced);
+  out += ",\"migrations_requested\":" +
+         std::to_string(fp.migrations_requested);
+  out += ",\"migrations_completed\":" +
+         std::to_string(fp.migrations_completed);
+  out += ",\"migrations_aborted\":" + std::to_string(fp.migrations_aborted);
   out += ",\"config\":";
   out += config_.config_echo.empty() ? "null" : config_.config_echo.c_str();
   out += ",\"slo\":[";
@@ -534,6 +555,19 @@ DriverReport EventLoop::run() {
             }
             break;
           }
+          case EventKind::kLinkDegrade: {
+            const FaultEvent& fault = faults_[event.payload];
+            if (backend_->apply_link_degrade(fault.link, fault.scale,
+                                             fault.delay)) {
+              ++report.faults_applied;
+              ++report.link_degrade_events;
+            } else {
+              ++report.faults_ignored;
+              log_info("driver: link-degrade event at slot ", event.slot,
+                       " ignored (link ", fault.link, ")");
+            }
+            break;
+          }
         }
       }
     }
@@ -611,6 +645,16 @@ DriverReport EventLoop::run() {
     retry_scratch_.clear();
     backend_->take_retry_feed(retry_scratch_);
     report.retries_abandoned += retry_scratch_.size();
+  }
+
+  // Migration books into the report (zeros for a backend without a fault
+  // plane; the degrade-event count rode in at event application like the
+  // other fault kinds).
+  {
+    const FaultPlaneSample sample = backend_->sample_fault_plane();
+    report.migrations_requested = sample.migrations_requested;
+    report.migrations_completed = sample.migrations_completed;
+    report.migrations_aborted = sample.migrations_aborted;
   }
 
   // SLO bookkeeping into the report (self-contained: specs ride along).

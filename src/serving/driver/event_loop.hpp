@@ -172,6 +172,12 @@ struct DriverReport {
   std::size_t link_down_events = 0;
   std::size_t link_up_events = 0;
   std::size_t capacity_scale_events = 0;
+  std::size_t link_degrade_events = 0;
+  /// End-of-run migration books from the backend's fault plane (all zero
+  /// for a backend without one). requested == completed + aborted, exactly.
+  std::size_t migrations_requested = 0;
+  std::size_t migrations_completed = 0;
+  std::size_t migrations_aborted = 0;
   /// Retry arrivals scheduled from the backend's feed, and seeds dropped
   /// because the lineage ran out of attempts or lifetime (including seeds
   /// still pending when the run ended).
@@ -197,6 +203,18 @@ struct DriverReport {
   /// the last column is the *window's* offered capacity, so tooling can
   /// tell an idle window from a saturated one when utilization reads 0).
   [[nodiscard]] CsvTable snapshot_table() const;
+};
+
+/// Cumulative fault-plane counters a backend can surface mid-run (all zero
+/// for a backend without one). Sampled for live stats at every snapshot and
+/// folded into the DriverReport at end of run, so watchers see handover
+/// traffic next to the failover books it extends.
+struct FaultPlaneSample {
+  std::size_t failover_displaced = 0;
+  std::size_t failover_replaced = 0;
+  std::size_t migrations_requested = 0;
+  std::size_t migrations_completed = 0;
+  std::size_t migrations_aborted = 0;
 };
 
 /// The slice of a serving runtime the EventLoop needs. Implementations own
@@ -248,6 +266,20 @@ class ServingBackend {
     (void)link;
     (void)scale;
     return false;
+  }
+  /// Applies a graded degradation (fractional capacity + reported per-slot
+  /// delay). False = unsupported or bad input.
+  virtual bool apply_link_degrade(std::size_t link, double scale,
+                                  double delay) {
+    (void)link;
+    (void)scale;
+    (void)delay;
+    return false;
+  }
+  /// Samples the backend's cumulative fault-plane counters (failover +
+  /// migration books); the default backend has none.
+  [[nodiscard]] virtual FaultPlaneSample sample_fault_plane() const {
+    return {};
   }
   /// Turns on retry-seed collection (refusals/evictions feed the driver).
   virtual void enable_retry_feed() {}
@@ -351,6 +383,19 @@ class ClusterBackend final : public ServingBackend {
   bool apply_capacity_scale(std::size_t link, double scale) override {
     return cluster_->set_link_capacity_scale(link, scale);
   }
+  bool apply_link_degrade(std::size_t link, double scale,
+                          double delay) override {
+    return cluster_->set_link_degrade(link, scale, delay);
+  }
+  [[nodiscard]] FaultPlaneSample sample_fault_plane() const override {
+    FaultPlaneSample sample;
+    sample.failover_displaced = cluster_->failover_displaced();
+    sample.failover_replaced = cluster_->failover_replaced();
+    sample.migrations_requested = cluster_->migrations_requested();
+    sample.migrations_completed = cluster_->migrations_completed();
+    sample.migrations_aborted = cluster_->migrations_aborted();
+    return sample;
+  }
   void enable_retry_feed() override { cluster_->enable_retry_feed(); }
   [[nodiscard]] bool retry_feed_pending() const override {
     return cluster_->retry_feed_pending();
@@ -411,6 +456,12 @@ class EventLoop {
   void schedule_capacity_scale(std::size_t slot, std::size_t link,
                                double scale);
 
+  /// Schedules a graded degradation (kLinkDegrade) at `slot`: the link
+  /// keeps `scale` of its capacity and reports `delay` slots of added
+  /// per-slot latency (the handover-pressure signal).
+  void schedule_link_degrade(std::size_t slot, std::size_t link, double scale,
+                             double delay);
+
   /// Schedules every event of a fault plan. The plan composes freely with
   /// scheduled arrivals, an arrival source, and other plans.
   void schedule_fault_plan(const FaultPlan& plan);
@@ -434,6 +485,7 @@ class EventLoop {
     kLinkDown,
     kLinkUp,
     kCapacityScale,
+    kLinkDegrade,
   };
 
   void push(std::size_t slot, EventKind kind, std::size_t payload);

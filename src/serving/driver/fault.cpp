@@ -14,6 +14,7 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kLinkDown: return "link-down";
     case FaultKind::kLinkUp: return "link-up";
     case FaultKind::kCapacityScale: return "capacity-scale";
+    case FaultKind::kLinkDegrade: return "link-degrade";
   }
   return "unknown";
 }
@@ -29,6 +30,10 @@ bool parse_fault_kind(const std::string& text, FaultKind& out) noexcept {
   }
   if (text == "capacity-scale") {
     out = FaultKind::kCapacityScale;
+    return true;
+  }
+  if (text == "link-degrade") {
+    out = FaultKind::kLinkDegrade;
     return true;
   }
   return false;
@@ -116,6 +121,66 @@ FaultPlan& FaultPlan::brownout(std::uint32_t link, std::size_t at,
   return *this;
 }
 
+FaultPlan& FaultPlan::degrade_pulse(std::uint32_t link, std::size_t at,
+                                    std::size_t ramp_slots, double floor_scale,
+                                    double delay, std::size_t hold_slots,
+                                    std::size_t steps) {
+  if (steps == 0 || ramp_slots < steps) {
+    throw std::invalid_argument("degrade_pulse: need 1 <= steps <= ramp_slots");
+  }
+  if (!(floor_scale >= 0.0) || !(floor_scale < 1.0) ||
+      !std::isfinite(floor_scale)) {
+    throw std::invalid_argument("degrade_pulse: floor_scale must be in [0, 1)");
+  }
+  if (!(delay >= 0.0) || !std::isfinite(delay)) {
+    throw std::invalid_argument("degrade_pulse: delay must be finite and >= 0");
+  }
+  const std::size_t stride = ramp_slots / steps;
+  // Capacity ramps down while the reported delay ramps up...
+  for (std::size_t s = 1; s <= steps; ++s) {
+    const double frac = static_cast<double>(s) / static_cast<double>(steps);
+    insert_sorted(events,
+                  {at + (s - 1) * stride, FaultKind::kLinkDegrade, link,
+                   1.0 + frac * (floor_scale - 1.0), frac * delay});
+  }
+  // ...holds at the floor, then snaps back to nominal (a completed handover
+  // re-acquires the link at full quality; the ramp models the drift away).
+  insert_sorted(events, {at + steps * stride + hold_slots,
+                         FaultKind::kLinkDegrade, link, 1.0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::handover_walk(std::uint64_t seed, std::size_t link_count,
+                                    std::size_t walkers, std::size_t at,
+                                    std::size_t horizon,
+                                    std::size_t dwell_slots, double floor_scale,
+                                    double delay) {
+  if (link_count < 2) {
+    throw std::invalid_argument("handover_walk: need at least 2 links");
+  }
+  if (dwell_slots < 2) {
+    throw std::invalid_argument("handover_walk: dwell_slots must be >= 2");
+  }
+  Rng rng(seed);
+  for (std::size_t w = 0; w < walkers; ++w) {
+    std::uint32_t here = static_cast<std::uint32_t>(rng.below(link_count));
+    // Stagger walker starts across the first dwell so hops interleave.
+    std::size_t t = at + static_cast<std::size_t>(rng.below(dwell_slots));
+    while (t + dwell_slots < at + horizon) {
+      // The link the walker leaves degrades while the walker is
+      // mid-handover, then recovers once the walker settles elsewhere.
+      const std::uint32_t next = static_cast<std::uint32_t>(
+          (here + 1 + rng.below(link_count - 1)) % link_count);
+      const std::size_t ramp = std::max<std::size_t>(2, dwell_slots / 4);
+      degrade_pulse(here, t, ramp, floor_scale, delay, dwell_slots / 4,
+                    /*steps=*/2);
+      here = next;
+      t += dwell_slots / 2 + static_cast<std::size_t>(rng.below(dwell_slots));
+    }
+  }
+  return *this;
+}
+
 FaultPlan& FaultPlan::merge(const FaultPlan& other) {
   for (const FaultEvent& event : other.events) insert_sorted(events, event);
   return *this;
@@ -139,10 +204,21 @@ Status validate_fault_plan(const FaultPlan& plan, std::size_t link_count) {
       return Status::InvalidArgument("fault event " + std::to_string(i) +
                                      " has non-finite or negative scale");
     }
-    if (event.kind != FaultKind::kCapacityScale && event.scale != 1.0) {
+    const bool carries_scale = event.kind == FaultKind::kCapacityScale ||
+                               event.kind == FaultKind::kLinkDegrade;
+    if (!carries_scale && event.scale != 1.0) {
       return Status::InvalidArgument(
           "fault event " + std::to_string(i) +
           " is not capacity-scale but carries scale != 1");
+    }
+    if (!std::isfinite(event.delay) || event.delay < 0.0) {
+      return Status::InvalidArgument("fault event " + std::to_string(i) +
+                                     " has non-finite or negative delay");
+    }
+    if (event.kind != FaultKind::kLinkDegrade && event.delay != 0.0) {
+      return Status::InvalidArgument(
+          "fault event " + std::to_string(i) +
+          " is not link-degrade but carries delay != 0");
     }
   }
   return Status::Ok();
@@ -152,8 +228,8 @@ FaultPlan make_fault_plan(const FaultPlanConfig& config) {
   if (config.link_count == 0) {
     throw std::invalid_argument("make_fault_plan: link_count must be >= 1");
   }
-  const std::size_t shapes =
-      config.outages + config.flaps + config.fades + config.brownouts;
+  const std::size_t shapes = config.outages + config.flaps + config.fades +
+                             config.brownouts + config.walkers;
   if (shapes > 0 && config.horizon <= config.warmup) {
     throw std::invalid_argument("make_fault_plan: horizon must exceed warmup");
   }
@@ -200,6 +276,13 @@ FaultPlan make_fault_plan(const FaultPlanConfig& config) {
     const std::uint32_t link = draw_link();
     const std::size_t at = draw_slot(config.brownout_slots + 1);
     plan.brownout(link, at, config.brownout_slots, config.brownout_scale);
+  }
+  if (config.walkers > 0) {
+    // Sub-seed keeps the walk independent of how many shapes drew before it.
+    plan.handover_walk(config.seed ^ 0x9E3779B97F4A7C15ULL, config.link_count,
+                       config.walkers, config.warmup, window,
+                       config.walk_dwell_slots, config.walk_floor,
+                       config.walk_delay);
   }
   return plan;
 }

@@ -27,6 +27,12 @@ enum class FaultKind : std::uint8_t {
   kLinkUp,         ///< Link recovers and rejoins the placement rotation.
   kCapacityScale,  ///< Link capacity is multiplied by `scale` (radio fade,
                    ///< brownout). scale == 1.0 restores nominal capacity.
+  kLinkDegrade,    ///< Graded degradation: capacity is multiplied by `scale`
+                   ///< AND `delay` slots of added per-slot latency are
+                   ///< reported on the link (feeding the cluster's
+                   ///< HandoverPolicy degradation score). Generalizes
+                   ///< radio fade beyond a scalar scale; scale == 1.0 with
+                   ///< delay == 0.0 restores the link to nominal.
 };
 
 /// Stable lowercase name, e.g. "link-down". Used by the trace CSV format.
@@ -35,13 +41,16 @@ const char* to_string(FaultKind kind) noexcept;
 /// Parses the names emitted by to_string. Returns false on unknown input.
 bool parse_fault_kind(const std::string& text, FaultKind& out) noexcept;
 
-/// One scheduled fault. `scale` is meaningful only for kCapacityScale and
-/// must be exactly 1.0 otherwise (keeps the trace round-trip exact).
+/// One scheduled fault. `scale` is meaningful only for the scale-carrying
+/// kinds (kCapacityScale, kLinkDegrade) and must be exactly 1.0 otherwise;
+/// `delay` is meaningful only for kLinkDegrade and must be exactly 0.0
+/// otherwise (keeps the trace round-trip exact).
 struct FaultEvent {
   std::size_t slot = 0;
   FaultKind kind = FaultKind::kLinkDown;
   std::uint32_t link = 0;
   double scale = 1.0;
+  double delay = 0.0;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -75,13 +84,37 @@ struct FaultPlan {
   FaultPlan& brownout(std::uint32_t link, std::size_t at, std::size_t duration,
                       double scale);
 
+  /// Graded degradation pulse: link capacity ramps down in `steps` equal
+  /// kLinkDegrade stages to `floor_scale` while the reported per-slot delay
+  /// ramps up to `delay`, holds for `hold_slots`, then recovers to nominal
+  /// in one step. The handover analogue of radio_fade: the cluster's
+  /// HandoverPolicy sees the delay/scale signal and can migrate sessions
+  /// off the link before it bottoms out.
+  FaultPlan& degrade_pulse(std::uint32_t link, std::size_t at,
+                           std::size_t ramp_slots, double floor_scale,
+                           double delay, std::size_t hold_slots,
+                           std::size_t steps = 3);
+
+  /// Seeded per-session mobility walk: `walkers` simulated users hop
+  /// between the `link_count` links every ~`dwell_slots` slots over
+  /// [at, at + horizon). Each hop degrades the link the walker leaves with
+  /// a degrade_pulse down to `floor_scale` (+ `delay` reported per-slot
+  /// latency) — the handover/mobility scenario family. Composable with
+  /// every scenario generator (the fault stream is independent of the
+  /// arrival stream); same seed, same walk, bit-for-bit.
+  FaultPlan& handover_walk(std::uint64_t seed, std::size_t link_count,
+                           std::size_t walkers, std::size_t at,
+                           std::size_t horizon, std::size_t dwell_slots,
+                           double floor_scale, double delay);
+
   /// Merges another plan's events into this one (stable by slot).
   FaultPlan& merge(const FaultPlan& other);
 };
 
 /// Validates a plan against a backend with `link_count` links (0 skips the
 /// link bound check): events sorted by slot, links in range, scales finite
-/// and non-negative, non-scale events carrying scale == 1.0.
+/// and non-negative, non-scale-carrying events holding scale == 1.0,
+/// delays finite and non-negative, non-degrade events holding delay == 0.0.
 [[nodiscard]] Status validate_fault_plan(const FaultPlan& plan,
                                          std::size_t link_count);
 
@@ -107,6 +140,10 @@ struct FaultPlanConfig {
   std::size_t brownouts = 0;        ///< Capacity plateaus.
   double brownout_scale = 0.5;      ///< Plateau scale.
   std::size_t brownout_slots = 80;  ///< Plateau length.
+  std::size_t walkers = 0;          ///< Mobility walkers (handover_walk).
+  std::size_t walk_dwell_slots = 30;  ///< Mean slots between walker hops.
+  double walk_floor = 0.4;          ///< Deepest degrade scale per hop.
+  double walk_delay = 2.0;          ///< Reported per-slot delay at the floor.
 };
 
 /// Generates the plan described by `config`. Throws std::invalid_argument on

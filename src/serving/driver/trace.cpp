@@ -10,17 +10,26 @@ namespace arvis {
 
 namespace {
 
-/// The header for a given optional-column mix. Both options ride only when
-/// used, so four permutations exist; parse accepts them all, serialization
-/// picks the smallest that fits the trace.
-std::vector<std::string> trace_header(bool with_close, bool with_fault) {
+/// The header for a given optional-column mix. Every option rides only when
+/// used (f_delay additionally requires the fault columns), so six
+/// permutations exist; parse accepts them all, serialization picks the
+/// smallest that fits the trace.
+std::vector<std::string> trace_header(bool with_close, bool with_fault,
+                                      bool with_delay) {
   std::vector<std::string> header{"t_arrive", "duration", "profile", "weight",
                                   "qos"};
   if (with_close) header.push_back("t_close");
   if (with_fault) {
     header.insert(header.end(), {"fault", "f_link", "f_slot", "f_scale"});
+    if (with_delay) header.push_back("f_delay");
   }
   return header;
+}
+
+/// Scale-carrying fault kinds serialize their f_scale cell; the others leave
+/// it empty (they carry exactly 1.0 in memory, validated).
+bool fault_carries_scale(FaultKind kind) noexcept {
+  return kind == FaultKind::kCapacityScale || kind == FaultKind::kLinkDegrade;
 }
 
 /// A non-negative integer cell. The CSV parser types numeric-looking fields
@@ -96,7 +105,14 @@ CsvTable WorkloadTrace::to_table() const {
     }
   }
   const bool any_fault = !faults.empty();
-  CsvTable table(trace_header(any_close, any_fault));
+  bool any_delay = false;
+  for (const FaultEvent& f : faults) {
+    if (f.delay != 0.0) {
+      any_delay = true;
+      break;
+    }
+  }
+  CsvTable table(trace_header(any_close, any_fault, any_delay));
   // Fault j rides row j; the streams are independent, so whichever is
   // shorter pads its cells with empties (a trace can be all faults).
   const std::size_t rows = std::max(events.size(), faults.size());
@@ -118,15 +134,24 @@ CsvTable WorkloadTrace::to_table() const {
         row.push_back(std::string(to_string(f.kind)));
         row.push_back(static_cast<std::int64_t>(f.link));
         row.push_back(static_cast<std::int64_t>(f.slot));
-        if (f.kind == FaultKind::kCapacityScale) {
+        if (fault_carries_scale(f.kind)) {
           row.push_back(f.scale);
         } else {
           // Non-scale faults carry exactly 1.0 in memory (validated), so an
           // empty cell loses nothing and the round-trip stays exact.
           row.push_back(std::monostate{});
         }
+        if (any_delay) {
+          if (f.kind == FaultKind::kLinkDegrade) {
+            row.push_back(f.delay);
+          } else {
+            // Same contract as f_scale: non-degrade faults carry exactly
+            // 0.0 in memory (validated).
+            row.push_back(std::monostate{});
+          }
+        }
       } else {
-        row.insert(row.end(), 4, std::monostate{});
+        row.insert(row.end(), any_delay ? 5 : 4, std::monostate{});
       }
     }
     table.add_row(std::move(row));
@@ -172,13 +197,18 @@ Status validate_workload_trace(const WorkloadTrace& trace,
 Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
   bool has_close = false;
   bool has_fault = false;
+  bool has_delay = false;
   bool known = false;
   for (const bool close : {false, true}) {
     for (const bool fault : {false, true}) {
-      if (table.header() == trace_header(close, fault)) {
-        has_close = close;
-        has_fault = fault;
-        known = true;
+      for (const bool delay : {false, true}) {
+        if (delay && !fault) continue;  // f_delay rides the fault columns
+        if (table.header() == trace_header(close, fault, delay)) {
+          has_close = close;
+          has_fault = fault;
+          has_delay = delay;
+          known = true;
+        }
       }
     }
   }
@@ -186,7 +216,7 @@ Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
     return Status::ParseError(
         "workload trace: expected header "
         "t_arrive,duration,profile,weight,qos[,t_close]"
-        "[,fault,f_link,f_slot,f_scale]");
+        "[,fault,f_link,f_slot,f_scale[,f_delay]]");
   }
   const std::size_t session_columns = has_close ? 6 : 5;
   WorkloadTrace trace;
@@ -244,7 +274,7 @@ Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
         if (fault_only) {
           return Status::ParseError(row + ": fault-only row without a fault");
         }
-        for (std::size_t c = 1; c < 4; ++c) {
+        for (std::size_t c = 1; c < (has_delay ? 5u : 4u); ++c) {
           if (!std::holds_alternative<std::monostate>(
                   table.at(r, session_columns + c))) {
             return Status::ParseError(
@@ -268,14 +298,26 @@ Result<WorkloadTrace> parse_workload_trace(const CsvTable& table) {
         return Status::ParseError(row + ": f_slot must be an integer >= 0");
       }
       const CsvCell& scale_cell = table.at(r, session_columns + 3);
-      if (f.kind == FaultKind::kCapacityScale) {
+      if (fault_carries_scale(f.kind)) {
         if (!cell_to_double(scale_cell, f.scale)) {
-          return Status::ParseError(row +
-                                    ": capacity-scale fault needs f_scale");
+          return Status::ParseError(
+              row + ": scale-carrying fault needs f_scale");
         }
       } else if (!std::holds_alternative<std::monostate>(scale_cell)) {
         return Status::ParseError(
-            row + ": f_scale is only meaningful for capacity-scale faults");
+            row + ": f_scale is only meaningful for scale-carrying faults");
+      }
+      if (has_delay) {
+        const CsvCell& delay_cell = table.at(r, session_columns + 4);
+        if (f.kind == FaultKind::kLinkDegrade) {
+          if (!cell_to_double(delay_cell, f.delay)) {
+            return Status::ParseError(row +
+                                      ": link-degrade fault needs f_delay");
+          }
+        } else if (!std::holds_alternative<std::monostate>(delay_cell)) {
+          return Status::ParseError(
+              row + ": f_delay is only meaningful for link-degrade faults");
+        }
       }
       trace.faults.push_back(f);
     }

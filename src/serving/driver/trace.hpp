@@ -22,18 +22,22 @@
 //             the legacy five-column file byte for byte; both headers parse.
 //
 // A trace may also carry a fault schedule (link outages / recoveries /
-// capacity scaling) in four optional trailing columns, emitted only when the
-// trace has faults — the same ride-only-when-used contract as t_close, so
-// every legacy file stays byte for byte and all four header permutations
-// parse:
+// capacity scaling / graded degradation) in optional trailing columns,
+// emitted only when the trace has faults — the same ride-only-when-used
+// contract as t_close, so every legacy file stays byte for byte and all
+// header permutations parse:
 //
-//   fault     "link-down" | "link-up" | "capacity-scale"; empty = no fault
-//             on this row
+//   fault     "link-down" | "link-up" | "capacity-scale" | "link-degrade";
+//             empty = no fault on this row
 //   f_link    target link index
 //   f_slot    slot the fault fires (fault rows are sorted by f_slot)
-//   f_scale   capacity factor; present only for capacity-scale (empty
-//             otherwise — non-scale faults carry exactly 1.0 in memory, so
-//             the round-trip stays exact)
+//   f_scale   capacity factor; present only for the scale-carrying kinds
+//             (capacity-scale, link-degrade; empty otherwise — non-scale
+//             faults carry exactly 1.0 in memory, so the round-trip stays
+//             exact)
+//   f_delay   added per-slot delay; rides only when some link-degrade event
+//             carries a nonzero delay, and is present only on link-degrade
+//             rows (other kinds carry exactly 0.0 in memory)
 //
 // Fault j rides row j. Faults and arrivals are independent streams, so a
 // trace with more faults than sessions appends fault-only rows whose five
@@ -104,8 +108,9 @@ struct WorkloadTrace {
   [[nodiscard]] std::size_t arrival_horizon() const noexcept;
 
   /// Renders the trace as a CSV table in the documented column order. The
-  /// t_close column appears iff any event has t_close != 0; the four fault
-  /// columns appear iff the trace has faults.
+  /// t_close column appears iff any event has t_close != 0; the fault
+  /// columns appear iff the trace has faults (f_delay iff some fault
+  /// carries a nonzero delay).
   [[nodiscard]] CsvTable to_table() const;
 
   /// Writes the CSV file. IoError on failure.

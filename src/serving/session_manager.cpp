@@ -345,6 +345,52 @@ std::size_t SessionManager::evict_all_active(std::vector<EvictedSession>& out) {
   return evicted;
 }
 
+bool SessionManager::extract_session(std::size_t session_id,
+                                     MigratedSession& out) {
+  if (finished_) {
+    throw std::logic_error("SessionManager::extract_session: already finished");
+  }
+  // Capture the hot mirrors before retirement compacts (and poisons) them.
+  const std::size_t n = store_.active_count();
+  std::size_t index = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (store_.active_session(i).id == session_id) {
+      index = i;
+      break;
+    }
+  }
+  if (index == n) return false;
+  out.hot = store_.hot_state(index);
+  store_.retire_active(
+      [&](const ServingSession& s) { return s.id == session_id; },
+      [&](ServingSession& s) {
+        out.id = s.id;
+        out.spec = s.spec;  // live spec: reflects any external close
+        s.phase = SessionPhase::kClosed;
+        s.departure_actual = slot_;
+        admission_.release(s.cheapest_load);
+        if (c_closed_ != nullptr) {
+          c_closed_->add(1);
+          h_lifetime_->record(static_cast<double>(slot_ - s.arrival_actual));
+        }
+        if (flight_ != nullptr) {
+          flight_->record(FlightEventKind::kClose, slot_, tid_,
+                          static_cast<double>(s.id),
+                          static_cast<double>(slot_ - s.arrival_actual));
+        }
+      });
+  return true;
+}
+
+AdmissionDecision SessionManager::place_migrated(
+    const MigratedSession& migrated, std::size_t session_id) {
+  const AdmissionDecision decision = try_place(migrated.spec, session_id);
+  // try_place activated the session at the back of the active list with a
+  // fresh stream; resume the carried one instead.
+  if (decision.admitted) store_.inject_hot_state(migrated.hot);
+  return decision;
+}
+
 void SessionManager::set_capacity_scale(double scale) {
   admission_.set_capacity_scale(scale);
 }

@@ -272,6 +272,43 @@ class SessionManager {
   /// steady-state work.
   std::size_t evict_all_active(std::vector<EvictedSession>& out);
 
+  // --- Live migration --------------------------------------------------------
+
+  /// A session pulled out of this link mid-stream for live migration: the
+  /// live spec plus the hot SoA state its decide/drain continuity needs.
+  struct MigratedSession {
+    std::size_t id = 0;
+    SessionSpec spec;
+    HotSessionState hot;
+  };
+
+  /// Live-migration extraction: captures active session `session_id`'s live
+  /// spec and hot state into `out`, then retires it from this link exactly
+  /// like an eviction (admission reservation released, lifetime recorded,
+  /// kClose flight event). Returns false when the id is not active here —
+  /// pending and closed sessions cannot migrate. A handover edge, never
+  /// steady-state work.
+  bool extract_session(std::size_t session_id, MigratedSession& out);
+
+  /// Live-migration injection: the same admission gate as try_place, but on
+  /// accept the session resumes with its carried hot state (backlog, EWMA,
+  /// frame-row cursor) instead of starting a fresh stream — its decide
+  /// sequence continues bit for bit when source and target links are
+  /// equivalent. The candidate ceiling is *this* link's brownout state, not
+  /// the source's. Call between begin_slot() and the decide phase.
+  AdmissionDecision place_migrated(const MigratedSession& migrated,
+                                   std::size_t session_id);
+
+  /// Active session i's runtime id — the handover candidate scan, paired
+  /// with the index-parallel active_backlogs() span.
+  [[nodiscard]] std::size_t active_session_id(std::size_t i) noexcept {
+    return store_.active_session(i).id;
+  }
+  /// The active fleet's backlog mirror (index-parallel with the ids above).
+  [[nodiscard]] std::span<const double> active_backlogs() const noexcept {
+    return store_.backlogs();
+  }
+
   /// Fault-plane capacity scaling: multiplies the admission budget (and the
   /// brownout utilization denominator) by `scale`. 1.0 restores nominal
   /// capacity and is the bitwise identity. Throws std::invalid_argument on a

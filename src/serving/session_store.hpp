@@ -108,6 +108,21 @@ struct SessionSpec {
 
 enum class SessionPhase : std::uint8_t { kPending, kActive, kClosed };
 
+/// The hot SoA state carried across a live migration: backlog, served-bytes
+/// EWMA, and the frame-row cursor. Extracted from the source link's store
+/// just before the session retires there and injected into the target's
+/// store right after activation, so the migrated session's decide/drain
+/// sequence continues bit for bit — the row cursor stays valid because
+/// every link shares one ServingConfig (same candidate width) and caches
+/// intern to tables of identical geometry. Deliberately *not* carried: the
+/// candidate ceiling (limit), which is the target link's brownout state, and
+/// the weight, which rides in the spec.
+struct HotSessionState {
+  double backlog = 0.0;
+  double ewma = 0.0;
+  std::size_t row_off = 0;
+};
+
 /// The cold per-session record (slab resident; read at lifecycle edges and
 /// in the drain phase, never in the decide/schedule inner loops).
 struct ServingSession {
@@ -257,6 +272,39 @@ class SessionStore {
     ARVIS_DCHECK_LT(i, active_.size());
     ARVIS_DCHECK_MSG(active_[i] != nullptr, "poisoned active slot");
     return *active_[i];
+  }
+
+  // --- live-migration state transfer ---------------------------------------
+
+  /// Reads active session i's hot mirrors for migration extraction (called
+  /// before the session retires from this store, while the mirrors are
+  /// still live — the poison check proves it).
+  [[nodiscard]] HotSessionState hot_state(std::size_t i) const noexcept {
+    ARVIS_DCHECK_LT(i, active_.size());
+    ARVIS_DCHECK_MSG(
+        std::bit_cast<std::uint64_t>(backlog_[i]) != kPoisonedSlotBits,
+        "hot_state on poisoned (released) slot");
+    return HotSessionState{backlog_[i], ewma_[i], row_off_[i]};
+  }
+
+  /// Overwrites the most recently activated session's hot mirrors with
+  /// migrated state — activate() then inject_hot_state() is the migration
+  /// injection sequence. The membership generation was already bumped by
+  /// the activation; this only marks backlogs dirty so the decide memoizer
+  /// regroups on the carried backlog instead of the fresh zero. The row
+  /// cursor must be aligned to the session's table stride and in range
+  /// (checked), which holds whenever source and target share the serving
+  /// config and content caches.
+  void inject_hot_state(const HotSessionState& state) noexcept {
+    ARVIS_DCHECK(!active_.empty());
+    const std::size_t i = active_.size() - 1;
+    ARVIS_DCHECK_MSG(state.row_off % (2 * width_) == 0,
+                     "migrated row cursor misaligned for this store");
+    ARVIS_DCHECK_LT(state.row_off, frames_[i] * 2 * width_);
+    backlog_[i] = state.backlog;
+    ewma_[i] = state.ewma;
+    row_off_[i] = state.row_off;
+    backlog_dirty_ = true;
   }
 
   // --- generation-stamped handles (the arena lifetime checker) ------------

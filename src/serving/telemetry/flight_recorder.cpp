@@ -32,6 +32,7 @@ const char* to_string(FlightEventKind kind) noexcept {
     case FlightEventKind::kRetry: return "retry";
     case FlightEventKind::kBrownoutEnter: return "brownout_enter";
     case FlightEventKind::kBrownoutExit: return "brownout_exit";
+    case FlightEventKind::kMigration: return "migration";
   }
   return "?";
 }

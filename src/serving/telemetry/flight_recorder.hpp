@@ -62,7 +62,7 @@ enum class FlightEventKind : std::uint8_t {
   /// A breached SLO recovered. a = spec index, b = fast-window value.
   kSloRecover,
   /// A fault-plane control event fired. a = link, b = FaultKind code
-  /// (0 = link-down, 1 = link-up, 2 = capacity-scale).
+  /// (0 = link-down, 1 = link-up, 2 = capacity-scale, 3 = link-degrade).
   kFault,
   /// A displaced session was re-placed on a surviving link. a = session id,
   /// b = the link it landed on.
@@ -76,9 +76,14 @@ enum class FlightEventKind : std::uint8_t {
   /// Brownout degradation released: full candidate sets restored.
   /// a = utilization at exit, b = active count.
   kBrownoutExit,
+  /// An active session migrated between links mid-stream. a = session id,
+  /// b = reason * 1048576 + from_link * 1024 + to_link (reason codes:
+  /// 0 = degraded-link handover, 1 = rebalance-on-departure, 2 = explicit
+  /// migrate_session call).
+  kMigration,
 };
 
-inline constexpr std::size_t kFlightEventKindCount = 14;
+inline constexpr std::size_t kFlightEventKindCount = 15;
 
 const char* to_string(FlightEventKind kind) noexcept;
 

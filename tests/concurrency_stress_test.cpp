@@ -13,6 +13,10 @@
 //      cluster's decide phase runs at 2-8 threads — displaced sessions
 //      re-enter placement between fan-outs without racing (TSan) and
 //      without perturbing determinism (bit-identical to the serial run).
+//   5. Migration under a parallel decide fan-out: graded degradation roams
+//      across the links and the handover policy moves hot sessions between
+//      stores while decide runs at 2-8 threads — extract/inject of hot
+//      state must be race-free and leave the run bit-identical to serial.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -204,6 +208,91 @@ TEST(ConcurrencyStressTest, FailoverUnderParallelDecideMatchesSerial) {
       ASSERT_EQ(a.failovers, b.failovers)
           << "threads=" << threads << " session=" << i;
       ASSERT_EQ(a.fault_evicted, b.fault_evicted)
+          << "threads=" << threads << " session=" << i;
+      ASSERT_EQ(a.session.trace.size(), b.session.trace.size())
+          << "threads=" << threads << " session=" << i;
+      for (std::size_t t = 0; t < a.session.trace.size(); ++t) {
+        const StepRecord& x = a.session.trace.at(t);
+        const StepRecord& y = b.session.trace.at(t);
+        ASSERT_EQ(x.depth, y.depth)
+            << "threads=" << threads << " session=" << i << " slot=" << t;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(x.backlog_end),
+                  std::bit_cast<std::uint64_t>(y.backlog_end))
+            << "threads=" << threads << " session=" << i << " slot=" << t;
+      }
+    }
+    EXPECT_EQ(parallel.metrics.fleet.capacity_used,
+              serial.metrics.fleet.capacity_used)
+        << threads;
+  }
+}
+
+ClusterResult run_migrating_cluster(std::size_t threads) {
+  ClusterConfig config;
+  config.serving = stress_config(threads);
+  config.serving.admission.enabled = true;
+  config.serving.admission.utilization_target = 1.0;
+  config.placement = PlacementPolicy::kLeastLoaded;
+  config.handover.enabled = true;
+  config.handover.delay_weight = 0.1;
+  config.handover.rebalance_on_departure = true;
+
+  const double load = AdmissionController::cheapest_depth_load(
+      stress_cache(), config.serving.candidates);
+  const std::size_t links = 4;
+  const std::vector<double> means(links, 8.4 * load);
+
+  EdgeCluster cluster(config, means);
+  for (const SessionSpec& spec : churny_specs(48, config.serving.steps)) {
+    cluster.submit(spec);
+  }
+  // Graded degradation roams across the links (with one hard flap mixed in)
+  // so the handover policy migrates sessions while the decide fan-out is
+  // live: the hot-state extract/inject path must not race the executor and
+  // must not perturb determinism.
+  for (std::size_t t = 0; t < config.serving.steps; ++t) {
+    if (t == 30) cluster.set_link_degrade(0, 0.2, 3.0);
+    if (t == 60) cluster.set_link_degrade(0, 1.0, 0.0);
+    if (t == 60) cluster.set_link_degrade(2, 0.15, 4.0);
+    if (t == 80) cluster.set_link_state(1, true);
+    if (t == 100) cluster.set_link_state(1, false);
+    if (t == 110) cluster.set_link_degrade(2, 1.0, 0.0);
+    if (t == 120) cluster.set_link_degrade(3, 0.25, 2.0);
+    cluster.step(means);
+  }
+  return cluster.finish();
+}
+
+TEST(ConcurrencyStressTest, MigrationUnderParallelDecideMatchesSerial) {
+  const ClusterResult serial = run_migrating_cluster(1);
+  // The degradation actually triggered migrations, and the books are exact.
+  ASSERT_GT(serial.metrics.migrations_completed, 0U);
+  EXPECT_EQ(serial.metrics.migrations_requested,
+            serial.metrics.migrations_completed +
+                serial.metrics.migrations_aborted);
+  EXPECT_EQ(serial.metrics.failover_displaced,
+            serial.metrics.failover_replaced + serial.metrics.fault_evicted +
+                serial.metrics.fault_closed);
+
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    const ClusterResult parallel = run_migrating_cluster(threads);
+    EXPECT_EQ(parallel.metrics.migrations_requested,
+              serial.metrics.migrations_requested)
+        << threads;
+    EXPECT_EQ(parallel.metrics.migrations_completed,
+              serial.metrics.migrations_completed)
+        << threads;
+    EXPECT_EQ(parallel.metrics.migrations_aborted,
+              serial.metrics.migrations_aborted)
+        << threads;
+    ASSERT_EQ(parallel.sessions.size(), serial.sessions.size()) << threads;
+    for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+      const ClusterSessionOutcome& a = serial.sessions[i];
+      const ClusterSessionOutcome& b = parallel.sessions[i];
+      ASSERT_EQ(a.link, b.link) << "threads=" << threads << " session=" << i;
+      ASSERT_EQ(a.migrations, b.migrations)
+          << "threads=" << threads << " session=" << i;
+      ASSERT_EQ(a.failovers, b.failovers)
           << "threads=" << threads << " session=" << i;
       ASSERT_EQ(a.session.trace.size(), b.session.trace.size())
           << "threads=" << threads << " session=" << i;

@@ -129,6 +129,80 @@ TEST(FaultPlanTest, SeededPlansAreDeterministic) {
   EXPECT_NE(a.events, c.events);
 }
 
+TEST(FaultPlanTest, DegradePulseRampsHoldsAndRecovers) {
+  FaultPlan plan;
+  plan.degrade_pulse(/*link=*/1, /*at=*/100, /*ramp_slots=*/30,
+                     /*floor_scale=*/0.25, /*delay=*/4.0, /*hold_slots=*/20,
+                     /*steps=*/3);
+  EXPECT_TRUE(validate_fault_plan(plan, /*link_count=*/2).ok());
+  // 3 down-ramp stages plus the single recovery event.
+  ASSERT_EQ(plan.events.size(), 4U);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.kind, FaultKind::kLinkDegrade);
+    EXPECT_EQ(e.link, 1U);
+  }
+  // Scale walks monotonically down to the floor, delay up to the cap; the
+  // last event restores nominal.
+  EXPECT_GT(plan.events[0].scale, plan.events[1].scale);
+  EXPECT_GT(plan.events[1].scale, plan.events[2].scale);
+  EXPECT_EQ(plan.events[2].scale, 0.25);
+  EXPECT_EQ(plan.events[2].delay, 4.0);
+  EXPECT_LT(plan.events[0].delay, plan.events[2].delay);
+  EXPECT_EQ(plan.events[3].scale, 1.0);
+  EXPECT_EQ(plan.events[3].delay, 0.0);
+  EXPECT_EQ(plan.events[3].slot, 100U + 30U + 20U);
+
+  // Degenerate inputs throw rather than emit malformed plans.
+  FaultPlan bad;
+  EXPECT_THROW(bad.degrade_pulse(0, 10, 2, 0.5, 1.0, 5, /*steps=*/4),
+               std::invalid_argument);  // steps > ramp_slots
+  EXPECT_THROW(bad.degrade_pulse(0, 10, 8, 1.5, 1.0, 5),
+               std::invalid_argument);  // floor >= 1
+  EXPECT_THROW(bad.degrade_pulse(0, 10, 8, 0.5, -1.0, 5),
+               std::invalid_argument);  // negative delay
+}
+
+TEST(FaultPlanTest, HandoverWalkIsDeterministicAndValid) {
+  FaultPlan a, b;
+  a.handover_walk(/*seed=*/0xA11CE, /*link_count=*/3, /*walkers=*/4,
+                  /*at=*/50, /*horizon=*/1'000, /*dwell_slots=*/40,
+                  /*floor_scale=*/0.3, /*delay=*/2.0);
+  b.handover_walk(0xA11CE, 3, 4, 50, 1'000, 40, 0.3, 2.0);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_TRUE(validate_fault_plan(a, 3).ok());
+  for (const FaultEvent& e : a.events) {
+    EXPECT_EQ(e.kind, FaultKind::kLinkDegrade);
+    EXPECT_LT(e.link, 3U);
+  }
+
+  FaultPlan c;
+  c.handover_walk(0xD1FF, 3, 4, 50, 1'000, 40, 0.3, 2.0);
+  EXPECT_NE(a.events, c.events);
+
+  FaultPlan bad;
+  EXPECT_THROW(bad.handover_walk(1, /*link_count=*/1, 2, 0, 100, 20, 0.3, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(bad.handover_walk(1, 3, 2, 0, 100, /*dwell_slots=*/1, 0.3, 1.0),
+               std::invalid_argument);
+
+  // The seeded-plan config grows the same verb: same seed, same walk.
+  FaultPlanConfig config;
+  config.seed = 0xBADD1E;
+  config.link_count = 3;
+  config.horizon = 1'500;
+  config.walkers = 3;
+  const FaultPlan x = make_fault_plan(config);
+  const FaultPlan y = make_fault_plan(config);
+  EXPECT_EQ(x.events, y.events);
+  EXPECT_TRUE(validate_fault_plan(x, config.link_count).ok());
+  std::size_t degrades = 0;
+  for (const FaultEvent& e : x.events) {
+    degrades += e.kind == FaultKind::kLinkDegrade;
+  }
+  EXPECT_GT(degrades, 0U);
+}
+
 TEST(FaultPlanTest, ValidationCatchesMalformedPlans) {
   // Out-of-order slots.
   FaultPlan unsorted;
@@ -235,6 +309,72 @@ TEST(WorkloadTraceFaultTest, ParserRejectsMalformedFaultRows) {
     ASSERT_TRUE(csv.ok());
     EXPECT_FALSE(parse_workload_trace(*csv).ok());
   }
+}
+
+TEST(WorkloadTraceFaultTest, DegradeDelayColumnRoundTripsExactly) {
+  WorkloadTrace trace;
+  trace.events = {{0, 50, 0, 1.0, QosClass::kStandard}};
+  // A degrade with delay, a degrade without, and a scale fault: f_delay must
+  // appear (some fault carries a non-zero delay) but only degrade rows fill
+  // it.
+  trace.faults = {{5, FaultKind::kLinkDegrade, 1, 0.5, 3.25},
+                  {20, FaultKind::kCapacityScale, 0, 0.375},
+                  {40, FaultKind::kLinkDegrade, 1, 1.0, 0.0}};
+
+  const std::string text = trace.to_table().to_string();
+  EXPECT_NE(text.find("f_delay"), std::string::npos);
+  const Result<CsvTable> csv = parse_csv(text);
+  ASSERT_TRUE(csv.ok()) << csv.status().message();
+  const Result<WorkloadTrace> loaded = parse_workload_trace(*csv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->faults, trace.faults);
+  EXPECT_EQ(loaded->to_table().to_string(), text);
+
+  // Delay-free degrade plans keep the narrower fault header: no f_delay.
+  WorkloadTrace no_delay;
+  no_delay.events = trace.events;
+  no_delay.faults = {{5, FaultKind::kLinkDegrade, 1, 0.5, 0.0}};
+  const std::string narrow = no_delay.to_table().to_string();
+  EXPECT_EQ(narrow.find("f_delay"), std::string::npos);
+  const Result<CsvTable> narrow_csv = parse_csv(narrow);
+  ASSERT_TRUE(narrow_csv.ok());
+  const Result<WorkloadTrace> narrow_loaded = parse_workload_trace(*narrow_csv);
+  ASSERT_TRUE(narrow_loaded.ok()) << narrow_loaded.status().message();
+  EXPECT_EQ(narrow_loaded->faults, no_delay.faults);
+}
+
+TEST(WorkloadTraceFaultTest, ParserRejectsMalformedDelayCells) {
+  const std::string header =
+      "t_arrive,duration,profile,weight,qos,fault,f_link,f_slot,f_scale,"
+      "f_delay\n";
+  // A degrade row needs a numeric delay when the column exists.
+  {
+    const Result<CsvTable> csv =
+        parse_csv(header + "0,10,0,1.0,standard,link-degrade,0,5,0.5,\n");
+    ASSERT_TRUE(csv.ok());
+    EXPECT_FALSE(parse_workload_trace(*csv).ok());
+  }
+  // Non-degrade faults must leave the delay cell empty.
+  {
+    const Result<CsvTable> csv =
+        parse_csv(header + "0,10,0,1.0,standard,link-down,0,5,,2.0\n");
+    ASSERT_TRUE(csv.ok());
+    EXPECT_FALSE(parse_workload_trace(*csv).ok());
+  }
+  // A degrade also carries a scale (it is a scale-carrying fault).
+  {
+    const Result<CsvTable> csv =
+        parse_csv(header + "0,10,0,1.0,standard,link-degrade,0,5,,1.0\n");
+    ASSERT_TRUE(csv.ok());
+    EXPECT_FALSE(parse_workload_trace(*csv).ok());
+  }
+  // Validation rejects a delay riding on a non-degrade fault kind.
+  FaultPlan dirty;
+  dirty.events = {{10, FaultKind::kCapacityScale, 0, 0.5, 2.0}};
+  EXPECT_FALSE(validate_fault_plan(dirty, 2).ok());
+  FaultPlan negative;
+  negative.events = {{10, FaultKind::kLinkDegrade, 0, 0.5, -1.0}};
+  EXPECT_FALSE(validate_fault_plan(negative, 2).ok());
 }
 
 // ------------------------------------------- failover + outage accounting ----

@@ -69,6 +69,22 @@ def render(stats, path: str) -> str:
     lines.append(f"  accept ratio {gauge(accept)} {accept:7.1%}")
     lines.append("")
 
+    if "failover_displaced" in stats or "migrations_requested" in stats:
+        displaced = stats.get("failover_displaced", 0)
+        replaced = stats.get("failover_replaced", 0)
+        mig_req = stats.get("migrations_requested", 0)
+        mig_done = stats.get("migrations_completed", 0)
+        mig_abort = stats.get("migrations_aborted", 0)
+        lines.append(
+            f"  failover     {displaced:>4} displaced "
+            f"-> {replaced} re-placed"
+        )
+        lines.append(
+            f"  migrations   {mig_done:>4} completed   "
+            f"{mig_abort} aborted   ({mig_req} requested)"
+        )
+        lines.append("")
+
     slos = stats.get("slo", [])
     breaches = stats.get("breaches", 0)
     blips = stats.get("blips", 0)
